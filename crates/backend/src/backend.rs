@@ -1,0 +1,394 @@
+//! The [`Backend`] type: a complete description of one quantum device.
+//!
+//! This is the Rust equivalent of the vendor-provided `backend.py` file the
+//! paper requires on every cluster node (§3.1): coupling map, one- and
+//! two-qubit error rates, readout errors and lengths, T1/T2 times and basis
+//! gates.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::BackendError;
+use crate::graph::CouplingMap;
+use crate::properties::{QubitProperties, TwoQubitGateProperties};
+
+/// The set of native gates a device executes directly.
+///
+/// The paper's fleet uses `{u1, u2, u3, cx}` (Table 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasisGates(Vec<String>);
+
+impl BasisGates {
+    /// The IBM-style default basis used throughout the paper: `u1,u2,u3,cx`.
+    pub fn ibm_default() -> Self {
+        BasisGates(vec!["u1".into(), "u2".into(), "u3".into(), "cx".into()])
+    }
+
+    /// Create a basis from gate names.
+    pub fn new<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        BasisGates(names.into_iter().map(Into::into).collect())
+    }
+
+    /// Whether `gate_name` is native on this device.
+    pub fn contains(&self, gate_name: &str) -> bool {
+        self.0.iter().any(|g| g == gate_name)
+    }
+
+    /// The gate names, in declaration order.
+    pub fn names(&self) -> &[String] {
+        &self.0
+    }
+}
+
+impl Default for BasisGates {
+    fn default() -> Self {
+        BasisGates::ibm_default()
+    }
+}
+
+impl fmt::Display for BasisGates {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0.join(","))
+    }
+}
+
+/// A full device description: connectivity plus calibration data.
+///
+/// # Examples
+///
+/// ```
+/// use qrio_backend::{Backend, topology};
+///
+/// let backend = Backend::uniform("demo", topology::line(5), 0.01, 0.05);
+/// assert_eq!(backend.num_qubits(), 5);
+/// assert!(backend.avg_two_qubit_error() < 0.06);
+/// assert!(backend.basis_gates().contains("cx"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Backend {
+    name: String,
+    coupling_map: CouplingMap,
+    qubit_properties: Vec<QubitProperties>,
+    two_qubit_gates: BTreeMap<(usize, usize), TwoQubitGateProperties>,
+    basis_gates: BasisGates,
+    /// Extra vendor-provided key/value metadata (the paper allows vendors to
+    /// attach additional details such as pulse characteristics).
+    metadata: BTreeMap<String, String>,
+}
+
+impl Backend {
+    /// Build a backend from explicit parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the property vector length does not match the
+    /// coupling map, if a two-qubit entry references a non-edge, or if any
+    /// property fails validation.
+    pub fn new(
+        name: impl Into<String>,
+        coupling_map: CouplingMap,
+        qubit_properties: Vec<QubitProperties>,
+        two_qubit_gates: BTreeMap<(usize, usize), TwoQubitGateProperties>,
+        basis_gates: BasisGates,
+    ) -> Result<Self, BackendError> {
+        let name = name.into();
+        if qubit_properties.len() != coupling_map.num_qubits() {
+            return Err(BackendError::Mismatch(format!(
+                "backend '{name}' has {} qubit property entries for {} qubits",
+                qubit_properties.len(),
+                coupling_map.num_qubits()
+            )));
+        }
+        for (i, props) in qubit_properties.iter().enumerate() {
+            if !props.is_valid() {
+                return Err(BackendError::InvalidCalibration(format!(
+                    "backend '{name}' qubit {i} has invalid properties"
+                )));
+            }
+        }
+        for (&(a, b), props) in &two_qubit_gates {
+            if !coupling_map.has_edge(a, b) {
+                return Err(BackendError::Mismatch(format!(
+                    "backend '{name}' declares a 2q gate on non-edge ({a},{b})"
+                )));
+            }
+            if !props.is_valid() {
+                return Err(BackendError::InvalidCalibration(format!(
+                    "backend '{name}' edge ({a},{b}) has invalid gate properties"
+                )));
+            }
+        }
+        Ok(Backend {
+            name,
+            coupling_map,
+            qubit_properties,
+            two_qubit_gates,
+            basis_gates,
+            metadata: BTreeMap::new(),
+        })
+    }
+
+    /// Build a backend where every qubit and every edge share the same error
+    /// rates — handy for controlled experiments such as Fig. 9, where the
+    /// paper equalises everything except topology. Readout is noise-free; use
+    /// [`Backend::with_uniform_readout_error`] to add it.
+    pub fn uniform(
+        name: impl Into<String>,
+        coupling_map: CouplingMap,
+        single_qubit_error: f64,
+        two_qubit_error: f64,
+    ) -> Self {
+        let n = coupling_map.num_qubits();
+        let qubit_properties = vec![
+            QubitProperties {
+                single_qubit_error,
+                readout_error: 0.0,
+                ..QubitProperties::default()
+            };
+            n
+        ];
+        let mut two_qubit_gates = BTreeMap::new();
+        for edge in coupling_map.edges() {
+            two_qubit_gates.insert(
+                edge,
+                TwoQubitGateProperties { error: two_qubit_error, duration_ns: 300.0 },
+            );
+        }
+        Backend {
+            name: name.into(),
+            coupling_map,
+            qubit_properties,
+            two_qubit_gates,
+            basis_gates: BasisGates::ibm_default(),
+            metadata: BTreeMap::new(),
+        }
+    }
+
+    /// Set the same readout error on every qubit, returning the modified
+    /// backend (builder style).
+    pub fn with_uniform_readout_error(mut self, readout_error: f64) -> Self {
+        for props in &mut self.qubit_properties {
+            props.readout_error = readout_error;
+        }
+        self
+    }
+
+    /// The device name (used as the Kubernetes node name in QRIO).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of physical qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.coupling_map.num_qubits()
+    }
+
+    /// The device's coupling map.
+    pub fn coupling_map(&self) -> &CouplingMap {
+        &self.coupling_map
+    }
+
+    /// The device's native gate set.
+    pub fn basis_gates(&self) -> &BasisGates {
+        &self.basis_gates
+    }
+
+    /// Properties of qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn qubit(&self, q: usize) -> &QubitProperties {
+        &self.qubit_properties[q]
+    }
+
+    /// All per-qubit properties.
+    pub fn qubits(&self) -> &[QubitProperties] {
+        &self.qubit_properties
+    }
+
+    /// Two-qubit gate properties on edge `(a, b)` (order-insensitive), if the
+    /// edge exists.
+    pub fn two_qubit_gate(&self, a: usize, b: usize) -> Option<&TwoQubitGateProperties> {
+        let key = (a.min(b), a.max(b));
+        self.two_qubit_gates.get(&key)
+    }
+
+    /// Two-qubit error on edge `(a, b)`, falling back to the device average
+    /// when the pair is uncalibrated, and to 1.0 when the pair is not coupled.
+    pub fn two_qubit_error_or_default(&self, a: usize, b: usize) -> f64 {
+        if !self.coupling_map.has_edge(a, b) {
+            return 1.0;
+        }
+        self.two_qubit_gate(a, b).map_or_else(|| self.avg_two_qubit_error(), |g| g.error)
+    }
+
+    /// All calibrated two-qubit gates.
+    pub fn two_qubit_gates(&self) -> &BTreeMap<(usize, usize), TwoQubitGateProperties> {
+        &self.two_qubit_gates
+    }
+
+    /// Vendor metadata attached to the backend.
+    pub fn metadata(&self) -> &BTreeMap<String, String> {
+        &self.metadata
+    }
+
+    /// Attach a vendor metadata entry.
+    pub fn set_metadata(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.metadata.insert(key.into(), value.into());
+    }
+
+    // --- Aggregate statistics (the node labels of §3.1) ---------------------------------
+
+    /// Average two-qubit gate error over all calibrated edges (0 if none).
+    pub fn avg_two_qubit_error(&self) -> f64 {
+        if self.two_qubit_gates.is_empty() {
+            return 0.0;
+        }
+        self.two_qubit_gates.values().map(|g| g.error).sum::<f64>() / self.two_qubit_gates.len() as f64
+    }
+
+    /// Average single-qubit gate error over all qubits.
+    pub fn avg_single_qubit_error(&self) -> f64 {
+        if self.qubit_properties.is_empty() {
+            return 0.0;
+        }
+        self.qubit_properties.iter().map(|q| q.single_qubit_error).sum::<f64>()
+            / self.qubit_properties.len() as f64
+    }
+
+    /// Average readout error over all qubits.
+    pub fn avg_readout_error(&self) -> f64 {
+        if self.qubit_properties.is_empty() {
+            return 0.0;
+        }
+        self.qubit_properties.iter().map(|q| q.readout_error).sum::<f64>()
+            / self.qubit_properties.len() as f64
+    }
+
+    /// Average T1 over all qubits (µs).
+    pub fn avg_t1_us(&self) -> f64 {
+        if self.qubit_properties.is_empty() {
+            return 0.0;
+        }
+        self.qubit_properties.iter().map(|q| q.t1_us).sum::<f64>() / self.qubit_properties.len() as f64
+    }
+
+    /// Average T2 over all qubits (µs).
+    pub fn avg_t2_us(&self) -> f64 {
+        if self.qubit_properties.is_empty() {
+            return 0.0;
+        }
+        self.qubit_properties.iter().map(|q| q.t2_us).sum::<f64>() / self.qubit_properties.len() as f64
+    }
+
+    /// Edge-connectivity ratio: edges present divided by edges in the complete
+    /// graph (the "edge connects probability" knob of Table 2).
+    pub fn edge_connectivity(&self) -> f64 {
+        let n = self.num_qubits();
+        if n < 2 {
+            return 0.0;
+        }
+        let complete = (n * (n - 1)) / 2;
+        self.coupling_map.num_edges() as f64 / complete as f64
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Backend '{}': {} qubits, {} edges, avg 2q err {:.4}, avg readout err {:.4}",
+            self.name,
+            self.num_qubits(),
+            self.coupling_map.num_edges(),
+            self.avg_two_qubit_error(),
+            self.avg_readout_error()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology;
+
+    fn simple_backend() -> Backend {
+        Backend::uniform("test", topology::line(4), 0.01, 0.05)
+    }
+
+    #[test]
+    fn uniform_backend_statistics() {
+        let b = simple_backend();
+        assert_eq!(b.num_qubits(), 4);
+        assert!((b.avg_two_qubit_error() - 0.05).abs() < 1e-12);
+        assert!((b.avg_single_qubit_error() - 0.01).abs() < 1e-12);
+        assert!(b.avg_t1_us() > 0.0);
+        assert!(b.avg_t2_us() > 0.0);
+    }
+
+    #[test]
+    fn two_qubit_lookup_is_order_insensitive() {
+        let b = simple_backend();
+        assert!(b.two_qubit_gate(1, 0).is_some());
+        assert!(b.two_qubit_gate(0, 3).is_none());
+        assert!((b.two_qubit_error_or_default(1, 0) - 0.05).abs() < 1e-12);
+        assert_eq!(b.two_qubit_error_or_default(0, 3), 1.0);
+    }
+
+    #[test]
+    fn new_validates_lengths_and_edges() {
+        let map = topology::line(3);
+        let props = vec![QubitProperties::default(); 2];
+        assert!(Backend::new("bad", map.clone(), props, BTreeMap::new(), BasisGates::default()).is_err());
+
+        let props = vec![QubitProperties::default(); 3];
+        let mut gates = BTreeMap::new();
+        gates.insert((0, 2), TwoQubitGateProperties::default());
+        assert!(Backend::new("bad", map.clone(), props.clone(), gates, BasisGates::default()).is_err());
+
+        let mut gates = BTreeMap::new();
+        gates.insert((0, 1), TwoQubitGateProperties { error: 2.0, duration_ns: 1.0 });
+        assert!(Backend::new("bad", map.clone(), props.clone(), gates, BasisGates::default()).is_err());
+
+        let mut bad_props = props;
+        bad_props[0].readout_error = 5.0;
+        assert!(Backend::new("bad", map, bad_props, BTreeMap::new(), BasisGates::default()).is_err());
+    }
+
+    #[test]
+    fn basis_gates_default_matches_table2() {
+        let basis = BasisGates::ibm_default();
+        for g in ["u1", "u2", "u3", "cx"] {
+            assert!(basis.contains(g));
+        }
+        assert!(!basis.contains("h"));
+        assert_eq!(basis.to_string(), "u1,u2,u3,cx");
+    }
+
+    #[test]
+    fn edge_connectivity_ratio() {
+        let full = Backend::uniform("full", topology::fully_connected(6), 0.0, 0.0);
+        assert!((full.edge_connectivity() - 1.0).abs() < 1e-12);
+        let line = simple_backend();
+        assert!(line.edge_connectivity() < 1.0);
+        let single = Backend::uniform("one", topology::line(1), 0.0, 0.0);
+        assert_eq!(single.edge_connectivity(), 0.0);
+    }
+
+    #[test]
+    fn metadata_round_trip() {
+        let mut b = simple_backend();
+        b.set_metadata("vendor", "umich");
+        assert_eq!(b.metadata().get("vendor").map(String::as_str), Some("umich"));
+    }
+
+    #[test]
+    fn display_contains_name() {
+        assert!(simple_backend().to_string().contains("test"));
+    }
+}

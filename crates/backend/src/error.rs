@@ -1,0 +1,59 @@
+//! Error types for the backend crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing, parsing or generating backends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackendError {
+    /// Structural inconsistency (wrong vector lengths, non-existent edges...).
+    Mismatch(String),
+    /// Calibration values out of range.
+    InvalidCalibration(String),
+    /// A backend spec file could not be parsed.
+    SpecParse {
+        /// 1-based line number of the failure.
+        line: usize,
+        /// Description of the failure.
+        message: String,
+    },
+    /// A requested backend does not exist.
+    UnknownBackend(String),
+    /// A generator was configured with invalid parameters.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendError::Mismatch(msg) => write!(f, "backend mismatch: {msg}"),
+            BackendError::InvalidCalibration(msg) => write!(f, "invalid calibration: {msg}"),
+            BackendError::SpecParse { line, message } => {
+                write!(f, "backend spec parse error at line {line}: {message}")
+            }
+            BackendError::UnknownBackend(name) => write!(f, "unknown backend '{name}'"),
+            BackendError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl Error for BackendError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(BackendError::UnknownBackend("x".into()).to_string().contains('x'));
+        assert!(BackendError::SpecParse { line: 2, message: "oops".into() }
+            .to_string()
+            .contains("line 2"));
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn assert_err<E: std::error::Error + Send + Sync>() {}
+        assert_err::<BackendError>();
+    }
+}

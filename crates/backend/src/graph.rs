@@ -1,0 +1,320 @@
+//! Coupling-map graph: the qubit-connectivity graph of a quantum device.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// An undirected graph over `num_qubits` vertices describing which physical
+/// qubit pairs support two-qubit gates.
+///
+/// # Examples
+///
+/// ```
+/// use qrio_backend::CouplingMap;
+///
+/// let line = CouplingMap::from_edges(3, &[(0, 1), (1, 2)]);
+/// assert!(line.has_edge(1, 0));
+/// assert!(!line.has_edge(0, 2));
+/// assert_eq!(line.distance(0, 2), Some(2));
+/// assert!(line.is_connected());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CouplingMap {
+    num_qubits: usize,
+    /// Adjacency lists, each sorted ascending and free of duplicates.
+    adjacency: Vec<Vec<usize>>,
+}
+
+impl CouplingMap {
+    /// An edgeless coupling map over `num_qubits` qubits.
+    pub fn new(num_qubits: usize) -> Self {
+        CouplingMap { num_qubits, adjacency: vec![Vec::new(); num_qubits] }
+    }
+
+    /// Build a coupling map from an undirected edge list. Out-of-range edges
+    /// and self loops are ignored; duplicates are collapsed.
+    pub fn from_edges(num_qubits: usize, edges: &[(usize, usize)]) -> Self {
+        let mut map = CouplingMap::new(num_qubits);
+        for &(a, b) in edges {
+            map.add_edge(a, b);
+        }
+        map
+    }
+
+    /// Number of qubits (vertices).
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Add an undirected edge between `a` and `b`. Self-loops and
+    /// out-of-range endpoints are ignored; returns whether an edge was added.
+    pub fn add_edge(&mut self, a: usize, b: usize) -> bool {
+        if a == b || a >= self.num_qubits || b >= self.num_qubits {
+            return false;
+        }
+        if self.adjacency[a].contains(&b) {
+            return false;
+        }
+        self.adjacency[a].push(b);
+        self.adjacency[b].push(a);
+        self.adjacency[a].sort_unstable();
+        self.adjacency[b].sort_unstable();
+        true
+    }
+
+    /// Whether qubits `a` and `b` are directly coupled.
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        a < self.num_qubits && self.adjacency[a].contains(&b)
+    }
+
+    /// Neighbors of `q`, sorted ascending.
+    pub fn neighbors(&self, q: usize) -> &[usize] {
+        &self.adjacency[q]
+    }
+
+    /// Degree of vertex `q`.
+    pub fn degree(&self, q: usize) -> usize {
+        self.adjacency[q].len()
+    }
+
+    /// All undirected edges, each reported once as `(min, max)` and sorted.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let mut edges = Vec::with_capacity(self.num_edges());
+        for (a, neighbors) in self.adjacency.iter().enumerate() {
+            for &b in neighbors {
+                if a < b {
+                    edges.push((a, b));
+                }
+            }
+        }
+        edges
+    }
+
+    /// Maximum degree across all vertices.
+    pub fn max_degree(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// BFS shortest-path distance between `a` and `b`, or `None` if
+    /// disconnected or out of range.
+    pub fn distance(&self, a: usize, b: usize) -> Option<usize> {
+        if a >= self.num_qubits || b >= self.num_qubits {
+            return None;
+        }
+        if a == b {
+            return Some(0);
+        }
+        let mut visited = vec![false; self.num_qubits];
+        let mut queue = VecDeque::new();
+        visited[a] = true;
+        queue.push_back((a, 0usize));
+        while let Some((node, dist)) = queue.pop_front() {
+            for &next in &self.adjacency[node] {
+                if next == b {
+                    return Some(dist + 1);
+                }
+                if !visited[next] {
+                    visited[next] = true;
+                    queue.push_back((next, dist + 1));
+                }
+            }
+        }
+        None
+    }
+
+    /// All-pairs shortest-path distance matrix. Unreachable pairs are given
+    /// `usize::MAX`.
+    pub fn distance_matrix(&self) -> Vec<Vec<usize>> {
+        let n = self.num_qubits;
+        let mut matrix = vec![vec![usize::MAX; n]; n];
+        for start in 0..n {
+            matrix[start][start] = 0;
+            let mut queue = VecDeque::new();
+            queue.push_back(start);
+            while let Some(node) = queue.pop_front() {
+                let d = matrix[start][node];
+                for &next in &self.adjacency[node] {
+                    if matrix[start][next] == usize::MAX {
+                        matrix[start][next] = d + 1;
+                        queue.push_back(next);
+                    }
+                }
+            }
+        }
+        matrix
+    }
+
+    /// A shortest path (inclusive of endpoints) between `a` and `b`, if any.
+    pub fn shortest_path(&self, a: usize, b: usize) -> Option<Vec<usize>> {
+        if a >= self.num_qubits || b >= self.num_qubits {
+            return None;
+        }
+        if a == b {
+            return Some(vec![a]);
+        }
+        let mut parent: Vec<Option<usize>> = vec![None; self.num_qubits];
+        let mut visited = vec![false; self.num_qubits];
+        let mut queue = VecDeque::new();
+        visited[a] = true;
+        queue.push_back(a);
+        while let Some(node) = queue.pop_front() {
+            for &next in &self.adjacency[node] {
+                if !visited[next] {
+                    visited[next] = true;
+                    parent[next] = Some(node);
+                    if next == b {
+                        let mut path = vec![b];
+                        let mut cur = b;
+                        while let Some(p) = parent[cur] {
+                            path.push(p);
+                            cur = p;
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(next);
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether every qubit can reach every other qubit.
+    pub fn is_connected(&self) -> bool {
+        if self.num_qubits == 0 {
+            return true;
+        }
+        let mut visited = vec![false; self.num_qubits];
+        let mut queue = VecDeque::new();
+        visited[0] = true;
+        queue.push_back(0);
+        let mut count = 1;
+        while let Some(node) = queue.pop_front() {
+            for &next in &self.adjacency[node] {
+                if !visited[next] {
+                    visited[next] = true;
+                    count += 1;
+                    queue.push_back(next);
+                }
+            }
+        }
+        count == self.num_qubits
+    }
+
+    /// Whether the graph contains a simple cycle.
+    pub fn has_cycle(&self) -> bool {
+        // An undirected graph has a cycle iff edges >= vertices within some
+        // connected component; equivalently a DFS finds a back edge.
+        let mut visited = vec![false; self.num_qubits];
+        for start in 0..self.num_qubits {
+            if visited[start] {
+                continue;
+            }
+            let mut stack = vec![(start, usize::MAX)];
+            visited[start] = true;
+            while let Some((node, parent)) = stack.pop() {
+                for &next in &self.adjacency[node] {
+                    if !visited[next] {
+                        visited[next] = true;
+                        stack.push((next, node));
+                    } else if next != parent {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Average vertex degree.
+    pub fn average_degree(&self) -> f64 {
+        if self.num_qubits == 0 {
+            return 0.0;
+        }
+        2.0 * self.num_edges() as f64 / self.num_qubits as f64
+    }
+}
+
+impl fmt::Display for CouplingMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CouplingMap({} qubits, {} edges)", self.num_qubits, self.num_edges())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_are_undirected_and_deduplicated() {
+        let mut map = CouplingMap::new(3);
+        assert!(map.add_edge(0, 1));
+        assert!(!map.add_edge(1, 0));
+        assert!(!map.add_edge(1, 1));
+        assert!(!map.add_edge(0, 9));
+        assert_eq!(map.num_edges(), 1);
+        assert!(map.has_edge(1, 0));
+    }
+
+    #[test]
+    fn distances_and_paths() {
+        let ring = CouplingMap::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert_eq!(ring.distance(0, 2), Some(2));
+        assert_eq!(ring.distance(0, 3), Some(2));
+        let path = ring.shortest_path(0, 2).unwrap();
+        assert_eq!(path.len(), 3);
+        assert_eq!(path[0], 0);
+        assert_eq!(path[2], 2);
+        assert_eq!(ring.distance(0, 0), Some(0));
+    }
+
+    #[test]
+    fn disconnected_graphs() {
+        let map = CouplingMap::from_edges(4, &[(0, 1)]);
+        assert!(!map.is_connected());
+        assert_eq!(map.distance(0, 3), None);
+        assert_eq!(map.shortest_path(0, 3), None);
+        let matrix = map.distance_matrix();
+        assert_eq!(matrix[0][3], usize::MAX);
+        assert_eq!(matrix[0][1], 1);
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let line = CouplingMap::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert!(!line.has_cycle());
+        let ring = CouplingMap::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert!(ring.has_cycle());
+    }
+
+    #[test]
+    fn degree_statistics() {
+        let star = CouplingMap::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(star.max_degree(), 3);
+        assert_eq!(star.degree(0), 3);
+        assert_eq!(star.degree(1), 1);
+        assert!((star.average_degree() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_matrix_is_symmetric() {
+        let map = CouplingMap::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let m = map.distance_matrix();
+        for a in 0..5 {
+            for b in 0..5 {
+                assert_eq!(m[a][b], m[b][a]);
+            }
+        }
+        assert_eq!(m[0][4], 4);
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        assert!(CouplingMap::new(0).is_connected());
+        assert!(!CouplingMap::new(2).is_connected());
+    }
+}

@@ -1,0 +1,137 @@
+//! Node labels: the summary properties QRIO attaches to each cluster node.
+//!
+//! The paper labels every Kubernetes node with the number of qubits, average
+//! two-qubit gate error, average T1/T2, average readout error and the node's
+//! CPU/memory capacity (§3.1). The scheduler's filtering stage compares these
+//! labels against the user's requested bounds.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::backend::Backend;
+
+/// The label set attached to a QRIO cluster node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeLabels {
+    /// Number of physical qubits on the node's device.
+    pub num_qubits: usize,
+    /// Average two-qubit gate error.
+    pub avg_two_qubit_error: f64,
+    /// Average single-qubit gate error.
+    pub avg_single_qubit_error: f64,
+    /// Average T1 (µs).
+    pub avg_t1_us: f64,
+    /// Average T2 (µs).
+    pub avg_t2_us: f64,
+    /// Average readout error.
+    pub avg_readout_error: f64,
+    /// Classical CPU capacity of the node, in millicores.
+    pub cpu_millis: u64,
+    /// Classical memory capacity of the node, in MiB.
+    pub memory_mib: u64,
+}
+
+impl NodeLabels {
+    /// Derive labels from a backend, with the given classical capacity.
+    pub fn from_backend(backend: &Backend, cpu_millis: u64, memory_mib: u64) -> Self {
+        NodeLabels {
+            num_qubits: backend.num_qubits(),
+            avg_two_qubit_error: backend.avg_two_qubit_error(),
+            avg_single_qubit_error: backend.avg_single_qubit_error(),
+            avg_t1_us: backend.avg_t1_us(),
+            avg_t2_us: backend.avg_t2_us(),
+            avg_readout_error: backend.avg_readout_error(),
+            cpu_millis,
+            memory_mib,
+        }
+    }
+
+    /// Render as Kubernetes-style string labels (`qrio.io/<name>` keys), the
+    /// form in which they are attached to cluster nodes.
+    pub fn to_string_map(&self) -> BTreeMap<String, String> {
+        let mut map = BTreeMap::new();
+        map.insert("qrio.io/qubits".into(), self.num_qubits.to_string());
+        map.insert("qrio.io/avg-2q-error".into(), format!("{:.6}", self.avg_two_qubit_error));
+        map.insert("qrio.io/avg-1q-error".into(), format!("{:.6}", self.avg_single_qubit_error));
+        map.insert("qrio.io/avg-t1-us".into(), format!("{:.1}", self.avg_t1_us));
+        map.insert("qrio.io/avg-t2-us".into(), format!("{:.1}", self.avg_t2_us));
+        map.insert("qrio.io/avg-readout-error".into(), format!("{:.6}", self.avg_readout_error));
+        map.insert("qrio.io/cpu-millis".into(), self.cpu_millis.to_string());
+        map.insert("qrio.io/memory-mib".into(), self.memory_mib.to_string());
+        map
+    }
+
+    /// Parse labels back from a Kubernetes-style string map, using defaults
+    /// for missing keys.
+    pub fn from_string_map(map: &BTreeMap<String, String>) -> Self {
+        let get_f64 = |key: &str| map.get(key).and_then(|v| v.parse::<f64>().ok()).unwrap_or(0.0);
+        let get_u64 = |key: &str| map.get(key).and_then(|v| v.parse::<u64>().ok()).unwrap_or(0);
+        NodeLabels {
+            num_qubits: get_u64("qrio.io/qubits") as usize,
+            avg_two_qubit_error: get_f64("qrio.io/avg-2q-error"),
+            avg_single_qubit_error: get_f64("qrio.io/avg-1q-error"),
+            avg_t1_us: get_f64("qrio.io/avg-t1-us"),
+            avg_t2_us: get_f64("qrio.io/avg-t2-us"),
+            avg_readout_error: get_f64("qrio.io/avg-readout-error"),
+            cpu_millis: get_u64("qrio.io/cpu-millis"),
+            memory_mib: get_u64("qrio.io/memory-mib"),
+        }
+    }
+}
+
+impl fmt::Display for NodeLabels {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} qubits, 2q err {:.4}, readout err {:.4}, T1 {:.0}us, T2 {:.0}us, {}m CPU, {}MiB",
+            self.num_qubits,
+            self.avg_two_qubit_error,
+            self.avg_readout_error,
+            self.avg_t1_us,
+            self.avg_t2_us,
+            self.cpu_millis,
+            self.memory_mib
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology;
+
+    #[test]
+    fn labels_derive_from_backend() {
+        let backend = Backend::uniform("labelled", topology::line(7), 0.01, 0.04);
+        let labels = NodeLabels::from_backend(&backend, 4000, 8192);
+        assert_eq!(labels.num_qubits, 7);
+        assert!((labels.avg_two_qubit_error - 0.04).abs() < 1e-12);
+        assert_eq!(labels.cpu_millis, 4000);
+    }
+
+    #[test]
+    fn string_map_roundtrip() {
+        let backend = Backend::uniform("labelled", topology::ring(5), 0.02, 0.08);
+        let labels = NodeLabels::from_backend(&backend, 2000, 4096);
+        let map = labels.to_string_map();
+        assert_eq!(map.get("qrio.io/qubits").map(String::as_str), Some("5"));
+        let parsed = NodeLabels::from_string_map(&map);
+        assert_eq!(parsed.num_qubits, 5);
+        assert!((parsed.avg_two_qubit_error - labels.avg_two_qubit_error).abs() < 1e-5);
+        assert_eq!(parsed.memory_mib, 4096);
+    }
+
+    #[test]
+    fn missing_keys_default_to_zero() {
+        let labels = NodeLabels::from_string_map(&BTreeMap::new());
+        assert_eq!(labels.num_qubits, 0);
+        assert_eq!(labels.cpu_millis, 0);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let backend = Backend::uniform("x", topology::line(3), 0.0, 0.0);
+        let labels = NodeLabels::from_backend(&backend, 1000, 512);
+        assert!(labels.to_string().contains("3 qubits"));
+    }
+}

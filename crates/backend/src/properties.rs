@@ -1,0 +1,125 @@
+//! Calibration data: per-qubit and per-gate device properties.
+
+use std::fmt;
+
+/// Calibration properties of a single physical qubit.
+///
+/// Times are in microseconds and the readout length in nanoseconds, matching
+/// the units of Table 2 in the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QubitProperties {
+    /// Relaxation time T1 (µs).
+    pub t1_us: f64,
+    /// Dephasing time T2 (µs).
+    pub t2_us: f64,
+    /// Probability that a measurement result is flipped.
+    pub readout_error: f64,
+    /// Duration of a readout operation (ns).
+    pub readout_length_ns: f64,
+    /// Average single-qubit gate error on this qubit.
+    pub single_qubit_error: f64,
+}
+
+impl QubitProperties {
+    /// A perfect (noise-free) qubit, useful for building ideal reference
+    /// devices such as the Fig. 9 equal-error testbed.
+    pub fn ideal() -> Self {
+        QubitProperties {
+            t1_us: 500e3,
+            t2_us: 500e3,
+            readout_error: 0.0,
+            readout_length_ns: 30.0,
+            single_qubit_error: 0.0,
+        }
+    }
+
+    /// Validate that probabilities are in `[0, 1]` and times are positive.
+    pub fn is_valid(&self) -> bool {
+        (0.0..=1.0).contains(&self.readout_error)
+            && (0.0..=1.0).contains(&self.single_qubit_error)
+            && self.t1_us > 0.0
+            && self.t2_us > 0.0
+            && self.readout_length_ns >= 0.0
+    }
+}
+
+impl Default for QubitProperties {
+    fn default() -> Self {
+        QubitProperties {
+            t1_us: 100e3,
+            t2_us: 100e3,
+            readout_error: 0.05,
+            readout_length_ns: 30.0,
+            single_qubit_error: 0.01,
+        }
+    }
+}
+
+impl fmt::Display for QubitProperties {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "T1={:.0}us T2={:.0}us ro_err={:.4} ro_len={:.0}ns 1q_err={:.4}",
+            self.t1_us, self.t2_us, self.readout_error, self.readout_length_ns, self.single_qubit_error
+        )
+    }
+}
+
+/// Calibration properties of a two-qubit gate on a specific coupled pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoQubitGateProperties {
+    /// Gate error probability.
+    pub error: f64,
+    /// Gate duration (ns).
+    pub duration_ns: f64,
+}
+
+impl TwoQubitGateProperties {
+    /// A perfect two-qubit gate.
+    pub fn ideal() -> Self {
+        TwoQubitGateProperties { error: 0.0, duration_ns: 300.0 }
+    }
+
+    /// Validate that the error probability is in `[0, 1]`.
+    pub fn is_valid(&self) -> bool {
+        (0.0..=1.0).contains(&self.error) && self.duration_ns >= 0.0
+    }
+}
+
+impl Default for TwoQubitGateProperties {
+    fn default() -> Self {
+        TwoQubitGateProperties { error: 0.05, duration_ns: 300.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        assert!(QubitProperties::default().is_valid());
+        assert!(QubitProperties::ideal().is_valid());
+        assert!(TwoQubitGateProperties::default().is_valid());
+        assert!(TwoQubitGateProperties::ideal().is_valid());
+    }
+
+    #[test]
+    fn invalid_values_detected() {
+        let mut q = QubitProperties::default();
+        q.readout_error = 1.2;
+        assert!(!q.is_valid());
+        q.readout_error = 0.1;
+        q.t1_us = 0.0;
+        assert!(!q.is_valid());
+        let g = TwoQubitGateProperties { error: -0.1, duration_ns: 10.0 };
+        assert!(!g.is_valid());
+    }
+
+    #[test]
+    fn display_mentions_times() {
+        let s = QubitProperties::default().to_string();
+        assert!(s.contains("T1"));
+        assert!(s.contains("T2"));
+    }
+}

@@ -1,0 +1,304 @@
+//! Standard and random device topologies.
+//!
+//! The paper's evaluation uses a set of *default topologies* for the
+//! topology-request experiment (Fig. 6: grid, line, ring, heavy-square and
+//! fully-connected) plus tree/ring/line 10-qubit devices for Fig. 9, and a
+//! random coupling-map generator with bounded degree for the 100-device fleet
+//! (Table 2). All of those constructions live here.
+
+use rand::Rng;
+
+use crate::graph::CouplingMap;
+
+/// The default topology shapes offered to users by the QRIO visualizer
+/// (paper §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DefaultTopology {
+    /// 2D grid of 4 qubits (2×2).
+    Grid4,
+    /// Line of 6 qubits.
+    Line6,
+    /// Ring of 7 qubits.
+    Ring7,
+    /// Heavy-square lattice fragment of 6 qubits.
+    HeavySquare6,
+    /// Fully-connected graph of 6 qubits.
+    FullyConnected6,
+}
+
+impl DefaultTopology {
+    /// All default topologies, in the order the paper reports them (Fig. 6).
+    pub const ALL: [DefaultTopology; 5] = [
+        DefaultTopology::Grid4,
+        DefaultTopology::Line6,
+        DefaultTopology::Ring7,
+        DefaultTopology::HeavySquare6,
+        DefaultTopology::FullyConnected6,
+    ];
+
+    /// Human-readable name used in experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DefaultTopology::Grid4 => "grid",
+            DefaultTopology::Line6 => "line",
+            DefaultTopology::Ring7 => "ring",
+            DefaultTopology::HeavySquare6 => "heavy_square",
+            DefaultTopology::FullyConnected6 => "fully_connected",
+        }
+    }
+
+    /// Number of qubits in the requested topology.
+    pub fn num_qubits(&self) -> usize {
+        match self {
+            DefaultTopology::Grid4 => 4,
+            DefaultTopology::Line6 | DefaultTopology::HeavySquare6 | DefaultTopology::FullyConnected6 => 6,
+            DefaultTopology::Ring7 => 7,
+        }
+    }
+
+    /// The coupling map of the requested topology.
+    pub fn coupling_map(&self) -> CouplingMap {
+        match self {
+            DefaultTopology::Grid4 => grid(2, 2),
+            DefaultTopology::Line6 => line(6),
+            DefaultTopology::Ring7 => ring(7),
+            DefaultTopology::HeavySquare6 => heavy_square(6),
+            DefaultTopology::FullyConnected6 => fully_connected(6),
+        }
+    }
+
+    /// The interaction edge list of the requested topology (used to build the
+    /// topology circuit the meta server scores).
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        self.coupling_map().edges()
+    }
+}
+
+/// A line (path graph) of `n` qubits.
+pub fn line(n: usize) -> CouplingMap {
+    let edges: Vec<(usize, usize)> = (1..n).map(|i| (i - 1, i)).collect();
+    CouplingMap::from_edges(n, &edges)
+}
+
+/// A ring (cycle graph) of `n` qubits. For `n < 3` this degenerates to a line.
+pub fn ring(n: usize) -> CouplingMap {
+    let mut map = line(n);
+    if n >= 3 {
+        map.add_edge(n - 1, 0);
+    }
+    map
+}
+
+/// A `rows × cols` 2D grid.
+pub fn grid(rows: usize, cols: usize) -> CouplingMap {
+    let n = rows * cols;
+    let mut map = CouplingMap::new(n);
+    for r in 0..rows {
+        for c in 0..cols {
+            let idx = r * cols + c;
+            if c + 1 < cols {
+                map.add_edge(idx, idx + 1);
+            }
+            if r + 1 < rows {
+                map.add_edge(idx, idx + cols);
+            }
+        }
+    }
+    map
+}
+
+/// A fully-connected graph over `n` qubits.
+pub fn fully_connected(n: usize) -> CouplingMap {
+    let mut map = CouplingMap::new(n);
+    for a in 0..n {
+        for b in a + 1..n {
+            map.add_edge(a, b);
+        }
+    }
+    map
+}
+
+/// A star graph: qubit 0 connected to every other qubit.
+pub fn star(n: usize) -> CouplingMap {
+    let mut map = CouplingMap::new(n);
+    for q in 1..n {
+        map.add_edge(0, q);
+    }
+    map
+}
+
+/// A balanced binary tree over `n` qubits (qubit `i` is connected to its
+/// parent `(i - 1) / 2`).
+pub fn binary_tree(n: usize) -> CouplingMap {
+    let mut map = CouplingMap::new(n);
+    for q in 1..n {
+        map.add_edge(q, (q - 1) / 2);
+    }
+    map
+}
+
+/// A heavy-square lattice fragment over `n` qubits: a ladder of plaquettes
+/// with a bridging qubit on every rung, approximating IBM's heavy-square
+/// connectivity at small sizes.
+pub fn heavy_square(n: usize) -> CouplingMap {
+    // Build a backbone line and attach every third qubit as a "heavy" bridge
+    // hanging off the backbone, giving degree-3 vertices like the heavy-square
+    // lattice while staying well-defined for any n.
+    let mut map = CouplingMap::new(n);
+    if n == 0 {
+        return map;
+    }
+    let mut backbone = Vec::new();
+    let mut bridges = Vec::new();
+    for q in 0..n {
+        if q % 3 == 2 {
+            bridges.push(q);
+        } else {
+            backbone.push(q);
+        }
+    }
+    for w in backbone.windows(2) {
+        map.add_edge(w[0], w[1]);
+    }
+    for (i, &b) in bridges.iter().enumerate() {
+        // Attach the bridge across two backbone qubits to form a plaquette edge.
+        let left = backbone.get(i * 2).copied().unwrap_or(backbone[0]);
+        let right = backbone.get(i * 2 + 2).copied().unwrap_or(*backbone.last().unwrap());
+        map.add_edge(b, left);
+        if right != left {
+            map.add_edge(b, right);
+        }
+    }
+    map
+}
+
+/// IBM-style heavy-hex lattice fragment over approximately `n` qubits,
+/// produced by thinning a grid: useful as an additional realistic topology.
+pub fn heavy_hex(n: usize) -> CouplingMap {
+    // Approximate: take a ring backbone and add long-range chords every 4 qubits.
+    let mut map = ring(n);
+    let mut q = 0;
+    while q + 4 < n {
+        map.add_edge(q, q + 4);
+        q += 4;
+    }
+    map
+}
+
+/// Generate a random connected coupling map with `n` qubits where each
+/// potential edge is included with probability `edge_probability`, subject to
+/// a maximum vertex degree of `max_degree` (the paper limits devices to at
+/// most 4 connections per qubit).
+///
+/// A spanning line is always added first so that the device is connected, as
+/// the paper notes that "no qubit is isolated" in the generated fleet.
+pub fn random_connected<R: Rng + ?Sized>(
+    n: usize,
+    edge_probability: f64,
+    max_degree: usize,
+    rng: &mut R,
+) -> CouplingMap {
+    let mut map = line(n);
+    if n < 3 {
+        return map;
+    }
+    let p = edge_probability.clamp(0.0, 1.0);
+    for a in 0..n {
+        for b in a + 1..n {
+            if map.has_edge(a, b) {
+                continue;
+            }
+            if map.degree(a) >= max_degree || map.degree(b) >= max_degree {
+                continue;
+            }
+            if rng.gen_bool(p) {
+                map.add_edge(a, b);
+            }
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn line_ring_grid_shapes() {
+        assert_eq!(line(6).num_edges(), 5);
+        assert_eq!(ring(7).num_edges(), 7);
+        assert_eq!(grid(2, 2).num_edges(), 4);
+        assert_eq!(grid(3, 3).num_edges(), 12);
+        assert!(ring(7).has_cycle());
+        assert!(!line(6).has_cycle());
+    }
+
+    #[test]
+    fn fully_connected_and_star() {
+        assert_eq!(fully_connected(6).num_edges(), 15);
+        assert_eq!(star(5).num_edges(), 4);
+        assert_eq!(star(5).degree(0), 4);
+    }
+
+    #[test]
+    fn binary_tree_is_acyclic_and_connected() {
+        let t = binary_tree(10);
+        assert!(t.is_connected());
+        assert!(!t.has_cycle());
+        assert_eq!(t.num_edges(), 9);
+    }
+
+    #[test]
+    fn heavy_square_is_connected() {
+        let h = heavy_square(6);
+        assert!(h.is_connected());
+        assert!(h.num_edges() >= 5);
+        assert!(heavy_square(0).num_edges() == 0);
+    }
+
+    #[test]
+    fn heavy_hex_has_chords() {
+        let h = heavy_hex(12);
+        assert!(h.is_connected());
+        assert!(h.num_edges() > ring(12).num_edges());
+    }
+
+    #[test]
+    fn default_topologies_report_paper_sizes() {
+        assert_eq!(DefaultTopology::Grid4.num_qubits(), 4);
+        assert_eq!(DefaultTopology::Line6.num_qubits(), 6);
+        assert_eq!(DefaultTopology::Ring7.num_qubits(), 7);
+        assert_eq!(DefaultTopology::HeavySquare6.num_qubits(), 6);
+        assert_eq!(DefaultTopology::FullyConnected6.num_qubits(), 6);
+        for topo in DefaultTopology::ALL {
+            let map = topo.coupling_map();
+            assert_eq!(map.num_qubits(), topo.num_qubits());
+            assert!(map.is_connected(), "{} should be connected", topo.name());
+            assert_eq!(topo.edges(), map.edges());
+        }
+    }
+
+    #[test]
+    fn random_connected_respects_constraints() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for &p in &[0.1, 0.5, 0.98] {
+            let map = random_connected(20, p, 4, &mut rng);
+            assert!(map.is_connected());
+            assert!(map.max_degree() <= 4.max(2));
+        }
+        // Higher probability should give (weakly) more edges on average.
+        let mut rng = StdRng::seed_from_u64(5);
+        let sparse = random_connected(30, 0.1, 4, &mut rng);
+        let dense = random_connected(30, 0.98, 4, &mut rng);
+        assert!(dense.num_edges() >= sparse.num_edges());
+    }
+
+    #[test]
+    fn random_connected_is_deterministic_per_seed() {
+        let a = random_connected(15, 0.3, 4, &mut StdRng::seed_from_u64(9));
+        let b = random_connected(15, 0.3, 4, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,33 @@
+//! Criterion bench: stabilizer (Clifford) simulation scaling vs. the dense
+//! statevector engine — the ablation behind choosing Clifford canaries for
+//! fidelity ranking.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use qrio_circuit::library;
+use qrio_sim::run_ideal;
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clifford_vs_statevector");
+    group.sample_size(10);
+
+    // Stabilizer path: Clifford circuits at growing width.
+    for &width in &[10usize, 25, 50] {
+        let circuit = library::random_clifford_circuit(width, 6, 7).unwrap();
+        group.bench_with_input(BenchmarkId::new("stabilizer", width), &circuit, |b, circuit| {
+            b.iter(|| run_ideal(circuit, 64, 3).unwrap())
+        });
+    }
+
+    // Statevector path: non-Clifford circuits stay small.
+    for &width in &[6usize, 10, 14] {
+        let circuit = library::random_circuit(width, 6, 7).unwrap();
+        group.bench_with_input(BenchmarkId::new("statevector", width), &circuit, |b, circuit| {
+            b.iter(|| run_ideal(circuit, 64, 3).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench: filter-stage throughput over the full 100-device fleet —
+//! the cheap stage whose whole purpose is to save the expensive ranking work
+//! (§4.5 / Fig. 10).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use qrio_backend::fleet::paper_fleet;
+use qrio_cluster::DeviceRequirements;
+use qrio_scheduler::{filter_backends, paper_fig10_thresholds, two_qubit_error_sweep};
+
+fn bench_filtering(c: &mut Criterion) {
+    let fleet = paper_fleet().unwrap();
+    let tight = DeviceRequirements {
+        min_qubits: Some(50),
+        max_two_qubit_error: Some(0.2),
+        max_readout_error: Some(0.1),
+        min_t1_us: Some(100_000.0),
+        min_t2_us: Some(100_000.0),
+    };
+    let loose = DeviceRequirements {
+        max_two_qubit_error: Some(0.68),
+        ..DeviceRequirements::default()
+    };
+
+    let mut group = c.benchmark_group("filtering");
+    group.bench_function("tight_bounds_100_devices", |b| {
+        b.iter(|| filter_backends(&fleet, &tight).len())
+    });
+    group.bench_function("loose_bounds_100_devices", |b| {
+        b.iter(|| filter_backends(&fleet, &loose).len())
+    });
+    group.bench_function("fig10_threshold_sweep", |b| {
+        b.iter(|| two_qubit_error_sweep(&fleet, &paper_fig10_thresholds()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_filtering);
+criterion_main!(benches);

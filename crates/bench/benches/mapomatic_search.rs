@@ -1,0 +1,53 @@
+//! Criterion bench: Mapomatic-style subgraph search and scoring cost as device
+//! connectivity grows — the scalability concern the paper raises for densely
+//! connected devices (§5(3)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use qrio_backend::fleet::{generate_backend, FleetConfig};
+use qrio_backend::DefaultTopology;
+use qrio_circuit::library;
+use qrio_meta::evaluate_topology;
+use rand::SeedableRng;
+
+fn bench_mapomatic(c: &mut Criterion) {
+    let config = FleetConfig::paper_table2();
+    let request_ring = library::topology_circuit(
+        DefaultTopology::Ring7.num_qubits(),
+        &DefaultTopology::Ring7.edges(),
+    )
+    .unwrap();
+    let request_line = library::topology_circuit(
+        DefaultTopology::Line6.num_qubits(),
+        &DefaultTopology::Line6.edges(),
+    )
+    .unwrap();
+
+    let mut group = c.benchmark_group("mapomatic_topology_scoring");
+    group.sample_size(10);
+    for &edge_probability in &[0.1f64, 0.45, 0.98] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let backend = generate_backend(
+            format!("dev-p{edge_probability}"),
+            50,
+            edge_probability,
+            &config,
+            &mut rng,
+        )
+        .unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("ring7", format!("p{edge_probability}")),
+            &backend,
+            |b, backend| b.iter(|| evaluate_topology(&request_ring, backend).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("line6", format!("p{edge_probability}")),
+            &backend,
+            |b, backend| b.iter(|| evaluate_topology(&request_line, backend).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mapomatic);
+criterion_main!(benches);

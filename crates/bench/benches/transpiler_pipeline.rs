@@ -1,0 +1,38 @@
+//! Criterion bench: the transpilation pipeline (layout + routing + basis
+//! translation + optimization) on devices of growing size — the classical
+//! pre-processing cost that filtering is meant to bound (§4.5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use qrio_backend::fleet::{generate_backend, FleetConfig};
+use qrio_circuit::library;
+use qrio_transpiler::{transpile, transpile_with_options, TranspileOptions};
+use rand::SeedableRng;
+
+fn bench_transpile(c: &mut Criterion) {
+    let circuit = library::random_circuit_with_cx_count(8, 20, 5).unwrap();
+    let config = FleetConfig::paper_table2();
+    let mut group = c.benchmark_group("transpile_pipeline");
+    group.sample_size(10);
+    for &size in &[20usize, 50, 100] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let backend = generate_backend(format!("dev-{size}"), size, 0.3, &config, &mut rng).unwrap();
+        group.bench_with_input(BenchmarkId::new("full", size), &backend, |b, backend| {
+            b.iter(|| transpile(&circuit, backend).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("no_optimize", size), &backend, |b, backend| {
+            b.iter(|| {
+                transpile_with_options(
+                    &circuit,
+                    backend,
+                    TranspileOptions { skip_optimization: true, ..TranspileOptions::default() },
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transpile);
+criterion_main!(benches);

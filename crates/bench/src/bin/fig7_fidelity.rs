@@ -1,0 +1,42 @@
+//! Figure 7: achieved fidelity for the user-defined circuits (Bv, Hsp, Rep,
+//! Grover, Circ, Circ_2) under the Oracle, Clifford (QRIO) and Random
+//! schedulers, plus the fleet Average and Median fidelity.
+//!
+//! Run with: `cargo run -p qrio-bench --release --bin fig7_fidelity`
+//! (the oracle sweep simulates every circuit on every device; expect a few
+//! minutes of runtime on one core).
+
+use qrio::experiments::{fig7_for_circuit, paper_benchmark_circuits, ExperimentConfig};
+use qrio_backend::fleet::paper_fleet;
+use qrio_bench::fmt3;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fleet = paper_fleet()?;
+    let config = ExperimentConfig { shots: 192, seed: 0x51D0, repetitions: 25 };
+    println!(
+        "Fig. 7: achieved fidelity per circuit ({} devices, {} shots, fidelity target 1.0)",
+        fleet.len(),
+        config.shots
+    );
+    println!(
+        "{:<8} {:>8} {:>10} {:>8} {:>9} {:>8}   oracle device / clifford device",
+        "circuit", "oracle", "clifford", "random", "average", "median"
+    );
+    for (name, circuit) in paper_benchmark_circuits()? {
+        let row = fig7_for_circuit(&name, &circuit, &fleet, &config)?;
+        println!(
+            "{:<8} {:>8} {:>10} {:>8} {:>9} {:>8}   {} / {}",
+            row.circuit,
+            fmt3(row.oracle),
+            fmt3(row.clifford),
+            fmt3(row.random),
+            fmt3(row.average),
+            fmt3(row.median),
+            row.oracle_device,
+            row.clifford_device
+        );
+    }
+    println!("\nexpected shape: oracle >= clifford for every circuit, clifford close to oracle,");
+    println!("and clifford above the fleet average and median (the paper's headline result)");
+    Ok(())
+}

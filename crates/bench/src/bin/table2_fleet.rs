@@ -1,0 +1,43 @@
+//! Table 2: the controllable backend parameters and the generated 100-device
+//! fleet.
+//!
+//! Run with: `cargo run -p qrio-bench --release --bin table2_fleet`
+
+use qrio_backend::fleet::{paper_fleet, FleetConfig};
+use qrio_bench::print_table;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = FleetConfig::paper_table2();
+    let rows = vec![
+        ("Number of qubits".to_string(), format!("{:?}", config.qubit_counts)),
+        ("2-qubit gate error rate".to_string(), format!("{:?}", config.two_qubit_error_range)),
+        ("1-qubit gate error rate".to_string(), format!("{:?}", config.single_qubit_error_range)),
+        ("Readout rate".to_string(), format!("{:?}", config.readout_errors)),
+        ("T1 (us)".to_string(), format!("{:?}", config.t1_values_us)),
+        ("T2 (us)".to_string(), format!("{:?}", config.t2_values_us)),
+        ("Readout length (ns)".to_string(), format!("{}", config.readout_length_ns)),
+        ("Edge connect probabilities".to_string(), format!("{:?}", config.edge_probabilities)),
+        ("Basis gates".to_string(), config.basis_gates.to_string()),
+    ];
+    print_table("Table 2: controllable backend parameters", ("parameter", "values"), &rows);
+
+    let fleet = paper_fleet()?;
+    println!("\ngenerated fleet: {} devices", fleet.len());
+    println!(
+        "{:<26} {:>7} {:>7} {:>12} {:>12} {:>12}",
+        "device", "qubits", "edges", "avg 2q err", "avg ro err", "avg T1 (us)"
+    );
+    for backend in fleet.iter().step_by(7) {
+        println!(
+            "{:<26} {:>7} {:>7} {:>12.4} {:>12.4} {:>12.0}",
+            backend.name(),
+            backend.num_qubits(),
+            backend.coupling_map().num_edges(),
+            backend.avg_two_qubit_error(),
+            backend.avg_readout_error(),
+            backend.avg_t1_us(),
+        );
+    }
+    println!("(one row shown per 7 devices; all 100 are generated deterministically)");
+    Ok(())
+}

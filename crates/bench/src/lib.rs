@@ -1,0 +1,42 @@
+//! # qrio-bench
+//!
+//! Benchmark harness for the QRIO reproduction: one binary per table/figure of
+//! the paper's evaluation (run with `cargo run -p qrio-bench --release --bin
+//! <name>`) plus Criterion micro-benchmarks (`cargo bench`).
+//!
+//! This library crate only hosts small output helpers shared by the binaries.
+
+#![warn(missing_docs)]
+
+/// Print a two-column table with a title, matching the plain-text rendering
+/// used in `EXPERIMENTS.md`.
+pub fn print_table(title: &str, headers: (&str, &str), rows: &[(String, String)]) {
+    println!("\n== {title} ==");
+    println!("{:<36} {:>18}", headers.0, headers.1);
+    println!("{}", "-".repeat(56));
+    for (left, right) in rows {
+        println!("{left:<36} {right:>18}");
+    }
+}
+
+/// Format a float with three decimal places (the precision used throughout the
+/// experiment output).
+pub fn fmt3(value: f64) -> String {
+    format!("{value:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt3_rounds() {
+        assert_eq!(fmt3(1.23456), "1.235");
+        assert_eq!(fmt3(0.0), "0.000");
+    }
+
+    #[test]
+    fn print_table_does_not_panic() {
+        print_table("demo", ("k", "v"), &[("a".into(), "1".into())]);
+    }
+}

@@ -1,0 +1,176 @@
+//! Dependency-graph utilities over circuits.
+//!
+//! The transpiler's routing pass (SABRE-style) operates on the circuit's
+//! dependency structure: it repeatedly extracts the *front layer* of gates
+//! whose predecessors have all been executed. [`DependencyGraph`] provides
+//! that view without mutating the underlying [`Circuit`].
+
+use std::collections::VecDeque;
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+
+/// A lightweight scheduling DAG over a circuit's instructions.
+///
+/// Nodes are instruction indices; an edge `a -> b` exists when instruction `b`
+/// uses a qubit last touched by instruction `a`.
+#[derive(Debug, Clone)]
+pub struct DependencyGraph {
+    /// For each instruction, the indices of instructions that must execute first.
+    predecessors: Vec<Vec<usize>>,
+    /// For each instruction, the indices of instructions that depend on it.
+    successors: Vec<Vec<usize>>,
+    num_instructions: usize,
+}
+
+impl DependencyGraph {
+    /// Build the dependency graph of `circuit`. Barriers act as full
+    /// synchronisation points across their operands.
+    pub fn new(circuit: &Circuit) -> Self {
+        let n = circuit.len();
+        let mut predecessors = vec![Vec::new(); n];
+        let mut successors = vec![Vec::new(); n];
+        let mut last_on_qubit: Vec<Option<usize>> = vec![None; circuit.num_qubits().max(1)];
+        for (idx, inst) in circuit.instructions().iter().enumerate() {
+            for &q in &inst.qubits {
+                if let Some(prev) = last_on_qubit[q] {
+                    if !predecessors[idx].contains(&prev) {
+                        predecessors[idx].push(prev);
+                        successors[prev].push(idx);
+                    }
+                }
+                last_on_qubit[q] = Some(idx);
+            }
+        }
+        DependencyGraph { predecessors, successors, num_instructions: n }
+    }
+
+    /// Number of instructions in the graph.
+    pub fn len(&self) -> usize {
+        self.num_instructions
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.num_instructions == 0
+    }
+
+    /// Direct predecessors of instruction `idx`.
+    pub fn predecessors(&self, idx: usize) -> &[usize] {
+        &self.predecessors[idx]
+    }
+
+    /// Direct successors of instruction `idx`.
+    pub fn successors(&self, idx: usize) -> &[usize] {
+        &self.successors[idx]
+    }
+
+    /// Instructions with no predecessors (the initial front layer).
+    pub fn initial_front(&self) -> Vec<usize> {
+        (0..self.num_instructions).filter(|&i| self.predecessors[i].is_empty()).collect()
+    }
+
+    /// A topological ordering of all instructions (Kahn's algorithm). The
+    /// result always has length [`len`](Self::len) because circuits are
+    /// acyclic by construction.
+    pub fn topological_order(&self) -> Vec<usize> {
+        let mut indegree: Vec<usize> = self.predecessors.iter().map(Vec::len).collect();
+        let mut queue: VecDeque<usize> =
+            (0..self.num_instructions).filter(|&i| indegree[i] == 0).collect();
+        let mut order = Vec::with_capacity(self.num_instructions);
+        while let Some(node) = queue.pop_front() {
+            order.push(node);
+            for &succ in &self.successors[node] {
+                indegree[succ] -= 1;
+                if indegree[succ] == 0 {
+                    queue.push_back(succ);
+                }
+            }
+        }
+        order
+    }
+
+    /// Number of layers when instructions are greedily packed as early as
+    /// their dependencies allow (equivalent to circuit depth over all
+    /// instruction kinds except barriers).
+    pub fn layer_count(&self, circuit: &Circuit) -> usize {
+        let mut level = vec![0usize; self.num_instructions];
+        let mut max = 0;
+        for idx in self.topological_order() {
+            let base = self.predecessors[idx].iter().map(|&p| level[p]).max().unwrap_or(0);
+            let this = if circuit.instructions()[idx].gate == Gate::Barrier { base } else { base + 1 };
+            level[idx] = this;
+            max = max.max(this);
+        }
+        max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Circuit {
+        let mut c = Circuit::new(3, 3);
+        c.h(0).unwrap();
+        c.h(1).unwrap();
+        c.cx(0, 1).unwrap();
+        c.cx(1, 2).unwrap();
+        c.measure_all().unwrap();
+        c
+    }
+
+    #[test]
+    fn front_layer_has_independent_gates() {
+        let c = sample();
+        let dag = DependencyGraph::new(&c);
+        let front = dag.initial_front();
+        assert_eq!(front, vec![0, 1]);
+    }
+
+    #[test]
+    fn dependencies_follow_qubits() {
+        let c = sample();
+        let dag = DependencyGraph::new(&c);
+        // cx(0,1) depends on both Hadamards.
+        assert_eq!(dag.predecessors(2).len(), 2);
+        // cx(1,2) depends only on cx(0,1).
+        assert_eq!(dag.predecessors(3), &[2]);
+    }
+
+    #[test]
+    fn topological_order_is_complete_and_valid() {
+        let c = sample();
+        let dag = DependencyGraph::new(&c);
+        let order = dag.topological_order();
+        assert_eq!(order.len(), c.len());
+        let pos: Vec<usize> = {
+            let mut p = vec![0; order.len()];
+            for (i, &node) in order.iter().enumerate() {
+                p[node] = i;
+            }
+            p
+        };
+        for node in 0..dag.len() {
+            for &pred in dag.predecessors(node) {
+                assert!(pos[pred] < pos[node]);
+            }
+        }
+    }
+
+    #[test]
+    fn layer_count_matches_depth() {
+        let c = sample();
+        let dag = DependencyGraph::new(&c);
+        assert_eq!(dag.layer_count(&c), c.depth());
+    }
+
+    #[test]
+    fn empty_circuit() {
+        let c = Circuit::new(2, 0);
+        let dag = DependencyGraph::new(&c);
+        assert!(dag.is_empty());
+        assert!(dag.initial_front().is_empty());
+        assert_eq!(dag.layer_count(&c), 0);
+    }
+}

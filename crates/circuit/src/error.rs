@@ -1,0 +1,91 @@
+//! Error types for the circuit crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or parsing quantum circuits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CircuitError {
+    /// A qubit index was out of range for the circuit.
+    QubitOutOfRange {
+        /// The offending qubit index.
+        qubit: usize,
+        /// Number of qubits in the circuit.
+        num_qubits: usize,
+    },
+    /// A classical bit index was out of range for the circuit.
+    ClbitOutOfRange {
+        /// The offending classical bit index.
+        clbit: usize,
+        /// Number of classical bits in the circuit.
+        num_clbits: usize,
+    },
+    /// The same qubit was used twice in one multi-qubit instruction.
+    DuplicateQubit {
+        /// The duplicated qubit index.
+        qubit: usize,
+    },
+    /// A gate was applied to the wrong number of qubits.
+    ArityMismatch {
+        /// Gate name.
+        gate: String,
+        /// Expected operand count.
+        expected: usize,
+        /// Actual operand count.
+        actual: usize,
+    },
+    /// A QASM source could not be parsed.
+    QasmParse {
+        /// 1-based line number of the failure.
+        line: usize,
+        /// Description of the failure.
+        message: String,
+    },
+    /// A construction parameter was invalid (e.g. zero qubits).
+    InvalidParameter(String),
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::QubitOutOfRange { qubit, num_qubits } => {
+                write!(f, "qubit {qubit} out of range for circuit with {num_qubits} qubits")
+            }
+            CircuitError::ClbitOutOfRange { clbit, num_clbits } => {
+                write!(f, "classical bit {clbit} out of range for circuit with {num_clbits} bits")
+            }
+            CircuitError::DuplicateQubit { qubit } => {
+                write!(f, "qubit {qubit} used more than once in a single instruction")
+            }
+            CircuitError::ArityMismatch { gate, expected, actual } => {
+                write!(f, "gate {gate} expects {expected} qubits but was given {actual}")
+            }
+            CircuitError::QasmParse { line, message } => {
+                write!(f, "QASM parse error at line {line}: {message}")
+            }
+            CircuitError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = CircuitError::QubitOutOfRange { qubit: 7, num_qubits: 5 };
+        assert!(err.to_string().contains('7'));
+        assert!(err.to_string().contains('5'));
+        let err = CircuitError::QasmParse { line: 3, message: "bad token".into() };
+        assert!(err.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync>() {}
+        assert_err::<CircuitError>();
+    }
+}

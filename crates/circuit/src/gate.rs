@@ -1,0 +1,356 @@
+//! Gate definitions for the QRIO circuit IR.
+//!
+//! The gate set mirrors what the paper's stack (Qiskit + the `{u1,u2,u3,cx}`
+//! basis of Table 2) needs: the common named gates used by the benchmark
+//! circuits, the IBM-style parameterized `u1/u2/u3` basis gates, and the
+//! two-qubit entangling gates.
+
+use std::f64::consts::{FRAC_PI_2, PI};
+use std::fmt;
+
+/// A quantum gate (or circuit directive such as a barrier / measurement).
+///
+/// Parameterized rotation gates carry their angles in radians.
+///
+/// # Examples
+///
+/// ```
+/// use qrio_circuit::Gate;
+///
+/// let g = Gate::RZ(std::f64::consts::PI);
+/// assert_eq!(g.num_qubits(), 1);
+/// assert!(g.is_parameterized());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Gate {
+    /// Identity.
+    I,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+    /// Hadamard.
+    H,
+    /// Phase gate S = sqrt(Z).
+    S,
+    /// Inverse phase gate.
+    Sdg,
+    /// T = fourth root of Z.
+    T,
+    /// Inverse T.
+    Tdg,
+    /// Square root of X.
+    SX,
+    /// Rotation about X.
+    RX(f64),
+    /// Rotation about Y.
+    RY(f64),
+    /// Rotation about Z.
+    RZ(f64),
+    /// IBM basis gate: diagonal phase rotation, `u1(λ) = diag(1, e^{iλ})`.
+    U1(f64),
+    /// IBM basis gate: `u2(φ, λ)` — a Hadamard-like gate with two phases.
+    U2(f64, f64),
+    /// IBM basis gate: generic single-qubit unitary `u3(θ, φ, λ)`.
+    U3(f64, f64, f64),
+    /// Controlled-X (CNOT).
+    CX,
+    /// Controlled-Z.
+    CZ,
+    /// Controlled-Y.
+    CY,
+    /// SWAP of two qubits.
+    Swap,
+    /// Controlled-phase rotation.
+    CP(f64),
+    /// Controlled-RZ rotation.
+    CRZ(f64),
+    /// Toffoli (CCX).
+    CCX,
+    /// Measurement into a classical bit.
+    Measure,
+    /// Reset a qubit to |0>.
+    Reset,
+    /// Barrier directive (acts on any number of qubits, no unitary action).
+    Barrier,
+}
+
+impl Gate {
+    /// Canonical lowercase name of the gate as used in OpenQASM 2.0.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Gate::I => "id",
+            Gate::X => "x",
+            Gate::Y => "y",
+            Gate::Z => "z",
+            Gate::H => "h",
+            Gate::S => "s",
+            Gate::Sdg => "sdg",
+            Gate::T => "t",
+            Gate::Tdg => "tdg",
+            Gate::SX => "sx",
+            Gate::RX(_) => "rx",
+            Gate::RY(_) => "ry",
+            Gate::RZ(_) => "rz",
+            Gate::U1(_) => "u1",
+            Gate::U2(_, _) => "u2",
+            Gate::U3(_, _, _) => "u3",
+            Gate::CX => "cx",
+            Gate::CZ => "cz",
+            Gate::CY => "cy",
+            Gate::Swap => "swap",
+            Gate::CP(_) => "cp",
+            Gate::CRZ(_) => "crz",
+            Gate::CCX => "ccx",
+            Gate::Measure => "measure",
+            Gate::Reset => "reset",
+            Gate::Barrier => "barrier",
+        }
+    }
+
+    /// Number of qubits the gate acts on. Barriers are variadic and report 0.
+    pub fn num_qubits(&self) -> usize {
+        match self {
+            Gate::CX
+            | Gate::CZ
+            | Gate::CY
+            | Gate::Swap
+            | Gate::CP(_)
+            | Gate::CRZ(_) => 2,
+            Gate::CCX => 3,
+            Gate::Barrier => 0,
+            _ => 1,
+        }
+    }
+
+    /// Whether this is a two-qubit gate (the dominant noise source on NISQ
+    /// devices, and the quantity the QRIO scheduler filters on).
+    pub fn is_two_qubit(&self) -> bool {
+        self.num_qubits() == 2
+    }
+
+    /// Whether the gate is a directive (barrier / measure / reset) rather than
+    /// a unitary operation.
+    pub fn is_directive(&self) -> bool {
+        matches!(self, Gate::Measure | Gate::Reset | Gate::Barrier)
+    }
+
+    /// Whether the gate carries continuous parameters.
+    pub fn is_parameterized(&self) -> bool {
+        !self.params().is_empty()
+    }
+
+    /// The gate's parameters (rotation angles, in radians), in declaration order.
+    pub fn params(&self) -> Vec<f64> {
+        match *self {
+            Gate::RX(t) | Gate::RY(t) | Gate::RZ(t) | Gate::U1(t) | Gate::CP(t) | Gate::CRZ(t) => {
+                vec![t]
+            }
+            Gate::U2(p, l) => vec![p, l],
+            Gate::U3(t, p, l) => vec![t, p, l],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Whether the gate belongs to the Clifford group (up to global phase).
+    ///
+    /// Parameterized rotations are Clifford only when the angle is a multiple
+    /// of π/2 (within [`CLIFFORD_ANGLE_TOLERANCE`]).
+    pub fn is_clifford(&self) -> bool {
+        match *self {
+            Gate::I
+            | Gate::X
+            | Gate::Y
+            | Gate::Z
+            | Gate::H
+            | Gate::S
+            | Gate::Sdg
+            | Gate::SX
+            | Gate::CX
+            | Gate::CZ
+            | Gate::CY
+            | Gate::Swap => true,
+            Gate::T | Gate::Tdg | Gate::CCX => false,
+            Gate::RX(t) | Gate::RY(t) | Gate::RZ(t) | Gate::U1(t) => is_multiple_of_half_pi(t),
+            // Controlled phases are Clifford only at multiples of π (CZ or identity).
+            Gate::CP(t) | Gate::CRZ(t) => is_multiple_of_pi(t),
+            Gate::U2(p, l) => is_multiple_of_half_pi(p) && is_multiple_of_half_pi(l),
+            Gate::U3(t, p, l) => {
+                is_multiple_of_half_pi(t) && is_multiple_of_half_pi(p) && is_multiple_of_half_pi(l)
+            }
+            Gate::Measure | Gate::Reset | Gate::Barrier => true,
+        }
+    }
+
+    /// Snap the gate to its nearest Clifford equivalent.
+    ///
+    /// This is the transformation used to build *Clifford canary* circuits
+    /// (paper §3.4.1): rotation angles are rounded to the nearest multiple of
+    /// π/2 and non-Clifford named gates are replaced by their closest Clifford
+    /// counterpart (`T → S`, `Tdg → Sdg`, `CCX → CX`-free barrier-preserving
+    /// identity on the target; we conservatively map `CCX` to `CZ` on its last
+    /// two qubits at the circuit level, see `Circuit::to_clifford`).
+    pub fn to_clifford(&self) -> Gate {
+        match *self {
+            Gate::T => Gate::S,
+            Gate::Tdg => Gate::Sdg,
+            Gate::RX(t) => Gate::RX(snap_half_pi(t)),
+            Gate::RY(t) => Gate::RY(snap_half_pi(t)),
+            Gate::RZ(t) => Gate::RZ(snap_half_pi(t)),
+            Gate::U1(t) => Gate::U1(snap_half_pi(t)),
+            Gate::CP(t) => Gate::CP(snap_pi(t)),
+            Gate::CRZ(t) => Gate::CRZ(snap_pi(t)),
+            Gate::U2(p, l) => Gate::U2(snap_half_pi(p), snap_half_pi(l)),
+            Gate::U3(t, p, l) => Gate::U3(snap_half_pi(t), snap_half_pi(p), snap_half_pi(l)),
+            g => g,
+        }
+    }
+
+    /// The adjoint (inverse) of the gate, when representable within this gate set.
+    pub fn inverse(&self) -> Gate {
+        match *self {
+            Gate::S => Gate::Sdg,
+            Gate::Sdg => Gate::S,
+            Gate::T => Gate::Tdg,
+            Gate::Tdg => Gate::T,
+            Gate::RX(t) => Gate::RX(-t),
+            Gate::RY(t) => Gate::RY(-t),
+            Gate::RZ(t) => Gate::RZ(-t),
+            Gate::U1(t) => Gate::U1(-t),
+            Gate::U2(p, l) => Gate::U3(-FRAC_PI_2, -l, -p),
+            Gate::U3(t, p, l) => Gate::U3(-t, -l, -p),
+            Gate::CP(t) => Gate::CP(-t),
+            Gate::CRZ(t) => Gate::CRZ(-t),
+            Gate::SX => Gate::U3(-FRAC_PI_2, -FRAC_PI_2, FRAC_PI_2),
+            g => g,
+        }
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let params = self.params();
+        if params.is_empty() {
+            write!(f, "{}", self.name())
+        } else {
+            let joined: Vec<String> = params.iter().map(|p| format!("{p:.6}")).collect();
+            write!(f, "{}({})", self.name(), joined.join(","))
+        }
+    }
+}
+
+/// Tolerance used when deciding whether an angle is a multiple of π/2.
+pub const CLIFFORD_ANGLE_TOLERANCE: f64 = 1e-9;
+
+fn is_multiple_of_half_pi(theta: f64) -> bool {
+    let ratio = theta / FRAC_PI_2;
+    (ratio - ratio.round()).abs() < 1e-6
+}
+
+fn is_multiple_of_pi(theta: f64) -> bool {
+    let ratio = theta / PI;
+    (ratio - ratio.round()).abs() < 1e-6
+}
+
+/// Round an angle to the nearest multiple of π/2, normalised to (-2π, 2π).
+pub fn snap_half_pi(theta: f64) -> f64 {
+    let snapped = (theta / FRAC_PI_2).round() * FRAC_PI_2;
+    snapped % (2.0 * PI)
+}
+
+/// Round an angle to the nearest multiple of π, normalised to (-2π, 2π).
+pub fn snap_pi(theta: f64) -> f64 {
+    let snapped = (theta / PI).round() * PI;
+    snapped % (2.0 * PI)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_names_are_qasm_compatible() {
+        assert_eq!(Gate::H.name(), "h");
+        assert_eq!(Gate::CX.name(), "cx");
+        assert_eq!(Gate::U3(1.0, 2.0, 3.0).name(), "u3");
+    }
+
+    #[test]
+    fn qubit_counts() {
+        assert_eq!(Gate::H.num_qubits(), 1);
+        assert_eq!(Gate::CX.num_qubits(), 2);
+        assert_eq!(Gate::CCX.num_qubits(), 3);
+        assert!(Gate::CZ.is_two_qubit());
+        assert!(!Gate::X.is_two_qubit());
+    }
+
+    #[test]
+    fn clifford_classification() {
+        assert!(Gate::H.is_clifford());
+        assert!(Gate::CX.is_clifford());
+        assert!(Gate::S.is_clifford());
+        assert!(!Gate::T.is_clifford());
+        assert!(!Gate::CCX.is_clifford());
+        assert!(Gate::RZ(PI).is_clifford());
+        assert!(Gate::RZ(FRAC_PI_2).is_clifford());
+        assert!(!Gate::RZ(0.3).is_clifford());
+    }
+
+    #[test]
+    fn to_clifford_snaps_angles() {
+        let g = Gate::RZ(0.3).to_clifford();
+        assert!(g.is_clifford());
+        assert_eq!(Gate::T.to_clifford(), Gate::S);
+        assert_eq!(Gate::Tdg.to_clifford(), Gate::Sdg);
+        // Already-Clifford gates are untouched.
+        assert_eq!(Gate::H.to_clifford(), Gate::H);
+    }
+
+    #[test]
+    fn params_roundtrip() {
+        assert_eq!(Gate::U3(0.1, 0.2, 0.3).params(), vec![0.1, 0.2, 0.3]);
+        assert_eq!(Gate::U2(0.1, 0.2).params(), vec![0.1, 0.2]);
+        assert!(Gate::X.params().is_empty());
+        assert!(Gate::RX(1.0).is_parameterized());
+        assert!(!Gate::H.is_parameterized());
+    }
+
+    #[test]
+    fn inverse_of_inverse_is_identityish() {
+        assert_eq!(Gate::S.inverse(), Gate::Sdg);
+        assert_eq!(Gate::S.inverse().inverse(), Gate::S);
+        assert_eq!(Gate::RZ(0.7).inverse(), Gate::RZ(-0.7));
+    }
+
+    #[test]
+    fn directives() {
+        assert!(Gate::Measure.is_directive());
+        assert!(Gate::Barrier.is_directive());
+        assert!(!Gate::H.is_directive());
+    }
+
+    #[test]
+    fn display_includes_params() {
+        assert_eq!(format!("{}", Gate::H), "h");
+        assert!(format!("{}", Gate::RZ(1.5)).starts_with("rz(1.5"));
+    }
+
+    #[test]
+    fn snap_half_pi_rounds() {
+        assert!((snap_half_pi(1.6) - FRAC_PI_2).abs() < 1e-9);
+        assert!((snap_half_pi(0.1)).abs() < 1e-9);
+        assert!((snap_half_pi(3.0) - PI).abs() < 1e-9);
+    }
+
+    #[test]
+    fn controlled_phase_clifford_rule() {
+        assert!(Gate::CP(PI).is_clifford());
+        assert!(!Gate::CP(FRAC_PI_2).is_clifford());
+        assert!(Gate::CRZ(PI).is_clifford());
+        assert!(!Gate::CRZ(0.4).is_clifford());
+        assert!(Gate::CP(FRAC_PI_2).to_clifford().is_clifford());
+        assert!(Gate::CRZ(2.0).to_clifford().is_clifford());
+    }
+}

@@ -1,0 +1,464 @@
+//! Standard circuit library.
+//!
+//! These generators produce the benchmark circuits used throughout the paper's
+//! evaluation (§4.3): Bernstein–Vazirani, Grover search, the hidden subgroup
+//! problem, a repetition-code encoder, and random circuits — plus a few common
+//! building blocks (GHZ, QFT) and the *topology circuit* construction used by
+//! the visualizer for topology-based scheduling (§3.2).
+
+use std::f64::consts::PI;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::circuit::Circuit;
+use crate::error::CircuitError;
+use crate::gate::Gate;
+
+/// Bernstein–Vazirani circuit over `n` data qubits with the given hidden
+/// bit-string `secret` (least-significant bit = qubit 0).
+///
+/// Uses the phase-kickback formulation (no ancilla): H on all qubits, Z on the
+/// secret bits, H again, then measure. The ideal outcome is exactly `secret`.
+///
+/// # Errors
+///
+/// Returns an error if `n == 0`.
+pub fn bernstein_vazirani(n: usize, secret: u64) -> Result<Circuit, CircuitError> {
+    if n == 0 {
+        return Err(CircuitError::InvalidParameter("bernstein_vazirani needs n >= 1".into()));
+    }
+    let mut c = Circuit::with_name(format!("bv_{n}"), n, n);
+    for q in 0..n {
+        c.h(q)?;
+    }
+    for q in 0..n {
+        if (secret >> q) & 1 == 1 {
+            c.z(q)?;
+        }
+    }
+    for q in 0..n {
+        c.h(q)?;
+    }
+    c.measure_all()?;
+    Ok(c)
+}
+
+/// A CNOT-ladder variant of Bernstein–Vazirani matching the ancilla-based
+/// textbook construction: `n` data qubits plus one ancilla target.
+///
+/// This variant stresses two-qubit gates (one CX per set secret bit), which is
+/// what makes BV-10 a useful scheduling benchmark in the paper.
+///
+/// # Errors
+///
+/// Returns an error if `n == 0`.
+pub fn bernstein_vazirani_with_ancilla(n: usize, secret: u64) -> Result<Circuit, CircuitError> {
+    if n == 0 {
+        return Err(CircuitError::InvalidParameter("bernstein_vazirani needs n >= 1".into()));
+    }
+    let mut c = Circuit::with_name(format!("bv_anc_{n}"), n + 1, n);
+    let ancilla = n;
+    c.x(ancilla)?;
+    c.h(ancilla)?;
+    for q in 0..n {
+        c.h(q)?;
+    }
+    for q in 0..n {
+        if (secret >> q) & 1 == 1 {
+            c.cx(q, ancilla)?;
+        }
+    }
+    for q in 0..n {
+        c.h(q)?;
+    }
+    for q in 0..n {
+        c.measure(q, q)?;
+    }
+    Ok(c)
+}
+
+/// Grover search over `n` qubits with a single marked element, one iteration.
+///
+/// The oracle marks `marked` with a multi-controlled phase flip implemented
+/// via H/CX/CCX; for `n <= 3` this matches the 3-qubit Grover circuit used in
+/// the paper's evaluation.
+///
+/// # Errors
+///
+/// Returns an error if `n == 0` or `marked >= 2^n`.
+pub fn grover(n: usize, marked: u64) -> Result<Circuit, CircuitError> {
+    if n == 0 {
+        return Err(CircuitError::InvalidParameter("grover needs n >= 1".into()));
+    }
+    if marked >= (1u64 << n) {
+        return Err(CircuitError::InvalidParameter(format!(
+            "marked element {marked} out of range for {n} qubits"
+        )));
+    }
+    let mut c = Circuit::with_name(format!("grover_{n}"), n, n);
+    for q in 0..n {
+        c.h(q)?;
+    }
+    // Oracle: flip phase of |marked>.
+    apply_phase_flip(&mut c, n, marked)?;
+    // Diffusion operator.
+    for q in 0..n {
+        c.h(q)?;
+        c.x(q)?;
+    }
+    apply_controlled_z_all(&mut c, n)?;
+    for q in 0..n {
+        c.x(q)?;
+        c.h(q)?;
+    }
+    c.measure_all()?;
+    Ok(c)
+}
+
+fn apply_phase_flip(c: &mut Circuit, n: usize, target_state: u64) -> Result<(), CircuitError> {
+    for q in 0..n {
+        if (target_state >> q) & 1 == 0 {
+            c.x(q)?;
+        }
+    }
+    apply_controlled_z_all(c, n)?;
+    for q in 0..n {
+        if (target_state >> q) & 1 == 0 {
+            c.x(q)?;
+        }
+    }
+    Ok(())
+}
+
+/// Apply a phase flip on |11..1> across the first `n` qubits.
+fn apply_controlled_z_all(c: &mut Circuit, n: usize) -> Result<(), CircuitError> {
+    match n {
+        1 => c.z(0),
+        2 => c.cz(0, 1),
+        _ => {
+            // CCZ via H - CCX - H on the last qubit; for n > 3 we chain Toffolis
+            // through the top qubits (an approximation adequate for small n).
+            c.h(n - 1)?;
+            c.ccx(0, 1, n - 1)?;
+            for q in 2..n - 1 {
+                c.ccx(q - 1, q, n - 1)?;
+            }
+            c.h(n - 1)
+        }
+    }
+}
+
+/// Hidden subgroup problem instance (Simon-style) over `n` qubits.
+///
+/// The 4-qubit variant matches the paper's "Hsp" benchmark: a layer of
+/// Hadamards, a CX-based oracle encoding the hidden subgroup generator, and a
+/// final Hadamard layer before measurement.
+///
+/// # Errors
+///
+/// Returns an error if `n < 2`.
+pub fn hidden_subgroup(n: usize) -> Result<Circuit, CircuitError> {
+    if n < 2 {
+        return Err(CircuitError::InvalidParameter("hidden_subgroup needs n >= 2".into()));
+    }
+    let half = n / 2;
+    let mut c = Circuit::with_name(format!("hsp_{n}"), n, n);
+    for q in 0..half {
+        c.h(q)?;
+    }
+    // Oracle: copy the input register into the output register, then fold in a
+    // hidden period by XOR-ing the first input qubit into every output qubit.
+    for q in 0..half {
+        let target = half + q;
+        if target < n {
+            c.cx(q, target)?;
+        }
+    }
+    for q in half..n {
+        c.cx(0, q)?;
+    }
+    for q in 0..half {
+        c.h(q)?;
+    }
+    c.measure_all()?;
+    Ok(c)
+}
+
+/// Repetition-code encoder over `n` qubits: the first qubit's state is fanned
+/// out onto the remaining `n - 1` qubits with a CX ladder (the 5-qubit "Rep"
+/// benchmark of the paper).
+///
+/// # Errors
+///
+/// Returns an error if `n == 0`.
+pub fn repetition_code_encoder(n: usize) -> Result<Circuit, CircuitError> {
+    if n == 0 {
+        return Err(CircuitError::InvalidParameter("repetition_code_encoder needs n >= 1".into()));
+    }
+    let mut c = Circuit::with_name(format!("rep_{n}"), n, n);
+    c.h(0)?;
+    for q in 1..n {
+        c.cx(0, q)?;
+    }
+    c.measure_all()?;
+    Ok(c)
+}
+
+/// GHZ state preparation over `n` qubits.
+///
+/// # Errors
+///
+/// Returns an error if `n == 0`.
+pub fn ghz(n: usize) -> Result<Circuit, CircuitError> {
+    if n == 0 {
+        return Err(CircuitError::InvalidParameter("ghz needs n >= 1".into()));
+    }
+    let mut c = Circuit::with_name(format!("ghz_{n}"), n, n);
+    c.h(0)?;
+    for q in 1..n {
+        c.cx(q - 1, q)?;
+    }
+    c.measure_all()?;
+    Ok(c)
+}
+
+/// Quantum Fourier transform over `n` qubits (no terminal swaps, with
+/// measurements).
+///
+/// # Errors
+///
+/// Returns an error if `n == 0`.
+pub fn qft(n: usize) -> Result<Circuit, CircuitError> {
+    if n == 0 {
+        return Err(CircuitError::InvalidParameter("qft needs n >= 1".into()));
+    }
+    let mut c = Circuit::with_name(format!("qft_{n}"), n, n);
+    for target in (0..n).rev() {
+        c.h(target)?;
+        for control in (0..target).rev() {
+            let k = target - control;
+            c.append(Gate::CP(PI / f64::from(1u32 << k)), &[control, target])?;
+        }
+    }
+    c.measure_all()?;
+    Ok(c)
+}
+
+/// A seeded random circuit with `n` qubits and approximately `depth` layers,
+/// mixing random single-qubit rotations and CX gates (the paper's "Circ"
+/// benchmark is a random 7-qubit circuit).
+///
+/// # Errors
+///
+/// Returns an error if `n == 0`.
+pub fn random_circuit(n: usize, depth: usize, seed: u64) -> Result<Circuit, CircuitError> {
+    if n == 0 {
+        return Err(CircuitError::InvalidParameter("random_circuit needs n >= 1".into()));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::with_name(format!("random_{n}x{depth}"), n, n);
+    for _ in 0..depth {
+        for q in 0..n {
+            match rng.gen_range(0..5u8) {
+                0 => c.h(q)?,
+                1 => c.rx(rng.gen_range(0.0..2.0 * PI), q)?,
+                2 => c.ry(rng.gen_range(0.0..2.0 * PI), q)?,
+                3 => c.rz(rng.gen_range(0.0..2.0 * PI), q)?,
+                _ => c.t(q)?,
+            }
+        }
+        if n >= 2 {
+            let mut qubits: Vec<usize> = (0..n).collect();
+            qubits.shuffle(&mut rng);
+            for pair in qubits.chunks(2) {
+                if pair.len() == 2 && rng.gen_bool(0.6) {
+                    c.cx(pair[0], pair[1])?;
+                }
+            }
+        }
+    }
+    c.measure_all()?;
+    Ok(c)
+}
+
+/// A seeded random circuit with exactly `num_cx` CX gates (the paper's
+/// "Circ_2": an 8-qubit random circuit with 12 CX gates).
+///
+/// # Errors
+///
+/// Returns an error if `n < 2`.
+pub fn random_circuit_with_cx_count(
+    n: usize,
+    num_cx: usize,
+    seed: u64,
+) -> Result<Circuit, CircuitError> {
+    if n < 2 {
+        return Err(CircuitError::InvalidParameter(
+            "random_circuit_with_cx_count needs n >= 2".into(),
+        ));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::with_name(format!("random_{n}_cx{num_cx}"), n, n);
+    for q in 0..n {
+        c.h(q)?;
+    }
+    for i in 0..num_cx {
+        let a = rng.gen_range(0..n);
+        let mut b = rng.gen_range(0..n);
+        while b == a {
+            b = rng.gen_range(0..n);
+        }
+        c.cx(a, b)?;
+        if i % 3 == 0 {
+            c.rz(rng.gen_range(0.0..2.0 * PI), a)?;
+        }
+    }
+    c.measure_all()?;
+    Ok(c)
+}
+
+/// A seeded random *Clifford* circuit (H/S/X/Z/CX only), useful for testing
+/// the stabilizer simulation path at large qubit counts.
+///
+/// # Errors
+///
+/// Returns an error if `n == 0`.
+pub fn random_clifford_circuit(n: usize, depth: usize, seed: u64) -> Result<Circuit, CircuitError> {
+    if n == 0 {
+        return Err(CircuitError::InvalidParameter("random_clifford_circuit needs n >= 1".into()));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::with_name(format!("clifford_{n}x{depth}"), n, n);
+    for _ in 0..depth {
+        for q in 0..n {
+            match rng.gen_range(0..4u8) {
+                0 => c.h(q)?,
+                1 => c.s(q)?,
+                2 => c.x(q)?,
+                _ => c.z(q)?,
+            }
+        }
+        if n >= 2 {
+            for _ in 0..(n / 2).max(1) {
+                let a = rng.gen_range(0..n);
+                let mut b = rng.gen_range(0..n);
+                while b == a {
+                    b = rng.gen_range(0..n);
+                }
+                c.cx(a, b)?;
+            }
+        }
+    }
+    c.measure_all()?;
+    Ok(c)
+}
+
+/// Build a *topology circuit* from a user-drawn interaction graph: a circuit
+/// over `num_qubits` qubits with one CX per requested edge (paper §3.2).
+///
+/// The resulting circuit's [`interaction_graph`](Circuit::interaction_graph)
+/// equals the deduplicated edge list, which is exactly what the topology
+/// ranking strategy feeds to the Mapomatic-style scorer.
+///
+/// # Errors
+///
+/// Returns an error if an edge references a qubit `>= num_qubits` or is a
+/// self-loop.
+pub fn topology_circuit(num_qubits: usize, edges: &[(usize, usize)]) -> Result<Circuit, CircuitError> {
+    let mut c = Circuit::with_name(format!("topology_{num_qubits}q"), num_qubits, 0);
+    for &(a, b) in edges {
+        if a == b {
+            return Err(CircuitError::DuplicateQubit { qubit: a });
+        }
+        c.cx(a, b)?;
+    }
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bv_structure() {
+        let c = bernstein_vazirani(10, 0b1011001101).unwrap();
+        assert_eq!(c.num_qubits(), 10);
+        assert!(c.is_clifford());
+        assert_eq!(c.measurement_count(), 10);
+        assert!(bernstein_vazirani(0, 0).is_err());
+    }
+
+    #[test]
+    fn bv_ancilla_has_cx_per_secret_bit() {
+        let c = bernstein_vazirani_with_ancilla(4, 0b1010).unwrap();
+        assert_eq!(c.two_qubit_gate_count(), 2);
+        assert_eq!(c.num_qubits(), 5);
+    }
+
+    #[test]
+    fn grover_small() {
+        let c = grover(3, 5).unwrap();
+        assert_eq!(c.num_qubits(), 3);
+        assert!(c.two_qubit_gate_count() >= 1 || c.count_ops().contains_key("ccx"));
+        assert!(grover(3, 8).is_err());
+        assert!(grover(0, 0).is_err());
+    }
+
+    #[test]
+    fn hsp_and_rep() {
+        let hsp = hidden_subgroup(4).unwrap();
+        assert_eq!(hsp.num_qubits(), 4);
+        assert!(hsp.two_qubit_gate_count() >= 2);
+        let rep = repetition_code_encoder(5).unwrap();
+        assert_eq!(rep.two_qubit_gate_count(), 4);
+        assert!(rep.is_clifford());
+        assert!(hidden_subgroup(1).is_err());
+        assert!(repetition_code_encoder(0).is_err());
+    }
+
+    #[test]
+    fn ghz_and_qft() {
+        let g = ghz(6).unwrap();
+        assert_eq!(g.two_qubit_gate_count(), 5);
+        let q = qft(4).unwrap();
+        assert_eq!(q.num_qubits(), 4);
+        assert!(q.two_qubit_gate_count() >= 6);
+        assert!(ghz(0).is_err());
+        assert!(qft(0).is_err());
+    }
+
+    #[test]
+    fn random_circuits_are_seeded() {
+        let a = random_circuit(7, 5, 42).unwrap();
+        let b = random_circuit(7, 5, 42).unwrap();
+        assert_eq!(a, b);
+        let c = random_circuit(7, 5, 43).unwrap();
+        assert_ne!(a, c);
+        assert!(random_circuit(0, 3, 1).is_err());
+    }
+
+    #[test]
+    fn random_cx_count_is_exact() {
+        let c = random_circuit_with_cx_count(8, 12, 7).unwrap();
+        assert_eq!(c.two_qubit_gate_count(), 12);
+        assert!(random_circuit_with_cx_count(1, 3, 0).is_err());
+    }
+
+    #[test]
+    fn random_clifford_is_clifford() {
+        let c = random_clifford_circuit(20, 10, 3).unwrap();
+        assert!(c.is_clifford());
+        assert_eq!(c.num_qubits(), 20);
+    }
+
+    #[test]
+    fn topology_circuit_matches_edges() {
+        let edges = vec![(0, 1), (1, 2), (2, 3)];
+        let c = topology_circuit(4, &edges).unwrap();
+        assert_eq!(c.interaction_graph(), edges);
+        assert!(topology_circuit(3, &[(0, 3)]).is_err());
+        assert!(topology_circuit(3, &[(1, 1)]).is_err());
+    }
+}

@@ -1,0 +1,210 @@
+//! A minimal tokenizer for OpenQASM 2.0 sources.
+
+use crate::error::CircuitError;
+
+/// A lexical token with its source line (1-based) for error reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Token {
+    pub kind: TokenKind,
+    pub line: usize,
+}
+
+/// The kinds of tokens the QASM subset uses.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum TokenKind {
+    Ident(String),
+    Number(f64),
+    StringLit(String),
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Semicolon,
+    Arrow,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+}
+
+/// Tokenize a QASM source string.
+///
+/// Comments (`// ...`) are skipped. Numbers are parsed as `f64`; the special
+/// identifier `pi` is handled by the parser, not the lexer.
+pub(crate) fn tokenize(source: &str) -> Result<Vec<Token>, CircuitError> {
+    let mut tokens = Vec::new();
+    for (line_idx, raw_line) in source.lines().enumerate() {
+        let line_no = line_idx + 1;
+        let line = match raw_line.find("//") {
+            Some(pos) => &raw_line[..pos],
+            None => raw_line,
+        };
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let c = bytes[i] as char;
+            match c {
+                ' ' | '\t' | '\r' => {
+                    i += 1;
+                }
+                '(' => {
+                    tokens.push(Token { kind: TokenKind::LParen, line: line_no });
+                    i += 1;
+                }
+                ')' => {
+                    tokens.push(Token { kind: TokenKind::RParen, line: line_no });
+                    i += 1;
+                }
+                '[' => {
+                    tokens.push(Token { kind: TokenKind::LBracket, line: line_no });
+                    i += 1;
+                }
+                ']' => {
+                    tokens.push(Token { kind: TokenKind::RBracket, line: line_no });
+                    i += 1;
+                }
+                ',' => {
+                    tokens.push(Token { kind: TokenKind::Comma, line: line_no });
+                    i += 1;
+                }
+                ';' => {
+                    tokens.push(Token { kind: TokenKind::Semicolon, line: line_no });
+                    i += 1;
+                }
+                '+' => {
+                    tokens.push(Token { kind: TokenKind::Plus, line: line_no });
+                    i += 1;
+                }
+                '*' => {
+                    tokens.push(Token { kind: TokenKind::Star, line: line_no });
+                    i += 1;
+                }
+                '/' => {
+                    tokens.push(Token { kind: TokenKind::Slash, line: line_no });
+                    i += 1;
+                }
+                '-' => {
+                    if i + 1 < bytes.len() && bytes[i + 1] as char == '>' {
+                        tokens.push(Token { kind: TokenKind::Arrow, line: line_no });
+                        i += 2;
+                    } else {
+                        tokens.push(Token { kind: TokenKind::Minus, line: line_no });
+                        i += 1;
+                    }
+                }
+                '"' => {
+                    let start = i + 1;
+                    let mut end = start;
+                    while end < bytes.len() && bytes[end] as char != '"' {
+                        end += 1;
+                    }
+                    if end >= bytes.len() {
+                        return Err(CircuitError::QasmParse {
+                            line: line_no,
+                            message: "unterminated string literal".into(),
+                        });
+                    }
+                    tokens.push(Token {
+                        kind: TokenKind::StringLit(line[start..end].to_string()),
+                        line: line_no,
+                    });
+                    i = end + 1;
+                }
+                c if c.is_ascii_digit() || c == '.' => {
+                    let start = i;
+                    let mut end = i;
+                    while end < bytes.len() {
+                        let ch = bytes[end] as char;
+                        if ch.is_ascii_digit() || ch == '.' || ch == 'e' || ch == 'E' {
+                            end += 1;
+                        } else if (ch == '+' || ch == '-')
+                            && end > start
+                            && matches!(bytes[end - 1] as char, 'e' | 'E')
+                        {
+                            end += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    let text = &line[start..end];
+                    let value: f64 = text.parse().map_err(|_| CircuitError::QasmParse {
+                        line: line_no,
+                        message: format!("invalid number '{text}'"),
+                    })?;
+                    tokens.push(Token { kind: TokenKind::Number(value), line: line_no });
+                    i = end;
+                }
+                c if c.is_ascii_alphabetic() || c == '_' => {
+                    let start = i;
+                    let mut end = i;
+                    while end < bytes.len() {
+                        let ch = bytes[end] as char;
+                        if ch.is_ascii_alphanumeric() || ch == '_' || ch == '.' {
+                            end += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    tokens.push(Token {
+                        kind: TokenKind::Ident(line[start..end].to_string()),
+                        line: line_no,
+                    });
+                    i = end;
+                }
+                other => {
+                    return Err(CircuitError::QasmParse {
+                        line: line_no,
+                        message: format!("unexpected character '{other}'"),
+                    });
+                }
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_basic_statement() {
+        let toks = tokenize("h q[0];").unwrap();
+        assert_eq!(toks.len(), 6);
+        assert_eq!(toks[0].kind, TokenKind::Ident("h".into()));
+        assert_eq!(toks[2].kind, TokenKind::LBracket);
+        assert_eq!(toks[3].kind, TokenKind::Number(0.0));
+    }
+
+    #[test]
+    fn skips_comments_and_tracks_lines() {
+        let toks = tokenize("// header\ncx q[0],q[1];").unwrap();
+        assert_eq!(toks[0].line, 2);
+    }
+
+    #[test]
+    fn arrow_and_minus() {
+        let toks = tokenize("measure q[0] -> c[0]; rz(-0.5) q[0];").unwrap();
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Arrow));
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Minus));
+    }
+
+    #[test]
+    fn scientific_notation() {
+        let toks = tokenize("rz(1.5e-3) q[0];").unwrap();
+        assert!(toks.iter().any(|t| matches!(t.kind, TokenKind::Number(x) if (x - 0.0015).abs() < 1e-12)));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(tokenize("h q[0] $;").is_err());
+        assert!(tokenize("include \"unterminated").is_err());
+    }
+
+    #[test]
+    fn string_literals() {
+        let toks = tokenize("include \"qelib1.inc\";").unwrap();
+        assert!(toks.iter().any(|t| t.kind == TokenKind::StringLit("qelib1.inc".into())));
+    }
+}

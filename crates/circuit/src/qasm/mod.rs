@@ -1,0 +1,14 @@
+//! OpenQASM 2.0 support.
+//!
+//! QRIO users submit their jobs as QASM files (paper §3.2); the master server
+//! then ships the QASM text inside the container image. This module provides a
+//! parser for the subset of OpenQASM 2.0 emitted by common toolchains (single
+//! flat `qreg`/`creg` pair, `qelib1.inc` gates, measurements and barriers) and
+//! a writer that round-trips [`Circuit`](crate::Circuit) values.
+
+mod lexer;
+mod parser;
+mod writer;
+
+pub use parser::parse_qasm;
+pub use writer::to_qasm;

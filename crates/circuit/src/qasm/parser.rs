@@ -1,0 +1,490 @@
+//! Parser for the OpenQASM 2.0 subset used by QRIO job submissions.
+
+use std::collections::BTreeMap;
+use std::f64::consts::PI;
+
+use crate::circuit::Circuit;
+use crate::error::CircuitError;
+use crate::gate::Gate;
+
+use super::lexer::{tokenize, Token, TokenKind};
+
+/// Parse an OpenQASM 2.0 source into a [`Circuit`].
+///
+/// Supported constructs: the `OPENQASM 2.0;` header, `include` statements
+/// (ignored), any number of `qreg`/`creg` declarations (flattened into one
+/// register each), the `qelib1.inc` gate names QRIO's circuits use, `measure`,
+/// `barrier` and `reset`. Parameter expressions may use `pi`, unary minus and
+/// the `+ - * /` operators.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::QasmParse`] with a line number when the source is
+/// malformed, and index errors when operands fall outside declared registers.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), qrio_circuit::CircuitError> {
+/// let qasm = r#"
+/// OPENQASM 2.0;
+/// include "qelib1.inc";
+/// qreg q[2];
+/// creg c[2];
+/// h q[0];
+/// cx q[0],q[1];
+/// measure q -> c;
+/// "#;
+/// let circuit = qrio_circuit::qasm::parse_qasm(qasm)?;
+/// assert_eq!(circuit.num_qubits(), 2);
+/// assert_eq!(circuit.two_qubit_gate_count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_qasm(source: &str) -> Result<Circuit, CircuitError> {
+    let tokens = tokenize(source)?;
+    Parser::new(tokens).parse()
+}
+
+struct Register {
+    offset: usize,
+    size: usize,
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    qregs: BTreeMap<String, Register>,
+    cregs: BTreeMap<String, Register>,
+    num_qubits: usize,
+    num_clbits: usize,
+    instructions: Vec<(Gate, Vec<usize>, Vec<usize>)>,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser {
+            tokens,
+            pos: 0,
+            qregs: BTreeMap::new(),
+            cregs: BTreeMap::new(),
+            num_qubits: 0,
+            num_clbits: 0,
+            instructions: Vec::new(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn line(&self) -> usize {
+        self.tokens.get(self.pos.min(self.tokens.len().saturating_sub(1))).map_or(0, |t| t.line)
+    }
+
+    fn err(&self, message: impl Into<String>) -> CircuitError {
+        CircuitError::QasmParse { line: self.line(), message: message.into() }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), CircuitError> {
+        match self.next() {
+            Some(t) if &t.kind == kind => Ok(()),
+            Some(t) => Err(CircuitError::QasmParse {
+                line: t.line,
+                message: format!("expected {kind:?}, found {:?}", t.kind),
+            }),
+            None => Err(self.err(format!("expected {kind:?}, found end of input"))),
+        }
+    }
+
+    fn parse(mut self) -> Result<Circuit, CircuitError> {
+        while let Some(token) = self.peek().cloned() {
+            match token.kind {
+                TokenKind::Ident(ref word) => match word.as_str() {
+                    "OPENQASM" => {
+                        self.next();
+                        // Version number.
+                        self.next();
+                        self.expect(&TokenKind::Semicolon)?;
+                    }
+                    "include" => {
+                        self.next();
+                        self.next(); // filename string
+                        self.expect(&TokenKind::Semicolon)?;
+                    }
+                    "qreg" => self.parse_reg(true)?,
+                    "creg" => self.parse_reg(false)?,
+                    "measure" => self.parse_measure()?,
+                    "barrier" => self.parse_barrier()?,
+                    "reset" => self.parse_reset()?,
+                    _ => self.parse_gate()?,
+                },
+                TokenKind::Semicolon => {
+                    self.next();
+                }
+                _ => return Err(self.err(format!("unexpected token {:?}", token.kind))),
+            }
+        }
+        let mut circuit = Circuit::new(self.num_qubits, self.num_clbits);
+        for (gate, qubits, clbits) in self.instructions {
+            if gate == Gate::Measure {
+                circuit.measure(qubits[0], clbits[0])?;
+            } else if gate == Gate::Barrier {
+                circuit.barrier(&qubits)?;
+            } else {
+                circuit.append(gate, &qubits)?;
+            }
+        }
+        Ok(circuit)
+    }
+
+    fn parse_reg(&mut self, quantum: bool) -> Result<(), CircuitError> {
+        self.next(); // qreg/creg keyword
+        let name = match self.next() {
+            Some(Token { kind: TokenKind::Ident(name), .. }) => name,
+            _ => return Err(self.err("expected register name")),
+        };
+        self.expect(&TokenKind::LBracket)?;
+        let size = match self.next() {
+            Some(Token { kind: TokenKind::Number(n), .. }) if n >= 1.0 => n as usize,
+            _ => return Err(self.err("expected register size")),
+        };
+        self.expect(&TokenKind::RBracket)?;
+        self.expect(&TokenKind::Semicolon)?;
+        if quantum {
+            self.qregs.insert(name, Register { offset: self.num_qubits, size });
+            self.num_qubits += size;
+        } else {
+            self.cregs.insert(name, Register { offset: self.num_clbits, size });
+            self.num_clbits += size;
+        }
+        Ok(())
+    }
+
+    /// Parse a register operand: either `name[idx]` (one bit) or `name`
+    /// (the whole register).
+    fn parse_operand(&mut self, quantum: bool) -> Result<Vec<usize>, CircuitError> {
+        let name = match self.next() {
+            Some(Token { kind: TokenKind::Ident(name), .. }) => name,
+            other => {
+                return Err(self.err(format!("expected register operand, found {other:?}")))
+            }
+        };
+        let reg = if quantum { self.qregs.get(&name) } else { self.cregs.get(&name) };
+        let reg = match reg {
+            Some(r) => r,
+            None => return Err(self.err(format!("unknown register '{name}'"))),
+        };
+        let (offset, size) = (reg.offset, reg.size);
+        if matches!(self.peek(), Some(Token { kind: TokenKind::LBracket, .. })) {
+            self.next();
+            let idx = match self.next() {
+                Some(Token { kind: TokenKind::Number(n), .. }) => n as usize,
+                _ => return Err(self.err("expected index")),
+            };
+            self.expect(&TokenKind::RBracket)?;
+            if idx >= size {
+                return Err(self.err(format!("index {idx} out of range for register '{name}'")));
+            }
+            Ok(vec![offset + idx])
+        } else {
+            Ok((offset..offset + size).collect())
+        }
+    }
+
+    fn parse_measure(&mut self) -> Result<(), CircuitError> {
+        self.next(); // measure
+        let qubits = self.parse_operand(true)?;
+        self.expect(&TokenKind::Arrow)?;
+        let clbits = self.parse_operand(false)?;
+        self.expect(&TokenKind::Semicolon)?;
+        if qubits.len() != clbits.len() {
+            return Err(self.err("measure operands have mismatched sizes"));
+        }
+        for (q, c) in qubits.into_iter().zip(clbits) {
+            self.instructions.push((Gate::Measure, vec![q], vec![c]));
+        }
+        Ok(())
+    }
+
+    fn parse_barrier(&mut self) -> Result<(), CircuitError> {
+        self.next(); // barrier
+        let mut qubits = Vec::new();
+        loop {
+            qubits.extend(self.parse_operand(true)?);
+            match self.next() {
+                Some(Token { kind: TokenKind::Comma, .. }) => continue,
+                Some(Token { kind: TokenKind::Semicolon, .. }) => break,
+                _ => return Err(self.err("expected ',' or ';' in barrier")),
+            }
+        }
+        self.instructions.push((Gate::Barrier, qubits, Vec::new()));
+        Ok(())
+    }
+
+    fn parse_reset(&mut self) -> Result<(), CircuitError> {
+        self.next(); // reset
+        let qubits = self.parse_operand(true)?;
+        self.expect(&TokenKind::Semicolon)?;
+        for q in qubits {
+            self.instructions.push((Gate::Reset, vec![q], Vec::new()));
+        }
+        Ok(())
+    }
+
+    fn parse_gate(&mut self) -> Result<(), CircuitError> {
+        let name = match self.next() {
+            Some(Token { kind: TokenKind::Ident(name), .. }) => name,
+            other => return Err(self.err(format!("expected gate name, found {other:?}"))),
+        };
+        let mut params = Vec::new();
+        if matches!(self.peek(), Some(Token { kind: TokenKind::LParen, .. })) {
+            self.next();
+            loop {
+                params.push(self.parse_expr()?);
+                match self.next() {
+                    Some(Token { kind: TokenKind::Comma, .. }) => continue,
+                    Some(Token { kind: TokenKind::RParen, .. }) => break,
+                    _ => return Err(self.err("expected ',' or ')' in parameter list")),
+                }
+            }
+        }
+        // Operands: comma-separated register operands, terminated by ';'.
+        let mut operands: Vec<Vec<usize>> = Vec::new();
+        loop {
+            operands.push(self.parse_operand(true)?);
+            match self.next() {
+                Some(Token { kind: TokenKind::Comma, .. }) => continue,
+                Some(Token { kind: TokenKind::Semicolon, .. }) => break,
+                _ => return Err(self.err("expected ',' or ';' after gate operands")),
+            }
+        }
+        let gate = self.resolve_gate(&name, &params)?;
+        // Broadcast whole-register operands (e.g. `h q;`).
+        let max_len = operands.iter().map(Vec::len).max().unwrap_or(0);
+        for i in 0..max_len {
+            let qubits: Vec<usize> = operands
+                .iter()
+                .map(|op| if op.len() == 1 { op[0] } else { op[i.min(op.len() - 1)] })
+                .collect();
+            self.instructions.push((gate, qubits, Vec::new()));
+        }
+        Ok(())
+    }
+
+    fn resolve_gate(&self, name: &str, params: &[f64]) -> Result<Gate, CircuitError> {
+        let need = |n: usize| -> Result<(), CircuitError> {
+            if params.len() != n {
+                Err(CircuitError::QasmParse {
+                    line: self.line(),
+                    message: format!("gate '{name}' expects {n} parameters, got {}", params.len()),
+                })
+            } else {
+                Ok(())
+            }
+        };
+        let gate = match name {
+            "id" | "i" => Gate::I,
+            "x" => Gate::X,
+            "y" => Gate::Y,
+            "z" => Gate::Z,
+            "h" => Gate::H,
+            "s" => Gate::S,
+            "sdg" => Gate::Sdg,
+            "t" => Gate::T,
+            "tdg" => Gate::Tdg,
+            "sx" => Gate::SX,
+            "rx" => {
+                need(1)?;
+                Gate::RX(params[0])
+            }
+            "ry" => {
+                need(1)?;
+                Gate::RY(params[0])
+            }
+            "rz" => {
+                need(1)?;
+                Gate::RZ(params[0])
+            }
+            "u1" | "p" | "phase" => {
+                need(1)?;
+                Gate::U1(params[0])
+            }
+            "u2" => {
+                need(2)?;
+                Gate::U2(params[0], params[1])
+            }
+            "u3" | "u" => {
+                need(3)?;
+                Gate::U3(params[0], params[1], params[2])
+            }
+            "cx" | "CX" | "cnot" => Gate::CX,
+            "cz" => Gate::CZ,
+            "cy" => Gate::CY,
+            "swap" => Gate::Swap,
+            "cp" | "cu1" => {
+                need(1)?;
+                Gate::CP(params[0])
+            }
+            "crz" => {
+                need(1)?;
+                Gate::CRZ(params[0])
+            }
+            "ccx" | "toffoli" => Gate::CCX,
+            other => {
+                return Err(CircuitError::QasmParse {
+                    line: self.line(),
+                    message: format!("unsupported gate '{other}'"),
+                })
+            }
+        };
+        Ok(gate)
+    }
+
+    // Expression grammar: expr := term (('+'|'-') term)*
+    //                     term := factor (('*'|'/') factor)*
+    //                     factor := ['-'] (number | 'pi' | '(' expr ')')
+    fn parse_expr(&mut self) -> Result<f64, CircuitError> {
+        let mut value = self.parse_term()?;
+        loop {
+            match self.peek().map(|t| t.kind.clone()) {
+                Some(TokenKind::Plus) => {
+                    self.next();
+                    value += self.parse_term()?;
+                }
+                Some(TokenKind::Minus) => {
+                    self.next();
+                    value -= self.parse_term()?;
+                }
+                _ => break,
+            }
+        }
+        Ok(value)
+    }
+
+    fn parse_term(&mut self) -> Result<f64, CircuitError> {
+        let mut value = self.parse_factor()?;
+        loop {
+            match self.peek().map(|t| t.kind.clone()) {
+                Some(TokenKind::Star) => {
+                    self.next();
+                    value *= self.parse_factor()?;
+                }
+                Some(TokenKind::Slash) => {
+                    self.next();
+                    let divisor = self.parse_factor()?;
+                    if divisor == 0.0 {
+                        return Err(self.err("division by zero in parameter expression"));
+                    }
+                    value /= divisor;
+                }
+                _ => break,
+            }
+        }
+        Ok(value)
+    }
+
+    fn parse_factor(&mut self) -> Result<f64, CircuitError> {
+        match self.next() {
+            Some(Token { kind: TokenKind::Minus, .. }) => Ok(-self.parse_factor()?),
+            Some(Token { kind: TokenKind::Number(n), .. }) => Ok(n),
+            Some(Token { kind: TokenKind::Ident(ref word), .. }) if word == "pi" => Ok(PI),
+            Some(Token { kind: TokenKind::LParen, .. }) => {
+                let value = self.parse_expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(value)
+            }
+            other => Err(self.err(format!("unexpected token in expression: {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BELL: &str = r#"
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+h q[0];
+cx q[0],q[1];
+measure q -> c;
+"#;
+
+    #[test]
+    fn parses_bell() {
+        let c = parse_qasm(BELL).unwrap();
+        assert_eq!(c.num_qubits(), 2);
+        assert_eq!(c.num_clbits(), 2);
+        assert_eq!(c.two_qubit_gate_count(), 1);
+        assert_eq!(c.measurement_count(), 2);
+    }
+
+    #[test]
+    fn parses_parameter_expressions() {
+        let src = "qreg q[1]; rz(pi/2) q[0]; u3(pi, -pi/4, 2*pi) q[0]; u1(0.5 + 0.25) q[0];";
+        let c = parse_qasm(src).unwrap();
+        match c.instructions()[0].gate {
+            Gate::RZ(theta) => assert!((theta - PI / 2.0).abs() < 1e-12),
+            ref g => panic!("unexpected gate {g:?}"),
+        }
+        match c.instructions()[2].gate {
+            Gate::U1(l) => assert!((l - 0.75).abs() < 1e-12),
+            ref g => panic!("unexpected gate {g:?}"),
+        }
+    }
+
+    #[test]
+    fn broadcasts_whole_register() {
+        let src = "qreg q[3]; h q;";
+        let c = parse_qasm(src).unwrap();
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn barrier_and_reset() {
+        let src = "qreg q[2]; barrier q[0], q[1]; reset q[0];";
+        let c = parse_qasm(src).unwrap();
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn rejects_unknown_gate() {
+        assert!(parse_qasm("qreg q[1]; frobnicate q[0];").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_index() {
+        assert!(parse_qasm("qreg q[2]; h q[5];").is_err());
+        assert!(parse_qasm("qreg q[2]; creg c[1]; measure q -> c;").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_register() {
+        assert!(parse_qasm("qreg q[2]; h r[0];").is_err());
+    }
+
+    #[test]
+    fn multiple_registers_are_flattened() {
+        let src = "qreg a[2]; qreg b[2]; cx a[1], b[0];";
+        let c = parse_qasm(src).unwrap();
+        assert_eq!(c.num_qubits(), 4);
+        assert_eq!(c.instructions()[0].qubits, vec![1, 2]);
+    }
+
+    #[test]
+    fn parameter_arity_checked() {
+        assert!(parse_qasm("qreg q[1]; rz() q[0];").is_err());
+        assert!(parse_qasm("qreg q[1]; u3(1.0) q[0];").is_err());
+    }
+}

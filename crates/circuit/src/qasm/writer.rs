@@ -1,0 +1,115 @@
+//! OpenQASM 2.0 emission for [`Circuit`] values.
+
+use std::fmt::Write as _;
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+
+/// Serialize a circuit as an OpenQASM 2.0 program with a single `q` quantum
+/// register and a single `c` classical register.
+///
+/// The output can be parsed back with [`parse_qasm`](super::parse_qasm); the
+/// round trip preserves the instruction sequence.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), qrio_circuit::CircuitError> {
+/// let mut c = qrio_circuit::Circuit::new(1, 1);
+/// c.h(0)?;
+/// c.measure(0, 0)?;
+/// let qasm = qrio_circuit::qasm::to_qasm(&c);
+/// assert!(qasm.contains("h q[0];"));
+/// let back = qrio_circuit::qasm::parse_qasm(&qasm)?;
+/// assert_eq!(back.len(), c.len());
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_qasm(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\n");
+    out.push_str("include \"qelib1.inc\";\n");
+    let _ = writeln!(out, "qreg q[{}];", circuit.num_qubits().max(1));
+    if circuit.num_clbits() > 0 {
+        let _ = writeln!(out, "creg c[{}];", circuit.num_clbits());
+    }
+    for inst in circuit.instructions() {
+        match inst.gate {
+            Gate::Measure => {
+                let _ = writeln!(out, "measure q[{}] -> c[{}];", inst.qubits[0], inst.clbits[0]);
+            }
+            Gate::Barrier => {
+                let operands: Vec<String> =
+                    inst.qubits.iter().map(|q| format!("q[{q}]")).collect();
+                let _ = writeln!(out, "barrier {};", operands.join(","));
+            }
+            Gate::Reset => {
+                let _ = writeln!(out, "reset q[{}];", inst.qubits[0]);
+            }
+            gate => {
+                let params = gate.params();
+                let operands: Vec<String> =
+                    inst.qubits.iter().map(|q| format!("q[{q}]")).collect();
+                if params.is_empty() {
+                    let _ = writeln!(out, "{} {};", gate.name(), operands.join(","));
+                } else {
+                    let params: Vec<String> = params.iter().map(|p| format!("{p:.12}")).collect();
+                    let _ = writeln!(
+                        out,
+                        "{}({}) {};",
+                        gate.name(),
+                        params.join(","),
+                        operands.join(",")
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::parse_qasm;
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_instructions() {
+        let mut c = Circuit::new(3, 3);
+        c.h(0).unwrap();
+        c.t(1).unwrap();
+        c.rz(0.37, 2).unwrap();
+        c.cx(0, 1).unwrap();
+        c.ccx(0, 1, 2).unwrap();
+        c.barrier(&[]).unwrap();
+        c.measure_all().unwrap();
+        let qasm = to_qasm(&c);
+        let back = parse_qasm(&qasm).unwrap();
+        assert_eq!(back.len(), c.len());
+        assert_eq!(back.num_qubits(), 3);
+        assert_eq!(back.count_ops(), c.count_ops());
+    }
+
+    #[test]
+    fn header_is_present() {
+        let qasm = to_qasm(&Circuit::new(2, 0));
+        assert!(qasm.starts_with("OPENQASM 2.0;"));
+        assert!(qasm.contains("qreg q[2];"));
+        assert!(!qasm.contains("creg"));
+    }
+
+    #[test]
+    fn parameters_survive_roundtrip() {
+        let mut c = Circuit::new(1, 0);
+        c.u3(0.123456, -0.5, 3.0, 0).unwrap();
+        let back = parse_qasm(&to_qasm(&c)).unwrap();
+        match back.instructions()[0].gate {
+            Gate::U3(t, p, l) => {
+                assert!((t - 0.123456).abs() < 1e-9);
+                assert!((p + 0.5).abs() < 1e-9);
+                assert!((l - 3.0).abs() < 1e-9);
+            }
+            ref g => panic!("unexpected gate {g:?}"),
+        }
+    }
+}

@@ -1,0 +1,592 @@
+//! The cluster control plane: node registry, job store, image registry,
+//! scheduling cycle, job execution and the event log.
+//!
+//! This is the Kubernetes-shaped substrate QRIO is built on (§3.1): nodes are
+//! quantum devices labelled with their properties, jobs are containerized
+//! quantum circuits, the scheduler runs a filter → score → bind cycle, and a
+//! kubelet-style executor runs bound jobs against the node's backend.
+
+use std::collections::BTreeMap;
+
+use qrio_backend::Backend;
+
+use crate::error::ClusterError;
+use crate::framework::{FilterPlugin, ScorePlugin};
+use crate::job::{Job, JobPhase, JobSpec};
+use crate::node::{Node, NodeStatus};
+use crate::registry::{ImageBundle, ImageRegistry};
+
+/// One entry in the cluster's event log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterEvent {
+    /// Event kind, e.g. `NodeAdded`, `JobScheduled`, `FilterRejected`.
+    pub kind: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// The outcome of running a job on a node, produced by a [`JobRunner`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionOutcome {
+    /// Histogram of measurement outcomes (`bitstring -> count`).
+    pub counts: Vec<(String, u64)>,
+    /// Fidelity against the noise-free reference, when the runner computes it.
+    pub fidelity: Option<f64>,
+    /// Runner log lines (transpilation summary, shot counts, ...).
+    pub logs: Vec<String>,
+}
+
+/// Executes a job's payload on a node's quantum device — the role of the
+/// generated runner script inside the job container (§3.3). Implemented by the
+/// QRIO orchestrator crate; the cluster substrate stays agnostic of *how*
+/// circuits are simulated.
+pub trait JobRunner {
+    /// Run `spec` (whose files are in `image`) on `backend`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason when execution fails.
+    fn run(&self, spec: &JobSpec, image: &ImageBundle, backend: &Backend) -> Result<ExecutionOutcome, String>;
+}
+
+/// The decision produced by one scheduling cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleDecision {
+    /// Job that was scheduled.
+    pub job: String,
+    /// Node chosen for the job.
+    pub node: String,
+    /// Winning score (lower is better).
+    pub score: f64,
+    /// All scored candidates `(node, score)`, sorted best-first.
+    pub candidates: Vec<(String, f64)>,
+    /// Nodes rejected during filtering, with the rejecting plugin and reason.
+    pub filtered_out: Vec<(String, String)>,
+}
+
+/// The QRIO cluster: nodes, jobs, images and events.
+#[derive(Default)]
+pub struct Cluster {
+    nodes: BTreeMap<String, Node>,
+    jobs: BTreeMap<String, Job>,
+    registry: ImageRegistry,
+    events: Vec<ClusterEvent>,
+    /// Pending job names in submission order (FIFO queue).
+    queue: Vec<String>,
+}
+
+impl Cluster {
+    /// An empty cluster.
+    pub fn new() -> Self {
+        Cluster::default()
+    }
+
+    fn record(&mut self, kind: &str, message: impl Into<String>) {
+        self.events.push(ClusterEvent { kind: kind.to_string(), message: message.into() });
+    }
+
+    // --- Nodes ---------------------------------------------------------------------------
+
+    /// Register a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a node with the same name already exists.
+    pub fn add_node(&mut self, node: Node) -> Result<(), ClusterError> {
+        if self.nodes.contains_key(node.name()) {
+            return Err(ClusterError::DuplicateNode(node.name().to_string()));
+        }
+        self.record("NodeAdded", format!("node '{}' joined the cluster", node.name()));
+        self.nodes.insert(node.name().to_string(), node);
+        Ok(())
+    }
+
+    /// Remove a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the node does not exist.
+    pub fn remove_node(&mut self, name: &str) -> Result<Node, ClusterError> {
+        let node = self.nodes.remove(name).ok_or_else(|| ClusterError::UnknownNode(name.to_string()))?;
+        self.record("NodeRemoved", format!("node '{name}' left the cluster"));
+        Ok(node)
+    }
+
+    /// Look up a node by name.
+    pub fn node(&self, name: &str) -> Option<&Node> {
+        self.nodes.get(name)
+    }
+
+    /// Mutable access to a node (vendor operations: cordon, restart, labels).
+    pub fn node_mut(&mut self, name: &str) -> Option<&mut Node> {
+        self.nodes.get_mut(name)
+    }
+
+    /// All nodes, in name order.
+    pub fn nodes(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.values()
+    }
+
+    /// Number of registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Nodes currently able to accept work.
+    pub fn ready_nodes(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.values().filter(|n| n.status() == NodeStatus::Ready)
+    }
+
+    /// Restart every node that is `NotReady` — the self-healing loop QRIO gets
+    /// from Kubernetes. Returns the names of restarted nodes.
+    pub fn heal_nodes(&mut self) -> Vec<String> {
+        let mut healed = Vec::new();
+        for node in self.nodes.values_mut() {
+            if node.status() == NodeStatus::NotReady {
+                node.restart();
+                healed.push(node.name().to_string());
+            }
+        }
+        for name in &healed {
+            self.record("NodeRestarted", format!("node '{name}' was restarted"));
+        }
+        healed
+    }
+
+    // --- Images --------------------------------------------------------------------------
+
+    /// The image registry (read-only).
+    pub fn registry(&self) -> &ImageRegistry {
+        &self.registry
+    }
+
+    /// Push an image to the cluster's registry.
+    pub fn push_image(&mut self, image: ImageBundle) {
+        self.record("ImagePushed", format!("image '{}' pushed", image.name()));
+        self.registry.push(image);
+    }
+
+    // --- Jobs ----------------------------------------------------------------------------
+
+    /// Submit a job for scheduling. The job is queued in FIFO order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a job with the same name already exists.
+    pub fn submit_job(&mut self, spec: JobSpec) -> Result<(), ClusterError> {
+        if self.jobs.contains_key(&spec.name) {
+            return Err(ClusterError::DuplicateJob(spec.name.clone()));
+        }
+        self.record("JobSubmitted", format!("job '{}' submitted", spec.name));
+        self.queue.push(spec.name.clone());
+        self.jobs.insert(spec.name.clone(), Job::new(spec));
+        Ok(())
+    }
+
+    /// Look up a job by name.
+    pub fn job(&self, name: &str) -> Option<&Job> {
+        self.jobs.get(name)
+    }
+
+    /// All jobs, in name order.
+    pub fn jobs(&self) -> impl Iterator<Item = &Job> {
+        self.jobs.values()
+    }
+
+    /// Names of jobs still waiting to be scheduled, in submission order.
+    pub fn pending_jobs(&self) -> Vec<String> {
+        self.queue
+            .iter()
+            .filter(|name| {
+                self.jobs.get(*name).map(|j| matches!(j.phase(), JobPhase::Pending)).unwrap_or(false)
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// Logs of a job (what the visualizer's "check logs" button returns).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the job does not exist.
+    pub fn job_logs(&self, name: &str) -> Result<&[String], ClusterError> {
+        self.jobs
+            .get(name)
+            .map(|j| j.logs())
+            .ok_or_else(|| ClusterError::UnknownJob(name.to_string()))
+    }
+
+    /// The event log, in chronological order.
+    pub fn events(&self) -> &[ClusterEvent] {
+        &self.events
+    }
+
+    // --- Scheduling ----------------------------------------------------------------------
+
+    /// Run one scheduling cycle for `job_name`: filter nodes, score the
+    /// survivors with `scorer`, and bind the job to the lowest-scoring node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::Unschedulable`] when no node passes filtering
+    /// or scoring, and [`ClusterError::UnknownJob`] for unknown jobs. In the
+    /// unschedulable case the job is marked `Failed`.
+    pub fn schedule_job(
+        &mut self,
+        job_name: &str,
+        filters: &[Box<dyn FilterPlugin>],
+        scorer: &dyn ScorePlugin,
+    ) -> Result<ScheduleDecision, ClusterError> {
+        let spec = self
+            .jobs
+            .get(job_name)
+            .map(|j| j.spec().clone())
+            .ok_or_else(|| ClusterError::UnknownJob(job_name.to_string()))?;
+
+        // Filtering stage.
+        let mut feasible: Vec<String> = Vec::new();
+        let mut filtered_out: Vec<(String, String)> = Vec::new();
+        for node in self.nodes.values() {
+            if node.status() != NodeStatus::Ready {
+                filtered_out.push((node.name().to_string(), "node not ready".to_string()));
+                continue;
+            }
+            let mut rejected = None;
+            for filter in filters {
+                if let Err(reason) = filter.filter(&spec, node) {
+                    rejected = Some(format!("{}: {reason}", filter.name()));
+                    break;
+                }
+            }
+            match rejected {
+                Some(reason) => filtered_out.push((node.name().to_string(), reason)),
+                None => feasible.push(node.name().to_string()),
+            }
+        }
+        for (node, reason) in &filtered_out {
+            self.record("FilterRejected", format!("job '{job_name}': node '{node}' rejected ({reason})"));
+        }
+        if feasible.is_empty() {
+            let reason = "no node passed the filtering stage".to_string();
+            if let Some(job) = self.jobs.get_mut(job_name) {
+                job.set_phase(JobPhase::Failed { reason: reason.clone() });
+            }
+            return Err(ClusterError::Unschedulable { job: job_name.to_string(), reason });
+        }
+
+        // Scoring stage.
+        let mut candidates: Vec<(String, f64)> = Vec::new();
+        for name in &feasible {
+            let node = &self.nodes[name];
+            match scorer.score(&spec, node) {
+                Ok(score) => candidates.push((name.clone(), score)),
+                Err(reason) => {
+                    self.record(
+                        "ScoreFailed",
+                        format!("job '{job_name}': node '{name}' could not be scored ({reason})"),
+                    );
+                }
+            }
+        }
+        if candidates.is_empty() {
+            let reason = format!("no feasible node could be scored by plugin '{}'", scorer.name());
+            if let Some(job) = self.jobs.get_mut(job_name) {
+                job.set_phase(JobPhase::Failed { reason: reason.clone() });
+            }
+            return Err(ClusterError::Unschedulable { job: job_name.to_string(), reason });
+        }
+        candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        let (winner, score) = candidates[0].clone();
+
+        // Binding stage.
+        let node = self.nodes.get_mut(&winner).expect("winner exists");
+        if !node.allocate(&spec.resources) {
+            return Err(ClusterError::BindingRejected {
+                job: job_name.to_string(),
+                node: winner,
+                reason: "resources were claimed by another job during scoring".into(),
+            });
+        }
+        let job = self.jobs.get_mut(job_name).expect("job exists");
+        job.set_phase(JobPhase::Scheduled { node: winner.clone() });
+        job.log(format!("scheduled on '{winner}' with score {score:.4} by plugin '{}'", scorer.name()));
+        self.record("JobScheduled", format!("job '{job_name}' bound to node '{winner}' (score {score:.4})"));
+        Ok(ScheduleDecision { job: job_name.to_string(), node: winner, score, candidates, filtered_out })
+    }
+
+    /// Execute a previously-scheduled job on its bound node using `runner`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the job is not in the `Scheduled` phase, the image
+    /// is missing, or the runner fails; in the latter cases the job is marked
+    /// `Failed` and the node's resources are released.
+    pub fn run_job(&mut self, job_name: &str, runner: &dyn JobRunner) -> Result<(), ClusterError> {
+        let (spec, node_name) = {
+            let job = self
+                .jobs
+                .get(job_name)
+                .ok_or_else(|| ClusterError::UnknownJob(job_name.to_string()))?;
+            let node = match job.phase() {
+                JobPhase::Scheduled { node } => node.clone(),
+                other => {
+                    return Err(ClusterError::ExecutionFailed {
+                        job: job_name.to_string(),
+                        reason: format!("job is not in the Scheduled phase (currently {other:?})"),
+                    })
+                }
+            };
+            (job.spec().clone(), node)
+        };
+        let image = self.registry.pull(&spec.image)?;
+        let backend = self
+            .nodes
+            .get(&node_name)
+            .ok_or_else(|| ClusterError::UnknownNode(node_name.clone()))?
+            .backend()
+            .clone();
+
+        if let Some(job) = self.jobs.get_mut(job_name) {
+            job.set_phase(JobPhase::Running { node: node_name.clone() });
+        }
+        self.record("JobStarted", format!("job '{job_name}' running on '{node_name}'"));
+
+        let outcome = runner.run(&spec, &image, &backend);
+        // Release classical resources regardless of the outcome.
+        if let Some(node) = self.nodes.get_mut(&node_name) {
+            node.release(&spec.resources);
+        }
+        match outcome {
+            Ok(result) => {
+                let job = self.jobs.get_mut(job_name).expect("job exists");
+                for line in &result.logs {
+                    job.log(line.clone());
+                }
+                job.set_result(result.counts, result.fidelity);
+                job.set_phase(JobPhase::Succeeded { node: node_name.clone() });
+                self.record("JobSucceeded", format!("job '{job_name}' finished on '{node_name}'"));
+                Ok(())
+            }
+            Err(reason) => {
+                let job = self.jobs.get_mut(job_name).expect("job exists");
+                job.set_phase(JobPhase::Failed { reason: reason.clone() });
+                self.record("JobFailed", format!("job '{job_name}' failed on '{node_name}': {reason}"));
+                Err(ClusterError::ExecutionFailed { job: job_name.to_string(), reason })
+            }
+        }
+    }
+
+    /// Schedule and run every pending job in FIFO order (the multi-job mode
+    /// the paper lists as future work, §5). Jobs that cannot be scheduled are
+    /// marked failed and skipped. Returns the decisions for jobs that were
+    /// scheduled.
+    pub fn process_queue(
+        &mut self,
+        filters: &[Box<dyn FilterPlugin>],
+        scorer: &dyn ScorePlugin,
+        runner: &dyn JobRunner,
+    ) -> Vec<ScheduleDecision> {
+        let pending = self.pending_jobs();
+        let mut decisions = Vec::new();
+        for job_name in pending {
+            match self.schedule_job(&job_name, filters, scorer) {
+                Ok(decision) => {
+                    let _ = self.run_job(&job_name, runner);
+                    decisions.push(decision);
+                }
+                Err(_) => continue,
+            }
+        }
+        decisions
+    }
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("nodes", &self.nodes.len())
+            .field("jobs", &self.jobs.len())
+            .field("events", &self.events.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::{default_filters, AverageErrorScore};
+    use crate::job::{DeviceRequirements, SelectionStrategy};
+    use crate::resources::Resources;
+    use qrio_backend::topology;
+
+    struct EchoRunner;
+
+    impl JobRunner for EchoRunner {
+        fn run(&self, spec: &JobSpec, image: &ImageBundle, backend: &Backend) -> Result<ExecutionOutcome, String> {
+            Ok(ExecutionOutcome {
+                counts: vec![("0".repeat(spec.num_qubits), spec.shots)],
+                fidelity: Some(1.0),
+                logs: vec![format!("ran {} from {} on {}", spec.name, image.name(), backend.name())],
+            })
+        }
+    }
+
+    struct FailingRunner;
+
+    impl JobRunner for FailingRunner {
+        fn run(&self, _: &JobSpec, _: &ImageBundle, _: &Backend) -> Result<ExecutionOutcome, String> {
+            Err("simulated runner crash".into())
+        }
+    }
+
+    fn make_node(name: &str, qubits: usize, err: f64) -> Node {
+        Node::from_backend(
+            Backend::uniform(name, topology::line(qubits), 0.01, err),
+            Resources::new(4000, 8192),
+        )
+    }
+
+    fn make_spec(name: &str, qubits: usize) -> JobSpec {
+        JobSpec {
+            name: name.into(),
+            image: format!("qrio/{name}:latest"),
+            qasm: "OPENQASM 2.0;".into(),
+            num_qubits: qubits,
+            resources: Resources::new(1000, 1024),
+            requirements: DeviceRequirements::none(),
+            strategy: SelectionStrategy::Fidelity(0.9),
+            shots: 64,
+        }
+    }
+
+    fn cluster_with_nodes() -> Cluster {
+        let mut cluster = Cluster::new();
+        cluster.add_node(make_node("noisy", 8, 0.3)).unwrap();
+        cluster.add_node(make_node("quiet", 8, 0.02)).unwrap();
+        cluster.add_node(make_node("tiny", 2, 0.01)).unwrap();
+        cluster
+    }
+
+    fn push_image_for(cluster: &mut Cluster, spec: &JobSpec) {
+        let mut image = ImageBundle::new(spec.image.clone());
+        image.add_file("circuit.qasm", spec.qasm.clone());
+        cluster.push_image(image);
+    }
+
+    #[test]
+    fn node_management() {
+        let mut cluster = cluster_with_nodes();
+        assert_eq!(cluster.node_count(), 3);
+        assert!(cluster.add_node(make_node("quiet", 3, 0.1)).is_err());
+        assert!(cluster.node("quiet").is_some());
+        cluster.remove_node("tiny").unwrap();
+        assert!(cluster.remove_node("tiny").is_err());
+        assert_eq!(cluster.node_count(), 2);
+        assert!(cluster.events().iter().any(|e| e.kind == "NodeAdded"));
+    }
+
+    #[test]
+    fn schedule_prefers_lowest_score_and_filters_small_devices() {
+        let mut cluster = cluster_with_nodes();
+        let spec = make_spec("job-a", 5);
+        push_image_for(&mut cluster, &spec);
+        cluster.submit_job(spec).unwrap();
+        let decision = cluster
+            .schedule_job("job-a", &default_filters(), &AverageErrorScore)
+            .unwrap();
+        assert_eq!(decision.node, "quiet");
+        assert!(decision.filtered_out.iter().any(|(node, _)| node == "tiny"));
+        assert_eq!(cluster.job("job-a").unwrap().phase().node(), Some("quiet"));
+        // Resources were reserved on the chosen node.
+        assert_eq!(cluster.node("quiet").unwrap().allocated(), Resources::new(1000, 1024));
+    }
+
+    #[test]
+    fn unschedulable_job_is_marked_failed() {
+        let mut cluster = cluster_with_nodes();
+        let spec = make_spec("huge", 50);
+        cluster.submit_job(spec).unwrap();
+        let err = cluster.schedule_job("huge", &default_filters(), &AverageErrorScore);
+        assert!(matches!(err, Err(ClusterError::Unschedulable { .. })));
+        assert!(cluster.job("huge").unwrap().phase().is_terminal());
+    }
+
+    #[test]
+    fn run_job_executes_and_records_results() {
+        let mut cluster = cluster_with_nodes();
+        let spec = make_spec("job-run", 4);
+        push_image_for(&mut cluster, &spec);
+        cluster.submit_job(spec).unwrap();
+        cluster.schedule_job("job-run", &default_filters(), &AverageErrorScore).unwrap();
+        cluster.run_job("job-run", &EchoRunner).unwrap();
+        let job = cluster.job("job-run").unwrap();
+        assert!(matches!(job.phase(), JobPhase::Succeeded { .. }));
+        assert_eq!(job.result_counts()[0].1, 64);
+        assert!(job.logs().iter().any(|l| l.contains("ran job-run")));
+        // Resources released after completion.
+        assert_eq!(cluster.node("quiet").unwrap().allocated(), Resources::default());
+    }
+
+    #[test]
+    fn failing_runner_marks_job_failed_and_releases_resources() {
+        let mut cluster = cluster_with_nodes();
+        let spec = make_spec("job-fail", 4);
+        push_image_for(&mut cluster, &spec);
+        cluster.submit_job(spec).unwrap();
+        cluster.schedule_job("job-fail", &default_filters(), &AverageErrorScore).unwrap();
+        assert!(cluster.run_job("job-fail", &FailingRunner).is_err());
+        assert!(matches!(cluster.job("job-fail").unwrap().phase(), JobPhase::Failed { .. }));
+        assert_eq!(cluster.node("quiet").unwrap().allocated(), Resources::default());
+    }
+
+    #[test]
+    fn run_requires_scheduling_and_image() {
+        let mut cluster = cluster_with_nodes();
+        let spec = make_spec("job-x", 4);
+        cluster.submit_job(spec).unwrap();
+        // Not scheduled yet.
+        assert!(cluster.run_job("job-x", &EchoRunner).is_err());
+        cluster.schedule_job("job-x", &default_filters(), &AverageErrorScore).unwrap();
+        // Image was never pushed.
+        assert!(matches!(cluster.run_job("job-x", &EchoRunner), Err(ClusterError::ImageNotFound(_))));
+        assert!(cluster.run_job("unknown", &EchoRunner).is_err());
+    }
+
+    #[test]
+    fn queue_processes_jobs_in_fifo_order() {
+        let mut cluster = cluster_with_nodes();
+        for name in ["q-1", "q-2", "q-3"] {
+            let spec = make_spec(name, 4);
+            push_image_for(&mut cluster, &spec);
+            cluster.submit_job(spec).unwrap();
+        }
+        assert_eq!(cluster.pending_jobs(), vec!["q-1", "q-2", "q-3"]);
+        let decisions = cluster.process_queue(&default_filters(), &AverageErrorScore, &EchoRunner);
+        assert_eq!(decisions.len(), 3);
+        assert!(cluster.pending_jobs().is_empty());
+        for name in ["q-1", "q-2", "q-3"] {
+            assert!(matches!(cluster.job(name).unwrap().phase(), JobPhase::Succeeded { .. }));
+        }
+    }
+
+    #[test]
+    fn self_healing_restarts_failed_nodes() {
+        let mut cluster = cluster_with_nodes();
+        cluster.node_mut("noisy").unwrap().mark_not_ready();
+        assert_eq!(cluster.ready_nodes().count(), 2);
+        let healed = cluster.heal_nodes();
+        assert_eq!(healed, vec!["noisy"]);
+        assert_eq!(cluster.ready_nodes().count(), 3);
+        assert_eq!(cluster.node("noisy").unwrap().restart_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_jobs_rejected_and_logs_accessible() {
+        let mut cluster = cluster_with_nodes();
+        let spec = make_spec("dup", 3);
+        cluster.submit_job(spec.clone()).unwrap();
+        assert!(cluster.submit_job(spec).is_err());
+        assert!(cluster.job_logs("dup").unwrap().is_empty());
+        assert!(cluster.job_logs("missing").is_err());
+    }
+}

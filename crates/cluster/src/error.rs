@@ -1,0 +1,89 @@
+//! Error types for the cluster substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the cluster control plane, registry and executor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// A node with the given name already exists.
+    DuplicateNode(String),
+    /// No node with the given name exists.
+    UnknownNode(String),
+    /// A job with the given name already exists.
+    DuplicateJob(String),
+    /// No job with the given name exists.
+    UnknownJob(String),
+    /// No image with the given name exists in the registry.
+    ImageNotFound(String),
+    /// The job cannot be bound to the requested node.
+    BindingRejected {
+        /// Job name.
+        job: String,
+        /// Node name.
+        node: String,
+        /// Why the binding was rejected.
+        reason: String,
+    },
+    /// No node passed the scheduling filters.
+    Unschedulable {
+        /// Job name.
+        job: String,
+        /// Why the job could not be scheduled.
+        reason: String,
+    },
+    /// A job spec document could not be parsed.
+    SpecParse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the failure.
+        message: String,
+    },
+    /// The node executor failed to run a job.
+    ExecutionFailed {
+        /// Job name.
+        job: String,
+        /// Failure description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::DuplicateNode(name) => write!(f, "node '{name}' already exists"),
+            ClusterError::UnknownNode(name) => write!(f, "unknown node '{name}'"),
+            ClusterError::DuplicateJob(name) => write!(f, "job '{name}' already exists"),
+            ClusterError::UnknownJob(name) => write!(f, "unknown job '{name}'"),
+            ClusterError::ImageNotFound(name) => write!(f, "image '{name}' not found in registry"),
+            ClusterError::BindingRejected { job, node, reason } => {
+                write!(f, "cannot bind job '{job}' to node '{node}': {reason}")
+            }
+            ClusterError::Unschedulable { job, reason } => {
+                write!(f, "job '{job}' is unschedulable: {reason}")
+            }
+            ClusterError::SpecParse { line, message } => {
+                write!(f, "job spec parse error at line {line}: {message}")
+            }
+            ClusterError::ExecutionFailed { job, reason } => {
+                write!(f, "execution of job '{job}' failed: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for ClusterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(ClusterError::UnknownNode("n1".into()).to_string().contains("n1"));
+        let e = ClusterError::BindingRejected { job: "j".into(), node: "n".into(), reason: "full".into() };
+        assert!(e.to_string().contains("full"));
+        fn assert_err<E: std::error::Error + Send + Sync>() {}
+        assert_err::<ClusterError>();
+    }
+}

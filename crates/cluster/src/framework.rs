@@ -1,0 +1,198 @@
+//! The scheduling framework: filter and score plugin traits plus the built-in
+//! plugins, mirroring the Kubernetes scheduler-framework structure the paper
+//! builds its custom ranking plugin on (§3.5).
+
+use crate::job::JobSpec;
+use crate::node::Node;
+
+/// A filter plugin decides whether a node is *feasible* for a job.
+///
+/// Returning `Err(reason)` removes the node from consideration — the
+/// "Filtering" stage of §3.5.
+pub trait FilterPlugin {
+    /// Plugin name used in events and error messages.
+    fn name(&self) -> &str;
+
+    /// Check whether `node` can host `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason when the node is rejected.
+    fn filter(&self, spec: &JobSpec, node: &Node) -> Result<(), String>;
+}
+
+/// A score plugin ranks feasible nodes; the node with the **lowest** score
+/// wins, matching the paper's convention ("it is always better to get a lower
+/// score", §4.2).
+pub trait ScorePlugin {
+    /// Plugin name used in events and error messages.
+    fn name(&self) -> &str;
+
+    /// Score `node` for `spec` (lower is better).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason when the node cannot be scored; such
+    /// nodes are skipped.
+    fn score(&self, spec: &JobSpec, node: &Node) -> Result<f64, String>;
+}
+
+/// Built-in filter: the node must have enough free CPU and memory.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ResourceFitFilter;
+
+impl FilterPlugin for ResourceFitFilter {
+    fn name(&self) -> &str {
+        "ResourceFit"
+    }
+
+    fn filter(&self, spec: &JobSpec, node: &Node) -> Result<(), String> {
+        if node.can_accept(&spec.resources) {
+            Ok(())
+        } else {
+            Err(format!(
+                "insufficient classical resources: need {}, available {}",
+                spec.resources,
+                node.available()
+            ))
+        }
+    }
+}
+
+/// Built-in filter: the device must have at least as many qubits as the job.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QubitCountFilter;
+
+impl FilterPlugin for QubitCountFilter {
+    fn name(&self) -> &str {
+        "QubitCount"
+    }
+
+    fn filter(&self, spec: &JobSpec, node: &Node) -> Result<(), String> {
+        let available = node.backend().num_qubits();
+        if available >= spec.num_qubits {
+            Ok(())
+        } else {
+            Err(format!("device has {available} qubits, job needs {}", spec.num_qubits))
+        }
+    }
+}
+
+/// Built-in filter: the node labels must satisfy the user's device-
+/// characteristic bounds (max two-qubit error, T1/T2, readout error...).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeviceRequirementsFilter;
+
+impl FilterPlugin for DeviceRequirementsFilter {
+    fn name(&self) -> &str {
+        "DeviceRequirements"
+    }
+
+    fn filter(&self, spec: &JobSpec, node: &Node) -> Result<(), String> {
+        let labels = node.node_labels();
+        if spec.requirements.is_satisfied_by(&labels) {
+            Ok(())
+        } else {
+            Err(format!("node labels ({labels}) do not satisfy the requested device bounds"))
+        }
+    }
+}
+
+/// Built-in score plugin: rank nodes by their average two-qubit error. This is
+/// the fallback when no meta-server-backed ranking plugin is configured.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AverageErrorScore;
+
+impl ScorePlugin for AverageErrorScore {
+    fn name(&self) -> &str {
+        "AverageError"
+    }
+
+    fn score(&self, _spec: &JobSpec, node: &Node) -> Result<f64, String> {
+        Ok(node.backend().avg_two_qubit_error() * 100.0)
+    }
+}
+
+/// The default filter chain used by the QRIO scheduler: resource fit, qubit
+/// count and the user's device-characteristic bounds.
+pub fn default_filters() -> Vec<Box<dyn FilterPlugin>> {
+    vec![
+        Box::new(ResourceFitFilter),
+        Box::new(QubitCountFilter),
+        Box::new(DeviceRequirementsFilter),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{DeviceRequirements, SelectionStrategy};
+    use crate::resources::Resources;
+    use qrio_backend::{topology, Backend};
+
+    fn node(name: &str, qubits: usize, two_q_err: f64) -> Node {
+        let backend = Backend::uniform(name, topology::line(qubits), 0.01, two_q_err);
+        Node::from_backend(backend, Resources::new(4000, 8192))
+    }
+
+    fn spec(qubits: usize) -> JobSpec {
+        JobSpec {
+            name: "test".into(),
+            image: "img".into(),
+            qasm: String::new(),
+            num_qubits: qubits,
+            resources: Resources::new(1000, 1024),
+            requirements: DeviceRequirements {
+                max_two_qubit_error: Some(0.1),
+                ..DeviceRequirements::default()
+            },
+            strategy: SelectionStrategy::Fidelity(0.9),
+            shots: 128,
+        }
+    }
+
+    #[test]
+    fn resource_fit_filter() {
+        let mut n = node("a", 5, 0.05);
+        let s = spec(3);
+        assert!(ResourceFitFilter.filter(&s, &n).is_ok());
+        n.allocate(&Resources::new(4000, 8192));
+        assert!(ResourceFitFilter.filter(&s, &n).is_err());
+    }
+
+    #[test]
+    fn qubit_count_filter() {
+        let n = node("a", 5, 0.05);
+        assert!(QubitCountFilter.filter(&spec(5), &n).is_ok());
+        assert!(QubitCountFilter.filter(&spec(6), &n).is_err());
+    }
+
+    #[test]
+    fn device_requirements_filter() {
+        let good = node("good", 5, 0.05);
+        let bad = node("bad", 5, 0.5);
+        let s = spec(3);
+        assert!(DeviceRequirementsFilter.filter(&s, &good).is_ok());
+        assert!(DeviceRequirementsFilter.filter(&s, &bad).is_err());
+    }
+
+    #[test]
+    fn average_error_score_orders_devices() {
+        let quiet = node("quiet", 5, 0.02);
+        let noisy = node("noisy", 5, 0.3);
+        let s = spec(3);
+        let sq = AverageErrorScore.score(&s, &quiet).unwrap();
+        let sn = AverageErrorScore.score(&s, &noisy).unwrap();
+        assert!(sq < sn);
+    }
+
+    #[test]
+    fn default_filter_chain_has_three_stages() {
+        let filters = default_filters();
+        assert_eq!(filters.len(), 3);
+        let names: Vec<&str> = filters.iter().map(|f| f.name()).collect();
+        assert!(names.contains(&"ResourceFit"));
+        assert!(names.contains(&"QubitCount"));
+        assert!(names.contains(&"DeviceRequirements"));
+    }
+}

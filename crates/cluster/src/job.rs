@@ -1,0 +1,279 @@
+//! Quantum jobs: specifications, device requirements, status and logs.
+
+use std::fmt;
+
+use qrio_backend::NodeLabels;
+
+use crate::resources::Resources;
+
+/// User-specified bounds on device characteristics (§3.1/§3.2): the filter
+/// stage of the QRIO scheduler compares these against node labels.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DeviceRequirements {
+    /// Minimum number of qubits (usually the circuit width).
+    pub min_qubits: Option<usize>,
+    /// Maximum tolerated average two-qubit gate error.
+    pub max_two_qubit_error: Option<f64>,
+    /// Maximum tolerated average readout error.
+    pub max_readout_error: Option<f64>,
+    /// Minimum average T1 (µs).
+    pub min_t1_us: Option<f64>,
+    /// Minimum average T2 (µs).
+    pub min_t2_us: Option<f64>,
+}
+
+impl DeviceRequirements {
+    /// No constraints at all.
+    pub fn none() -> Self {
+        DeviceRequirements::default()
+    }
+
+    /// Whether a node with the given labels satisfies every requested bound.
+    pub fn is_satisfied_by(&self, labels: &NodeLabels) -> bool {
+        if let Some(min_qubits) = self.min_qubits {
+            if labels.num_qubits < min_qubits {
+                return false;
+            }
+        }
+        if let Some(max_err) = self.max_two_qubit_error {
+            if labels.avg_two_qubit_error > max_err {
+                return false;
+            }
+        }
+        if let Some(max_ro) = self.max_readout_error {
+            if labels.avg_readout_error > max_ro {
+                return false;
+            }
+        }
+        if let Some(min_t1) = self.min_t1_us {
+            if labels.avg_t1_us < min_t1 {
+                return false;
+            }
+        }
+        if let Some(min_t2) = self.min_t2_us {
+            if labels.avg_t2_us < min_t2 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Which ranking strategy the user selected for the job (the final step of the
+/// visualizer form, §3.2).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectionStrategy {
+    /// Rank devices by Clifford-canary fidelity against this target fidelity.
+    Fidelity(f64),
+    /// Rank devices by similarity to this requested topology (edge list over
+    /// the job's qubits).
+    Topology(Vec<(usize, usize)>),
+}
+
+/// A job specification — the Rust equivalent of the Job YAML the master
+/// server writes for the Kubernetes scheduler (§3.3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Unique job name.
+    pub name: String,
+    /// Docker image name holding the job's files (simulated registry).
+    pub image: String,
+    /// The user's circuit as OpenQASM text.
+    pub qasm: String,
+    /// Number of qubits the job needs.
+    pub num_qubits: usize,
+    /// Classical resources requested.
+    pub resources: Resources,
+    /// Device-characteristic bounds for the filtering stage.
+    pub requirements: DeviceRequirements,
+    /// Ranking strategy (fidelity target or requested topology).
+    pub strategy: SelectionStrategy,
+    /// Number of shots to execute.
+    pub shots: u64,
+}
+
+/// Lifecycle of a job inside the cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobPhase {
+    /// Submitted, not yet scheduled.
+    Pending,
+    /// Bound to a node, awaiting execution.
+    Scheduled {
+        /// Node the job was bound to.
+        node: String,
+    },
+    /// Currently executing on its node.
+    Running {
+        /// Node executing the job.
+        node: String,
+    },
+    /// Finished successfully.
+    Succeeded {
+        /// Node that executed the job.
+        node: String,
+    },
+    /// Failed (scheduling or execution).
+    Failed {
+        /// Human-readable failure reason.
+        reason: String,
+    },
+}
+
+impl JobPhase {
+    /// The node associated with the phase, if any.
+    pub fn node(&self) -> Option<&str> {
+        match self {
+            JobPhase::Scheduled { node } | JobPhase::Running { node } | JobPhase::Succeeded { node } => {
+                Some(node)
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether the job has reached a terminal phase.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, JobPhase::Succeeded { .. } | JobPhase::Failed { .. })
+    }
+}
+
+/// A job tracked by the cluster: its spec, phase, logs and result summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Job {
+    spec: JobSpec,
+    phase: JobPhase,
+    logs: Vec<String>,
+    /// Histogram of measurement outcomes (`bitstring -> count`) once finished.
+    result_counts: Vec<(String, u64)>,
+    /// Fidelity achieved against the noise-free reference, when computed.
+    achieved_fidelity: Option<f64>,
+}
+
+impl Job {
+    /// Wrap a spec into a pending job.
+    pub fn new(spec: JobSpec) -> Self {
+        Job { spec, phase: JobPhase::Pending, logs: Vec::new(), result_counts: Vec::new(), achieved_fidelity: None }
+    }
+
+    /// The job specification.
+    pub fn spec(&self) -> &JobSpec {
+        &self.spec
+    }
+
+    /// The job name.
+    pub fn name(&self) -> &str {
+        &self.spec.name
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> &JobPhase {
+        &self.phase
+    }
+
+    /// Execution logs, in order (the logs the visualizer shows, §3.2).
+    pub fn logs(&self) -> &[String] {
+        &self.logs
+    }
+
+    /// Result histogram, once the job has succeeded.
+    pub fn result_counts(&self) -> &[(String, u64)] {
+        &self.result_counts
+    }
+
+    /// Fidelity achieved against the noise-free reference, when computed.
+    pub fn achieved_fidelity(&self) -> Option<f64> {
+        self.achieved_fidelity
+    }
+
+    /// Append a log line.
+    pub fn log(&mut self, line: impl Into<String>) {
+        self.logs.push(line.into());
+    }
+
+    /// Transition to a new phase (also logged).
+    pub fn set_phase(&mut self, phase: JobPhase) {
+        self.logs.push(format!("phase: {phase:?}"));
+        self.phase = phase;
+    }
+
+    /// Record the execution result.
+    pub fn set_result(&mut self, counts: Vec<(String, u64)>, fidelity: Option<f64>) {
+        self.result_counts = counts;
+        self.achieved_fidelity = fidelity;
+    }
+}
+
+impl fmt::Display for Job {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Job '{}' [{:?}]", self.spec.name, self.phase)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(qubits: usize, two_q: f64, readout: f64, t1: f64) -> NodeLabels {
+        NodeLabels {
+            num_qubits: qubits,
+            avg_two_qubit_error: two_q,
+            avg_single_qubit_error: 0.01,
+            avg_t1_us: t1,
+            avg_t2_us: t1,
+            avg_readout_error: readout,
+            cpu_millis: 4000,
+            memory_mib: 8192,
+        }
+    }
+
+    #[test]
+    fn requirements_filtering() {
+        let req = DeviceRequirements {
+            min_qubits: Some(10),
+            max_two_qubit_error: Some(0.1),
+            max_readout_error: Some(0.1),
+            min_t1_us: Some(100.0),
+            min_t2_us: None,
+        };
+        assert!(req.is_satisfied_by(&labels(20, 0.05, 0.05, 1000.0)));
+        assert!(!req.is_satisfied_by(&labels(5, 0.05, 0.05, 1000.0)));
+        assert!(!req.is_satisfied_by(&labels(20, 0.5, 0.05, 1000.0)));
+        assert!(!req.is_satisfied_by(&labels(20, 0.05, 0.5, 1000.0)));
+        assert!(!req.is_satisfied_by(&labels(20, 0.05, 0.05, 10.0)));
+        assert!(DeviceRequirements::none().is_satisfied_by(&labels(1, 0.9, 0.9, 1.0)));
+    }
+
+    #[test]
+    fn job_lifecycle_and_logs() {
+        let spec = JobSpec {
+            name: "bv-job".into(),
+            image: "qrio/bv:latest".into(),
+            qasm: "OPENQASM 2.0;".into(),
+            num_qubits: 10,
+            resources: Resources::new(500, 512),
+            requirements: DeviceRequirements::none(),
+            strategy: SelectionStrategy::Fidelity(0.9),
+            shots: 1024,
+        };
+        let mut job = Job::new(spec);
+        assert_eq!(job.phase(), &JobPhase::Pending);
+        assert!(!job.phase().is_terminal());
+        job.set_phase(JobPhase::Scheduled { node: "dev-a".into() });
+        assert_eq!(job.phase().node(), Some("dev-a"));
+        job.set_phase(JobPhase::Running { node: "dev-a".into() });
+        job.log("transpiling circuit");
+        job.set_result(vec![("1011".into(), 900), ("0000".into(), 124)], Some(0.88));
+        job.set_phase(JobPhase::Succeeded { node: "dev-a".into() });
+        assert!(job.phase().is_terminal());
+        assert_eq!(job.result_counts().len(), 2);
+        assert_eq!(job.achieved_fidelity(), Some(0.88));
+        assert!(job.logs().iter().any(|l| l.contains("transpiling")));
+        assert!(job.to_string().contains("bv-job"));
+    }
+
+    #[test]
+    fn failed_phase_has_no_node() {
+        let phase = JobPhase::Failed { reason: "no devices matched".into() };
+        assert!(phase.is_terminal());
+        assert_eq!(phase.node(), None);
+    }
+}

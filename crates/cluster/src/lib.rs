@@ -1,0 +1,57 @@
+//! # qrio-cluster
+//!
+//! Kubernetes-like cluster substrate for the QRIO quantum-cloud orchestrator
+//! (reproduction of *Empowering the Quantum Cloud User with QRIO*, IISWC 2024).
+//!
+//! The paper builds QRIO on Kubernetes: every quantum device is a labelled
+//! worker node, jobs are containerized circuits described by a YAML spec, and
+//! the scheduler is a filter → score → bind plugin pipeline. This crate
+//! provides an in-process substrate with the same shape, so the scheduler code
+//! the paper evaluates runs against an API equivalent to the one it targets:
+//!
+//! * [`Node`] — a quantum device plus classical capacity, labelled with the
+//!   §3.1 properties, with cordon / failure / self-healing restart support.
+//! * [`JobSpec`], [`Job`], [`yaml`] — job objects with device-requirement
+//!   bounds, a fidelity-or-topology strategy, lifecycle phases and logs.
+//! * [`ImageRegistry`], [`ImageBundle`] — the simulated Docker Hub the master
+//!   server pushes job containers to.
+//! * [`framework`] — filter/score plugin traits plus the built-in plugins
+//!   (resource fit, qubit count, device-requirement bounds).
+//! * [`Cluster`] — the control plane: node/job stores, the scheduling cycle,
+//!   the kubelet-style [`JobRunner`] execution hook, an event log, and a FIFO
+//!   queue for the multi-job mode the paper lists as future work.
+//!
+//! # Examples
+//!
+//! ```
+//! use qrio_backend::{topology, Backend};
+//! use qrio_cluster::{framework, Cluster, Node, Resources};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut cluster = Cluster::new();
+//! let backend = Backend::uniform("dev-a", topology::line(5), 0.01, 0.05);
+//! cluster.add_node(Node::from_backend(backend, Resources::new(4000, 8192)))?;
+//! assert_eq!(cluster.ready_nodes().count(), 1);
+//! assert_eq!(framework::default_filters().len(), 3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod cluster;
+mod error;
+pub mod framework;
+mod job;
+mod node;
+mod registry;
+mod resources;
+pub mod yaml;
+
+pub use cluster::{Cluster, ClusterEvent, ExecutionOutcome, JobRunner, ScheduleDecision};
+pub use error::ClusterError;
+pub use framework::{FilterPlugin, ScorePlugin};
+pub use job::{DeviceRequirements, Job, JobPhase, JobSpec, SelectionStrategy};
+pub use node::{Node, NodeStatus};
+pub use registry::{ImageBundle, ImageRegistry};
+pub use resources::Resources;

@@ -1,0 +1,226 @@
+//! Cluster nodes: one quantum device plus classical capacity per node.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use qrio_backend::{Backend, NodeLabels};
+
+use crate::resources::Resources;
+
+/// Health of a cluster node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NodeStatus {
+    /// The node is accepting jobs.
+    #[default]
+    Ready,
+    /// The node is down; QRIO (like Kubernetes) will restart it.
+    NotReady,
+    /// The node has been cordoned by the vendor and accepts no new jobs.
+    Cordoned,
+}
+
+/// A QRIO worker node: a quantum device, its vendor-provided backend spec, the
+/// Kubernetes-style labels derived from it, and classical capacity (§3.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    name: String,
+    backend: Backend,
+    labels: BTreeMap<String, String>,
+    capacity: Resources,
+    allocated: Resources,
+    status: NodeStatus,
+    restart_count: u64,
+}
+
+impl Node {
+    /// Create a node from a backend with the given classical capacity.
+    ///
+    /// The node name is the backend name, and the QRIO labels of §3.1 are
+    /// attached automatically.
+    pub fn from_backend(backend: Backend, capacity: Resources) -> Self {
+        let labels =
+            NodeLabels::from_backend(&backend, capacity.cpu_millis, capacity.memory_mib).to_string_map();
+        Node {
+            name: backend.name().to_string(),
+            backend,
+            labels,
+            capacity,
+            allocated: Resources::default(),
+            status: NodeStatus::Ready,
+            restart_count: 0,
+        }
+    }
+
+    /// The node name (equals the device name).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The quantum device hosted by this node.
+    pub fn backend(&self) -> &Backend {
+        &self.backend
+    }
+
+    /// Kubernetes-style string labels.
+    pub fn labels(&self) -> &BTreeMap<String, String> {
+        &self.labels
+    }
+
+    /// Structured view of the QRIO labels.
+    pub fn node_labels(&self) -> NodeLabels {
+        NodeLabels::from_string_map(&self.labels)
+    }
+
+    /// Attach or overwrite a label.
+    pub fn set_label(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.labels.insert(key.into(), value.into());
+    }
+
+    /// Total classical capacity.
+    pub fn capacity(&self) -> Resources {
+        self.capacity
+    }
+
+    /// Classical resources currently allocated to running jobs.
+    pub fn allocated(&self) -> Resources {
+        self.allocated
+    }
+
+    /// Classical resources still available.
+    pub fn available(&self) -> Resources {
+        self.capacity.remaining(&self.allocated)
+    }
+
+    /// Current health status.
+    pub fn status(&self) -> NodeStatus {
+        self.status
+    }
+
+    /// Whether the node can accept a job with the given resource request.
+    pub fn can_accept(&self, request: &Resources) -> bool {
+        self.status == NodeStatus::Ready && self.available().can_fit(request)
+    }
+
+    /// Reserve resources for a job. Returns `false` (and reserves nothing) if
+    /// the node cannot accept the request.
+    pub fn allocate(&mut self, request: &Resources) -> bool {
+        if !self.can_accept(request) {
+            return false;
+        }
+        self.allocated = self.allocated.plus(request);
+        true
+    }
+
+    /// Release resources when a job finishes.
+    pub fn release(&mut self, request: &Resources) {
+        self.allocated = self.allocated.remaining(request);
+    }
+
+    /// Mark the node as failed (self-healing will restart it).
+    pub fn mark_not_ready(&mut self) {
+        self.status = NodeStatus::NotReady;
+    }
+
+    /// Restart the node: clears allocations and returns it to `Ready`,
+    /// incrementing the restart counter — the self-healing behaviour the paper
+    /// gets from Kubernetes (§3.1).
+    pub fn restart(&mut self) {
+        self.allocated = Resources::default();
+        self.status = NodeStatus::Ready;
+        self.restart_count += 1;
+    }
+
+    /// Cordon the node so no new jobs are scheduled on it.
+    pub fn cordon(&mut self) {
+        self.status = NodeStatus::Cordoned;
+    }
+
+    /// Uncordon the node.
+    pub fn uncordon(&mut self) {
+        if self.status == NodeStatus::Cordoned {
+            self.status = NodeStatus::Ready;
+        }
+    }
+
+    /// How many times the node has been restarted.
+    pub fn restart_count(&self) -> u64 {
+        self.restart_count
+    }
+}
+
+impl fmt::Display for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Node '{}' [{:?}]: {} qubits, {} available",
+            self.name,
+            self.status,
+            self.backend.num_qubits(),
+            self.available()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrio_backend::topology;
+
+    fn node() -> Node {
+        let backend = Backend::uniform("dev-a", topology::line(5), 0.01, 0.05);
+        Node::from_backend(backend, Resources::new(4000, 8192))
+    }
+
+    #[test]
+    fn labels_are_attached() {
+        let n = node();
+        assert_eq!(n.name(), "dev-a");
+        assert_eq!(n.labels().get("qrio.io/qubits").map(String::as_str), Some("5"));
+        assert_eq!(n.node_labels().num_qubits, 5);
+        assert_eq!(n.node_labels().cpu_millis, 4000);
+    }
+
+    #[test]
+    fn allocation_lifecycle() {
+        let mut n = node();
+        let req = Resources::new(2000, 4096);
+        assert!(n.can_accept(&req));
+        assert!(n.allocate(&req));
+        assert_eq!(n.available(), Resources::new(2000, 4096));
+        // A second identical job fits exactly; a third does not.
+        assert!(n.allocate(&req));
+        assert!(!n.allocate(&req));
+        n.release(&req);
+        assert!(n.can_accept(&req));
+    }
+
+    #[test]
+    fn failure_and_restart() {
+        let mut n = node();
+        n.allocate(&Resources::new(1000, 1024));
+        n.mark_not_ready();
+        assert_eq!(n.status(), NodeStatus::NotReady);
+        assert!(!n.can_accept(&Resources::new(1, 1)));
+        n.restart();
+        assert_eq!(n.status(), NodeStatus::Ready);
+        assert_eq!(n.allocated(), Resources::default());
+        assert_eq!(n.restart_count(), 1);
+    }
+
+    #[test]
+    fn cordon_blocks_scheduling() {
+        let mut n = node();
+        n.cordon();
+        assert!(!n.can_accept(&Resources::new(1, 1)));
+        n.uncordon();
+        assert!(n.can_accept(&Resources::new(1, 1)));
+    }
+
+    #[test]
+    fn custom_labels() {
+        let mut n = node();
+        n.set_label("vendor", "umich");
+        assert_eq!(n.labels().get("vendor").map(String::as_str), Some("umich"));
+        assert!(n.to_string().contains("dev-a"));
+    }
+}

@@ -1,0 +1,214 @@
+//! Rendering and parsing of job specifications as YAML-like documents.
+//!
+//! The QRIO master server "constructs the Job Yaml file with the properties
+//! passed to it" (§3.3). This module produces an equivalent human-readable
+//! document for each [`JobSpec`] and can parse it back, so specs can be
+//! inspected, stored, or shipped between components as plain text. The QASM
+//! payload itself travels in the container image, not the spec, mirroring the
+//! paper's design.
+
+use std::fmt::Write as _;
+
+use crate::error::ClusterError;
+use crate::job::{DeviceRequirements, JobSpec, SelectionStrategy};
+use crate::resources::Resources;
+
+/// Render a job spec as a YAML-like document.
+pub fn to_yaml(spec: &JobSpec) -> String {
+    let mut out = String::new();
+    out.push_str("apiVersion: qrio/v1\n");
+    out.push_str("kind: QuantumJob\n");
+    out.push_str("metadata:\n");
+    let _ = writeln!(out, "  name: {}", spec.name);
+    out.push_str("spec:\n");
+    let _ = writeln!(out, "  image: {}", spec.image);
+    let _ = writeln!(out, "  qubits: {}", spec.num_qubits);
+    let _ = writeln!(out, "  shots: {}", spec.shots);
+    out.push_str("  resources:\n");
+    let _ = writeln!(out, "    cpuMillis: {}", spec.resources.cpu_millis);
+    let _ = writeln!(out, "    memoryMib: {}", spec.resources.memory_mib);
+    out.push_str("  requirements:\n");
+    let write_opt_f =
+        |out: &mut String, key: &str, value: Option<f64>| {
+            if let Some(v) = value {
+                let _ = writeln!(out, "    {key}: {v}");
+            }
+        };
+    if let Some(q) = spec.requirements.min_qubits {
+        let _ = writeln!(out, "    minQubits: {q}");
+    }
+    write_opt_f(&mut out, "maxTwoQubitError", spec.requirements.max_two_qubit_error);
+    write_opt_f(&mut out, "maxReadoutError", spec.requirements.max_readout_error);
+    write_opt_f(&mut out, "minT1Us", spec.requirements.min_t1_us);
+    write_opt_f(&mut out, "minT2Us", spec.requirements.min_t2_us);
+    match &spec.strategy {
+        SelectionStrategy::Fidelity(target) => {
+            out.push_str("  strategy: fidelity\n");
+            let _ = writeln!(out, "  fidelityTarget: {target}");
+        }
+        SelectionStrategy::Topology(edges) => {
+            out.push_str("  strategy: topology\n");
+            out.push_str("  topologyEdges:\n");
+            for (a, b) in edges {
+                let _ = writeln!(out, "    - [{a}, {b}]");
+            }
+        }
+    }
+    out
+}
+
+/// Parse a YAML-like job document produced by [`to_yaml`].
+///
+/// The parser is intentionally narrow: it understands the structure this crate
+/// emits (plus arbitrary indentation and blank lines), not arbitrary YAML.
+/// The `qasm` field of the returned spec is empty — the circuit travels in the
+/// container image.
+///
+/// # Errors
+///
+/// Returns [`ClusterError::SpecParse`] on malformed documents.
+pub fn from_yaml(text: &str) -> Result<JobSpec, ClusterError> {
+    let mut name = None;
+    let mut image = None;
+    let mut qubits = None;
+    let mut shots = 1024u64;
+    let mut cpu = 0u64;
+    let mut mem = 0u64;
+    let mut requirements = DeviceRequirements::default();
+    let mut strategy_kind: Option<String> = None;
+    let mut fidelity_target = None;
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.ends_with(':') && !line.contains(": ") {
+            continue;
+        }
+        let err = |message: String| ClusterError::SpecParse { line: idx + 1, message };
+        if let Some(rest) = line.strip_prefix("- [") {
+            let body = rest.trim_end_matches(']');
+            let parts: Vec<&str> = body.split(',').map(str::trim).collect();
+            if parts.len() != 2 {
+                return Err(err(format!("bad edge '{line}'")));
+            }
+            let a = parts[0].parse().map_err(|_| err(format!("bad edge endpoint '{}'", parts[0])))?;
+            let b = parts[1].parse().map_err(|_| err(format!("bad edge endpoint '{}'", parts[1])))?;
+            edges.push((a, b));
+            continue;
+        }
+        let Some((key, value)) = line.split_once(':') else {
+            return Err(err(format!("unrecognised line '{line}'")));
+        };
+        let key = key.trim();
+        let value = value.trim();
+        if value.is_empty() {
+            continue;
+        }
+        let parse_f64 = |v: &str| v.parse::<f64>().map_err(|_| err(format!("bad number '{v}'")));
+        let parse_u64 = |v: &str| v.parse::<u64>().map_err(|_| err(format!("bad integer '{v}'")));
+        match key {
+            "apiVersion" | "kind" => {}
+            "name" => name = Some(value.to_string()),
+            "image" => image = Some(value.to_string()),
+            "qubits" => qubits = Some(parse_u64(value)? as usize),
+            "shots" => shots = parse_u64(value)?,
+            "cpuMillis" => cpu = parse_u64(value)?,
+            "memoryMib" => mem = parse_u64(value)?,
+            "minQubits" => requirements.min_qubits = Some(parse_u64(value)? as usize),
+            "maxTwoQubitError" => requirements.max_two_qubit_error = Some(parse_f64(value)?),
+            "maxReadoutError" => requirements.max_readout_error = Some(parse_f64(value)?),
+            "minT1Us" => requirements.min_t1_us = Some(parse_f64(value)?),
+            "minT2Us" => requirements.min_t2_us = Some(parse_f64(value)?),
+            "strategy" => strategy_kind = Some(value.to_string()),
+            "fidelityTarget" => fidelity_target = Some(parse_f64(value)?),
+            other => return Err(err(format!("unknown field '{other}'"))),
+        }
+    }
+
+    let name = name.ok_or(ClusterError::SpecParse { line: 0, message: "missing job name".into() })?;
+    let image = image.ok_or(ClusterError::SpecParse { line: 0, message: "missing image".into() })?;
+    let num_qubits =
+        qubits.ok_or(ClusterError::SpecParse { line: 0, message: "missing qubit count".into() })?;
+    let strategy = match strategy_kind.as_deref() {
+        Some("fidelity") => SelectionStrategy::Fidelity(fidelity_target.unwrap_or(1.0)),
+        Some("topology") => SelectionStrategy::Topology(edges),
+        other => {
+            return Err(ClusterError::SpecParse {
+                line: 0,
+                message: format!("missing or unknown strategy {other:?}"),
+            })
+        }
+    };
+    Ok(JobSpec {
+        name,
+        image,
+        qasm: String::new(),
+        num_qubits,
+        resources: Resources::new(cpu, mem),
+        requirements,
+        strategy,
+        shots,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_spec() -> JobSpec {
+        JobSpec {
+            name: "grover-job".into(),
+            image: "qrio/grover:1".into(),
+            qasm: "OPENQASM 2.0;".into(),
+            num_qubits: 3,
+            resources: Resources::new(1500, 2048),
+            requirements: DeviceRequirements {
+                min_qubits: Some(3),
+                max_two_qubit_error: Some(0.25),
+                max_readout_error: None,
+                min_t1_us: Some(50_000.0),
+                min_t2_us: None,
+            },
+            strategy: SelectionStrategy::Fidelity(0.85),
+            shots: 2048,
+        }
+    }
+
+    #[test]
+    fn yaml_roundtrip_fidelity() {
+        let spec = sample_spec();
+        let yaml = to_yaml(&spec);
+        assert!(yaml.contains("kind: QuantumJob"));
+        assert!(yaml.contains("strategy: fidelity"));
+        let parsed = from_yaml(&yaml).unwrap();
+        assert_eq!(parsed.name, spec.name);
+        assert_eq!(parsed.num_qubits, 3);
+        assert_eq!(parsed.resources, spec.resources);
+        assert_eq!(parsed.requirements.min_qubits, Some(3));
+        assert_eq!(parsed.requirements.max_two_qubit_error, Some(0.25));
+        assert_eq!(parsed.shots, 2048);
+        assert!(matches!(parsed.strategy, SelectionStrategy::Fidelity(f) if (f - 0.85).abs() < 1e-12));
+    }
+
+    #[test]
+    fn yaml_roundtrip_topology() {
+        let mut spec = sample_spec();
+        spec.strategy = SelectionStrategy::Topology(vec![(0, 1), (1, 2)]);
+        let yaml = to_yaml(&spec);
+        assert!(yaml.contains("strategy: topology"));
+        let parsed = from_yaml(&yaml).unwrap();
+        match parsed.strategy {
+            SelectionStrategy::Topology(edges) => assert_eq!(edges, vec![(0, 1), (1, 2)]),
+            other => panic!("unexpected strategy {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        assert!(from_yaml("kind: QuantumJob\n").is_err());
+        assert!(from_yaml("name: x\nimage: y\nqubits: abc\nstrategy: fidelity\n").is_err());
+        assert!(from_yaml("name: x\nimage: y\nqubits: 2\nstrategy: warp\n").is_err());
+        assert!(from_yaml("name: x\nimage: y\nqubits: 2\nstrategy: topology\n  - [0]\n").is_err());
+        assert!(from_yaml("what even is this").is_err());
+    }
+}

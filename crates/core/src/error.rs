@@ -1,0 +1,78 @@
+//! Error type for the QRIO orchestrator.
+
+use std::error::Error;
+use std::fmt;
+
+use qrio_circuit::CircuitError;
+use qrio_cluster::ClusterError;
+use qrio_meta::MetaError;
+use qrio_scheduler::SchedulerError;
+
+/// Errors surfaced by the end-to-end QRIO orchestrator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QrioError {
+    /// The job request was incomplete or inconsistent.
+    InvalidRequest(String),
+    /// The user's circuit failed to parse or build.
+    Circuit(CircuitError),
+    /// The cluster substrate reported an error.
+    Cluster(ClusterError),
+    /// The meta server reported an error.
+    Meta(MetaError),
+    /// The scheduler reported an error.
+    Scheduler(SchedulerError),
+}
+
+impl fmt::Display for QrioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QrioError::InvalidRequest(msg) => write!(f, "invalid job request: {msg}"),
+            QrioError::Circuit(err) => write!(f, "circuit error: {err}"),
+            QrioError::Cluster(err) => write!(f, "cluster error: {err}"),
+            QrioError::Meta(err) => write!(f, "meta server error: {err}"),
+            QrioError::Scheduler(err) => write!(f, "scheduler error: {err}"),
+        }
+    }
+}
+
+impl Error for QrioError {}
+
+impl From<CircuitError> for QrioError {
+    fn from(err: CircuitError) -> Self {
+        QrioError::Circuit(err)
+    }
+}
+
+impl From<ClusterError> for QrioError {
+    fn from(err: ClusterError) -> Self {
+        QrioError::Cluster(err)
+    }
+}
+
+impl From<MetaError> for QrioError {
+    fn from(err: MetaError) -> Self {
+        QrioError::Meta(err)
+    }
+}
+
+impl From<SchedulerError> for QrioError {
+    fn from(err: SchedulerError) -> Self {
+        QrioError::Scheduler(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: QrioError = CircuitError::DuplicateQubit { qubit: 0 }.into();
+        assert!(e.to_string().contains("circuit"));
+        let e: QrioError = ClusterError::UnknownNode("n".into()).into();
+        assert!(e.to_string().contains("cluster"));
+        assert!(QrioError::InvalidRequest("missing circuit".into()).to_string().contains("missing"));
+        fn assert_err<E: std::error::Error + Send + Sync>() {}
+        assert_err::<QrioError>();
+    }
+}

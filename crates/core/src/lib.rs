@@ -1,0 +1,64 @@
+//! # qrio
+//!
+//! An open-source **Quantum Resource Infrastructure Orchestrator** — a Rust
+//! reproduction of *Empowering the Quantum Cloud User with QRIO* (IISWC 2024).
+//!
+//! QRIO lets a quantum-cloud user submit a job (a QASM circuit) together with
+//! *either* a fidelity requirement *or* a desired device topology plus
+//! optional bounds on device characteristics, and automatically selects and
+//! executes the job on the most suitable device of a heterogeneous fleet.
+//!
+//! This crate is the facade that wires the substrates together:
+//!
+//! * [`visualizer`] — the job-submission form and topology-drawing canvas
+//!   (§3.2 of the paper),
+//! * [`master_server`] — job containerization, image push and Job YAML
+//!   generation (§3.3),
+//! * [`runner`] — the per-node executor that transpiles and runs the circuit
+//!   on its assigned device (the generated runner script of §3.3),
+//! * [`Qrio`] — the end-to-end orchestrator over the Kubernetes-like cluster
+//!   substrate, the meta server and the scheduler,
+//! * [`experiments`] — the harness that regenerates every table and figure of
+//!   the paper's evaluation (§4).
+//!
+//! # Examples
+//!
+//! ```
+//! use qrio::{JobRequestBuilder, Qrio};
+//! use qrio_backend::{topology, Backend};
+//! use qrio_circuit::library;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Vendor: stand up a two-device cloud.
+//! let mut qrio = Qrio::new();
+//! qrio.add_device(Backend::uniform("clean", topology::line(8), 0.001, 0.01))?;
+//! qrio.add_device(Backend::uniform("noisy", topology::line(8), 0.05, 0.4))?;
+//!
+//! // User: submit a Bernstein–Vazirani job with a fidelity requirement.
+//! let bv = library::bernstein_vazirani(5, 0b10110)?;
+//! let request = JobRequestBuilder::new()
+//!     .with_circuit(&bv)
+//!     .job_name("bv-demo")
+//!     .fidelity_target(0.9)
+//!     .shots(256)
+//!     .build()?;
+//! let outcome = qrio.submit(&request)?;
+//! assert_eq!(outcome.decision.node, "clean");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+pub mod experiments;
+pub mod master_server;
+mod orchestrator;
+mod runner;
+pub mod visualizer;
+
+pub use error::QrioError;
+pub use master_server::{containerize, ContainerizedJob};
+pub use orchestrator::{JobOutcome, Qrio};
+pub use runner::SimJobRunner;
+pub use visualizer::{JobRequest, JobRequestBuilder, TopologyDesigner};

@@ -1,0 +1,240 @@
+//! The end-to-end QRIO orchestrator: visualizer → master server → meta server
+//! → scheduler → cluster execution → logs (the full workflow of §3).
+
+use qrio_backend::Backend;
+use qrio_cluster::{framework, Cluster, Node, Resources, ScheduleDecision, SelectionStrategy};
+use qrio_meta::{FidelityRankingConfig, MetaServer};
+use qrio_scheduler::MetaRankingPlugin;
+
+use crate::error::QrioError;
+use crate::master_server::containerize;
+use crate::runner::SimJobRunner;
+use crate::visualizer::JobRequest;
+
+/// The outcome of submitting one job through the full QRIO pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// The scheduling decision (chosen node, score, candidates).
+    pub decision: ScheduleDecision,
+    /// Result histogram (`bitstring -> count`).
+    pub counts: Vec<(String, u64)>,
+    /// Fidelity achieved against the noise-free reference, when computed.
+    pub achieved_fidelity: Option<f64>,
+    /// The job's execution logs.
+    pub logs: Vec<String>,
+}
+
+/// The QRIO orchestrator, owning the cluster and the meta server.
+#[derive(Debug)]
+pub struct Qrio {
+    cluster: Cluster,
+    meta: MetaServer,
+    runner: SimJobRunner,
+    default_node_resources: Resources,
+}
+
+impl Qrio {
+    /// A QRIO deployment with no nodes and default configuration.
+    pub fn new() -> Self {
+        Qrio::with_config(FidelityRankingConfig::default(), 0x51D0)
+    }
+
+    /// A QRIO deployment with a custom scoring configuration and runner seed.
+    pub fn with_config(fidelity_config: FidelityRankingConfig, seed: u64) -> Self {
+        Qrio {
+            cluster: Cluster::new(),
+            meta: MetaServer::with_config(fidelity_config),
+            runner: SimJobRunner::new(seed),
+            default_node_resources: Resources::new(4000, 8192),
+        }
+    }
+
+    /// Register a quantum device: adds a labelled node to the cluster and a
+    /// copy of the backend to the meta server (the vendor workflow of §3.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a node with the same name already exists.
+    pub fn add_device(&mut self, backend: Backend) -> Result<(), QrioError> {
+        self.meta.register_backend(backend.clone());
+        self.cluster.add_node(Node::from_backend(backend, self.default_node_resources))?;
+        Ok(())
+    }
+
+    /// Register every device of a fleet.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on the first duplicate device name.
+    pub fn add_fleet(&mut self, fleet: impl IntoIterator<Item = Backend>) -> Result<(), QrioError> {
+        for backend in fleet {
+            self.add_device(backend)?;
+        }
+        Ok(())
+    }
+
+    /// Read-only access to the cluster (nodes, jobs, events).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Mutable access to the cluster for vendor operations (cordon, heal...).
+    pub fn cluster_mut(&mut self) -> &mut Cluster {
+        &mut self.cluster
+    }
+
+    /// Read-only access to the meta server.
+    pub fn meta(&self) -> &MetaServer {
+        &self.meta
+    }
+
+    /// Submit a job request and drive it to completion: upload metadata,
+    /// containerize, schedule (filter + meta-server ranking) and execute.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any stage fails (no matching devices, execution
+    /// failure, ...). The job object in the cluster records the failure too.
+    pub fn submit(&mut self, request: &JobRequest) -> Result<JobOutcome, QrioError> {
+        // 1. Visualizer → meta server: upload the job metadata (Table 1).
+        match &request.strategy {
+            SelectionStrategy::Fidelity(target) => {
+                self.meta.upload_fidelity_metadata(&request.job_name, *target, &request.qasm)?;
+            }
+            SelectionStrategy::Topology(edges) => {
+                let topology_circuit = qrio_meta::topology_circuit(request.num_qubits, edges)?;
+                self.meta.upload_topology_metadata(&request.job_name, topology_circuit);
+            }
+        }
+
+        // 2. Visualizer → master server: containerize and create the job spec.
+        let containerized = containerize(request)?;
+        self.cluster.push_image(containerized.image);
+        self.cluster.submit_job(containerized.spec)?;
+
+        // 3. Scheduler: filter + rank via the meta server, bind to the winner.
+        let filters = framework::default_filters();
+        let ranking = MetaRankingPlugin::new(&self.meta);
+        let decision = self.cluster.schedule_job(&request.job_name, &filters, &ranking)?;
+
+        // 4. Node executor: run the container on the chosen device.
+        self.cluster.run_job(&request.job_name, &self.runner)?;
+
+        let job = self
+            .cluster
+            .job(&request.job_name)
+            .expect("job was just submitted and executed");
+        Ok(JobOutcome {
+            decision,
+            counts: job.result_counts().to_vec(),
+            achieved_fidelity: job.achieved_fidelity(),
+            logs: job.logs().to_vec(),
+        })
+    }
+
+    /// Fetch the logs of a previously-submitted job (what the visualizer's
+    /// "check logs" button shows, §3.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no such job exists.
+    pub fn job_logs(&self, job_name: &str) -> Result<&[String], QrioError> {
+        Ok(self.cluster.job_logs(job_name)?)
+    }
+}
+
+impl Default for Qrio {
+    fn default() -> Self {
+        Qrio::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::visualizer::{JobRequestBuilder, TopologyDesigner};
+    use qrio_backend::topology;
+    use qrio_circuit::library;
+    use qrio_cluster::{DeviceRequirements, JobPhase};
+
+    fn small_qrio() -> Qrio {
+        let mut qrio = Qrio::with_config(
+            FidelityRankingConfig { shots: 128, seed: 5, shortfall_weight: 100.0 },
+            7,
+        );
+        qrio.add_device(Backend::uniform("clean", topology::line(10), 0.001, 0.01)).unwrap();
+        qrio.add_device(Backend::uniform("mid", topology::ring(10), 0.02, 0.15)).unwrap();
+        qrio.add_device(Backend::uniform("noisy", topology::line(10), 0.05, 0.4)).unwrap();
+        qrio
+    }
+
+    #[test]
+    fn fidelity_job_end_to_end() {
+        let mut qrio = small_qrio();
+        let bv = library::bernstein_vazirani(6, 0b101101).unwrap();
+        let request = JobRequestBuilder::new()
+            .with_circuit(&bv)
+            .job_name("bv-e2e")
+            .fidelity_target(0.9)
+            .shots(256)
+            .build()
+            .unwrap();
+        let outcome = qrio.submit(&request).unwrap();
+        assert_eq!(outcome.decision.node, "clean");
+        assert!(outcome.achieved_fidelity.unwrap() > 0.8);
+        assert!(!outcome.counts.is_empty());
+        assert!(matches!(qrio.cluster().job("bv-e2e").unwrap().phase(), JobPhase::Succeeded { .. }));
+        assert!(!qrio.job_logs("bv-e2e").unwrap().is_empty());
+        assert!(qrio.job_logs("missing").is_err());
+    }
+
+    #[test]
+    fn topology_job_end_to_end_picks_matching_device() {
+        let mut qrio = Qrio::with_config(
+            FidelityRankingConfig { shots: 64, seed: 3, shortfall_weight: 100.0 },
+            9,
+        );
+        qrio.add_device(Backend::uniform("ring-dev", topology::ring(10), 0.01, 0.05)).unwrap();
+        qrio.add_device(Backend::uniform("tree-dev", topology::binary_tree(10), 0.01, 0.05)).unwrap();
+        qrio.add_device(Backend::uniform("line-dev", topology::line(10), 0.01, 0.05)).unwrap();
+
+        let mut designer = TopologyDesigner::new(10);
+        for (a, b) in topology::binary_tree(10).edges() {
+            designer.connect(a, b).unwrap();
+        }
+        let request = JobRequestBuilder::new()
+            .job_name("topo-e2e")
+            .topology(&designer)
+            .with_circuit(&library::ghz(10).unwrap())
+            .build()
+            .unwrap();
+        let outcome = qrio.submit(&request).unwrap();
+        assert_eq!(outcome.decision.node, "tree-dev");
+    }
+
+    #[test]
+    fn requirements_can_make_a_job_unschedulable() {
+        let mut qrio = small_qrio();
+        let ghz = library::ghz(4).unwrap();
+        let request = JobRequestBuilder::new()
+            .with_circuit(&ghz)
+            .job_name("impossible")
+            .requirements(DeviceRequirements {
+                max_two_qubit_error: Some(0.0001),
+                ..DeviceRequirements::default()
+            })
+            .fidelity_target(0.99)
+            .build()
+            .unwrap();
+        assert!(qrio.submit(&request).is_err());
+        assert!(qrio.cluster().job("impossible").unwrap().phase().is_terminal());
+    }
+
+    #[test]
+    fn duplicate_devices_are_rejected() {
+        let mut qrio = small_qrio();
+        assert!(qrio
+            .add_device(Backend::uniform("clean", topology::line(4), 0.0, 0.0))
+            .is_err());
+    }
+}

@@ -1,0 +1,336 @@
+//! The QRIO Visualizer model (§3.2).
+//!
+//! The paper's visualizer is a React web application; its role in the system
+//! is to collect the user's inputs through a three-step form — job details,
+//! requested device characteristics, and the fidelity-or-topology strategy —
+//! and to upload the resulting metadata to the meta server and master server
+//! (Table 1). This module models that workflow as a typed builder, including
+//! the topology-drawing canvas (edges between qubits → topology circuit).
+
+use qrio_circuit::{library, qasm, Circuit};
+use qrio_cluster::{DeviceRequirements, Resources, SelectionStrategy};
+
+use crate::error::QrioError;
+
+/// The topology-drawing canvas: the user places `num_qubits` qubits and draws
+/// edges between them (figure 4f of the paper).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TopologyDesigner {
+    num_qubits: usize,
+    edges: Vec<(usize, usize)>,
+}
+
+impl TopologyDesigner {
+    /// A canvas with `num_qubits` qubits and no edges.
+    pub fn new(num_qubits: usize) -> Self {
+        TopologyDesigner { num_qubits, edges: Vec::new() }
+    }
+
+    /// Pre-populate the canvas with one of the default topologies offered by
+    /// the visualizer (grid, line, ring, heavy-square, fully-connected).
+    pub fn from_default(default: qrio_backend::DefaultTopology) -> Self {
+        TopologyDesigner { num_qubits: default.num_qubits(), edges: default.edges() }
+    }
+
+    /// Draw an edge between two qubits.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for self-loops or out-of-range qubits.
+    pub fn connect(&mut self, a: usize, b: usize) -> Result<&mut Self, QrioError> {
+        if a == b {
+            return Err(QrioError::InvalidRequest(format!("cannot connect qubit {a} to itself")));
+        }
+        if a >= self.num_qubits || b >= self.num_qubits {
+            return Err(QrioError::InvalidRequest(format!(
+                "edge ({a},{b}) is outside the {}-qubit canvas",
+                self.num_qubits
+            )));
+        }
+        let key = (a.min(b), a.max(b));
+        if !self.edges.contains(&key) {
+            self.edges.push(key);
+        }
+        Ok(self)
+    }
+
+    /// The drawn edges.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Number of qubits on the canvas.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Convert the drawing into the *topology circuit* uploaded to the meta
+    /// server: one CNOT per drawn edge (§3.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the canvas is empty.
+    pub fn to_topology_circuit(&self) -> Result<Circuit, QrioError> {
+        if self.num_qubits == 0 {
+            return Err(QrioError::InvalidRequest("the topology canvas has no qubits".into()));
+        }
+        Ok(library::topology_circuit(self.num_qubits, &self.edges)?)
+    }
+}
+
+/// A fully-assembled job request, ready to hand to the master server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRequest {
+    /// Job name (step 1 of the form).
+    pub job_name: String,
+    /// Docker image name for the job container (step 1).
+    pub image_name: String,
+    /// The user's circuit as QASM text (chosen on the front page).
+    pub qasm: String,
+    /// Number of qubits the job needs (step 1).
+    pub num_qubits: usize,
+    /// Classical resource request (step 1).
+    pub resources: Resources,
+    /// Requested device characteristics (step 2).
+    pub requirements: DeviceRequirements,
+    /// Fidelity or topology strategy (step 3).
+    pub strategy: SelectionStrategy,
+    /// Shots to execute.
+    pub shots: u64,
+}
+
+/// Builder modelling the visualizer's three-step job submission form.
+#[derive(Debug, Clone, Default)]
+pub struct JobRequestBuilder {
+    job_name: Option<String>,
+    image_name: Option<String>,
+    qasm: Option<String>,
+    num_qubits: Option<usize>,
+    resources: Resources,
+    requirements: DeviceRequirements,
+    strategy: Option<SelectionStrategy>,
+    shots: u64,
+}
+
+impl JobRequestBuilder {
+    /// Start an empty form.
+    pub fn new() -> Self {
+        JobRequestBuilder { shots: 1024, resources: Resources::new(500, 512), ..Default::default() }
+    }
+
+    /// Step 0: choose the circuit as a QASM file. The qubit count is inferred
+    /// from the circuit unless overridden later.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the QASM does not parse.
+    pub fn with_qasm(mut self, qasm_text: impl Into<String>) -> Result<Self, QrioError> {
+        let text = qasm_text.into();
+        let circuit = qasm::parse_qasm(&text)?;
+        if self.num_qubits.is_none() {
+            self.num_qubits = Some(circuit.num_qubits());
+        }
+        self.qasm = Some(text);
+        Ok(self)
+    }
+
+    /// Step 0 (alternative): choose an in-memory circuit; it is serialized to
+    /// QASM exactly as a file upload would be.
+    pub fn with_circuit(mut self, circuit: &Circuit) -> Self {
+        self.qasm = Some(qasm::to_qasm(circuit));
+        if self.num_qubits.is_none() {
+            self.num_qubits = Some(circuit.num_qubits());
+        }
+        self
+    }
+
+    /// Step 1: job name.
+    pub fn job_name(mut self, name: impl Into<String>) -> Self {
+        self.job_name = Some(name.into());
+        self
+    }
+
+    /// Step 1: docker image name.
+    pub fn image_name(mut self, name: impl Into<String>) -> Self {
+        self.image_name = Some(name.into());
+        self
+    }
+
+    /// Step 1: override the number of qubits.
+    pub fn num_qubits(mut self, qubits: usize) -> Self {
+        self.num_qubits = Some(qubits);
+        self
+    }
+
+    /// Step 1: CPU (millicores) and memory (MiB) request.
+    pub fn resources(mut self, cpu_millis: u64, memory_mib: u64) -> Self {
+        self.resources = Resources::new(cpu_millis, memory_mib);
+        self
+    }
+
+    /// Number of shots to execute (defaults to 1024).
+    pub fn shots(mut self, shots: u64) -> Self {
+        self.shots = shots;
+        self
+    }
+
+    /// Step 2: requested device characteristics.
+    pub fn requirements(mut self, requirements: DeviceRequirements) -> Self {
+        self.requirements = requirements;
+        self
+    }
+
+    /// Step 3 (option A): fidelity requirement between 0 and 1.
+    pub fn fidelity_target(mut self, fidelity: f64) -> Self {
+        self.strategy = Some(SelectionStrategy::Fidelity(fidelity));
+        self
+    }
+
+    /// Step 3 (option B): topology requirement from the drawing canvas.
+    pub fn topology(mut self, designer: &TopologyDesigner) -> Self {
+        self.strategy = Some(SelectionStrategy::Topology(designer.edges().to_vec()));
+        if self.num_qubits.is_none() {
+            self.num_qubits = Some(designer.num_qubits());
+        }
+        self
+    }
+
+    /// Finish the form and produce the job request.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a mandatory field is missing or inconsistent
+    /// (no circuit for a fidelity job, fidelity outside `[0, 1]`, ...).
+    pub fn build(self) -> Result<JobRequest, QrioError> {
+        let job_name =
+            self.job_name.ok_or_else(|| QrioError::InvalidRequest("job name is required".into()))?;
+        let strategy = self
+            .strategy
+            .ok_or_else(|| QrioError::InvalidRequest("choose a fidelity or topology strategy".into()))?;
+        if let SelectionStrategy::Fidelity(f) = strategy {
+            if !(0.0..=1.0).contains(&f) {
+                return Err(QrioError::InvalidRequest(format!("fidelity {f} must be between 0 and 1")));
+            }
+        }
+        let qasm = match (&strategy, self.qasm) {
+            (_, Some(text)) => text,
+            (SelectionStrategy::Topology(_), None) => String::new(),
+            (SelectionStrategy::Fidelity(_), None) => {
+                return Err(QrioError::InvalidRequest(
+                    "a circuit (QASM) is required for fidelity-based scheduling".into(),
+                ))
+            }
+        };
+        let num_qubits = self
+            .num_qubits
+            .ok_or_else(|| QrioError::InvalidRequest("number of qubits is required".into()))?;
+        if num_qubits == 0 {
+            return Err(QrioError::InvalidRequest("number of qubits must be at least 1".into()));
+        }
+        let image_name = self.image_name.unwrap_or_else(|| format!("qrio/{job_name}:latest"));
+        if self.shots == 0 {
+            return Err(QrioError::InvalidRequest("shots must be at least 1".into()));
+        }
+        Ok(JobRequest {
+            job_name,
+            image_name,
+            qasm,
+            num_qubits,
+            resources: self.resources,
+            requirements: self.requirements,
+            strategy,
+            shots: self.shots,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrio_backend::DefaultTopology;
+    use qrio_circuit::library;
+
+    #[test]
+    fn fidelity_request_from_qasm() {
+        let bv = library::bernstein_vazirani(5, 0b10101).unwrap();
+        let request = JobRequestBuilder::new()
+            .with_qasm(qasm::to_qasm(&bv))
+            .unwrap()
+            .job_name("bv-job")
+            .resources(1000, 2048)
+            .fidelity_target(0.92)
+            .build()
+            .unwrap();
+        assert_eq!(request.job_name, "bv-job");
+        assert_eq!(request.num_qubits, 5);
+        assert_eq!(request.image_name, "qrio/bv-job:latest");
+        assert!(matches!(request.strategy, SelectionStrategy::Fidelity(f) if (f - 0.92).abs() < 1e-12));
+    }
+
+    #[test]
+    fn topology_request_from_designer() {
+        let mut designer = TopologyDesigner::new(4);
+        designer.connect(0, 1).unwrap().connect(1, 2).unwrap().connect(2, 3).unwrap();
+        assert_eq!(designer.edges().len(), 3);
+        let topo = designer.to_topology_circuit().unwrap();
+        assert_eq!(topo.two_qubit_gate_count(), 3);
+        let request = JobRequestBuilder::new()
+            .job_name("topo-job")
+            .topology(&designer)
+            .build()
+            .unwrap();
+        assert_eq!(request.num_qubits, 4);
+        assert!(matches!(request.strategy, SelectionStrategy::Topology(ref e) if e.len() == 3));
+    }
+
+    #[test]
+    fn default_topologies_prepopulate_the_canvas() {
+        let designer = TopologyDesigner::from_default(DefaultTopology::Ring7);
+        assert_eq!(designer.num_qubits(), 7);
+        assert_eq!(designer.edges().len(), 7);
+        assert!(designer.to_topology_circuit().is_ok());
+    }
+
+    #[test]
+    fn designer_validates_edges() {
+        let mut designer = TopologyDesigner::new(3);
+        assert!(designer.connect(0, 0).is_err());
+        assert!(designer.connect(0, 7).is_err());
+        designer.connect(0, 1).unwrap();
+        designer.connect(1, 0).unwrap();
+        assert_eq!(designer.edges().len(), 1);
+        assert!(TopologyDesigner::new(0).to_topology_circuit().is_err());
+    }
+
+    #[test]
+    fn builder_rejects_incomplete_or_invalid_forms() {
+        let bv = library::bernstein_vazirani(3, 0b101).unwrap();
+        // Missing strategy.
+        assert!(JobRequestBuilder::new()
+            .with_circuit(&bv)
+            .job_name("x")
+            .build()
+            .is_err());
+        // Missing name.
+        assert!(JobRequestBuilder::new().with_circuit(&bv).fidelity_target(0.9).build().is_err());
+        // Fidelity without circuit.
+        assert!(JobRequestBuilder::new().job_name("x").num_qubits(3).fidelity_target(0.9).build().is_err());
+        // Out-of-range fidelity.
+        assert!(JobRequestBuilder::new()
+            .with_circuit(&bv)
+            .job_name("x")
+            .fidelity_target(1.4)
+            .build()
+            .is_err());
+        // Zero shots.
+        assert!(JobRequestBuilder::new()
+            .with_circuit(&bv)
+            .job_name("x")
+            .fidelity_target(0.9)
+            .shots(0)
+            .build()
+            .is_err());
+        // Bad QASM.
+        assert!(JobRequestBuilder::new().with_qasm("this is not qasm $").is_err());
+    }
+}

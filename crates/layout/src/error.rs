@@ -1,0 +1,59 @@
+//! Error types for the layout-scoring crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while searching for or scoring layouts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayoutError {
+    /// The layout vector does not cover every circuit qubit.
+    LayoutTooShort {
+        /// Provided layout length.
+        layout_len: usize,
+        /// Qubits required by the circuit.
+        circuit_qubits: usize,
+    },
+    /// A physical qubit index exceeds the device size.
+    PhysicalOutOfRange {
+        /// Offending physical qubit.
+        physical: usize,
+        /// Device size.
+        device_qubits: usize,
+    },
+    /// No embedding of the requested interaction graph exists on the device.
+    NoEmbedding {
+        /// Device name.
+        device: String,
+    },
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::LayoutTooShort { layout_len, circuit_qubits } => {
+                write!(f, "layout of length {layout_len} cannot place a {circuit_qubits}-qubit circuit")
+            }
+            LayoutError::PhysicalOutOfRange { physical, device_qubits } => {
+                write!(f, "physical qubit {physical} out of range for a {device_qubits}-qubit device")
+            }
+            LayoutError::NoEmbedding { device } => {
+                write!(f, "no embedding of the requested topology exists on device '{device}'")
+            }
+        }
+    }
+}
+
+impl Error for LayoutError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = LayoutError::NoEmbedding { device: "dev".into() };
+        assert!(e.to_string().contains("dev"));
+        fn assert_err<E: std::error::Error + Send + Sync>() {}
+        assert_err::<LayoutError>();
+    }
+}

@@ -1,0 +1,46 @@
+//! # qrio-layout
+//!
+//! Mapomatic-style layout search and scoring for the QRIO quantum-cloud
+//! orchestrator (reproduction of *Empowering the Quantum Cloud User with
+//! QRIO*, IISWC 2024).
+//!
+//! The paper's topology-ranking strategy (§3.4.2) relies on Mapomatic [21]:
+//! identify device subgraphs that can host a circuit's interaction graph and
+//! score each with an error-aware cost function, then pick the device whose
+//! best subgraph scores lowest. This crate reproduces that machinery:
+//!
+//! * [`vf2`] — bounded subgraph-monomorphism search over coupling maps,
+//! * [`scoring`] — the `1 − Π(1 − ε)` layout cost function,
+//! * [`mapomatic`] — per-device evaluation ([`evaluate_device`]) and
+//!   cross-device ranking ([`rank_devices`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use qrio_backend::{topology, Backend};
+//! use qrio_circuit::library;
+//! use qrio_layout::rank_devices;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let request = library::topology_circuit(3, &[(0, 1), (1, 2)])?;
+//! let devices = vec![
+//!     Backend::uniform("noisy", topology::line(5), 0.02, 0.3),
+//!     Backend::uniform("quiet", topology::line(5), 0.001, 0.01),
+//! ];
+//! let ranking = rank_devices(&request, &devices);
+//! assert_eq!(ranking[0].device, "quiet");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+pub mod mapomatic;
+pub mod scoring;
+pub mod vf2;
+
+pub use error::LayoutError;
+pub use mapomatic::{best_layouts, evaluate_device, rank_devices, DeviceEvaluation, ScoredLayout};
+pub use scoring::{score_layout, score_layout_percent};
+pub use vf2::{find_embeddings, PatternGraph, SearchOptions};

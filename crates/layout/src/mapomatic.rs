@@ -1,0 +1,209 @@
+//! Mapomatic-style device evaluation: find the lowest-error placement of a
+//! circuit's interaction graph on each candidate device and rank devices by
+//! that score (paper §3.4.2, reproducing the role of Mapomatic [21]).
+
+use qrio_backend::Backend;
+use qrio_circuit::Circuit;
+
+use crate::error::LayoutError;
+use crate::scoring::score_layout;
+use crate::vf2::{find_embeddings, PatternGraph, SearchOptions};
+
+/// A candidate placement of the circuit on a device, with its error score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredLayout {
+    /// `layout[virtual_qubit] = physical_qubit`.
+    pub layout: Vec<usize>,
+    /// Mapomatic cost (lower is better, 0 = error-free).
+    pub score: f64,
+}
+
+/// Result of evaluating one device for a circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceEvaluation {
+    /// Device name.
+    pub device: String,
+    /// The best (lowest-score) layout found.
+    pub best: ScoredLayout,
+    /// Number of embeddings examined.
+    pub embeddings_examined: usize,
+}
+
+/// Find the best layouts of `circuit` on `backend`, ranked by score
+/// (lowest first). At most `max_layouts` are returned.
+///
+/// Isolated circuit qubits (no two-qubit interaction) are placed greedily on
+/// the lowest-readout-error unused physical qubits after the interacting core
+/// has been embedded.
+///
+/// # Errors
+///
+/// Returns [`LayoutError::NoEmbedding`] when the interaction graph cannot be
+/// embedded in the device's coupling map at all.
+pub fn best_layouts(
+    circuit: &Circuit,
+    backend: &Backend,
+    max_layouts: usize,
+) -> Result<Vec<ScoredLayout>, LayoutError> {
+    if circuit.num_qubits() > backend.num_qubits() {
+        return Err(LayoutError::NoEmbedding { device: backend.name().to_string() });
+    }
+    let pattern = PatternGraph::new(circuit.num_qubits(), &circuit.interaction_graph());
+    let options = SearchOptions::default();
+    let embeddings = find_embeddings(&pattern, backend.coupling_map(), options);
+    if embeddings.is_empty() {
+        return Err(LayoutError::NoEmbedding { device: backend.name().to_string() });
+    }
+    let mut scored = Vec::with_capacity(embeddings.len());
+    for embedding in &embeddings {
+        let layout = complete_layout(embedding, circuit.num_qubits(), backend);
+        let score = score_layout(circuit, backend, &layout)?;
+        scored.push(ScoredLayout { layout, score });
+    }
+    scored.sort_by(|a, b| a.score.partial_cmp(&b.score).unwrap_or(std::cmp::Ordering::Equal));
+    scored.truncate(max_layouts.max(1));
+    Ok(scored)
+}
+
+/// Evaluate a circuit on a single device: the best layout plus its score.
+///
+/// # Errors
+///
+/// Returns [`LayoutError::NoEmbedding`] when the device cannot host the
+/// circuit's interaction graph.
+pub fn evaluate_device(circuit: &Circuit, backend: &Backend) -> Result<DeviceEvaluation, LayoutError> {
+    let layouts = best_layouts(circuit, backend, 8)?;
+    let examined = layouts.len();
+    let best = layouts.into_iter().next().expect("best_layouts returns at least one layout");
+    Ok(DeviceEvaluation { device: backend.name().to_string(), best, embeddings_examined: examined })
+}
+
+/// Evaluate a circuit across many devices, returning successful evaluations
+/// ranked by score (lowest first). Devices with no embedding are skipped.
+pub fn rank_devices(circuit: &Circuit, backends: &[Backend]) -> Vec<DeviceEvaluation> {
+    let mut evaluations: Vec<DeviceEvaluation> =
+        backends.iter().filter_map(|b| evaluate_device(circuit, b).ok()).collect();
+    evaluations.sort_by(|a, b| {
+        a.best.score.partial_cmp(&b.best.score).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    evaluations
+}
+
+/// Fill the unassigned (non-interacting) virtual qubits of an embedding with
+/// the best remaining physical qubits.
+fn complete_layout(embedding: &[usize], num_virtual: usize, backend: &Backend) -> Vec<usize> {
+    let mut layout = vec![usize::MAX; num_virtual];
+    let mut used = vec![false; backend.num_qubits()];
+    for (v, &p) in embedding.iter().enumerate() {
+        layout[v] = p;
+        used[p] = true;
+    }
+    // Remaining physical qubits sorted by readout quality.
+    let mut free: Vec<usize> = (0..backend.num_qubits()).filter(|&p| !used[p]).collect();
+    free.sort_by(|&a, &b| {
+        backend
+            .qubit(a)
+            .readout_error
+            .partial_cmp(&backend.qubit(b).readout_error)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut free_iter = free.into_iter();
+    for slot in layout.iter_mut() {
+        if *slot == usize::MAX {
+            *slot = free_iter.next().expect("device has at least as many qubits as the circuit");
+        }
+    }
+    layout
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrio_backend::topology;
+    use qrio_circuit::library;
+
+    #[test]
+    fn best_layouts_are_sorted_and_valid() {
+        let circuit = library::topology_circuit(3, &[(0, 1), (1, 2)]).unwrap();
+        let backend = Backend::uniform("ring", topology::ring(6), 0.01, 0.05);
+        let layouts = best_layouts(&circuit, &backend, 5).unwrap();
+        assert!(!layouts.is_empty());
+        assert!(layouts.len() <= 5);
+        for window in layouts.windows(2) {
+            assert!(window[0].score <= window[1].score);
+        }
+        for sl in &layouts {
+            assert_eq!(sl.layout.len(), 3);
+        }
+    }
+
+    #[test]
+    fn no_embedding_is_an_error() {
+        let triangle = library::topology_circuit(3, &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        let tree = Backend::uniform("tree", topology::binary_tree(7), 0.0, 0.0);
+        assert!(matches!(
+            evaluate_device(&triangle, &tree),
+            Err(LayoutError::NoEmbedding { .. })
+        ));
+        let big = library::topology_circuit(10, &[(0, 1)]).unwrap();
+        let small = Backend::uniform("small", topology::line(4), 0.0, 0.0);
+        assert!(best_layouts(&big, &small, 3).is_err());
+    }
+
+    #[test]
+    fn rank_devices_prefers_matching_topology() {
+        // A tree-shaped request against tree / ring / line devices with equal
+        // error rates: only the tree device can host it without penalty
+        // (this is the Fig. 9 scenario).
+        let tree_map = topology::binary_tree(10);
+        let request = library::topology_circuit(10, &tree_map.edges()).unwrap();
+        let devices = vec![
+            Backend::uniform("device-ring", topology::ring(10), 0.01, 0.05),
+            Backend::uniform("device-tree", topology::binary_tree(10), 0.01, 0.05),
+            Backend::uniform("device-line", topology::line(10), 0.01, 0.05),
+        ];
+        let ranking = rank_devices(&request, &devices);
+        assert_eq!(ranking.len(), 1, "only the tree device embeds the tree request");
+        assert_eq!(ranking[0].device, "device-tree");
+    }
+
+    #[test]
+    fn rank_devices_prefers_lower_error_when_both_embed() {
+        let request = library::topology_circuit(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let devices = vec![
+            Backend::uniform("noisy", topology::line(6), 0.02, 0.3),
+            Backend::uniform("quiet", topology::line(6), 0.001, 0.01),
+        ];
+        let ranking = rank_devices(&request, &devices);
+        assert_eq!(ranking.len(), 2);
+        assert_eq!(ranking[0].device, "quiet");
+        assert!(ranking[0].best.score < ranking[1].best.score);
+    }
+
+    #[test]
+    fn isolated_qubits_get_placed() {
+        // 4-qubit circuit where qubit 3 never interacts.
+        let mut circuit = Circuit::new(4, 4);
+        circuit.cx(0, 1).unwrap();
+        circuit.cx(1, 2).unwrap();
+        circuit.h(3).unwrap();
+        circuit.measure_all().unwrap();
+        let backend = Backend::uniform("line", topology::line(6), 0.01, 0.05);
+        let layouts = best_layouts(&circuit, &backend, 3).unwrap();
+        for sl in &layouts {
+            let mut sorted = sl.layout.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 4, "layout must be injective: {:?}", sl.layout);
+        }
+    }
+
+    #[test]
+    fn evaluate_device_reports_name() {
+        let circuit = library::topology_circuit(2, &[(0, 1)]).unwrap();
+        let backend = Backend::uniform("named-device", topology::line(3), 0.0, 0.05);
+        let eval = evaluate_device(&circuit, &backend).unwrap();
+        assert_eq!(eval.device, "named-device");
+        assert!(eval.embeddings_examined >= 1);
+    }
+}

@@ -1,0 +1,142 @@
+//! Error-aware layout scoring (the Mapomatic cost function).
+//!
+//! Each candidate embedding of a circuit onto a device subgraph is scored with
+//! an estimate of the error the circuit would accumulate there: the complement
+//! of the product of per-gate and per-readout success probabilities. Lower is
+//! better, matching the paper's convention that the scheduler picks the device
+//! with the lowest score (§3.5).
+
+use qrio_backend::Backend;
+use qrio_circuit::{Circuit, Gate};
+
+use crate::error::LayoutError;
+
+/// Score a concrete layout of `circuit` on `backend`.
+///
+/// `layout[virtual_qubit]` is the physical qubit assigned to that virtual
+/// qubit. The score is `1 − Π(1 − ε)` over all gates and measurements, so a
+/// perfect device scores 0 and an unusable one approaches 1. Two-qubit gates
+/// mapped onto uncoupled pairs contribute an error of 1, driving the score to
+/// its maximum — exactly the behaviour needed to discard invalid embeddings.
+///
+/// # Errors
+///
+/// Returns an error if the layout does not cover the circuit or maps outside
+/// the device.
+pub fn score_layout(circuit: &Circuit, backend: &Backend, layout: &[usize]) -> Result<f64, LayoutError> {
+    if layout.len() < circuit.num_qubits() {
+        return Err(LayoutError::LayoutTooShort {
+            layout_len: layout.len(),
+            circuit_qubits: circuit.num_qubits(),
+        });
+    }
+    for &p in layout.iter().take(circuit.num_qubits()) {
+        if p >= backend.num_qubits() {
+            return Err(LayoutError::PhysicalOutOfRange { physical: p, device_qubits: backend.num_qubits() });
+        }
+    }
+    let mut success: f64 = 1.0;
+    let mut measured_any = false;
+    for inst in circuit.instructions() {
+        match inst.gate {
+            Gate::Barrier | Gate::Reset => {}
+            Gate::Measure => {
+                measured_any = true;
+                let p = layout[inst.qubits[0]];
+                success *= 1.0 - backend.qubit(p).readout_error;
+            }
+            ref gate if gate.is_two_qubit() => {
+                let (a, b) = (layout[inst.qubits[0]], layout[inst.qubits[1]]);
+                success *= 1.0 - backend.two_qubit_error_or_default(a, b);
+            }
+            Gate::CCX => {
+                // Three-qubit gates decompose into 6 CX; approximate with the
+                // product of the three pairwise errors.
+                let (a, b, c) = (layout[inst.qubits[0]], layout[inst.qubits[1]], layout[inst.qubits[2]]);
+                success *= 1.0 - backend.two_qubit_error_or_default(a, c);
+                success *= 1.0 - backend.two_qubit_error_or_default(b, c);
+                success *= 1.0 - backend.two_qubit_error_or_default(a, b);
+            }
+            _ => {
+                let p = layout[inst.qubits[0]];
+                success *= 1.0 - backend.qubit(p).single_qubit_error;
+            }
+        }
+    }
+    if !measured_any {
+        // Mapomatic always accounts for readout on the active qubits.
+        for &v in &circuit.active_qubits() {
+            success *= 1.0 - backend.qubit(layout[v]).readout_error;
+        }
+    }
+    Ok((1.0 - success).clamp(0.0, 1.0))
+}
+
+/// Score expressed on the 0–100 scale used by the QRIO meta server when it
+/// replies to the scheduler's ranking plugin.
+pub fn score_layout_percent(circuit: &Circuit, backend: &Backend, layout: &[usize]) -> Result<f64, LayoutError> {
+    Ok(score_layout(circuit, backend, layout)? * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrio_backend::topology;
+    use qrio_circuit::library;
+
+    #[test]
+    fn perfect_device_scores_zero() {
+        let circuit = library::ghz(3).unwrap();
+        let backend = Backend::uniform("perfect", topology::line(3), 0.0, 0.0);
+        let score = score_layout(&circuit, &backend, &[0, 1, 2]).unwrap();
+        assert!(score.abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisier_devices_score_higher() {
+        let circuit = library::ghz(3).unwrap();
+        let good = Backend::uniform("good", topology::line(3), 0.001, 0.01);
+        let bad = Backend::uniform("bad", topology::line(3), 0.01, 0.2);
+        let s_good = score_layout(&circuit, &good, &[0, 1, 2]).unwrap();
+        let s_bad = score_layout(&circuit, &bad, &[0, 1, 2]).unwrap();
+        assert!(s_bad > s_good);
+        assert!((0.0..=1.0).contains(&s_bad));
+    }
+
+    #[test]
+    fn uncoupled_mapping_is_heavily_penalised() {
+        let mut circuit = Circuit::new(2, 2);
+        circuit.cx(0, 1).unwrap();
+        circuit.measure_all().unwrap();
+        let backend = Backend::uniform("line", topology::line(4), 0.0, 0.01);
+        let coupled = score_layout(&circuit, &backend, &[0, 1]).unwrap();
+        let uncoupled = score_layout(&circuit, &backend, &[0, 3]).unwrap();
+        assert!(coupled < 0.1);
+        assert!(uncoupled > 0.9);
+    }
+
+    #[test]
+    fn layout_errors_are_reported() {
+        let circuit = library::ghz(3).unwrap();
+        let backend = Backend::uniform("line", topology::line(3), 0.0, 0.0);
+        assert!(score_layout(&circuit, &backend, &[0, 1]).is_err());
+        assert!(score_layout(&circuit, &backend, &[0, 1, 7]).is_err());
+    }
+
+    #[test]
+    fn readout_counts_even_without_measurements() {
+        let circuit = library::topology_circuit(2, &[(0, 1)]).unwrap();
+        let backend = Backend::uniform("line", topology::line(2), 0.0, 0.0).with_uniform_readout_error(0.1);
+        let score = score_layout(&circuit, &backend, &[0, 1]).unwrap();
+        assert!(score > 0.15, "readout error should contribute: {score}");
+    }
+
+    #[test]
+    fn percent_scale_matches() {
+        let circuit = library::ghz(2).unwrap();
+        let backend = Backend::uniform("line", topology::line(2), 0.0, 0.1);
+        let raw = score_layout(&circuit, &backend, &[0, 1]).unwrap();
+        let pct = score_layout_percent(&circuit, &backend, &[0, 1]).unwrap();
+        assert!((pct - raw * 100.0).abs() < 1e-9);
+    }
+}

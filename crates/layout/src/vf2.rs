@@ -1,0 +1,263 @@
+//! Subgraph monomorphism search (VF2-style backtracking).
+//!
+//! The topology-ranking strategy needs to find placements of the user's
+//! requested interaction graph inside a device's coupling map (paper §3.4.2).
+//! This module enumerates injective vertex mappings under which every pattern
+//! edge lands on a device edge, with degree-based pruning and a result limit
+//! so dense devices stay tractable (the paper notes Mapomatic itself struggles
+//! on densely connected devices).
+
+use qrio_backend::CouplingMap;
+
+/// A pattern graph to embed: `num_vertices` vertices and undirected edges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternGraph {
+    num_vertices: usize,
+    edges: Vec<(usize, usize)>,
+    adjacency: Vec<Vec<usize>>,
+}
+
+impl PatternGraph {
+    /// Build a pattern from an edge list. Self-loops and out-of-range edges
+    /// are ignored.
+    pub fn new(num_vertices: usize, edges: &[(usize, usize)]) -> Self {
+        let mut adjacency = vec![Vec::new(); num_vertices];
+        let mut cleaned = Vec::new();
+        for &(a, b) in edges {
+            if a == b || a >= num_vertices || b >= num_vertices {
+                continue;
+            }
+            let key = (a.min(b), a.max(b));
+            if cleaned.contains(&key) {
+                continue;
+            }
+            cleaned.push(key);
+            adjacency[a].push(b);
+            adjacency[b].push(a);
+        }
+        PatternGraph { num_vertices, edges: cleaned, adjacency }
+    }
+
+    /// Number of pattern vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// The deduplicated pattern edges.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Degree of a pattern vertex.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adjacency[v].len()
+    }
+}
+
+/// Options for the monomorphism search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchOptions {
+    /// Stop after finding this many embeddings.
+    pub max_results: usize,
+    /// Abort after exploring this many search-tree nodes (guards against the
+    /// combinatorial blow-up on densely connected devices).
+    pub max_nodes: usize,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions { max_results: 256, max_nodes: 200_000 }
+    }
+}
+
+/// Find injective mappings `pattern vertex -> device qubit` such that every
+/// pattern edge maps onto a device edge.
+///
+/// Returns at most `options.max_results` embeddings; each embedding is a
+/// vector indexed by pattern vertex. Vertices are matched in
+/// highest-degree-first order, which prunes aggressively on sparse devices.
+pub fn find_embeddings(
+    pattern: &PatternGraph,
+    device: &CouplingMap,
+    options: SearchOptions,
+) -> Vec<Vec<usize>> {
+    let p = pattern.num_vertices();
+    if p == 0 {
+        return vec![Vec::new()];
+    }
+    if p > device.num_qubits() {
+        return Vec::new();
+    }
+    // Match order: decreasing degree, then index (stable).
+    let mut order: Vec<usize> = (0..p).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(pattern.degree(v)));
+
+    let mut results = Vec::new();
+    let mut mapping = vec![usize::MAX; p];
+    let mut used = vec![false; device.num_qubits()];
+    let mut nodes_explored = 0usize;
+    search(
+        pattern,
+        device,
+        &order,
+        0,
+        &mut mapping,
+        &mut used,
+        &mut results,
+        &options,
+        &mut nodes_explored,
+    );
+    results
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search(
+    pattern: &PatternGraph,
+    device: &CouplingMap,
+    order: &[usize],
+    depth: usize,
+    mapping: &mut Vec<usize>,
+    used: &mut Vec<bool>,
+    results: &mut Vec<Vec<usize>>,
+    options: &SearchOptions,
+    nodes: &mut usize,
+) {
+    if results.len() >= options.max_results || *nodes >= options.max_nodes {
+        return;
+    }
+    if depth == order.len() {
+        results.push(mapping.clone());
+        return;
+    }
+    let v = order[depth];
+    // Candidates: if v has an already-mapped neighbor, restrict to the device
+    // neighborhood of one such neighbor; otherwise any unused device qubit.
+    let mapped_neighbor = pattern_neighbors(pattern, v).iter().copied().find(|&n| mapping[n] != usize::MAX);
+    let candidates: Vec<usize> = match mapped_neighbor {
+        Some(n) => device.neighbors(mapping[n]).to_vec(),
+        None => (0..device.num_qubits()).collect(),
+    };
+    for candidate in candidates {
+        if used[candidate] {
+            continue;
+        }
+        *nodes += 1;
+        if *nodes >= options.max_nodes {
+            return;
+        }
+        if device.degree(candidate) < pattern.degree(v) {
+            continue;
+        }
+        // Consistency: every mapped pattern neighbor must be a device neighbor.
+        let consistent = pattern_neighbors(pattern, v)
+            .iter()
+            .filter(|&&n| mapping[n] != usize::MAX)
+            .all(|&n| device.has_edge(candidate, mapping[n]));
+        if !consistent {
+            continue;
+        }
+        mapping[v] = candidate;
+        used[candidate] = true;
+        search(pattern, device, order, depth + 1, mapping, used, results, options, nodes);
+        mapping[v] = usize::MAX;
+        used[candidate] = false;
+        if results.len() >= options.max_results {
+            return;
+        }
+    }
+}
+
+fn pattern_neighbors(pattern: &PatternGraph, v: usize) -> &[usize] {
+    &pattern.adjacency[v]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrio_backend::topology;
+
+    #[test]
+    fn line_embeds_in_ring() {
+        let pattern = PatternGraph::new(3, &[(0, 1), (1, 2)]);
+        let ring = topology::ring(5);
+        let embeddings = find_embeddings(&pattern, &ring, SearchOptions::default());
+        assert!(!embeddings.is_empty());
+        for emb in &embeddings {
+            assert!(ring.has_edge(emb[0], emb[1]));
+            assert!(ring.has_edge(emb[1], emb[2]));
+            // Injective.
+            assert_ne!(emb[0], emb[2]);
+        }
+    }
+
+    #[test]
+    fn triangle_does_not_embed_in_tree() {
+        let pattern = PatternGraph::new(3, &[(0, 1), (1, 2), (0, 2)]);
+        let tree = topology::binary_tree(7);
+        assert!(find_embeddings(&pattern, &tree, SearchOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn star_needs_a_high_degree_vertex() {
+        let star4 = PatternGraph::new(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let line = topology::line(10);
+        assert!(find_embeddings(&star4, &line, SearchOptions::default()).is_empty());
+        let device_star = topology::star(6);
+        assert!(!find_embeddings(&star4, &device_star, SearchOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn pattern_larger_than_device_has_no_embedding() {
+        let pattern = PatternGraph::new(6, &[(0, 1)]);
+        let device = topology::line(4);
+        assert!(find_embeddings(&pattern, &device, SearchOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn empty_pattern_has_trivial_embedding() {
+        let pattern = PatternGraph::new(0, &[]);
+        let device = topology::line(3);
+        let embeddings = find_embeddings(&pattern, &device, SearchOptions::default());
+        assert_eq!(embeddings, vec![Vec::<usize>::new()]);
+    }
+
+    #[test]
+    fn result_limit_is_respected() {
+        let pattern = PatternGraph::new(2, &[(0, 1)]);
+        let device = topology::fully_connected(10);
+        let options = SearchOptions { max_results: 5, max_nodes: 100_000 };
+        let embeddings = find_embeddings(&pattern, &device, options);
+        assert_eq!(embeddings.len(), 5);
+    }
+
+    #[test]
+    fn node_budget_terminates_search_on_dense_devices() {
+        let pattern = PatternGraph::new(6, &topology::fully_connected(6).edges());
+        let device = topology::fully_connected(40);
+        let options = SearchOptions { max_results: 10_000, max_nodes: 5_000 };
+        // Must terminate quickly; correctness of partial enumeration is fine.
+        let embeddings = find_embeddings(&pattern, &device, options);
+        assert!(embeddings.len() <= 10_000);
+    }
+
+    #[test]
+    fn pattern_graph_cleans_input() {
+        let pattern = PatternGraph::new(3, &[(0, 1), (1, 0), (2, 2), (0, 9)]);
+        assert_eq!(pattern.edges(), &[(0, 1)]);
+        assert_eq!(pattern.degree(0), 1);
+        assert_eq!(pattern.degree(2), 0);
+    }
+
+    #[test]
+    fn disconnected_pattern_embeds() {
+        // Two disjoint edges into a line of 5.
+        let pattern = PatternGraph::new(4, &[(0, 1), (2, 3)]);
+        let device = topology::line(5);
+        let embeddings = find_embeddings(&pattern, &device, SearchOptions::default());
+        assert!(!embeddings.is_empty());
+        for emb in &embeddings {
+            assert!(device.has_edge(emb[0], emb[1]));
+            assert!(device.has_edge(emb[2], emb[3]));
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! # qrio-meta
+//!
+//! The QRIO Meta Server (reproduction of *Empowering the Quantum Cloud User
+//! with QRIO*, IISWC 2024, §3.4).
+//!
+//! The meta server is the scoring brain of QRIO: it stores a copy of every
+//! vendor backend, keeps the per-job metadata the visualizer uploads
+//! (Table 1), and answers the scheduler's score requests with one of two
+//! strategies:
+//!
+//! * [`fidelity_ranking`] — Clifford-canary evaluation against a user-supplied
+//!   fidelity target (Gottesman–Knill makes the noise-free reference
+//!   tractable at any circuit size),
+//! * [`topology_ranking`] — Mapomatic-style scoring of the user-drawn
+//!   topology circuit against each device's coupling map.
+//!
+//! Scores are "lower is better" throughout, matching the paper's convention.
+//!
+//! # Examples
+//!
+//! ```
+//! use qrio_backend::{topology, Backend};
+//! use qrio_circuit::{library, qasm};
+//! use qrio_meta::MetaServer;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut meta = MetaServer::new();
+//! meta.register_backend(Backend::uniform("clean", topology::line(6), 0.0, 0.0));
+//! meta.register_backend(Backend::uniform("noisy", topology::line(6), 0.05, 0.3));
+//!
+//! let bv = library::bernstein_vazirani(5, 0b10101)?;
+//! meta.upload_fidelity_metadata("bv-job", 0.95, &qasm::to_qasm(&bv))?;
+//! let ranked = meta.score_all("bv-job")?;
+//! assert_eq!(ranked[0].device(), "clean");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+pub mod fidelity_ranking;
+mod server;
+pub mod topology_ranking;
+
+pub use error::MetaError;
+pub use fidelity_ranking::{canary_fidelity_on_backend, evaluate_fidelity, FidelityEvaluation, FidelityRankingConfig};
+pub use server::{JobMetadata, MetaServer, ScoreResponse};
+pub use topology_ranking::{evaluate_topology, topology_circuit, TopologyEvaluation};

@@ -1,0 +1,297 @@
+//! The QRIO Meta Server: backend store, per-job metadata and score requests.
+//!
+//! The meta server holds a copy of every vendor backend file and the metadata
+//! the visualizer uploads for each job (Table 1): for the fidelity workflow,
+//! the target fidelity and the user's QASM circuit; for the topology workflow,
+//! the user-drawn topology circuit. When the scheduler's ranking plugin asks
+//! for a score of a job against a device, the server dispatches to the
+//! matching strategy (§3.4).
+
+use std::collections::BTreeMap;
+
+use qrio_backend::{spec as backend_spec, Backend};
+use qrio_circuit::{qasm, Circuit};
+
+use crate::error::MetaError;
+use crate::fidelity_ranking::{evaluate_fidelity, FidelityEvaluation, FidelityRankingConfig};
+use crate::topology_ranking::{evaluate_topology, TopologyEvaluation};
+
+/// Metadata stored per job, mirroring Table 1 of the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobMetadata {
+    /// Fidelity workflow: target fidelity plus the user's original circuit.
+    Fidelity {
+        /// Requested fidelity in `[0, 1]`.
+        target: f64,
+        /// The user circuit (parsed from the uploaded QASM file).
+        circuit: Circuit,
+    },
+    /// Topology workflow: the user-drawn topology as a topology circuit.
+    Topology {
+        /// One CNOT per requested interaction edge.
+        topology_circuit: Circuit,
+    },
+}
+
+/// A score produced for a (job, device) pair. Lower is better.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScoreResponse {
+    /// Result of the fidelity-ranking strategy.
+    Fidelity(FidelityEvaluation),
+    /// Result of the topology-ranking strategy.
+    Topology(TopologyEvaluation),
+}
+
+impl ScoreResponse {
+    /// The numeric score (lower is better), regardless of strategy.
+    pub fn score(&self) -> f64 {
+        match self {
+            ScoreResponse::Fidelity(e) => e.score,
+            ScoreResponse::Topology(e) => e.score,
+        }
+    }
+
+    /// The device the score refers to.
+    pub fn device(&self) -> &str {
+        match self {
+            ScoreResponse::Fidelity(e) => &e.device,
+            ScoreResponse::Topology(e) => &e.device,
+        }
+    }
+}
+
+/// The QRIO Meta Server.
+#[derive(Debug, Clone, Default)]
+pub struct MetaServer {
+    backends: BTreeMap<String, Backend>,
+    jobs: BTreeMap<String, JobMetadata>,
+    fidelity_config: FidelityRankingConfig,
+}
+
+impl MetaServer {
+    /// An empty meta server with default scoring configuration.
+    pub fn new() -> Self {
+        MetaServer::default()
+    }
+
+    /// An empty meta server with a custom fidelity-ranking configuration.
+    pub fn with_config(fidelity_config: FidelityRankingConfig) -> Self {
+        MetaServer { fidelity_config, ..MetaServer::default() }
+    }
+
+    /// The fidelity-ranking configuration in use.
+    pub fn fidelity_config(&self) -> &FidelityRankingConfig {
+        &self.fidelity_config
+    }
+
+    // --- Backend store -------------------------------------------------------------------
+
+    /// Register a vendor backend (a copy of the node's backend file, §3.1).
+    pub fn register_backend(&mut self, backend: Backend) {
+        self.backends.insert(backend.name().to_string(), backend);
+    }
+
+    /// Register a backend from its `backend.spec` text.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the spec does not parse.
+    pub fn register_backend_spec(&mut self, spec_text: &str) -> Result<(), MetaError> {
+        let backend = backend_spec::from_spec(spec_text)
+            .map_err(|e| MetaError::InvalidMetadata(format!("bad backend spec: {e}")))?;
+        self.register_backend(backend);
+        Ok(())
+    }
+
+    /// Look up a registered backend.
+    pub fn backend(&self, device: &str) -> Option<&Backend> {
+        self.backends.get(device)
+    }
+
+    /// Names of all registered backends.
+    pub fn device_names(&self) -> Vec<&str> {
+        self.backends.keys().map(String::as_str).collect()
+    }
+
+    /// Number of registered backends.
+    pub fn device_count(&self) -> usize {
+        self.backends.len()
+    }
+
+    // --- Job metadata (Table 1) ----------------------------------------------------------
+
+    /// Upload fidelity-workflow metadata: the target fidelity and the user's
+    /// QASM circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the target is outside `[0, 1]` or the QASM fails to
+    /// parse.
+    pub fn upload_fidelity_metadata(
+        &mut self,
+        job_name: impl Into<String>,
+        target: f64,
+        qasm_text: &str,
+    ) -> Result<(), MetaError> {
+        if !(0.0..=1.0).contains(&target) {
+            return Err(MetaError::InvalidMetadata(format!("fidelity {target} outside [0, 1]")));
+        }
+        let circuit = qasm::parse_qasm(qasm_text)?;
+        self.jobs.insert(job_name.into(), JobMetadata::Fidelity { target, circuit });
+        Ok(())
+    }
+
+    /// Upload topology-workflow metadata: the user-drawn topology circuit.
+    pub fn upload_topology_metadata(&mut self, job_name: impl Into<String>, topology_circuit: Circuit) {
+        self.jobs.insert(job_name.into(), JobMetadata::Topology { topology_circuit });
+    }
+
+    /// The metadata stored for a job, if any.
+    pub fn job_metadata(&self, job_name: &str) -> Option<&JobMetadata> {
+        self.jobs.get(job_name)
+    }
+
+    // --- Scoring -------------------------------------------------------------------------
+
+    /// Score `job_name` against `device` (the request body of §3.4). The
+    /// strategy is chosen by the stored metadata: fidelity if a fidelity
+    /// threshold exists for the job, topology otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown jobs or devices, or when the underlying
+    /// strategy fails.
+    pub fn score(&self, job_name: &str, device: &str) -> Result<ScoreResponse, MetaError> {
+        let metadata =
+            self.jobs.get(job_name).ok_or_else(|| MetaError::UnknownJob(job_name.to_string()))?;
+        let backend =
+            self.backends.get(device).ok_or_else(|| MetaError::UnknownDevice(device.to_string()))?;
+        match metadata {
+            JobMetadata::Fidelity { target, circuit } => {
+                let evaluation = evaluate_fidelity(circuit, *target, backend, &self.fidelity_config)?;
+                Ok(ScoreResponse::Fidelity(evaluation))
+            }
+            JobMetadata::Topology { topology_circuit } => {
+                let evaluation = evaluate_topology(topology_circuit, backend)?;
+                Ok(ScoreResponse::Topology(evaluation))
+            }
+        }
+    }
+
+    /// Score a job against every registered device, returning successful
+    /// evaluations sorted best (lowest score) first. Devices that cannot host
+    /// the job are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the job is unknown.
+    pub fn score_all(&self, job_name: &str) -> Result<Vec<ScoreResponse>, MetaError> {
+        if !self.jobs.contains_key(job_name) {
+            return Err(MetaError::UnknownJob(job_name.to_string()));
+        }
+        let mut responses: Vec<ScoreResponse> = self
+            .backends
+            .keys()
+            .filter_map(|device| self.score(job_name, device).ok())
+            .collect();
+        responses.sort_by(|a, b| a.score().partial_cmp(&b.score()).unwrap_or(std::cmp::Ordering::Equal));
+        Ok(responses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrio_backend::{spec, topology};
+    use qrio_circuit::library;
+
+    fn server_with_devices() -> MetaServer {
+        let mut server = MetaServer::with_config(FidelityRankingConfig {
+            shots: 128,
+            seed: 3,
+            shortfall_weight: 100.0,
+        });
+        server.register_backend(Backend::uniform("clean", topology::line(8), 0.0, 0.0));
+        server.register_backend(Backend::uniform("noisy", topology::line(8), 0.05, 0.3));
+        server.register_backend(Backend::uniform("tree", topology::binary_tree(8), 0.01, 0.05));
+        server
+    }
+
+    #[test]
+    fn backend_registration_and_lookup() {
+        let mut server = server_with_devices();
+        assert_eq!(server.device_count(), 3);
+        assert!(server.backend("clean").is_some());
+        assert!(server.backend("missing").is_none());
+        // Spec-based registration (the vendor path).
+        let text = spec::to_spec(&Backend::uniform("from-spec", topology::ring(4), 0.01, 0.02));
+        server.register_backend_spec(&text).unwrap();
+        assert!(server.backend("from-spec").is_some());
+        assert!(server.register_backend_spec("garbage").is_err());
+    }
+
+    #[test]
+    fn fidelity_scoring_dispatch() {
+        let mut server = server_with_devices();
+        let bv = library::bernstein_vazirani(5, 0b10110).unwrap();
+        server
+            .upload_fidelity_metadata("bv-job", 0.95, &qrio_circuit::qasm::to_qasm(&bv))
+            .unwrap();
+        assert!(matches!(server.job_metadata("bv-job"), Some(JobMetadata::Fidelity { .. })));
+        let clean = server.score("bv-job", "clean").unwrap();
+        let noisy = server.score("bv-job", "noisy").unwrap();
+        assert!(clean.score() < noisy.score());
+        match clean {
+            ScoreResponse::Fidelity(e) => assert!(e.canary_fidelity > 0.9),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn topology_scoring_dispatch() {
+        // Fig. 9 style: devices differ only in topology, so the device whose
+        // coupling map matches the requested tree must win.
+        let mut server = MetaServer::new();
+        server.register_backend(Backend::uniform("eq-tree", topology::binary_tree(8), 0.01, 0.05));
+        server.register_backend(Backend::uniform("eq-ring", topology::ring(8), 0.01, 0.05));
+        server.register_backend(Backend::uniform("eq-line", topology::line(8), 0.01, 0.05));
+        let request = library::topology_circuit(8, &topology::binary_tree(8).edges()).unwrap();
+        server.upload_topology_metadata("topo-job", request);
+        let ranked = server.score_all("topo-job").unwrap();
+        assert_eq!(ranked.len(), 3);
+        assert_eq!(ranked[0].device(), "eq-tree");
+        for window in ranked.windows(2) {
+            assert!(window[0].score() <= window[1].score());
+        }
+    }
+
+    #[test]
+    fn unknown_job_and_device_errors() {
+        let mut server = server_with_devices();
+        assert!(matches!(server.score("nope", "clean"), Err(MetaError::UnknownJob(_))));
+        assert!(server.score_all("nope").is_err());
+        let bv = library::bernstein_vazirani(3, 0b101).unwrap();
+        server.upload_fidelity_metadata("j", 0.9, &qrio_circuit::qasm::to_qasm(&bv)).unwrap();
+        assert!(matches!(server.score("j", "missing"), Err(MetaError::UnknownDevice(_))));
+    }
+
+    #[test]
+    fn invalid_metadata_is_rejected() {
+        let mut server = server_with_devices();
+        let bv = library::bernstein_vazirani(3, 0b1).unwrap();
+        let text = qrio_circuit::qasm::to_qasm(&bv);
+        assert!(server.upload_fidelity_metadata("bad", 1.5, &text).is_err());
+        assert!(server.upload_fidelity_metadata("bad", 0.9, "not qasm at all $$").is_err());
+    }
+
+    #[test]
+    fn score_all_skips_undersized_devices() {
+        let mut server = server_with_devices();
+        server.register_backend(Backend::uniform("tiny", topology::line(2), 0.0, 0.0));
+        let ghz = library::ghz(6).unwrap();
+        server.upload_fidelity_metadata("ghz-job", 0.9, &qrio_circuit::qasm::to_qasm(&ghz)).unwrap();
+        let ranked = server.score_all("ghz-job").unwrap();
+        assert!(ranked.iter().all(|r| r.device() != "tiny"));
+        assert!(!ranked.is_empty());
+    }
+}

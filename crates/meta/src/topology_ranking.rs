@@ -1,0 +1,157 @@
+//! The Topology Ranking strategy (paper §3.4.2).
+//!
+//! The user draws the interaction topology they want (one edge per desired
+//! qubit–qubit interaction); the visualizer converts it into a *topology
+//! circuit* with one CNOT per edge. The meta server then scores each candidate
+//! device with a Mapomatic-style search: find the device subgraph that best
+//! hosts the requested topology and report its error-aware cost. Devices that
+//! cannot host the topology at all fall back to a routed placement, whose
+//! extra SWAP gates naturally inflate the score.
+
+use qrio_backend::Backend;
+use qrio_circuit::{library, Circuit};
+use qrio_layout::{evaluate_device, score_layout_percent, LayoutError};
+use qrio_transpiler::{deflate, transpile};
+
+use crate::error::MetaError;
+
+/// The result of evaluating one device for a topology-ranked job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologyEvaluation {
+    /// Device that was evaluated.
+    pub device: String,
+    /// Score returned to the scheduler (lower is better).
+    pub score: f64,
+    /// Whether the requested topology embeds exactly in the device.
+    pub exact_embedding: bool,
+    /// The best layout found (physical qubit per requested qubit) when an
+    /// exact embedding exists.
+    pub layout: Option<Vec<usize>>,
+}
+
+/// Build the topology circuit for a user-drawn edge list (§3.2): a circuit of
+/// `num_qubits` qubits with one CNOT per requested interaction.
+///
+/// # Errors
+///
+/// Returns an error if an edge is out of range or a self-loop.
+pub fn topology_circuit(num_qubits: usize, edges: &[(usize, usize)]) -> Result<Circuit, MetaError> {
+    Ok(library::topology_circuit(num_qubits, edges)?)
+}
+
+/// Score `backend` for a topology request expressed as a topology circuit.
+///
+/// When the requested interaction graph embeds in the device, the score is the
+/// Mapomatic cost (×100) of the best embedding. Otherwise the topology circuit
+/// is routed onto the device and the routed placement is scored — the inserted
+/// SWAPs raise the error estimate, so non-matching devices rank strictly worse
+/// than matching ones with comparable calibration.
+///
+/// # Errors
+///
+/// Returns an error if the device is smaller than the request or scoring
+/// fails.
+pub fn evaluate_topology(
+    topology_circuit: &Circuit,
+    backend: &Backend,
+) -> Result<TopologyEvaluation, MetaError> {
+    match evaluate_device(topology_circuit, backend) {
+        Ok(evaluation) => Ok(TopologyEvaluation {
+            device: backend.name().to_string(),
+            score: evaluation.best.score * 100.0,
+            exact_embedding: true,
+            layout: Some(evaluation.best.layout),
+        }),
+        Err(LayoutError::NoEmbedding { .. }) => {
+            // Fall back to routing: the added SWAPs penalise the mismatch.
+            let transpiled = transpile(topology_circuit, backend)?;
+            let deflated = deflate(&transpiled.circuit, backend)?;
+            let identity: Vec<usize> = (0..deflated.circuit.num_qubits()).collect();
+            let score = score_layout_percent(&deflated.circuit, &deflated.backend, &identity)?;
+            Ok(TopologyEvaluation {
+                device: backend.name().to_string(),
+                score,
+                exact_embedding: false,
+                layout: None,
+            })
+        }
+        Err(other) => Err(other.into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrio_backend::{topology, DefaultTopology};
+
+    #[test]
+    fn matching_topology_beats_non_matching_with_equal_errors() {
+        // Fig. 9 scenario: tree-shaped request, tree/ring/line 10-qubit devices
+        // with identical calibration — the tree device must win.
+        let tree_edges = topology::binary_tree(10).edges();
+        let request = topology_circuit(10, &tree_edges).unwrap();
+        let devices = [
+            Backend::uniform("device-ring", topology::ring(10), 0.01, 0.05),
+            Backend::uniform("device-tree", topology::binary_tree(10), 0.01, 0.05),
+            Backend::uniform("device-line", topology::line(10), 0.01, 0.05),
+        ];
+        let mut scored: Vec<(String, f64, bool)> = devices
+            .iter()
+            .map(|b| {
+                let e = evaluate_topology(&request, b).unwrap();
+                (e.device, e.score, e.exact_embedding)
+            })
+            .collect();
+        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        assert_eq!(scored[0].0, "device-tree");
+        assert!(scored[0].2, "tree device should embed exactly");
+        assert!(!scored[1].2 && !scored[2].2);
+    }
+
+    #[test]
+    fn fully_connected_requests_only_fit_dense_devices() {
+        let request = topology_circuit(4, &topology::fully_connected(4).edges()).unwrap();
+        let dense = Backend::uniform("dense", topology::fully_connected(6), 0.01, 0.05);
+        let sparse = Backend::uniform("sparse", topology::line(6), 0.01, 0.05);
+        let dense_eval = evaluate_topology(&request, &dense).unwrap();
+        let sparse_eval = evaluate_topology(&request, &sparse).unwrap();
+        assert!(dense_eval.exact_embedding);
+        assert!(!sparse_eval.exact_embedding);
+        assert!(dense_eval.score < sparse_eval.score);
+    }
+
+    #[test]
+    fn default_topologies_score_on_paper_style_devices() {
+        let device = Backend::uniform("grid-device", topology::grid(3, 4), 0.02, 0.08);
+        for default in DefaultTopology::ALL {
+            let request = topology_circuit(default.num_qubits(), &default.edges()).unwrap();
+            let eval = evaluate_topology(&request, &device).unwrap();
+            assert!(eval.score >= 0.0);
+            assert_eq!(eval.device, "grid-device");
+        }
+    }
+
+    #[test]
+    fn lower_error_device_wins_when_both_embed() {
+        let request = topology_circuit(3, &[(0, 1), (1, 2)]).unwrap();
+        let quiet = Backend::uniform("quiet", topology::line(5), 0.001, 0.01);
+        let noisy = Backend::uniform("noisy", topology::line(5), 0.02, 0.3);
+        let q = evaluate_topology(&request, &quiet).unwrap();
+        let n = evaluate_topology(&request, &noisy).unwrap();
+        assert!(q.score < n.score);
+        assert!(q.layout.is_some());
+    }
+
+    #[test]
+    fn request_larger_than_device_is_an_error() {
+        let request = topology_circuit(8, &[(0, 1)]).unwrap();
+        let device = Backend::uniform("tiny", topology::line(3), 0.0, 0.0);
+        assert!(evaluate_topology(&request, &device).is_err());
+    }
+
+    #[test]
+    fn invalid_edges_are_rejected() {
+        assert!(topology_circuit(3, &[(0, 5)]).is_err());
+        assert!(topology_circuit(3, &[(1, 1)]).is_err());
+    }
+}

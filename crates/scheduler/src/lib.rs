@@ -1,0 +1,58 @@
+//! # qrio-scheduler
+//!
+//! The QRIO scheduler (reproduction of *Empowering the Quantum Cloud User
+//! with QRIO*, IISWC 2024, §3.5) and the baselines the paper compares it to.
+//!
+//! Scheduling a quantum job is a two-stage pipeline:
+//!
+//! 1. **Filtering** ([`filter`]) — devices that violate the user's bounds on
+//!    qubit count, average two-qubit error, readout error or T1/T2 are
+//!    removed (evaluated in Fig. 10).
+//! 2. **Ranking** ([`QrioScheduler`]) — each shortlisted device is scored by
+//!    the QRIO Meta Server (Clifford-canary fidelity or Mapomatic topology
+//!    similarity) and the device with the lowest score wins.
+//!
+//! [`baselines`] provides the comparison points of the evaluation: the random
+//! scheduler (Fig. 6/7) and the oracle scheduler that scores devices with the
+//! original circuit and exact simulation (Fig. 7), plus the fleet-wide
+//! average/median fidelity statistics.
+//!
+//! # Examples
+//!
+//! ```
+//! use qrio_backend::{topology, Backend};
+//! use qrio_circuit::{library, qasm};
+//! use qrio_cluster::DeviceRequirements;
+//! use qrio_meta::MetaServer;
+//! use qrio_scheduler::QrioScheduler;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let fleet = vec![
+//!     Backend::uniform("clean", topology::line(8), 0.001, 0.01),
+//!     Backend::uniform("noisy", topology::line(8), 0.05, 0.4),
+//! ];
+//! let mut meta = MetaServer::new();
+//! for device in &fleet {
+//!     meta.register_backend(device.clone());
+//! }
+//! let bv = library::bernstein_vazirani(5, 0b10101)?;
+//! meta.upload_fidelity_metadata("bv-job", 0.9, &qasm::to_qasm(&bv))?;
+//!
+//! let scheduler = QrioScheduler::new(&meta);
+//! let decision = scheduler.select_device("bv-job", &fleet, &DeviceRequirements::none())?;
+//! assert_eq!(decision.device, "clean");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+mod error;
+pub mod filter;
+mod qrio_scheduler;
+
+pub use baselines::{achieved_fidelity, oracle_select, OracleEntry, OracleOutcome, RandomScheduler};
+pub use error::SchedulerError;
+pub use filter::{filter_backends, filter_backends_report, paper_fig10_thresholds, two_qubit_error_sweep, FilterReport};
+pub use qrio_scheduler::{MetaRankingPlugin, QrioScheduler, SchedulerDecision};

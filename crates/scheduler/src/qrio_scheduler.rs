@@ -1,0 +1,275 @@
+//! The QRIO scheduler: filtering followed by meta-server ranking (§3.5).
+//!
+//! This is the component the paper evaluates "outside the Kubernetes
+//! infrastructure" (§4.1): a scheduler that filters the fleet against the
+//! user's requirements, asks the QRIO Meta Server for a score of the job on
+//! each shortlisted device, and selects the device with the lowest score. The
+//! same logic is also exposed as a cluster [`ScorePlugin`] so it can drive the
+//! in-process Kubernetes-like substrate.
+
+use qrio_backend::Backend;
+use qrio_cluster::{DeviceRequirements, JobSpec, Node, ScorePlugin};
+use qrio_meta::MetaServer;
+
+use crate::error::SchedulerError;
+use crate::filter::filter_backends;
+
+/// The decision made by the QRIO scheduler for one job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedulerDecision {
+    /// The selected device (lowest score).
+    pub device: String,
+    /// The winning score.
+    pub score: f64,
+    /// Every scored candidate, sorted best-first.
+    pub ranked: Vec<(String, f64)>,
+    /// Number of devices that survived filtering.
+    pub shortlisted: usize,
+    /// Number of devices in the original fleet.
+    pub fleet_size: usize,
+}
+
+/// The QRIO scheduler, parameterized by a meta server holding the backend
+/// store and job metadata.
+#[derive(Debug, Clone, Copy)]
+pub struct QrioScheduler<'a> {
+    meta: &'a MetaServer,
+}
+
+impl<'a> QrioScheduler<'a> {
+    /// Create a scheduler backed by `meta`.
+    pub fn new(meta: &'a MetaServer) -> Self {
+        QrioScheduler { meta }
+    }
+
+    /// The meta server the scheduler consults.
+    pub fn meta(&self) -> &MetaServer {
+        self.meta
+    }
+
+    /// Select a device for `job_name` from `fleet`, honouring the user's
+    /// device requirement bounds.
+    ///
+    /// The job's metadata (fidelity target or topology circuit) must already
+    /// have been uploaded to the meta server — that is the visualizer's
+    /// responsibility in the full system.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the fleet is empty, no device passes filtering, no
+    /// shortlisted device can be scored, or the meta server has no metadata
+    /// for the job.
+    pub fn select_device(
+        &self,
+        job_name: &str,
+        fleet: &[Backend],
+        requirements: &DeviceRequirements,
+    ) -> Result<SchedulerDecision, SchedulerError> {
+        if fleet.is_empty() {
+            return Err(SchedulerError::EmptyFleet);
+        }
+        // Surface missing-metadata errors immediately rather than as an empty
+        // ranking.
+        if self.meta.job_metadata(job_name).is_none() {
+            return Err(SchedulerError::Meta(qrio_meta::MetaError::UnknownJob(job_name.to_string())));
+        }
+
+        // Stage 1: filtering.
+        let shortlisted = filter_backends(fleet, requirements);
+        if shortlisted.is_empty() {
+            return Err(SchedulerError::NoDeviceAfterFiltering { job: job_name.to_string() });
+        }
+
+        // Stage 2: ranking via the meta server.
+        let mut ranked: Vec<(String, f64)> = Vec::with_capacity(shortlisted.len());
+        for backend in &shortlisted {
+            match self.meta.score(job_name, backend.name()) {
+                Ok(response) => ranked.push((backend.name().to_string(), response.score())),
+                Err(qrio_meta::MetaError::UnknownDevice(_)) => {
+                    // The fleet may contain devices the meta server has not
+                    // been told about; skip them.
+                    continue;
+                }
+                Err(qrio_meta::MetaError::Transpiler(_)) | Err(qrio_meta::MetaError::Layout(_)) => {
+                    // Device cannot host the job (too small / no embedding).
+                    continue;
+                }
+                Err(other) => return Err(other.into()),
+            }
+        }
+        if ranked.is_empty() {
+            return Err(SchedulerError::NoDeviceCouldBeScored { job: job_name.to_string() });
+        }
+        ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        let (device, score) = ranked[0].clone();
+        Ok(SchedulerDecision {
+            device,
+            score,
+            ranked,
+            shortlisted: shortlisted.len(),
+            fleet_size: fleet.len(),
+        })
+    }
+}
+
+/// A cluster [`ScorePlugin`] that asks the meta server for the score of the
+/// job on each node's device — the "custom ranking plugin" of §3.5.
+#[derive(Debug, Clone, Copy)]
+pub struct MetaRankingPlugin<'a> {
+    meta: &'a MetaServer,
+}
+
+impl<'a> MetaRankingPlugin<'a> {
+    /// Create a ranking plugin backed by `meta`.
+    pub fn new(meta: &'a MetaServer) -> Self {
+        MetaRankingPlugin { meta }
+    }
+}
+
+impl ScorePlugin for MetaRankingPlugin<'_> {
+    fn name(&self) -> &str {
+        "QrioMetaRanking"
+    }
+
+    fn score(&self, spec: &JobSpec, node: &Node) -> Result<f64, String> {
+        self.meta
+            .score(&spec.name, node.name())
+            .map(|response| response.score())
+            .map_err(|err| err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrio_backend::topology;
+    use qrio_circuit::{library, qasm};
+    use qrio_meta::FidelityRankingConfig;
+
+    fn fleet() -> Vec<Backend> {
+        vec![
+            Backend::uniform("clean", topology::line(12), 0.001, 0.01),
+            Backend::uniform("mid", topology::ring(12), 0.02, 0.15),
+            Backend::uniform("noisy", topology::line(12), 0.05, 0.45),
+        ]
+    }
+
+    fn meta_with_fleet(fleet: &[Backend]) -> MetaServer {
+        let mut meta = MetaServer::with_config(FidelityRankingConfig {
+            shots: 128,
+            seed: 11,
+            shortfall_weight: 100.0,
+        });
+        for backend in fleet {
+            meta.register_backend(backend.clone());
+        }
+        meta
+    }
+
+    #[test]
+    fn fidelity_job_selects_the_cleanest_device() {
+        let fleet = fleet();
+        let mut meta = meta_with_fleet(&fleet);
+        let bv = library::bernstein_vazirani(6, 0b110101).unwrap();
+        meta.upload_fidelity_metadata("bv-job", 0.95, &qasm::to_qasm(&bv)).unwrap();
+        let scheduler = QrioScheduler::new(&meta);
+        let decision = scheduler.select_device("bv-job", &fleet, &DeviceRequirements::none()).unwrap();
+        assert_eq!(decision.device, "clean");
+        assert_eq!(decision.shortlisted, 3);
+        assert_eq!(decision.ranked.len(), 3);
+        assert!(decision.ranked[0].1 <= decision.ranked[1].1);
+    }
+
+    #[test]
+    fn filtering_narrows_the_shortlist() {
+        let fleet = fleet();
+        let mut meta = meta_with_fleet(&fleet);
+        let bv = library::bernstein_vazirani(4, 0b1010).unwrap();
+        meta.upload_fidelity_metadata("bv-job", 0.9, &qasm::to_qasm(&bv)).unwrap();
+        let scheduler = QrioScheduler::new(&meta);
+        let requirements =
+            DeviceRequirements { max_two_qubit_error: Some(0.2), ..DeviceRequirements::default() };
+        let decision = scheduler.select_device("bv-job", &fleet, &requirements).unwrap();
+        assert_eq!(decision.shortlisted, 2);
+        assert_ne!(decision.device, "noisy");
+        // Impossible requirements -> filtering error.
+        let impossible =
+            DeviceRequirements { max_two_qubit_error: Some(0.001), ..DeviceRequirements::default() };
+        assert!(matches!(
+            scheduler.select_device("bv-job", &fleet, &impossible),
+            Err(SchedulerError::NoDeviceAfterFiltering { .. })
+        ));
+    }
+
+    #[test]
+    fn topology_job_selects_matching_device() {
+        let fleet = vec![
+            Backend::uniform("ring-dev", topology::ring(10), 0.01, 0.05),
+            Backend::uniform("tree-dev", topology::binary_tree(10), 0.01, 0.05),
+            Backend::uniform("line-dev", topology::line(10), 0.01, 0.05),
+        ];
+        let mut meta = meta_with_fleet(&fleet);
+        let request = library::topology_circuit(10, &topology::binary_tree(10).edges()).unwrap();
+        meta.upload_topology_metadata("topo-job", request);
+        let scheduler = QrioScheduler::new(&meta);
+        let decision = scheduler.select_device("topo-job", &fleet, &DeviceRequirements::none()).unwrap();
+        assert_eq!(decision.device, "tree-dev");
+    }
+
+    #[test]
+    fn missing_metadata_and_empty_fleet_error() {
+        let fleet = fleet();
+        let meta = meta_with_fleet(&fleet);
+        let scheduler = QrioScheduler::new(&meta);
+        assert!(matches!(
+            scheduler.select_device("ghost", &fleet, &DeviceRequirements::none()),
+            Err(SchedulerError::Meta(_))
+        ));
+        assert!(matches!(
+            scheduler.select_device("ghost", &[], &DeviceRequirements::none()),
+            Err(SchedulerError::EmptyFleet)
+        ));
+    }
+
+    #[test]
+    fn devices_too_small_for_the_job_are_skipped() {
+        let mut fleet = fleet();
+        fleet.push(Backend::uniform("tiny", topology::line(2), 0.0, 0.0));
+        let mut meta = meta_with_fleet(&fleet);
+        let ghz = library::ghz(8).unwrap();
+        meta.upload_fidelity_metadata("ghz-job", 0.9, &qasm::to_qasm(&ghz)).unwrap();
+        let scheduler = QrioScheduler::new(&meta);
+        let decision = scheduler.select_device("ghz-job", &fleet, &DeviceRequirements::none()).unwrap();
+        assert!(decision.ranked.iter().all(|(name, _)| name != "tiny"));
+    }
+
+    #[test]
+    fn ranking_plugin_scores_cluster_nodes() {
+        use qrio_cluster::{Resources, SelectionStrategy};
+        let fleet = fleet();
+        let mut meta = meta_with_fleet(&fleet);
+        let bv = library::bernstein_vazirani(5, 0b10011).unwrap();
+        meta.upload_fidelity_metadata("bv-plugin", 0.9, &qasm::to_qasm(&bv)).unwrap();
+        let plugin = MetaRankingPlugin::new(&meta);
+        let spec = JobSpec {
+            name: "bv-plugin".into(),
+            image: "img".into(),
+            qasm: qasm::to_qasm(&bv),
+            num_qubits: 5,
+            resources: Resources::new(100, 128),
+            requirements: DeviceRequirements::none(),
+            strategy: SelectionStrategy::Fidelity(0.9),
+            shots: 128,
+        };
+        let clean_node = Node::from_backend(fleet[0].clone(), Resources::new(1000, 1024));
+        let noisy_node = Node::from_backend(fleet[2].clone(), Resources::new(1000, 1024));
+        let clean_score = plugin.score(&spec, &clean_node).unwrap();
+        let noisy_score = plugin.score(&spec, &noisy_node).unwrap();
+        assert!(clean_score < noisy_score);
+        assert_eq!(plugin.name(), "QrioMetaRanking");
+        // Unknown job -> error string.
+        let mut unknown_spec = spec;
+        unknown_spec.name = "missing".into();
+        assert!(plugin.score(&unknown_spec, &clean_node).is_err());
+    }
+}

@@ -1,0 +1,230 @@
+//! Measurement-outcome histograms and distribution-level fidelity metrics.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A histogram of measurement outcomes over `num_bits` classical bits.
+///
+/// Outcomes are stored as integers; bit `i` of the key corresponds to
+/// classical bit `i` (little-endian), and [`Counts::bitstring`] renders keys in
+/// the conventional most-significant-bit-first order.
+///
+/// # Examples
+///
+/// ```
+/// use qrio_sim::Counts;
+///
+/// let mut counts = Counts::new(2);
+/// counts.record(0b00);
+/// counts.record(0b11);
+/// counts.record(0b11);
+/// assert_eq!(counts.total(), 3);
+/// assert_eq!(counts.get(0b11), 2);
+/// assert_eq!(counts.most_frequent(), Some(0b11));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Counts {
+    num_bits: usize,
+    counts: BTreeMap<u64, u64>,
+    total: u64,
+}
+
+impl Counts {
+    /// An empty histogram over `num_bits` classical bits.
+    pub fn new(num_bits: usize) -> Self {
+        Counts { num_bits, counts: BTreeMap::new(), total: 0 }
+    }
+
+    /// Build a histogram from `(outcome, count)` pairs.
+    pub fn from_pairs(num_bits: usize, pairs: impl IntoIterator<Item = (u64, u64)>) -> Self {
+        let mut counts = Counts::new(num_bits);
+        for (outcome, count) in pairs {
+            counts.record_many(outcome, count);
+        }
+        counts
+    }
+
+    /// Number of classical bits per outcome.
+    pub fn num_bits(&self) -> usize {
+        self.num_bits
+    }
+
+    /// Record one observation of `outcome`.
+    pub fn record(&mut self, outcome: u64) {
+        self.record_many(outcome, 1);
+    }
+
+    /// Record `count` observations of `outcome`.
+    pub fn record_many(&mut self, outcome: u64, count: u64) {
+        if count == 0 {
+            return;
+        }
+        *self.counts.entry(outcome).or_insert(0) += count;
+        self.total += count;
+    }
+
+    /// Number of shots recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count for a specific outcome.
+    pub fn get(&self, outcome: u64) -> u64 {
+        self.counts.get(&outcome).copied().unwrap_or(0)
+    }
+
+    /// Empirical probability of a specific outcome.
+    pub fn probability(&self, outcome: u64) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.get(outcome) as f64 / self.total as f64
+        }
+    }
+
+    /// Iterate over `(outcome, count)` pairs in outcome order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// The outcome observed most often, if any.
+    pub fn most_frequent(&self) -> Option<u64> {
+        self.counts.iter().max_by_key(|(_, &count)| count).map(|(&outcome, _)| outcome)
+    }
+
+    /// The full empirical probability distribution.
+    pub fn distribution(&self) -> BTreeMap<u64, f64> {
+        self.counts
+            .iter()
+            .map(|(&outcome, &count)| (outcome, count as f64 / self.total.max(1) as f64))
+            .collect()
+    }
+
+    /// Render an outcome as a bitstring, most significant bit first.
+    pub fn bitstring(&self, outcome: u64) -> String {
+        (0..self.num_bits.max(1)).rev().map(|b| if (outcome >> b) & 1 == 1 { '1' } else { '0' }).collect()
+    }
+
+    /// Hellinger fidelity between this distribution and `other`:
+    /// `F = (Σ_x sqrt(p(x)·q(x)))²`, in `[0, 1]`.
+    ///
+    /// This is the metric used to compare noisy device output against the
+    /// noise-free reference when scoring devices (paper §3.4.1 / §4.3).
+    pub fn hellinger_fidelity(&self, other: &Counts) -> f64 {
+        if self.total == 0 || other.total == 0 {
+            return 0.0;
+        }
+        let mut bc = 0.0;
+        for (&outcome, &count) in &self.counts {
+            let p = count as f64 / self.total as f64;
+            let q = other.probability(outcome);
+            bc += (p * q).sqrt();
+        }
+        (bc * bc).clamp(0.0, 1.0)
+    }
+
+    /// Total-variation distance between this distribution and `other`.
+    pub fn total_variation_distance(&self, other: &Counts) -> f64 {
+        let mut outcomes: Vec<u64> = self.counts.keys().copied().collect();
+        for key in other.counts.keys() {
+            if !outcomes.contains(key) {
+                outcomes.push(*key);
+            }
+        }
+        let mut tvd = 0.0;
+        for outcome in outcomes {
+            tvd += (self.probability(outcome) - other.probability(outcome)).abs();
+        }
+        tvd / 2.0
+    }
+
+    /// Probability mass assigned to the single `expected` outcome — the
+    /// "success probability" metric for algorithms with a known answer.
+    pub fn success_probability(&self, expected: u64) -> f64 {
+        self.probability(expected)
+    }
+}
+
+impl fmt::Display for Counts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Counts({} shots)", self.total)?;
+        for (&outcome, &count) in &self.counts {
+            write!(f, " {}:{}", self.bitstring(outcome), count)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut c = Counts::new(3);
+        c.record(0b101);
+        c.record_many(0b101, 3);
+        c.record(0b000);
+        assert_eq!(c.total(), 5);
+        assert_eq!(c.get(0b101), 4);
+        assert!((c.probability(0b101) - 0.8).abs() < 1e-12);
+        assert_eq!(c.most_frequent(), Some(0b101));
+        assert_eq!(c.bitstring(0b101), "101");
+        c.record_many(0b111, 0);
+        assert_eq!(c.total(), 5);
+    }
+
+    #[test]
+    fn identical_distributions_have_unit_fidelity() {
+        let a = Counts::from_pairs(2, [(0, 50), (3, 50)]);
+        let b = Counts::from_pairs(2, [(0, 500), (3, 500)]);
+        assert!((a.hellinger_fidelity(&b) - 1.0).abs() < 1e-12);
+        assert!(a.total_variation_distance(&b) < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_distributions_have_zero_fidelity() {
+        let a = Counts::from_pairs(2, [(0, 100)]);
+        let b = Counts::from_pairs(2, [(3, 100)]);
+        assert_eq!(a.hellinger_fidelity(&b), 0.0);
+        assert!((a.total_variation_distance(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fidelity_is_symmetric_and_bounded() {
+        let a = Counts::from_pairs(2, [(0, 70), (1, 20), (2, 10)]);
+        let b = Counts::from_pairs(2, [(0, 30), (1, 40), (3, 30)]);
+        let f_ab = a.hellinger_fidelity(&b);
+        let f_ba = b.hellinger_fidelity(&a);
+        assert!((f_ab - f_ba).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&f_ab));
+    }
+
+    #[test]
+    fn empty_counts_have_zero_fidelity() {
+        let a = Counts::new(2);
+        let b = Counts::from_pairs(2, [(0, 10)]);
+        assert_eq!(a.hellinger_fidelity(&b), 0.0);
+        assert_eq!(a.probability(0), 0.0);
+        assert_eq!(a.most_frequent(), None);
+    }
+
+    #[test]
+    fn distribution_sums_to_one() {
+        let c = Counts::from_pairs(2, [(0, 25), (1, 25), (2, 25), (3, 25)]);
+        let sum: f64 = c.distribution().values().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn success_probability_matches_expected() {
+        let c = Counts::from_pairs(4, [(0b1011, 90), (0b0000, 10)]);
+        assert!((c.success_probability(0b1011) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_shows_bitstrings() {
+        let c = Counts::from_pairs(2, [(2, 1)]);
+        assert!(c.to_string().contains("10:1"));
+    }
+}

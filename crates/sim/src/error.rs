@@ -1,0 +1,70 @@
+//! Error types for the simulation crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the simulators and the executor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimulatorError {
+    /// The circuit is too large for the requested engine.
+    TooManyQubits {
+        /// Number of qubits requested.
+        requested: usize,
+        /// Engine limit.
+        limit: usize,
+    },
+    /// A qubit index exceeded the register size.
+    QubitOutOfRange {
+        /// Offending qubit.
+        qubit: usize,
+        /// Register size.
+        num_qubits: usize,
+    },
+    /// The gate or instruction is not supported by the engine.
+    Unsupported(String),
+    /// The stabilizer engine was asked to simulate a non-Clifford circuit.
+    NotClifford {
+        /// Name of the offending gate.
+        gate: String,
+    },
+    /// Invalid execution parameters (e.g. zero shots).
+    InvalidParameter(String),
+}
+
+impl fmt::Display for SimulatorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimulatorError::TooManyQubits { requested, limit } => {
+                write!(f, "{requested} qubits exceed the engine limit of {limit}")
+            }
+            SimulatorError::QubitOutOfRange { qubit, num_qubits } => {
+                write!(f, "qubit {qubit} out of range for {num_qubits}-qubit register")
+            }
+            SimulatorError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
+            SimulatorError::NotClifford { gate } => {
+                write!(f, "gate '{gate}' is not Clifford; the stabilizer engine cannot simulate it")
+            }
+            SimulatorError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl Error for SimulatorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = SimulatorError::TooManyQubits { requested: 40, limit: 24 };
+        assert!(e.to_string().contains("40"));
+        assert!(SimulatorError::NotClifford { gate: "t".into() }.to_string().contains("'t'"));
+    }
+
+    #[test]
+    fn error_trait_bounds() {
+        fn assert_err<E: std::error::Error + Send + Sync>() {}
+        assert_err::<SimulatorError>();
+    }
+}

@@ -1,0 +1,404 @@
+//! Circuit execution: shot sampling on ideal or noisy simulated devices.
+//!
+//! The executor plays the role of Qiskit Aer in the paper's stack: given a
+//! circuit (and optionally a backend-derived [`NoiseModel`]), produce
+//! measurement [`Counts`]. It automatically picks the stabilizer engine for
+//! Clifford circuits (scalable, used for the Clifford canaries) and the dense
+//! statevector engine otherwise (exact, used by the Oracle baseline).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use qrio_backend::Backend;
+use qrio_circuit::{Circuit, Gate};
+
+use crate::counts::Counts;
+use crate::error::SimulatorError;
+use crate::noise::NoiseModel;
+use crate::stabilizer::StabilizerSimulator;
+use crate::statevector::{StateVector, MAX_STATEVECTOR_QUBITS};
+
+/// Default number of shots used across the experiments when the caller does
+/// not specify one.
+pub const DEFAULT_SHOTS: u64 = 1024;
+
+/// Which simulation engine executed a circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// CHP stabilizer tableau (Clifford-only, scales to hundreds of qubits).
+    Stabilizer,
+    /// Dense statevector (any gate set, limited qubit count).
+    Statevector,
+}
+
+/// Select the engine for a circuit: stabilizer when the circuit is Clifford,
+/// statevector otherwise.
+///
+/// # Errors
+///
+/// Returns an error if the circuit is non-Clifford **and** too large for the
+/// statevector engine.
+pub fn select_engine(circuit: &Circuit) -> Result<Engine, SimulatorError> {
+    if circuit.is_clifford() {
+        Ok(Engine::Stabilizer)
+    } else if circuit.num_qubits() <= MAX_STATEVECTOR_QUBITS {
+        Ok(Engine::Statevector)
+    } else {
+        Err(SimulatorError::TooManyQubits {
+            requested: circuit.num_qubits(),
+            limit: MAX_STATEVECTOR_QUBITS,
+        })
+    }
+}
+
+/// Run a circuit without noise.
+///
+/// # Errors
+///
+/// Returns an error for unsupported circuits (non-Clifford beyond the
+/// statevector limit) or zero shots.
+pub fn run_ideal(circuit: &Circuit, shots: u64, seed: u64) -> Result<Counts, SimulatorError> {
+    run_with_noise(circuit, &NoiseModel::ideal(circuit.num_qubits()), shots, seed)
+}
+
+/// Run a circuit with a noise model derived from `backend`.
+///
+/// The circuit is expected to already be expressed over the backend's physical
+/// qubits (i.e. transpiled); un-calibrated qubit pairs fall back to the
+/// device-average two-qubit error.
+///
+/// # Errors
+///
+/// Returns an error for unsupported circuits or zero shots.
+pub fn run_on_backend(
+    circuit: &Circuit,
+    backend: &Backend,
+    shots: u64,
+    seed: u64,
+) -> Result<Counts, SimulatorError> {
+    run_with_noise(circuit, &NoiseModel::from_backend(backend), shots, seed)
+}
+
+/// Run a circuit under an explicit noise model.
+///
+/// # Errors
+///
+/// Returns an error for unsupported circuits or zero shots.
+pub fn run_with_noise(
+    circuit: &Circuit,
+    noise: &NoiseModel,
+    shots: u64,
+    seed: u64,
+) -> Result<Counts, SimulatorError> {
+    if shots == 0 {
+        return Err(SimulatorError::InvalidParameter("shots must be >= 1".into()));
+    }
+    let engine = select_engine(circuit)?;
+    let num_bits = effective_num_bits(circuit);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut counts = Counts::new(num_bits);
+    match engine {
+        Engine::Stabilizer => {
+            for _ in 0..shots {
+                let outcome = run_stabilizer_shot(circuit, noise, &mut rng)?;
+                counts.record(outcome);
+            }
+        }
+        Engine::Statevector => {
+            if noise.is_ideal() && has_only_terminal_measurements(circuit) {
+                // Fast path: build the state once and sample repeatedly.
+                let mut state = StateVector::new(circuit.num_qubits())?;
+                state.apply_circuit(circuit)?;
+                let mapping = measurement_mapping(circuit);
+                for _ in 0..shots {
+                    let basis = state.sample(&mut rng);
+                    counts.record(map_outcome(basis, &mapping));
+                }
+            } else {
+                for _ in 0..shots {
+                    let outcome = run_statevector_shot(circuit, noise, &mut rng)?;
+                    counts.record(outcome);
+                }
+            }
+        }
+    }
+    Ok(counts)
+}
+
+/// The classical register width used for recorded outcomes.
+fn effective_num_bits(circuit: &Circuit) -> usize {
+    if circuit.measurement_count() > 0 {
+        circuit.num_clbits().max(1)
+    } else {
+        circuit.num_qubits().max(1)
+    }
+}
+
+/// Measurement map `qubit -> clbit`; when the circuit has no measurements,
+/// every qubit is implicitly measured into the same-numbered bit.
+fn measurement_mapping(circuit: &Circuit) -> Vec<(usize, usize)> {
+    let mut mapping = Vec::new();
+    for inst in circuit.instructions() {
+        if inst.gate == Gate::Measure {
+            mapping.push((inst.qubits[0], inst.clbits[0]));
+        }
+    }
+    if mapping.is_empty() {
+        mapping = (0..circuit.num_qubits()).map(|q| (q, q)).collect();
+    }
+    mapping
+}
+
+fn map_outcome(basis_state: u64, mapping: &[(usize, usize)]) -> u64 {
+    let mut outcome = 0u64;
+    for &(qubit, clbit) in mapping {
+        if (basis_state >> qubit) & 1 == 1 {
+            outcome |= 1 << clbit;
+        }
+    }
+    outcome
+}
+
+fn has_only_terminal_measurements(circuit: &Circuit) -> bool {
+    let mut seen_measure = false;
+    for inst in circuit.instructions() {
+        match inst.gate {
+            Gate::Measure => seen_measure = true,
+            Gate::Reset => return false,
+            Gate::Barrier => {}
+            _ if seen_measure => return false,
+            _ => {}
+        }
+    }
+    true
+}
+
+fn run_stabilizer_shot(
+    circuit: &Circuit,
+    noise: &NoiseModel,
+    rng: &mut StdRng,
+) -> Result<u64, SimulatorError> {
+    let mut sim = StabilizerSimulator::new(circuit.num_qubits());
+    let mut outcome = 0u64;
+    let mut any_measure = false;
+    for inst in circuit.instructions() {
+        match inst.gate {
+            Gate::Barrier => {}
+            Gate::Measure => {
+                any_measure = true;
+                let raw = sim.measure(inst.qubits[0], rng);
+                let bit = noise.flip_readout(inst.qubits[0], raw, rng);
+                if bit {
+                    outcome |= 1 << inst.clbits[0];
+                } else {
+                    outcome &= !(1 << inst.clbits[0]);
+                }
+            }
+            Gate::Reset => {
+                if sim.measure(inst.qubits[0], rng) {
+                    sim.x_gate(inst.qubits[0]);
+                }
+            }
+            ref gate => {
+                sim.apply_gate(gate, &inst.qubits)?;
+                for (q, pauli) in noise.sample_gate_errors(gate, &inst.qubits, rng) {
+                    sim.apply_gate(&pauli.gate(), &[q])?;
+                }
+            }
+        }
+    }
+    if !any_measure {
+        for q in 0..circuit.num_qubits() {
+            let raw = sim.measure(q, rng);
+            if noise.flip_readout(q, raw, rng) {
+                outcome |= 1 << q;
+            }
+        }
+    }
+    Ok(outcome)
+}
+
+fn run_statevector_shot(
+    circuit: &Circuit,
+    noise: &NoiseModel,
+    rng: &mut StdRng,
+) -> Result<u64, SimulatorError> {
+    let mut state = StateVector::new(circuit.num_qubits())?;
+    let mut outcome = 0u64;
+    let mut any_measure = false;
+    for inst in circuit.instructions() {
+        match inst.gate {
+            Gate::Barrier => {}
+            Gate::Measure => {
+                any_measure = true;
+                let raw = state.measure_qubit(inst.qubits[0], rng);
+                let bit = noise.flip_readout(inst.qubits[0], raw, rng);
+                if bit {
+                    outcome |= 1 << inst.clbits[0];
+                } else {
+                    outcome &= !(1 << inst.clbits[0]);
+                }
+            }
+            Gate::Reset => state.reset_qubit(inst.qubits[0], rng),
+            ref gate => {
+                state.apply_gate(gate, &inst.qubits)?;
+                for (q, pauli) in noise.sample_gate_errors(gate, &inst.qubits, rng) {
+                    state.apply_gate(&pauli.gate(), &[q])?;
+                }
+            }
+        }
+    }
+    if !any_measure {
+        let basis = state.sample(rng);
+        outcome = basis;
+    }
+    Ok(outcome)
+}
+
+/// Convenience wrapper: fidelity of a circuit on a noisy backend relative to
+/// its own noise-free execution, measured as Hellinger fidelity between the
+/// two output distributions.
+///
+/// # Errors
+///
+/// Propagates simulator errors from either run.
+pub fn fidelity_on_backend(
+    circuit: &Circuit,
+    backend: &Backend,
+    shots: u64,
+    seed: u64,
+) -> Result<f64, SimulatorError> {
+    let ideal = run_ideal(circuit, shots, seed)?;
+    let noisy = run_on_backend(circuit, backend, shots, seed.wrapping_add(1))?;
+    Ok(ideal.hellinger_fidelity(&noisy))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrio_backend::topology;
+    use qrio_circuit::library;
+
+    #[test]
+    fn ideal_bv_returns_secret() {
+        let secret = 0b1011001101u64;
+        let circuit = library::bernstein_vazirani(10, secret).unwrap();
+        let counts = run_ideal(&circuit, 256, 1).unwrap();
+        assert_eq!(counts.most_frequent(), Some(secret));
+        assert!((counts.success_probability(secret) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ideal_grover_favours_marked_element() {
+        let circuit = library::grover(3, 5).unwrap();
+        let counts = run_ideal(&circuit, 2048, 2).unwrap();
+        assert_eq!(counts.most_frequent(), Some(5));
+        assert!(counts.success_probability(5) > 0.5);
+    }
+
+    #[test]
+    fn ideal_ghz_is_bimodal() {
+        let circuit = library::ghz(5).unwrap();
+        let counts = run_ideal(&circuit, 1000, 3).unwrap();
+        let all_ones = (1u64 << 5) - 1;
+        let p = counts.probability(0) + counts.probability(all_ones);
+        assert!(p > 0.999);
+        assert!(counts.probability(0) > 0.35);
+    }
+
+    #[test]
+    fn engine_selection() {
+        let clifford = library::random_clifford_circuit(40, 4, 0).unwrap();
+        assert_eq!(select_engine(&clifford).unwrap(), Engine::Stabilizer);
+        let small = library::random_circuit(5, 3, 0).unwrap();
+        assert_eq!(select_engine(&small).unwrap(), Engine::Statevector);
+        let huge = library::random_circuit(30, 2, 0).unwrap();
+        assert!(select_engine(&huge).is_err());
+    }
+
+    #[test]
+    fn zero_shots_is_rejected() {
+        let circuit = library::ghz(2).unwrap();
+        assert!(run_ideal(&circuit, 0, 0).is_err());
+    }
+
+    #[test]
+    fn noise_degrades_fidelity() {
+        let circuit = library::ghz(4).unwrap();
+        let noisy_backend = Backend::uniform("noisy", topology::line(4), 0.05, 0.2);
+        let clean_backend = Backend::uniform("clean", topology::line(4), 0.0, 0.0);
+        let f_noisy = fidelity_on_backend(&circuit, &noisy_backend, 512, 7).unwrap();
+        let f_clean = fidelity_on_backend(&circuit, &clean_backend, 512, 7).unwrap();
+        assert!(f_clean > 0.98, "clean fidelity was {f_clean}");
+        assert!(f_noisy < f_clean, "noise should reduce fidelity ({f_noisy} vs {f_clean})");
+    }
+
+    #[test]
+    fn readout_noise_alone_flips_bits() {
+        let mut circuit = Circuit::new(2, 2);
+        circuit.measure_all().unwrap();
+        let noise = NoiseModel::uniform(2, 0.0, 0.0, 1.0);
+        let counts = run_with_noise(&circuit, &noise, 64, 5).unwrap();
+        // Every readout is flipped, so we always observe |11>.
+        assert_eq!(counts.get(0b11), 64);
+    }
+
+    #[test]
+    fn clifford_and_statevector_agree_on_clifford_circuits() {
+        // The repetition encoder is Clifford; force the statevector engine by
+        // adding a harmless non-Clifford phase on an idle path.
+        let clifford = library::repetition_code_encoder(4).unwrap();
+        let counts_stab = run_ideal(&clifford, 4000, 11).unwrap();
+
+        let mut nonclifford = library::repetition_code_encoder(4).unwrap().without_measurements();
+        nonclifford.t(0).unwrap();
+        nonclifford.tdg(0).unwrap();
+        nonclifford.measure_all().unwrap();
+        let counts_sv = run_ideal(&nonclifford, 4000, 11).unwrap();
+
+        let fidelity = counts_stab.hellinger_fidelity(&counts_sv);
+        assert!(fidelity > 0.98, "engines disagree: {fidelity}");
+    }
+
+    #[test]
+    fn circuits_without_measurements_measure_everything() {
+        let mut circuit = Circuit::new(3, 0);
+        circuit.x(1).unwrap();
+        let counts = run_ideal(&circuit, 16, 0).unwrap();
+        assert_eq!(counts.most_frequent(), Some(0b010));
+        let mut nonclifford = Circuit::new(2, 0);
+        nonclifford.t(0).unwrap();
+        nonclifford.x(1).unwrap();
+        let counts = run_ideal(&nonclifford, 16, 0).unwrap();
+        assert_eq!(counts.most_frequent(), Some(0b10));
+    }
+
+    #[test]
+    fn reset_in_the_middle_works() {
+        let mut circuit = Circuit::new(1, 1);
+        circuit.x(0).unwrap();
+        circuit.reset(0).unwrap();
+        circuit.measure(0, 0).unwrap();
+        let counts = run_ideal(&circuit, 32, 4).unwrap();
+        assert_eq!(counts.get(0), 32);
+        // Same for a non-Clifford variant.
+        let mut circuit = Circuit::new(1, 1);
+        circuit.t(0).unwrap();
+        circuit.x(0).unwrap();
+        circuit.reset(0).unwrap();
+        circuit.measure(0, 0).unwrap();
+        let counts = run_ideal(&circuit, 32, 4).unwrap();
+        assert_eq!(counts.get(0), 32);
+    }
+
+    #[test]
+    fn runs_are_reproducible_per_seed() {
+        let circuit = library::random_circuit(5, 4, 9).unwrap();
+        let noise = NoiseModel::uniform(5, 0.02, 0.05, 0.02);
+        let a = run_with_noise(&circuit, &noise, 200, 21).unwrap();
+        let b = run_with_noise(&circuit, &noise, 200, 21).unwrap();
+        assert_eq!(a, b);
+        let c = run_with_noise(&circuit, &noise, 200, 22).unwrap();
+        assert_ne!(a, c);
+    }
+}

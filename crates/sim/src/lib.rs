@@ -1,0 +1,55 @@
+//! # qrio-sim
+//!
+//! Quantum-device simulation for the QRIO quantum-cloud orchestrator
+//! (reproduction of *Empowering the Quantum Cloud User with QRIO*, IISWC 2024).
+//!
+//! QRIO's evaluation runs entirely against simulated devices, and its
+//! fidelity-ranking strategy depends on scalable classical simulation of
+//! Clifford canary circuits. This crate provides both simulation engines and
+//! the noise machinery that turns a backend's calibration data into an
+//! executable error model:
+//!
+//! * [`StateVector`] — dense, exact simulation of arbitrary circuits (the
+//!   Oracle baseline of §4.3), limited to a modest qubit count.
+//! * [`StabilizerSimulator`] — Aaronson–Gottesman CHP tableau simulation of
+//!   Clifford circuits (the Gottesman–Knill path behind Clifford canaries).
+//! * [`NoiseModel`] — per-qubit/per-edge depolarizing Pauli errors plus
+//!   readout flips, derived from a [`qrio_backend::Backend`].
+//! * [`executor`] — shot execution with automatic engine selection, and the
+//!   [`executor::fidelity_on_backend`] helper that compares noisy output to
+//!   the noise-free reference with Hellinger fidelity.
+//! * [`Counts`] — outcome histograms and distribution metrics.
+//!
+//! # Examples
+//!
+//! ```
+//! use qrio_backend::{topology, Backend};
+//! use qrio_circuit::library;
+//! use qrio_sim::executor;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let circuit = library::ghz(4)?;
+//! let backend = Backend::uniform("demo", topology::line(4), 0.01, 0.05);
+//! let fidelity = executor::fidelity_on_backend(&circuit, &backend, 512, 7)?;
+//! assert!(fidelity > 0.0 && fidelity <= 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod complex;
+mod counts;
+mod error;
+pub mod executor;
+mod noise;
+mod stabilizer;
+mod statevector;
+
+pub use complex::Complex64;
+pub use counts::Counts;
+pub use error::SimulatorError;
+pub use executor::{run_ideal, run_on_backend, run_with_noise, Engine, DEFAULT_SHOTS};
+pub use noise::{NoiseModel, PauliError};
+pub use stabilizer::StabilizerSimulator;
+pub use statevector::{single_qubit_matrix, u3_matrix, StateVector, MAX_STATEVECTOR_QUBITS};

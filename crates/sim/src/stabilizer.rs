@@ -1,0 +1,468 @@
+//! Stabilizer (Clifford) simulation via the Aaronson–Gottesman CHP tableau.
+//!
+//! The Gottesman–Knill theorem lets circuits composed solely of Clifford
+//! operations be simulated in polynomial time, which is the foundation of the
+//! paper's *Clifford canary* fidelity-ranking strategy (§3.4.1): the canary is
+//! classically simulable at any qubit count, yet retains the two-qubit gate
+//! structure of the user's circuit.
+//!
+//! The implementation follows Aaronson & Gottesman, *Improved simulation of
+//! stabilizer circuits* (2004): a `(2n + 1) × (2n + 1)` binary tableau whose
+//! first `n` rows are destabilizers and next `n` rows are stabilizers, with a
+//! scratch row used during measurement.
+
+use rand::Rng;
+
+use qrio_circuit::{Circuit, Gate};
+
+use crate::error::SimulatorError;
+
+/// CHP stabilizer tableau over `n` qubits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StabilizerSimulator {
+    n: usize,
+    /// x[i][j]: X component of row i on qubit j.
+    x: Vec<Vec<bool>>,
+    /// z[i][j]: Z component of row i on qubit j.
+    z: Vec<Vec<bool>>,
+    /// r[i]: phase bit of row i (true = -1).
+    r: Vec<bool>,
+}
+
+impl StabilizerSimulator {
+    /// The |0…0⟩ stabilizer state over `num_qubits` qubits.
+    pub fn new(num_qubits: usize) -> Self {
+        let n = num_qubits;
+        let rows = 2 * n + 1;
+        let mut x = vec![vec![false; n]; rows];
+        let mut z = vec![vec![false; n]; rows];
+        let r = vec![false; rows];
+        for i in 0..n {
+            x[i][i] = true; // destabilizers X_i
+            z[n + i][i] = true; // stabilizers Z_i
+        }
+        StabilizerSimulator { n, x, z, r }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Apply a Hadamard gate to qubit `a`.
+    pub fn h(&mut self, a: usize) {
+        for i in 0..2 * self.n {
+            let (xi, zi) = (self.x[i][a], self.z[i][a]);
+            self.r[i] ^= xi && zi;
+            self.x[i][a] = zi;
+            self.z[i][a] = xi;
+        }
+    }
+
+    /// Apply an S (phase) gate to qubit `a`.
+    pub fn s(&mut self, a: usize) {
+        for i in 0..2 * self.n {
+            let (xi, zi) = (self.x[i][a], self.z[i][a]);
+            self.r[i] ^= xi && zi;
+            self.z[i][a] = zi ^ xi;
+        }
+    }
+
+    /// Apply a CNOT with control `a` and target `b`.
+    pub fn cx(&mut self, a: usize, b: usize) {
+        for i in 0..2 * self.n {
+            let (xia, zia) = (self.x[i][a], self.z[i][a]);
+            let (xib, zib) = (self.x[i][b], self.z[i][b]);
+            self.r[i] ^= xia && zib && (xib ^ zia ^ true);
+            self.x[i][b] = xib ^ xia;
+            self.z[i][a] = zia ^ zib;
+        }
+    }
+
+    /// Apply a Pauli-X gate to qubit `a`.
+    pub fn x_gate(&mut self, a: usize) {
+        // X = H Z H, but the direct phase update is cheaper: X anticommutes with Z.
+        for i in 0..2 * self.n {
+            self.r[i] ^= self.z[i][a];
+        }
+    }
+
+    /// Apply a Pauli-Z gate to qubit `a`.
+    pub fn z_gate(&mut self, a: usize) {
+        for i in 0..2 * self.n {
+            self.r[i] ^= self.x[i][a];
+        }
+    }
+
+    /// Apply a Pauli-Y gate to qubit `a`.
+    pub fn y_gate(&mut self, a: usize) {
+        // Y ∝ Z·X: anticommutes with both X and Z components individually.
+        self.z_gate(a);
+        self.x_gate(a);
+    }
+
+    fn sdg(&mut self, a: usize) {
+        self.s(a);
+        self.s(a);
+        self.s(a);
+    }
+
+    /// Rowsum as defined by Aaronson–Gottesman: row `h` *= row `i`.
+    fn rowsum(&mut self, h: usize, i: usize) {
+        let mut phase: i32 = i32::from(self.r[h]) * 2 + i32::from(self.r[i]) * 2;
+        for j in 0..self.n {
+            phase += g(self.x[i][j], self.z[i][j], self.x[h][j], self.z[h][j]);
+        }
+        self.r[h] = phase.rem_euclid(4) == 2;
+        for j in 0..self.n {
+            self.x[h][j] ^= self.x[i][j];
+            self.z[h][j] ^= self.z[i][j];
+        }
+    }
+
+    /// Measure qubit `a` in the computational basis, collapsing the state.
+    pub fn measure<R: Rng + ?Sized>(&mut self, a: usize, rng: &mut R) -> bool {
+        let n = self.n;
+        // Is the outcome random? Look for a stabilizer with an X component on a.
+        let mut p = None;
+        for i in n..2 * n {
+            if self.x[i][a] {
+                p = Some(i);
+                break;
+            }
+        }
+        if let Some(p) = p {
+            // Random outcome.
+            for i in 0..2 * n {
+                if i != p && self.x[i][a] {
+                    self.rowsum(i, p);
+                }
+            }
+            // Destabilizer row p-n becomes the old stabilizer row p.
+            self.x[p - n] = self.x[p].clone();
+            self.z[p - n] = self.z[p].clone();
+            self.r[p - n] = self.r[p];
+            // New stabilizer row p = ±Z_a with random sign.
+            for j in 0..n {
+                self.x[p][j] = false;
+                self.z[p][j] = false;
+            }
+            self.z[p][a] = true;
+            let outcome = rng.gen_bool(0.5);
+            self.r[p] = outcome;
+            outcome
+        } else {
+            // Deterministic outcome: compute it in the scratch row 2n.
+            let scratch = 2 * n;
+            for j in 0..n {
+                self.x[scratch][j] = false;
+                self.z[scratch][j] = false;
+            }
+            self.r[scratch] = false;
+            for i in 0..n {
+                if self.x[i][a] {
+                    self.rowsum(scratch, i + n);
+                }
+            }
+            self.r[scratch]
+        }
+    }
+
+    /// Apply one Clifford gate by decomposing it into {H, S, CX, X, Y, Z}.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulatorError::NotClifford`] if the gate is not a Clifford
+    /// operation, and range errors for bad qubit indices.
+    pub fn apply_gate(&mut self, gate: &Gate, qubits: &[usize]) -> Result<(), SimulatorError> {
+        for &q in qubits {
+            if q >= self.n {
+                return Err(SimulatorError::QubitOutOfRange { qubit: q, num_qubits: self.n });
+            }
+        }
+        if !gate.is_clifford() {
+            return Err(SimulatorError::NotClifford { gate: gate.name().to_string() });
+        }
+        match *gate {
+            Gate::I | Gate::Barrier => {}
+            Gate::H => self.h(qubits[0]),
+            Gate::S => self.s(qubits[0]),
+            Gate::Sdg => self.sdg(qubits[0]),
+            Gate::X => self.x_gate(qubits[0]),
+            Gate::Y => self.y_gate(qubits[0]),
+            Gate::Z => self.z_gate(qubits[0]),
+            Gate::SX => {
+                // sqrt(X) = H S H up to global phase.
+                self.h(qubits[0]);
+                self.s(qubits[0]);
+                self.h(qubits[0]);
+            }
+            Gate::CX => self.cx(qubits[0], qubits[1]),
+            Gate::CZ => {
+                self.h(qubits[1]);
+                self.cx(qubits[0], qubits[1]);
+                self.h(qubits[1]);
+            }
+            Gate::CY => {
+                self.sdg(qubits[1]);
+                self.cx(qubits[0], qubits[1]);
+                self.s(qubits[1]);
+            }
+            Gate::Swap => {
+                self.cx(qubits[0], qubits[1]);
+                self.cx(qubits[1], qubits[0]);
+                self.cx(qubits[0], qubits[1]);
+            }
+            Gate::RZ(theta) | Gate::U1(theta) => self.apply_quarter_z(qubits[0], theta),
+            Gate::RX(theta) => {
+                self.h(qubits[0]);
+                self.apply_quarter_z(qubits[0], theta);
+                self.h(qubits[0]);
+            }
+            Gate::RY(theta) => {
+                // RY(θ) = S · RX(θ) · S†
+                self.sdg(qubits[0]);
+                self.h(qubits[0]);
+                self.apply_quarter_z(qubits[0], theta);
+                self.h(qubits[0]);
+                self.s(qubits[0]);
+            }
+            Gate::U2(phi, lambda) => {
+                self.apply_u3(qubits[0], std::f64::consts::FRAC_PI_2, phi, lambda);
+            }
+            Gate::U3(theta, phi, lambda) => self.apply_u3(qubits[0], theta, phi, lambda),
+            Gate::CP(theta) | Gate::CRZ(theta) => {
+                // At Clifford angles (multiples of π) both reduce to CZ or identity
+                // up to single-qubit phases that do not affect measurement outcomes.
+                let k = (theta / std::f64::consts::PI).round() as i64;
+                if k.rem_euclid(2) == 1 {
+                    self.h(qubits[1]);
+                    self.cx(qubits[0], qubits[1]);
+                    self.h(qubits[1]);
+                }
+                if matches!(gate, Gate::CRZ(_)) {
+                    // CRZ(kπ) also applies RZ(-kπ/2) on the control (global-phase free).
+                    self.apply_quarter_z(qubits[0], -theta / 2.0);
+                }
+            }
+            Gate::Measure | Gate::Reset => {
+                return Err(SimulatorError::Unsupported(
+                    "measure/reset must be handled by the executor, not applied as a unitary".into(),
+                ));
+            }
+            ref g => return Err(SimulatorError::NotClifford { gate: g.name().to_string() }),
+        }
+        Ok(())
+    }
+
+    /// Apply RZ at a multiple of π/2 as a power of S.
+    fn apply_quarter_z(&mut self, q: usize, theta: f64) {
+        let k = (theta / std::f64::consts::FRAC_PI_2).round() as i64;
+        match k.rem_euclid(4) {
+            1 => self.s(q),
+            2 => self.z_gate(q),
+            3 => self.sdg(q),
+            _ => {}
+        }
+    }
+
+    /// Apply a Clifford-angle u3 via the ZYZ decomposition u3 = RZ(φ)·RY(θ)·RZ(λ).
+    fn apply_u3(&mut self, q: usize, theta: f64, phi: f64, lambda: f64) {
+        self.apply_quarter_z(q, lambda);
+        self.sdg(q);
+        self.h(q);
+        self.apply_quarter_z(q, theta);
+        self.h(q);
+        self.s(q);
+        self.apply_quarter_z(q, phi);
+    }
+
+    /// Apply every unitary instruction of a Clifford circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the circuit contains non-Clifford gates or exceeds
+    /// the register size.
+    pub fn apply_circuit(&mut self, circuit: &Circuit) -> Result<(), SimulatorError> {
+        if circuit.num_qubits() > self.n {
+            return Err(SimulatorError::QubitOutOfRange {
+                qubit: circuit.num_qubits().saturating_sub(1),
+                num_qubits: self.n,
+            });
+        }
+        for inst in circuit.instructions() {
+            if matches!(inst.gate, Gate::Measure | Gate::Reset | Gate::Barrier) {
+                continue;
+            }
+            self.apply_gate(&inst.gate, &inst.qubits)?;
+        }
+        Ok(())
+    }
+}
+
+/// The phase function `g` of Aaronson–Gottesman, returning the exponent of `i`
+/// contributed when multiplying the Pauli `(x1, z1)` by `(x2, z2)`.
+fn g(x1: bool, z1: bool, x2: bool, z2: bool) -> i32 {
+    match (x1, z1) {
+        (false, false) => 0,
+        (true, true) => i32::from(z2) - i32::from(x2),
+        (true, false) => i32::from(z2) * (2 * i32::from(x2) - 1),
+        (false, true) => i32::from(x2) * (1 - 2 * i32::from(z2)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn measuring_zero_state_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut sim = StabilizerSimulator::new(3);
+        for q in 0..3 {
+            assert!(!sim.measure(q, &mut rng));
+        }
+    }
+
+    #[test]
+    fn x_gate_flips_measurement() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut sim = StabilizerSimulator::new(2);
+        sim.x_gate(1);
+        assert!(!sim.measure(0, &mut rng));
+        assert!(sim.measure(1, &mut rng));
+    }
+
+    #[test]
+    fn bell_pair_correlations() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let mut sim = StabilizerSimulator::new(2);
+            sim.h(0);
+            sim.cx(0, 1);
+            let a = sim.measure(0, &mut rng);
+            let b = sim.measure(1, &mut rng);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn hadamard_measurement_is_random() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut ones = 0;
+        for _ in 0..400 {
+            let mut sim = StabilizerSimulator::new(1);
+            sim.h(0);
+            if sim.measure(0, &mut rng) {
+                ones += 1;
+            }
+        }
+        assert!((140..260).contains(&ones), "got {ones} ones");
+    }
+
+    #[test]
+    fn ghz_parity() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let mut sim = StabilizerSimulator::new(5);
+            sim.h(0);
+            for q in 1..5 {
+                sim.cx(q - 1, q);
+            }
+            let outcomes: Vec<bool> = (0..5).map(|q| sim.measure(q, &mut rng)).collect();
+            assert!(outcomes.iter().all(|&o| o == outcomes[0]));
+        }
+    }
+
+    #[test]
+    fn z_and_s_do_not_affect_computational_measurement_of_zero() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut sim = StabilizerSimulator::new(1);
+        sim.z_gate(0);
+        sim.s(0);
+        sim.sdg(0);
+        assert!(!sim.measure(0, &mut rng));
+    }
+
+    #[test]
+    fn hzh_equals_x() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut sim = StabilizerSimulator::new(1);
+        sim.h(0);
+        sim.z_gate(0);
+        sim.h(0);
+        assert!(sim.measure(0, &mut rng));
+    }
+
+    #[test]
+    fn swap_and_cz_via_apply_gate() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut sim = StabilizerSimulator::new(2);
+        sim.apply_gate(&Gate::X, &[0]).unwrap();
+        sim.apply_gate(&Gate::Swap, &[0, 1]).unwrap();
+        assert!(!sim.measure(0, &mut rng));
+        assert!(sim.measure(1, &mut rng));
+
+        // CZ sandwiched in Hadamards acts like CX.
+        let mut sim = StabilizerSimulator::new(2);
+        sim.apply_gate(&Gate::X, &[0]).unwrap();
+        sim.apply_gate(&Gate::H, &[1]).unwrap();
+        sim.apply_gate(&Gate::CZ, &[0, 1]).unwrap();
+        sim.apply_gate(&Gate::H, &[1]).unwrap();
+        assert!(sim.measure(1, &mut rng));
+    }
+
+    #[test]
+    fn clifford_rotations_match_paulis() {
+        use std::f64::consts::PI;
+        let mut rng = StdRng::seed_from_u64(13);
+        // RX(pi) == X up to phase.
+        let mut sim = StabilizerSimulator::new(1);
+        sim.apply_gate(&Gate::RX(PI), &[0]).unwrap();
+        assert!(sim.measure(0, &mut rng));
+        // RY(pi) == Y up to phase: also flips |0> to |1>.
+        let mut sim = StabilizerSimulator::new(1);
+        sim.apply_gate(&Gate::RY(PI), &[0]).unwrap();
+        assert!(sim.measure(0, &mut rng));
+        // u3(pi, 0, pi) == X.
+        let mut sim = StabilizerSimulator::new(1);
+        sim.apply_gate(&Gate::U3(PI, 0.0, PI), &[0]).unwrap();
+        assert!(sim.measure(0, &mut rng));
+        // CP(pi) == CZ.
+        let mut sim = StabilizerSimulator::new(2);
+        sim.apply_gate(&Gate::X, &[0]).unwrap();
+        sim.apply_gate(&Gate::H, &[1]).unwrap();
+        sim.apply_gate(&Gate::CP(PI), &[0, 1]).unwrap();
+        sim.apply_gate(&Gate::H, &[1]).unwrap();
+        assert!(sim.measure(1, &mut rng));
+    }
+
+    #[test]
+    fn non_clifford_gates_are_rejected() {
+        let mut sim = StabilizerSimulator::new(2);
+        assert!(matches!(
+            sim.apply_gate(&Gate::T, &[0]),
+            Err(SimulatorError::NotClifford { .. })
+        ));
+        assert!(sim.apply_gate(&Gate::RZ(0.3), &[0]).is_err());
+        assert!(sim.apply_gate(&Gate::H, &[5]).is_err());
+        assert!(sim.apply_gate(&Gate::Measure, &[0]).is_err());
+    }
+
+    #[test]
+    fn apply_circuit_runs_clifford_library_circuits() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let circuit = qrio_circuit::library::bernstein_vazirani(10, 0b1100110011).unwrap();
+        let mut sim = StabilizerSimulator::new(10);
+        sim.apply_circuit(&circuit).unwrap();
+        let mut outcome = 0u64;
+        for q in 0..10 {
+            if sim.measure(q, &mut rng) {
+                outcome |= 1 << q;
+            }
+        }
+        assert_eq!(outcome, 0b1100110011);
+    }
+}

@@ -1,0 +1,466 @@
+//! Dense statevector simulation.
+//!
+//! The statevector engine is the noise-free "oracle" reference of the paper's
+//! fidelity experiment (§4.3): it can simulate arbitrary (non-Clifford)
+//! circuits exactly, but only up to a modest number of qubits because memory
+//! grows as `2^n`.
+
+use std::f64::consts::FRAC_1_SQRT_2;
+
+use rand::Rng;
+
+use qrio_circuit::{Circuit, Gate};
+
+use crate::complex::Complex64;
+use crate::error::SimulatorError;
+
+/// Maximum number of qubits the statevector engine will simulate
+/// (2^24 amplitudes ≈ 256 MiB of `Complex64`).
+pub const MAX_STATEVECTOR_QUBITS: usize = 24;
+
+/// A dense quantum state over `num_qubits` qubits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVector {
+    num_qubits: usize,
+    amplitudes: Vec<Complex64>,
+}
+
+impl StateVector {
+    /// The all-zeros computational basis state |0…0⟩.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `num_qubits` exceeds [`MAX_STATEVECTOR_QUBITS`].
+    pub fn new(num_qubits: usize) -> Result<Self, SimulatorError> {
+        if num_qubits > MAX_STATEVECTOR_QUBITS {
+            return Err(SimulatorError::TooManyQubits {
+                requested: num_qubits,
+                limit: MAX_STATEVECTOR_QUBITS,
+            });
+        }
+        let mut amplitudes = vec![Complex64::ZERO; 1usize << num_qubits];
+        amplitudes[0] = Complex64::ONE;
+        Ok(StateVector { num_qubits, amplitudes })
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The raw amplitude of basis state `index`.
+    pub fn amplitude(&self, index: usize) -> Complex64 {
+        self.amplitudes[index]
+    }
+
+    /// Probability of measuring basis state `index`.
+    pub fn probability(&self, index: usize) -> f64 {
+        self.amplitudes[index].norm_sqr()
+    }
+
+    /// The full probability vector over basis states.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amplitudes.iter().map(|a| a.norm_sqr()).collect()
+    }
+
+    /// Apply a 2×2 unitary to qubit `q`.
+    fn apply_single(&mut self, matrix: [[Complex64; 2]; 2], q: usize) {
+        let stride = 1usize << q;
+        let n = self.amplitudes.len();
+        let mut base = 0;
+        while base < n {
+            for offset in base..base + stride {
+                let i0 = offset;
+                let i1 = offset + stride;
+                let a0 = self.amplitudes[i0];
+                let a1 = self.amplitudes[i1];
+                self.amplitudes[i0] = matrix[0][0] * a0 + matrix[0][1] * a1;
+                self.amplitudes[i1] = matrix[1][0] * a0 + matrix[1][1] * a1;
+            }
+            base += stride << 1;
+        }
+    }
+
+    /// Apply a controlled phase `e^{iθ}` to states where both qubits are 1.
+    fn apply_controlled_phase(&mut self, control: usize, target: usize, theta: f64) {
+        let phase = Complex64::cis(theta);
+        let mask = (1usize << control) | (1usize << target);
+        for (index, amp) in self.amplitudes.iter_mut().enumerate() {
+            if index & mask == mask {
+                *amp = *amp * phase;
+            }
+        }
+    }
+
+    fn apply_cx(&mut self, control: usize, target: usize) {
+        let cmask = 1usize << control;
+        let tmask = 1usize << target;
+        for index in 0..self.amplitudes.len() {
+            if index & cmask != 0 && index & tmask == 0 {
+                self.amplitudes.swap(index, index | tmask);
+            }
+        }
+    }
+
+    fn apply_swap(&mut self, a: usize, b: usize) {
+        let amask = 1usize << a;
+        let bmask = 1usize << b;
+        for index in 0..self.amplitudes.len() {
+            if index & amask != 0 && index & bmask == 0 {
+                self.amplitudes.swap(index, (index & !amask) | bmask);
+            }
+        }
+    }
+
+    fn apply_ccx(&mut self, c0: usize, c1: usize, target: usize) {
+        let cmask = (1usize << c0) | (1usize << c1);
+        let tmask = 1usize << target;
+        for index in 0..self.amplitudes.len() {
+            if index & cmask == cmask && index & tmask == 0 {
+                self.amplitudes.swap(index, index | tmask);
+            }
+        }
+    }
+
+    fn apply_crz(&mut self, control: usize, target: usize, theta: f64) {
+        let cmask = 1usize << control;
+        let tmask = 1usize << target;
+        let minus = Complex64::cis(-theta / 2.0);
+        let plus = Complex64::cis(theta / 2.0);
+        for (index, amp) in self.amplitudes.iter_mut().enumerate() {
+            if index & cmask != 0 {
+                let phase = if index & tmask == 0 { minus } else { plus };
+                *amp = *amp * phase;
+            }
+        }
+    }
+
+    /// Apply a controlled-Y gate.
+    fn apply_cy(&mut self, control: usize, target: usize) {
+        let cmask = 1usize << control;
+        let tmask = 1usize << target;
+        for index in 0..self.amplitudes.len() {
+            if index & cmask != 0 && index & tmask == 0 {
+                let hi = index | tmask;
+                let a0 = self.amplitudes[index];
+                let a1 = self.amplitudes[hi];
+                // Y = [[0, -i], [i, 0]]
+                self.amplitudes[index] = Complex64::new(a1.im, -a1.re);
+                self.amplitudes[hi] = Complex64::new(-a0.im, a0.re);
+            }
+        }
+    }
+
+    /// Apply one unitary gate (not a measurement/reset/barrier).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unsupported instructions or out-of-range qubits.
+    pub fn apply_gate(&mut self, gate: &Gate, qubits: &[usize]) -> Result<(), SimulatorError> {
+        for &q in qubits {
+            if q >= self.num_qubits {
+                return Err(SimulatorError::QubitOutOfRange { qubit: q, num_qubits: self.num_qubits });
+            }
+        }
+        match *gate {
+            Gate::Barrier | Gate::I => Ok(()),
+            Gate::CX => {
+                self.apply_cx(qubits[0], qubits[1]);
+                Ok(())
+            }
+            Gate::CZ => {
+                self.apply_controlled_phase(qubits[0], qubits[1], std::f64::consts::PI);
+                Ok(())
+            }
+            Gate::CY => {
+                self.apply_cy(qubits[0], qubits[1]);
+                Ok(())
+            }
+            Gate::Swap => {
+                self.apply_swap(qubits[0], qubits[1]);
+                Ok(())
+            }
+            Gate::CP(theta) => {
+                self.apply_controlled_phase(qubits[0], qubits[1], theta);
+                Ok(())
+            }
+            Gate::CRZ(theta) => {
+                self.apply_crz(qubits[0], qubits[1], theta);
+                Ok(())
+            }
+            Gate::CCX => {
+                self.apply_ccx(qubits[0], qubits[1], qubits[2]);
+                Ok(())
+            }
+            Gate::Measure | Gate::Reset => Err(SimulatorError::Unsupported(
+                "measure/reset must be handled by the executor, not applied as a unitary".into(),
+            )),
+            ref g => {
+                let matrix = single_qubit_matrix(g).ok_or_else(|| {
+                    SimulatorError::Unsupported(format!("gate '{}' is not supported by the statevector engine", g.name()))
+                })?;
+                self.apply_single(matrix, qubits[0]);
+                Ok(())
+            }
+        }
+    }
+
+    /// Apply every unitary gate of `circuit` in order, skipping measurements,
+    /// resets and barriers.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the circuit has more qubits than the state or uses
+    /// an unsupported gate.
+    pub fn apply_circuit(&mut self, circuit: &Circuit) -> Result<(), SimulatorError> {
+        if circuit.num_qubits() > self.num_qubits {
+            return Err(SimulatorError::QubitOutOfRange {
+                qubit: circuit.num_qubits().saturating_sub(1),
+                num_qubits: self.num_qubits,
+            });
+        }
+        for inst in circuit.instructions() {
+            if matches!(inst.gate, Gate::Measure | Gate::Reset | Gate::Barrier) {
+                continue;
+            }
+            self.apply_gate(&inst.gate, &inst.qubits)?;
+        }
+        Ok(())
+    }
+
+    /// Measure qubit `q` in the computational basis, collapsing the state.
+    pub fn measure_qubit<R: Rng + ?Sized>(&mut self, q: usize, rng: &mut R) -> bool {
+        let mask = 1usize << q;
+        let prob_one: f64 = self
+            .amplitudes
+            .iter()
+            .enumerate()
+            .filter(|(index, _)| index & mask != 0)
+            .map(|(_, amp)| amp.norm_sqr())
+            .sum();
+        let outcome = rng.gen_bool(prob_one.clamp(0.0, 1.0));
+        let keep_mask_set = outcome;
+        let norm = if outcome { prob_one } else { 1.0 - prob_one };
+        let scale = if norm > 0.0 { 1.0 / norm.sqrt() } else { 0.0 };
+        for (index, amp) in self.amplitudes.iter_mut().enumerate() {
+            let bit_set = index & mask != 0;
+            if bit_set == keep_mask_set {
+                *amp = amp.scale(scale);
+            } else {
+                *amp = Complex64::ZERO;
+            }
+        }
+        outcome
+    }
+
+    /// Force qubit `q` back to |0⟩ (measure and flip if needed).
+    pub fn reset_qubit<R: Rng + ?Sized>(&mut self, q: usize, rng: &mut R) {
+        if self.measure_qubit(q, rng) {
+            self.apply_single(pauli_x_matrix(), q);
+        }
+    }
+
+    /// Sample one basis-state outcome from the current distribution.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let draw: f64 = rng.gen();
+        let mut cumulative = 0.0;
+        for (index, amp) in self.amplitudes.iter().enumerate() {
+            cumulative += amp.norm_sqr();
+            if draw < cumulative {
+                return index as u64;
+            }
+        }
+        (self.amplitudes.len() - 1) as u64
+    }
+
+    /// L2 norm of the state (should stay ≈ 1).
+    pub fn norm(&self) -> f64 {
+        self.amplitudes.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt()
+    }
+}
+
+/// The 2×2 matrix of a single-qubit gate, if the gate is single-qubit.
+pub fn single_qubit_matrix(gate: &Gate) -> Option<[[Complex64; 2]; 2]> {
+    let h = FRAC_1_SQRT_2;
+    let m = |a: Complex64, b: Complex64, c: Complex64, d: Complex64| [[a, b], [c, d]];
+    let re = Complex64::new;
+    Some(match *gate {
+        Gate::I => m(Complex64::ONE, Complex64::ZERO, Complex64::ZERO, Complex64::ONE),
+        Gate::X => pauli_x_matrix(),
+        Gate::Y => m(Complex64::ZERO, Complex64::new(0.0, -1.0), Complex64::I, Complex64::ZERO),
+        Gate::Z => m(Complex64::ONE, Complex64::ZERO, Complex64::ZERO, re(-1.0, 0.0)),
+        Gate::H => m(re(h, 0.0), re(h, 0.0), re(h, 0.0), re(-h, 0.0)),
+        Gate::S => m(Complex64::ONE, Complex64::ZERO, Complex64::ZERO, Complex64::I),
+        Gate::Sdg => m(Complex64::ONE, Complex64::ZERO, Complex64::ZERO, Complex64::new(0.0, -1.0)),
+        Gate::T => m(Complex64::ONE, Complex64::ZERO, Complex64::ZERO, Complex64::cis(std::f64::consts::FRAC_PI_4)),
+        Gate::Tdg => m(Complex64::ONE, Complex64::ZERO, Complex64::ZERO, Complex64::cis(-std::f64::consts::FRAC_PI_4)),
+        Gate::SX => m(
+            Complex64::new(0.5, 0.5),
+            Complex64::new(0.5, -0.5),
+            Complex64::new(0.5, -0.5),
+            Complex64::new(0.5, 0.5),
+        ),
+        Gate::RX(theta) => {
+            let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+            m(re(c, 0.0), Complex64::new(0.0, -s), Complex64::new(0.0, -s), re(c, 0.0))
+        }
+        Gate::RY(theta) => {
+            let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+            m(re(c, 0.0), re(-s, 0.0), re(s, 0.0), re(c, 0.0))
+        }
+        Gate::RZ(theta) => m(
+            Complex64::cis(-theta / 2.0),
+            Complex64::ZERO,
+            Complex64::ZERO,
+            Complex64::cis(theta / 2.0),
+        ),
+        Gate::U1(lambda) => m(Complex64::ONE, Complex64::ZERO, Complex64::ZERO, Complex64::cis(lambda)),
+        Gate::U2(phi, lambda) => u3_matrix(std::f64::consts::FRAC_PI_2, phi, lambda),
+        Gate::U3(theta, phi, lambda) => u3_matrix(theta, phi, lambda),
+        _ => return None,
+    })
+}
+
+/// The matrix of `u3(θ, φ, λ)`.
+pub fn u3_matrix(theta: f64, phi: f64, lambda: f64) -> [[Complex64; 2]; 2] {
+    let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+    [
+        [Complex64::new(c, 0.0), -Complex64::cis(lambda).scale(s)],
+        [Complex64::cis(phi).scale(s), Complex64::cis(phi + lambda).scale(c)],
+    ]
+}
+
+fn pauli_x_matrix() -> [[Complex64; 2]; 2] {
+    [[Complex64::ZERO, Complex64::ONE], [Complex64::ONE, Complex64::ZERO]]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn initial_state_is_zero() {
+        let sv = StateVector::new(3).unwrap();
+        assert!((sv.probability(0) - 1.0).abs() < 1e-12);
+        assert!((sv.norm() - 1.0).abs() < 1e-12);
+        assert!(StateVector::new(40).is_err());
+    }
+
+    #[test]
+    fn hadamard_creates_superposition() {
+        let mut sv = StateVector::new(1).unwrap();
+        sv.apply_gate(&Gate::H, &[0]).unwrap();
+        assert!((sv.probability(0) - 0.5).abs() < 1e-12);
+        assert!((sv.probability(1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bell_state_probabilities() {
+        let mut c = Circuit::new(2, 0);
+        c.h(0).unwrap();
+        c.cx(0, 1).unwrap();
+        let mut sv = StateVector::new(2).unwrap();
+        sv.apply_circuit(&c).unwrap();
+        assert!((sv.probability(0b00) - 0.5).abs() < 1e-12);
+        assert!((sv.probability(0b11) - 0.5).abs() < 1e-12);
+        assert!(sv.probability(0b01) < 1e-12);
+    }
+
+    #[test]
+    fn x_flips_and_ccx_controls() {
+        let mut sv = StateVector::new(3).unwrap();
+        sv.apply_gate(&Gate::X, &[0]).unwrap();
+        sv.apply_gate(&Gate::X, &[1]).unwrap();
+        sv.apply_gate(&Gate::CCX, &[0, 1, 2]).unwrap();
+        assert!((sv.probability(0b111) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn swap_and_cz_and_cy() {
+        let mut sv = StateVector::new(2).unwrap();
+        sv.apply_gate(&Gate::X, &[0]).unwrap();
+        sv.apply_gate(&Gate::Swap, &[0, 1]).unwrap();
+        assert!((sv.probability(0b10) - 1.0).abs() < 1e-12);
+        // CZ on |11> flips the phase but not probabilities.
+        let mut sv = StateVector::new(2).unwrap();
+        sv.apply_gate(&Gate::X, &[0]).unwrap();
+        sv.apply_gate(&Gate::X, &[1]).unwrap();
+        sv.apply_gate(&Gate::CZ, &[0, 1]).unwrap();
+        assert!((sv.probability(0b11) - 1.0).abs() < 1e-12);
+        assert!(sv.amplitude(0b11).approx_eq(Complex64::new(-1.0, 0.0), 1e-12));
+        // CY on |10> (control=qubit0 set) maps target through iY.
+        let mut sv = StateVector::new(2).unwrap();
+        sv.apply_gate(&Gate::X, &[0]).unwrap();
+        sv.apply_gate(&Gate::CY, &[0, 1]).unwrap();
+        assert!((sv.probability(0b11) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rz_u1_phases_do_not_change_probabilities() {
+        let mut sv = StateVector::new(1).unwrap();
+        sv.apply_gate(&Gate::H, &[0]).unwrap();
+        sv.apply_gate(&Gate::RZ(0.7), &[0]).unwrap();
+        sv.apply_gate(&Gate::U1(1.3), &[0]).unwrap();
+        assert!((sv.probability(0) - 0.5).abs() < 1e-12);
+        assert!((sv.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn u3_is_universal_1q() {
+        // u3(pi, 0, pi) == X
+        let mut sv = StateVector::new(1).unwrap();
+        sv.apply_gate(&Gate::U3(std::f64::consts::PI, 0.0, std::f64::consts::PI), &[0]).unwrap();
+        assert!((sv.probability(1) - 1.0).abs() < 1e-9);
+        // u2(0, pi) == H up to phase
+        let mut sv = StateVector::new(1).unwrap();
+        sv.apply_gate(&Gate::U2(0.0, std::f64::consts::PI), &[0]).unwrap();
+        assert!((sv.probability(0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measurement_collapses_state() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sv = StateVector::new(2).unwrap();
+        sv.apply_gate(&Gate::H, &[0]).unwrap();
+        sv.apply_gate(&Gate::CX, &[0, 1]).unwrap();
+        let outcome = sv.measure_qubit(0, &mut rng);
+        // After measuring one half of a Bell pair, the other half matches.
+        let expected = if outcome { 0b11 } else { 0b00 };
+        assert!((sv.probability(expected) - 1.0).abs() < 1e-9);
+        assert!((sv.norm() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_returns_to_zero() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut sv = StateVector::new(1).unwrap();
+        sv.apply_gate(&Gate::X, &[0]).unwrap();
+        sv.reset_qubit(0, &mut rng);
+        assert!((sv.probability(0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_follows_distribution() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sv = StateVector::new(1).unwrap();
+        sv.apply_gate(&Gate::H, &[0]).unwrap();
+        let mut ones = 0;
+        for _ in 0..2000 {
+            if sv.sample(&mut rng) == 1 {
+                ones += 1;
+            }
+        }
+        assert!((900..1100).contains(&ones), "got {ones} ones");
+    }
+
+    #[test]
+    fn errors_for_bad_usage() {
+        let mut sv = StateVector::new(1).unwrap();
+        assert!(sv.apply_gate(&Gate::H, &[3]).is_err());
+        assert!(sv.apply_gate(&Gate::Measure, &[0]).is_err());
+        let big = Circuit::new(2, 0);
+        assert!(sv.apply_circuit(&big).is_err());
+    }
+}

@@ -1,0 +1,141 @@
+//! Circuit deflation: shrink a device-sized circuit down to its active qubits.
+//!
+//! After routing, a circuit is expressed over *all* physical qubits of its
+//! target device even though only a handful are touched. Simulation cost
+//! scales with register size, so the meta server's scoring paths (and
+//! Mapomatic itself, which calls this step "deflation") first restrict the
+//! circuit — and the backend's calibration data — to the active qubits.
+
+use std::collections::BTreeMap;
+
+use qrio_backend::{Backend, CouplingMap};
+use qrio_circuit::Circuit;
+
+use crate::error::TranspilerError;
+
+/// A deflated circuit together with the matching sub-device.
+#[derive(Debug, Clone)]
+pub struct DeflatedCircuit {
+    /// The circuit re-indexed over its active qubits only.
+    pub circuit: Circuit,
+    /// A backend restricted to the active qubits (calibration preserved),
+    /// suitable for building a noise model for the deflated circuit.
+    pub backend: Backend,
+    /// `active_physical[new_index] = original_physical_qubit`.
+    pub active_physical: Vec<usize>,
+}
+
+/// Deflate `circuit` (expressed over `backend`'s physical qubits) to its
+/// active qubits.
+///
+/// # Errors
+///
+/// Returns an error if the restricted backend cannot be constructed (which
+/// would indicate inconsistent calibration data).
+pub fn deflate(circuit: &Circuit, backend: &Backend) -> Result<DeflatedCircuit, TranspilerError> {
+    let active = circuit.active_qubits();
+    if active.is_empty() {
+        // Nothing to shrink: return a single-qubit placeholder device so the
+        // result is still well-formed.
+        let sub = Backend::uniform(format!("{}-deflated", backend.name()), CouplingMap::new(1), 0.0, 0.0);
+        return Ok(DeflatedCircuit {
+            circuit: Circuit::with_name(circuit.name().to_string(), 1, circuit.num_clbits()),
+            backend: sub,
+            active_physical: vec![0],
+        });
+    }
+
+    // old physical index -> new compact index
+    let mut compact = vec![0usize; circuit.num_qubits()];
+    for (new_idx, &old) in active.iter().enumerate() {
+        compact[old] = new_idx;
+    }
+    let deflated_circuit = circuit.remap_qubits(&compact, active.len())?;
+
+    // Restrict the backend to the active qubits.
+    let mut coupling = CouplingMap::new(active.len());
+    let mut gates = BTreeMap::new();
+    for (i, &a) in active.iter().enumerate() {
+        for (j, &b) in active.iter().enumerate().skip(i + 1) {
+            if backend.coupling_map().has_edge(a, b) {
+                coupling.add_edge(i, j);
+                if let Some(props) = backend.two_qubit_gate(a, b) {
+                    gates.insert((i, j), *props);
+                }
+            }
+        }
+    }
+    let qubit_props = active.iter().map(|&q| *backend.qubit(q)).collect();
+    let sub_backend = Backend::new(
+        format!("{}-deflated", backend.name()),
+        coupling,
+        qubit_props,
+        gates,
+        backend.basis_gates().clone(),
+    )
+    .map_err(|e| TranspilerError::UnusableDevice(e.to_string()))?;
+
+    Ok(DeflatedCircuit { circuit: deflated_circuit, backend: sub_backend, active_physical: active })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transpile;
+    use qrio_backend::topology;
+    use qrio_circuit::library;
+    use qrio_sim::run_ideal;
+
+    #[test]
+    fn deflation_shrinks_routed_circuits() {
+        let circuit = library::ghz(4).unwrap();
+        let backend = Backend::uniform("big", topology::grid(5, 6), 0.01, 0.05);
+        let routed = transpile(&circuit, &backend).unwrap();
+        assert_eq!(routed.circuit.num_qubits(), 30);
+        let deflated = deflate(&routed.circuit, &backend).unwrap();
+        assert!(deflated.circuit.num_qubits() <= 8);
+        assert_eq!(deflated.circuit.num_qubits(), deflated.active_physical.len());
+        assert_eq!(deflated.backend.num_qubits(), deflated.circuit.num_qubits());
+        // Semantics preserved: still a GHZ distribution.
+        let counts = run_ideal(&deflated.circuit, 1024, 3).unwrap();
+        let all_ones = 0b1111u64;
+        assert!(counts.probability(0) + counts.probability(all_ones) > 0.99);
+    }
+
+    #[test]
+    fn calibration_is_carried_over() {
+        let circuit = library::ghz(3).unwrap();
+        let backend = Backend::uniform("cal", topology::line(10), 0.02, 0.07);
+        let routed = transpile(&circuit, &backend).unwrap();
+        let deflated = deflate(&routed.circuit, &backend).unwrap();
+        for edge in deflated.backend.coupling_map().edges() {
+            let err = deflated.backend.two_qubit_gate(edge.0, edge.1).unwrap().error;
+            assert!((err - 0.07).abs() < 1e-12);
+        }
+        for q in 0..deflated.backend.num_qubits() {
+            assert!((deflated.backend.qubit(q).single_qubit_error - 0.02).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_circuit_deflates_to_placeholder() {
+        let circuit = Circuit::new(20, 0);
+        let backend = Backend::uniform("empty", topology::line(20), 0.0, 0.0);
+        let deflated = deflate(&circuit, &backend).unwrap();
+        assert_eq!(deflated.circuit.num_qubits(), 1);
+        assert!(deflated.circuit.is_empty());
+    }
+
+    #[test]
+    fn two_qubit_gates_stay_coupled_after_deflation() {
+        let circuit = library::random_circuit_with_cx_count(5, 10, 3).unwrap();
+        let backend = Backend::uniform("dev", topology::ring(12), 0.01, 0.05);
+        let routed = transpile(&circuit, &backend).unwrap();
+        let deflated = deflate(&routed.circuit, &backend).unwrap();
+        for inst in deflated.circuit.instructions() {
+            if inst.is_two_qubit_gate() {
+                assert!(deflated.backend.coupling_map().has_edge(inst.qubits[0], inst.qubits[1]));
+            }
+        }
+    }
+}

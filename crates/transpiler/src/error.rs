@@ -1,0 +1,73 @@
+//! Error types for the transpiler crate.
+
+use std::error::Error;
+use std::fmt;
+
+use qrio_circuit::CircuitError;
+
+/// Errors produced while transpiling a circuit to a device.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TranspilerError {
+    /// The circuit needs more qubits than the device provides.
+    CircuitTooLarge {
+        /// Qubits required by the circuit.
+        required: usize,
+        /// Qubits available on the device.
+        available: usize,
+    },
+    /// The device's coupling map is disconnected or otherwise unusable.
+    UnusableDevice(String),
+    /// A gate could not be translated to the device basis.
+    TranslationFailed {
+        /// Name of the offending gate.
+        gate: String,
+    },
+    /// Routing failed to make progress (should not happen on connected devices).
+    RoutingStuck(String),
+    /// An underlying circuit manipulation failed.
+    Circuit(CircuitError),
+}
+
+impl fmt::Display for TranspilerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranspilerError::CircuitTooLarge { required, available } => {
+                write!(f, "circuit needs {required} qubits but the device has only {available}")
+            }
+            TranspilerError::UnusableDevice(msg) => write!(f, "unusable device: {msg}"),
+            TranspilerError::TranslationFailed { gate } => {
+                write!(f, "gate '{gate}' cannot be translated to the device basis")
+            }
+            TranspilerError::RoutingStuck(msg) => write!(f, "routing made no progress: {msg}"),
+            TranspilerError::Circuit(err) => write!(f, "circuit error during transpilation: {err}"),
+        }
+    }
+}
+
+impl Error for TranspilerError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TranspilerError::Circuit(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<CircuitError> for TranspilerError {
+    fn from(err: CircuitError) -> Self {
+        TranspilerError::Circuit(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let err = TranspilerError::CircuitTooLarge { required: 10, available: 5 };
+        assert!(err.to_string().contains("10"));
+        let err: TranspilerError = CircuitError::DuplicateQubit { qubit: 1 }.into();
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

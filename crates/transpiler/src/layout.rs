@@ -1,0 +1,289 @@
+//! Initial layout selection: placing virtual circuit qubits on physical
+//! device qubits (the "Placement on Physical Qubits" step of the Qiskit
+//! pipeline the paper describes in §2.3).
+
+use std::collections::BTreeSet;
+
+use qrio_backend::Backend;
+use qrio_circuit::Circuit;
+
+use crate::error::TranspilerError;
+
+/// A mapping from virtual circuit qubits to physical device qubits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layout {
+    /// `virtual_to_physical[v]` is the physical qubit assigned to virtual `v`.
+    virtual_to_physical: Vec<usize>,
+    num_physical: usize,
+}
+
+impl Layout {
+    /// Build a layout from an explicit assignment vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any physical index is out of range or repeated.
+    pub fn new(virtual_to_physical: Vec<usize>, num_physical: usize) -> Result<Self, TranspilerError> {
+        let mut seen = BTreeSet::new();
+        for &p in &virtual_to_physical {
+            if p >= num_physical {
+                return Err(TranspilerError::UnusableDevice(format!(
+                    "layout maps to physical qubit {p} outside a {num_physical}-qubit device"
+                )));
+            }
+            if !seen.insert(p) {
+                return Err(TranspilerError::UnusableDevice(format!(
+                    "layout maps two virtual qubits to physical qubit {p}"
+                )));
+            }
+        }
+        Ok(Layout { virtual_to_physical, num_physical })
+    }
+
+    /// The identity layout over `num_virtual` qubits.
+    pub fn trivial(num_virtual: usize, num_physical: usize) -> Result<Self, TranspilerError> {
+        Layout::new((0..num_virtual).collect(), num_physical)
+    }
+
+    /// Number of virtual qubits covered.
+    pub fn num_virtual(&self) -> usize {
+        self.virtual_to_physical.len()
+    }
+
+    /// Number of physical qubits on the target device.
+    pub fn num_physical(&self) -> usize {
+        self.num_physical
+    }
+
+    /// Physical qubit assigned to virtual qubit `v`.
+    pub fn physical(&self, v: usize) -> usize {
+        self.virtual_to_physical[v]
+    }
+
+    /// The full assignment vector.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.virtual_to_physical
+    }
+
+    /// Inverse mapping: `physical -> Some(virtual)` for assigned qubits.
+    pub fn inverse(&self) -> Vec<Option<usize>> {
+        let mut inv = vec![None; self.num_physical];
+        for (v, &p) in self.virtual_to_physical.iter().enumerate() {
+            inv[p] = Some(v);
+        }
+        inv
+    }
+}
+
+/// Strategy used to choose the initial layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LayoutStrategy {
+    /// Virtual qubit `i` goes to physical qubit `i`.
+    Trivial,
+    /// Greedy error/connectivity-aware placement (default).
+    #[default]
+    Dense,
+}
+
+/// Choose an initial layout for `circuit` on `backend` using `strategy`.
+///
+/// The dense strategy grows a connected region of the device around the
+/// lowest-error edge, then assigns the most interaction-heavy virtual qubits
+/// to the best-connected physical qubits in that region.
+///
+/// # Errors
+///
+/// Returns an error if the circuit does not fit on the device.
+pub fn select_layout(
+    circuit: &Circuit,
+    backend: &Backend,
+    strategy: LayoutStrategy,
+) -> Result<Layout, TranspilerError> {
+    let needed = circuit.num_qubits();
+    let available = backend.num_qubits();
+    if needed > available {
+        return Err(TranspilerError::CircuitTooLarge { required: needed, available });
+    }
+    match strategy {
+        LayoutStrategy::Trivial => Layout::trivial(needed, available),
+        LayoutStrategy::Dense => dense_layout(circuit, backend),
+    }
+}
+
+fn dense_layout(circuit: &Circuit, backend: &Backend) -> Result<Layout, TranspilerError> {
+    let needed = circuit.num_qubits();
+    let map = backend.coupling_map();
+    if needed == 0 {
+        return Layout::new(Vec::new(), backend.num_qubits());
+    }
+
+    // 1. Seed with the endpoint qubits of the lowest-error edge (or qubit 0).
+    let mut region: Vec<usize> = Vec::with_capacity(needed);
+    let mut in_region = vec![false; backend.num_qubits()];
+    let seed_edge = map
+        .edges()
+        .into_iter()
+        .min_by(|&(a1, b1), &(a2, b2)| {
+            let e1 = backend.two_qubit_error_or_default(a1, b1);
+            let e2 = backend.two_qubit_error_or_default(a2, b2);
+            e1.partial_cmp(&e2).unwrap_or(std::cmp::Ordering::Equal)
+        });
+    match seed_edge {
+        Some((a, b)) => {
+            region.push(a);
+            in_region[a] = true;
+            if needed > 1 {
+                region.push(b);
+                in_region[b] = true;
+            }
+        }
+        None => {
+            region.push(0);
+            in_region[0] = true;
+        }
+    }
+
+    // 2. Grow the region greedily: prefer candidates with many links into the
+    //    region and low error on those links.
+    while region.len() < needed {
+        let mut best: Option<(usize, f64)> = None;
+        for &member in &region {
+            for &candidate in map.neighbors(member) {
+                if in_region[candidate] {
+                    continue;
+                }
+                let links = map.neighbors(candidate).iter().filter(|&&n| in_region[n]).count();
+                let err: f64 = map
+                    .neighbors(candidate)
+                    .iter()
+                    .filter(|&&n| in_region[n])
+                    .map(|&n| backend.two_qubit_error_or_default(candidate, n))
+                    .sum::<f64>()
+                    / links.max(1) as f64;
+                let score = links as f64 - err;
+                if best.map_or(true, |(_, s)| score > s) {
+                    best = Some((candidate, score));
+                }
+            }
+        }
+        match best {
+            Some((candidate, _)) => {
+                in_region[candidate] = true;
+                region.push(candidate);
+            }
+            None => {
+                // Disconnected device: fall back to any unused physical qubit.
+                match (0..backend.num_qubits()).find(|&p| !in_region[p]) {
+                    Some(p) => {
+                        in_region[p] = true;
+                        region.push(p);
+                    }
+                    None => break,
+                }
+            }
+        }
+    }
+    if region.len() < needed {
+        return Err(TranspilerError::CircuitTooLarge { required: needed, available: region.len() });
+    }
+
+    // 3. Assign interaction-heavy virtual qubits to well-connected physical
+    //    qubits inside the region.
+    let mut virtual_weight = vec![0usize; needed];
+    for ((a, b), count) in circuit.interaction_counts() {
+        virtual_weight[a] += count;
+        virtual_weight[b] += count;
+    }
+    let mut virtual_order: Vec<usize> = (0..needed).collect();
+    virtual_order.sort_by_key(|&v| std::cmp::Reverse(virtual_weight[v]));
+
+    let mut physical_order = region.clone();
+    physical_order.sort_by_key(|&p| {
+        std::cmp::Reverse(map.neighbors(p).iter().filter(|&&n| in_region[n]).count())
+    });
+
+    let mut assignment = vec![usize::MAX; needed];
+    for (rank, &v) in virtual_order.iter().enumerate() {
+        assignment[v] = physical_order[rank];
+    }
+    Layout::new(assignment, backend.num_qubits())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrio_backend::topology;
+    use qrio_circuit::library;
+
+    fn backend_line(n: usize) -> Backend {
+        Backend::uniform("line", topology::line(n), 0.01, 0.05)
+    }
+
+    #[test]
+    fn trivial_layout_is_identity() {
+        let circuit = library::ghz(3).unwrap();
+        let layout = select_layout(&circuit, &backend_line(5), LayoutStrategy::Trivial).unwrap();
+        assert_eq!(layout.as_slice(), &[0, 1, 2]);
+        assert_eq!(layout.num_virtual(), 3);
+        assert_eq!(layout.num_physical(), 5);
+    }
+
+    #[test]
+    fn dense_layout_is_injective_and_in_range() {
+        let circuit = library::random_circuit(5, 4, 1).unwrap();
+        let backend = Backend::uniform("grid", topology::grid(3, 3), 0.01, 0.05);
+        let layout = select_layout(&circuit, &backend, LayoutStrategy::Dense).unwrap();
+        let mut seen = BTreeSet::new();
+        for v in 0..5 {
+            let p = layout.physical(v);
+            assert!(p < 9);
+            assert!(seen.insert(p));
+        }
+    }
+
+    #[test]
+    fn too_large_circuit_is_rejected() {
+        let circuit = library::ghz(6).unwrap();
+        assert!(matches!(
+            select_layout(&circuit, &backend_line(4), LayoutStrategy::Dense),
+            Err(TranspilerError::CircuitTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn layout_validation() {
+        assert!(Layout::new(vec![0, 0], 3).is_err());
+        assert!(Layout::new(vec![0, 7], 3).is_err());
+        let layout = Layout::new(vec![2, 0], 3).unwrap();
+        let inv = layout.inverse();
+        assert_eq!(inv[2], Some(0));
+        assert_eq!(inv[0], Some(1));
+        assert_eq!(inv[1], None);
+    }
+
+    #[test]
+    fn dense_layout_prefers_low_error_edges() {
+        // Build a 4-qubit line where edge (2,3) is much better than (0,1).
+        let map = topology::line(4);
+        let mut gates = std::collections::BTreeMap::new();
+        for (edge, err) in [((0usize, 1usize), 0.5), ((1, 2), 0.4), ((2, 3), 0.01)] {
+            gates.insert(edge, qrio_backend::TwoQubitGateProperties { error: err, duration_ns: 300.0 });
+        }
+        let props = vec![qrio_backend::QubitProperties::default(); 4];
+        let backend =
+            Backend::new("biased", map, props, gates, qrio_backend::BasisGates::ibm_default()).unwrap();
+        let mut bell = Circuit::new(2, 2);
+        bell.h(0).unwrap();
+        bell.cx(0, 1).unwrap();
+        let layout = select_layout(&bell, &backend, LayoutStrategy::Dense).unwrap();
+        let placed: BTreeSet<usize> = layout.as_slice().iter().copied().collect();
+        assert_eq!(placed, BTreeSet::from([2, 3]));
+    }
+
+    #[test]
+    fn empty_circuit_layout() {
+        let circuit = Circuit::new(0, 0);
+        let layout = select_layout(&circuit, &backend_line(3), LayoutStrategy::Dense).unwrap();
+        assert_eq!(layout.num_virtual(), 0);
+    }
+}

@@ -1,0 +1,53 @@
+//! # qrio-transpiler
+//!
+//! Quantum transpilation for the QRIO quantum-cloud orchestrator
+//! (reproduction of *Empowering the Quantum Cloud User with QRIO*, IISWC 2024).
+//!
+//! Every job QRIO schedules is transpiled to its assigned device before
+//! execution (§3.3): the generated runner reads the node's backend, adapts the
+//! user's QASM circuit to the device's connectivity and native gates, and then
+//! runs it. This crate implements that pipeline, mirroring the Qiskit flow the
+//! paper describes in §2.3:
+//!
+//! * [`layout`] — placement of virtual qubits on physical qubits (trivial and
+//!   error/connectivity-aware dense strategies),
+//! * [`routing`] — SWAP insertion on the restricted topology (shortest-path
+//!   and SABRE-style heuristics),
+//! * [`translation`] — decomposition into the device basis (`u1,u2,u3,cx` for
+//!   the paper's fleet),
+//! * [`optimization`] — single-qubit fusion, CX cancellation and identity
+//!   removal,
+//! * [`transpile`] / [`transpile_with_options`] — the end-to-end pipeline.
+//!
+//! # Examples
+//!
+//! ```
+//! use qrio_backend::{topology, Backend};
+//! use qrio_circuit::library;
+//! use qrio_transpiler::transpile;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let circuit = library::ghz(4)?;
+//! let backend = Backend::uniform("demo", topology::line(6), 0.01, 0.05);
+//! let result = transpile(&circuit, &backend)?;
+//! assert!(result.circuit.two_qubit_gate_count() >= circuit.two_qubit_gate_count());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod deflate;
+mod error;
+pub mod layout;
+pub mod optimization;
+pub mod pipeline;
+pub mod routing;
+pub mod translation;
+
+pub use deflate::{deflate, DeflatedCircuit};
+pub use error::TranspilerError;
+pub use layout::{select_layout, Layout, LayoutStrategy};
+pub use pipeline::{transpile, transpile_with_options, TranspileOptions, TranspileResult};
+pub use routing::{route, RoutedCircuit, RoutingStrategy};
+pub use translation::translate_to_basis;

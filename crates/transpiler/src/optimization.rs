@@ -1,0 +1,346 @@
+//! Physical-circuit optimization passes (the "Virtual/Physical Circuit
+//! Optimization" steps of §2.3): single-qubit gate fusion and CX cancellation.
+
+use qrio_circuit::{Circuit, Gate, Instruction};
+use qrio_sim::{single_qubit_matrix, Complex64};
+
+use crate::error::TranspilerError;
+
+/// Angles below this magnitude are treated as zero when dropping identities.
+const ANGLE_EPSILON: f64 = 1e-9;
+
+/// Run the optimization pipeline: fuse runs of single-qubit gates into a
+/// single `u1`/`u3`, cancel adjacent identical CX pairs, and drop identity
+/// rotations. The pass is applied repeatedly until it reaches a fixed point
+/// (at most a few iterations).
+///
+/// # Errors
+///
+/// Returns an error if an instruction cannot be rebuilt (should not occur for
+/// circuits produced by the earlier passes).
+pub fn optimize(circuit: &Circuit) -> Result<Circuit, TranspilerError> {
+    let mut current = circuit.clone();
+    for _ in 0..4 {
+        let fused = fuse_single_qubit_runs(&current)?;
+        let cancelled = cancel_adjacent_cx(&fused)?;
+        let cleaned = drop_identities(&cancelled)?;
+        if cleaned == current {
+            return Ok(cleaned);
+        }
+        current = cleaned;
+    }
+    Ok(current)
+}
+
+/// Fuse maximal runs of single-qubit unitaries on the same qubit into one
+/// `u3` gate (or `u1` when the run is diagonal).
+pub fn fuse_single_qubit_runs(circuit: &Circuit) -> Result<Circuit, TranspilerError> {
+    let mut out = Circuit::with_name(circuit.name().to_string(), circuit.num_qubits(), circuit.num_clbits());
+    // Pending accumulated unitary per qubit.
+    let mut pending: Vec<Option<[[Complex64; 2]; 2]>> = vec![None; circuit.num_qubits().max(1)];
+
+    let flush = |out: &mut Circuit, pending: &mut Vec<Option<[[Complex64; 2]; 2]>>, q: usize| -> Result<(), TranspilerError> {
+        if let Some(matrix) = pending[q].take() {
+            if let Some(gate) = matrix_to_gate(&matrix) {
+                out.append(gate, &[q])?;
+            }
+        }
+        Ok(())
+    };
+
+    for inst in circuit.instructions() {
+        let is_fusable_1q = inst.gate.num_qubits() == 1
+            && !inst.gate.is_directive()
+            && single_qubit_matrix(&inst.gate).is_some();
+        if is_fusable_1q {
+            let q = inst.qubits[0];
+            let matrix = single_qubit_matrix(&inst.gate).expect("checked above");
+            let acc = pending[q].unwrap_or(IDENTITY);
+            pending[q] = Some(matmul(&matrix, &acc));
+        } else {
+            for &q in &inst.qubits {
+                flush(&mut out, &mut pending, q)?;
+            }
+            out.push(Instruction {
+                gate: inst.gate,
+                qubits: inst.qubits.clone(),
+                clbits: inst.clbits.clone(),
+            })?;
+        }
+    }
+    for q in 0..circuit.num_qubits() {
+        flush(&mut out, &mut pending, q)?;
+    }
+    Ok(out)
+}
+
+/// Cancel immediately-adjacent identical CX gates (and adjacent SWAP pairs).
+pub fn cancel_adjacent_cx(circuit: &Circuit) -> Result<Circuit, TranspilerError> {
+    let mut out = Circuit::with_name(circuit.name().to_string(), circuit.num_qubits(), circuit.num_clbits());
+    let instructions = circuit.instructions();
+    let mut skip = vec![false; instructions.len()];
+    for i in 0..instructions.len() {
+        if skip[i] {
+            continue;
+        }
+        let inst = &instructions[i];
+        if matches!(inst.gate, Gate::CX | Gate::CZ | Gate::Swap) {
+            // Look ahead for the next instruction touching either qubit.
+            let mut j = i + 1;
+            let mut blocked = false;
+            while j < instructions.len() {
+                let other = &instructions[j];
+                if skip[j] {
+                    j += 1;
+                    continue;
+                }
+                let overlaps = other.qubits.iter().any(|q| inst.qubits.contains(q));
+                if overlaps {
+                    let same = other.gate == inst.gate
+                        && (other.qubits == inst.qubits
+                            || (matches!(inst.gate, Gate::CZ | Gate::Swap)
+                                && other.qubits.len() == 2
+                                && other.qubits[0] == inst.qubits[1]
+                                && other.qubits[1] == inst.qubits[0]));
+                    // Only cancel when the intervening instructions touched
+                    // neither qubit (we stop at the first overlap), and the
+                    // overlap is exactly the inverse gate.
+                    if same && other.qubits.iter().all(|q| inst.qubits.contains(q)) {
+                        skip[i] = true;
+                        skip[j] = true;
+                    }
+                    blocked = true;
+                    break;
+                }
+                j += 1;
+            }
+            let _ = blocked;
+        }
+        if !skip[i] {
+            out.push(Instruction {
+                gate: inst.gate,
+                qubits: inst.qubits.clone(),
+                clbits: inst.clbits.clone(),
+            })?;
+        }
+    }
+    Ok(out)
+}
+
+/// Drop gates that are numerically the identity (zero-angle rotations).
+pub fn drop_identities(circuit: &Circuit) -> Result<Circuit, TranspilerError> {
+    let mut out = Circuit::with_name(circuit.name().to_string(), circuit.num_qubits(), circuit.num_clbits());
+    for inst in circuit.instructions() {
+        let is_identity = match inst.gate {
+            Gate::I => true,
+            Gate::RZ(t) | Gate::RX(t) | Gate::RY(t) | Gate::U1(t) | Gate::CP(t) | Gate::CRZ(t) => {
+                t.abs() < ANGLE_EPSILON
+            }
+            Gate::U3(t, p, l) => t.abs() < ANGLE_EPSILON && p.abs() < ANGLE_EPSILON && l.abs() < ANGLE_EPSILON,
+            _ => false,
+        };
+        if !is_identity {
+            out.push(Instruction {
+                gate: inst.gate,
+                qubits: inst.qubits.clone(),
+                clbits: inst.clbits.clone(),
+            })?;
+        }
+    }
+    Ok(out)
+}
+
+const IDENTITY: [[Complex64; 2]; 2] = [
+    [Complex64::ONE, Complex64::ZERO],
+    [Complex64::ZERO, Complex64::ONE],
+];
+
+/// `a · b` for 2×2 complex matrices.
+fn matmul(a: &[[Complex64; 2]; 2], b: &[[Complex64; 2]; 2]) -> [[Complex64; 2]; 2] {
+    let mut out = [[Complex64::ZERO; 2]; 2];
+    for (i, row) in out.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
+            *cell = a[i][0] * b[0][j] + a[i][1] * b[1][j];
+        }
+    }
+    out
+}
+
+/// Convert a 2×2 unitary back into a `u1`/`u3` gate (up to global phase), or
+/// `None` if it is the identity.
+fn matrix_to_gate(matrix: &[[Complex64; 2]; 2]) -> Option<Gate> {
+    let (theta, phi, lambda) = zyz_angles(matrix);
+    if theta.abs() < ANGLE_EPSILON {
+        let total = phi + lambda;
+        if normalized_angle(total).abs() < ANGLE_EPSILON {
+            return None;
+        }
+        return Some(Gate::U1(normalized_angle(total)));
+    }
+    Some(Gate::U3(theta, normalized_angle(phi), normalized_angle(lambda)))
+}
+
+/// Extract `u3(θ, φ, λ)` angles (up to global phase) from a 2×2 unitary.
+fn zyz_angles(matrix: &[[Complex64; 2]; 2]) -> (f64, f64, f64) {
+    let u00 = matrix[0][0];
+    let u01 = matrix[0][1];
+    let u10 = matrix[1][0];
+    let u11 = matrix[1][1];
+    let arg = |z: Complex64| z.im.atan2(z.re);
+    let theta = 2.0 * u10.abs().atan2(u00.abs());
+    if u00.abs() > 1e-12 {
+        let gamma = arg(u00);
+        let phi = if u10.abs() > 1e-12 { arg(u10) - gamma } else { 0.0 };
+        let lambda = if u11.abs() > 1e-12 {
+            arg(u11) - gamma - phi
+        } else if u01.abs() > 1e-12 {
+            arg(-u01) - gamma
+        } else {
+            0.0
+        };
+        (theta, phi, lambda)
+    } else {
+        // theta == pi: only φ − λ matters; put everything into φ.
+        let phi = arg(u10) - arg(-u01);
+        (theta, phi, 0.0)
+    }
+}
+
+/// Map an angle into `(-π, π]`.
+fn normalized_angle(theta: f64) -> f64 {
+    let two_pi = 2.0 * std::f64::consts::PI;
+    let mut a = theta % two_pi;
+    if a > std::f64::consts::PI {
+        a -= two_pi;
+    } else if a <= -std::f64::consts::PI {
+        a += two_pi;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrio_circuit::library;
+    use qrio_sim::run_ideal;
+
+    fn assert_equivalent(original: &Circuit, optimized: &Circuit) {
+        let a = run_ideal(original, 3000, 23).unwrap();
+        let b = run_ideal(optimized, 3000, 23).unwrap();
+        let fidelity = a.hellinger_fidelity(&b);
+        assert!(fidelity > 0.97, "optimization changed semantics: fidelity {fidelity}");
+    }
+
+    #[test]
+    fn fuses_runs_of_single_qubit_gates() {
+        let mut circuit = Circuit::new(1, 1);
+        circuit.h(0).unwrap();
+        circuit.t(0).unwrap();
+        circuit.h(0).unwrap();
+        circuit.s(0).unwrap();
+        circuit.measure(0, 0).unwrap();
+        let optimized = optimize(&circuit).unwrap();
+        let unitary_count = optimized.len() - optimized.measurement_count();
+        assert_eq!(unitary_count, 1, "expected a single fused gate: {optimized}");
+        assert_equivalent(&circuit, &optimized);
+    }
+
+    #[test]
+    fn adjacent_cx_pairs_cancel() {
+        let mut circuit = Circuit::new(2, 2);
+        circuit.h(0).unwrap();
+        circuit.cx(0, 1).unwrap();
+        circuit.cx(0, 1).unwrap();
+        circuit.measure_all().unwrap();
+        let optimized = optimize(&circuit).unwrap();
+        assert_eq!(optimized.two_qubit_gate_count(), 0);
+        assert_equivalent(&circuit, &optimized);
+    }
+
+    #[test]
+    fn cx_pairs_with_interposed_gates_do_not_cancel() {
+        let mut circuit = Circuit::new(2, 2);
+        circuit.cx(0, 1).unwrap();
+        circuit.x(1).unwrap();
+        circuit.cx(0, 1).unwrap();
+        circuit.measure_all().unwrap();
+        let optimized = optimize(&circuit).unwrap();
+        assert_eq!(optimized.two_qubit_gate_count(), 2);
+        assert_equivalent(&circuit, &optimized);
+    }
+
+    #[test]
+    fn reversed_cz_and_swap_cancel() {
+        let mut circuit = Circuit::new(2, 2);
+        circuit.cz(0, 1).unwrap();
+        circuit.cz(1, 0).unwrap();
+        circuit.swap(0, 1).unwrap();
+        circuit.swap(1, 0).unwrap();
+        circuit.h(0).unwrap();
+        circuit.measure_all().unwrap();
+        let optimized = optimize(&circuit).unwrap();
+        assert_eq!(optimized.two_qubit_gate_count(), 0);
+        assert_equivalent(&circuit, &optimized);
+    }
+
+    #[test]
+    fn identity_rotations_are_dropped() {
+        let mut circuit = Circuit::new(1, 1);
+        circuit.rz(0.0, 0).unwrap();
+        circuit.append(Gate::I, &[0]).unwrap();
+        circuit.u3(0.0, 0.0, 0.0, 0).unwrap();
+        circuit.measure(0, 0).unwrap();
+        let optimized = optimize(&circuit).unwrap();
+        assert_eq!(optimized.len(), 1);
+    }
+
+    #[test]
+    fn optimizing_random_circuits_preserves_semantics_and_reduces_depth() {
+        for seed in [1u64, 2, 3] {
+            let circuit = library::random_circuit(4, 6, seed).unwrap();
+            let optimized = optimize(&circuit).unwrap();
+            assert!(optimized.depth() <= circuit.depth());
+            assert_equivalent(&circuit, &optimized);
+        }
+    }
+
+    #[test]
+    fn bv_survives_optimization() {
+        let circuit = library::bernstein_vazirani(6, 0b101101).unwrap();
+        let optimized = optimize(&circuit).unwrap();
+        let counts = run_ideal(&optimized, 512, 1).unwrap();
+        assert_eq!(counts.most_frequent(), Some(0b101101));
+    }
+
+    #[test]
+    fn zyz_reconstruction_matches_original_matrix() {
+        for gate in [
+            Gate::H,
+            Gate::S,
+            Gate::T,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::RX(0.37),
+            Gate::RY(1.2),
+            Gate::RZ(2.4),
+            Gate::U3(0.7, 0.3, -1.1),
+        ] {
+            let matrix = single_qubit_matrix(&gate).unwrap();
+            let rebuilt_gate = matrix_to_gate(&matrix).unwrap_or(Gate::I);
+            let rebuilt = single_qubit_matrix(&rebuilt_gate).unwrap();
+            // Compare up to global phase: U† V should be proportional to identity.
+            let mut udag = [[Complex64::ZERO; 2]; 2];
+            for i in 0..2 {
+                for j in 0..2 {
+                    udag[i][j] = matrix[j][i].conj();
+                }
+            }
+            let product = matmul(&udag, &rebuilt);
+            let off_diag = product[0][1].abs() + product[1][0].abs();
+            assert!(off_diag < 1e-6, "gate {gate:?}: off-diagonal {off_diag}");
+            let phase_diff = (product[0][0] - product[1][1]).abs();
+            assert!(phase_diff < 1e-6, "gate {gate:?}: diagonal mismatch {phase_diff}");
+        }
+    }
+}

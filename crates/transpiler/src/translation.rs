@@ -1,0 +1,227 @@
+//! Basis translation: rewriting every gate into the device's native gate set
+//! (the "Translation to Basis Gates" step of §2.3).
+//!
+//! The paper's fleet is defined over the IBM-style `{u1, u2, u3, cx}` basis
+//! (Table 2); this pass decomposes every supported gate into that basis.
+
+use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
+
+use qrio_backend::BasisGates;
+use qrio_circuit::{Circuit, Gate, Instruction};
+
+use crate::error::TranspilerError;
+
+/// Translate `circuit` so that every unitary gate is native in `basis`.
+///
+/// Gates already in the basis pass through untouched; measurements, resets and
+/// barriers are always kept.
+///
+/// # Errors
+///
+/// Returns [`TranspilerError::TranslationFailed`] if a gate has no known
+/// decomposition into the requested basis.
+pub fn translate_to_basis(circuit: &Circuit, basis: &BasisGates) -> Result<Circuit, TranspilerError> {
+    let mut out = Circuit::with_name(circuit.name().to_string(), circuit.num_qubits(), circuit.num_clbits());
+    for inst in circuit.instructions() {
+        match inst.gate {
+            Gate::Measure => out.measure(inst.qubits[0], inst.clbits[0])?,
+            Gate::Barrier => out.barrier(&inst.qubits)?,
+            Gate::Reset => out.append(Gate::Reset, &inst.qubits)?,
+            gate if basis.contains(gate.name()) => out.append(gate, &inst.qubits)?,
+            gate => {
+                for step in decompose(&gate, &inst.qubits, basis)? {
+                    out.append(step.gate, &step.qubits)?;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn one(gate: Gate, q: usize) -> Instruction {
+    Instruction::new(gate, vec![q])
+}
+
+fn two(gate: Gate, a: usize, b: usize) -> Instruction {
+    Instruction::new(gate, vec![a, b])
+}
+
+/// Decompose a single gate into basis instructions.
+fn decompose(gate: &Gate, qubits: &[usize], basis: &BasisGates) -> Result<Vec<Instruction>, TranspilerError> {
+    let unsupported = || TranspilerError::TranslationFailed { gate: gate.name().to_string() };
+    if !basis.contains("cx") || !basis.contains("u3") {
+        // The built-in decompositions target the IBM basis of the paper.
+        return Err(unsupported());
+    }
+    let q0 = qubits.first().copied().unwrap_or(0);
+    let steps = match *gate {
+        Gate::I => vec![],
+        Gate::X => vec![one(Gate::U3(PI, 0.0, PI), q0)],
+        Gate::Y => vec![one(Gate::U3(PI, FRAC_PI_2, FRAC_PI_2), q0)],
+        Gate::Z => vec![one(Gate::U1(PI), q0)],
+        Gate::H => vec![one(Gate::U2(0.0, PI), q0)],
+        Gate::S => vec![one(Gate::U1(FRAC_PI_2), q0)],
+        Gate::Sdg => vec![one(Gate::U1(-FRAC_PI_2), q0)],
+        Gate::T => vec![one(Gate::U1(FRAC_PI_4), q0)],
+        Gate::Tdg => vec![one(Gate::U1(-FRAC_PI_4), q0)],
+        Gate::SX => vec![one(Gate::U3(FRAC_PI_2, -FRAC_PI_2, FRAC_PI_2), q0)],
+        Gate::RX(theta) => vec![one(Gate::U3(theta, -FRAC_PI_2, FRAC_PI_2), q0)],
+        Gate::RY(theta) => vec![one(Gate::U3(theta, 0.0, 0.0), q0)],
+        Gate::RZ(theta) => vec![one(Gate::U1(theta), q0)],
+        Gate::U1(theta) => vec![one(Gate::U1(theta), q0)],
+        Gate::U2(phi, lambda) => vec![one(Gate::U2(phi, lambda), q0)],
+        Gate::U3(theta, phi, lambda) => vec![one(Gate::U3(theta, phi, lambda), q0)],
+        Gate::CX => vec![two(Gate::CX, qubits[0], qubits[1])],
+        Gate::CZ => {
+            let (c, t) = (qubits[0], qubits[1]);
+            vec![one(Gate::U2(0.0, PI), t), two(Gate::CX, c, t), one(Gate::U2(0.0, PI), t)]
+        }
+        Gate::CY => {
+            let (c, t) = (qubits[0], qubits[1]);
+            vec![one(Gate::U1(-FRAC_PI_2), t), two(Gate::CX, c, t), one(Gate::U1(FRAC_PI_2), t)]
+        }
+        Gate::Swap => {
+            let (a, b) = (qubits[0], qubits[1]);
+            vec![two(Gate::CX, a, b), two(Gate::CX, b, a), two(Gate::CX, a, b)]
+        }
+        Gate::CP(lambda) => {
+            let (c, t) = (qubits[0], qubits[1]);
+            vec![
+                one(Gate::U1(lambda / 2.0), c),
+                two(Gate::CX, c, t),
+                one(Gate::U1(-lambda / 2.0), t),
+                two(Gate::CX, c, t),
+                one(Gate::U1(lambda / 2.0), t),
+            ]
+        }
+        Gate::CRZ(lambda) => {
+            let (c, t) = (qubits[0], qubits[1]);
+            vec![
+                one(Gate::U1(lambda / 2.0), t),
+                two(Gate::CX, c, t),
+                one(Gate::U1(-lambda / 2.0), t),
+                two(Gate::CX, c, t),
+            ]
+        }
+        Gate::CCX => {
+            // Standard 6-CX Toffoli decomposition.
+            let (a, b, c) = (qubits[0], qubits[1], qubits[2]);
+            vec![
+                one(Gate::U2(0.0, PI), c),
+                two(Gate::CX, b, c),
+                one(Gate::U1(-FRAC_PI_4), c),
+                two(Gate::CX, a, c),
+                one(Gate::U1(FRAC_PI_4), c),
+                two(Gate::CX, b, c),
+                one(Gate::U1(-FRAC_PI_4), c),
+                two(Gate::CX, a, c),
+                one(Gate::U1(FRAC_PI_4), b),
+                one(Gate::U1(FRAC_PI_4), c),
+                one(Gate::U2(0.0, PI), c),
+                two(Gate::CX, a, b),
+                one(Gate::U1(FRAC_PI_4), a),
+                one(Gate::U1(-FRAC_PI_4), b),
+                two(Gate::CX, a, b),
+            ]
+        }
+        Gate::Measure | Gate::Reset | Gate::Barrier => vec![],
+    };
+    // Final sanity check: every emitted gate must be native.
+    for step in &steps {
+        if !basis.contains(step.gate.name()) {
+            return Err(unsupported());
+        }
+    }
+    Ok(steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrio_circuit::library;
+    use qrio_sim::run_ideal;
+
+    fn assert_equivalent(original: &Circuit, translated: &Circuit) {
+        let a = run_ideal(original, 3000, 17).unwrap();
+        let b = run_ideal(translated, 3000, 17).unwrap();
+        let fidelity = a.hellinger_fidelity(&b);
+        assert!(fidelity > 0.97, "translation changed semantics: fidelity {fidelity}");
+    }
+
+    #[test]
+    fn translated_circuits_only_use_basis_gates() {
+        let basis = BasisGates::ibm_default();
+        let circuit = library::random_circuit(5, 6, 3).unwrap();
+        let translated = translate_to_basis(&circuit, &basis).unwrap();
+        for inst in translated.instructions() {
+            if inst.gate.is_directive() {
+                continue;
+            }
+            assert!(basis.contains(inst.gate.name()), "non-native gate {:?}", inst.gate);
+        }
+    }
+
+    #[test]
+    fn named_gates_preserve_semantics() {
+        let basis = BasisGates::ibm_default();
+        let mut circuit = Circuit::new(3, 3);
+        circuit.h(0).unwrap();
+        circuit.s(1).unwrap();
+        circuit.tdg(2).unwrap();
+        circuit.y(1).unwrap();
+        circuit.cz(0, 1).unwrap();
+        circuit.swap(1, 2).unwrap();
+        circuit.cx(0, 2).unwrap();
+        circuit.measure_all().unwrap();
+        let translated = translate_to_basis(&circuit, &basis).unwrap();
+        assert_equivalent(&circuit, &translated);
+    }
+
+    #[test]
+    fn toffoli_and_controlled_phases_preserve_semantics() {
+        let basis = BasisGates::ibm_default();
+        let mut circuit = Circuit::new(3, 3);
+        circuit.x(0).unwrap();
+        circuit.x(1).unwrap();
+        circuit.ccx(0, 1, 2).unwrap();
+        circuit.append(Gate::CP(0.9), &[0, 2]).unwrap();
+        circuit.append(Gate::CRZ(1.3), &[1, 2]).unwrap();
+        circuit.measure_all().unwrap();
+        let translated = translate_to_basis(&circuit, &basis).unwrap();
+        assert_equivalent(&circuit, &translated);
+        assert!(translated.count_ops().contains_key("cx"));
+        assert!(!translated.count_ops().contains_key("ccx"));
+    }
+
+    #[test]
+    fn grover_translates_and_runs() {
+        let basis = BasisGates::ibm_default();
+        let circuit = library::grover(3, 6).unwrap();
+        let translated = translate_to_basis(&circuit, &basis).unwrap();
+        let counts = run_ideal(&translated, 2048, 5).unwrap();
+        assert_eq!(counts.most_frequent(), Some(6));
+    }
+
+    #[test]
+    fn non_ibm_basis_is_rejected() {
+        let basis = BasisGates::new(["rz", "sx", "cz"]);
+        let mut circuit = Circuit::new(1, 0);
+        circuit.h(0).unwrap();
+        assert!(matches!(
+            translate_to_basis(&circuit, &basis),
+            Err(TranspilerError::TranslationFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn measurements_and_barriers_survive() {
+        let basis = BasisGates::ibm_default();
+        let mut circuit = Circuit::new(2, 2);
+        circuit.h(0).unwrap();
+        circuit.barrier(&[]).unwrap();
+        circuit.measure_all().unwrap();
+        let translated = translate_to_basis(&circuit, &basis).unwrap();
+        assert_eq!(translated.measurement_count(), 2);
+        assert!(translated.count_ops().contains_key("u2"));
+    }
+}

@@ -1,0 +1,30 @@
+//! Fidelity-requirement based resource allocation (use case 2 of the paper):
+//! schedule the §4.3 benchmark circuits over a realistic fleet and compare the
+//! Clifford-canary choice against the oracle, random and fleet statistics.
+//!
+//! Run with: `cargo run --release --example fidelity_workflow`
+
+use qrio::experiments::{fig7_for_circuit, paper_benchmark_circuits, ExperimentConfig};
+use qrio_backend::fleet::{generate_fleet, FleetConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A reduced Table-2 style fleet (9 devices) keeps this example fast; swap
+    // in `qrio_backend::fleet::paper_fleet()?` for the full 100-device fleet.
+    let fleet = generate_fleet(&FleetConfig::small(), 7)?;
+    println!("fleet of {} simulated devices", fleet.len());
+
+    let config = ExperimentConfig { shots: 192, seed: 21, repetitions: 5 };
+    println!(
+        "{:<8} {:>8} {:>10} {:>8} {:>9} {:>8}   chosen device",
+        "circuit", "oracle", "clifford", "random", "average", "median"
+    );
+    for (name, circuit) in paper_benchmark_circuits()? {
+        let row = fig7_for_circuit(&name, &circuit, &fleet, &config)?;
+        println!(
+            "{:<8} {:>8.3} {:>10.3} {:>8.3} {:>9.3} {:>8.3}   {}",
+            row.circuit, row.oracle, row.clifford, row.random, row.average, row.median, row.clifford_device
+        );
+    }
+    println!("\nthe table reports achieved fidelity (higher is better); QRIO's Clifford choice should track the oracle");
+    Ok(())
+}

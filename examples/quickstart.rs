@@ -1,0 +1,53 @@
+//! Quickstart: stand up a small quantum cloud, submit a Bernstein–Vazirani
+//! job with a fidelity requirement, and inspect the result.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use qrio::{JobRequestBuilder, Qrio};
+use qrio_backend::{topology, Backend};
+use qrio_circuit::library;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Vendor side: register three devices with different quality. --------
+    let mut qrio = Qrio::new();
+    qrio.add_device(Backend::uniform("ibm-like-clean", topology::grid(2, 4), 0.002, 0.01))?;
+    qrio.add_device(Backend::uniform("ring-mid", topology::ring(10), 0.02, 0.12))?;
+    qrio.add_device(Backend::uniform("line-noisy", topology::line(12), 0.05, 0.35))?;
+    println!("cluster has {} nodes", qrio.cluster().node_count());
+
+    // --- User side: pick a circuit and fill in the submission form. ---------
+    let secret = 0b10110;
+    let circuit = library::bernstein_vazirani(5, secret)?;
+    let request = JobRequestBuilder::new()
+        .with_circuit(&circuit)
+        .job_name("bv-quickstart")
+        .resources(500, 512)
+        .fidelity_target(0.90)
+        .shots(1024)
+        .build()?;
+
+    // --- Submit: QRIO filters, ranks via the meta server, schedules, runs. --
+    let outcome = qrio.submit(&request)?;
+    println!("scheduled on '{}' (score {:.3})", outcome.decision.node, outcome.decision.score);
+    println!("candidates considered:");
+    for (device, score) in &outcome.decision.candidates {
+        println!("  {device:<18} score {score:.3}");
+    }
+    if let Some(fidelity) = outcome.achieved_fidelity {
+        println!("achieved fidelity: {fidelity:.4}");
+    }
+    let expected = format!("{secret:05b}");
+    println!("top outcomes (expecting {expected}):");
+    let mut counts = outcome.counts.clone();
+    counts.sort_by_key(|(_, c)| std::cmp::Reverse(*c));
+    for (bits, count) in counts.iter().take(5) {
+        println!("  {bits}: {count}");
+    }
+
+    // --- Logs, as the visualizer's "check logs" button would show them. -----
+    println!("\njob logs:");
+    for line in qrio.job_logs("bv-quickstart")? {
+        println!("  {line}");
+    }
+    Ok(())
+}

@@ -1,0 +1,119 @@
+//! Integration tests for the Kubernetes-like substrate working together with
+//! the master server artifacts: images, YAML specs, node lifecycle and the
+//! FIFO queue.
+
+use qrio::{containerize, JobRequestBuilder, SimJobRunner};
+use qrio_backend::{topology, Backend};
+use qrio_circuit::library;
+use qrio_cluster::{framework, yaml, Cluster, JobPhase, Node, Resources};
+
+fn node(name: &str, qubits: usize, err: f64) -> Node {
+    Node::from_backend(Backend::uniform(name, topology::grid(2, (qubits + 1) / 2), 0.01, err), Resources::new(4000, 8192))
+}
+
+fn containerized_request(name: &str, qubits: usize) -> (qrio_cluster::JobSpec, qrio_cluster::ImageBundle) {
+    let circuit = library::ghz(qubits).unwrap();
+    let request = JobRequestBuilder::new()
+        .with_circuit(&circuit)
+        .job_name(name)
+        .fidelity_target(0.8)
+        .shots(96)
+        .build()
+        .unwrap();
+    let job = containerize(&request).unwrap();
+    (job.spec, job.image)
+}
+
+#[test]
+fn master_server_artifacts_run_on_the_cluster() {
+    let mut cluster = Cluster::new();
+    cluster.add_node(node("quiet", 6, 0.02)).unwrap();
+    cluster.add_node(node("loud", 6, 0.4)).unwrap();
+
+    let (spec, image) = containerized_request("ghz-cluster", 4);
+    // The YAML document the master server writes round-trips.
+    let yaml_text = yaml::to_yaml(&spec);
+    let parsed = yaml::from_yaml(&yaml_text).unwrap();
+    assert_eq!(parsed.name, spec.name);
+    assert_eq!(parsed.num_qubits, spec.num_qubits);
+
+    cluster.push_image(image);
+    cluster.submit_job(spec).unwrap();
+    let decision = cluster
+        .schedule_job("ghz-cluster", &framework::default_filters(), &framework::AverageErrorScore)
+        .unwrap();
+    assert_eq!(decision.node, "quiet");
+    cluster.run_job("ghz-cluster", &SimJobRunner::new(3)).unwrap();
+    let job = cluster.job("ghz-cluster").unwrap();
+    assert!(matches!(job.phase(), JobPhase::Succeeded { .. }));
+    assert!(job.achieved_fidelity().unwrap() > 0.5);
+    assert!(job.logs().iter().any(|l| l.contains("transpiled")));
+}
+
+#[test]
+fn node_failure_heal_and_reschedule() {
+    let mut cluster = Cluster::new();
+    cluster.add_node(node("alpha", 6, 0.05)).unwrap();
+    cluster.add_node(node("beta", 6, 0.02)).unwrap();
+
+    // Beta (the better device) goes down: jobs land on alpha.
+    cluster.node_mut("beta").unwrap().mark_not_ready();
+    let (spec, image) = containerized_request("failover-job", 4);
+    cluster.push_image(image);
+    cluster.submit_job(spec).unwrap();
+    let decision = cluster
+        .schedule_job("failover-job", &framework::default_filters(), &framework::AverageErrorScore)
+        .unwrap();
+    assert_eq!(decision.node, "alpha");
+    assert!(decision.filtered_out.iter().any(|(n, reason)| n == "beta" && reason.contains("not ready")));
+
+    // Self-healing brings beta back and the next job prefers it again.
+    assert_eq!(cluster.heal_nodes(), vec!["beta"]);
+    let (spec2, image2) = containerized_request("post-heal-job", 4);
+    cluster.push_image(image2);
+    cluster.submit_job(spec2).unwrap();
+    let decision2 = cluster
+        .schedule_job("post-heal-job", &framework::default_filters(), &framework::AverageErrorScore)
+        .unwrap();
+    assert_eq!(decision2.node, "beta");
+}
+
+#[test]
+fn fifo_queue_runs_every_job_with_the_real_runner() {
+    let mut cluster = Cluster::new();
+    cluster.add_node(node("only-node", 6, 0.05)).unwrap();
+    for i in 0..3 {
+        let (spec, image) = containerized_request(&format!("queued-{i}"), 3);
+        cluster.push_image(image);
+        cluster.submit_job(spec).unwrap();
+    }
+    assert_eq!(cluster.pending_jobs().len(), 3);
+    let decisions = cluster.process_queue(
+        &framework::default_filters(),
+        &framework::AverageErrorScore,
+        &SimJobRunner::new(9),
+    );
+    assert_eq!(decisions.len(), 3);
+    for i in 0..3 {
+        let job = cluster.job(&format!("queued-{i}")).unwrap();
+        assert!(matches!(job.phase(), JobPhase::Succeeded { .. }), "job {i} did not finish");
+    }
+    // Node resources fully released after the queue drained.
+    assert_eq!(cluster.node("only-node").unwrap().allocated(), Resources::new(0, 0));
+}
+
+#[test]
+fn registry_tracks_pushes_and_pulls() {
+    let mut cluster = Cluster::new();
+    cluster.add_node(node("n", 4, 0.05)).unwrap();
+    let (spec, image) = containerized_request("registry-job", 3);
+    assert_eq!(image.len(), 4, "circuit, runner, requirements, Dockerfile");
+    cluster.push_image(image);
+    assert!(cluster.registry().contains(&spec.image));
+    cluster.submit_job(spec).unwrap();
+    cluster
+        .schedule_job("registry-job", &framework::default_filters(), &framework::AverageErrorScore)
+        .unwrap();
+    cluster.run_job("registry-job", &SimJobRunner::new(1)).unwrap();
+    assert_eq!(cluster.registry().pull_count(), 1);
+}

@@ -1,0 +1,71 @@
+//! Table 1: the metadata sent to the QRIO Meta Server depends on the option
+//! the user chose (fidelity vs. topology), and the scoring strategy dispatches
+//! on that metadata.
+
+use qrio_backend::{topology, Backend};
+use qrio_circuit::{library, qasm};
+use qrio_meta::{JobMetadata, MetaServer, ScoreResponse};
+
+fn meta_with_devices() -> MetaServer {
+    let mut meta = MetaServer::new();
+    meta.register_backend(Backend::uniform("dev-a", topology::line(8), 0.01, 0.05));
+    meta.register_backend(Backend::uniform("dev-b", topology::ring(8), 0.01, 0.05));
+    meta
+}
+
+#[test]
+fn fidelity_option_stores_fidelity_number_and_original_circuit() {
+    let mut meta = meta_with_devices();
+    let circuit = library::grover(3, 2).unwrap();
+    meta.upload_fidelity_metadata("grover-job", 0.85, &qasm::to_qasm(&circuit)).unwrap();
+    match meta.job_metadata("grover-job") {
+        Some(JobMetadata::Fidelity { target, circuit: stored }) => {
+            assert!((target - 0.85).abs() < 1e-12);
+            assert_eq!(stored.num_qubits(), 3);
+            assert_eq!(stored.count_ops(), circuit.count_ops());
+        }
+        other => panic!("unexpected metadata {other:?}"),
+    }
+    // Scoring such a job produces a fidelity response.
+    assert!(matches!(meta.score("grover-job", "dev-a").unwrap(), ScoreResponse::Fidelity(_)));
+}
+
+#[test]
+fn topology_option_stores_the_topology_circuit_only() {
+    let mut meta = meta_with_devices();
+    let topo = library::topology_circuit(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+    meta.upload_topology_metadata("topo-job", topo.clone());
+    match meta.job_metadata("topo-job") {
+        Some(JobMetadata::Topology { topology_circuit }) => {
+            assert_eq!(topology_circuit.interaction_graph(), topo.interaction_graph());
+            assert_eq!(topology_circuit.two_qubit_gate_count(), 4);
+        }
+        other => panic!("unexpected metadata {other:?}"),
+    }
+    assert!(matches!(meta.score("topo-job", "dev-b").unwrap(), ScoreResponse::Topology(_)));
+}
+
+#[test]
+fn strategy_dispatch_follows_the_stored_metadata() {
+    // "checks the database if a fidelity threshold exists for the job. If so,
+    //  that job is scored using a Fidelity Ranking strategy, and if not it is
+    //  scored using a Topology Ranking strategy." (§3.4)
+    let mut meta = meta_with_devices();
+    let circuit = library::repetition_code_encoder(4).unwrap();
+    meta.upload_fidelity_metadata("job-1", 0.9, &qasm::to_qasm(&circuit)).unwrap();
+    meta.upload_topology_metadata("job-2", library::topology_circuit(3, &[(0, 1), (1, 2)]).unwrap());
+    for device in ["dev-a", "dev-b"] {
+        assert!(matches!(meta.score("job-1", device).unwrap(), ScoreResponse::Fidelity(_)));
+        assert!(matches!(meta.score("job-2", device).unwrap(), ScoreResponse::Topology(_)));
+    }
+}
+
+#[test]
+fn meta_server_holds_a_copy_of_every_vendor_backend() {
+    let meta = meta_with_devices();
+    assert_eq!(meta.device_count(), 2);
+    assert_eq!(meta.device_names(), vec!["dev-a", "dev-b"]);
+    let backend = meta.backend("dev-a").unwrap();
+    assert_eq!(backend.num_qubits(), 8);
+    assert!(backend.basis_gates().contains("cx"));
+}

@@ -1,0 +1,131 @@
+//! Integration tests for the QRIO scheduler against generated fleets:
+//! filtering, ranking, and comparison with the random and oracle baselines.
+
+use qrio_backend::fleet::{generate_fleet, FleetConfig};
+use qrio_backend::{topology, Backend};
+use qrio_circuit::{library, qasm};
+use qrio_cluster::DeviceRequirements;
+use qrio_meta::{FidelityRankingConfig, MetaServer};
+use qrio_scheduler::{
+    achieved_fidelity, filter_backends, oracle_select, QrioScheduler, RandomScheduler,
+};
+
+fn small_fleet() -> Vec<Backend> {
+    generate_fleet(&FleetConfig::small(), 9).unwrap()
+}
+
+fn meta_for(fleet: &[Backend]) -> MetaServer {
+    let mut meta = MetaServer::with_config(FidelityRankingConfig {
+        shots: 96,
+        seed: 17,
+        shortfall_weight: 100.0,
+    });
+    for backend in fleet {
+        meta.register_backend(backend.clone());
+    }
+    meta
+}
+
+#[test]
+fn qrio_beats_the_random_scheduler_on_achieved_fidelity() {
+    let fleet = small_fleet();
+    let mut meta = meta_for(&fleet);
+    let circuit = library::repetition_code_encoder(5).unwrap();
+    meta.upload_fidelity_metadata("rep-job", 1.0, &qasm::to_qasm(&circuit)).unwrap();
+
+    let scheduler = QrioScheduler::new(&meta);
+    let decision = scheduler.select_device("rep-job", &fleet, &DeviceRequirements::none()).unwrap();
+    let qrio_backend = fleet.iter().find(|b| b.name() == decision.device).unwrap();
+    let qrio_fidelity = achieved_fidelity(&circuit, qrio_backend, 128, 3).unwrap();
+
+    // Average fidelity over several random choices.
+    let runnable: Vec<&Backend> = fleet
+        .iter()
+        .filter(|b| achieved_fidelity(&circuit, b, 64, 3).is_ok())
+        .collect();
+    let mut random = RandomScheduler::new(29);
+    let mut total = 0.0;
+    let draws = 8;
+    for _ in 0..draws {
+        let pick = random.pick(&runnable).unwrap();
+        total += achieved_fidelity(&circuit, pick, 128, 3).unwrap();
+    }
+    let random_fidelity = total / f64::from(draws);
+    assert!(
+        qrio_fidelity + 1e-9 >= random_fidelity,
+        "QRIO ({qrio_fidelity:.3}) should not be worse than random ({random_fidelity:.3}) on average"
+    );
+}
+
+#[test]
+fn qrio_choice_tracks_the_oracle_choice() {
+    let fleet = small_fleet();
+    let mut meta = meta_for(&fleet);
+    let circuit = library::bernstein_vazirani(6, 0b110011).unwrap();
+    meta.upload_fidelity_metadata("bv-job", 1.0, &qasm::to_qasm(&circuit)).unwrap();
+
+    let scheduler = QrioScheduler::new(&meta);
+    let decision = scheduler.select_device("bv-job", &fleet, &DeviceRequirements::none()).unwrap();
+    let oracle = oracle_select(&circuit, &fleet, 128, 5).unwrap();
+
+    let qrio_backend = fleet.iter().find(|b| b.name() == decision.device).unwrap();
+    let qrio_fidelity = achieved_fidelity(&circuit, qrio_backend, 128, 5).unwrap();
+    // The Clifford choice should reach a large fraction of the oracle's fidelity.
+    assert!(
+        qrio_fidelity >= oracle.best_fidelity * 0.7,
+        "clifford choice {qrio_fidelity:.3} vs oracle {:.3}",
+        oracle.best_fidelity
+    );
+    // And should be at least as good as the fleet median.
+    assert!(qrio_fidelity + 0.1 >= oracle.median_fidelity());
+}
+
+#[test]
+fn filtering_respects_every_bound_on_the_paper_fleet_subset() {
+    let fleet = small_fleet();
+    let req = DeviceRequirements {
+        min_qubits: Some(10),
+        max_two_qubit_error: Some(0.45),
+        max_readout_error: Some(0.2),
+        min_t1_us: Some(50_000.0),
+        min_t2_us: Some(50_000.0),
+    };
+    for backend in filter_backends(&fleet, &req) {
+        assert!(backend.num_qubits() >= 10);
+        assert!(backend.avg_two_qubit_error() <= 0.45);
+        assert!(backend.avg_readout_error() <= 0.2);
+        assert!(backend.avg_t1_us() >= 50_000.0);
+        assert!(backend.avg_t2_us() >= 50_000.0);
+    }
+}
+
+#[test]
+fn tighter_filters_shrink_the_shortlist_monotonically() {
+    let fleet = small_fleet();
+    let mut previous = usize::MAX;
+    for threshold in [0.7, 0.5, 0.3, 0.2, 0.1, 0.05] {
+        let req = DeviceRequirements {
+            max_two_qubit_error: Some(threshold),
+            ..DeviceRequirements::default()
+        };
+        let count = filter_backends(&fleet, &req).len();
+        assert!(count <= previous, "count must shrink as the bound tightens");
+        previous = count;
+    }
+}
+
+#[test]
+fn topology_scheduling_prefers_denser_devices_for_dense_requests() {
+    // A fully-connected 4-qubit request against one dense and one sparse
+    // device with equal error rates.
+    let devices = vec![
+        Backend::uniform("dense", topology::fully_connected(6), 0.01, 0.05),
+        Backend::uniform("sparse", topology::line(6), 0.01, 0.05),
+    ];
+    let mut meta = meta_for(&devices);
+    let request = library::topology_circuit(4, &topology::fully_connected(4).edges()).unwrap();
+    meta.upload_topology_metadata("dense-req", request);
+    let scheduler = QrioScheduler::new(&meta);
+    let decision = scheduler.select_device("dense-req", &devices, &DeviceRequirements::none()).unwrap();
+    assert_eq!(decision.device, "dense");
+}

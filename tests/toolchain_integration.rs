@@ -1,0 +1,176 @@
+//! Cross-crate integration and property-based tests for the quantum toolchain
+//! substrates: QASM round-trips, transpilation onto fleet devices, Clifford
+//! canaries, and simulator agreement.
+
+use proptest::prelude::*;
+
+use qrio_backend::fleet::{generate_fleet, FleetConfig};
+use qrio_backend::{topology, Backend, CouplingMap};
+use qrio_circuit::{library, qasm, Circuit};
+use qrio_meta::{canary_fidelity_on_backend, FidelityRankingConfig};
+use qrio_sim::{run_ideal, StabilizerSimulator};
+use qrio_transpiler::{deflate, transpile};
+
+#[test]
+fn benchmark_circuits_transpile_onto_every_small_fleet_device() {
+    let fleet = generate_fleet(&FleetConfig::small(), 8).unwrap();
+    let circuits = [
+        library::bernstein_vazirani(5, 0b10101).unwrap(),
+        library::grover(3, 1).unwrap(),
+        library::hidden_subgroup(4).unwrap(),
+    ];
+    for backend in &fleet {
+        for circuit in &circuits {
+            if circuit.num_qubits() > backend.num_qubits() {
+                continue;
+            }
+            let result = transpile(circuit, backend).unwrap();
+            for inst in result.circuit.instructions() {
+                if inst.is_two_qubit_gate() {
+                    assert!(backend.coupling_map().has_edge(inst.qubits[0], inst.qubits[1]));
+                }
+                if !inst.gate.is_directive() {
+                    assert!(backend.basis_gates().contains(inst.gate.name()));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn canary_fidelity_is_monotone_in_device_noise() {
+    let circuit = library::bernstein_vazirani(6, 0b110110).unwrap();
+    let config = FidelityRankingConfig { shots: 128, seed: 3, shortfall_weight: 100.0 };
+    let mut previous = 1.1;
+    for (name, err) in [("a", 0.0), ("b", 0.1), ("c", 0.4)] {
+        let backend = Backend::uniform(name, topology::line(8), err / 10.0, err);
+        let fidelity = canary_fidelity_on_backend(&circuit, &backend, &config).unwrap();
+        assert!(fidelity <= previous + 0.05, "fidelity should not grow with noise");
+        previous = fidelity;
+    }
+}
+
+#[test]
+fn clifford_canary_of_every_benchmark_is_clifford_and_structurally_faithful() {
+    for (_, circuit) in [
+        ("bv", library::bernstein_vazirani(10, 0b1011001101).unwrap()),
+        ("grover", library::grover(3, 5).unwrap()),
+        ("circ", library::random_circuit(7, 4, 0xC1).unwrap()),
+        ("circ2", library::random_circuit_with_cx_count(8, 12, 0xC2).unwrap()),
+    ] {
+        let canary = circuit.to_clifford();
+        assert!(canary.is_clifford());
+        assert!(canary.two_qubit_gate_count() >= circuit.two_qubit_gate_count());
+        assert_eq!(canary.num_qubits(), circuit.num_qubits());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// QASM round-trips preserve random circuits exactly (gate counts, qubit
+    /// count and interaction structure).
+    #[test]
+    fn qasm_roundtrip_preserves_random_circuits(seed in 0u64..500, qubits in 2usize..7, depth in 1usize..5) {
+        let circuit = library::random_circuit(qubits, depth, seed).unwrap();
+        let text = qasm::to_qasm(&circuit);
+        let parsed = qasm::parse_qasm(&text).unwrap();
+        prop_assert_eq!(parsed.num_qubits(), circuit.num_qubits());
+        prop_assert_eq!(parsed.len(), circuit.len());
+        prop_assert_eq!(parsed.count_ops(), circuit.count_ops());
+        prop_assert_eq!(parsed.interaction_graph(), circuit.interaction_graph());
+    }
+
+    /// Random Clifford circuits agree between the stabilizer and statevector
+    /// engines (distribution-level check on small registers).
+    #[test]
+    fn stabilizer_matches_statevector_on_random_cliffords(seed in 0u64..200) {
+        let clifford = library::random_clifford_circuit(4, 3, seed).unwrap();
+        let counts_stab = run_ideal(&clifford, 1500, seed).unwrap();
+        // Force the statevector engine by appending a cancelling T/Tdg pair.
+        let mut forced = clifford.without_measurements();
+        forced.t(0).unwrap();
+        forced.tdg(0).unwrap();
+        forced.measure_all().unwrap();
+        let counts_sv = run_ideal(&forced, 1500, seed).unwrap();
+        let fidelity = counts_stab.hellinger_fidelity(&counts_sv);
+        prop_assert!(fidelity > 0.9, "engines disagree: {}", fidelity);
+    }
+
+    /// Transpilation preserves measurement counts and produces only coupled
+    /// two-qubit gates on random connected devices.
+    #[test]
+    fn transpile_respects_random_devices(seed in 0u64..100, qubits in 3usize..6) {
+        let circuit = library::random_circuit(qubits, 3, seed).unwrap();
+        let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(seed);
+        let map = topology::random_connected(qubits + 4, 0.3, 4, &mut rng);
+        let backend = Backend::uniform("prop-dev", map, 0.01, 0.05);
+        let result = transpile(&circuit, &backend).unwrap();
+        prop_assert_eq!(result.circuit.measurement_count(), circuit.measurement_count());
+        for inst in result.circuit.instructions() {
+            if inst.is_two_qubit_gate() {
+                prop_assert!(backend.coupling_map().has_edge(inst.qubits[0], inst.qubits[1]));
+            }
+        }
+        // Deflation keeps the two-qubit gates coupled on the sub-device.
+        let deflated = deflate(&result.circuit, &backend).unwrap();
+        for inst in deflated.circuit.instructions() {
+            if inst.is_two_qubit_gate() {
+                prop_assert!(deflated.backend.coupling_map().has_edge(inst.qubits[0], inst.qubits[1]));
+            }
+        }
+    }
+
+    /// Coupling-map distances form a metric on random connected graphs.
+    #[test]
+    fn coupling_map_distances_are_a_metric(seed in 0u64..100, n in 3usize..12) {
+        let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(seed);
+        let map: CouplingMap = topology::random_connected(n, 0.3, 4, &mut rng);
+        let dist = map.distance_matrix();
+        for a in 0..n {
+            prop_assert_eq!(dist[a][a], 0);
+            for b in 0..n {
+                prop_assert_eq!(dist[a][b], dist[b][a]);
+                for c in 0..n {
+                    prop_assert!(dist[a][c] <= dist[a][b] + dist[b][c]);
+                }
+            }
+        }
+    }
+
+    /// The Bernstein–Vazirani circuit always returns its secret on an ideal
+    /// simulator, for every secret.
+    #[test]
+    fn bv_recovers_every_secret(secret in 0u64..64) {
+        let circuit = library::bernstein_vazirani(6, secret).unwrap();
+        let counts = run_ideal(&circuit, 128, secret).unwrap();
+        prop_assert_eq!(counts.most_frequent(), Some(secret));
+    }
+
+    /// Stabilizer measurements of GHZ states are perfectly correlated at any
+    /// width (exercises the Gottesman–Knill path well beyond statevector
+    /// reach).
+    #[test]
+    fn ghz_correlations_hold_at_scale(width in 2usize..40, seed in 0u64..50) {
+        let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(seed);
+        let mut sim = StabilizerSimulator::new(width);
+        sim.h(0);
+        for q in 1..width {
+            sim.cx(q - 1, q);
+        }
+        let outcomes: Vec<bool> = (0..width).map(|q| sim.measure(q, &mut rng)).collect();
+        prop_assert!(outcomes.iter().all(|&o| o == outcomes[0]));
+    }
+
+    /// Circuit depth never exceeds instruction count and is preserved under
+    /// qubit relabelling.
+    #[test]
+    fn depth_invariants(seed in 0u64..200, qubits in 2usize..6, depth in 1usize..6) {
+        let circuit = library::random_circuit(qubits, depth, seed).unwrap();
+        prop_assert!(circuit.depth() <= circuit.len());
+        let shift: Vec<usize> = (0..qubits).map(|q| q + 2).collect();
+        let remapped = circuit.remap_qubits(&shift, qubits + 2).unwrap();
+        prop_assert_eq!(remapped.depth(), circuit.depth());
+        prop_assert_eq!(remapped.two_qubit_gate_count(), circuit.two_qubit_gate_count());
+    }
+}
