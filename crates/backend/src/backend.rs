@@ -155,7 +155,10 @@ impl Backend {
         for edge in coupling_map.edges() {
             two_qubit_gates.insert(
                 edge,
-                TwoQubitGateProperties { error: two_qubit_error, duration_ns: 300.0 },
+                TwoQubitGateProperties {
+                    error: two_qubit_error,
+                    duration_ns: 300.0,
+                },
             );
         }
         Backend {
@@ -224,7 +227,8 @@ impl Backend {
         if !self.coupling_map.has_edge(a, b) {
             return 1.0;
         }
-        self.two_qubit_gate(a, b).map_or_else(|| self.avg_two_qubit_error(), |g| g.error)
+        self.two_qubit_gate(a, b)
+            .map_or_else(|| self.avg_two_qubit_error(), |g| g.error)
     }
 
     /// All calibrated two-qubit gates.
@@ -249,7 +253,8 @@ impl Backend {
         if self.two_qubit_gates.is_empty() {
             return 0.0;
         }
-        self.two_qubit_gates.values().map(|g| g.error).sum::<f64>() / self.two_qubit_gates.len() as f64
+        self.two_qubit_gates.values().map(|g| g.error).sum::<f64>()
+            / self.two_qubit_gates.len() as f64
     }
 
     /// Average single-qubit gate error over all qubits.
@@ -257,7 +262,10 @@ impl Backend {
         if self.qubit_properties.is_empty() {
             return 0.0;
         }
-        self.qubit_properties.iter().map(|q| q.single_qubit_error).sum::<f64>()
+        self.qubit_properties
+            .iter()
+            .map(|q| q.single_qubit_error)
+            .sum::<f64>()
             / self.qubit_properties.len() as f64
     }
 
@@ -266,7 +274,10 @@ impl Backend {
         if self.qubit_properties.is_empty() {
             return 0.0;
         }
-        self.qubit_properties.iter().map(|q| q.readout_error).sum::<f64>()
+        self.qubit_properties
+            .iter()
+            .map(|q| q.readout_error)
+            .sum::<f64>()
             / self.qubit_properties.len() as f64
     }
 
@@ -275,7 +286,8 @@ impl Backend {
         if self.qubit_properties.is_empty() {
             return 0.0;
         }
-        self.qubit_properties.iter().map(|q| q.t1_us).sum::<f64>() / self.qubit_properties.len() as f64
+        self.qubit_properties.iter().map(|q| q.t1_us).sum::<f64>()
+            / self.qubit_properties.len() as f64
     }
 
     /// Average T2 over all qubits (µs).
@@ -283,7 +295,8 @@ impl Backend {
         if self.qubit_properties.is_empty() {
             return 0.0;
         }
-        self.qubit_properties.iter().map(|q| q.t2_us).sum::<f64>() / self.qubit_properties.len() as f64
+        self.qubit_properties.iter().map(|q| q.t2_us).sum::<f64>()
+            / self.qubit_properties.len() as f64
     }
 
     /// Edge-connectivity ratio: edges present divided by edges in the complete
@@ -344,20 +357,54 @@ mod tests {
     fn new_validates_lengths_and_edges() {
         let map = topology::line(3);
         let props = vec![QubitProperties::default(); 2];
-        assert!(Backend::new("bad", map.clone(), props, BTreeMap::new(), BasisGates::default()).is_err());
+        assert!(Backend::new(
+            "bad",
+            map.clone(),
+            props,
+            BTreeMap::new(),
+            BasisGates::default()
+        )
+        .is_err());
 
         let props = vec![QubitProperties::default(); 3];
         let mut gates = BTreeMap::new();
         gates.insert((0, 2), TwoQubitGateProperties::default());
-        assert!(Backend::new("bad", map.clone(), props.clone(), gates, BasisGates::default()).is_err());
+        assert!(Backend::new(
+            "bad",
+            map.clone(),
+            props.clone(),
+            gates,
+            BasisGates::default()
+        )
+        .is_err());
 
         let mut gates = BTreeMap::new();
-        gates.insert((0, 1), TwoQubitGateProperties { error: 2.0, duration_ns: 1.0 });
-        assert!(Backend::new("bad", map.clone(), props.clone(), gates, BasisGates::default()).is_err());
+        gates.insert(
+            (0, 1),
+            TwoQubitGateProperties {
+                error: 2.0,
+                duration_ns: 1.0,
+            },
+        );
+        assert!(Backend::new(
+            "bad",
+            map.clone(),
+            props.clone(),
+            gates,
+            BasisGates::default()
+        )
+        .is_err());
 
         let mut bad_props = props;
         bad_props[0].readout_error = 5.0;
-        assert!(Backend::new("bad", map, bad_props, BTreeMap::new(), BasisGates::default()).is_err());
+        assert!(Backend::new(
+            "bad",
+            map,
+            bad_props,
+            BTreeMap::new(),
+            BasisGates::default()
+        )
+        .is_err());
     }
 
     #[test]
@@ -384,7 +431,10 @@ mod tests {
     fn metadata_round_trip() {
         let mut b = simple_backend();
         b.set_metadata("vendor", "umich");
-        assert_eq!(b.metadata().get("vendor").map(String::as_str), Some("umich"));
+        assert_eq!(
+            b.metadata().get("vendor").map(String::as_str),
+            Some("umich")
+        );
     }
 
     #[test]

@@ -45,10 +45,15 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(BackendError::UnknownBackend("x".into()).to_string().contains('x'));
-        assert!(BackendError::SpecParse { line: 2, message: "oops".into() }
+        assert!(BackendError::UnknownBackend("x".into())
             .to_string()
-            .contains("line 2"));
+            .contains('x'));
+        assert!(BackendError::SpecParse {
+            line: 2,
+            message: "oops".into()
+        }
+        .to_string()
+        .contains("line 2"));
     }
 
     #[test]

@@ -91,22 +91,39 @@ impl FleetConfig {
                 "fleet config needs at least one size and one edge probability".into(),
             ));
         }
-        if self.qubit_counts.iter().any(|&n| n == 0) {
-            return Err(BackendError::InvalidParameter("device sizes must be >= 1".into()));
+        if self.qubit_counts.contains(&0) {
+            return Err(BackendError::InvalidParameter(
+                "device sizes must be >= 1".into(),
+            ));
         }
         let (lo2, hi2) = self.two_qubit_error_range;
         let (lo1, hi1) = self.single_qubit_error_range;
         if !(0.0..=1.0).contains(&lo2) || !(0.0..=1.0).contains(&hi2) || lo2 > hi2 {
-            return Err(BackendError::InvalidParameter("invalid 2q error range".into()));
+            return Err(BackendError::InvalidParameter(
+                "invalid 2q error range".into(),
+            ));
         }
         if !(0.0..=1.0).contains(&lo1) || !(0.0..=1.0).contains(&hi1) || lo1 > hi1 {
-            return Err(BackendError::InvalidParameter("invalid 1q error range".into()));
+            return Err(BackendError::InvalidParameter(
+                "invalid 1q error range".into(),
+            ));
         }
-        if self.edge_probabilities.iter().any(|p| !(0.0..=1.0).contains(p)) {
-            return Err(BackendError::InvalidParameter("edge probabilities must be in [0,1]".into()));
+        if self
+            .edge_probabilities
+            .iter()
+            .any(|p| !(0.0..=1.0).contains(p))
+        {
+            return Err(BackendError::InvalidParameter(
+                "edge probabilities must be in [0,1]".into(),
+            ));
         }
-        if self.readout_errors.is_empty() || self.t1_values_us.is_empty() || self.t2_values_us.is_empty() {
-            return Err(BackendError::InvalidParameter("readout/T1/T2 value lists must be non-empty".into()));
+        if self.readout_errors.is_empty()
+            || self.t1_values_us.is_empty()
+            || self.t2_values_us.is_empty()
+        {
+            return Err(BackendError::InvalidParameter(
+                "readout/T1/T2 value lists must be non-empty".into(),
+            ));
         }
         Ok(())
     }
@@ -128,7 +145,9 @@ pub fn generate_backend(
     rng: &mut StdRng,
 ) -> Result<Backend, BackendError> {
     if num_qubits == 0 {
-        return Err(BackendError::InvalidParameter("device needs at least one qubit".into()));
+        return Err(BackendError::InvalidParameter(
+            "device needs at least one qubit".into(),
+        ));
     }
     let coupling = topology::random_connected(num_qubits, edge_probability, config.max_degree, rng);
     let mut qubit_props = Vec::with_capacity(num_qubits);
@@ -137,7 +156,11 @@ pub fn generate_backend(
         let t1 = config.t1_values_us[rng.gen_range(0..config.t1_values_us.len())];
         let t2 = config.t2_values_us[rng.gen_range(0..config.t2_values_us.len())];
         let readout_error = config.readout_errors[rng.gen_range(0..config.readout_errors.len())];
-        let single_qubit_error = if hi1 > lo1 { rng.gen_range(lo1..hi1) } else { lo1 };
+        let single_qubit_error = if hi1 > lo1 {
+            rng.gen_range(lo1..hi1)
+        } else {
+            lo1
+        };
         qubit_props.push(QubitProperties {
             t1_us: t1,
             t2_us: t2,
@@ -149,10 +172,26 @@ pub fn generate_backend(
     let (lo2, hi2) = config.two_qubit_error_range;
     let mut gates = std::collections::BTreeMap::new();
     for edge in coupling.edges() {
-        let error = if hi2 > lo2 { rng.gen_range(lo2..hi2) } else { lo2 };
-        gates.insert(edge, TwoQubitGateProperties { error, duration_ns: 300.0 });
+        let error = if hi2 > lo2 {
+            rng.gen_range(lo2..hi2)
+        } else {
+            lo2
+        };
+        gates.insert(
+            edge,
+            TwoQubitGateProperties {
+                error,
+                duration_ns: 300.0,
+            },
+        );
     }
-    Backend::new(name, coupling, qubit_props, gates, config.basis_gates.clone())
+    Backend::new(
+        name,
+        coupling,
+        qubit_props,
+        gates,
+        config.basis_gates.clone(),
+    )
 }
 
 /// Generate the full fleet described by `config`, deterministically from
@@ -201,7 +240,7 @@ mod tests {
             assert!(backend.basis_gates().contains("cx"));
             assert!(backend.avg_two_qubit_error() >= 0.01);
             assert!(backend.avg_two_qubit_error() <= 0.7);
-            assert!(backend.coupling_map().max_degree() <= 4.max(2));
+            assert!(backend.coupling_map().max_degree() <= 4);
         }
     }
 

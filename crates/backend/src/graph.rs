@@ -27,7 +27,10 @@ pub struct CouplingMap {
 impl CouplingMap {
     /// An edgeless coupling map over `num_qubits` qubits.
     pub fn new(num_qubits: usize) -> Self {
-        CouplingMap { num_qubits, adjacency: vec![Vec::new(); num_qubits] }
+        CouplingMap {
+            num_qubits,
+            adjacency: vec![Vec::new(); num_qubits],
+        }
     }
 
     /// Build a coupling map from an undirected edge list. Out-of-range edges
@@ -131,6 +134,7 @@ impl CouplingMap {
     pub fn distance_matrix(&self) -> Vec<Vec<usize>> {
         let n = self.num_qubits;
         let mut matrix = vec![vec![usize::MAX; n]; n];
+        #[allow(clippy::needless_range_loop)]
         for start in 0..n {
             matrix[start][start] = 0;
             let mut queue = VecDeque::new();
@@ -241,7 +245,12 @@ impl CouplingMap {
 
 impl fmt::Display for CouplingMap {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "CouplingMap({} qubits, {} edges)", self.num_qubits, self.num_edges())
+        write!(
+            f,
+            "CouplingMap({} qubits, {} edges)",
+            self.num_qubits,
+            self.num_edges()
+        )
     }
 }
 
@@ -304,9 +313,9 @@ mod tests {
     fn distance_matrix_is_symmetric() {
         let map = CouplingMap::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
         let m = map.distance_matrix();
-        for a in 0..5 {
-            for b in 0..5 {
-                assert_eq!(m[a][b], m[b][a]);
+        for (a, row) in m.iter().enumerate() {
+            for (b, &d) in row.iter().enumerate() {
+                assert_eq!(d, m[b][a]);
             }
         }
         assert_eq!(m[0][4], 4);

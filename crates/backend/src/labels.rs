@@ -51,11 +51,20 @@ impl NodeLabels {
     pub fn to_string_map(&self) -> BTreeMap<String, String> {
         let mut map = BTreeMap::new();
         map.insert("qrio.io/qubits".into(), self.num_qubits.to_string());
-        map.insert("qrio.io/avg-2q-error".into(), format!("{:.6}", self.avg_two_qubit_error));
-        map.insert("qrio.io/avg-1q-error".into(), format!("{:.6}", self.avg_single_qubit_error));
+        map.insert(
+            "qrio.io/avg-2q-error".into(),
+            format!("{:.6}", self.avg_two_qubit_error),
+        );
+        map.insert(
+            "qrio.io/avg-1q-error".into(),
+            format!("{:.6}", self.avg_single_qubit_error),
+        );
         map.insert("qrio.io/avg-t1-us".into(), format!("{:.1}", self.avg_t1_us));
         map.insert("qrio.io/avg-t2-us".into(), format!("{:.1}", self.avg_t2_us));
-        map.insert("qrio.io/avg-readout-error".into(), format!("{:.6}", self.avg_readout_error));
+        map.insert(
+            "qrio.io/avg-readout-error".into(),
+            format!("{:.6}", self.avg_readout_error),
+        );
         map.insert("qrio.io/cpu-millis".into(), self.cpu_millis.to_string());
         map.insert("qrio.io/memory-mib".into(), self.memory_mib.to_string());
         map
@@ -64,8 +73,16 @@ impl NodeLabels {
     /// Parse labels back from a Kubernetes-style string map, using defaults
     /// for missing keys.
     pub fn from_string_map(map: &BTreeMap<String, String>) -> Self {
-        let get_f64 = |key: &str| map.get(key).and_then(|v| v.parse::<f64>().ok()).unwrap_or(0.0);
-        let get_u64 = |key: &str| map.get(key).and_then(|v| v.parse::<u64>().ok()).unwrap_or(0);
+        let get_f64 = |key: &str| {
+            map.get(key)
+                .and_then(|v| v.parse::<f64>().ok())
+                .unwrap_or(0.0)
+        };
+        let get_u64 = |key: &str| {
+            map.get(key)
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(0)
+        };
         NodeLabels {
             num_qubits: get_u64("qrio.io/qubits") as usize,
             avg_two_qubit_error: get_f64("qrio.io/avg-2q-error"),

@@ -60,7 +60,11 @@ impl fmt::Display for QubitProperties {
         write!(
             f,
             "T1={:.0}us T2={:.0}us ro_err={:.4} ro_len={:.0}ns 1q_err={:.4}",
-            self.t1_us, self.t2_us, self.readout_error, self.readout_length_ns, self.single_qubit_error
+            self.t1_us,
+            self.t2_us,
+            self.readout_error,
+            self.readout_length_ns,
+            self.single_qubit_error
         )
     }
 }
@@ -77,7 +81,10 @@ pub struct TwoQubitGateProperties {
 impl TwoQubitGateProperties {
     /// A perfect two-qubit gate.
     pub fn ideal() -> Self {
-        TwoQubitGateProperties { error: 0.0, duration_ns: 300.0 }
+        TwoQubitGateProperties {
+            error: 0.0,
+            duration_ns: 300.0,
+        }
     }
 
     /// Validate that the error probability is in `[0, 1]`.
@@ -88,7 +95,10 @@ impl TwoQubitGateProperties {
 
 impl Default for TwoQubitGateProperties {
     fn default() -> Self {
-        TwoQubitGateProperties { error: 0.05, duration_ns: 300.0 }
+        TwoQubitGateProperties {
+            error: 0.05,
+            duration_ns: 300.0,
+        }
     }
 }
 
@@ -106,13 +116,18 @@ mod tests {
 
     #[test]
     fn invalid_values_detected() {
-        let mut q = QubitProperties::default();
-        q.readout_error = 1.2;
+        let mut q = QubitProperties {
+            readout_error: 1.2,
+            ..Default::default()
+        };
         assert!(!q.is_valid());
         q.readout_error = 0.1;
         q.t1_us = 0.0;
         assert!(!q.is_valid());
-        let g = TwoQubitGateProperties { error: -0.1, duration_ns: 10.0 };
+        let g = TwoQubitGateProperties {
+            error: -0.1,
+            duration_ns: 10.0,
+        };
         assert!(!g.is_valid());
     }
 

@@ -40,11 +40,19 @@ pub fn to_spec(backend: &Backend) -> String {
         let _ = writeln!(
             out,
             "qubit {q} t1={} t2={} readout_error={} readout_length={} error_1q={}",
-            props.t1_us, props.t2_us, props.readout_error, props.readout_length_ns, props.single_qubit_error
+            props.t1_us,
+            props.t2_us,
+            props.readout_error,
+            props.readout_length_ns,
+            props.single_qubit_error
         );
     }
     for (&(a, b), gate) in backend.two_qubit_gates() {
-        let _ = writeln!(out, "edge {a} {b} error={} duration={}", gate.error, gate.duration_ns);
+        let _ = writeln!(
+            out,
+            "edge {a} {b} error={} duration={}",
+            gate.error, gate.duration_ns
+        );
     }
     for (key, value) in backend.metadata() {
         let _ = writeln!(out, "meta {key}={value}");
@@ -72,7 +80,10 @@ pub fn from_spec(text: &str) -> Result<Backend, BackendError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let err = |message: String| BackendError::SpecParse { line: line_no, message };
+        let err = |message: String| BackendError::SpecParse {
+            line: line_no,
+            message,
+        };
         if let Some(rest) = line.strip_prefix("qubit ") {
             let mut parts = rest.split_whitespace();
             let q: usize = parts
@@ -85,7 +96,9 @@ pub fn from_spec(text: &str) -> Result<Backend, BackendError> {
                 let (key, value) = field
                     .split_once('=')
                     .ok_or_else(|| err(format!("expected key=value, found '{field}'")))?;
-                let value: f64 = value.parse().map_err(|_| err(format!("invalid number '{value}'")))?;
+                let value: f64 = value
+                    .parse()
+                    .map_err(|_| err(format!("invalid number '{value}'")))?;
                 match key {
                     "t1" => props.t1_us = value,
                     "t2" => props.t2_us = value,
@@ -113,7 +126,9 @@ pub fn from_spec(text: &str) -> Result<Backend, BackendError> {
                 let (key, value) = field
                     .split_once('=')
                     .ok_or_else(|| err(format!("expected key=value, found '{field}'")))?;
-                let value: f64 = value.parse().map_err(|_| err(format!("invalid number '{value}'")))?;
+                let value: f64 = value
+                    .parse()
+                    .map_err(|_| err(format!("invalid number '{value}'")))?;
                 match key {
                     "error" => gate.error = value,
                     "duration" => gate.duration_ns = value,
@@ -132,11 +147,15 @@ pub fn from_spec(text: &str) -> Result<Backend, BackendError> {
             match key {
                 "name" => name = value.to_string(),
                 "qubits" => {
-                    num_qubits =
-                        Some(value.parse().map_err(|_| err(format!("invalid qubit count '{value}'")))?);
+                    num_qubits = Some(
+                        value
+                            .parse()
+                            .map_err(|_| err(format!("invalid qubit count '{value}'")))?,
+                    );
                 }
                 "basis_gates" => {
-                    basis = BasisGates::new(value.split(',').map(str::trim).filter(|s| !s.is_empty()));
+                    basis =
+                        BasisGates::new(value.split(',').map(str::trim).filter(|s| !s.is_empty()));
                 }
                 other => return Err(err(format!("unknown header field '{other}'"))),
             }
@@ -153,7 +172,9 @@ pub fn from_spec(text: &str) -> Result<Backend, BackendError> {
     let mut gate_map = BTreeMap::new();
     for (a, b, gate) in edges {
         if a >= n || b >= n {
-            return Err(BackendError::Mismatch(format!("edge ({a},{b}) out of range for {n} qubits")));
+            return Err(BackendError::Mismatch(format!(
+                "edge ({a},{b}) out of range for {n} qubits"
+            )));
         }
         coupling.add_edge(a, b);
         gate_map.insert((a.min(b), a.max(b)), gate);
@@ -182,9 +203,15 @@ mod tests {
         let parsed = from_spec(&text).unwrap();
         assert_eq!(parsed.name(), "spec_test");
         assert_eq!(parsed.num_qubits(), 5);
-        assert_eq!(parsed.coupling_map().edges(), original.coupling_map().edges());
+        assert_eq!(
+            parsed.coupling_map().edges(),
+            original.coupling_map().edges()
+        );
         assert!((parsed.avg_two_qubit_error() - 0.07).abs() < 1e-9);
-        assert_eq!(parsed.metadata().get("vendor").map(String::as_str), Some("umich"));
+        assert_eq!(
+            parsed.metadata().get("vendor").map(String::as_str),
+            Some("umich")
+        );
     }
 
     #[test]
@@ -226,6 +253,9 @@ meta vendor=example-lab
     fn missing_qubit_records_use_defaults() {
         let backend = from_spec("qubits = 2\nedge 0 1 error=0.1 duration=100\n").unwrap();
         assert_eq!(backend.num_qubits(), 2);
-        assert!((backend.qubit(0).readout_error - QubitProperties::default().readout_error).abs() < 1e-12);
+        assert!(
+            (backend.qubit(0).readout_error - QubitProperties::default().readout_error).abs()
+                < 1e-12
+        );
     }
 }

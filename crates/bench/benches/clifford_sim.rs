@@ -14,17 +14,21 @@ fn bench_engines(c: &mut Criterion) {
     // Stabilizer path: Clifford circuits at growing width.
     for &width in &[10usize, 25, 50] {
         let circuit = library::random_clifford_circuit(width, 6, 7).unwrap();
-        group.bench_with_input(BenchmarkId::new("stabilizer", width), &circuit, |b, circuit| {
-            b.iter(|| run_ideal(circuit, 64, 3).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("stabilizer", width),
+            &circuit,
+            |b, circuit| b.iter(|| run_ideal(circuit, 64, 3).unwrap()),
+        );
     }
 
     // Statevector path: non-Clifford circuits stay small.
     for &width in &[6usize, 10, 14] {
         let circuit = library::random_circuit(width, 6, 7).unwrap();
-        group.bench_with_input(BenchmarkId::new("statevector", width), &circuit, |b, circuit| {
-            b.iter(|| run_ideal(circuit, 64, 3).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("statevector", width),
+            &circuit,
+            |b, circuit| b.iter(|| run_ideal(circuit, 64, 3).unwrap()),
+        );
     }
     group.finish();
 }

@@ -26,16 +26,21 @@ fn bench_scoring(c: &mut Criterion) {
             shortfall_weight: 100.0,
         });
         meta.register_backend(backend);
-        meta.upload_fidelity_metadata("fidelity-job", 0.9, &qasm::to_qasm(&circuit)).unwrap();
+        meta.upload_fidelity_metadata("fidelity-job", 0.9, &qasm::to_qasm(&circuit))
+            .unwrap();
         meta.upload_topology_metadata("topology-job", topo_request.clone());
         let device = format!("bench-{device_size}");
 
-        group.bench_with_input(BenchmarkId::new("fidelity", device_size), &device, |b, device| {
-            b.iter(|| meta.score("fidelity-job", device).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("topology", device_size), &device, |b, device| {
-            b.iter(|| meta.score("topology-job", device).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("fidelity", device_size),
+            &device,
+            |b, device| b.iter(|| meta.score("fidelity-job", device).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("topology", device_size),
+            &device,
+            |b, device| b.iter(|| meta.score("topology-job", device).unwrap()),
+        );
     }
     group.finish();
 }

@@ -16,20 +16,28 @@ fn bench_transpile(c: &mut Criterion) {
     group.sample_size(10);
     for &size in &[20usize, 50, 100] {
         let mut rng = rand::rngs::StdRng::seed_from_u64(9);
-        let backend = generate_backend(format!("dev-{size}"), size, 0.3, &config, &mut rng).unwrap();
+        let backend =
+            generate_backend(format!("dev-{size}"), size, 0.3, &config, &mut rng).unwrap();
         group.bench_with_input(BenchmarkId::new("full", size), &backend, |b, backend| {
             b.iter(|| transpile(&circuit, backend).unwrap())
         });
-        group.bench_with_input(BenchmarkId::new("no_optimize", size), &backend, |b, backend| {
-            b.iter(|| {
-                transpile_with_options(
-                    &circuit,
-                    backend,
-                    TranspileOptions { skip_optimization: true, ..TranspileOptions::default() },
-                )
-                .unwrap()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("no_optimize", size),
+            &backend,
+            |b, backend| {
+                b.iter(|| {
+                    transpile_with_options(
+                        &circuit,
+                        backend,
+                        TranspileOptions {
+                            skip_optimization: true,
+                            ..TranspileOptions::default()
+                        },
+                    )
+                    .unwrap()
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -10,7 +10,11 @@ use qrio_bench::fmt3;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fleet = paper_fleet()?;
-    let config = ExperimentConfig { shots: 256, seed: 0x51D0, repetitions: 25 };
+    let config = ExperimentConfig {
+        shots: 256,
+        seed: 0x51D0,
+        repetitions: 25,
+    };
     println!("Fig. 6: QRIO scheduler vs. random scheduler (topology ranking, {} devices, {} repetitions)", fleet.len(), config.repetitions);
     println!(
         "{:<18} {:>12} {:>14} {:>18} {:>10}",

@@ -12,7 +12,11 @@ use qrio_bench::fmt3;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fleet = paper_fleet()?;
-    let config = ExperimentConfig { shots: 192, seed: 0x51D0, repetitions: 25 };
+    let config = ExperimentConfig {
+        shots: 192,
+        seed: 0x51D0,
+        repetitions: 25,
+    };
     println!(
         "Fig. 7: achieved fidelity per circuit ({} devices, {} shots, fidelity target 1.0)",
         fleet.len(),

@@ -7,8 +7,15 @@
 use qrio::experiments::{fig9_devices, fig9_topology_choice, ExperimentConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let config = ExperimentConfig { shots: 256, seed: 0x51D0, repetitions: 50 };
-    println!("Fig. 9: topology-requirement based device choice ({} repetitions)", config.repetitions);
+    let config = ExperimentConfig {
+        shots: 256,
+        seed: 0x51D0,
+        repetitions: 50,
+    };
+    println!(
+        "Fig. 9: topology-requirement based device choice ({} repetitions)",
+        config.repetitions
+    );
     for device in fig9_devices() {
         println!(
             "  candidate {:<16} {:>2} qubits, {:>2} edges",
@@ -29,7 +36,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\nexpected shape: '{}' chosen in every repetition -> {}",
         result.expected,
-        if result.always_selected_expected() { "REPRODUCED" } else { "NOT reproduced" }
+        if result.always_selected_expected() {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
     Ok(())
 }

@@ -9,17 +9,39 @@ use qrio_bench::print_table;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = FleetConfig::paper_table2();
     let rows = vec![
-        ("Number of qubits".to_string(), format!("{:?}", config.qubit_counts)),
-        ("2-qubit gate error rate".to_string(), format!("{:?}", config.two_qubit_error_range)),
-        ("1-qubit gate error rate".to_string(), format!("{:?}", config.single_qubit_error_range)),
-        ("Readout rate".to_string(), format!("{:?}", config.readout_errors)),
+        (
+            "Number of qubits".to_string(),
+            format!("{:?}", config.qubit_counts),
+        ),
+        (
+            "2-qubit gate error rate".to_string(),
+            format!("{:?}", config.two_qubit_error_range),
+        ),
+        (
+            "1-qubit gate error rate".to_string(),
+            format!("{:?}", config.single_qubit_error_range),
+        ),
+        (
+            "Readout rate".to_string(),
+            format!("{:?}", config.readout_errors),
+        ),
         ("T1 (us)".to_string(), format!("{:?}", config.t1_values_us)),
         ("T2 (us)".to_string(), format!("{:?}", config.t2_values_us)),
-        ("Readout length (ns)".to_string(), format!("{}", config.readout_length_ns)),
-        ("Edge connect probabilities".to_string(), format!("{:?}", config.edge_probabilities)),
+        (
+            "Readout length (ns)".to_string(),
+            format!("{}", config.readout_length_ns),
+        ),
+        (
+            "Edge connect probabilities".to_string(),
+            format!("{:?}", config.edge_probabilities),
+        ),
         ("Basis gates".to_string(), config.basis_gates.to_string()),
     ];
-    print_table("Table 2: controllable backend parameters", ("parameter", "values"), &rows);
+    print_table(
+        "Table 2: controllable backend parameters",
+        ("parameter", "values"),
+        &rows,
+    );
 
     let fleet = paper_fleet()?;
     println!("\ngenerated fleet: {} devices", fleet.len());

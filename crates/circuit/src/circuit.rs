@@ -21,7 +21,11 @@ pub struct Instruction {
 impl Instruction {
     /// Create a purely-quantum instruction.
     pub fn new(gate: Gate, qubits: Vec<usize>) -> Self {
-        Instruction { gate, qubits, clbits: Vec::new() }
+        Instruction {
+            gate,
+            qubits,
+            clbits: Vec::new(),
+        }
     }
 
     /// Whether the instruction is a two-qubit unitary gate.
@@ -82,7 +86,12 @@ impl Circuit {
 
     /// Create an empty named circuit.
     pub fn with_name(name: impl Into<String>, num_qubits: usize, num_clbits: usize) -> Self {
-        Circuit { name: name.into(), num_qubits, num_clbits, instructions: Vec::new() }
+        Circuit {
+            name: name.into(),
+            num_qubits,
+            num_clbits,
+            instructions: Vec::new(),
+        }
     }
 
     /// The circuit's name (used as the default job name in QRIO).
@@ -123,7 +132,10 @@ impl Circuit {
     fn check_qubits(&self, qubits: &[usize]) -> Result<(), CircuitError> {
         for &q in qubits {
             if q >= self.num_qubits {
-                return Err(CircuitError::QubitOutOfRange { qubit: q, num_qubits: self.num_qubits });
+                return Err(CircuitError::QubitOutOfRange {
+                    qubit: q,
+                    num_qubits: self.num_qubits,
+                });
             }
         }
         for (i, &a) in qubits.iter().enumerate() {
@@ -139,7 +151,10 @@ impl Circuit {
     fn check_clbits(&self, clbits: &[usize]) -> Result<(), CircuitError> {
         for &c in clbits {
             if c >= self.num_clbits {
-                return Err(CircuitError::ClbitOutOfRange { clbit: c, num_clbits: self.num_clbits });
+                return Err(CircuitError::ClbitOutOfRange {
+                    clbit: c,
+                    num_clbits: self.num_clbits,
+                });
             }
         }
         Ok(())
@@ -168,7 +183,8 @@ impl Circuit {
             });
         }
         self.check_qubits(qubits)?;
-        self.instructions.push(Instruction::new(gate, qubits.to_vec()));
+        self.instructions
+            .push(Instruction::new(gate, qubits.to_vec()));
         Ok(())
     }
 
@@ -285,7 +301,8 @@ impl Circuit {
             return Ok(());
         }
         self.check_qubits(qubits)?;
-        self.instructions.push(Instruction::new(Gate::Barrier, qubits.to_vec()));
+        self.instructions
+            .push(Instruction::new(Gate::Barrier, qubits.to_vec()));
         Ok(())
     }
 
@@ -293,7 +310,11 @@ impl Circuit {
     pub fn measure(&mut self, q: usize, c: usize) -> Result<(), CircuitError> {
         self.check_qubits(&[q])?;
         self.check_clbits(&[c])?;
-        self.instructions.push(Instruction { gate: Gate::Measure, qubits: vec![q], clbits: vec![c] });
+        self.instructions.push(Instruction {
+            gate: Gate::Measure,
+            qubits: vec![q],
+            clbits: vec![c],
+        });
         Ok(())
     }
 
@@ -330,12 +351,18 @@ impl Circuit {
 
     /// Number of two-qubit unitary gates (the dominant error contributors).
     pub fn two_qubit_gate_count(&self) -> usize {
-        self.instructions.iter().filter(|i| i.is_two_qubit_gate()).count()
+        self.instructions
+            .iter()
+            .filter(|i| i.is_two_qubit_gate())
+            .count()
     }
 
     /// Number of measurement operations.
     pub fn measurement_count(&self) -> usize {
-        self.instructions.iter().filter(|i| i.gate == Gate::Measure).count()
+        self.instructions
+            .iter()
+            .filter(|i| i.gate == Gate::Measure)
+            .count()
     }
 
     /// Circuit depth: the length of the longest qubit-dependency chain,
@@ -372,7 +399,11 @@ impl Circuit {
                 used[q] = true;
             }
         }
-        used.iter().enumerate().filter(|(_, &u)| u).map(|(q, _)| q).collect()
+        used.iter()
+            .enumerate()
+            .filter(|(_, &u)| u)
+            .map(|(q, _)| q)
+            .collect()
     }
 
     /// Undirected interaction graph: one edge per pair of qubits that share a
@@ -381,7 +412,10 @@ impl Circuit {
         let mut edges: Vec<(usize, usize)> = Vec::new();
         for inst in &self.instructions {
             if inst.is_two_qubit_gate() {
-                let (a, b) = (inst.qubits[0].min(inst.qubits[1]), inst.qubits[0].max(inst.qubits[1]));
+                let (a, b) = (
+                    inst.qubits[0].min(inst.qubits[1]),
+                    inst.qubits[0].max(inst.qubits[1]),
+                );
                 if !edges.contains(&(a, b)) {
                     edges.push((a, b));
                 }
@@ -396,7 +430,10 @@ impl Circuit {
         let mut counts = BTreeMap::new();
         for inst in &self.instructions {
             if inst.is_two_qubit_gate() {
-                let key = (inst.qubits[0].min(inst.qubits[1]), inst.qubits[0].max(inst.qubits[1]));
+                let key = (
+                    inst.qubits[0].min(inst.qubits[1]),
+                    inst.qubits[0].max(inst.qubits[1]),
+                );
                 *counts.entry(key).or_insert(0) += 1;
             }
         }
@@ -422,8 +459,14 @@ impl Circuit {
                 // Toffoli is not Clifford; retain its entangling structure with
                 // a pair of CX gates between control/target pairs.
                 Gate::CCX => {
-                    canary.instructions.push(Instruction::new(Gate::CX, vec![inst.qubits[0], inst.qubits[2]]));
-                    canary.instructions.push(Instruction::new(Gate::CX, vec![inst.qubits[1], inst.qubits[2]]));
+                    canary.instructions.push(Instruction::new(
+                        Gate::CX,
+                        vec![inst.qubits[0], inst.qubits[2]],
+                    ));
+                    canary.instructions.push(Instruction::new(
+                        Gate::CX,
+                        vec![inst.qubits[1], inst.qubits[2]],
+                    ));
                     continue;
                 }
                 g => g.to_clifford(),
@@ -441,7 +484,8 @@ impl Circuit {
     /// part of the circuit.
     pub fn without_measurements(&self) -> Circuit {
         let mut out = self.clone();
-        out.instructions.retain(|i| i.gate != Gate::Measure && i.gate != Gate::Barrier);
+        out.instructions
+            .retain(|i| i.gate != Gate::Measure && i.gate != Gate::Barrier);
         out
     }
 
@@ -481,7 +525,11 @@ impl Circuit {
     ///
     /// Returns an error if the mapping is too short or maps outside
     /// `new_size`.
-    pub fn remap_qubits(&self, mapping: &[usize], new_size: usize) -> Result<Circuit, CircuitError> {
+    pub fn remap_qubits(
+        &self,
+        mapping: &[usize],
+        new_size: usize,
+    ) -> Result<Circuit, CircuitError> {
         if mapping.len() < self.num_qubits {
             return Err(CircuitError::InvalidParameter(format!(
                 "mapping of length {} cannot relabel {} qubits",
@@ -494,22 +542,34 @@ impl Circuit {
             let qubits: Vec<usize> = inst.qubits.iter().map(|&q| mapping[q]).collect();
             for &q in &qubits {
                 if q >= new_size {
-                    return Err(CircuitError::QubitOutOfRange { qubit: q, num_qubits: new_size });
+                    return Err(CircuitError::QubitOutOfRange {
+                        qubit: q,
+                        num_qubits: new_size,
+                    });
                 }
             }
-            out.instructions.push(Instruction { gate: inst.gate, qubits, clbits: inst.clbits.clone() });
+            out.instructions.push(Instruction {
+                gate: inst.gate,
+                qubits,
+                clbits: inst.clbits.clone(),
+            });
         }
         Ok(out)
     }
 
     /// The inverse circuit (measurements and barriers are dropped).
     pub fn inverse(&self) -> Circuit {
-        let mut out = Circuit::with_name(format!("{}_dg", self.name), self.num_qubits, self.num_clbits);
+        let mut out = Circuit::with_name(
+            format!("{}_dg", self.name),
+            self.num_qubits,
+            self.num_clbits,
+        );
         for inst in self.instructions.iter().rev() {
             if inst.gate.is_directive() {
                 continue;
             }
-            out.instructions.push(Instruction::new(inst.gate.inverse(), inst.qubits.clone()));
+            out.instructions
+                .push(Instruction::new(inst.gate.inverse(), inst.qubits.clone()));
         }
         out
     }
@@ -517,7 +577,14 @@ impl Circuit {
 
 impl fmt::Display for Circuit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Circuit '{}' ({} qubits, {} clbits, depth {})", self.name, self.num_qubits, self.num_clbits, self.depth())?;
+        writeln!(
+            f,
+            "Circuit '{}' ({} qubits, {} clbits, depth {})",
+            self.name,
+            self.num_qubits,
+            self.num_clbits,
+            self.depth()
+        )?;
         for inst in &self.instructions {
             writeln!(f, "  {inst}")?;
         }

@@ -42,7 +42,11 @@ impl DependencyGraph {
                 last_on_qubit[q] = Some(idx);
             }
         }
-        DependencyGraph { predecessors, successors, num_instructions: n }
+        DependencyGraph {
+            predecessors,
+            successors,
+            num_instructions: n,
+        }
     }
 
     /// Number of instructions in the graph.
@@ -67,7 +71,9 @@ impl DependencyGraph {
 
     /// Instructions with no predecessors (the initial front layer).
     pub fn initial_front(&self) -> Vec<usize> {
-        (0..self.num_instructions).filter(|&i| self.predecessors[i].is_empty()).collect()
+        (0..self.num_instructions)
+            .filter(|&i| self.predecessors[i].is_empty())
+            .collect()
     }
 
     /// A topological ordering of all instructions (Kahn's algorithm). The
@@ -75,8 +81,9 @@ impl DependencyGraph {
     /// acyclic by construction.
     pub fn topological_order(&self) -> Vec<usize> {
         let mut indegree: Vec<usize> = self.predecessors.iter().map(Vec::len).collect();
-        let mut queue: VecDeque<usize> =
-            (0..self.num_instructions).filter(|&i| indegree[i] == 0).collect();
+        let mut queue: VecDeque<usize> = (0..self.num_instructions)
+            .filter(|&i| indegree[i] == 0)
+            .collect();
         let mut order = Vec::with_capacity(self.num_instructions);
         while let Some(node) = queue.pop_front() {
             order.push(node);
@@ -97,8 +104,16 @@ impl DependencyGraph {
         let mut level = vec![0usize; self.num_instructions];
         let mut max = 0;
         for idx in self.topological_order() {
-            let base = self.predecessors[idx].iter().map(|&p| level[p]).max().unwrap_or(0);
-            let this = if circuit.instructions()[idx].gate == Gate::Barrier { base } else { base + 1 };
+            let base = self.predecessors[idx]
+                .iter()
+                .map(|&p| level[p])
+                .max()
+                .unwrap_or(0);
+            let this = if circuit.instructions()[idx].gate == Gate::Barrier {
+                base
+            } else {
+                base + 1
+            };
             level[idx] = this;
             max = max.max(this);
         }

@@ -49,16 +49,32 @@ impl fmt::Display for CircuitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CircuitError::QubitOutOfRange { qubit, num_qubits } => {
-                write!(f, "qubit {qubit} out of range for circuit with {num_qubits} qubits")
+                write!(
+                    f,
+                    "qubit {qubit} out of range for circuit with {num_qubits} qubits"
+                )
             }
             CircuitError::ClbitOutOfRange { clbit, num_clbits } => {
-                write!(f, "classical bit {clbit} out of range for circuit with {num_clbits} bits")
+                write!(
+                    f,
+                    "classical bit {clbit} out of range for circuit with {num_clbits} bits"
+                )
             }
             CircuitError::DuplicateQubit { qubit } => {
-                write!(f, "qubit {qubit} used more than once in a single instruction")
+                write!(
+                    f,
+                    "qubit {qubit} used more than once in a single instruction"
+                )
             }
-            CircuitError::ArityMismatch { gate, expected, actual } => {
-                write!(f, "gate {gate} expects {expected} qubits but was given {actual}")
+            CircuitError::ArityMismatch {
+                gate,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "gate {gate} expects {expected} qubits but was given {actual}"
+                )
             }
             CircuitError::QasmParse { line, message } => {
                 write!(f, "QASM parse error at line {line}: {message}")
@@ -76,10 +92,16 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let err = CircuitError::QubitOutOfRange { qubit: 7, num_qubits: 5 };
+        let err = CircuitError::QubitOutOfRange {
+            qubit: 7,
+            num_qubits: 5,
+        };
         assert!(err.to_string().contains('7'));
         assert!(err.to_string().contains('5'));
-        let err = CircuitError::QasmParse { line: 3, message: "bad token".into() };
+        let err = CircuitError::QasmParse {
+            line: 3,
+            message: "bad token".into(),
+        };
         assert!(err.to_string().contains("line 3"));
     }
 

@@ -113,12 +113,7 @@ impl Gate {
     /// Number of qubits the gate acts on. Barriers are variadic and report 0.
     pub fn num_qubits(&self) -> usize {
         match self {
-            Gate::CX
-            | Gate::CZ
-            | Gate::CY
-            | Gate::Swap
-            | Gate::CP(_)
-            | Gate::CRZ(_) => 2,
+            Gate::CX | Gate::CZ | Gate::CY | Gate::Swap | Gate::CP(_) | Gate::CRZ(_) => 2,
             Gate::CCX => 3,
             Gate::Barrier => 0,
             _ => 1,

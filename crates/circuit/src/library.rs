@@ -27,7 +27,9 @@ use crate::gate::Gate;
 /// Returns an error if `n == 0`.
 pub fn bernstein_vazirani(n: usize, secret: u64) -> Result<Circuit, CircuitError> {
     if n == 0 {
-        return Err(CircuitError::InvalidParameter("bernstein_vazirani needs n >= 1".into()));
+        return Err(CircuitError::InvalidParameter(
+            "bernstein_vazirani needs n >= 1".into(),
+        ));
     }
     let mut c = Circuit::with_name(format!("bv_{n}"), n, n);
     for q in 0..n {
@@ -56,7 +58,9 @@ pub fn bernstein_vazirani(n: usize, secret: u64) -> Result<Circuit, CircuitError
 /// Returns an error if `n == 0`.
 pub fn bernstein_vazirani_with_ancilla(n: usize, secret: u64) -> Result<Circuit, CircuitError> {
     if n == 0 {
-        return Err(CircuitError::InvalidParameter("bernstein_vazirani needs n >= 1".into()));
+        return Err(CircuitError::InvalidParameter(
+            "bernstein_vazirani needs n >= 1".into(),
+        ));
     }
     let mut c = Circuit::with_name(format!("bv_anc_{n}"), n + 1, n);
     let ancilla = n;
@@ -161,7 +165,9 @@ fn apply_controlled_z_all(c: &mut Circuit, n: usize) -> Result<(), CircuitError>
 /// Returns an error if `n < 2`.
 pub fn hidden_subgroup(n: usize) -> Result<Circuit, CircuitError> {
     if n < 2 {
-        return Err(CircuitError::InvalidParameter("hidden_subgroup needs n >= 2".into()));
+        return Err(CircuitError::InvalidParameter(
+            "hidden_subgroup needs n >= 2".into(),
+        ));
     }
     let half = n / 2;
     let mut c = Circuit::with_name(format!("hsp_{n}"), n, n);
@@ -195,7 +201,9 @@ pub fn hidden_subgroup(n: usize) -> Result<Circuit, CircuitError> {
 /// Returns an error if `n == 0`.
 pub fn repetition_code_encoder(n: usize) -> Result<Circuit, CircuitError> {
     if n == 0 {
-        return Err(CircuitError::InvalidParameter("repetition_code_encoder needs n >= 1".into()));
+        return Err(CircuitError::InvalidParameter(
+            "repetition_code_encoder needs n >= 1".into(),
+        ));
     }
     let mut c = Circuit::with_name(format!("rep_{n}"), n, n);
     c.h(0)?;
@@ -255,7 +263,9 @@ pub fn qft(n: usize) -> Result<Circuit, CircuitError> {
 /// Returns an error if `n == 0`.
 pub fn random_circuit(n: usize, depth: usize, seed: u64) -> Result<Circuit, CircuitError> {
     if n == 0 {
-        return Err(CircuitError::InvalidParameter("random_circuit needs n >= 1".into()));
+        return Err(CircuitError::InvalidParameter(
+            "random_circuit needs n >= 1".into(),
+        ));
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let mut c = Circuit::with_name(format!("random_{n}x{depth}"), n, n);
@@ -327,7 +337,9 @@ pub fn random_circuit_with_cx_count(
 /// Returns an error if `n == 0`.
 pub fn random_clifford_circuit(n: usize, depth: usize, seed: u64) -> Result<Circuit, CircuitError> {
     if n == 0 {
-        return Err(CircuitError::InvalidParameter("random_clifford_circuit needs n >= 1".into()));
+        return Err(CircuitError::InvalidParameter(
+            "random_clifford_circuit needs n >= 1".into(),
+        ));
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let mut c = Circuit::with_name(format!("clifford_{n}x{depth}"), n, n);
@@ -366,7 +378,10 @@ pub fn random_clifford_circuit(n: usize, depth: usize, seed: u64) -> Result<Circ
 ///
 /// Returns an error if an edge references a qubit `>= num_qubits` or is a
 /// self-loop.
-pub fn topology_circuit(num_qubits: usize, edges: &[(usize, usize)]) -> Result<Circuit, CircuitError> {
+pub fn topology_circuit(
+    num_qubits: usize,
+    edges: &[(usize, usize)],
+) -> Result<Circuit, CircuitError> {
     let mut c = Circuit::with_name(format!("topology_{num_qubits}q"), num_qubits, 0);
     for &(a, b) in edges {
         if a == b {

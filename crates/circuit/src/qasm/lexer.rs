@@ -49,47 +49,80 @@ pub(crate) fn tokenize(source: &str) -> Result<Vec<Token>, CircuitError> {
                     i += 1;
                 }
                 '(' => {
-                    tokens.push(Token { kind: TokenKind::LParen, line: line_no });
+                    tokens.push(Token {
+                        kind: TokenKind::LParen,
+                        line: line_no,
+                    });
                     i += 1;
                 }
                 ')' => {
-                    tokens.push(Token { kind: TokenKind::RParen, line: line_no });
+                    tokens.push(Token {
+                        kind: TokenKind::RParen,
+                        line: line_no,
+                    });
                     i += 1;
                 }
                 '[' => {
-                    tokens.push(Token { kind: TokenKind::LBracket, line: line_no });
+                    tokens.push(Token {
+                        kind: TokenKind::LBracket,
+                        line: line_no,
+                    });
                     i += 1;
                 }
                 ']' => {
-                    tokens.push(Token { kind: TokenKind::RBracket, line: line_no });
+                    tokens.push(Token {
+                        kind: TokenKind::RBracket,
+                        line: line_no,
+                    });
                     i += 1;
                 }
                 ',' => {
-                    tokens.push(Token { kind: TokenKind::Comma, line: line_no });
+                    tokens.push(Token {
+                        kind: TokenKind::Comma,
+                        line: line_no,
+                    });
                     i += 1;
                 }
                 ';' => {
-                    tokens.push(Token { kind: TokenKind::Semicolon, line: line_no });
+                    tokens.push(Token {
+                        kind: TokenKind::Semicolon,
+                        line: line_no,
+                    });
                     i += 1;
                 }
                 '+' => {
-                    tokens.push(Token { kind: TokenKind::Plus, line: line_no });
+                    tokens.push(Token {
+                        kind: TokenKind::Plus,
+                        line: line_no,
+                    });
                     i += 1;
                 }
                 '*' => {
-                    tokens.push(Token { kind: TokenKind::Star, line: line_no });
+                    tokens.push(Token {
+                        kind: TokenKind::Star,
+                        line: line_no,
+                    });
                     i += 1;
                 }
                 '/' => {
-                    tokens.push(Token { kind: TokenKind::Slash, line: line_no });
+                    tokens.push(Token {
+                        kind: TokenKind::Slash,
+                        line: line_no,
+                    });
                     i += 1;
                 }
                 '-' => {
                     if i + 1 < bytes.len() && bytes[i + 1] as char == '>' {
-                        tokens.push(Token { kind: TokenKind::Arrow, line: line_no });
+                        tokens.push(Token {
+                            kind: TokenKind::Arrow,
+                            line: line_no,
+                        });
                         i += 2;
                     } else {
-                        tokens.push(Token { kind: TokenKind::Minus, line: line_no });
+                        tokens.push(Token {
+                            kind: TokenKind::Minus,
+                            line: line_no,
+                        });
                         i += 1;
                     }
                 }
@@ -116,11 +149,14 @@ pub(crate) fn tokenize(source: &str) -> Result<Vec<Token>, CircuitError> {
                     let mut end = i;
                     while end < bytes.len() {
                         let ch = bytes[end] as char;
-                        if ch.is_ascii_digit() || ch == '.' || ch == 'e' || ch == 'E' {
-                            end += 1;
-                        } else if (ch == '+' || ch == '-')
+                        let sign_after_exponent = (ch == '+' || ch == '-')
                             && end > start
-                            && matches!(bytes[end - 1] as char, 'e' | 'E')
+                            && matches!(bytes[end - 1] as char, 'e' | 'E');
+                        if ch.is_ascii_digit()
+                            || ch == '.'
+                            || ch == 'e'
+                            || ch == 'E'
+                            || sign_after_exponent
                         {
                             end += 1;
                         } else {
@@ -132,7 +168,10 @@ pub(crate) fn tokenize(source: &str) -> Result<Vec<Token>, CircuitError> {
                         line: line_no,
                         message: format!("invalid number '{text}'"),
                     })?;
-                    tokens.push(Token { kind: TokenKind::Number(value), line: line_no });
+                    tokens.push(Token {
+                        kind: TokenKind::Number(value),
+                        line: line_no,
+                    });
                     i = end;
                 }
                 c if c.is_ascii_alphabetic() || c == '_' => {
@@ -193,7 +232,9 @@ mod tests {
     #[test]
     fn scientific_notation() {
         let toks = tokenize("rz(1.5e-3) q[0];").unwrap();
-        assert!(toks.iter().any(|t| matches!(t.kind, TokenKind::Number(x) if (x - 0.0015).abs() < 1e-12)));
+        assert!(toks
+            .iter()
+            .any(|t| matches!(t.kind, TokenKind::Number(x) if (x - 0.0015).abs() < 1e-12)));
     }
 
     #[test]
@@ -205,6 +246,8 @@ mod tests {
     #[test]
     fn string_literals() {
         let toks = tokenize("include \"qelib1.inc\";").unwrap();
-        assert!(toks.iter().any(|t| t.kind == TokenKind::StringLit("qelib1.inc".into())));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::StringLit("qelib1.inc".into())));
     }
 }

@@ -87,11 +87,16 @@ impl Parser {
     }
 
     fn line(&self) -> usize {
-        self.tokens.get(self.pos.min(self.tokens.len().saturating_sub(1))).map_or(0, |t| t.line)
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map_or(0, |t| t.line)
     }
 
     fn err(&self, message: impl Into<String>) -> CircuitError {
-        CircuitError::QasmParse { line: self.line(), message: message.into() }
+        CircuitError::QasmParse {
+            line: self.line(),
+            message: message.into(),
+        }
     }
 
     fn expect(&mut self, kind: &TokenKind) -> Result<(), CircuitError> {
@@ -149,21 +154,39 @@ impl Parser {
     fn parse_reg(&mut self, quantum: bool) -> Result<(), CircuitError> {
         self.next(); // qreg/creg keyword
         let name = match self.next() {
-            Some(Token { kind: TokenKind::Ident(name), .. }) => name,
+            Some(Token {
+                kind: TokenKind::Ident(name),
+                ..
+            }) => name,
             _ => return Err(self.err("expected register name")),
         };
         self.expect(&TokenKind::LBracket)?;
         let size = match self.next() {
-            Some(Token { kind: TokenKind::Number(n), .. }) if n >= 1.0 => n as usize,
+            Some(Token {
+                kind: TokenKind::Number(n),
+                ..
+            }) if n >= 1.0 => n as usize,
             _ => return Err(self.err("expected register size")),
         };
         self.expect(&TokenKind::RBracket)?;
         self.expect(&TokenKind::Semicolon)?;
         if quantum {
-            self.qregs.insert(name, Register { offset: self.num_qubits, size });
+            self.qregs.insert(
+                name,
+                Register {
+                    offset: self.num_qubits,
+                    size,
+                },
+            );
             self.num_qubits += size;
         } else {
-            self.cregs.insert(name, Register { offset: self.num_clbits, size });
+            self.cregs.insert(
+                name,
+                Register {
+                    offset: self.num_clbits,
+                    size,
+                },
+            );
             self.num_clbits += size;
         }
         Ok(())
@@ -173,21 +196,35 @@ impl Parser {
     /// (the whole register).
     fn parse_operand(&mut self, quantum: bool) -> Result<Vec<usize>, CircuitError> {
         let name = match self.next() {
-            Some(Token { kind: TokenKind::Ident(name), .. }) => name,
-            other => {
-                return Err(self.err(format!("expected register operand, found {other:?}")))
-            }
+            Some(Token {
+                kind: TokenKind::Ident(name),
+                ..
+            }) => name,
+            other => return Err(self.err(format!("expected register operand, found {other:?}"))),
         };
-        let reg = if quantum { self.qregs.get(&name) } else { self.cregs.get(&name) };
+        let reg = if quantum {
+            self.qregs.get(&name)
+        } else {
+            self.cregs.get(&name)
+        };
         let reg = match reg {
             Some(r) => r,
             None => return Err(self.err(format!("unknown register '{name}'"))),
         };
         let (offset, size) = (reg.offset, reg.size);
-        if matches!(self.peek(), Some(Token { kind: TokenKind::LBracket, .. })) {
+        if matches!(
+            self.peek(),
+            Some(Token {
+                kind: TokenKind::LBracket,
+                ..
+            })
+        ) {
             self.next();
             let idx = match self.next() {
-                Some(Token { kind: TokenKind::Number(n), .. }) => n as usize,
+                Some(Token {
+                    kind: TokenKind::Number(n),
+                    ..
+                }) => n as usize,
                 _ => return Err(self.err("expected index")),
             };
             self.expect(&TokenKind::RBracket)?;
@@ -221,8 +258,14 @@ impl Parser {
         loop {
             qubits.extend(self.parse_operand(true)?);
             match self.next() {
-                Some(Token { kind: TokenKind::Comma, .. }) => continue,
-                Some(Token { kind: TokenKind::Semicolon, .. }) => break,
+                Some(Token {
+                    kind: TokenKind::Comma,
+                    ..
+                }) => continue,
+                Some(Token {
+                    kind: TokenKind::Semicolon,
+                    ..
+                }) => break,
                 _ => return Err(self.err("expected ',' or ';' in barrier")),
             }
         }
@@ -242,17 +285,32 @@ impl Parser {
 
     fn parse_gate(&mut self) -> Result<(), CircuitError> {
         let name = match self.next() {
-            Some(Token { kind: TokenKind::Ident(name), .. }) => name,
+            Some(Token {
+                kind: TokenKind::Ident(name),
+                ..
+            }) => name,
             other => return Err(self.err(format!("expected gate name, found {other:?}"))),
         };
         let mut params = Vec::new();
-        if matches!(self.peek(), Some(Token { kind: TokenKind::LParen, .. })) {
+        if matches!(
+            self.peek(),
+            Some(Token {
+                kind: TokenKind::LParen,
+                ..
+            })
+        ) {
             self.next();
             loop {
                 params.push(self.parse_expr()?);
                 match self.next() {
-                    Some(Token { kind: TokenKind::Comma, .. }) => continue,
-                    Some(Token { kind: TokenKind::RParen, .. }) => break,
+                    Some(Token {
+                        kind: TokenKind::Comma,
+                        ..
+                    }) => continue,
+                    Some(Token {
+                        kind: TokenKind::RParen,
+                        ..
+                    }) => break,
                     _ => return Err(self.err("expected ',' or ')' in parameter list")),
                 }
             }
@@ -262,8 +320,14 @@ impl Parser {
         loop {
             operands.push(self.parse_operand(true)?);
             match self.next() {
-                Some(Token { kind: TokenKind::Comma, .. }) => continue,
-                Some(Token { kind: TokenKind::Semicolon, .. }) => break,
+                Some(Token {
+                    kind: TokenKind::Comma,
+                    ..
+                }) => continue,
+                Some(Token {
+                    kind: TokenKind::Semicolon,
+                    ..
+                }) => break,
                 _ => return Err(self.err("expected ',' or ';' after gate operands")),
             }
         }
@@ -273,7 +337,13 @@ impl Parser {
         for i in 0..max_len {
             let qubits: Vec<usize> = operands
                 .iter()
-                .map(|op| if op.len() == 1 { op[0] } else { op[i.min(op.len() - 1)] })
+                .map(|op| {
+                    if op.len() == 1 {
+                        op[0]
+                    } else {
+                        op[i.min(op.len() - 1)]
+                    }
+                })
                 .collect();
             self.instructions.push((gate, qubits, Vec::new()));
         }
@@ -394,10 +464,22 @@ impl Parser {
 
     fn parse_factor(&mut self) -> Result<f64, CircuitError> {
         match self.next() {
-            Some(Token { kind: TokenKind::Minus, .. }) => Ok(-self.parse_factor()?),
-            Some(Token { kind: TokenKind::Number(n), .. }) => Ok(n),
-            Some(Token { kind: TokenKind::Ident(ref word), .. }) if word == "pi" => Ok(PI),
-            Some(Token { kind: TokenKind::LParen, .. }) => {
+            Some(Token {
+                kind: TokenKind::Minus,
+                ..
+            }) => Ok(-self.parse_factor()?),
+            Some(Token {
+                kind: TokenKind::Number(n),
+                ..
+            }) => Ok(n),
+            Some(Token {
+                kind: TokenKind::Ident(ref word),
+                ..
+            }) if word == "pi" => Ok(PI),
+            Some(Token {
+                kind: TokenKind::LParen,
+                ..
+            }) => {
                 let value = self.parse_expr()?;
                 self.expect(&TokenKind::RParen)?;
                 Ok(value)

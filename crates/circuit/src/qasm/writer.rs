@@ -36,11 +36,14 @@ pub fn to_qasm(circuit: &Circuit) -> String {
     for inst in circuit.instructions() {
         match inst.gate {
             Gate::Measure => {
-                let _ = writeln!(out, "measure q[{}] -> c[{}];", inst.qubits[0], inst.clbits[0]);
+                let _ = writeln!(
+                    out,
+                    "measure q[{}] -> c[{}];",
+                    inst.qubits[0], inst.clbits[0]
+                );
             }
             Gate::Barrier => {
-                let operands: Vec<String> =
-                    inst.qubits.iter().map(|q| format!("q[{q}]")).collect();
+                let operands: Vec<String> = inst.qubits.iter().map(|q| format!("q[{q}]")).collect();
                 let _ = writeln!(out, "barrier {};", operands.join(","));
             }
             Gate::Reset => {
@@ -48,8 +51,7 @@ pub fn to_qasm(circuit: &Circuit) -> String {
             }
             gate => {
                 let params = gate.params();
-                let operands: Vec<String> =
-                    inst.qubits.iter().map(|q| format!("q[{q}]")).collect();
+                let operands: Vec<String> = inst.qubits.iter().map(|q| format!("q[{q}]")).collect();
                 if params.is_empty() {
                     let _ = writeln!(out, "{} {};", gate.name(), operands.join(","));
                 } else {

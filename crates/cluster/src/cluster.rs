@@ -46,7 +46,12 @@ pub trait JobRunner {
     /// # Errors
     ///
     /// Returns a human-readable reason when execution fails.
-    fn run(&self, spec: &JobSpec, image: &ImageBundle, backend: &Backend) -> Result<ExecutionOutcome, String>;
+    fn run(
+        &self,
+        spec: &JobSpec,
+        image: &ImageBundle,
+        backend: &Backend,
+    ) -> Result<ExecutionOutcome, String>;
 }
 
 /// The decision produced by one scheduling cycle.
@@ -82,7 +87,10 @@ impl Cluster {
     }
 
     fn record(&mut self, kind: &str, message: impl Into<String>) {
-        self.events.push(ClusterEvent { kind: kind.to_string(), message: message.into() });
+        self.events.push(ClusterEvent {
+            kind: kind.to_string(),
+            message: message.into(),
+        });
     }
 
     // --- Nodes ---------------------------------------------------------------------------
@@ -96,7 +104,10 @@ impl Cluster {
         if self.nodes.contains_key(node.name()) {
             return Err(ClusterError::DuplicateNode(node.name().to_string()));
         }
-        self.record("NodeAdded", format!("node '{}' joined the cluster", node.name()));
+        self.record(
+            "NodeAdded",
+            format!("node '{}' joined the cluster", node.name()),
+        );
         self.nodes.insert(node.name().to_string(), node);
         Ok(())
     }
@@ -107,7 +118,10 @@ impl Cluster {
     ///
     /// Returns an error if the node does not exist.
     pub fn remove_node(&mut self, name: &str) -> Result<Node, ClusterError> {
-        let node = self.nodes.remove(name).ok_or_else(|| ClusterError::UnknownNode(name.to_string()))?;
+        let node = self
+            .nodes
+            .remove(name)
+            .ok_or_else(|| ClusterError::UnknownNode(name.to_string()))?;
         self.record("NodeRemoved", format!("node '{name}' left the cluster"));
         Ok(node)
     }
@@ -134,7 +148,9 @@ impl Cluster {
 
     /// Nodes currently able to accept work.
     pub fn ready_nodes(&self) -> impl Iterator<Item = &Node> {
-        self.nodes.values().filter(|n| n.status() == NodeStatus::Ready)
+        self.nodes
+            .values()
+            .filter(|n| n.status() == NodeStatus::Ready)
     }
 
     /// Restart every node that is `NotReady` — the self-healing loop QRIO gets
@@ -198,7 +214,10 @@ impl Cluster {
         self.queue
             .iter()
             .filter(|name| {
-                self.jobs.get(*name).map(|j| matches!(j.phase(), JobPhase::Pending)).unwrap_or(false)
+                self.jobs
+                    .get(*name)
+                    .map(|j| matches!(j.phase(), JobPhase::Pending))
+                    .unwrap_or(false)
             })
             .cloned()
             .collect()
@@ -264,14 +283,22 @@ impl Cluster {
             }
         }
         for (node, reason) in &filtered_out {
-            self.record("FilterRejected", format!("job '{job_name}': node '{node}' rejected ({reason})"));
+            self.record(
+                "FilterRejected",
+                format!("job '{job_name}': node '{node}' rejected ({reason})"),
+            );
         }
         if feasible.is_empty() {
             let reason = "no node passed the filtering stage".to_string();
             if let Some(job) = self.jobs.get_mut(job_name) {
-                job.set_phase(JobPhase::Failed { reason: reason.clone() });
+                job.set_phase(JobPhase::Failed {
+                    reason: reason.clone(),
+                });
             }
-            return Err(ClusterError::Unschedulable { job: job_name.to_string(), reason });
+            return Err(ClusterError::Unschedulable {
+                job: job_name.to_string(),
+                reason,
+            });
         }
 
         // Scoring stage.
@@ -289,11 +316,19 @@ impl Cluster {
             }
         }
         if candidates.is_empty() {
-            let reason = format!("no feasible node could be scored by plugin '{}'", scorer.name());
+            let reason = format!(
+                "no feasible node could be scored by plugin '{}'",
+                scorer.name()
+            );
             if let Some(job) = self.jobs.get_mut(job_name) {
-                job.set_phase(JobPhase::Failed { reason: reason.clone() });
+                job.set_phase(JobPhase::Failed {
+                    reason: reason.clone(),
+                });
             }
-            return Err(ClusterError::Unschedulable { job: job_name.to_string(), reason });
+            return Err(ClusterError::Unschedulable {
+                job: job_name.to_string(),
+                reason,
+            });
         }
         candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
         let (winner, score) = candidates[0].clone();
@@ -308,10 +343,24 @@ impl Cluster {
             });
         }
         let job = self.jobs.get_mut(job_name).expect("job exists");
-        job.set_phase(JobPhase::Scheduled { node: winner.clone() });
-        job.log(format!("scheduled on '{winner}' with score {score:.4} by plugin '{}'", scorer.name()));
-        self.record("JobScheduled", format!("job '{job_name}' bound to node '{winner}' (score {score:.4})"));
-        Ok(ScheduleDecision { job: job_name.to_string(), node: winner, score, candidates, filtered_out })
+        job.set_phase(JobPhase::Scheduled {
+            node: winner.clone(),
+        });
+        job.log(format!(
+            "scheduled on '{winner}' with score {score:.4} by plugin '{}'",
+            scorer.name()
+        ));
+        self.record(
+            "JobScheduled",
+            format!("job '{job_name}' bound to node '{winner}' (score {score:.4})"),
+        );
+        Ok(ScheduleDecision {
+            job: job_name.to_string(),
+            node: winner,
+            score,
+            candidates,
+            filtered_out,
+        })
     }
 
     /// Execute a previously-scheduled job on its bound node using `runner`.
@@ -347,9 +396,14 @@ impl Cluster {
             .clone();
 
         if let Some(job) = self.jobs.get_mut(job_name) {
-            job.set_phase(JobPhase::Running { node: node_name.clone() });
+            job.set_phase(JobPhase::Running {
+                node: node_name.clone(),
+            });
         }
-        self.record("JobStarted", format!("job '{job_name}' running on '{node_name}'"));
+        self.record(
+            "JobStarted",
+            format!("job '{job_name}' running on '{node_name}'"),
+        );
 
         let outcome = runner.run(&spec, &image, &backend);
         // Release classical resources regardless of the outcome.
@@ -363,15 +417,28 @@ impl Cluster {
                     job.log(line.clone());
                 }
                 job.set_result(result.counts, result.fidelity);
-                job.set_phase(JobPhase::Succeeded { node: node_name.clone() });
-                self.record("JobSucceeded", format!("job '{job_name}' finished on '{node_name}'"));
+                job.set_phase(JobPhase::Succeeded {
+                    node: node_name.clone(),
+                });
+                self.record(
+                    "JobSucceeded",
+                    format!("job '{job_name}' finished on '{node_name}'"),
+                );
                 Ok(())
             }
             Err(reason) => {
                 let job = self.jobs.get_mut(job_name).expect("job exists");
-                job.set_phase(JobPhase::Failed { reason: reason.clone() });
-                self.record("JobFailed", format!("job '{job_name}' failed on '{node_name}': {reason}"));
-                Err(ClusterError::ExecutionFailed { job: job_name.to_string(), reason })
+                job.set_phase(JobPhase::Failed {
+                    reason: reason.clone(),
+                });
+                self.record(
+                    "JobFailed",
+                    format!("job '{job_name}' failed on '{node_name}': {reason}"),
+                );
+                Err(ClusterError::ExecutionFailed {
+                    job: job_name.to_string(),
+                    reason,
+                })
             }
         }
     }
@@ -422,11 +489,21 @@ mod tests {
     struct EchoRunner;
 
     impl JobRunner for EchoRunner {
-        fn run(&self, spec: &JobSpec, image: &ImageBundle, backend: &Backend) -> Result<ExecutionOutcome, String> {
+        fn run(
+            &self,
+            spec: &JobSpec,
+            image: &ImageBundle,
+            backend: &Backend,
+        ) -> Result<ExecutionOutcome, String> {
             Ok(ExecutionOutcome {
                 counts: vec![("0".repeat(spec.num_qubits), spec.shots)],
                 fidelity: Some(1.0),
-                logs: vec![format!("ran {} from {} on {}", spec.name, image.name(), backend.name())],
+                logs: vec![format!(
+                    "ran {} from {} on {}",
+                    spec.name,
+                    image.name(),
+                    backend.name()
+                )],
             })
         }
     }
@@ -434,7 +511,12 @@ mod tests {
     struct FailingRunner;
 
     impl JobRunner for FailingRunner {
-        fn run(&self, _: &JobSpec, _: &ImageBundle, _: &Backend) -> Result<ExecutionOutcome, String> {
+        fn run(
+            &self,
+            _: &JobSpec,
+            _: &ImageBundle,
+            _: &Backend,
+        ) -> Result<ExecutionOutcome, String> {
             Err("simulated runner crash".into())
         }
     }
@@ -498,7 +580,10 @@ mod tests {
         assert!(decision.filtered_out.iter().any(|(node, _)| node == "tiny"));
         assert_eq!(cluster.job("job-a").unwrap().phase().node(), Some("quiet"));
         // Resources were reserved on the chosen node.
-        assert_eq!(cluster.node("quiet").unwrap().allocated(), Resources::new(1000, 1024));
+        assert_eq!(
+            cluster.node("quiet").unwrap().allocated(),
+            Resources::new(1000, 1024)
+        );
     }
 
     #[test]
@@ -517,14 +602,19 @@ mod tests {
         let spec = make_spec("job-run", 4);
         push_image_for(&mut cluster, &spec);
         cluster.submit_job(spec).unwrap();
-        cluster.schedule_job("job-run", &default_filters(), &AverageErrorScore).unwrap();
+        cluster
+            .schedule_job("job-run", &default_filters(), &AverageErrorScore)
+            .unwrap();
         cluster.run_job("job-run", &EchoRunner).unwrap();
         let job = cluster.job("job-run").unwrap();
         assert!(matches!(job.phase(), JobPhase::Succeeded { .. }));
         assert_eq!(job.result_counts()[0].1, 64);
         assert!(job.logs().iter().any(|l| l.contains("ran job-run")));
         // Resources released after completion.
-        assert_eq!(cluster.node("quiet").unwrap().allocated(), Resources::default());
+        assert_eq!(
+            cluster.node("quiet").unwrap().allocated(),
+            Resources::default()
+        );
     }
 
     #[test]
@@ -533,10 +623,18 @@ mod tests {
         let spec = make_spec("job-fail", 4);
         push_image_for(&mut cluster, &spec);
         cluster.submit_job(spec).unwrap();
-        cluster.schedule_job("job-fail", &default_filters(), &AverageErrorScore).unwrap();
+        cluster
+            .schedule_job("job-fail", &default_filters(), &AverageErrorScore)
+            .unwrap();
         assert!(cluster.run_job("job-fail", &FailingRunner).is_err());
-        assert!(matches!(cluster.job("job-fail").unwrap().phase(), JobPhase::Failed { .. }));
-        assert_eq!(cluster.node("quiet").unwrap().allocated(), Resources::default());
+        assert!(matches!(
+            cluster.job("job-fail").unwrap().phase(),
+            JobPhase::Failed { .. }
+        ));
+        assert_eq!(
+            cluster.node("quiet").unwrap().allocated(),
+            Resources::default()
+        );
     }
 
     #[test]
@@ -546,9 +644,14 @@ mod tests {
         cluster.submit_job(spec).unwrap();
         // Not scheduled yet.
         assert!(cluster.run_job("job-x", &EchoRunner).is_err());
-        cluster.schedule_job("job-x", &default_filters(), &AverageErrorScore).unwrap();
+        cluster
+            .schedule_job("job-x", &default_filters(), &AverageErrorScore)
+            .unwrap();
         // Image was never pushed.
-        assert!(matches!(cluster.run_job("job-x", &EchoRunner), Err(ClusterError::ImageNotFound(_))));
+        assert!(matches!(
+            cluster.run_job("job-x", &EchoRunner),
+            Err(ClusterError::ImageNotFound(_))
+        ));
         assert!(cluster.run_job("unknown", &EchoRunner).is_err());
     }
 
@@ -565,7 +668,10 @@ mod tests {
         assert_eq!(decisions.len(), 3);
         assert!(cluster.pending_jobs().is_empty());
         for name in ["q-1", "q-2", "q-3"] {
-            assert!(matches!(cluster.job(name).unwrap().phase(), JobPhase::Succeeded { .. }));
+            assert!(matches!(
+                cluster.job(name).unwrap().phase(),
+                JobPhase::Succeeded { .. }
+            ));
         }
     }
 

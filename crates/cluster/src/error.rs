@@ -80,8 +80,14 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(ClusterError::UnknownNode("n1".into()).to_string().contains("n1"));
-        let e = ClusterError::BindingRejected { job: "j".into(), node: "n".into(), reason: "full".into() };
+        assert!(ClusterError::UnknownNode("n1".into())
+            .to_string()
+            .contains("n1"));
+        let e = ClusterError::BindingRejected {
+            job: "j".into(),
+            node: "n".into(),
+            reason: "full".into(),
+        };
         assert!(e.to_string().contains("full"));
         fn assert_err<E: std::error::Error + Send + Sync>() {}
         assert_err::<ClusterError>();

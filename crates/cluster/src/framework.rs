@@ -73,7 +73,10 @@ impl FilterPlugin for QubitCountFilter {
         if available >= spec.num_qubits {
             Ok(())
         } else {
-            Err(format!("device has {available} qubits, job needs {}", spec.num_qubits))
+            Err(format!(
+                "device has {available} qubits, job needs {}",
+                spec.num_qubits
+            ))
         }
     }
 }
@@ -93,7 +96,9 @@ impl FilterPlugin for DeviceRequirementsFilter {
         if spec.requirements.is_satisfied_by(&labels) {
             Ok(())
         } else {
-            Err(format!("node labels ({labels}) do not satisfy the requested device bounds"))
+            Err(format!(
+                "node labels ({labels}) do not satisfy the requested device bounds"
+            ))
         }
     }
 }

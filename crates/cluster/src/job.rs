@@ -123,9 +123,9 @@ impl JobPhase {
     /// The node associated with the phase, if any.
     pub fn node(&self) -> Option<&str> {
         match self {
-            JobPhase::Scheduled { node } | JobPhase::Running { node } | JobPhase::Succeeded { node } => {
-                Some(node)
-            }
+            JobPhase::Scheduled { node }
+            | JobPhase::Running { node }
+            | JobPhase::Succeeded { node } => Some(node),
             _ => None,
         }
     }
@@ -151,7 +151,13 @@ pub struct Job {
 impl Job {
     /// Wrap a spec into a pending job.
     pub fn new(spec: JobSpec) -> Self {
-        Job { spec, phase: JobPhase::Pending, logs: Vec::new(), result_counts: Vec::new(), achieved_fidelity: None }
+        Job {
+            spec,
+            phase: JobPhase::Pending,
+            logs: Vec::new(),
+            result_counts: Vec::new(),
+            achieved_fidelity: None,
+        }
     }
 
     /// The job specification.
@@ -257,12 +263,18 @@ mod tests {
         let mut job = Job::new(spec);
         assert_eq!(job.phase(), &JobPhase::Pending);
         assert!(!job.phase().is_terminal());
-        job.set_phase(JobPhase::Scheduled { node: "dev-a".into() });
+        job.set_phase(JobPhase::Scheduled {
+            node: "dev-a".into(),
+        });
         assert_eq!(job.phase().node(), Some("dev-a"));
-        job.set_phase(JobPhase::Running { node: "dev-a".into() });
+        job.set_phase(JobPhase::Running {
+            node: "dev-a".into(),
+        });
         job.log("transpiling circuit");
         job.set_result(vec![("1011".into(), 900), ("0000".into(), 124)], Some(0.88));
-        job.set_phase(JobPhase::Succeeded { node: "dev-a".into() });
+        job.set_phase(JobPhase::Succeeded {
+            node: "dev-a".into(),
+        });
         assert!(job.phase().is_terminal());
         assert_eq!(job.result_counts().len(), 2);
         assert_eq!(job.achieved_fidelity(), Some(0.88));
@@ -272,7 +284,9 @@ mod tests {
 
     #[test]
     fn failed_phase_has_no_node() {
-        let phase = JobPhase::Failed { reason: "no devices matched".into() };
+        let phase = JobPhase::Failed {
+            reason: "no devices matched".into(),
+        };
         assert!(phase.is_terminal());
         assert_eq!(phase.node(), None);
     }

@@ -38,8 +38,8 @@ impl Node {
     /// The node name is the backend name, and the QRIO labels of §3.1 are
     /// attached automatically.
     pub fn from_backend(backend: Backend, capacity: Resources) -> Self {
-        let labels =
-            NodeLabels::from_backend(&backend, capacity.cpu_millis, capacity.memory_mib).to_string_map();
+        let labels = NodeLabels::from_backend(&backend, capacity.cpu_millis, capacity.memory_mib)
+            .to_string_map();
         Node {
             name: backend.name().to_string(),
             backend,
@@ -175,7 +175,10 @@ mod tests {
     fn labels_are_attached() {
         let n = node();
         assert_eq!(n.name(), "dev-a");
-        assert_eq!(n.labels().get("qrio.io/qubits").map(String::as_str), Some("5"));
+        assert_eq!(
+            n.labels().get("qrio.io/qubits").map(String::as_str),
+            Some("5")
+        );
         assert_eq!(n.node_labels().num_qubits, 5);
         assert_eq!(n.node_labels().cpu_millis, 4000);
     }

@@ -19,7 +19,10 @@ pub struct ImageBundle {
 impl ImageBundle {
     /// Create an empty image with the given name (e.g. `qrio/bv-job:latest`).
     pub fn new(name: impl Into<String>) -> Self {
-        ImageBundle { name: name.into(), files: BTreeMap::new() }
+        ImageBundle {
+            name: name.into(),
+            files: BTreeMap::new(),
+        }
     }
 
     /// The image name.
@@ -80,7 +83,10 @@ impl ImageRegistry {
     /// Returns [`ClusterError::ImageNotFound`] when no such image exists.
     pub fn pull(&mut self, name: &str) -> Result<ImageBundle, ClusterError> {
         self.pull_count += 1;
-        self.images.get(name).cloned().ok_or_else(|| ClusterError::ImageNotFound(name.to_string()))
+        self.images
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ClusterError::ImageNotFound(name.to_string()))
     }
 
     /// Whether an image exists.
@@ -126,7 +132,10 @@ mod tests {
     #[test]
     fn missing_image_is_an_error() {
         let mut registry = ImageRegistry::new();
-        assert!(matches!(registry.pull("nope"), Err(ClusterError::ImageNotFound(_))));
+        assert!(matches!(
+            registry.pull("nope"),
+            Err(ClusterError::ImageNotFound(_))
+        ));
     }
 
     #[test]

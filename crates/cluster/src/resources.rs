@@ -15,7 +15,10 @@ pub struct Resources {
 impl Resources {
     /// Construct a resource quantity.
     pub fn new(cpu_millis: u64, memory_mib: u64) -> Self {
-        Resources { cpu_millis, memory_mib }
+        Resources {
+            cpu_millis,
+            memory_mib,
+        }
     }
 
     /// Whether this capacity can satisfy `request`.

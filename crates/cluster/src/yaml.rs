@@ -28,17 +28,24 @@ pub fn to_yaml(spec: &JobSpec) -> String {
     let _ = writeln!(out, "    cpuMillis: {}", spec.resources.cpu_millis);
     let _ = writeln!(out, "    memoryMib: {}", spec.resources.memory_mib);
     out.push_str("  requirements:\n");
-    let write_opt_f =
-        |out: &mut String, key: &str, value: Option<f64>| {
-            if let Some(v) = value {
-                let _ = writeln!(out, "    {key}: {v}");
-            }
-        };
+    let write_opt_f = |out: &mut String, key: &str, value: Option<f64>| {
+        if let Some(v) = value {
+            let _ = writeln!(out, "    {key}: {v}");
+        }
+    };
     if let Some(q) = spec.requirements.min_qubits {
         let _ = writeln!(out, "    minQubits: {q}");
     }
-    write_opt_f(&mut out, "maxTwoQubitError", spec.requirements.max_two_qubit_error);
-    write_opt_f(&mut out, "maxReadoutError", spec.requirements.max_readout_error);
+    write_opt_f(
+        &mut out,
+        "maxTwoQubitError",
+        spec.requirements.max_two_qubit_error,
+    );
+    write_opt_f(
+        &mut out,
+        "maxReadoutError",
+        spec.requirements.max_readout_error,
+    );
     write_opt_f(&mut out, "minT1Us", spec.requirements.min_t1_us);
     write_opt_f(&mut out, "minT2Us", spec.requirements.min_t2_us);
     match &spec.strategy {
@@ -84,15 +91,22 @@ pub fn from_yaml(text: &str) -> Result<JobSpec, ClusterError> {
         if line.is_empty() || line.ends_with(':') && !line.contains(": ") {
             continue;
         }
-        let err = |message: String| ClusterError::SpecParse { line: idx + 1, message };
+        let err = |message: String| ClusterError::SpecParse {
+            line: idx + 1,
+            message,
+        };
         if let Some(rest) = line.strip_prefix("- [") {
             let body = rest.trim_end_matches(']');
             let parts: Vec<&str> = body.split(',').map(str::trim).collect();
             if parts.len() != 2 {
                 return Err(err(format!("bad edge '{line}'")));
             }
-            let a = parts[0].parse().map_err(|_| err(format!("bad edge endpoint '{}'", parts[0])))?;
-            let b = parts[1].parse().map_err(|_| err(format!("bad edge endpoint '{}'", parts[1])))?;
+            let a = parts[0]
+                .parse()
+                .map_err(|_| err(format!("bad edge endpoint '{}'", parts[0])))?;
+            let b = parts[1]
+                .parse()
+                .map_err(|_| err(format!("bad edge endpoint '{}'", parts[1])))?;
             edges.push((a, b));
             continue;
         }
@@ -104,8 +118,14 @@ pub fn from_yaml(text: &str) -> Result<JobSpec, ClusterError> {
         if value.is_empty() {
             continue;
         }
-        let parse_f64 = |v: &str| v.parse::<f64>().map_err(|_| err(format!("bad number '{v}'")));
-        let parse_u64 = |v: &str| v.parse::<u64>().map_err(|_| err(format!("bad integer '{v}'")));
+        let parse_f64 = |v: &str| {
+            v.parse::<f64>()
+                .map_err(|_| err(format!("bad number '{v}'")))
+        };
+        let parse_u64 = |v: &str| {
+            v.parse::<u64>()
+                .map_err(|_| err(format!("bad integer '{v}'")))
+        };
         match key {
             "apiVersion" | "kind" => {}
             "name" => name = Some(value.to_string()),
@@ -125,10 +145,18 @@ pub fn from_yaml(text: &str) -> Result<JobSpec, ClusterError> {
         }
     }
 
-    let name = name.ok_or(ClusterError::SpecParse { line: 0, message: "missing job name".into() })?;
-    let image = image.ok_or(ClusterError::SpecParse { line: 0, message: "missing image".into() })?;
-    let num_qubits =
-        qubits.ok_or(ClusterError::SpecParse { line: 0, message: "missing qubit count".into() })?;
+    let name = name.ok_or(ClusterError::SpecParse {
+        line: 0,
+        message: "missing job name".into(),
+    })?;
+    let image = image.ok_or(ClusterError::SpecParse {
+        line: 0,
+        message: "missing image".into(),
+    })?;
+    let num_qubits = qubits.ok_or(ClusterError::SpecParse {
+        line: 0,
+        message: "missing qubit count".into(),
+    })?;
     let strategy = match strategy_kind.as_deref() {
         Some("fidelity") => SelectionStrategy::Fidelity(fidelity_target.unwrap_or(1.0)),
         Some("topology") => SelectionStrategy::Topology(edges),
@@ -187,7 +215,9 @@ mod tests {
         assert_eq!(parsed.requirements.min_qubits, Some(3));
         assert_eq!(parsed.requirements.max_two_qubit_error, Some(0.25));
         assert_eq!(parsed.shots, 2048);
-        assert!(matches!(parsed.strategy, SelectionStrategy::Fidelity(f) if (f - 0.85).abs() < 1e-12));
+        assert!(
+            matches!(parsed.strategy, SelectionStrategy::Fidelity(f) if (f - 0.85).abs() < 1e-12)
+        );
     }
 
     #[test]

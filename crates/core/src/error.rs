@@ -71,7 +71,9 @@ mod tests {
         assert!(e.to_string().contains("circuit"));
         let e: QrioError = ClusterError::UnknownNode("n".into()).into();
         assert!(e.to_string().contains("cluster"));
-        assert!(QrioError::InvalidRequest("missing circuit".into()).to_string().contains("missing"));
+        assert!(QrioError::InvalidRequest("missing circuit".into())
+            .to_string()
+            .contains("missing"));
         fn assert_err<E: std::error::Error + Send + Sync>() {}
         assert_err::<QrioError>();
     }

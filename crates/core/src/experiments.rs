@@ -20,7 +20,10 @@
 use qrio_backend::{topology, Backend, DefaultTopology};
 use qrio_circuit::{library, qasm, Circuit};
 use qrio_meta::{FidelityRankingConfig, MetaServer};
-use qrio_scheduler::{achieved_fidelity, oracle_select, paper_fig10_thresholds, two_qubit_error_sweep, RandomScheduler};
+use qrio_scheduler::{
+    achieved_fidelity, oracle_select, paper_fig10_thresholds, two_qubit_error_sweep,
+    RandomScheduler,
+};
 
 use crate::error::QrioError;
 
@@ -38,7 +41,11 @@ pub struct ExperimentConfig {
 
 impl Default for ExperimentConfig {
     fn default() -> Self {
-        ExperimentConfig { shots: 256, seed: 0x51D0, repetitions: 25 }
+        ExperimentConfig {
+            shots: 256,
+            seed: 0x51D0,
+            repetitions: 25,
+        }
     }
 }
 
@@ -133,12 +140,18 @@ pub fn fig6_default_topologies(
 /// constructors.
 pub fn paper_benchmark_circuits() -> Result<Vec<(String, Circuit)>, QrioError> {
     Ok(vec![
-        ("Bv".to_string(), library::bernstein_vazirani(10, 0b1011001101)?),
+        (
+            "Bv".to_string(),
+            library::bernstein_vazirani(10, 0b1011001101)?,
+        ),
         ("Hsp".to_string(), library::hidden_subgroup(4)?),
         ("Rep".to_string(), library::repetition_code_encoder(5)?),
         ("Grover".to_string(), library::grover(3, 5)?),
         ("Circ".to_string(), library::random_circuit(7, 4, 0x0C1)?),
-        ("Circ_2".to_string(), library::random_circuit_with_cx_count(8, 12, 0x0C2)?),
+        (
+            "Circ_2".to_string(),
+            library::random_circuit_with_cx_count(8, 12, 0x0C2)?,
+        ),
     ])
 }
 
@@ -194,7 +207,9 @@ pub fn fig7_for_circuit(
     let clifford_device = ranked
         .first()
         .map(|r| r.device().to_string())
-        .ok_or_else(|| QrioError::InvalidRequest(format!("no device could be scored for '{name}'")))?;
+        .ok_or_else(|| {
+            QrioError::InvalidRequest(format!("no device could be scored for '{name}'"))
+        })?;
     let clifford_backend = fleet
         .iter()
         .find(|b| b.name() == clifford_device)
@@ -203,9 +218,11 @@ pub fn fig7_for_circuit(
 
     // Random scheduler: mean fidelity over `repetitions` random draws among
     // the devices that can run the circuit.
-    let runnable: Vec<&Backend> =
-        fleet.iter().filter(|b| oracle.fidelity_on(b.name()).is_some()).collect();
-    let mut random = RandomScheduler::new(config.seed ^ 0xF16_7);
+    let runnable: Vec<&Backend> = fleet
+        .iter()
+        .filter(|b| oracle.fidelity_on(b.name()).is_some())
+        .collect();
+    let mut random = RandomScheduler::new(config.seed ^ 0xF167);
     let mut random_total = 0.0;
     let draws = config.repetitions.max(1);
     for _ in 0..draws {
@@ -230,7 +247,10 @@ pub fn fig7_for_circuit(
 /// # Errors
 ///
 /// Propagates per-circuit failures.
-pub fn fig7_fidelity(fleet: &[Backend], config: &ExperimentConfig) -> Result<Vec<Fig7Row>, QrioError> {
+pub fn fig7_fidelity(
+    fleet: &[Backend],
+    config: &ExperimentConfig,
+) -> Result<Vec<Fig7Row>, QrioError> {
     let mut rows = Vec::new();
     for (name, circuit) in paper_benchmark_circuits()? {
         rows.push(fig7_for_circuit(&name, &circuit, fleet, config)?);
@@ -290,7 +310,9 @@ pub fn fig9_topology_choice(config: &ExperimentConfig) -> Result<Fig9Result, Qri
         let winner = ranked
             .first()
             .map(|r| r.device().to_string())
-            .ok_or_else(|| QrioError::InvalidRequest("no device could be scored for Fig. 9".into()))?;
+            .ok_or_else(|| {
+                QrioError::InvalidRequest("no device could be scored for Fig. 9".into())
+            })?;
         selections.push(winner);
     }
     Ok(Fig9Result {
@@ -321,7 +343,11 @@ mod tests {
     }
 
     fn fast_config() -> ExperimentConfig {
-        ExperimentConfig { shots: 96, seed: 11, repetitions: 5 }
+        ExperimentConfig {
+            shots: 96,
+            seed: 11,
+            repetitions: 5,
+        }
     }
 
     #[test]
@@ -330,7 +356,11 @@ mod tests {
         let rows = fig6_default_topologies(&fleet, &fast_config()).unwrap();
         assert_eq!(rows.len(), 5);
         for row in &rows {
-            assert!(row.average_decrease >= -1e-9, "{}: QRIO must beat random on average", row.topology);
+            assert!(
+                row.average_decrease >= -1e-9,
+                "{}: QRIO must beat random on average",
+                row.topology
+            );
             assert!(row.scored_devices > 0);
         }
     }
@@ -341,18 +371,31 @@ mod tests {
         let config = fast_config();
         let circuit = library::repetition_code_encoder(5).unwrap();
         let row = fig7_for_circuit("Rep", &circuit, &fleet, &config).unwrap();
-        assert!(row.oracle >= row.clifford - 0.15, "oracle should be at least as good as clifford");
-        assert!(row.clifford >= row.average - 0.2, "clifford should not be much worse than the fleet average");
+        assert!(
+            row.oracle >= row.clifford - 0.15,
+            "oracle should be at least as good as clifford"
+        );
+        assert!(
+            row.clifford >= row.average - 0.2,
+            "clifford should not be much worse than the fleet average"
+        );
         assert!((0.0..=1.0).contains(&row.random));
         assert!((0.0..=1.0).contains(&row.median));
     }
 
     #[test]
     fn fig9_always_picks_the_tree_device() {
-        let config = ExperimentConfig { repetitions: 10, ..fast_config() };
+        let config = ExperimentConfig {
+            repetitions: 10,
+            ..fast_config()
+        };
         let result = fig9_topology_choice(&config).unwrap();
         assert_eq!(result.selections.len(), 10);
-        assert!(result.always_selected_expected(), "selections: {:?}", result.selections);
+        assert!(
+            result.always_selected_expected(),
+            "selections: {:?}",
+            result.selections
+        );
         assert_eq!(result.devices.len(), 3);
     }
 

@@ -57,7 +57,8 @@ impl Qrio {
     /// Returns an error if a node with the same name already exists.
     pub fn add_device(&mut self, backend: Backend) -> Result<(), QrioError> {
         self.meta.register_backend(backend.clone());
-        self.cluster.add_node(Node::from_backend(backend, self.default_node_resources))?;
+        self.cluster
+            .add_node(Node::from_backend(backend, self.default_node_resources))?;
         Ok(())
     }
 
@@ -99,11 +100,13 @@ impl Qrio {
         // 1. Visualizer → meta server: upload the job metadata (Table 1).
         match &request.strategy {
             SelectionStrategy::Fidelity(target) => {
-                self.meta.upload_fidelity_metadata(&request.job_name, *target, &request.qasm)?;
+                self.meta
+                    .upload_fidelity_metadata(&request.job_name, *target, &request.qasm)?;
             }
             SelectionStrategy::Topology(edges) => {
                 let topology_circuit = qrio_meta::topology_circuit(request.num_qubits, edges)?;
-                self.meta.upload_topology_metadata(&request.job_name, topology_circuit);
+                self.meta
+                    .upload_topology_metadata(&request.job_name, topology_circuit);
             }
         }
 
@@ -115,7 +118,9 @@ impl Qrio {
         // 3. Scheduler: filter + rank via the meta server, bind to the winner.
         let filters = framework::default_filters();
         let ranking = MetaRankingPlugin::new(&self.meta);
-        let decision = self.cluster.schedule_job(&request.job_name, &filters, &ranking)?;
+        let decision = self
+            .cluster
+            .schedule_job(&request.job_name, &filters, &ranking)?;
 
         // 4. Node executor: run the container on the chosen device.
         self.cluster.run_job(&request.job_name, &self.runner)?;
@@ -159,12 +164,19 @@ mod tests {
 
     fn small_qrio() -> Qrio {
         let mut qrio = Qrio::with_config(
-            FidelityRankingConfig { shots: 128, seed: 5, shortfall_weight: 100.0 },
+            FidelityRankingConfig {
+                shots: 128,
+                seed: 5,
+                shortfall_weight: 100.0,
+            },
             7,
         );
-        qrio.add_device(Backend::uniform("clean", topology::line(10), 0.001, 0.01)).unwrap();
-        qrio.add_device(Backend::uniform("mid", topology::ring(10), 0.02, 0.15)).unwrap();
-        qrio.add_device(Backend::uniform("noisy", topology::line(10), 0.05, 0.4)).unwrap();
+        qrio.add_device(Backend::uniform("clean", topology::line(10), 0.001, 0.01))
+            .unwrap();
+        qrio.add_device(Backend::uniform("mid", topology::ring(10), 0.02, 0.15))
+            .unwrap();
+        qrio.add_device(Backend::uniform("noisy", topology::line(10), 0.05, 0.4))
+            .unwrap();
         qrio
     }
 
@@ -183,7 +195,10 @@ mod tests {
         assert_eq!(outcome.decision.node, "clean");
         assert!(outcome.achieved_fidelity.unwrap() > 0.8);
         assert!(!outcome.counts.is_empty());
-        assert!(matches!(qrio.cluster().job("bv-e2e").unwrap().phase(), JobPhase::Succeeded { .. }));
+        assert!(matches!(
+            qrio.cluster().job("bv-e2e").unwrap().phase(),
+            JobPhase::Succeeded { .. }
+        ));
         assert!(!qrio.job_logs("bv-e2e").unwrap().is_empty());
         assert!(qrio.job_logs("missing").is_err());
     }
@@ -191,12 +206,24 @@ mod tests {
     #[test]
     fn topology_job_end_to_end_picks_matching_device() {
         let mut qrio = Qrio::with_config(
-            FidelityRankingConfig { shots: 64, seed: 3, shortfall_weight: 100.0 },
+            FidelityRankingConfig {
+                shots: 64,
+                seed: 3,
+                shortfall_weight: 100.0,
+            },
             9,
         );
-        qrio.add_device(Backend::uniform("ring-dev", topology::ring(10), 0.01, 0.05)).unwrap();
-        qrio.add_device(Backend::uniform("tree-dev", topology::binary_tree(10), 0.01, 0.05)).unwrap();
-        qrio.add_device(Backend::uniform("line-dev", topology::line(10), 0.01, 0.05)).unwrap();
+        qrio.add_device(Backend::uniform("ring-dev", topology::ring(10), 0.01, 0.05))
+            .unwrap();
+        qrio.add_device(Backend::uniform(
+            "tree-dev",
+            topology::binary_tree(10),
+            0.01,
+            0.05,
+        ))
+        .unwrap();
+        qrio.add_device(Backend::uniform("line-dev", topology::line(10), 0.01, 0.05))
+            .unwrap();
 
         let mut designer = TopologyDesigner::new(10);
         for (a, b) in topology::binary_tree(10).edges() {
@@ -227,7 +254,12 @@ mod tests {
             .build()
             .unwrap();
         assert!(qrio.submit(&request).is_err());
-        assert!(qrio.cluster().job("impossible").unwrap().phase().is_terminal());
+        assert!(qrio
+            .cluster()
+            .job("impossible")
+            .unwrap()
+            .phase()
+            .is_terminal());
     }
 
     #[test]

@@ -35,7 +35,12 @@ impl Default for SimJobRunner {
 }
 
 impl JobRunner for SimJobRunner {
-    fn run(&self, spec: &JobSpec, image: &ImageBundle, backend: &Backend) -> Result<ExecutionOutcome, String> {
+    fn run(
+        &self,
+        spec: &JobSpec,
+        image: &ImageBundle,
+        backend: &Backend,
+    ) -> Result<ExecutionOutcome, String> {
         let mut logs = Vec::new();
         // 1. Read the circuit from the container image (fall back to the spec
         //    payload, which the master server also includes).
@@ -43,9 +48,16 @@ impl JobRunner for SimJobRunner {
             .file(CIRCUIT_FILE)
             .map(str::to_string)
             .filter(|text| !text.is_empty())
-            .or_else(|| if spec.qasm.is_empty() { None } else { Some(spec.qasm.clone()) })
+            .or_else(|| {
+                if spec.qasm.is_empty() {
+                    None
+                } else {
+                    Some(spec.qasm.clone())
+                }
+            })
             .ok_or_else(|| format!("image '{}' contains no circuit", image.name()))?;
-        let circuit = qasm::parse_qasm(&qasm_text).map_err(|e| format!("cannot parse circuit: {e}"))?;
+        let circuit =
+            qasm::parse_qasm(&qasm_text).map_err(|e| format!("cannot parse circuit: {e}"))?;
         let mut circuit = circuit;
         if circuit.measurement_count() == 0 {
             circuit.measure_all().map_err(|e| e.to_string())?;
@@ -58,7 +70,8 @@ impl JobRunner for SimJobRunner {
         ));
 
         // 2. Transpile to the node's backend.
-        let transpiled = transpile(&circuit, backend).map_err(|e| format!("transpilation failed: {e}"))?;
+        let transpiled =
+            transpile(&circuit, backend).map_err(|e| format!("transpilation failed: {e}"))?;
         logs.push(format!(
             "transpiled to backend '{}': {} swaps inserted, depth {}",
             backend.name(),
@@ -67,7 +80,8 @@ impl JobRunner for SimJobRunner {
         ));
 
         // 3. Execute under the backend noise model (deflated to active qubits).
-        let deflated = deflate(&transpiled.circuit, backend).map_err(|e| format!("deflation failed: {e}"))?;
+        let deflated =
+            deflate(&transpiled.circuit, backend).map_err(|e| format!("deflation failed: {e}"))?;
         let noise = NoiseModel::from_backend(&deflated.backend);
         let seed = self.seed ^ fnv(&spec.name) ^ fnv(backend.name());
         let noisy = executor::run_with_noise(&deflated.circuit, &noise, spec.shots, seed)
@@ -76,14 +90,26 @@ impl JobRunner for SimJobRunner {
         let fidelity = executor::run_ideal(&deflated.circuit, spec.shots, seed.wrapping_add(1))
             .ok()
             .map(|ideal| ideal.hellinger_fidelity(&noisy));
-        logs.push(format!("executed {} shots on '{}'", spec.shots, backend.name()));
+        logs.push(format!(
+            "executed {} shots on '{}'",
+            spec.shots,
+            backend.name()
+        ));
         if let Some(f) = fidelity {
-            logs.push(format!("achieved fidelity {f:.4} against the noise-free reference"));
+            logs.push(format!(
+                "achieved fidelity {f:.4} against the noise-free reference"
+            ));
         }
 
-        let counts: Vec<(String, u64)> =
-            noisy.iter().map(|(outcome, count)| (noisy.bitstring(outcome), count)).collect();
-        Ok(ExecutionOutcome { counts, fidelity, logs })
+        let counts: Vec<(String, u64)> = noisy
+            .iter()
+            .map(|(outcome, count)| (noisy.bitstring(outcome), count))
+            .collect();
+        Ok(ExecutionOutcome {
+            counts,
+            fidelity,
+            logs,
+        })
     }
 }
 
@@ -151,11 +177,15 @@ mod tests {
         spec.qasm.clear();
         let empty_image = ImageBundle::new("empty");
         let backend = Backend::uniform("dev", topology::line(5), 0.0, 0.0);
-        assert!(SimJobRunner::new(0).run(&spec, &empty_image, &backend).is_err());
+        assert!(SimJobRunner::new(0)
+            .run(&spec, &empty_image, &backend)
+            .is_err());
 
         let mut bad_image = ImageBundle::new("bad");
         bad_image.add_file(CIRCUIT_FILE, "garbage $");
-        assert!(SimJobRunner::new(0).run(&spec, &bad_image, &backend).is_err());
+        assert!(SimJobRunner::new(0)
+            .run(&spec, &bad_image, &backend)
+            .is_err());
     }
 
     #[test]

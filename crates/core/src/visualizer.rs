@@ -23,13 +23,19 @@ pub struct TopologyDesigner {
 impl TopologyDesigner {
     /// A canvas with `num_qubits` qubits and no edges.
     pub fn new(num_qubits: usize) -> Self {
-        TopologyDesigner { num_qubits, edges: Vec::new() }
+        TopologyDesigner {
+            num_qubits,
+            edges: Vec::new(),
+        }
     }
 
     /// Pre-populate the canvas with one of the default topologies offered by
     /// the visualizer (grid, line, ring, heavy-square, fully-connected).
     pub fn from_default(default: qrio_backend::DefaultTopology) -> Self {
-        TopologyDesigner { num_qubits: default.num_qubits(), edges: default.edges() }
+        TopologyDesigner {
+            num_qubits: default.num_qubits(),
+            edges: default.edges(),
+        }
     }
 
     /// Draw an edge between two qubits.
@@ -39,7 +45,9 @@ impl TopologyDesigner {
     /// Returns an error for self-loops or out-of-range qubits.
     pub fn connect(&mut self, a: usize, b: usize) -> Result<&mut Self, QrioError> {
         if a == b {
-            return Err(QrioError::InvalidRequest(format!("cannot connect qubit {a} to itself")));
+            return Err(QrioError::InvalidRequest(format!(
+                "cannot connect qubit {a} to itself"
+            )));
         }
         if a >= self.num_qubits || b >= self.num_qubits {
             return Err(QrioError::InvalidRequest(format!(
@@ -72,7 +80,9 @@ impl TopologyDesigner {
     /// Returns an error if the canvas is empty.
     pub fn to_topology_circuit(&self) -> Result<Circuit, QrioError> {
         if self.num_qubits == 0 {
-            return Err(QrioError::InvalidRequest("the topology canvas has no qubits".into()));
+            return Err(QrioError::InvalidRequest(
+                "the topology canvas has no qubits".into(),
+            ));
         }
         Ok(library::topology_circuit(self.num_qubits, &self.edges)?)
     }
@@ -115,7 +125,11 @@ pub struct JobRequestBuilder {
 impl JobRequestBuilder {
     /// Start an empty form.
     pub fn new() -> Self {
-        JobRequestBuilder { shots: 1024, resources: Resources::new(500, 512), ..Default::default() }
+        JobRequestBuilder {
+            shots: 1024,
+            resources: Resources::new(500, 512),
+            ..Default::default()
+        }
     }
 
     /// Step 0: choose the circuit as a QASM file. The qubit count is inferred
@@ -202,14 +216,17 @@ impl JobRequestBuilder {
     /// Returns an error if a mandatory field is missing or inconsistent
     /// (no circuit for a fidelity job, fidelity outside `[0, 1]`, ...).
     pub fn build(self) -> Result<JobRequest, QrioError> {
-        let job_name =
-            self.job_name.ok_or_else(|| QrioError::InvalidRequest("job name is required".into()))?;
-        let strategy = self
-            .strategy
-            .ok_or_else(|| QrioError::InvalidRequest("choose a fidelity or topology strategy".into()))?;
+        let job_name = self
+            .job_name
+            .ok_or_else(|| QrioError::InvalidRequest("job name is required".into()))?;
+        let strategy = self.strategy.ok_or_else(|| {
+            QrioError::InvalidRequest("choose a fidelity or topology strategy".into())
+        })?;
         if let SelectionStrategy::Fidelity(f) = strategy {
             if !(0.0..=1.0).contains(&f) {
-                return Err(QrioError::InvalidRequest(format!("fidelity {f} must be between 0 and 1")));
+                return Err(QrioError::InvalidRequest(format!(
+                    "fidelity {f} must be between 0 and 1"
+                )));
             }
         }
         let qasm = match (&strategy, self.qasm) {
@@ -225,9 +242,13 @@ impl JobRequestBuilder {
             .num_qubits
             .ok_or_else(|| QrioError::InvalidRequest("number of qubits is required".into()))?;
         if num_qubits == 0 {
-            return Err(QrioError::InvalidRequest("number of qubits must be at least 1".into()));
+            return Err(QrioError::InvalidRequest(
+                "number of qubits must be at least 1".into(),
+            ));
         }
-        let image_name = self.image_name.unwrap_or_else(|| format!("qrio/{job_name}:latest"));
+        let image_name = self
+            .image_name
+            .unwrap_or_else(|| format!("qrio/{job_name}:latest"));
         if self.shots == 0 {
             return Err(QrioError::InvalidRequest("shots must be at least 1".into()));
         }
@@ -264,13 +285,21 @@ mod tests {
         assert_eq!(request.job_name, "bv-job");
         assert_eq!(request.num_qubits, 5);
         assert_eq!(request.image_name, "qrio/bv-job:latest");
-        assert!(matches!(request.strategy, SelectionStrategy::Fidelity(f) if (f - 0.92).abs() < 1e-12));
+        assert!(
+            matches!(request.strategy, SelectionStrategy::Fidelity(f) if (f - 0.92).abs() < 1e-12)
+        );
     }
 
     #[test]
     fn topology_request_from_designer() {
         let mut designer = TopologyDesigner::new(4);
-        designer.connect(0, 1).unwrap().connect(1, 2).unwrap().connect(2, 3).unwrap();
+        designer
+            .connect(0, 1)
+            .unwrap()
+            .connect(1, 2)
+            .unwrap()
+            .connect(2, 3)
+            .unwrap();
         assert_eq!(designer.edges().len(), 3);
         let topo = designer.to_topology_circuit().unwrap();
         assert_eq!(topo.two_qubit_gate_count(), 3);
@@ -312,9 +341,18 @@ mod tests {
             .build()
             .is_err());
         // Missing name.
-        assert!(JobRequestBuilder::new().with_circuit(&bv).fidelity_target(0.9).build().is_err());
+        assert!(JobRequestBuilder::new()
+            .with_circuit(&bv)
+            .fidelity_target(0.9)
+            .build()
+            .is_err());
         // Fidelity without circuit.
-        assert!(JobRequestBuilder::new().job_name("x").num_qubits(3).fidelity_target(0.9).build().is_err());
+        assert!(JobRequestBuilder::new()
+            .job_name("x")
+            .num_qubits(3)
+            .fidelity_target(0.9)
+            .build()
+            .is_err());
         // Out-of-range fidelity.
         assert!(JobRequestBuilder::new()
             .with_circuit(&bv)
@@ -331,6 +369,8 @@ mod tests {
             .build()
             .is_err());
         // Bad QASM.
-        assert!(JobRequestBuilder::new().with_qasm("this is not qasm $").is_err());
+        assert!(JobRequestBuilder::new()
+            .with_qasm("this is not qasm $")
+            .is_err());
     }
 }

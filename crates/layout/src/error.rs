@@ -30,14 +30,29 @@ pub enum LayoutError {
 impl fmt::Display for LayoutError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            LayoutError::LayoutTooShort { layout_len, circuit_qubits } => {
-                write!(f, "layout of length {layout_len} cannot place a {circuit_qubits}-qubit circuit")
+            LayoutError::LayoutTooShort {
+                layout_len,
+                circuit_qubits,
+            } => {
+                write!(
+                    f,
+                    "layout of length {layout_len} cannot place a {circuit_qubits}-qubit circuit"
+                )
             }
-            LayoutError::PhysicalOutOfRange { physical, device_qubits } => {
-                write!(f, "physical qubit {physical} out of range for a {device_qubits}-qubit device")
+            LayoutError::PhysicalOutOfRange {
+                physical,
+                device_qubits,
+            } => {
+                write!(
+                    f,
+                    "physical qubit {physical} out of range for a {device_qubits}-qubit device"
+                )
             }
             LayoutError::NoEmbedding { device } => {
-                write!(f, "no embedding of the requested topology exists on device '{device}'")
+                write!(
+                    f,
+                    "no embedding of the requested topology exists on device '{device}'"
+                )
             }
         }
     }
@@ -51,7 +66,9 @@ mod tests {
 
     #[test]
     fn display() {
-        let e = LayoutError::NoEmbedding { device: "dev".into() };
+        let e = LayoutError::NoEmbedding {
+            device: "dev".into(),
+        };
         assert!(e.to_string().contains("dev"));
         fn assert_err<E: std::error::Error + Send + Sync>() {}
         assert_err::<LayoutError>();

@@ -46,13 +46,17 @@ pub fn best_layouts(
     max_layouts: usize,
 ) -> Result<Vec<ScoredLayout>, LayoutError> {
     if circuit.num_qubits() > backend.num_qubits() {
-        return Err(LayoutError::NoEmbedding { device: backend.name().to_string() });
+        return Err(LayoutError::NoEmbedding {
+            device: backend.name().to_string(),
+        });
     }
     let pattern = PatternGraph::new(circuit.num_qubits(), &circuit.interaction_graph());
     let options = SearchOptions::default();
     let embeddings = find_embeddings(&pattern, backend.coupling_map(), options);
     if embeddings.is_empty() {
-        return Err(LayoutError::NoEmbedding { device: backend.name().to_string() });
+        return Err(LayoutError::NoEmbedding {
+            device: backend.name().to_string(),
+        });
     }
     let mut scored = Vec::with_capacity(embeddings.len());
     for embedding in &embeddings {
@@ -60,7 +64,11 @@ pub fn best_layouts(
         let score = score_layout(circuit, backend, &layout)?;
         scored.push(ScoredLayout { layout, score });
     }
-    scored.sort_by(|a, b| a.score.partial_cmp(&b.score).unwrap_or(std::cmp::Ordering::Equal));
+    scored.sort_by(|a, b| {
+        a.score
+            .partial_cmp(&b.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     scored.truncate(max_layouts.max(1));
     Ok(scored)
 }
@@ -71,20 +79,35 @@ pub fn best_layouts(
 ///
 /// Returns [`LayoutError::NoEmbedding`] when the device cannot host the
 /// circuit's interaction graph.
-pub fn evaluate_device(circuit: &Circuit, backend: &Backend) -> Result<DeviceEvaluation, LayoutError> {
+pub fn evaluate_device(
+    circuit: &Circuit,
+    backend: &Backend,
+) -> Result<DeviceEvaluation, LayoutError> {
     let layouts = best_layouts(circuit, backend, 8)?;
     let examined = layouts.len();
-    let best = layouts.into_iter().next().expect("best_layouts returns at least one layout");
-    Ok(DeviceEvaluation { device: backend.name().to_string(), best, embeddings_examined: examined })
+    let best = layouts
+        .into_iter()
+        .next()
+        .expect("best_layouts returns at least one layout");
+    Ok(DeviceEvaluation {
+        device: backend.name().to_string(),
+        best,
+        embeddings_examined: examined,
+    })
 }
 
 /// Evaluate a circuit across many devices, returning successful evaluations
 /// ranked by score (lowest first). Devices with no embedding are skipped.
 pub fn rank_devices(circuit: &Circuit, backends: &[Backend]) -> Vec<DeviceEvaluation> {
-    let mut evaluations: Vec<DeviceEvaluation> =
-        backends.iter().filter_map(|b| evaluate_device(circuit, b).ok()).collect();
+    let mut evaluations: Vec<DeviceEvaluation> = backends
+        .iter()
+        .filter_map(|b| evaluate_device(circuit, b).ok())
+        .collect();
     evaluations.sort_by(|a, b| {
-        a.best.score.partial_cmp(&b.best.score).unwrap_or(std::cmp::Ordering::Equal)
+        a.best
+            .score
+            .partial_cmp(&b.best.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
     evaluations
 }
@@ -110,7 +133,9 @@ fn complete_layout(embedding: &[usize], num_virtual: usize, backend: &Backend) -
     let mut free_iter = free.into_iter();
     for slot in layout.iter_mut() {
         if *slot == usize::MAX {
-            *slot = free_iter.next().expect("device has at least as many qubits as the circuit");
+            *slot = free_iter
+                .next()
+                .expect("device has at least as many qubits as the circuit");
         }
     }
     layout
@@ -163,7 +188,11 @@ mod tests {
             Backend::uniform("device-line", topology::line(10), 0.01, 0.05),
         ];
         let ranking = rank_devices(&request, &devices);
-        assert_eq!(ranking.len(), 1, "only the tree device embeds the tree request");
+        assert_eq!(
+            ranking.len(),
+            1,
+            "only the tree device embeds the tree request"
+        );
         assert_eq!(ranking[0].device, "device-tree");
     }
 

@@ -23,7 +23,11 @@ use crate::error::LayoutError;
 ///
 /// Returns an error if the layout does not cover the circuit or maps outside
 /// the device.
-pub fn score_layout(circuit: &Circuit, backend: &Backend, layout: &[usize]) -> Result<f64, LayoutError> {
+pub fn score_layout(
+    circuit: &Circuit,
+    backend: &Backend,
+    layout: &[usize],
+) -> Result<f64, LayoutError> {
     if layout.len() < circuit.num_qubits() {
         return Err(LayoutError::LayoutTooShort {
             layout_len: layout.len(),
@@ -32,7 +36,10 @@ pub fn score_layout(circuit: &Circuit, backend: &Backend, layout: &[usize]) -> R
     }
     for &p in layout.iter().take(circuit.num_qubits()) {
         if p >= backend.num_qubits() {
-            return Err(LayoutError::PhysicalOutOfRange { physical: p, device_qubits: backend.num_qubits() });
+            return Err(LayoutError::PhysicalOutOfRange {
+                physical: p,
+                device_qubits: backend.num_qubits(),
+            });
         }
     }
     let mut success: f64 = 1.0;
@@ -52,7 +59,11 @@ pub fn score_layout(circuit: &Circuit, backend: &Backend, layout: &[usize]) -> R
             Gate::CCX => {
                 // Three-qubit gates decompose into 6 CX; approximate with the
                 // product of the three pairwise errors.
-                let (a, b, c) = (layout[inst.qubits[0]], layout[inst.qubits[1]], layout[inst.qubits[2]]);
+                let (a, b, c) = (
+                    layout[inst.qubits[0]],
+                    layout[inst.qubits[1]],
+                    layout[inst.qubits[2]],
+                );
                 success *= 1.0 - backend.two_qubit_error_or_default(a, c);
                 success *= 1.0 - backend.two_qubit_error_or_default(b, c);
                 success *= 1.0 - backend.two_qubit_error_or_default(a, b);
@@ -74,7 +85,11 @@ pub fn score_layout(circuit: &Circuit, backend: &Backend, layout: &[usize]) -> R
 
 /// Score expressed on the 0–100 scale used by the QRIO meta server when it
 /// replies to the scheduler's ranking plugin.
-pub fn score_layout_percent(circuit: &Circuit, backend: &Backend, layout: &[usize]) -> Result<f64, LayoutError> {
+pub fn score_layout_percent(
+    circuit: &Circuit,
+    backend: &Backend,
+    layout: &[usize],
+) -> Result<f64, LayoutError> {
     Ok(score_layout(circuit, backend, layout)? * 100.0)
 }
 
@@ -126,7 +141,8 @@ mod tests {
     #[test]
     fn readout_counts_even_without_measurements() {
         let circuit = library::topology_circuit(2, &[(0, 1)]).unwrap();
-        let backend = Backend::uniform("line", topology::line(2), 0.0, 0.0).with_uniform_readout_error(0.1);
+        let backend =
+            Backend::uniform("line", topology::line(2), 0.0, 0.0).with_uniform_readout_error(0.1);
         let score = score_layout(&circuit, &backend, &[0, 1]).unwrap();
         assert!(score > 0.15, "readout error should contribute: {score}");
     }

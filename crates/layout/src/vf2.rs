@@ -35,7 +35,11 @@ impl PatternGraph {
             adjacency[a].push(b);
             adjacency[b].push(a);
         }
-        PatternGraph { num_vertices, edges: cleaned, adjacency }
+        PatternGraph {
+            num_vertices,
+            edges: cleaned,
+            adjacency,
+        }
     }
 
     /// Number of pattern vertices.
@@ -66,7 +70,10 @@ pub struct SearchOptions {
 
 impl Default for SearchOptions {
     fn default() -> Self {
-        SearchOptions { max_results: 256, max_nodes: 200_000 }
+        SearchOptions {
+            max_results: 256,
+            max_nodes: 200_000,
+        }
     }
 }
 
@@ -132,7 +139,10 @@ fn search(
     let v = order[depth];
     // Candidates: if v has an already-mapped neighbor, restrict to the device
     // neighborhood of one such neighbor; otherwise any unused device qubit.
-    let mapped_neighbor = pattern_neighbors(pattern, v).iter().copied().find(|&n| mapping[n] != usize::MAX);
+    let mapped_neighbor = pattern_neighbors(pattern, v)
+        .iter()
+        .copied()
+        .find(|&n| mapping[n] != usize::MAX);
     let candidates: Vec<usize> = match mapped_neighbor {
         Some(n) => device.neighbors(mapping[n]).to_vec(),
         None => (0..device.num_qubits()).collect(),
@@ -158,7 +168,17 @@ fn search(
         }
         mapping[v] = candidate;
         used[candidate] = true;
-        search(pattern, device, order, depth + 1, mapping, used, results, options, nodes);
+        search(
+            pattern,
+            device,
+            order,
+            depth + 1,
+            mapping,
+            used,
+            results,
+            options,
+            nodes,
+        );
         mapping[v] = usize::MAX;
         used[candidate] = false;
         if results.len() >= options.max_results {
@@ -225,7 +245,10 @@ mod tests {
     fn result_limit_is_respected() {
         let pattern = PatternGraph::new(2, &[(0, 1)]);
         let device = topology::fully_connected(10);
-        let options = SearchOptions { max_results: 5, max_nodes: 100_000 };
+        let options = SearchOptions {
+            max_results: 5,
+            max_nodes: 100_000,
+        };
         let embeddings = find_embeddings(&pattern, &device, options);
         assert_eq!(embeddings.len(), 5);
     }
@@ -234,7 +257,10 @@ mod tests {
     fn node_budget_terminates_search_on_dense_devices() {
         let pattern = PatternGraph::new(6, &topology::fully_connected(6).edges());
         let device = topology::fully_connected(40);
-        let options = SearchOptions { max_results: 10_000, max_nodes: 5_000 };
+        let options = SearchOptions {
+            max_results: 10_000,
+            max_nodes: 5_000,
+        };
         // Must terminate quickly; correctness of partial enumeration is fine.
         let embeddings = find_embeddings(&pattern, &device, options);
         assert!(embeddings.len() <= 10_000);

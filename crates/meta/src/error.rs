@@ -75,7 +75,9 @@ mod tests {
     fn conversions_and_display() {
         let e: MetaError = CircuitError::DuplicateQubit { qubit: 2 }.into();
         assert!(e.to_string().contains("circuit error"));
-        assert!(MetaError::UnknownDevice("d".into()).to_string().contains('d'));
+        assert!(MetaError::UnknownDevice("d".into())
+            .to_string()
+            .contains('d'));
         fn assert_err<E: std::error::Error + Send + Sync>() {}
         assert_err::<MetaError>();
     }

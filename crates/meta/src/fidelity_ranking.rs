@@ -31,7 +31,11 @@ pub struct FidelityRankingConfig {
 
 impl Default for FidelityRankingConfig {
     fn default() -> Self {
-        FidelityRankingConfig { shots: 256, seed: 0x0C0FFEE, shortfall_weight: 100.0 }
+        FidelityRankingConfig {
+            shots: 256,
+            seed: 0x0C0FFEE,
+            shortfall_weight: 100.0,
+        }
     }
 }
 
@@ -79,7 +83,9 @@ pub fn evaluate_fidelity(
         device: backend.name().to_string(),
         canary_fidelity,
         score,
-        swaps_inserted: transpile(&ensure_measured(circuit), backend).map(|r| r.swaps_inserted).unwrap_or(0),
+        swaps_inserted: transpile(&ensure_measured(circuit), backend)
+            .map(|r| r.swaps_inserted)
+            .unwrap_or(0),
     })
 }
 
@@ -107,7 +113,12 @@ pub fn canary_fidelity_on_backend(
     let seed = config.seed ^ stable_hash(backend.name());
     let ideal = executor::run_ideal(&deflated.circuit, config.shots, seed)?;
     let noise = NoiseModel::from_backend(&deflated.backend);
-    let noisy = executor::run_with_noise(&deflated.circuit, &noise, config.shots, seed.wrapping_add(1))?;
+    let noisy = executor::run_with_noise(
+        &deflated.circuit,
+        &noise,
+        config.shots,
+        seed.wrapping_add(1),
+    )?;
     Ok(ideal.hellinger_fidelity(&noisy))
 }
 
@@ -140,7 +151,11 @@ mod tests {
     use qrio_circuit::library;
 
     fn config() -> FidelityRankingConfig {
-        FidelityRankingConfig { shots: 128, seed: 7, shortfall_weight: 100.0 }
+        FidelityRankingConfig {
+            shots: 128,
+            seed: 7,
+            shortfall_weight: 100.0,
+        }
     }
 
     #[test]
@@ -172,7 +187,10 @@ mod tests {
         let noisy = Backend::uniform("noisy", topology::line(6), 0.05, 0.3);
         let strict = evaluate_fidelity(&circuit, 1.0, &noisy, &config()).unwrap();
         let lax = evaluate_fidelity(&circuit, 0.0, &noisy, &config()).unwrap();
-        assert!(strict.score > lax.score, "higher targets must penalise shortfalls harder");
+        assert!(
+            strict.score > lax.score,
+            "higher targets must penalise shortfalls harder"
+        );
         assert!((strict.canary_fidelity - lax.canary_fidelity).abs() < 1e-9);
     }
 

@@ -44,6 +44,8 @@ mod server;
 pub mod topology_ranking;
 
 pub use error::MetaError;
-pub use fidelity_ranking::{canary_fidelity_on_backend, evaluate_fidelity, FidelityEvaluation, FidelityRankingConfig};
+pub use fidelity_ranking::{
+    canary_fidelity_on_backend, evaluate_fidelity, FidelityEvaluation, FidelityRankingConfig,
+};
 pub use server::{JobMetadata, MetaServer, ScoreResponse};
 pub use topology_ranking::{evaluate_topology, topology_circuit, TopologyEvaluation};

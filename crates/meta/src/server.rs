@@ -76,7 +76,10 @@ impl MetaServer {
 
     /// An empty meta server with a custom fidelity-ranking configuration.
     pub fn with_config(fidelity_config: FidelityRankingConfig) -> Self {
-        MetaServer { fidelity_config, ..MetaServer::default() }
+        MetaServer {
+            fidelity_config,
+            ..MetaServer::default()
+        }
     }
 
     /// The fidelity-ranking configuration in use.
@@ -134,16 +137,24 @@ impl MetaServer {
         qasm_text: &str,
     ) -> Result<(), MetaError> {
         if !(0.0..=1.0).contains(&target) {
-            return Err(MetaError::InvalidMetadata(format!("fidelity {target} outside [0, 1]")));
+            return Err(MetaError::InvalidMetadata(format!(
+                "fidelity {target} outside [0, 1]"
+            )));
         }
         let circuit = qasm::parse_qasm(qasm_text)?;
-        self.jobs.insert(job_name.into(), JobMetadata::Fidelity { target, circuit });
+        self.jobs
+            .insert(job_name.into(), JobMetadata::Fidelity { target, circuit });
         Ok(())
     }
 
     /// Upload topology-workflow metadata: the user-drawn topology circuit.
-    pub fn upload_topology_metadata(&mut self, job_name: impl Into<String>, topology_circuit: Circuit) {
-        self.jobs.insert(job_name.into(), JobMetadata::Topology { topology_circuit });
+    pub fn upload_topology_metadata(
+        &mut self,
+        job_name: impl Into<String>,
+        topology_circuit: Circuit,
+    ) {
+        self.jobs
+            .insert(job_name.into(), JobMetadata::Topology { topology_circuit });
     }
 
     /// The metadata stored for a job, if any.
@@ -162,13 +173,18 @@ impl MetaServer {
     /// Returns an error for unknown jobs or devices, or when the underlying
     /// strategy fails.
     pub fn score(&self, job_name: &str, device: &str) -> Result<ScoreResponse, MetaError> {
-        let metadata =
-            self.jobs.get(job_name).ok_or_else(|| MetaError::UnknownJob(job_name.to_string()))?;
-        let backend =
-            self.backends.get(device).ok_or_else(|| MetaError::UnknownDevice(device.to_string()))?;
+        let metadata = self
+            .jobs
+            .get(job_name)
+            .ok_or_else(|| MetaError::UnknownJob(job_name.to_string()))?;
+        let backend = self
+            .backends
+            .get(device)
+            .ok_or_else(|| MetaError::UnknownDevice(device.to_string()))?;
         match metadata {
             JobMetadata::Fidelity { target, circuit } => {
-                let evaluation = evaluate_fidelity(circuit, *target, backend, &self.fidelity_config)?;
+                let evaluation =
+                    evaluate_fidelity(circuit, *target, backend, &self.fidelity_config)?;
                 Ok(ScoreResponse::Fidelity(evaluation))
             }
             JobMetadata::Topology { topology_circuit } => {
@@ -194,7 +210,11 @@ impl MetaServer {
             .keys()
             .filter_map(|device| self.score(job_name, device).ok())
             .collect();
-        responses.sort_by(|a, b| a.score().partial_cmp(&b.score()).unwrap_or(std::cmp::Ordering::Equal));
+        responses.sort_by(|a, b| {
+            a.score()
+                .partial_cmp(&b.score())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         Ok(responses)
     }
 }
@@ -213,7 +233,12 @@ mod tests {
         });
         server.register_backend(Backend::uniform("clean", topology::line(8), 0.0, 0.0));
         server.register_backend(Backend::uniform("noisy", topology::line(8), 0.05, 0.3));
-        server.register_backend(Backend::uniform("tree", topology::binary_tree(8), 0.01, 0.05));
+        server.register_backend(Backend::uniform(
+            "tree",
+            topology::binary_tree(8),
+            0.01,
+            0.05,
+        ));
         server
     }
 
@@ -224,7 +249,12 @@ mod tests {
         assert!(server.backend("clean").is_some());
         assert!(server.backend("missing").is_none());
         // Spec-based registration (the vendor path).
-        let text = spec::to_spec(&Backend::uniform("from-spec", topology::ring(4), 0.01, 0.02));
+        let text = spec::to_spec(&Backend::uniform(
+            "from-spec",
+            topology::ring(4),
+            0.01,
+            0.02,
+        ));
         server.register_backend_spec(&text).unwrap();
         assert!(server.backend("from-spec").is_some());
         assert!(server.register_backend_spec("garbage").is_err());
@@ -237,7 +267,10 @@ mod tests {
         server
             .upload_fidelity_metadata("bv-job", 0.95, &qrio_circuit::qasm::to_qasm(&bv))
             .unwrap();
-        assert!(matches!(server.job_metadata("bv-job"), Some(JobMetadata::Fidelity { .. })));
+        assert!(matches!(
+            server.job_metadata("bv-job"),
+            Some(JobMetadata::Fidelity { .. })
+        ));
         let clean = server.score("bv-job", "clean").unwrap();
         let noisy = server.score("bv-job", "noisy").unwrap();
         assert!(clean.score() < noisy.score());
@@ -252,7 +285,12 @@ mod tests {
         // Fig. 9 style: devices differ only in topology, so the device whose
         // coupling map matches the requested tree must win.
         let mut server = MetaServer::new();
-        server.register_backend(Backend::uniform("eq-tree", topology::binary_tree(8), 0.01, 0.05));
+        server.register_backend(Backend::uniform(
+            "eq-tree",
+            topology::binary_tree(8),
+            0.01,
+            0.05,
+        ));
         server.register_backend(Backend::uniform("eq-ring", topology::ring(8), 0.01, 0.05));
         server.register_backend(Backend::uniform("eq-line", topology::line(8), 0.01, 0.05));
         let request = library::topology_circuit(8, &topology::binary_tree(8).edges()).unwrap();
@@ -268,11 +306,19 @@ mod tests {
     #[test]
     fn unknown_job_and_device_errors() {
         let mut server = server_with_devices();
-        assert!(matches!(server.score("nope", "clean"), Err(MetaError::UnknownJob(_))));
+        assert!(matches!(
+            server.score("nope", "clean"),
+            Err(MetaError::UnknownJob(_))
+        ));
         assert!(server.score_all("nope").is_err());
         let bv = library::bernstein_vazirani(3, 0b101).unwrap();
-        server.upload_fidelity_metadata("j", 0.9, &qrio_circuit::qasm::to_qasm(&bv)).unwrap();
-        assert!(matches!(server.score("j", "missing"), Err(MetaError::UnknownDevice(_))));
+        server
+            .upload_fidelity_metadata("j", 0.9, &qrio_circuit::qasm::to_qasm(&bv))
+            .unwrap();
+        assert!(matches!(
+            server.score("j", "missing"),
+            Err(MetaError::UnknownDevice(_))
+        ));
     }
 
     #[test]
@@ -281,7 +327,9 @@ mod tests {
         let bv = library::bernstein_vazirani(3, 0b1).unwrap();
         let text = qrio_circuit::qasm::to_qasm(&bv);
         assert!(server.upload_fidelity_metadata("bad", 1.5, &text).is_err());
-        assert!(server.upload_fidelity_metadata("bad", 0.9, "not qasm at all $$").is_err());
+        assert!(server
+            .upload_fidelity_metadata("bad", 0.9, "not qasm at all $$")
+            .is_err());
     }
 
     #[test]
@@ -289,7 +337,9 @@ mod tests {
         let mut server = server_with_devices();
         server.register_backend(Backend::uniform("tiny", topology::line(2), 0.0, 0.0));
         let ghz = library::ghz(6).unwrap();
-        server.upload_fidelity_metadata("ghz-job", 0.9, &qrio_circuit::qasm::to_qasm(&ghz)).unwrap();
+        server
+            .upload_fidelity_metadata("ghz-job", 0.9, &qrio_circuit::qasm::to_qasm(&ghz))
+            .unwrap();
         let ranked = server.score_all("ghz-job").unwrap();
         assert!(ranked.iter().all(|r| r.device() != "tiny"));
         assert!(!ranked.is_empty());

@@ -22,7 +22,9 @@ pub struct RandomScheduler {
 impl RandomScheduler {
     /// A random scheduler seeded for reproducibility.
     pub fn new(seed: u64) -> Self {
-        RandomScheduler { rng: StdRng::seed_from_u64(seed) }
+        RandomScheduler {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Pick one device name uniformly at random.
@@ -115,7 +117,10 @@ impl OracleOutcome {
 
     /// The fidelity achieved on a specific device, if it was evaluated.
     pub fn fidelity_on(&self, device: &str) -> Option<f64> {
-        self.entries.iter().find(|e| e.device == device).map(|e| e.fidelity)
+        self.entries
+            .iter()
+            .find(|e| e.device == device)
+            .map(|e| e.fidelity)
     }
 }
 
@@ -137,17 +142,28 @@ pub fn oracle_select(
     let mut entries = Vec::new();
     for backend in fleet {
         match achieved_fidelity(circuit, backend, shots, seed) {
-            Ok(fidelity) => entries.push(OracleEntry { device: backend.name().to_string(), fidelity }),
+            Ok(fidelity) => entries.push(OracleEntry {
+                device: backend.name().to_string(),
+                fidelity,
+            }),
             Err(SchedulerError::Transpiler(_)) | Err(SchedulerError::Simulator(_)) => continue,
             Err(other) => return Err(other),
         }
     }
     let best = entries
         .iter()
-        .max_by(|a, b| a.fidelity.partial_cmp(&b.fidelity).unwrap_or(std::cmp::Ordering::Equal))
+        .max_by(|a, b| {
+            a.fidelity
+                .partial_cmp(&b.fidelity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
         .cloned()
         .ok_or(SchedulerError::EmptyFleet)?;
-    Ok(OracleOutcome { best_device: best.device, best_fidelity: best.fidelity, entries })
+    Ok(OracleOutcome {
+        best_device: best.device,
+        best_fidelity: best.fidelity,
+        entries,
+    })
 }
 
 #[cfg(test)]
@@ -190,7 +206,10 @@ mod tests {
         let fleet = fleet();
         let f_clean = achieved_fidelity(&circuit, &fleet[0], 256, 3).unwrap();
         let f_noisy = achieved_fidelity(&circuit, &fleet[2], 256, 3).unwrap();
-        assert!(f_clean > 0.9, "clean device should achieve high fidelity: {f_clean}");
+        assert!(
+            f_clean > 0.9,
+            "clean device should achieve high fidelity: {f_clean}"
+        );
         assert!(f_clean > f_noisy);
     }
 
@@ -219,7 +238,10 @@ mod tests {
     #[test]
     fn oracle_on_empty_fleet_errors() {
         let circuit = library::ghz(3).unwrap();
-        assert!(matches!(oracle_select(&circuit, &[], 64, 0), Err(SchedulerError::EmptyFleet)));
+        assert!(matches!(
+            oracle_select(&circuit, &[], 64, 0),
+            Err(SchedulerError::EmptyFleet)
+        ));
     }
 
     #[test]
@@ -228,10 +250,22 @@ mod tests {
             best_device: "a".into(),
             best_fidelity: 0.9,
             entries: vec![
-                OracleEntry { device: "a".into(), fidelity: 0.9 },
-                OracleEntry { device: "b".into(), fidelity: 0.5 },
-                OracleEntry { device: "c".into(), fidelity: 0.1 },
-                OracleEntry { device: "d".into(), fidelity: 0.3 },
+                OracleEntry {
+                    device: "a".into(),
+                    fidelity: 0.9,
+                },
+                OracleEntry {
+                    device: "b".into(),
+                    fidelity: 0.5,
+                },
+                OracleEntry {
+                    device: "c".into(),
+                    fidelity: 0.1,
+                },
+                OracleEntry {
+                    device: "d".into(),
+                    fidelity: 0.3,
+                },
             ],
         };
         assert!((outcome.average_fidelity() - 0.45).abs() < 1e-12);

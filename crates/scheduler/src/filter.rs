@@ -25,7 +25,10 @@ impl FilterReport {
 
 /// Filter `fleet` by the user's device requirements, returning references to
 /// the surviving backends.
-pub fn filter_backends<'a>(fleet: &'a [Backend], requirements: &DeviceRequirements) -> Vec<&'a Backend> {
+pub fn filter_backends<'a>(
+    fleet: &'a [Backend],
+    requirements: &DeviceRequirements,
+) -> Vec<&'a Backend> {
     fleet
         .iter()
         .filter(|backend| {
@@ -37,7 +40,10 @@ pub fn filter_backends<'a>(fleet: &'a [Backend], requirements: &DeviceRequiremen
 
 /// Filter `fleet` and report which devices were rejected and why (useful for
 /// the Fig. 10 experiment and for user-facing diagnostics).
-pub fn filter_backends_report(fleet: &[Backend], requirements: &DeviceRequirements) -> FilterReport {
+pub fn filter_backends_report(
+    fleet: &[Backend],
+    requirements: &DeviceRequirements,
+) -> FilterReport {
     let mut accepted = Vec::new();
     let mut rejected = Vec::new();
     for backend in fleet {
@@ -53,7 +59,10 @@ pub fn filter_backends_report(fleet: &[Backend], requirements: &DeviceRequiremen
 fn rejection_reason(requirements: &DeviceRequirements, labels: &NodeLabels) -> Option<String> {
     if let Some(min_qubits) = requirements.min_qubits {
         if labels.num_qubits < min_qubits {
-            return Some(format!("{} qubits < required {min_qubits}", labels.num_qubits));
+            return Some(format!(
+                "{} qubits < required {min_qubits}",
+                labels.num_qubits
+            ));
         }
     }
     if let Some(max_err) = requirements.max_two_qubit_error {
@@ -66,17 +75,26 @@ fn rejection_reason(requirements: &DeviceRequirements, labels: &NodeLabels) -> O
     }
     if let Some(max_ro) = requirements.max_readout_error {
         if labels.avg_readout_error > max_ro {
-            return Some(format!("avg readout error {:.4} > allowed {max_ro:.4}", labels.avg_readout_error));
+            return Some(format!(
+                "avg readout error {:.4} > allowed {max_ro:.4}",
+                labels.avg_readout_error
+            ));
         }
     }
     if let Some(min_t1) = requirements.min_t1_us {
         if labels.avg_t1_us < min_t1 {
-            return Some(format!("avg T1 {:.0}us < required {min_t1:.0}us", labels.avg_t1_us));
+            return Some(format!(
+                "avg T1 {:.0}us < required {min_t1:.0}us",
+                labels.avg_t1_us
+            ));
         }
     }
     if let Some(min_t2) = requirements.min_t2_us {
         if labels.avg_t2_us < min_t2 {
-            return Some(format!("avg T2 {:.0}us < required {min_t2:.0}us", labels.avg_t2_us));
+            return Some(format!(
+                "avg T2 {:.0}us < required {min_t2:.0}us",
+                labels.avg_t2_us
+            ));
         }
     }
     None
@@ -99,7 +117,9 @@ pub fn two_qubit_error_sweep(fleet: &[Backend], thresholds: &[f64]) -> Vec<(f64,
 
 /// The ten thresholds the paper sweeps in Fig. 10 (0.07 → 0.68).
 pub fn paper_fig10_thresholds() -> Vec<f64> {
-    vec![0.07, 0.147, 0.214, 0.280, 0.347, 0.414, 0.480, 0.547, 0.613, 0.680]
+    vec![
+        0.07, 0.147, 0.214, 0.280, 0.347, 0.414, 0.480, 0.547, 0.613, 0.680,
+    ]
 }
 
 #[cfg(test)]
@@ -118,7 +138,10 @@ mod tests {
     #[test]
     fn filtering_on_two_qubit_error() {
         let fleet = mixed_fleet();
-        let req = DeviceRequirements { max_two_qubit_error: Some(0.4), ..DeviceRequirements::default() };
+        let req = DeviceRequirements {
+            max_two_qubit_error: Some(0.4),
+            ..DeviceRequirements::default()
+        };
         let survivors = filter_backends(&fleet, &req);
         let names: Vec<&str> = survivors.iter().map(|b| b.name()).collect();
         assert_eq!(names, vec!["low-err", "mid-err"]);
@@ -127,9 +150,15 @@ mod tests {
     #[test]
     fn filtering_on_qubit_count_and_t1() {
         let fleet = mixed_fleet();
-        let req = DeviceRequirements { min_qubits: Some(15), ..DeviceRequirements::default() };
+        let req = DeviceRequirements {
+            min_qubits: Some(15),
+            ..DeviceRequirements::default()
+        };
         assert_eq!(filter_backends(&fleet, &req).len(), 2);
-        let req = DeviceRequirements { min_t1_us: Some(1e9), ..DeviceRequirements::default() };
+        let req = DeviceRequirements {
+            min_t1_us: Some(1e9),
+            ..DeviceRequirements::default()
+        };
         assert!(filter_backends(&fleet, &req).is_empty());
     }
 
@@ -144,7 +173,10 @@ mod tests {
         let report = filter_backends_report(&fleet, &req);
         assert_eq!(report.accepted_count(), 0);
         assert_eq!(report.rejected.len(), 3);
-        assert!(report.rejected.iter().any(|(name, reason)| name == "low-err" && reason.contains("qubits")));
+        assert!(report
+            .rejected
+            .iter()
+            .any(|(name, reason)| name == "low-err" && reason.contains("qubits")));
         assert!(report
             .rejected
             .iter()
@@ -157,7 +189,10 @@ mod tests {
         let sweep = two_qubit_error_sweep(&fleet, &paper_fig10_thresholds());
         assert_eq!(sweep.len(), 10);
         for window in sweep.windows(2) {
-            assert!(window[0].1 <= window[1].1, "filter count must grow with the threshold");
+            assert!(
+                window[0].1 <= window[1].1,
+                "filter count must grow with the threshold"
+            );
         }
         // The loosest threshold admits (nearly) the whole fleet; the paper
         // reports all 100 devices at 0.68.
@@ -169,6 +204,9 @@ mod tests {
     #[test]
     fn no_requirements_accepts_everything() {
         let fleet = mixed_fleet();
-        assert_eq!(filter_backends(&fleet, &DeviceRequirements::none()).len(), 3);
+        assert_eq!(
+            filter_backends(&fleet, &DeviceRequirements::none()).len(),
+            3
+        );
     }
 }

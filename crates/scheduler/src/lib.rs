@@ -52,7 +52,12 @@ mod error;
 pub mod filter;
 mod qrio_scheduler;
 
-pub use baselines::{achieved_fidelity, oracle_select, OracleEntry, OracleOutcome, RandomScheduler};
+pub use baselines::{
+    achieved_fidelity, oracle_select, OracleEntry, OracleOutcome, RandomScheduler,
+};
 pub use error::SchedulerError;
-pub use filter::{filter_backends, filter_backends_report, paper_fig10_thresholds, two_qubit_error_sweep, FilterReport};
+pub use filter::{
+    filter_backends, filter_backends_report, paper_fig10_thresholds, two_qubit_error_sweep,
+    FilterReport,
+};
 pub use qrio_scheduler::{MetaRankingPlugin, QrioScheduler, SchedulerDecision};

@@ -71,13 +71,17 @@ impl<'a> QrioScheduler<'a> {
         // Surface missing-metadata errors immediately rather than as an empty
         // ranking.
         if self.meta.job_metadata(job_name).is_none() {
-            return Err(SchedulerError::Meta(qrio_meta::MetaError::UnknownJob(job_name.to_string())));
+            return Err(SchedulerError::Meta(qrio_meta::MetaError::UnknownJob(
+                job_name.to_string(),
+            )));
         }
 
         // Stage 1: filtering.
         let shortlisted = filter_backends(fleet, requirements);
         if shortlisted.is_empty() {
-            return Err(SchedulerError::NoDeviceAfterFiltering { job: job_name.to_string() });
+            return Err(SchedulerError::NoDeviceAfterFiltering {
+                job: job_name.to_string(),
+            });
         }
 
         // Stage 2: ranking via the meta server.
@@ -98,7 +102,9 @@ impl<'a> QrioScheduler<'a> {
             }
         }
         if ranked.is_empty() {
-            return Err(SchedulerError::NoDeviceCouldBeScored { job: job_name.to_string() });
+            return Err(SchedulerError::NoDeviceCouldBeScored {
+                job: job_name.to_string(),
+            });
         }
         ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
         let (device, score) = ranked[0].clone();
@@ -171,9 +177,12 @@ mod tests {
         let fleet = fleet();
         let mut meta = meta_with_fleet(&fleet);
         let bv = library::bernstein_vazirani(6, 0b110101).unwrap();
-        meta.upload_fidelity_metadata("bv-job", 0.95, &qasm::to_qasm(&bv)).unwrap();
+        meta.upload_fidelity_metadata("bv-job", 0.95, &qasm::to_qasm(&bv))
+            .unwrap();
         let scheduler = QrioScheduler::new(&meta);
-        let decision = scheduler.select_device("bv-job", &fleet, &DeviceRequirements::none()).unwrap();
+        let decision = scheduler
+            .select_device("bv-job", &fleet, &DeviceRequirements::none())
+            .unwrap();
         assert_eq!(decision.device, "clean");
         assert_eq!(decision.shortlisted, 3);
         assert_eq!(decision.ranked.len(), 3);
@@ -185,16 +194,23 @@ mod tests {
         let fleet = fleet();
         let mut meta = meta_with_fleet(&fleet);
         let bv = library::bernstein_vazirani(4, 0b1010).unwrap();
-        meta.upload_fidelity_metadata("bv-job", 0.9, &qasm::to_qasm(&bv)).unwrap();
+        meta.upload_fidelity_metadata("bv-job", 0.9, &qasm::to_qasm(&bv))
+            .unwrap();
         let scheduler = QrioScheduler::new(&meta);
-        let requirements =
-            DeviceRequirements { max_two_qubit_error: Some(0.2), ..DeviceRequirements::default() };
-        let decision = scheduler.select_device("bv-job", &fleet, &requirements).unwrap();
+        let requirements = DeviceRequirements {
+            max_two_qubit_error: Some(0.2),
+            ..DeviceRequirements::default()
+        };
+        let decision = scheduler
+            .select_device("bv-job", &fleet, &requirements)
+            .unwrap();
         assert_eq!(decision.shortlisted, 2);
         assert_ne!(decision.device, "noisy");
         // Impossible requirements -> filtering error.
-        let impossible =
-            DeviceRequirements { max_two_qubit_error: Some(0.001), ..DeviceRequirements::default() };
+        let impossible = DeviceRequirements {
+            max_two_qubit_error: Some(0.001),
+            ..DeviceRequirements::default()
+        };
         assert!(matches!(
             scheduler.select_device("bv-job", &fleet, &impossible),
             Err(SchedulerError::NoDeviceAfterFiltering { .. })
@@ -212,7 +228,9 @@ mod tests {
         let request = library::topology_circuit(10, &topology::binary_tree(10).edges()).unwrap();
         meta.upload_topology_metadata("topo-job", request);
         let scheduler = QrioScheduler::new(&meta);
-        let decision = scheduler.select_device("topo-job", &fleet, &DeviceRequirements::none()).unwrap();
+        let decision = scheduler
+            .select_device("topo-job", &fleet, &DeviceRequirements::none())
+            .unwrap();
         assert_eq!(decision.device, "tree-dev");
     }
 
@@ -237,9 +255,12 @@ mod tests {
         fleet.push(Backend::uniform("tiny", topology::line(2), 0.0, 0.0));
         let mut meta = meta_with_fleet(&fleet);
         let ghz = library::ghz(8).unwrap();
-        meta.upload_fidelity_metadata("ghz-job", 0.9, &qasm::to_qasm(&ghz)).unwrap();
+        meta.upload_fidelity_metadata("ghz-job", 0.9, &qasm::to_qasm(&ghz))
+            .unwrap();
         let scheduler = QrioScheduler::new(&meta);
-        let decision = scheduler.select_device("ghz-job", &fleet, &DeviceRequirements::none()).unwrap();
+        let decision = scheduler
+            .select_device("ghz-job", &fleet, &DeviceRequirements::none())
+            .unwrap();
         assert!(decision.ranked.iter().all(|(name, _)| name != "tiny"));
     }
 
@@ -249,7 +270,8 @@ mod tests {
         let fleet = fleet();
         let mut meta = meta_with_fleet(&fleet);
         let bv = library::bernstein_vazirani(5, 0b10011).unwrap();
-        meta.upload_fidelity_metadata("bv-plugin", 0.9, &qasm::to_qasm(&bv)).unwrap();
+        meta.upload_fidelity_metadata("bv-plugin", 0.9, &qasm::to_qasm(&bv))
+            .unwrap();
         let plugin = MetaRankingPlugin::new(&meta);
         let spec = JobSpec {
             name: "bv-plugin".into(),

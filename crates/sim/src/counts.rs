@@ -32,7 +32,11 @@ pub struct Counts {
 impl Counts {
     /// An empty histogram over `num_bits` classical bits.
     pub fn new(num_bits: usize) -> Self {
-        Counts { num_bits, counts: BTreeMap::new(), total: 0 }
+        Counts {
+            num_bits,
+            counts: BTreeMap::new(),
+            total: 0,
+        }
     }
 
     /// Build a histogram from `(outcome, count)` pairs.
@@ -89,7 +93,10 @@ impl Counts {
 
     /// The outcome observed most often, if any.
     pub fn most_frequent(&self) -> Option<u64> {
-        self.counts.iter().max_by_key(|(_, &count)| count).map(|(&outcome, _)| outcome)
+        self.counts
+            .iter()
+            .max_by_key(|(_, &count)| count)
+            .map(|(&outcome, _)| outcome)
     }
 
     /// The full empirical probability distribution.
@@ -102,7 +109,10 @@ impl Counts {
 
     /// Render an outcome as a bitstring, most significant bit first.
     pub fn bitstring(&self, outcome: u64) -> String {
-        (0..self.num_bits.max(1)).rev().map(|b| if (outcome >> b) & 1 == 1 { '1' } else { '0' }).collect()
+        (0..self.num_bits.max(1))
+            .rev()
+            .map(|b| if (outcome >> b) & 1 == 1 { '1' } else { '0' })
+            .collect()
     }
 
     /// Hellinger fidelity between this distribution and `other`:

@@ -38,11 +38,17 @@ impl fmt::Display for SimulatorError {
                 write!(f, "{requested} qubits exceed the engine limit of {limit}")
             }
             SimulatorError::QubitOutOfRange { qubit, num_qubits } => {
-                write!(f, "qubit {qubit} out of range for {num_qubits}-qubit register")
+                write!(
+                    f,
+                    "qubit {qubit} out of range for {num_qubits}-qubit register"
+                )
             }
             SimulatorError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
             SimulatorError::NotClifford { gate } => {
-                write!(f, "gate '{gate}' is not Clifford; the stabilizer engine cannot simulate it")
+                write!(
+                    f,
+                    "gate '{gate}' is not Clifford; the stabilizer engine cannot simulate it"
+                )
             }
             SimulatorError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
         }
@@ -57,9 +63,14 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        let e = SimulatorError::TooManyQubits { requested: 40, limit: 24 };
+        let e = SimulatorError::TooManyQubits {
+            requested: 40,
+            limit: 24,
+        };
         assert!(e.to_string().contains("40"));
-        assert!(SimulatorError::NotClifford { gate: "t".into() }.to_string().contains("'t'"));
+        assert!(SimulatorError::NotClifford { gate: "t".into() }
+            .to_string()
+            .contains("'t'"));
     }
 
     #[test]

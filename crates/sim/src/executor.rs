@@ -58,7 +58,12 @@ pub fn select_engine(circuit: &Circuit) -> Result<Engine, SimulatorError> {
 /// Returns an error for unsupported circuits (non-Clifford beyond the
 /// statevector limit) or zero shots.
 pub fn run_ideal(circuit: &Circuit, shots: u64, seed: u64) -> Result<Counts, SimulatorError> {
-    run_with_noise(circuit, &NoiseModel::ideal(circuit.num_qubits()), shots, seed)
+    run_with_noise(
+        circuit,
+        &NoiseModel::ideal(circuit.num_qubits()),
+        shots,
+        seed,
+    )
 }
 
 /// Run a circuit with a noise model derived from `backend`.
@@ -91,7 +96,9 @@ pub fn run_with_noise(
     seed: u64,
 ) -> Result<Counts, SimulatorError> {
     if shots == 0 {
-        return Err(SimulatorError::InvalidParameter("shots must be >= 1".into()));
+        return Err(SimulatorError::InvalidParameter(
+            "shots must be >= 1".into(),
+        ));
     }
     let engine = select_engine(circuit)?;
     let num_bits = effective_num_bits(circuit);
@@ -330,7 +337,10 @@ mod tests {
         let f_noisy = fidelity_on_backend(&circuit, &noisy_backend, 512, 7).unwrap();
         let f_clean = fidelity_on_backend(&circuit, &clean_backend, 512, 7).unwrap();
         assert!(f_clean > 0.98, "clean fidelity was {f_clean}");
-        assert!(f_noisy < f_clean, "noise should reduce fidelity ({f_noisy} vs {f_clean})");
+        assert!(
+            f_noisy < f_clean,
+            "noise should reduce fidelity ({f_noisy} vs {f_clean})"
+        );
     }
 
     #[test]
@@ -350,7 +360,9 @@ mod tests {
         let clifford = library::repetition_code_encoder(4).unwrap();
         let counts_stab = run_ideal(&clifford, 4000, 11).unwrap();
 
-        let mut nonclifford = library::repetition_code_encoder(4).unwrap().without_measurements();
+        let mut nonclifford = library::repetition_code_encoder(4)
+            .unwrap()
+            .without_measurements();
         nonclifford.t(0).unwrap();
         nonclifford.tdg(0).unwrap();
         nonclifford.measure_all().unwrap();

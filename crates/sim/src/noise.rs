@@ -71,7 +71,9 @@ impl NoiseModel {
     /// Build a noise model from a backend's calibration data.
     pub fn from_backend(backend: &Backend) -> Self {
         let n = backend.num_qubits();
-        let single_qubit_error = (0..n).map(|q| backend.qubit(q).single_qubit_error).collect();
+        let single_qubit_error = (0..n)
+            .map(|q| backend.qubit(q).single_qubit_error)
+            .collect();
         let readout_error = (0..n).map(|q| backend.qubit(q).readout_error).collect();
         let two_qubit_error = backend
             .two_qubit_gates()
@@ -88,7 +90,12 @@ impl NoiseModel {
     }
 
     /// A uniform noise model (every qubit/edge identical), useful in tests.
-    pub fn uniform(num_qubits: usize, single_qubit_error: f64, two_qubit_error: f64, readout_error: f64) -> Self {
+    pub fn uniform(
+        num_qubits: usize,
+        single_qubit_error: f64,
+        two_qubit_error: f64,
+        readout_error: f64,
+    ) -> Self {
         NoiseModel {
             single_qubit_error: vec![single_qubit_error; num_qubits],
             readout_error: vec![readout_error; num_qubits],
@@ -121,7 +128,10 @@ impl NoiseModel {
     /// (e.g. when a not-yet-routed circuit is being scored).
     pub fn two_qubit_error(&self, a: usize, b: usize) -> f64 {
         let key = (a.min(b), a.max(b));
-        self.two_qubit_error.get(&key).copied().unwrap_or(self.default_two_qubit_error)
+        self.two_qubit_error
+            .get(&key)
+            .copied()
+            .unwrap_or(self.default_two_qubit_error)
     }
 
     /// Probability that the measurement of `q` is flipped.
@@ -189,7 +199,9 @@ mod tests {
         assert!(model.is_ideal());
         let mut rng = StdRng::seed_from_u64(0);
         for _ in 0..100 {
-            assert!(model.sample_gate_errors(&Gate::CX, &[0, 1], &mut rng).is_empty());
+            assert!(model
+                .sample_gate_errors(&Gate::CX, &[0, 1], &mut rng)
+                .is_empty());
             assert!(!model.flip_readout(0, false, &mut rng));
         }
     }
@@ -212,7 +224,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let mut faulted = 0;
         for _ in 0..200 {
-            if !model.sample_gate_errors(&Gate::CX, &[0, 1], &mut rng).is_empty() {
+            if !model
+                .sample_gate_errors(&Gate::CX, &[0, 1], &mut rng)
+                .is_empty()
+            {
                 faulted += 1;
             }
         }
@@ -231,7 +246,9 @@ mod tests {
     fn directives_never_fault() {
         let model = NoiseModel::uniform(2, 1.0, 1.0, 1.0);
         let mut rng = StdRng::seed_from_u64(3);
-        assert!(model.sample_gate_errors(&Gate::Barrier, &[0, 1], &mut rng).is_empty());
+        assert!(model
+            .sample_gate_errors(&Gate::Barrier, &[0, 1], &mut rng)
+            .is_empty());
     }
 
     #[test]

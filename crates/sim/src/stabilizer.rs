@@ -177,11 +177,16 @@ impl StabilizerSimulator {
     pub fn apply_gate(&mut self, gate: &Gate, qubits: &[usize]) -> Result<(), SimulatorError> {
         for &q in qubits {
             if q >= self.n {
-                return Err(SimulatorError::QubitOutOfRange { qubit: q, num_qubits: self.n });
+                return Err(SimulatorError::QubitOutOfRange {
+                    qubit: q,
+                    num_qubits: self.n,
+                });
             }
         }
         if !gate.is_clifford() {
-            return Err(SimulatorError::NotClifford { gate: gate.name().to_string() });
+            return Err(SimulatorError::NotClifford {
+                gate: gate.name().to_string(),
+            });
         }
         match *gate {
             Gate::I | Gate::Barrier => {}
@@ -247,10 +252,15 @@ impl StabilizerSimulator {
             }
             Gate::Measure | Gate::Reset => {
                 return Err(SimulatorError::Unsupported(
-                    "measure/reset must be handled by the executor, not applied as a unitary".into(),
+                    "measure/reset must be handled by the executor, not applied as a unitary"
+                        .into(),
                 ));
             }
-            ref g => return Err(SimulatorError::NotClifford { gate: g.name().to_string() }),
+            ref g => {
+                return Err(SimulatorError::NotClifford {
+                    gate: g.name().to_string(),
+                })
+            }
         }
         Ok(())
     }

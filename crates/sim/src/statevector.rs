@@ -40,7 +40,10 @@ impl StateVector {
         }
         let mut amplitudes = vec![Complex64::ZERO; 1usize << num_qubits];
         amplitudes[0] = Complex64::ONE;
-        Ok(StateVector { num_qubits, amplitudes })
+        Ok(StateVector {
+            num_qubits,
+            amplitudes,
+        })
     }
 
     /// Number of qubits.
@@ -159,7 +162,10 @@ impl StateVector {
     pub fn apply_gate(&mut self, gate: &Gate, qubits: &[usize]) -> Result<(), SimulatorError> {
         for &q in qubits {
             if q >= self.num_qubits {
-                return Err(SimulatorError::QubitOutOfRange { qubit: q, num_qubits: self.num_qubits });
+                return Err(SimulatorError::QubitOutOfRange {
+                    qubit: q,
+                    num_qubits: self.num_qubits,
+                });
             }
         }
         match *gate {
@@ -197,7 +203,10 @@ impl StateVector {
             )),
             ref g => {
                 let matrix = single_qubit_matrix(g).ok_or_else(|| {
-                    SimulatorError::Unsupported(format!("gate '{}' is not supported by the statevector engine", g.name()))
+                    SimulatorError::Unsupported(format!(
+                        "gate '{}' is not supported by the statevector engine",
+                        g.name()
+                    ))
                 })?;
                 self.apply_single(matrix, qubits[0]);
                 Ok(())
@@ -275,7 +284,11 @@ impl StateVector {
 
     /// L2 norm of the state (should stay ≈ 1).
     pub fn norm(&self) -> f64 {
-        self.amplitudes.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt()
+        self.amplitudes
+            .iter()
+            .map(|a| a.norm_sqr())
+            .sum::<f64>()
+            .sqrt()
     }
 }
 
@@ -285,15 +298,50 @@ pub fn single_qubit_matrix(gate: &Gate) -> Option<[[Complex64; 2]; 2]> {
     let m = |a: Complex64, b: Complex64, c: Complex64, d: Complex64| [[a, b], [c, d]];
     let re = Complex64::new;
     Some(match *gate {
-        Gate::I => m(Complex64::ONE, Complex64::ZERO, Complex64::ZERO, Complex64::ONE),
+        Gate::I => m(
+            Complex64::ONE,
+            Complex64::ZERO,
+            Complex64::ZERO,
+            Complex64::ONE,
+        ),
         Gate::X => pauli_x_matrix(),
-        Gate::Y => m(Complex64::ZERO, Complex64::new(0.0, -1.0), Complex64::I, Complex64::ZERO),
-        Gate::Z => m(Complex64::ONE, Complex64::ZERO, Complex64::ZERO, re(-1.0, 0.0)),
+        Gate::Y => m(
+            Complex64::ZERO,
+            Complex64::new(0.0, -1.0),
+            Complex64::I,
+            Complex64::ZERO,
+        ),
+        Gate::Z => m(
+            Complex64::ONE,
+            Complex64::ZERO,
+            Complex64::ZERO,
+            re(-1.0, 0.0),
+        ),
         Gate::H => m(re(h, 0.0), re(h, 0.0), re(h, 0.0), re(-h, 0.0)),
-        Gate::S => m(Complex64::ONE, Complex64::ZERO, Complex64::ZERO, Complex64::I),
-        Gate::Sdg => m(Complex64::ONE, Complex64::ZERO, Complex64::ZERO, Complex64::new(0.0, -1.0)),
-        Gate::T => m(Complex64::ONE, Complex64::ZERO, Complex64::ZERO, Complex64::cis(std::f64::consts::FRAC_PI_4)),
-        Gate::Tdg => m(Complex64::ONE, Complex64::ZERO, Complex64::ZERO, Complex64::cis(-std::f64::consts::FRAC_PI_4)),
+        Gate::S => m(
+            Complex64::ONE,
+            Complex64::ZERO,
+            Complex64::ZERO,
+            Complex64::I,
+        ),
+        Gate::Sdg => m(
+            Complex64::ONE,
+            Complex64::ZERO,
+            Complex64::ZERO,
+            Complex64::new(0.0, -1.0),
+        ),
+        Gate::T => m(
+            Complex64::ONE,
+            Complex64::ZERO,
+            Complex64::ZERO,
+            Complex64::cis(std::f64::consts::FRAC_PI_4),
+        ),
+        Gate::Tdg => m(
+            Complex64::ONE,
+            Complex64::ZERO,
+            Complex64::ZERO,
+            Complex64::cis(-std::f64::consts::FRAC_PI_4),
+        ),
         Gate::SX => m(
             Complex64::new(0.5, 0.5),
             Complex64::new(0.5, -0.5),
@@ -302,7 +350,12 @@ pub fn single_qubit_matrix(gate: &Gate) -> Option<[[Complex64; 2]; 2]> {
         ),
         Gate::RX(theta) => {
             let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
-            m(re(c, 0.0), Complex64::new(0.0, -s), Complex64::new(0.0, -s), re(c, 0.0))
+            m(
+                re(c, 0.0),
+                Complex64::new(0.0, -s),
+                Complex64::new(0.0, -s),
+                re(c, 0.0),
+            )
         }
         Gate::RY(theta) => {
             let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
@@ -314,7 +367,12 @@ pub fn single_qubit_matrix(gate: &Gate) -> Option<[[Complex64; 2]; 2]> {
             Complex64::ZERO,
             Complex64::cis(theta / 2.0),
         ),
-        Gate::U1(lambda) => m(Complex64::ONE, Complex64::ZERO, Complex64::ZERO, Complex64::cis(lambda)),
+        Gate::U1(lambda) => m(
+            Complex64::ONE,
+            Complex64::ZERO,
+            Complex64::ZERO,
+            Complex64::cis(lambda),
+        ),
         Gate::U2(phi, lambda) => u3_matrix(std::f64::consts::FRAC_PI_2, phi, lambda),
         Gate::U3(theta, phi, lambda) => u3_matrix(theta, phi, lambda),
         _ => return None,
@@ -326,12 +384,18 @@ pub fn u3_matrix(theta: f64, phi: f64, lambda: f64) -> [[Complex64; 2]; 2] {
     let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
     [
         [Complex64::new(c, 0.0), -Complex64::cis(lambda).scale(s)],
-        [Complex64::cis(phi).scale(s), Complex64::cis(phi + lambda).scale(c)],
+        [
+            Complex64::cis(phi).scale(s),
+            Complex64::cis(phi + lambda).scale(c),
+        ],
     ]
 }
 
 fn pauli_x_matrix() -> [[Complex64; 2]; 2] {
-    [[Complex64::ZERO, Complex64::ONE], [Complex64::ONE, Complex64::ZERO]]
+    [
+        [Complex64::ZERO, Complex64::ONE],
+        [Complex64::ONE, Complex64::ZERO],
+    ]
 }
 
 #[cfg(test)]
@@ -389,7 +453,9 @@ mod tests {
         sv.apply_gate(&Gate::X, &[1]).unwrap();
         sv.apply_gate(&Gate::CZ, &[0, 1]).unwrap();
         assert!((sv.probability(0b11) - 1.0).abs() < 1e-12);
-        assert!(sv.amplitude(0b11).approx_eq(Complex64::new(-1.0, 0.0), 1e-12));
+        assert!(sv
+            .amplitude(0b11)
+            .approx_eq(Complex64::new(-1.0, 0.0), 1e-12));
         // CY on |10> (control=qubit0 set) maps target through iY.
         let mut sv = StateVector::new(2).unwrap();
         sv.apply_gate(&Gate::X, &[0]).unwrap();
@@ -411,11 +477,16 @@ mod tests {
     fn u3_is_universal_1q() {
         // u3(pi, 0, pi) == X
         let mut sv = StateVector::new(1).unwrap();
-        sv.apply_gate(&Gate::U3(std::f64::consts::PI, 0.0, std::f64::consts::PI), &[0]).unwrap();
+        sv.apply_gate(
+            &Gate::U3(std::f64::consts::PI, 0.0, std::f64::consts::PI),
+            &[0],
+        )
+        .unwrap();
         assert!((sv.probability(1) - 1.0).abs() < 1e-9);
         // u2(0, pi) == H up to phase
         let mut sv = StateVector::new(1).unwrap();
-        sv.apply_gate(&Gate::U2(0.0, std::f64::consts::PI), &[0]).unwrap();
+        sv.apply_gate(&Gate::U2(0.0, std::f64::consts::PI), &[0])
+            .unwrap();
         assert!((sv.probability(0) - 0.5).abs() < 1e-9);
     }
 

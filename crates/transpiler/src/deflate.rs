@@ -37,7 +37,12 @@ pub fn deflate(circuit: &Circuit, backend: &Backend) -> Result<DeflatedCircuit, 
     if active.is_empty() {
         // Nothing to shrink: return a single-qubit placeholder device so the
         // result is still well-formed.
-        let sub = Backend::uniform(format!("{}-deflated", backend.name()), CouplingMap::new(1), 0.0, 0.0);
+        let sub = Backend::uniform(
+            format!("{}-deflated", backend.name()),
+            CouplingMap::new(1),
+            0.0,
+            0.0,
+        );
         return Ok(DeflatedCircuit {
             circuit: Circuit::with_name(circuit.name().to_string(), 1, circuit.num_clbits()),
             backend: sub,
@@ -75,7 +80,11 @@ pub fn deflate(circuit: &Circuit, backend: &Backend) -> Result<DeflatedCircuit, 
     )
     .map_err(|e| TranspilerError::UnusableDevice(e.to_string()))?;
 
-    Ok(DeflatedCircuit { circuit: deflated_circuit, backend: sub_backend, active_physical: active })
+    Ok(DeflatedCircuit {
+        circuit: deflated_circuit,
+        backend: sub_backend,
+        active_physical: active,
+    })
 }
 
 #[cfg(test)]
@@ -94,7 +103,10 @@ mod tests {
         assert_eq!(routed.circuit.num_qubits(), 30);
         let deflated = deflate(&routed.circuit, &backend).unwrap();
         assert!(deflated.circuit.num_qubits() <= 8);
-        assert_eq!(deflated.circuit.num_qubits(), deflated.active_physical.len());
+        assert_eq!(
+            deflated.circuit.num_qubits(),
+            deflated.active_physical.len()
+        );
         assert_eq!(deflated.backend.num_qubits(), deflated.circuit.num_qubits());
         // Semantics preserved: still a GHZ distribution.
         let counts = run_ideal(&deflated.circuit, 1024, 3).unwrap();
@@ -109,7 +121,11 @@ mod tests {
         let routed = transpile(&circuit, &backend).unwrap();
         let deflated = deflate(&routed.circuit, &backend).unwrap();
         for edge in deflated.backend.coupling_map().edges() {
-            let err = deflated.backend.two_qubit_gate(edge.0, edge.1).unwrap().error;
+            let err = deflated
+                .backend
+                .two_qubit_gate(edge.0, edge.1)
+                .unwrap()
+                .error;
             assert!((err - 0.07).abs() < 1e-12);
         }
         for q in 0..deflated.backend.num_qubits() {
@@ -134,7 +150,10 @@ mod tests {
         let deflated = deflate(&routed.circuit, &backend).unwrap();
         for inst in deflated.circuit.instructions() {
             if inst.is_two_qubit_gate() {
-                assert!(deflated.backend.coupling_map().has_edge(inst.qubits[0], inst.qubits[1]));
+                assert!(deflated
+                    .backend
+                    .coupling_map()
+                    .has_edge(inst.qubits[0], inst.qubits[1]));
             }
         }
     }

@@ -31,8 +31,14 @@ pub enum TranspilerError {
 impl fmt::Display for TranspilerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TranspilerError::CircuitTooLarge { required, available } => {
-                write!(f, "circuit needs {required} qubits but the device has only {available}")
+            TranspilerError::CircuitTooLarge {
+                required,
+                available,
+            } => {
+                write!(
+                    f,
+                    "circuit needs {required} qubits but the device has only {available}"
+                )
             }
             TranspilerError::UnusableDevice(msg) => write!(f, "unusable device: {msg}"),
             TranspilerError::TranslationFailed { gate } => {
@@ -65,7 +71,10 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let err = TranspilerError::CircuitTooLarge { required: 10, available: 5 };
+        let err = TranspilerError::CircuitTooLarge {
+            required: 10,
+            available: 5,
+        };
         assert!(err.to_string().contains("10"));
         let err: TranspilerError = CircuitError::DuplicateQubit { qubit: 1 }.into();
         assert!(std::error::Error::source(&err).is_some());

@@ -23,7 +23,10 @@ impl Layout {
     /// # Errors
     ///
     /// Returns an error if any physical index is out of range or repeated.
-    pub fn new(virtual_to_physical: Vec<usize>, num_physical: usize) -> Result<Self, TranspilerError> {
+    pub fn new(
+        virtual_to_physical: Vec<usize>,
+        num_physical: usize,
+    ) -> Result<Self, TranspilerError> {
         let mut seen = BTreeSet::new();
         for &p in &virtual_to_physical {
             if p >= num_physical {
@@ -37,7 +40,10 @@ impl Layout {
                 )));
             }
         }
-        Ok(Layout { virtual_to_physical, num_physical })
+        Ok(Layout {
+            virtual_to_physical,
+            num_physical,
+        })
     }
 
     /// The identity layout over `num_virtual` qubits.
@@ -102,7 +108,10 @@ pub fn select_layout(
     let needed = circuit.num_qubits();
     let available = backend.num_qubits();
     if needed > available {
-        return Err(TranspilerError::CircuitTooLarge { required: needed, available });
+        return Err(TranspilerError::CircuitTooLarge {
+            required: needed,
+            available,
+        });
     }
     match strategy {
         LayoutStrategy::Trivial => Layout::trivial(needed, available),
@@ -120,14 +129,11 @@ fn dense_layout(circuit: &Circuit, backend: &Backend) -> Result<Layout, Transpil
     // 1. Seed with the endpoint qubits of the lowest-error edge (or qubit 0).
     let mut region: Vec<usize> = Vec::with_capacity(needed);
     let mut in_region = vec![false; backend.num_qubits()];
-    let seed_edge = map
-        .edges()
-        .into_iter()
-        .min_by(|&(a1, b1), &(a2, b2)| {
-            let e1 = backend.two_qubit_error_or_default(a1, b1);
-            let e2 = backend.two_qubit_error_or_default(a2, b2);
-            e1.partial_cmp(&e2).unwrap_or(std::cmp::Ordering::Equal)
-        });
+    let seed_edge = map.edges().into_iter().min_by(|&(a1, b1), &(a2, b2)| {
+        let e1 = backend.two_qubit_error_or_default(a1, b1);
+        let e2 = backend.two_qubit_error_or_default(a2, b2);
+        e1.partial_cmp(&e2).unwrap_or(std::cmp::Ordering::Equal)
+    });
     match seed_edge {
         Some((a, b)) => {
             region.push(a);
@@ -152,7 +158,11 @@ fn dense_layout(circuit: &Circuit, backend: &Backend) -> Result<Layout, Transpil
                 if in_region[candidate] {
                     continue;
                 }
-                let links = map.neighbors(candidate).iter().filter(|&&n| in_region[n]).count();
+                let links = map
+                    .neighbors(candidate)
+                    .iter()
+                    .filter(|&&n| in_region[n])
+                    .count();
                 let err: f64 = map
                     .neighbors(candidate)
                     .iter()
@@ -184,7 +194,10 @@ fn dense_layout(circuit: &Circuit, backend: &Backend) -> Result<Layout, Transpil
         }
     }
     if region.len() < needed {
-        return Err(TranspilerError::CircuitTooLarge { required: needed, available: region.len() });
+        return Err(TranspilerError::CircuitTooLarge {
+            required: needed,
+            available: region.len(),
+        });
     }
 
     // 3. Assign interaction-heavy virtual qubits to well-connected physical
@@ -267,11 +280,23 @@ mod tests {
         let map = topology::line(4);
         let mut gates = std::collections::BTreeMap::new();
         for (edge, err) in [((0usize, 1usize), 0.5), ((1, 2), 0.4), ((2, 3), 0.01)] {
-            gates.insert(edge, qrio_backend::TwoQubitGateProperties { error: err, duration_ns: 300.0 });
+            gates.insert(
+                edge,
+                qrio_backend::TwoQubitGateProperties {
+                    error: err,
+                    duration_ns: 300.0,
+                },
+            );
         }
         let props = vec![qrio_backend::QubitProperties::default(); 4];
-        let backend =
-            Backend::new("biased", map, props, gates, qrio_backend::BasisGates::ibm_default()).unwrap();
+        let backend = Backend::new(
+            "biased",
+            map,
+            props,
+            gates,
+            qrio_backend::BasisGates::ibm_default(),
+        )
+        .unwrap();
         let mut bell = Circuit::new(2, 2);
         bell.h(0).unwrap();
         bell.cx(0, 1).unwrap();

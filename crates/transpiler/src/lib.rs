@@ -50,4 +50,4 @@ pub use error::TranspilerError;
 pub use layout::{select_layout, Layout, LayoutStrategy};
 pub use pipeline::{transpile, transpile_with_options, TranspileOptions, TranspileResult};
 pub use routing::{route, RoutedCircuit, RoutingStrategy};
-pub use translation::translate_to_basis;
+pub use translation::{translate_to_basis, unroll_multi_qubit_gates};

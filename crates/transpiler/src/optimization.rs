@@ -35,11 +35,18 @@ pub fn optimize(circuit: &Circuit) -> Result<Circuit, TranspilerError> {
 /// Fuse maximal runs of single-qubit unitaries on the same qubit into one
 /// `u3` gate (or `u1` when the run is diagonal).
 pub fn fuse_single_qubit_runs(circuit: &Circuit) -> Result<Circuit, TranspilerError> {
-    let mut out = Circuit::with_name(circuit.name().to_string(), circuit.num_qubits(), circuit.num_clbits());
+    let mut out = Circuit::with_name(
+        circuit.name().to_string(),
+        circuit.num_qubits(),
+        circuit.num_clbits(),
+    );
     // Pending accumulated unitary per qubit.
     let mut pending: Vec<Option<[[Complex64; 2]; 2]>> = vec![None; circuit.num_qubits().max(1)];
 
-    let flush = |out: &mut Circuit, pending: &mut Vec<Option<[[Complex64; 2]; 2]>>, q: usize| -> Result<(), TranspilerError> {
+    let flush = |out: &mut Circuit,
+                 pending: &mut Vec<Option<[[Complex64; 2]; 2]>>,
+                 q: usize|
+     -> Result<(), TranspilerError> {
         if let Some(matrix) = pending[q].take() {
             if let Some(gate) = matrix_to_gate(&matrix) {
                 out.append(gate, &[q])?;
@@ -76,7 +83,11 @@ pub fn fuse_single_qubit_runs(circuit: &Circuit) -> Result<Circuit, TranspilerEr
 
 /// Cancel immediately-adjacent identical CX gates (and adjacent SWAP pairs).
 pub fn cancel_adjacent_cx(circuit: &Circuit) -> Result<Circuit, TranspilerError> {
-    let mut out = Circuit::with_name(circuit.name().to_string(), circuit.num_qubits(), circuit.num_clbits());
+    let mut out = Circuit::with_name(
+        circuit.name().to_string(),
+        circuit.num_qubits(),
+        circuit.num_clbits(),
+    );
     let instructions = circuit.instructions();
     let mut skip = vec![false; instructions.len()];
     for i in 0..instructions.len() {
@@ -129,14 +140,20 @@ pub fn cancel_adjacent_cx(circuit: &Circuit) -> Result<Circuit, TranspilerError>
 
 /// Drop gates that are numerically the identity (zero-angle rotations).
 pub fn drop_identities(circuit: &Circuit) -> Result<Circuit, TranspilerError> {
-    let mut out = Circuit::with_name(circuit.name().to_string(), circuit.num_qubits(), circuit.num_clbits());
+    let mut out = Circuit::with_name(
+        circuit.name().to_string(),
+        circuit.num_qubits(),
+        circuit.num_clbits(),
+    );
     for inst in circuit.instructions() {
         let is_identity = match inst.gate {
             Gate::I => true,
             Gate::RZ(t) | Gate::RX(t) | Gate::RY(t) | Gate::U1(t) | Gate::CP(t) | Gate::CRZ(t) => {
                 t.abs() < ANGLE_EPSILON
             }
-            Gate::U3(t, p, l) => t.abs() < ANGLE_EPSILON && p.abs() < ANGLE_EPSILON && l.abs() < ANGLE_EPSILON,
+            Gate::U3(t, p, l) => {
+                t.abs() < ANGLE_EPSILON && p.abs() < ANGLE_EPSILON && l.abs() < ANGLE_EPSILON
+            }
             _ => false,
         };
         if !is_identity {
@@ -177,7 +194,11 @@ fn matrix_to_gate(matrix: &[[Complex64; 2]; 2]) -> Option<Gate> {
         }
         return Some(Gate::U1(normalized_angle(total)));
     }
-    Some(Gate::U3(theta, normalized_angle(phi), normalized_angle(lambda)))
+    Some(Gate::U3(
+        theta,
+        normalized_angle(phi),
+        normalized_angle(lambda),
+    ))
 }
 
 /// Extract `u3(θ, φ, λ)` angles (up to global phase) from a 2×2 unitary.
@@ -190,7 +211,11 @@ fn zyz_angles(matrix: &[[Complex64; 2]; 2]) -> (f64, f64, f64) {
     let theta = 2.0 * u10.abs().atan2(u00.abs());
     if u00.abs() > 1e-12 {
         let gamma = arg(u00);
-        let phi = if u10.abs() > 1e-12 { arg(u10) - gamma } else { 0.0 };
+        let phi = if u10.abs() > 1e-12 {
+            arg(u10) - gamma
+        } else {
+            0.0
+        };
         let lambda = if u11.abs() > 1e-12 {
             arg(u11) - gamma - phi
         } else if u01.abs() > 1e-12 {
@@ -228,7 +253,10 @@ mod tests {
         let a = run_ideal(original, 3000, 23).unwrap();
         let b = run_ideal(optimized, 3000, 23).unwrap();
         let fidelity = a.hellinger_fidelity(&b);
-        assert!(fidelity > 0.97, "optimization changed semantics: fidelity {fidelity}");
+        assert!(
+            fidelity > 0.97,
+            "optimization changed semantics: fidelity {fidelity}"
+        );
     }
 
     #[test]
@@ -241,7 +269,10 @@ mod tests {
         circuit.measure(0, 0).unwrap();
         let optimized = optimize(&circuit).unwrap();
         let unitary_count = optimized.len() - optimized.measurement_count();
-        assert_eq!(unitary_count, 1, "expected a single fused gate: {optimized}");
+        assert_eq!(
+            unitary_count, 1,
+            "expected a single fused gate: {optimized}"
+        );
         assert_equivalent(&circuit, &optimized);
     }
 
@@ -340,7 +371,10 @@ mod tests {
             let off_diag = product[0][1].abs() + product[1][0].abs();
             assert!(off_diag < 1e-6, "gate {gate:?}: off-diagonal {off_diag}");
             let phase_diff = (product[0][0] - product[1][1]).abs();
-            assert!(phase_diff < 1e-6, "gate {gate:?}: diagonal mismatch {phase_diff}");
+            assert!(
+                phase_diff < 1e-6,
+                "gate {gate:?}: diagonal mismatch {phase_diff}"
+            );
         }
     }
 }

@@ -13,7 +13,7 @@ use crate::error::TranspilerError;
 use crate::layout::{select_layout, Layout, LayoutStrategy};
 use crate::optimization::optimize;
 use crate::routing::{route, RoutingStrategy};
-use crate::translation::translate_to_basis;
+use crate::translation::{translate_to_basis, unroll_multi_qubit_gates};
 
 /// Options controlling the transpilation pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -54,7 +54,8 @@ impl TranspileResult {
                 }
                 qrio_circuit::Gate::Barrier | qrio_circuit::Gate::Reset => {}
                 ref gate if gate.is_two_qubit() => {
-                    success *= 1.0 - backend.two_qubit_error_or_default(inst.qubits[0], inst.qubits[1]);
+                    success *=
+                        1.0 - backend.two_qubit_error_or_default(inst.qubits[0], inst.qubits[1]);
                 }
                 _ => {
                     success *= 1.0 - backend.qubit(inst.qubits[0]).single_qubit_error;
@@ -86,10 +87,17 @@ pub fn transpile_with_options(
     backend: &Backend,
     options: TranspileOptions,
 ) -> Result<TranspileResult, TranspilerError> {
-    let initial_layout = select_layout(circuit, backend, options.layout)?;
-    let routed = route(circuit, backend, &initial_layout, options.routing)?;
+    // Reduce >2-qubit gates first: the router only guarantees adjacency for
+    // two-qubit gates, and layout should see the true interaction graph.
+    let unrolled = unroll_multi_qubit_gates(circuit)?;
+    let initial_layout = select_layout(&unrolled, backend, options.layout)?;
+    let routed = route(&unrolled, backend, &initial_layout, options.routing)?;
     let translated = translate_to_basis(&routed.circuit, backend.basis_gates())?;
-    let final_circuit = if options.skip_optimization { translated } else { optimize(&translated)? };
+    let final_circuit = if options.skip_optimization {
+        translated
+    } else {
+        optimize(&translated)?
+    };
     Ok(TranspileResult {
         circuit: final_circuit,
         initial_layout,
@@ -112,7 +120,9 @@ mod tests {
         let result = transpile(&circuit, &backend).unwrap();
         for inst in result.circuit.instructions() {
             if inst.is_two_qubit_gate() {
-                assert!(backend.coupling_map().has_edge(inst.qubits[0], inst.qubits[1]));
+                assert!(backend
+                    .coupling_map()
+                    .has_edge(inst.qubits[0], inst.qubits[1]));
             }
             if !inst.gate.is_directive() {
                 assert!(backend.basis_gates().contains(inst.gate.name()));
@@ -153,7 +163,10 @@ mod tests {
         let raw = transpile_with_options(
             &circuit,
             &backend,
-            TranspileOptions { skip_optimization: true, ..TranspileOptions::default() },
+            TranspileOptions {
+                skip_optimization: true,
+                ..TranspileOptions::default()
+            },
         )
         .unwrap();
         assert!(optimized.circuit.len() <= raw.circuit.len());

@@ -68,7 +68,9 @@ struct LiveMapping {
 
 impl LiveMapping {
     fn new(layout: &Layout) -> Self {
-        LiveMapping { virt_to_phys: layout.as_slice().to_vec() }
+        LiveMapping {
+            virt_to_phys: layout.as_slice().to_vec(),
+        }
     }
 
     fn phys(&self, v: usize) -> usize {
@@ -115,7 +117,11 @@ fn route_shortest_path(
 ) -> Result<RoutedCircuit, TranspilerError> {
     let map = backend.coupling_map();
     let mut mapping = LiveMapping::new(layout);
-    let mut out = Circuit::with_name(circuit.name().to_string(), backend.num_qubits(), circuit.num_clbits());
+    let mut out = Circuit::with_name(
+        circuit.name().to_string(),
+        backend.num_qubits(),
+        circuit.num_clbits(),
+    );
     let mut swaps = 0usize;
 
     for inst in circuit.instructions() {
@@ -138,7 +144,11 @@ fn route_shortest_path(
         }
         emit_instruction(&mut out, inst, &mapping)?;
     }
-    Ok(RoutedCircuit { circuit: out, swaps_inserted: swaps, final_mapping: mapping.virt_to_phys })
+    Ok(RoutedCircuit {
+        circuit: out,
+        swaps_inserted: swaps,
+        final_mapping: mapping.virt_to_phys,
+    })
 }
 
 /// Number of upcoming two-qubit gates included in the SABRE lookahead window.
@@ -157,7 +167,11 @@ fn route_sabre(
     let map = backend.coupling_map();
     let dist = map.distance_matrix();
     let mut mapping = LiveMapping::new(layout);
-    let mut out = Circuit::with_name(circuit.name().to_string(), backend.num_qubits(), circuit.num_clbits());
+    let mut out = Circuit::with_name(
+        circuit.name().to_string(),
+        backend.num_qubits(),
+        circuit.num_clbits(),
+    );
     let mut swaps = 0usize;
 
     // Remaining instructions in program order; we schedule greedily from the
@@ -205,10 +219,11 @@ fn route_sabre(
         };
 
         let current_front_cost = pair_cost(&front_pairs, (usize::MAX, usize::MAX), &dist);
-        let best = candidates
-            .iter()
-            .copied()
-            .min_by(|&c1, &c2| score(c1).partial_cmp(&score(c2)).unwrap_or(std::cmp::Ordering::Equal));
+        let best = candidates.iter().copied().min_by(|&c1, &c2| {
+            score(c1)
+                .partial_cmp(&score(c2))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
 
         stall += 1;
         if stall > SABRE_MAX_STALL || best.is_none() {
@@ -242,7 +257,11 @@ fn route_sabre(
         }
     }
 
-    Ok(RoutedCircuit { circuit: out, swaps_inserted: swaps, final_mapping: mapping.virt_to_phys })
+    Ok(RoutedCircuit {
+        circuit: out,
+        swaps_inserted: swaps,
+        final_mapping: mapping.virt_to_phys,
+    })
 }
 
 /// Physical-qubit pairs of the first `limit` blocked two-qubit gates.
@@ -298,7 +317,9 @@ mod tests {
         for inst in routed.circuit.instructions() {
             if inst.is_two_qubit_gate() {
                 assert!(
-                    backend.coupling_map().has_edge(inst.qubits[0], inst.qubits[1]),
+                    backend
+                        .coupling_map()
+                        .has_edge(inst.qubits[0], inst.qubits[1]),
                     "gate {:?} on uncoupled pair",
                     inst
                 );
@@ -308,7 +329,10 @@ mod tests {
         let original_cx = circuit.two_qubit_gate_count();
         let routed_cx = routed.circuit.two_qubit_gate_count();
         assert_eq!(routed_cx, original_cx + routed.swaps_inserted);
-        assert_eq!(routed.circuit.measurement_count(), circuit.measurement_count());
+        assert_eq!(
+            routed.circuit.measurement_count(),
+            circuit.measurement_count()
+        );
     }
 
     #[test]
@@ -356,7 +380,10 @@ mod tests {
             check_routed(&circuit, &backend, &routed);
             let counts = run_ideal(&routed.circuit, 2000, 3).unwrap();
             let fidelity = counts.hellinger_fidelity(&reference);
-            assert!(fidelity > 0.98, "{strategy:?} broke semantics: fidelity {fidelity}");
+            assert!(
+                fidelity > 0.98,
+                "{strategy:?} broke semantics: fidelity {fidelity}"
+            );
         }
     }
 

@@ -20,8 +20,15 @@ use crate::error::TranspilerError;
 ///
 /// Returns [`TranspilerError::TranslationFailed`] if a gate has no known
 /// decomposition into the requested basis.
-pub fn translate_to_basis(circuit: &Circuit, basis: &BasisGates) -> Result<Circuit, TranspilerError> {
-    let mut out = Circuit::with_name(circuit.name().to_string(), circuit.num_qubits(), circuit.num_clbits());
+pub fn translate_to_basis(
+    circuit: &Circuit,
+    basis: &BasisGates,
+) -> Result<Circuit, TranspilerError> {
+    let mut out = Circuit::with_name(
+        circuit.name().to_string(),
+        circuit.num_qubits(),
+        circuit.num_clbits(),
+    );
     for inst in circuit.instructions() {
         match inst.gate {
             Gate::Measure => out.measure(inst.qubits[0], inst.clbits[0])?,
@@ -38,6 +45,39 @@ pub fn translate_to_basis(circuit: &Circuit, basis: &BasisGates) -> Result<Circu
     Ok(out)
 }
 
+/// Unroll every gate acting on three or more qubits (currently [`Gate::CCX`])
+/// into one- and two-qubit gates, leaving everything else untouched.
+///
+/// This mirrors Qiskit's `Unroll3qOrMore` pass and must run before layout and
+/// routing: the router only guarantees adjacency for two-qubit gates, so any
+/// wider gate has to be reduced to the two-qubit level first or its
+/// decomposition would land on uncoupled pairs.
+///
+/// # Errors
+///
+/// Returns an error only if circuit reconstruction fails (qubit out of range),
+/// which cannot happen for circuits validated on construction.
+pub fn unroll_multi_qubit_gates(circuit: &Circuit) -> Result<Circuit, TranspilerError> {
+    let mut out = Circuit::with_name(
+        circuit.name().to_string(),
+        circuit.num_qubits(),
+        circuit.num_clbits(),
+    );
+    for inst in circuit.instructions() {
+        match inst.gate {
+            Gate::Measure => out.measure(inst.qubits[0], inst.clbits[0])?,
+            Gate::Barrier => out.barrier(&inst.qubits)?,
+            Gate::CCX => {
+                for step in ccx_unrolled(inst.qubits[0], inst.qubits[1], inst.qubits[2]) {
+                    out.append(step.gate, &step.qubits)?;
+                }
+            }
+            gate => out.append(gate, &inst.qubits)?,
+        }
+    }
+    Ok(out)
+}
+
 fn one(gate: Gate, q: usize) -> Instruction {
     Instruction::new(gate, vec![q])
 }
@@ -46,9 +86,38 @@ fn two(gate: Gate, a: usize, b: usize) -> Instruction {
     Instruction::new(gate, vec![a, b])
 }
 
+/// The standard 6-CX Toffoli decomposition over `{h, t, tdg, cx}` — the single
+/// source of truth for CCX, shared by [`unroll_multi_qubit_gates`] and
+/// [`translate_to_basis`].
+fn ccx_unrolled(a: usize, b: usize, c: usize) -> Vec<Instruction> {
+    vec![
+        one(Gate::H, c),
+        two(Gate::CX, b, c),
+        one(Gate::Tdg, c),
+        two(Gate::CX, a, c),
+        one(Gate::T, c),
+        two(Gate::CX, b, c),
+        one(Gate::Tdg, c),
+        two(Gate::CX, a, c),
+        one(Gate::T, b),
+        one(Gate::T, c),
+        one(Gate::H, c),
+        two(Gate::CX, a, b),
+        one(Gate::T, a),
+        one(Gate::Tdg, b),
+        two(Gate::CX, a, b),
+    ]
+}
+
 /// Decompose a single gate into basis instructions.
-fn decompose(gate: &Gate, qubits: &[usize], basis: &BasisGates) -> Result<Vec<Instruction>, TranspilerError> {
-    let unsupported = || TranspilerError::TranslationFailed { gate: gate.name().to_string() };
+fn decompose(
+    gate: &Gate,
+    qubits: &[usize],
+    basis: &BasisGates,
+) -> Result<Vec<Instruction>, TranspilerError> {
+    let unsupported = || TranspilerError::TranslationFailed {
+        gate: gate.name().to_string(),
+    };
     if !basis.contains("cx") || !basis.contains("u3") {
         // The built-in decompositions target the IBM basis of the paper.
         return Err(unsupported());
@@ -74,15 +143,27 @@ fn decompose(gate: &Gate, qubits: &[usize], basis: &BasisGates) -> Result<Vec<In
         Gate::CX => vec![two(Gate::CX, qubits[0], qubits[1])],
         Gate::CZ => {
             let (c, t) = (qubits[0], qubits[1]);
-            vec![one(Gate::U2(0.0, PI), t), two(Gate::CX, c, t), one(Gate::U2(0.0, PI), t)]
+            vec![
+                one(Gate::U2(0.0, PI), t),
+                two(Gate::CX, c, t),
+                one(Gate::U2(0.0, PI), t),
+            ]
         }
         Gate::CY => {
             let (c, t) = (qubits[0], qubits[1]);
-            vec![one(Gate::U1(-FRAC_PI_2), t), two(Gate::CX, c, t), one(Gate::U1(FRAC_PI_2), t)]
+            vec![
+                one(Gate::U1(-FRAC_PI_2), t),
+                two(Gate::CX, c, t),
+                one(Gate::U1(FRAC_PI_2), t),
+            ]
         }
         Gate::Swap => {
             let (a, b) = (qubits[0], qubits[1]);
-            vec![two(Gate::CX, a, b), two(Gate::CX, b, a), two(Gate::CX, a, b)]
+            vec![
+                two(Gate::CX, a, b),
+                two(Gate::CX, b, a),
+                two(Gate::CX, a, b),
+            ]
         }
         Gate::CP(lambda) => {
             let (c, t) = (qubits[0], qubits[1]);
@@ -104,25 +185,17 @@ fn decompose(gate: &Gate, qubits: &[usize], basis: &BasisGates) -> Result<Vec<In
             ]
         }
         Gate::CCX => {
-            // Standard 6-CX Toffoli decomposition.
-            let (a, b, c) = (qubits[0], qubits[1], qubits[2]);
-            vec![
-                one(Gate::U2(0.0, PI), c),
-                two(Gate::CX, b, c),
-                one(Gate::U1(-FRAC_PI_4), c),
-                two(Gate::CX, a, c),
-                one(Gate::U1(FRAC_PI_4), c),
-                two(Gate::CX, b, c),
-                one(Gate::U1(-FRAC_PI_4), c),
-                two(Gate::CX, a, c),
-                one(Gate::U1(FRAC_PI_4), b),
-                one(Gate::U1(FRAC_PI_4), c),
-                one(Gate::U2(0.0, PI), c),
-                two(Gate::CX, a, b),
-                one(Gate::U1(FRAC_PI_4), a),
-                one(Gate::U1(-FRAC_PI_4), b),
-                two(Gate::CX, a, b),
-            ]
+            // Delegate to the shared unrolled form, then translate each of its
+            // named gates (h/t/tdg) into the basis.
+            let mut steps = Vec::new();
+            for inst in ccx_unrolled(qubits[0], qubits[1], qubits[2]) {
+                if basis.contains(inst.gate.name()) {
+                    steps.push(inst);
+                } else {
+                    steps.extend(decompose(&inst.gate, &inst.qubits, basis)?);
+                }
+            }
+            steps
         }
         Gate::Measure | Gate::Reset | Gate::Barrier => vec![],
     };
@@ -145,7 +218,10 @@ mod tests {
         let a = run_ideal(original, 3000, 17).unwrap();
         let b = run_ideal(translated, 3000, 17).unwrap();
         let fidelity = a.hellinger_fidelity(&b);
-        assert!(fidelity > 0.97, "translation changed semantics: fidelity {fidelity}");
+        assert!(
+            fidelity > 0.97,
+            "translation changed semantics: fidelity {fidelity}"
+        );
     }
 
     #[test]
@@ -157,7 +233,11 @@ mod tests {
             if inst.gate.is_directive() {
                 continue;
             }
-            assert!(basis.contains(inst.gate.name()), "non-native gate {:?}", inst.gate);
+            assert!(
+                basis.contains(inst.gate.name()),
+                "non-native gate {:?}",
+                inst.gate
+            );
         }
     }
 
@@ -191,6 +271,24 @@ mod tests {
         assert_equivalent(&circuit, &translated);
         assert!(translated.count_ops().contains_key("cx"));
         assert!(!translated.count_ops().contains_key("ccx"));
+    }
+
+    #[test]
+    fn unroll_preserves_toffoli_semantics() {
+        let mut circuit = Circuit::new(3, 3);
+        circuit.x(0).unwrap();
+        circuit.x(1).unwrap();
+        circuit.ccx(0, 1, 2).unwrap();
+        circuit.ccx(1, 2, 0).unwrap();
+        circuit.h(1).unwrap();
+        circuit.measure_all().unwrap();
+        let unrolled = unroll_multi_qubit_gates(&circuit).unwrap();
+        assert!(unrolled
+            .instructions()
+            .iter()
+            .all(|inst| inst.qubits.len() <= 2));
+        assert!(!unrolled.count_ops().contains_key("ccx"));
+        assert_equivalent(&circuit, &unrolled);
     }
 
     #[test]

@@ -14,21 +14,41 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut qrio = Qrio::new();
 
     // Vendors describe devices as backend.spec files (the paper's backend.py).
-    let handwritten_spec =
-        spec::to_spec(&Backend::uniform("lab-device-a", topology::heavy_square(9), 0.01, 0.06));
+    let handwritten_spec = spec::to_spec(&Backend::uniform(
+        "lab-device-a",
+        topology::heavy_square(9),
+        0.01,
+        0.06,
+    ));
     println!("--- vendor backend.spec for lab-device-a ---\n{handwritten_spec}");
     let device_a = spec::from_spec(&handwritten_spec)?;
     qrio.add_device(device_a)?;
-    qrio.add_device(Backend::uniform("lab-device-b", topology::grid(3, 3), 0.02, 0.1))?;
-    qrio.add_device(Backend::uniform("lab-device-c", topology::ring(12), 0.03, 0.2))?;
+    qrio.add_device(Backend::uniform(
+        "lab-device-b",
+        topology::grid(3, 3),
+        0.02,
+        0.1,
+    ))?;
+    qrio.add_device(Backend::uniform(
+        "lab-device-c",
+        topology::ring(12),
+        0.03,
+        0.2,
+    ))?;
 
     // A node fails; Kubernetes-style self-healing restarts it.
-    qrio.cluster_mut().node_mut("lab-device-c").unwrap().mark_not_ready();
+    qrio.cluster_mut()
+        .node_mut("lab-device-c")
+        .unwrap()
+        .mark_not_ready();
     let healed = qrio.cluster_mut().heal_nodes();
     println!("healed nodes: {healed:?}");
 
     // Cordon a node for maintenance: the scheduler will skip it.
-    qrio.cluster_mut().node_mut("lab-device-b").unwrap().cordon();
+    qrio.cluster_mut()
+        .node_mut("lab-device-b")
+        .unwrap()
+        .cordon();
 
     // Submit a couple of jobs through the normal user path.
     for (i, n) in [4usize, 5].iter().enumerate() {
@@ -47,7 +67,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let meta = qrio.meta().clone();
     let ranking = MetaRankingPlugin::new(&meta);
     let runner = SimJobRunner::new(1);
-    let decisions = qrio.cluster_mut().process_queue(&filters, &ranking, &runner);
+    let decisions = qrio
+        .cluster_mut()
+        .process_queue(&filters, &ranking, &runner);
     println!("queue drained: {} additional jobs", decisions.len());
 
     // Event log: the audit trail of everything that happened.

@@ -13,7 +13,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fleet = generate_fleet(&FleetConfig::small(), 7)?;
     println!("fleet of {} simulated devices", fleet.len());
 
-    let config = ExperimentConfig { shots: 192, seed: 21, repetitions: 5 };
+    let config = ExperimentConfig {
+        shots: 192,
+        seed: 21,
+        repetitions: 5,
+    };
     println!(
         "{:<8} {:>8} {:>10} {:>8} {:>9} {:>8}   chosen device",
         "circuit", "oracle", "clifford", "random", "average", "median"
@@ -22,7 +26,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let row = fig7_for_circuit(&name, &circuit, &fleet, &config)?;
         println!(
             "{:<8} {:>8.3} {:>10.3} {:>8.3} {:>9.3} {:>8.3}   {}",
-            row.circuit, row.oracle, row.clifford, row.random, row.average, row.median, row.clifford_device
+            row.circuit,
+            row.oracle,
+            row.clifford,
+            row.random,
+            row.average,
+            row.median,
+            row.clifford_device
         );
     }
     println!("\nthe table reports achieved fidelity (higher is better); QRIO's Clifford choice should track the oracle");

@@ -10,9 +10,19 @@ use qrio_circuit::library;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Vendor side: register three devices with different quality. --------
     let mut qrio = Qrio::new();
-    qrio.add_device(Backend::uniform("ibm-like-clean", topology::grid(2, 4), 0.002, 0.01))?;
+    qrio.add_device(Backend::uniform(
+        "ibm-like-clean",
+        topology::grid(2, 4),
+        0.002,
+        0.01,
+    ))?;
     qrio.add_device(Backend::uniform("ring-mid", topology::ring(10), 0.02, 0.12))?;
-    qrio.add_device(Backend::uniform("line-noisy", topology::line(12), 0.05, 0.35))?;
+    qrio.add_device(Backend::uniform(
+        "line-noisy",
+        topology::line(12),
+        0.05,
+        0.35,
+    ))?;
     println!("cluster has {} nodes", qrio.cluster().node_count());
 
     // --- User side: pick a circuit and fill in the submission form. ---------
@@ -28,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Submit: QRIO filters, ranks via the meta server, schedules, runs. --
     let outcome = qrio.submit(&request)?;
-    println!("scheduled on '{}' (score {:.3})", outcome.decision.node, outcome.decision.score);
+    println!(
+        "scheduled on '{}' (score {:.3})",
+        outcome.decision.node, outcome.decision.score
+    );
     println!("candidates considered:");
     for (device, score) in &outcome.decision.candidates {
         println!("  {device:<18} score {score:.3}");

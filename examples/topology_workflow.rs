@@ -11,16 +11,35 @@ use qrio_circuit::library;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Three 10-qubit devices that differ only in topology (the Fig. 9 setup).
     let mut qrio = Qrio::new();
-    qrio.add_device(Backend::uniform("device-1-tree", topology::binary_tree(10), 0.01, 0.05))?;
-    qrio.add_device(Backend::uniform("device-2-ring", topology::ring(10), 0.01, 0.05))?;
-    qrio.add_device(Backend::uniform("device-3-line", topology::line(10), 0.01, 0.05))?;
+    qrio.add_device(Backend::uniform(
+        "device-1-tree",
+        topology::binary_tree(10),
+        0.01,
+        0.05,
+    ))?;
+    qrio.add_device(Backend::uniform(
+        "device-2-ring",
+        topology::ring(10),
+        0.01,
+        0.05,
+    ))?;
+    qrio.add_device(Backend::uniform(
+        "device-3-line",
+        topology::line(10),
+        0.01,
+        0.05,
+    ))?;
 
     // The user draws a tree-like topology on the canvas.
     let mut designer = TopologyDesigner::new(10);
     for (a, b) in topology::binary_tree(10).edges() {
         designer.connect(a, b)?;
     }
-    println!("user drew {} edges over {} qubits", designer.edges().len(), designer.num_qubits());
+    println!(
+        "user drew {} edges over {} qubits",
+        designer.edges().len(),
+        designer.num_qubits()
+    );
 
     // The job itself is a GHZ-10 circuit; the topology drives device choice.
     let request = JobRequestBuilder::new()

@@ -8,10 +8,16 @@ use qrio_circuit::library;
 use qrio_cluster::{framework, yaml, Cluster, JobPhase, Node, Resources};
 
 fn node(name: &str, qubits: usize, err: f64) -> Node {
-    Node::from_backend(Backend::uniform(name, topology::grid(2, (qubits + 1) / 2), 0.01, err), Resources::new(4000, 8192))
+    Node::from_backend(
+        Backend::uniform(name, topology::grid(2, qubits.div_ceil(2)), 0.01, err),
+        Resources::new(4000, 8192),
+    )
 }
 
-fn containerized_request(name: &str, qubits: usize) -> (qrio_cluster::JobSpec, qrio_cluster::ImageBundle) {
+fn containerized_request(
+    name: &str,
+    qubits: usize,
+) -> (qrio_cluster::JobSpec, qrio_cluster::ImageBundle) {
     let circuit = library::ghz(qubits).unwrap();
     let request = JobRequestBuilder::new()
         .with_circuit(&circuit)
@@ -40,10 +46,16 @@ fn master_server_artifacts_run_on_the_cluster() {
     cluster.push_image(image);
     cluster.submit_job(spec).unwrap();
     let decision = cluster
-        .schedule_job("ghz-cluster", &framework::default_filters(), &framework::AverageErrorScore)
+        .schedule_job(
+            "ghz-cluster",
+            &framework::default_filters(),
+            &framework::AverageErrorScore,
+        )
         .unwrap();
     assert_eq!(decision.node, "quiet");
-    cluster.run_job("ghz-cluster", &SimJobRunner::new(3)).unwrap();
+    cluster
+        .run_job("ghz-cluster", &SimJobRunner::new(3))
+        .unwrap();
     let job = cluster.job("ghz-cluster").unwrap();
     assert!(matches!(job.phase(), JobPhase::Succeeded { .. }));
     assert!(job.achieved_fidelity().unwrap() > 0.5);
@@ -62,10 +74,17 @@ fn node_failure_heal_and_reschedule() {
     cluster.push_image(image);
     cluster.submit_job(spec).unwrap();
     let decision = cluster
-        .schedule_job("failover-job", &framework::default_filters(), &framework::AverageErrorScore)
+        .schedule_job(
+            "failover-job",
+            &framework::default_filters(),
+            &framework::AverageErrorScore,
+        )
         .unwrap();
     assert_eq!(decision.node, "alpha");
-    assert!(decision.filtered_out.iter().any(|(n, reason)| n == "beta" && reason.contains("not ready")));
+    assert!(decision
+        .filtered_out
+        .iter()
+        .any(|(n, reason)| n == "beta" && reason.contains("not ready")));
 
     // Self-healing brings beta back and the next job prefers it again.
     assert_eq!(cluster.heal_nodes(), vec!["beta"]);
@@ -73,7 +92,11 @@ fn node_failure_heal_and_reschedule() {
     cluster.push_image(image2);
     cluster.submit_job(spec2).unwrap();
     let decision2 = cluster
-        .schedule_job("post-heal-job", &framework::default_filters(), &framework::AverageErrorScore)
+        .schedule_job(
+            "post-heal-job",
+            &framework::default_filters(),
+            &framework::AverageErrorScore,
+        )
         .unwrap();
     assert_eq!(decision2.node, "beta");
 }
@@ -96,10 +119,16 @@ fn fifo_queue_runs_every_job_with_the_real_runner() {
     assert_eq!(decisions.len(), 3);
     for i in 0..3 {
         let job = cluster.job(&format!("queued-{i}")).unwrap();
-        assert!(matches!(job.phase(), JobPhase::Succeeded { .. }), "job {i} did not finish");
+        assert!(
+            matches!(job.phase(), JobPhase::Succeeded { .. }),
+            "job {i} did not finish"
+        );
     }
     // Node resources fully released after the queue drained.
-    assert_eq!(cluster.node("only-node").unwrap().allocated(), Resources::new(0, 0));
+    assert_eq!(
+        cluster.node("only-node").unwrap().allocated(),
+        Resources::new(0, 0)
+    );
 }
 
 #[test]
@@ -112,8 +141,14 @@ fn registry_tracks_pushes_and_pulls() {
     assert!(cluster.registry().contains(&spec.image));
     cluster.submit_job(spec).unwrap();
     cluster
-        .schedule_job("registry-job", &framework::default_filters(), &framework::AverageErrorScore)
+        .schedule_job(
+            "registry-job",
+            &framework::default_filters(),
+            &framework::AverageErrorScore,
+        )
         .unwrap();
-    cluster.run_job("registry-job", &SimJobRunner::new(1)).unwrap();
+    cluster
+        .run_job("registry-job", &SimJobRunner::new(1))
+        .unwrap();
     assert_eq!(cluster.registry().pull_count(), 1);
 }

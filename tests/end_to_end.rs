@@ -8,7 +8,14 @@ use qrio_cluster::{DeviceRequirements, JobPhase};
 use qrio_meta::FidelityRankingConfig;
 
 fn fast_qrio() -> Qrio {
-    Qrio::with_config(FidelityRankingConfig { shots: 96, seed: 13, shortfall_weight: 100.0 }, 13)
+    Qrio::with_config(
+        FidelityRankingConfig {
+            shots: 96,
+            seed: 13,
+            shortfall_weight: 100.0,
+        },
+        13,
+    )
 }
 
 #[test]
@@ -31,12 +38,27 @@ fn fidelity_job_runs_on_the_best_device_of_a_generated_fleet() {
 
     // The chosen device is the best-ranked candidate and the job succeeded.
     assert_eq!(outcome.decision.candidates[0].0, outcome.decision.node);
-    assert!(matches!(qrio.cluster().job("e2e-bv").unwrap().phase(), JobPhase::Succeeded { .. }));
+    assert!(matches!(
+        qrio.cluster().job("e2e-bv").unwrap().phase(),
+        JobPhase::Succeeded { .. }
+    ));
     assert!(!outcome.counts.is_empty());
     assert!(outcome.achieved_fidelity.is_some());
     // Events were recorded for the full lifecycle.
-    let kinds: Vec<&str> = qrio.cluster().events().iter().map(|e| e.kind.as_str()).collect();
-    for expected in ["NodeAdded", "ImagePushed", "JobSubmitted", "JobScheduled", "JobStarted", "JobSucceeded"] {
+    let kinds: Vec<&str> = qrio
+        .cluster()
+        .events()
+        .iter()
+        .map(|e| e.kind.as_str())
+        .collect();
+    for expected in [
+        "NodeAdded",
+        "ImagePushed",
+        "JobSubmitted",
+        "JobScheduled",
+        "JobStarted",
+        "JobSucceeded",
+    ] {
         assert!(kinds.contains(&expected), "missing event {expected}");
     }
 }
@@ -44,9 +66,17 @@ fn fidelity_job_runs_on_the_best_device_of_a_generated_fleet() {
 #[test]
 fn topology_job_selects_the_matching_device_end_to_end() {
     let mut qrio = fast_qrio();
-    qrio.add_device(Backend::uniform("tree-dev", topology::binary_tree(10), 0.01, 0.05)).unwrap();
-    qrio.add_device(Backend::uniform("ring-dev", topology::ring(10), 0.01, 0.05)).unwrap();
-    qrio.add_device(Backend::uniform("line-dev", topology::line(10), 0.01, 0.05)).unwrap();
+    qrio.add_device(Backend::uniform(
+        "tree-dev",
+        topology::binary_tree(10),
+        0.01,
+        0.05,
+    ))
+    .unwrap();
+    qrio.add_device(Backend::uniform("ring-dev", topology::ring(10), 0.01, 0.05))
+        .unwrap();
+    qrio.add_device(Backend::uniform("line-dev", topology::line(10), 0.01, 0.05))
+        .unwrap();
 
     let mut designer = TopologyDesigner::new(10);
     for (a, b) in topology::binary_tree(10).edges() {
@@ -66,14 +96,19 @@ fn topology_job_selects_the_matching_device_end_to_end() {
 #[test]
 fn user_requirements_flow_through_filtering() {
     let mut qrio = fast_qrio();
-    qrio.add_device(Backend::uniform("good", topology::line(8), 0.005, 0.02)).unwrap();
-    qrio.add_device(Backend::uniform("bad", topology::line(8), 0.05, 0.5)).unwrap();
+    qrio.add_device(Backend::uniform("good", topology::line(8), 0.005, 0.02))
+        .unwrap();
+    qrio.add_device(Backend::uniform("bad", topology::line(8), 0.05, 0.5))
+        .unwrap();
 
     let ghz = library::ghz(4).unwrap();
     let request = JobRequestBuilder::new()
         .with_circuit(&ghz)
         .job_name("e2e-filtered")
-        .requirements(DeviceRequirements { max_two_qubit_error: Some(0.1), ..DeviceRequirements::default() })
+        .requirements(DeviceRequirements {
+            max_two_qubit_error: Some(0.1),
+            ..DeviceRequirements::default()
+        })
         .fidelity_target(0.9)
         .shots(96)
         .build()
@@ -81,14 +116,19 @@ fn user_requirements_flow_through_filtering() {
     let outcome = qrio.submit(&request).unwrap();
     assert_eq!(outcome.decision.node, "good");
     // The noisy device was filtered before ranking, not merely out-scored.
-    assert!(outcome.decision.filtered_out.iter().any(|(node, _)| node == "bad"));
+    assert!(outcome
+        .decision
+        .filtered_out
+        .iter()
+        .any(|(node, _)| node == "bad"));
     assert_eq!(outcome.decision.candidates.len(), 1);
 }
 
 #[test]
 fn failed_scheduling_leaves_a_terminal_job_and_no_allocation() {
     let mut qrio = fast_qrio();
-    qrio.add_device(Backend::uniform("only", topology::line(4), 0.02, 0.2)).unwrap();
+    qrio.add_device(Backend::uniform("only", topology::line(4), 0.02, 0.2))
+        .unwrap();
     let request = JobRequestBuilder::new()
         .with_circuit(&library::ghz(12).unwrap())
         .job_name("too-big")
@@ -98,18 +138,26 @@ fn failed_scheduling_leaves_a_terminal_job_and_no_allocation() {
     assert!(qrio.submit(&request).is_err());
     let job = qrio.cluster().job("too-big").unwrap();
     assert!(job.phase().is_terminal());
-    assert_eq!(qrio.cluster().node("only").unwrap().allocated(), qrio_cluster::Resources::new(0, 0));
+    assert_eq!(
+        qrio.cluster().node("only").unwrap().allocated(),
+        qrio_cluster::Resources::new(0, 0)
+    );
 }
 
 #[test]
 fn multiple_jobs_share_the_cluster_sequentially() {
     let mut qrio = fast_qrio();
-    qrio.add_device(Backend::uniform("dev-a", topology::grid(2, 3), 0.005, 0.03)).unwrap();
-    qrio.add_device(Backend::uniform("dev-b", topology::ring(8), 0.02, 0.15)).unwrap();
+    qrio.add_device(Backend::uniform("dev-a", topology::grid(2, 3), 0.005, 0.03))
+        .unwrap();
+    qrio.add_device(Backend::uniform("dev-b", topology::ring(8), 0.02, 0.15))
+        .unwrap();
 
-    for (i, circuit) in [library::ghz(3).unwrap(), library::repetition_code_encoder(4).unwrap()]
-        .iter()
-        .enumerate()
+    for (i, circuit) in [
+        library::ghz(3).unwrap(),
+        library::repetition_code_encoder(4).unwrap(),
+    ]
+    .iter()
+    .enumerate()
     {
         let request = JobRequestBuilder::new()
             .with_circuit(circuit)

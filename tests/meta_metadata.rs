@@ -17,9 +17,13 @@ fn meta_with_devices() -> MetaServer {
 fn fidelity_option_stores_fidelity_number_and_original_circuit() {
     let mut meta = meta_with_devices();
     let circuit = library::grover(3, 2).unwrap();
-    meta.upload_fidelity_metadata("grover-job", 0.85, &qasm::to_qasm(&circuit)).unwrap();
+    meta.upload_fidelity_metadata("grover-job", 0.85, &qasm::to_qasm(&circuit))
+        .unwrap();
     match meta.job_metadata("grover-job") {
-        Some(JobMetadata::Fidelity { target, circuit: stored }) => {
+        Some(JobMetadata::Fidelity {
+            target,
+            circuit: stored,
+        }) => {
             assert!((target - 0.85).abs() < 1e-12);
             assert_eq!(stored.num_qubits(), 3);
             assert_eq!(stored.count_ops(), circuit.count_ops());
@@ -27,7 +31,10 @@ fn fidelity_option_stores_fidelity_number_and_original_circuit() {
         other => panic!("unexpected metadata {other:?}"),
     }
     // Scoring such a job produces a fidelity response.
-    assert!(matches!(meta.score("grover-job", "dev-a").unwrap(), ScoreResponse::Fidelity(_)));
+    assert!(matches!(
+        meta.score("grover-job", "dev-a").unwrap(),
+        ScoreResponse::Fidelity(_)
+    ));
 }
 
 #[test]
@@ -37,12 +44,18 @@ fn topology_option_stores_the_topology_circuit_only() {
     meta.upload_topology_metadata("topo-job", topo.clone());
     match meta.job_metadata("topo-job") {
         Some(JobMetadata::Topology { topology_circuit }) => {
-            assert_eq!(topology_circuit.interaction_graph(), topo.interaction_graph());
+            assert_eq!(
+                topology_circuit.interaction_graph(),
+                topo.interaction_graph()
+            );
             assert_eq!(topology_circuit.two_qubit_gate_count(), 4);
         }
         other => panic!("unexpected metadata {other:?}"),
     }
-    assert!(matches!(meta.score("topo-job", "dev-b").unwrap(), ScoreResponse::Topology(_)));
+    assert!(matches!(
+        meta.score("topo-job", "dev-b").unwrap(),
+        ScoreResponse::Topology(_)
+    ));
 }
 
 #[test]
@@ -52,11 +65,21 @@ fn strategy_dispatch_follows_the_stored_metadata() {
     //  scored using a Topology Ranking strategy." (§3.4)
     let mut meta = meta_with_devices();
     let circuit = library::repetition_code_encoder(4).unwrap();
-    meta.upload_fidelity_metadata("job-1", 0.9, &qasm::to_qasm(&circuit)).unwrap();
-    meta.upload_topology_metadata("job-2", library::topology_circuit(3, &[(0, 1), (1, 2)]).unwrap());
+    meta.upload_fidelity_metadata("job-1", 0.9, &qasm::to_qasm(&circuit))
+        .unwrap();
+    meta.upload_topology_metadata(
+        "job-2",
+        library::topology_circuit(3, &[(0, 1), (1, 2)]).unwrap(),
+    );
     for device in ["dev-a", "dev-b"] {
-        assert!(matches!(meta.score("job-1", device).unwrap(), ScoreResponse::Fidelity(_)));
-        assert!(matches!(meta.score("job-2", device).unwrap(), ScoreResponse::Topology(_)));
+        assert!(matches!(
+            meta.score("job-1", device).unwrap(),
+            ScoreResponse::Fidelity(_)
+        ));
+        assert!(matches!(
+            meta.score("job-2", device).unwrap(),
+            ScoreResponse::Topology(_)
+        ));
     }
 }
 

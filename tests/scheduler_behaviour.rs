@@ -31,10 +31,13 @@ fn qrio_beats_the_random_scheduler_on_achieved_fidelity() {
     let fleet = small_fleet();
     let mut meta = meta_for(&fleet);
     let circuit = library::repetition_code_encoder(5).unwrap();
-    meta.upload_fidelity_metadata("rep-job", 1.0, &qasm::to_qasm(&circuit)).unwrap();
+    meta.upload_fidelity_metadata("rep-job", 1.0, &qasm::to_qasm(&circuit))
+        .unwrap();
 
     let scheduler = QrioScheduler::new(&meta);
-    let decision = scheduler.select_device("rep-job", &fleet, &DeviceRequirements::none()).unwrap();
+    let decision = scheduler
+        .select_device("rep-job", &fleet, &DeviceRequirements::none())
+        .unwrap();
     let qrio_backend = fleet.iter().find(|b| b.name() == decision.device).unwrap();
     let qrio_fidelity = achieved_fidelity(&circuit, qrio_backend, 128, 3).unwrap();
 
@@ -62,10 +65,13 @@ fn qrio_choice_tracks_the_oracle_choice() {
     let fleet = small_fleet();
     let mut meta = meta_for(&fleet);
     let circuit = library::bernstein_vazirani(6, 0b110011).unwrap();
-    meta.upload_fidelity_metadata("bv-job", 1.0, &qasm::to_qasm(&circuit)).unwrap();
+    meta.upload_fidelity_metadata("bv-job", 1.0, &qasm::to_qasm(&circuit))
+        .unwrap();
 
     let scheduler = QrioScheduler::new(&meta);
-    let decision = scheduler.select_device("bv-job", &fleet, &DeviceRequirements::none()).unwrap();
+    let decision = scheduler
+        .select_device("bv-job", &fleet, &DeviceRequirements::none())
+        .unwrap();
     let oracle = oracle_select(&circuit, &fleet, 128, 5).unwrap();
 
     let qrio_backend = fleet.iter().find(|b| b.name() == decision.device).unwrap();
@@ -126,6 +132,8 @@ fn topology_scheduling_prefers_denser_devices_for_dense_requests() {
     let request = library::topology_circuit(4, &topology::fully_connected(4).edges()).unwrap();
     meta.upload_topology_metadata("dense-req", request);
     let scheduler = QrioScheduler::new(&meta);
-    let decision = scheduler.select_device("dense-req", &devices, &DeviceRequirements::none()).unwrap();
+    let decision = scheduler
+        .select_device("dense-req", &devices, &DeviceRequirements::none())
+        .unwrap();
     assert_eq!(decision.device, "dense");
 }

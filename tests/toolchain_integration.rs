@@ -6,7 +6,7 @@ use proptest::prelude::*;
 
 use qrio_backend::fleet::{generate_fleet, FleetConfig};
 use qrio_backend::{topology, Backend, CouplingMap};
-use qrio_circuit::{library, qasm, Circuit};
+use qrio_circuit::{library, qasm};
 use qrio_meta::{canary_fidelity_on_backend, FidelityRankingConfig};
 use qrio_sim::{run_ideal, StabilizerSimulator};
 use qrio_transpiler::{deflate, transpile};
@@ -27,7 +27,9 @@ fn benchmark_circuits_transpile_onto_every_small_fleet_device() {
             let result = transpile(circuit, backend).unwrap();
             for inst in result.circuit.instructions() {
                 if inst.is_two_qubit_gate() {
-                    assert!(backend.coupling_map().has_edge(inst.qubits[0], inst.qubits[1]));
+                    assert!(backend
+                        .coupling_map()
+                        .has_edge(inst.qubits[0], inst.qubits[1]));
                 }
                 if !inst.gate.is_directive() {
                     assert!(backend.basis_gates().contains(inst.gate.name()));
@@ -40,12 +42,19 @@ fn benchmark_circuits_transpile_onto_every_small_fleet_device() {
 #[test]
 fn canary_fidelity_is_monotone_in_device_noise() {
     let circuit = library::bernstein_vazirani(6, 0b110110).unwrap();
-    let config = FidelityRankingConfig { shots: 128, seed: 3, shortfall_weight: 100.0 };
+    let config = FidelityRankingConfig {
+        shots: 128,
+        seed: 3,
+        shortfall_weight: 100.0,
+    };
     let mut previous = 1.1;
     for (name, err) in [("a", 0.0), ("b", 0.1), ("c", 0.4)] {
         let backend = Backend::uniform(name, topology::line(8), err / 10.0, err);
         let fidelity = canary_fidelity_on_backend(&circuit, &backend, &config).unwrap();
-        assert!(fidelity <= previous + 0.05, "fidelity should not grow with noise");
+        assert!(
+            fidelity <= previous + 0.05,
+            "fidelity should not grow with noise"
+        );
         previous = fidelity;
     }
 }
@@ -56,7 +65,10 @@ fn clifford_canary_of_every_benchmark_is_clifford_and_structurally_faithful() {
         ("bv", library::bernstein_vazirani(10, 0b1011001101).unwrap()),
         ("grover", library::grover(3, 5).unwrap()),
         ("circ", library::random_circuit(7, 4, 0xC1).unwrap()),
-        ("circ2", library::random_circuit_with_cx_count(8, 12, 0xC2).unwrap()),
+        (
+            "circ2",
+            library::random_circuit_with_cx_count(8, 12, 0xC2).unwrap(),
+        ),
     ] {
         let canary = circuit.to_clifford();
         assert!(canary.is_clifford());

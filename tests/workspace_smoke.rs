@@ -1,0 +1,89 @@
+//! Workspace smoke test: the whole pipeline — fleet construction, job
+//! submission in both request modes, filtering, meta-server ranking,
+//! scheduling and execution — wired end-to-end through the public `qrio`
+//! facade. Guards the workspace against cross-crate regressions.
+
+use qrio::{JobRequestBuilder, Qrio, TopologyDesigner};
+use qrio_backend::{topology, Backend};
+use qrio_circuit::library;
+
+/// Two devices that differ both in noise and in topology, so each request
+/// mode has a clear winner.
+fn two_device_cloud() -> Qrio {
+    let mut qrio = Qrio::new();
+    qrio.add_device(Backend::uniform(
+        "clean-ring",
+        topology::ring(8),
+        0.002,
+        0.01,
+    ))
+    .unwrap();
+    qrio.add_device(Backend::uniform(
+        "noisy-line",
+        topology::line(8),
+        0.05,
+        0.35,
+    ))
+    .unwrap();
+    qrio
+}
+
+#[test]
+fn fidelity_mode_job_selects_a_device_end_to_end() {
+    let mut qrio = two_device_cloud();
+    assert_eq!(qrio.cluster().node_count(), 2);
+
+    let circuit = library::bernstein_vazirani(5, 0b10110).unwrap();
+    let request = JobRequestBuilder::new()
+        .with_circuit(&circuit)
+        .job_name("smoke-fidelity")
+        .fidelity_target(0.9)
+        .shots(256)
+        .build()
+        .unwrap();
+
+    let outcome = qrio.submit(&request).unwrap();
+    assert!(
+        outcome
+            .decision
+            .candidates
+            .iter()
+            .any(|(device, _)| device == &outcome.decision.node),
+        "selected node must come from the candidate list"
+    );
+    assert_eq!(
+        outcome.decision.node, "clean-ring",
+        "the low-noise device should win"
+    );
+    assert!(
+        !outcome.counts.is_empty(),
+        "execution should produce measurement counts"
+    );
+    assert!(!qrio.job_logs("smoke-fidelity").unwrap().is_empty());
+}
+
+#[test]
+fn topology_mode_job_selects_a_device_end_to_end() {
+    let mut qrio = two_device_cloud();
+
+    // The user draws a ring: only "clean-ring" embeds it exactly.
+    let mut designer = TopologyDesigner::new(8);
+    for (a, b) in topology::ring(8).edges() {
+        designer.connect(a, b).unwrap();
+    }
+
+    let request = JobRequestBuilder::new()
+        .with_circuit(&library::ghz(8).unwrap())
+        .job_name("smoke-topology")
+        .topology(&designer)
+        .shots(128)
+        .build()
+        .unwrap();
+
+    let outcome = qrio.submit(&request).unwrap();
+    assert_eq!(
+        outcome.decision.node, "clean-ring",
+        "the ring device embeds the drawn ring"
+    );
+    assert!(!outcome.counts.is_empty());
+}
