@@ -54,6 +54,26 @@ pub trait JobRunner {
     ) -> Result<ExecutionOutcome, String>;
 }
 
+/// A point-in-time load summary for one node: how busy its queue and its
+/// classical resources are. This is the raw material telemetry-aware ranking
+/// strategies (queue-depth / utilization scoring) consume.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeLoad {
+    /// Jobs currently bound to the node (scheduled or running).
+    pub active_jobs: usize,
+    /// Fraction of the node's CPU capacity currently allocated, in `[0, 1]`.
+    pub cpu_utilization: f64,
+    /// Fraction of the node's memory capacity currently allocated, in `[0, 1]`.
+    pub memory_utilization: f64,
+}
+
+impl NodeLoad {
+    /// The dominant (maximum) classical utilization across CPU and memory.
+    pub fn utilization(&self) -> f64 {
+        self.cpu_utilization.max(self.memory_utilization)
+    }
+}
+
 /// The decision produced by one scheduling cycle.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScheduleDecision {
@@ -240,6 +260,62 @@ impl Cluster {
         &self.events
     }
 
+    /// Point-in-time load of one node: bound jobs plus classical utilization.
+    ///
+    /// Returns `None` for unknown nodes.
+    pub fn node_load(&self, name: &str) -> Option<NodeLoad> {
+        let node = self.nodes.get(name)?;
+        let active_jobs = self
+            .jobs
+            .values()
+            .filter(|job| {
+                matches!(
+                    job.phase(),
+                    JobPhase::Scheduled { node } | JobPhase::Running { node }
+                        if node == name
+                )
+            })
+            .count();
+        Some(Self::load_of(node, active_jobs))
+    }
+
+    /// Load of every node, in name order — what the orchestrator reports to
+    /// the meta server before each scheduling cycle so telemetry-aware
+    /// strategies see current queue depths and utilization. One pass over the
+    /// job store, so the cost stays `O(nodes + jobs)` per scheduling cycle.
+    pub fn node_loads(&self) -> Vec<(String, NodeLoad)> {
+        let mut bound: BTreeMap<&str, usize> = BTreeMap::new();
+        for job in self.jobs.values() {
+            if let JobPhase::Scheduled { node } | JobPhase::Running { node } = job.phase() {
+                *bound.entry(node.as_str()).or_insert(0) += 1;
+            }
+        }
+        self.nodes
+            .iter()
+            .map(|(name, node)| {
+                let active = bound.get(name.as_str()).copied().unwrap_or(0);
+                (name.clone(), Self::load_of(node, active))
+            })
+            .collect()
+    }
+
+    fn load_of(node: &Node, active_jobs: usize) -> NodeLoad {
+        let capacity = node.capacity();
+        let allocated = node.allocated();
+        let ratio = |used: u64, total: u64| {
+            if total == 0 {
+                0.0
+            } else {
+                used as f64 / total as f64
+            }
+        };
+        NodeLoad {
+            active_jobs,
+            cpu_utilization: ratio(allocated.cpu_millis, capacity.cpu_millis),
+            memory_utilization: ratio(allocated.memory_mib, capacity.memory_mib),
+        }
+    }
+
     // --- Scheduling ----------------------------------------------------------------------
 
     /// Run one scheduling cycle for `job_name`: filter nodes, score the
@@ -330,7 +406,13 @@ impl Cluster {
                 reason,
             });
         }
-        candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        // Deterministic ordering: ties in score break on node name, so the
+        // decision never depends on store iteration order.
+        candidates.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
         let (winner, score) = candidates[0].clone();
 
         // Binding stage.
@@ -482,7 +564,7 @@ impl std::fmt::Debug for Cluster {
 mod tests {
     use super::*;
     use crate::framework::{default_filters, AverageErrorScore};
-    use crate::job::{DeviceRequirements, SelectionStrategy};
+    use crate::job::{DeviceRequirements, StrategySpec};
     use crate::resources::Resources;
     use qrio_backend::topology;
 
@@ -536,7 +618,7 @@ mod tests {
             num_qubits: qubits,
             resources: Resources::new(1000, 1024),
             requirements: DeviceRequirements::none(),
-            strategy: SelectionStrategy::Fidelity(0.9),
+            strategy: StrategySpec::fidelity(0.9),
             shots: 64,
         }
     }
@@ -673,6 +755,34 @@ mod tests {
                 JobPhase::Succeeded { .. }
             ));
         }
+    }
+
+    #[test]
+    fn node_load_tracks_bound_jobs_and_utilization() {
+        let mut cluster = cluster_with_nodes();
+        assert_eq!(cluster.node_load("missing"), None);
+        let idle = cluster.node_load("quiet").unwrap();
+        assert_eq!(idle.active_jobs, 0);
+        assert_eq!(idle.utilization(), 0.0);
+
+        let spec = make_spec("load-job", 4);
+        push_image_for(&mut cluster, &spec);
+        cluster.submit_job(spec).unwrap();
+        cluster
+            .schedule_job("load-job", &default_filters(), &AverageErrorScore)
+            .unwrap();
+        let busy = cluster.node_load("quiet").unwrap();
+        assert_eq!(busy.active_jobs, 1);
+        assert!((busy.cpu_utilization - 0.25).abs() < 1e-12);
+        assert!((busy.memory_utilization - 0.125).abs() < 1e-12);
+        assert!((busy.utilization() - 0.25).abs() < 1e-12);
+        // Every node is reported, in name order.
+        let loads = cluster.node_loads();
+        assert_eq!(loads.len(), 3);
+        assert!(loads.windows(2).all(|w| w[0].0 < w[1].0));
+
+        cluster.run_job("load-job", &EchoRunner).unwrap();
+        assert_eq!(cluster.node_load("quiet").unwrap().active_jobs, 0);
     }
 
     #[test]

@@ -131,7 +131,7 @@ pub fn default_filters() -> Vec<Box<dyn FilterPlugin>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::job::{DeviceRequirements, SelectionStrategy};
+    use crate::job::{DeviceRequirements, StrategySpec};
     use crate::resources::Resources;
     use qrio_backend::{topology, Backend};
 
@@ -151,7 +151,7 @@ mod tests {
                 max_two_qubit_error: Some(0.1),
                 ..DeviceRequirements::default()
             },
-            strategy: SelectionStrategy::Fidelity(0.9),
+            strategy: StrategySpec::fidelity(0.9),
             shots: 128,
         }
     }

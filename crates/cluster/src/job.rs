@@ -1,5 +1,6 @@
 //! Quantum jobs: specifications, device requirements, status and logs.
 
+use std::collections::BTreeMap;
 use std::fmt;
 
 use qrio_backend::NodeLabels;
@@ -59,15 +60,204 @@ impl DeviceRequirements {
     }
 }
 
-/// Which ranking strategy the user selected for the job (the final step of the
-/// visualizer form, §3.2).
+/// One typed parameter value of a ranking strategy.
+///
+/// Strategy parameters travel with the job spec (and its YAML rendering), so
+/// they are restricted to a small set of serializable shapes rather than
+/// arbitrary Rust values.
 #[derive(Debug, Clone, PartialEq)]
-pub enum SelectionStrategy {
-    /// Rank devices by Clifford-canary fidelity against this target fidelity.
-    Fidelity(f64),
-    /// Rank devices by similarity to this requested topology (edge list over
-    /// the job's qubits).
-    Topology(Vec<(usize, usize)>),
+pub enum ParamValue {
+    /// A floating-point parameter (e.g. a fidelity target or a weight).
+    Float(f64),
+    /// An unsigned integer parameter (e.g. a qubit count).
+    Int(u64),
+    /// A free-form text parameter.
+    Text(String),
+    /// An undirected edge list over the job's qubits (e.g. a requested
+    /// interaction topology).
+    Edges(Vec<(usize, usize)>),
+}
+
+/// The typed parameter bag of a [`StrategySpec`]: ordered `name -> value`
+/// pairs that a ranking strategy interprets. The cluster substrate attaches no
+/// semantics to the keys; validation belongs to the strategy implementation.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StrategyParams {
+    values: BTreeMap<String, ParamValue>,
+}
+
+impl StrategyParams {
+    /// An empty parameter bag.
+    pub fn new() -> Self {
+        StrategyParams::default()
+    }
+
+    /// Insert (or overwrite) a parameter.
+    pub fn set(&mut self, key: impl Into<String>, value: ParamValue) -> &mut Self {
+        self.values.insert(key.into(), value);
+        self
+    }
+
+    /// Look up a raw parameter value.
+    pub fn get(&self, key: &str) -> Option<&ParamValue> {
+        self.values.get(key)
+    }
+
+    /// Look up a float parameter; integers are widened to floats.
+    pub fn get_f64(&self, key: &str) -> Option<f64> {
+        match self.values.get(key) {
+            Some(ParamValue::Float(v)) => Some(*v),
+            Some(ParamValue::Int(v)) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Look up an integer parameter.
+    pub fn get_u64(&self, key: &str) -> Option<u64> {
+        match self.values.get(key) {
+            Some(ParamValue::Int(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Look up a text parameter.
+    pub fn get_text(&self, key: &str) -> Option<&str> {
+        match self.values.get(key) {
+            Some(ParamValue::Text(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Look up an edge-list parameter.
+    pub fn get_edges(&self, key: &str) -> Option<&[(usize, usize)]> {
+        match self.values.get(key) {
+            Some(ParamValue::Edges(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Iterate over the parameters in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &ParamValue)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the bag is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// Which ranking strategy the user selected for the job (the final step of the
+/// visualizer form, §3.2), referenced **by name** with typed parameters.
+///
+/// This replaces the old closed `SelectionStrategy` enum: the cluster only
+/// transports the strategy name and its parameters; the semantics live in the
+/// `RankingStrategy` implementation registered under that name in the meta
+/// server's strategy registry. New policies therefore need no changes in this
+/// crate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrategySpec {
+    /// Registry name of the ranking strategy (e.g. `"fidelity"`).
+    pub name: String,
+    /// Typed parameters interpreted by the strategy.
+    pub params: StrategyParams,
+}
+
+impl StrategySpec {
+    /// A strategy reference with no parameters.
+    pub fn new(name: impl Into<String>) -> Self {
+        StrategySpec {
+            name: name.into(),
+            params: StrategyParams::new(),
+        }
+    }
+
+    /// Builder-style: attach a parameter.
+    #[must_use]
+    pub fn with_param(mut self, key: impl Into<String>, value: ParamValue) -> Self {
+        self.params.set(key, value);
+        self
+    }
+
+    /// Builder-style: attach a float parameter.
+    #[must_use]
+    pub fn with_float(self, key: impl Into<String>, value: f64) -> Self {
+        self.with_param(key, ParamValue::Float(value))
+    }
+
+    /// Convenience constructor for the built-in Clifford-canary fidelity
+    /// strategy (`"fidelity"`, parameter `target`). The name is merely a
+    /// well-known registry key; this crate attaches no semantics to it.
+    pub fn fidelity(target: f64) -> Self {
+        StrategySpec::new(strategy_names::FIDELITY).with_float(strategy_names::PARAM_TARGET, target)
+    }
+
+    /// Convenience constructor for the built-in topology-matching strategy
+    /// (`"topology"`, parameters `edges` and `qubits`).
+    pub fn topology(edges: &[(usize, usize)], num_qubits: usize) -> Self {
+        StrategySpec::new(strategy_names::TOPOLOGY)
+            .with_param(
+                strategy_names::PARAM_EDGES,
+                ParamValue::Edges(edges.to_vec()),
+            )
+            .with_param(
+                strategy_names::PARAM_QUBITS,
+                ParamValue::Int(num_qubits as u64),
+            )
+    }
+
+    /// Convenience constructor for the built-in weighted multi-objective
+    /// strategy (`"weighted"`): canary-fidelity score blended with queue depth
+    /// and classical utilization.
+    pub fn weighted(
+        target: f64,
+        fidelity_weight: f64,
+        queue_weight: f64,
+        utilization_weight: f64,
+    ) -> Self {
+        StrategySpec::new(strategy_names::WEIGHTED)
+            .with_float(strategy_names::PARAM_TARGET, target)
+            .with_float(strategy_names::PARAM_FIDELITY_WEIGHT, fidelity_weight)
+            .with_float(strategy_names::PARAM_QUEUE_WEIGHT, queue_weight)
+            .with_float(strategy_names::PARAM_UTILIZATION_WEIGHT, utilization_weight)
+    }
+
+    /// Convenience constructor for the built-in min-queue-time baseline
+    /// strategy (`"min_queue"`, no parameters).
+    pub fn min_queue() -> Self {
+        StrategySpec::new(strategy_names::MIN_QUEUE)
+    }
+}
+
+/// Well-known strategy and parameter names used by the convenience
+/// constructors. The default registry in `qrio-meta` registers strategies
+/// under exactly these names; user-defined strategies pick their own.
+pub mod strategy_names {
+    /// Clifford-canary fidelity ranking (§3.4.1).
+    pub const FIDELITY: &str = "fidelity";
+    /// Topology-similarity ranking (§3.4.2).
+    pub const TOPOLOGY: &str = "topology";
+    /// Weighted multi-objective ranking (fidelity + queue + utilization).
+    pub const WEIGHTED: &str = "weighted";
+    /// Min-queue-time baseline ranking.
+    pub const MIN_QUEUE: &str = "min_queue";
+    /// Fidelity target in `[0, 1]`.
+    pub const PARAM_TARGET: &str = "target";
+    /// Requested interaction edges.
+    pub const PARAM_EDGES: &str = "edges";
+    /// Number of qubits the requested topology spans.
+    pub const PARAM_QUBITS: &str = "qubits";
+    /// Weight of the fidelity component in the weighted strategy.
+    pub const PARAM_FIDELITY_WEIGHT: &str = "fidelity_weight";
+    /// Weight of the queue-depth component in the weighted strategy.
+    pub const PARAM_QUEUE_WEIGHT: &str = "queue_weight";
+    /// Weight of the utilization component in the weighted strategy.
+    pub const PARAM_UTILIZATION_WEIGHT: &str = "utilization_weight";
 }
 
 /// A job specification — the Rust equivalent of the Job YAML the master
@@ -86,8 +276,8 @@ pub struct JobSpec {
     pub resources: Resources,
     /// Device-characteristic bounds for the filtering stage.
     pub requirements: DeviceRequirements,
-    /// Ranking strategy (fidelity target or requested topology).
-    pub strategy: SelectionStrategy,
+    /// Ranking strategy reference (registry name plus typed parameters).
+    pub strategy: StrategySpec,
     /// Number of shots to execute.
     pub shots: u64,
 }
@@ -257,7 +447,7 @@ mod tests {
             num_qubits: 10,
             resources: Resources::new(500, 512),
             requirements: DeviceRequirements::none(),
-            strategy: SelectionStrategy::Fidelity(0.9),
+            strategy: StrategySpec::fidelity(0.9),
             shots: 1024,
         };
         let mut job = Job::new(spec);
@@ -280,6 +470,57 @@ mod tests {
         assert_eq!(job.achieved_fidelity(), Some(0.88));
         assert!(job.logs().iter().any(|l| l.contains("transpiling")));
         assert!(job.to_string().contains("bv-job"));
+    }
+
+    #[test]
+    fn strategy_spec_params_are_typed_and_open() {
+        let spec = StrategySpec::new("my-custom-policy")
+            .with_float("alpha", 0.5)
+            .with_param("rounds", ParamValue::Int(3))
+            .with_param("mode", ParamValue::Text("strict".into()))
+            .with_param("edges", ParamValue::Edges(vec![(0, 1), (1, 2)]));
+        assert_eq!(spec.name, "my-custom-policy");
+        assert_eq!(spec.params.len(), 4);
+        assert_eq!(spec.params.get_f64("alpha"), Some(0.5));
+        assert_eq!(spec.params.get_u64("rounds"), Some(3));
+        // Integers widen to floats, but not the reverse.
+        assert_eq!(spec.params.get_f64("rounds"), Some(3.0));
+        assert_eq!(spec.params.get_u64("alpha"), None);
+        assert_eq!(spec.params.get_text("mode"), Some("strict"));
+        assert_eq!(spec.params.get_edges("edges"), Some(&[(0, 1), (1, 2)][..]));
+        assert_eq!(spec.params.get("missing"), None);
+        assert!(!spec.params.is_empty());
+        assert!(StrategyParams::new().is_empty());
+    }
+
+    #[test]
+    fn builtin_convenience_constructors_use_well_known_names() {
+        let fidelity = StrategySpec::fidelity(0.9);
+        assert_eq!(fidelity.name, strategy_names::FIDELITY);
+        assert_eq!(
+            fidelity.params.get_f64(strategy_names::PARAM_TARGET),
+            Some(0.9)
+        );
+
+        let topology = StrategySpec::topology(&[(0, 1)], 2);
+        assert_eq!(topology.name, strategy_names::TOPOLOGY);
+        assert_eq!(
+            topology.params.get_edges(strategy_names::PARAM_EDGES),
+            Some(&[(0, 1)][..])
+        );
+        assert_eq!(
+            topology.params.get_u64(strategy_names::PARAM_QUBITS),
+            Some(2)
+        );
+
+        let weighted = StrategySpec::weighted(0.8, 1.0, 2.0, 3.0);
+        assert_eq!(weighted.name, strategy_names::WEIGHTED);
+        assert_eq!(
+            weighted.params.get_f64(strategy_names::PARAM_QUEUE_WEIGHT),
+            Some(2.0)
+        );
+
+        assert_eq!(StrategySpec::min_queue().name, strategy_names::MIN_QUEUE);
     }
 
     #[test]

@@ -12,7 +12,8 @@
 //! * [`Node`] — a quantum device plus classical capacity, labelled with the
 //!   §3.1 properties, with cordon / failure / self-healing restart support.
 //! * [`JobSpec`], [`Job`], [`yaml`] — job objects with device-requirement
-//!   bounds, a fidelity-or-topology strategy, lifecycle phases and logs.
+//!   bounds, an open [`StrategySpec`] (ranking strategy by name with typed
+//!   [`StrategyParams`]), lifecycle phases and logs.
 //! * [`ImageRegistry`], [`ImageBundle`] — the simulated Docker Hub the master
 //!   server pushes job containers to.
 //! * [`framework`] — filter/score plugin traits plus the built-in plugins
@@ -48,10 +49,13 @@ mod registry;
 mod resources;
 pub mod yaml;
 
-pub use cluster::{Cluster, ClusterEvent, ExecutionOutcome, JobRunner, ScheduleDecision};
+pub use cluster::{Cluster, ClusterEvent, ExecutionOutcome, JobRunner, NodeLoad, ScheduleDecision};
 pub use error::ClusterError;
 pub use framework::{FilterPlugin, ScorePlugin};
-pub use job::{DeviceRequirements, Job, JobPhase, JobSpec, SelectionStrategy};
+pub use job::{
+    strategy_names, DeviceRequirements, Job, JobPhase, JobSpec, ParamValue, StrategyParams,
+    StrategySpec,
+};
 pub use node::{Node, NodeStatus};
 pub use registry::{ImageBundle, ImageRegistry};
 pub use resources::Resources;

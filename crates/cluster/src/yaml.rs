@@ -6,11 +6,16 @@
 //! inspected, stored, or shipped between components as plain text. The QASM
 //! payload itself travels in the container image, not the spec, mirroring the
 //! paper's design.
+//!
+//! The strategy section is open: any registry name round-trips, and the typed
+//! [`StrategyParams`] are rendered under `strategyParams:` (floats keep a
+//! decimal point, text is quoted, edge lists nest one `- [a, b]` item per
+//! edge), so user-defined strategies serialize without touching this module.
 
 use std::fmt::Write as _;
 
 use crate::error::ClusterError;
-use crate::job::{DeviceRequirements, JobSpec, SelectionStrategy};
+use crate::job::{DeviceRequirements, JobSpec, ParamValue, StrategyParams, StrategySpec};
 use crate::resources::Resources;
 
 /// Render a job spec as a YAML-like document.
@@ -48,28 +53,76 @@ pub fn to_yaml(spec: &JobSpec) -> String {
     );
     write_opt_f(&mut out, "minT1Us", spec.requirements.min_t1_us);
     write_opt_f(&mut out, "minT2Us", spec.requirements.min_t2_us);
-    match &spec.strategy {
-        SelectionStrategy::Fidelity(target) => {
-            out.push_str("  strategy: fidelity\n");
-            let _ = writeln!(out, "  fidelityTarget: {target}");
-        }
-        SelectionStrategy::Topology(edges) => {
-            out.push_str("  strategy: topology\n");
-            out.push_str("  topologyEdges:\n");
-            for (a, b) in edges {
-                let _ = writeln!(out, "    - [{a}, {b}]");
+    let _ = writeln!(out, "  strategy: {}", spec.strategy.name);
+    if !spec.strategy.params.is_empty() {
+        out.push_str("  strategyParams:\n");
+        for (key, value) in spec.strategy.params.iter() {
+            match value {
+                ParamValue::Float(v) => {
+                    let _ = writeln!(out, "    {key}: {}", render_float(*v));
+                }
+                ParamValue::Int(v) => {
+                    let _ = writeln!(out, "    {key}: {v}");
+                }
+                ParamValue::Text(v) => {
+                    let _ = writeln!(out, "    {key}: \"{}\"", escape_text(v));
+                }
+                ParamValue::Edges(edges) => {
+                    let _ = writeln!(out, "    {key}:");
+                    for (a, b) in edges {
+                        let _ = writeln!(out, "      - [{a}, {b}]");
+                    }
+                }
             }
         }
     }
     out
 }
 
+/// Escape a text param so quotes and newlines survive the one-line rendering.
+fn escape_text(text: &str) -> String {
+    text.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+        .replace('\r', "\\r")
+}
+
+/// Invert [`escape_text`].
+fn unescape_text(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut chars = text.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some(other) => out.push(other),
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// Render a float so that it parses back as a float: integral values keep a
+/// trailing `.0` to distinguish them from `ParamValue::Int`.
+fn render_float(v: f64) -> String {
+    let text = format!("{v}");
+    if text.contains('.') || text.contains('e') || text.contains("inf") || text.contains("NaN") {
+        text
+    } else {
+        format!("{text}.0")
+    }
+}
+
 /// Parse a YAML-like job document produced by [`to_yaml`].
 ///
 /// The parser is intentionally narrow: it understands the structure this crate
-/// emits (plus arbitrary indentation and blank lines), not arbitrary YAML.
-/// The `qasm` field of the returned spec is empty — the circuit travels in the
-/// container image.
+/// emits (plus arbitrary indentation within a section and blank lines), not
+/// arbitrary YAML. The `qasm` field of the returned spec is empty — the
+/// circuit travels in the container image.
 ///
 /// # Errors
 ///
@@ -82,19 +135,35 @@ pub fn from_yaml(text: &str) -> Result<JobSpec, ClusterError> {
     let mut cpu = 0u64;
     let mut mem = 0u64;
     let mut requirements = DeviceRequirements::default();
-    let mut strategy_kind: Option<String> = None;
-    let mut fidelity_target = None;
-    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut strategy_name: Option<String> = None;
+    let mut params = StrategyParams::new();
+    // Section tracking: once `strategyParams:` is seen, every line indented
+    // deeper than it belongs to the params bag (param keys may otherwise
+    // collide with top-level spec keys).
+    let mut params_indent: Option<usize> = None;
+    // While a `key:` param with no inline value is open, `- [a, b]` items
+    // accumulate into its edge list.
+    let mut open_edges: Option<(String, Vec<(usize, usize)>)> = None;
 
     for (idx, raw) in text.lines().enumerate() {
         let line = raw.trim();
-        if line.is_empty() || line.ends_with(':') && !line.contains(": ") {
+        if line.is_empty() {
             continue;
         }
+        let indent = raw.len() - raw.trim_start().len();
         let err = |message: String| ClusterError::SpecParse {
             line: idx + 1,
             message,
         };
+        let in_params = params_indent.is_some_and(|p| indent > p);
+        if !in_params {
+            // Leaving the params section closes any pending edge list.
+            if let Some((key, edges)) = open_edges.take() {
+                params.set(key, ParamValue::Edges(edges));
+            }
+            params_indent = None;
+        }
+
         if let Some(rest) = line.strip_prefix("- [") {
             let body = rest.trim_end_matches(']');
             let parts: Vec<&str> = body.split(',').map(str::trim).collect();
@@ -107,15 +176,38 @@ pub fn from_yaml(text: &str) -> Result<JobSpec, ClusterError> {
             let b = parts[1]
                 .parse()
                 .map_err(|_| err(format!("bad edge endpoint '{}'", parts[1])))?;
-            edges.push((a, b));
+            match open_edges.as_mut() {
+                Some((_, edges)) => edges.push((a, b)),
+                None => return Err(err(format!("edge '{line}' outside an edge list"))),
+            }
             continue;
         }
+
         let Some((key, value)) = line.split_once(':') else {
             return Err(err(format!("unrecognised line '{line}'")));
         };
         let key = key.trim();
         let value = value.trim();
+
+        if in_params {
+            // A new param key closes any previously-open edge list.
+            if let Some((open_key, edges)) = open_edges.take() {
+                params.set(open_key, ParamValue::Edges(edges));
+            }
+            if value.is_empty() {
+                open_edges = Some((key.to_string(), Vec::new()));
+            } else {
+                params.set(key, parse_param_value(value));
+            }
+            continue;
+        }
+
+        if key == "strategyParams" && value.is_empty() {
+            params_indent = Some(indent);
+            continue;
+        }
         if value.is_empty() {
+            // Other section headers (metadata:, spec:, resources:, ...).
             continue;
         }
         let parse_f64 = |v: &str| {
@@ -139,10 +231,12 @@ pub fn from_yaml(text: &str) -> Result<JobSpec, ClusterError> {
             "maxReadoutError" => requirements.max_readout_error = Some(parse_f64(value)?),
             "minT1Us" => requirements.min_t1_us = Some(parse_f64(value)?),
             "minT2Us" => requirements.min_t2_us = Some(parse_f64(value)?),
-            "strategy" => strategy_kind = Some(value.to_string()),
-            "fidelityTarget" => fidelity_target = Some(parse_f64(value)?),
+            "strategy" => strategy_name = Some(value.to_string()),
             other => return Err(err(format!("unknown field '{other}'"))),
         }
+    }
+    if let Some((key, edges)) = open_edges.take() {
+        params.set(key, ParamValue::Edges(edges));
     }
 
     let name = name.ok_or(ClusterError::SpecParse {
@@ -157,16 +251,10 @@ pub fn from_yaml(text: &str) -> Result<JobSpec, ClusterError> {
         line: 0,
         message: "missing qubit count".into(),
     })?;
-    let strategy = match strategy_kind.as_deref() {
-        Some("fidelity") => SelectionStrategy::Fidelity(fidelity_target.unwrap_or(1.0)),
-        Some("topology") => SelectionStrategy::Topology(edges),
-        other => {
-            return Err(ClusterError::SpecParse {
-                line: 0,
-                message: format!("missing or unknown strategy {other:?}"),
-            })
-        }
-    };
+    let strategy_name = strategy_name.ok_or(ClusterError::SpecParse {
+        line: 0,
+        message: "missing strategy name".into(),
+    })?;
     Ok(JobSpec {
         name,
         image,
@@ -174,9 +262,30 @@ pub fn from_yaml(text: &str) -> Result<JobSpec, ClusterError> {
         num_qubits,
         resources: Resources::new(cpu, mem),
         requirements,
-        strategy,
+        strategy: StrategySpec {
+            name: strategy_name,
+            params,
+        },
         shots,
     })
+}
+
+/// Infer the type of an inline param value: quoted -> text, integer-looking ->
+/// int, float-looking -> float, anything else -> text.
+fn parse_param_value(value: &str) -> ParamValue {
+    if let Some(stripped) = value
+        .strip_prefix('"')
+        .and_then(|rest| rest.strip_suffix('"'))
+    {
+        return ParamValue::Text(unescape_text(stripped));
+    }
+    if let Ok(int) = value.parse::<u64>() {
+        return ParamValue::Int(int);
+    }
+    if let Ok(float) = value.parse::<f64>() {
+        return ParamValue::Float(float);
+    }
+    ParamValue::Text(value.to_string())
 }
 
 #[cfg(test)]
@@ -197,7 +306,7 @@ mod tests {
                 min_t1_us: Some(50_000.0),
                 min_t2_us: None,
             },
-            strategy: SelectionStrategy::Fidelity(0.85),
+            strategy: StrategySpec::fidelity(0.85),
             shots: 2048,
         }
     }
@@ -208,6 +317,7 @@ mod tests {
         let yaml = to_yaml(&spec);
         assert!(yaml.contains("kind: QuantumJob"));
         assert!(yaml.contains("strategy: fidelity"));
+        assert!(yaml.contains("target: 0.85"));
         let parsed = from_yaml(&yaml).unwrap();
         assert_eq!(parsed.name, spec.name);
         assert_eq!(parsed.num_qubits, 3);
@@ -215,30 +325,78 @@ mod tests {
         assert_eq!(parsed.requirements.min_qubits, Some(3));
         assert_eq!(parsed.requirements.max_two_qubit_error, Some(0.25));
         assert_eq!(parsed.shots, 2048);
-        assert!(
-            matches!(parsed.strategy, SelectionStrategy::Fidelity(f) if (f - 0.85).abs() < 1e-12)
-        );
+        assert_eq!(parsed.strategy, spec.strategy);
     }
 
     #[test]
     fn yaml_roundtrip_topology() {
         let mut spec = sample_spec();
-        spec.strategy = SelectionStrategy::Topology(vec![(0, 1), (1, 2)]);
+        spec.strategy = StrategySpec::topology(&[(0, 1), (1, 2)], 3);
         let yaml = to_yaml(&spec);
         assert!(yaml.contains("strategy: topology"));
+        assert!(yaml.contains("- [0, 1]"));
         let parsed = from_yaml(&yaml).unwrap();
-        match parsed.strategy {
-            SelectionStrategy::Topology(edges) => assert_eq!(edges, vec![(0, 1), (1, 2)]),
-            other => panic!("unexpected strategy {other:?}"),
-        }
+        assert_eq!(parsed.strategy, spec.strategy);
+        assert_eq!(
+            parsed.strategy.params.get_edges("edges"),
+            Some(&[(0, 1), (1, 2)][..])
+        );
+        assert_eq!(parsed.strategy.params.get_u64("qubits"), Some(3));
+    }
+
+    #[test]
+    fn yaml_roundtrip_custom_strategy_with_every_param_type() {
+        let mut spec = sample_spec();
+        spec.strategy = StrategySpec::new("user-defined")
+            .with_float("alpha", 1.0)
+            .with_param("rounds", ParamValue::Int(7))
+            .with_param("mode", ParamValue::Text("strict".into()))
+            .with_param("pairs", ParamValue::Edges(vec![(2, 3)]));
+        let yaml = to_yaml(&spec);
+        assert!(yaml.contains("strategy: user-defined"));
+        // Integral floats keep a decimal point so the type round-trips.
+        assert!(yaml.contains("alpha: 1.0"));
+        assert!(yaml.contains("mode: \"strict\""));
+        let parsed = from_yaml(&yaml).unwrap();
+        assert_eq!(parsed.strategy, spec.strategy);
+    }
+
+    #[test]
+    fn text_params_with_quotes_and_newlines_round_trip() {
+        let mut spec = sample_spec();
+        spec.strategy = StrategySpec::new("escaping").with_param(
+            "tricky",
+            ParamValue::Text("line one\nsays \"hi\" \\ done".into()),
+        );
+        let parsed = from_yaml(&to_yaml(&spec)).unwrap();
+        assert_eq!(parsed.strategy, spec.strategy);
+    }
+
+    #[test]
+    fn yaml_roundtrip_weighted_and_min_queue() {
+        let mut spec = sample_spec();
+        spec.strategy = StrategySpec::weighted(0.9, 1.0, 0.5, 0.25);
+        let parsed = from_yaml(&to_yaml(&spec)).unwrap();
+        assert_eq!(parsed.strategy, spec.strategy);
+
+        spec.strategy = StrategySpec::min_queue();
+        let yaml = to_yaml(&spec);
+        assert!(yaml.contains("strategy: min_queue"));
+        assert!(!yaml.contains("strategyParams"));
+        assert_eq!(from_yaml(&yaml).unwrap().strategy, spec.strategy);
     }
 
     #[test]
     fn malformed_documents_are_rejected() {
         assert!(from_yaml("kind: QuantumJob\n").is_err());
         assert!(from_yaml("name: x\nimage: y\nqubits: abc\nstrategy: fidelity\n").is_err());
-        assert!(from_yaml("name: x\nimage: y\nqubits: 2\nstrategy: warp\n").is_err());
-        assert!(from_yaml("name: x\nimage: y\nqubits: 2\nstrategy: topology\n  - [0]\n").is_err());
+        assert!(from_yaml("name: x\nimage: y\nqubits: 2\n").is_err());
+        assert!(from_yaml(
+            "name: x\nimage: y\nqubits: 2\nstrategy: topology\nstrategyParams:\n    edges:\n      - [0]\n"
+        )
+        .is_err());
         assert!(from_yaml("what even is this").is_err());
+        // An edge item with no open edge list is rejected.
+        assert!(from_yaml("name: x\nimage: y\nqubits: 2\nstrategy: t\n- [0, 1]\n").is_err());
     }
 }

@@ -99,11 +99,11 @@ pub fn fig6_default_topologies(
                 default.name()
             )));
         }
-        let qrio_score = ranked[0].score();
+        let qrio_score = ranked[0].value;
         // Random scheduler: uniform over the scoreable devices.
         let scoreable: Vec<&Backend> = fleet
             .iter()
-            .filter(|b| ranked.iter().any(|r| r.device() == b.name()))
+            .filter(|b| ranked.iter().any(|r| r.device == b.name()))
             .collect();
         let mut random = RandomScheduler::new(config.seed ^ default.num_qubits() as u64);
         let mut random_total = 0.0;
@@ -111,8 +111,8 @@ pub fn fig6_default_topologies(
             let pick = random.pick(&scoreable)?;
             let score = ranked
                 .iter()
-                .find(|r| r.device() == pick.name())
-                .map(qrio_meta::ScoreResponse::score)
+                .find(|r| r.device == pick.name())
+                .map(|r| r.value)
                 .unwrap_or(qrio_score);
             random_total += score;
         }
@@ -204,12 +204,9 @@ pub fn fig7_for_circuit(
     let job_name = format!("fig7-{name}");
     meta.upload_fidelity_metadata(&job_name, 1.0, &qasm::to_qasm(circuit))?;
     let ranked = meta.score_all(&job_name)?;
-    let clifford_device = ranked
-        .first()
-        .map(|r| r.device().to_string())
-        .ok_or_else(|| {
-            QrioError::InvalidRequest(format!("no device could be scored for '{name}'"))
-        })?;
+    let clifford_device = ranked.first().map(|r| r.device.clone()).ok_or_else(|| {
+        QrioError::InvalidRequest(format!("no device could be scored for '{name}'"))
+    })?;
     let clifford_backend = fleet
         .iter()
         .find(|b| b.name() == clifford_device)
@@ -307,12 +304,9 @@ pub fn fig9_topology_choice(config: &ExperimentConfig) -> Result<Fig9Result, Qri
     let mut selections = Vec::with_capacity(config.repetitions.max(1));
     for _ in 0..config.repetitions.max(1) {
         let ranked = meta.score_all("fig9-user-topology")?;
-        let winner = ranked
-            .first()
-            .map(|r| r.device().to_string())
-            .ok_or_else(|| {
-                QrioError::InvalidRequest("no device could be scored for Fig. 9".into())
-            })?;
+        let winner = ranked.first().map(|r| r.device.clone()).ok_or_else(|| {
+            QrioError::InvalidRequest("no device could be scored for Fig. 9".into())
+        })?;
         selections.push(winner);
     }
     Ok(Fig9Result {

@@ -4,9 +4,11 @@
 //! reproduction of *Empowering the Quantum Cloud User with QRIO* (IISWC 2024).
 //!
 //! QRIO lets a quantum-cloud user submit a job (a QASM circuit) together with
-//! *either* a fidelity requirement *or* a desired device topology plus
-//! optional bounds on device characteristics, and automatically selects and
-//! executes the job on the most suitable device of a heterogeneous fleet.
+//! a ranking strategy of their choice — a fidelity requirement, a desired
+//! device topology, a weighted multi-objective blend, a min-queue baseline,
+//! or any user-registered [`qrio_meta::RankingStrategy`] — plus optional
+//! bounds on device characteristics, and automatically selects and executes
+//! the job on the most suitable device of a heterogeneous fleet.
 //!
 //! This crate is the facade that wires the substrates together:
 //!
@@ -14,8 +16,8 @@
 //!   (§3.2 of the paper),
 //! * [`master_server`] — job containerization, image push and Job YAML
 //!   generation (§3.3),
-//! * [`runner`] — the per-node executor that transpiles and runs the circuit
-//!   on its assigned device (the generated runner script of §3.3),
+//! * [`SimJobRunner`] — the per-node executor that transpiles and runs the
+//!   circuit on its assigned device (the generated runner script of §3.3),
 //! * [`Qrio`] — the end-to-end orchestrator over the Kubernetes-like cluster
 //!   substrate, the meta server and the scheduler,
 //! * [`experiments`] — the harness that regenerates every table and figure of

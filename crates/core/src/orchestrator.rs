@@ -1,9 +1,11 @@
 //! The end-to-end QRIO orchestrator: visualizer → master server → meta server
 //! → scheduler → cluster execution → logs (the full workflow of §3).
 
+use std::sync::Arc;
+
 use qrio_backend::Backend;
-use qrio_cluster::{framework, Cluster, Node, Resources, ScheduleDecision, SelectionStrategy};
-use qrio_meta::{FidelityRankingConfig, MetaServer};
+use qrio_cluster::{framework, Cluster, Node, Resources, ScheduleDecision};
+use qrio_meta::{DeviceTelemetry, FidelityRankingConfig, MetaServer, RankingStrategy};
 use qrio_scheduler::MetaRankingPlugin;
 
 use crate::error::QrioError;
@@ -89,6 +91,35 @@ impl Qrio {
         &self.meta
     }
 
+    /// Register a user-defined ranking strategy with the meta server, making
+    /// it selectable by name from any [`JobRequest`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a strategy with the same name already exists.
+    pub fn register_strategy(
+        &mut self,
+        strategy: Arc<dyn RankingStrategy>,
+    ) -> Result<(), QrioError> {
+        Ok(self.meta.register_strategy(strategy)?)
+    }
+
+    /// Report the current per-node load (queue depth, classical utilization)
+    /// from the cluster registry to the meta server, so telemetry-aware
+    /// strategies score against fresh numbers. Runs automatically before every
+    /// scheduling cycle.
+    fn sync_telemetry(&mut self) {
+        for (device, load) in self.cluster.node_loads() {
+            self.meta.update_telemetry(
+                device,
+                DeviceTelemetry {
+                    queue_depth: load.active_jobs,
+                    utilization: load.utilization(),
+                },
+            );
+        }
+    }
+
     /// Submit a job request and drive it to completion: upload metadata,
     /// containerize, schedule (filter + meta-server ranking) and execute.
     ///
@@ -97,25 +128,21 @@ impl Qrio {
     /// Returns an error if any stage fails (no matching devices, execution
     /// failure, ...). The job object in the cluster records the failure too.
     pub fn submit(&mut self, request: &JobRequest) -> Result<JobOutcome, QrioError> {
-        // 1. Visualizer → meta server: upload the job metadata (Table 1).
-        match &request.strategy {
-            SelectionStrategy::Fidelity(target) => {
-                self.meta
-                    .upload_fidelity_metadata(&request.job_name, *target, &request.qasm)?;
-            }
-            SelectionStrategy::Topology(edges) => {
-                let topology_circuit = qrio_meta::topology_circuit(request.num_qubits, edges)?;
-                self.meta
-                    .upload_topology_metadata(&request.job_name, topology_circuit);
-            }
-        }
+        // 1. Visualizer → meta server: upload the job metadata (Table 1,
+        //    generalized): the strategy reference plus the circuit when one
+        //    was provided. The strategy's own validation hook runs here.
+        let qasm_text = (!request.qasm.is_empty()).then_some(request.qasm.as_str());
+        self.meta
+            .upload_job_metadata(&request.job_name, &request.strategy, qasm_text)?;
 
         // 2. Visualizer → master server: containerize and create the job spec.
         let containerized = containerize(request)?;
         self.cluster.push_image(containerized.image);
         self.cluster.submit_job(containerized.spec)?;
 
-        // 3. Scheduler: filter + rank via the meta server, bind to the winner.
+        // 3. Scheduler: refresh telemetry, then filter + rank via the meta
+        //    server and bind to the winner.
+        self.sync_telemetry();
         let filters = framework::default_filters();
         let ranking = MetaRankingPlugin::new(&self.meta);
         let decision = self

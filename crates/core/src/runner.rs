@@ -127,7 +127,7 @@ mod tests {
     use super::*;
     use qrio_backend::topology;
     use qrio_circuit::library;
-    use qrio_cluster::{DeviceRequirements, Resources, SelectionStrategy};
+    use qrio_cluster::{DeviceRequirements, Resources, StrategySpec};
 
     fn spec_and_image(shots: u64) -> (JobSpec, ImageBundle) {
         let bv = library::bernstein_vazirani(5, 0b10110).unwrap();
@@ -141,7 +141,7 @@ mod tests {
             num_qubits: 5,
             resources: Resources::new(100, 128),
             requirements: DeviceRequirements::none(),
-            strategy: SelectionStrategy::Fidelity(0.9),
+            strategy: StrategySpec::fidelity(0.9),
             shots,
         };
         (spec, image)

@@ -8,7 +8,7 @@
 //! the topology-drawing canvas (edges between qubits → topology circuit).
 
 use qrio_circuit::{library, qasm, Circuit};
-use qrio_cluster::{DeviceRequirements, Resources, SelectionStrategy};
+use qrio_cluster::{strategy_names, DeviceRequirements, Resources, StrategySpec};
 
 use crate::error::QrioError;
 
@@ -103,8 +103,10 @@ pub struct JobRequest {
     pub resources: Resources,
     /// Requested device characteristics (step 2).
     pub requirements: DeviceRequirements,
-    /// Fidelity or topology strategy (step 3).
-    pub strategy: SelectionStrategy,
+    /// Ranking strategy chosen by name, with typed parameters (step 3). Any
+    /// strategy registered in the meta server's registry is valid here —
+    /// built-in or user-defined.
+    pub strategy: StrategySpec,
     /// Shots to execute.
     pub shots: u64,
 }
@@ -118,7 +120,7 @@ pub struct JobRequestBuilder {
     num_qubits: Option<usize>,
     resources: Resources,
     requirements: DeviceRequirements,
-    strategy: Option<SelectionStrategy>,
+    strategy: Option<StrategySpec>,
     shots: u64,
 }
 
@@ -194,18 +196,45 @@ impl JobRequestBuilder {
         self
     }
 
-    /// Step 3 (option A): fidelity requirement between 0 and 1.
+    /// Step 3 (option A): fidelity requirement between 0 and 1 — sugar for
+    /// the built-in `"fidelity"` strategy.
     pub fn fidelity_target(mut self, fidelity: f64) -> Self {
-        self.strategy = Some(SelectionStrategy::Fidelity(fidelity));
+        self.strategy = Some(StrategySpec::fidelity(fidelity));
         self
     }
 
-    /// Step 3 (option B): topology requirement from the drawing canvas.
+    /// Step 3 (option B): topology requirement from the drawing canvas —
+    /// sugar for the built-in `"topology"` strategy.
     pub fn topology(mut self, designer: &TopologyDesigner) -> Self {
-        self.strategy = Some(SelectionStrategy::Topology(designer.edges().to_vec()));
+        self.strategy = Some(StrategySpec::topology(
+            designer.edges(),
+            designer.num_qubits(),
+        ));
         if self.num_qubits.is_none() {
             self.num_qubits = Some(designer.num_qubits());
         }
+        self
+    }
+
+    /// Step 3 (option C): the built-in `"weighted"` multi-objective strategy —
+    /// canary-fidelity score blended with live queue depth and utilization.
+    pub fn weighted(mut self, target: f64, fidelity_w: f64, queue_w: f64, util_w: f64) -> Self {
+        self.strategy = Some(StrategySpec::weighted(target, fidelity_w, queue_w, util_w));
+        self
+    }
+
+    /// Step 3 (option D): the built-in `"min_queue"` baseline — pick the
+    /// least-loaded device regardless of calibration.
+    pub fn min_queue(mut self) -> Self {
+        self.strategy = Some(StrategySpec::min_queue());
+        self
+    }
+
+    /// Step 3 (fully general): any strategy by registry name with typed
+    /// parameters — the extension point for user-defined ranking plugins.
+    /// Parameter validation runs in the meta server when the job is submitted.
+    pub fn strategy(mut self, strategy: StrategySpec) -> Self {
+        self.strategy = Some(strategy);
         self
     }
 
@@ -219,24 +248,36 @@ impl JobRequestBuilder {
         let job_name = self
             .job_name
             .ok_or_else(|| QrioError::InvalidRequest("job name is required".into()))?;
-        let strategy = self.strategy.ok_or_else(|| {
-            QrioError::InvalidRequest("choose a fidelity or topology strategy".into())
-        })?;
-        if let SelectionStrategy::Fidelity(f) = strategy {
-            if !(0.0..=1.0).contains(&f) {
-                return Err(QrioError::InvalidRequest(format!(
-                    "fidelity {f} must be between 0 and 1"
-                )));
+        let strategy = self
+            .strategy
+            .ok_or_else(|| QrioError::InvalidRequest("choose a ranking strategy".into()))?;
+        if strategy.name.is_empty() {
+            return Err(QrioError::InvalidRequest(
+                "the strategy name must not be empty".into(),
+            ));
+        }
+        // Structural checks for the well-known built-ins; user-defined
+        // strategies validate their own parameters in the meta server's
+        // registry at submission time.
+        let circuit_required = qrio_meta::requires_circuit(&strategy.name);
+        if circuit_required {
+            if let Some(f) = strategy.params.get_f64(strategy_names::PARAM_TARGET) {
+                if !(0.0..=1.0).contains(&f) {
+                    return Err(QrioError::InvalidRequest(format!(
+                        "fidelity {f} must be between 0 and 1"
+                    )));
+                }
             }
         }
-        let qasm = match (&strategy, self.qasm) {
-            (_, Some(text)) => text,
-            (SelectionStrategy::Topology(_), None) => String::new(),
-            (SelectionStrategy::Fidelity(_), None) => {
-                return Err(QrioError::InvalidRequest(
-                    "a circuit (QASM) is required for fidelity-based scheduling".into(),
-                ))
+        let qasm = match self.qasm {
+            Some(text) => text,
+            None if circuit_required => {
+                return Err(QrioError::InvalidRequest(format!(
+                    "a circuit (QASM) is required for '{}' scheduling",
+                    strategy.name
+                )))
             }
+            None => String::new(),
         };
         let num_qubits = self
             .num_qubits
@@ -285,9 +326,8 @@ mod tests {
         assert_eq!(request.job_name, "bv-job");
         assert_eq!(request.num_qubits, 5);
         assert_eq!(request.image_name, "qrio/bv-job:latest");
-        assert!(
-            matches!(request.strategy, SelectionStrategy::Fidelity(f) if (f - 0.92).abs() < 1e-12)
-        );
+        assert_eq!(request.strategy.name, "fidelity");
+        assert_eq!(request.strategy.params.get_f64("target"), Some(0.92));
     }
 
     #[test]
@@ -309,7 +349,58 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(request.num_qubits, 4);
-        assert!(matches!(request.strategy, SelectionStrategy::Topology(ref e) if e.len() == 3));
+        assert_eq!(request.strategy.name, "topology");
+        assert_eq!(
+            request.strategy.params.get_edges("edges").map(<[_]>::len),
+            Some(3)
+        );
+        assert_eq!(request.strategy.params.get_u64("qubits"), Some(4));
+    }
+
+    #[test]
+    fn weighted_min_queue_and_custom_strategies_build() {
+        let bv = library::bernstein_vazirani(4, 0b1010).unwrap();
+        let weighted = JobRequestBuilder::new()
+            .with_circuit(&bv)
+            .job_name("w")
+            .weighted(0.9, 1.0, 5.0, 1.0)
+            .build()
+            .unwrap();
+        assert_eq!(weighted.strategy.name, "weighted");
+        assert_eq!(weighted.strategy.params.get_f64("queue_weight"), Some(5.0));
+
+        let min_queue = JobRequestBuilder::new()
+            .job_name("q")
+            .num_qubits(3)
+            .min_queue()
+            .build()
+            .unwrap();
+        assert_eq!(min_queue.strategy.name, "min_queue");
+        assert!(min_queue.qasm.is_empty(), "min_queue needs no circuit");
+
+        let custom = JobRequestBuilder::new()
+            .with_circuit(&bv)
+            .job_name("c")
+            .strategy(StrategySpec::new("fewest-2q-gates").with_float("penalty", 2.0))
+            .build()
+            .unwrap();
+        assert_eq!(custom.strategy.name, "fewest-2q-gates");
+        assert_eq!(custom.strategy.params.get_f64("penalty"), Some(2.0));
+
+        // A weighted job without a circuit is structurally invalid.
+        assert!(JobRequestBuilder::new()
+            .job_name("w2")
+            .num_qubits(3)
+            .weighted(0.9, 1.0, 1.0, 1.0)
+            .build()
+            .is_err());
+        // An empty strategy name is rejected.
+        assert!(JobRequestBuilder::new()
+            .with_circuit(&bv)
+            .job_name("e")
+            .strategy(StrategySpec::new(""))
+            .build()
+            .is_err());
     }
 
     #[test]

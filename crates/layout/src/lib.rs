@@ -4,7 +4,7 @@
 //! orchestrator (reproduction of *Empowering the Quantum Cloud User with
 //! QRIO*, IISWC 2024).
 //!
-//! The paper's topology-ranking strategy (§3.4.2) relies on Mapomatic [21]:
+//! The paper's topology-ranking strategy (§3.4.2) relies on Mapomatic \[21\]:
 //! identify device subgraphs that can host a circuit's interaction graph and
 //! score each with an error-aware cost function, then pick the device whose
 //! best subgraph scores lowest. This crate reproduces that machinery:

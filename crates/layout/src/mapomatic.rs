@@ -1,6 +1,6 @@
 //! Mapomatic-style device evaluation: find the lowest-error placement of a
 //! circuit's interaction graph on each candidate device and rank devices by
-//! that score (paper §3.4.2, reproducing the role of Mapomatic [21]).
+//! that score (paper §3.4.2, reproducing the role of Mapomatic \[21\]).
 
 use qrio_backend::Backend;
 use qrio_circuit::Circuit;

@@ -15,6 +15,10 @@ pub enum MetaError {
     UnknownDevice(String),
     /// No metadata uploaded for that job name.
     UnknownJob(String),
+    /// No ranking strategy registered under that name.
+    UnknownStrategy(String),
+    /// A ranking strategy with that name is already registered.
+    DuplicateStrategy(String),
     /// The uploaded metadata is invalid (e.g. fidelity outside [0, 1]).
     InvalidMetadata(String),
     /// The user's QASM payload failed to parse.
@@ -32,6 +36,12 @@ impl fmt::Display for MetaError {
         match self {
             MetaError::UnknownDevice(name) => write!(f, "unknown device '{name}'"),
             MetaError::UnknownJob(name) => write!(f, "no metadata uploaded for job '{name}'"),
+            MetaError::UnknownStrategy(name) => {
+                write!(f, "no ranking strategy registered under '{name}'")
+            }
+            MetaError::DuplicateStrategy(name) => {
+                write!(f, "a ranking strategy named '{name}' is already registered")
+            }
             MetaError::InvalidMetadata(msg) => write!(f, "invalid job metadata: {msg}"),
             MetaError::Circuit(err) => write!(f, "circuit error: {err}"),
             MetaError::Transpiler(err) => write!(f, "transpiler error: {err}"),

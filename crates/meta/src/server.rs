@@ -1,90 +1,110 @@
-//! The QRIO Meta Server: backend store, per-job metadata and score requests.
+//! The QRIO Meta Server: backend store, per-job metadata, device telemetry
+//! and score requests.
 //!
-//! The meta server holds a copy of every vendor backend file and the metadata
-//! the visualizer uploads for each job (Table 1): for the fidelity workflow,
-//! the target fidelity and the user's QASM circuit; for the topology workflow,
-//! the user-drawn topology circuit. When the scheduler's ranking plugin asks
-//! for a score of a job against a device, the server dispatches to the
-//! matching strategy (§3.4).
+//! The meta server holds a copy of every vendor backend file, the metadata the
+//! visualizer uploads for each job (Table 1) and the latest load telemetry the
+//! control plane reports per device. When the scheduler's ranking plugin asks
+//! for a score of a job against a device, the server resolves the job's
+//! strategy **by name** in its [`StrategyRegistry`] and dispatches to that
+//! plugin (§3.4) — fidelity and topology ranking are just the built-in
+//! entries; user-defined strategies register through
+//! [`MetaServer::register_strategy`].
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use qrio_backend::{spec as backend_spec, Backend};
 use qrio_circuit::{qasm, Circuit};
+use qrio_cluster::{StrategyParams, StrategySpec};
 
+use crate::builtin::builtin_registry;
 use crate::error::MetaError;
-use crate::fidelity_ranking::{evaluate_fidelity, FidelityEvaluation, FidelityRankingConfig};
-use crate::topology_ranking::{evaluate_topology, TopologyEvaluation};
+use crate::fidelity_ranking::FidelityRankingConfig;
+use crate::strategy::{DeviceTelemetry, JobContext, RankingStrategy, Score, StrategyRegistry};
 
-/// Metadata stored per job, mirroring Table 1 of the paper.
+/// Metadata stored per job: the strategy reference from the job spec plus the
+/// user's circuit, when one was uploaded (Table 1 generalized to arbitrary
+/// strategies).
 #[derive(Debug, Clone, PartialEq)]
-pub enum JobMetadata {
-    /// Fidelity workflow: target fidelity plus the user's original circuit.
-    Fidelity {
-        /// Requested fidelity in `[0, 1]`.
-        target: f64,
-        /// The user circuit (parsed from the uploaded QASM file).
-        circuit: Circuit,
-    },
-    /// Topology workflow: the user-drawn topology as a topology circuit.
-    Topology {
-        /// One CNOT per requested interaction edge.
-        topology_circuit: Circuit,
-    },
+pub struct JobRecord {
+    strategy: StrategySpec,
+    circuit: Option<Circuit>,
 }
 
-/// A score produced for a (job, device) pair. Lower is better.
-#[derive(Debug, Clone, PartialEq)]
-pub enum ScoreResponse {
-    /// Result of the fidelity-ranking strategy.
-    Fidelity(FidelityEvaluation),
-    /// Result of the topology-ranking strategy.
-    Topology(TopologyEvaluation),
-}
-
-impl ScoreResponse {
-    /// The numeric score (lower is better), regardless of strategy.
-    pub fn score(&self) -> f64 {
-        match self {
-            ScoreResponse::Fidelity(e) => e.score,
-            ScoreResponse::Topology(e) => e.score,
-        }
+impl JobRecord {
+    /// Name of the ranking strategy the job selected.
+    pub fn strategy_name(&self) -> &str {
+        &self.strategy.name
     }
 
-    /// The device the score refers to.
-    pub fn device(&self) -> &str {
-        match self {
-            ScoreResponse::Fidelity(e) => &e.device,
-            ScoreResponse::Topology(e) => &e.device,
-        }
+    /// The strategy parameters uploaded with the job.
+    pub fn params(&self) -> &StrategyParams {
+        &self.strategy.params
+    }
+
+    /// The uploaded circuit, when the strategy needs one.
+    pub fn circuit(&self) -> Option<&Circuit> {
+        self.circuit.as_ref()
     }
 }
 
 /// The QRIO Meta Server.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct MetaServer {
     backends: BTreeMap<String, Backend>,
-    jobs: BTreeMap<String, JobMetadata>,
+    jobs: BTreeMap<String, JobRecord>,
+    telemetry: BTreeMap<String, DeviceTelemetry>,
+    registry: StrategyRegistry,
     fidelity_config: FidelityRankingConfig,
 }
 
+impl Default for MetaServer {
+    fn default() -> Self {
+        MetaServer::with_config(FidelityRankingConfig::default())
+    }
+}
+
 impl MetaServer {
-    /// An empty meta server with default scoring configuration.
+    /// An empty meta server with default scoring configuration and the four
+    /// built-in strategies registered.
     pub fn new() -> Self {
         MetaServer::default()
     }
 
-    /// An empty meta server with a custom fidelity-ranking configuration.
+    /// An empty meta server whose built-in strategies use a custom
+    /// fidelity-ranking configuration.
     pub fn with_config(fidelity_config: FidelityRankingConfig) -> Self {
         MetaServer {
+            backends: BTreeMap::new(),
+            jobs: BTreeMap::new(),
+            telemetry: BTreeMap::new(),
+            registry: builtin_registry(fidelity_config),
             fidelity_config,
-            ..MetaServer::default()
         }
     }
 
-    /// The fidelity-ranking configuration in use.
+    /// The fidelity-ranking configuration the built-in strategies use.
     pub fn fidelity_config(&self) -> &FidelityRankingConfig {
         &self.fidelity_config
+    }
+
+    // --- Strategy registry ---------------------------------------------------------------
+
+    /// Register a user-defined ranking strategy under its own name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetaError::DuplicateStrategy`] when the name is taken.
+    pub fn register_strategy(
+        &mut self,
+        strategy: Arc<dyn RankingStrategy>,
+    ) -> Result<(), MetaError> {
+        self.registry.register(strategy)
+    }
+
+    /// The strategy registry (built-ins plus user registrations).
+    pub fn registry(&self) -> &StrategyRegistry {
+        &self.registry
     }
 
     // --- Backend store -------------------------------------------------------------------
@@ -121,10 +141,47 @@ impl MetaServer {
         self.backends.len()
     }
 
-    // --- Job metadata (Table 1) ----------------------------------------------------------
+    // --- Telemetry -----------------------------------------------------------------------
+
+    /// Report the latest load telemetry for a device (queue depth and
+    /// classical utilization from the cluster registry). Telemetry-aware
+    /// strategies read these values when scoring.
+    pub fn update_telemetry(&mut self, device: impl Into<String>, telemetry: DeviceTelemetry) {
+        self.telemetry.insert(device.into(), telemetry);
+    }
+
+    /// The latest telemetry reported for a device, if any.
+    pub fn telemetry_for(&self, device: &str) -> Option<&DeviceTelemetry> {
+        self.telemetry.get(device)
+    }
+
+    // --- Job metadata (Table 1, generalized) ---------------------------------------------
+
+    /// Upload job metadata: the strategy reference (name + typed params) plus
+    /// the user's QASM circuit when the strategy needs one. The strategy is
+    /// resolved in the registry and its `validate` hook runs immediately, so
+    /// malformed uploads fail here rather than at scheduling time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetaError::UnknownStrategy`] for unregistered names, a parse
+    /// error for bad QASM, or whatever the strategy's validation rejects.
+    pub fn upload_job_metadata(
+        &mut self,
+        job_name: impl Into<String>,
+        strategy: &StrategySpec,
+        qasm_text: Option<&str>,
+    ) -> Result<(), MetaError> {
+        let circuit = match qasm_text {
+            Some(text) => Some(qasm::parse_qasm(text)?),
+            None => None,
+        };
+        self.upload_job_record(job_name, strategy.clone(), circuit)
+    }
 
     /// Upload fidelity-workflow metadata: the target fidelity and the user's
-    /// QASM circuit.
+    /// QASM circuit (sugar for [`Self::upload_job_metadata`] with the built-in
+    /// `"fidelity"` strategy).
     ///
     /// # Errors
     ///
@@ -136,44 +193,55 @@ impl MetaServer {
         target: f64,
         qasm_text: &str,
     ) -> Result<(), MetaError> {
-        if !(0.0..=1.0).contains(&target) {
-            return Err(MetaError::InvalidMetadata(format!(
-                "fidelity {target} outside [0, 1]"
-            )));
-        }
-        let circuit = qasm::parse_qasm(qasm_text)?;
-        self.jobs
-            .insert(job_name.into(), JobMetadata::Fidelity { target, circuit });
-        Ok(())
+        self.upload_job_metadata(job_name, &StrategySpec::fidelity(target), Some(qasm_text))
     }
 
-    /// Upload topology-workflow metadata: the user-drawn topology circuit.
+    /// Upload topology-workflow metadata: the user-drawn topology circuit
+    /// (sugar for the built-in `"topology"` strategy with the circuit as the
+    /// request).
     pub fn upload_topology_metadata(
         &mut self,
         job_name: impl Into<String>,
         topology_circuit: Circuit,
     ) {
+        self.upload_job_record(
+            job_name,
+            StrategySpec::new(qrio_cluster::strategy_names::TOPOLOGY),
+            Some(topology_circuit),
+        )
+        .expect("the built-in topology strategy accepts a circuit upload");
+    }
+
+    fn upload_job_record(
+        &mut self,
+        job_name: impl Into<String>,
+        strategy: StrategySpec,
+        circuit: Option<Circuit>,
+    ) -> Result<(), MetaError> {
+        let plugin = self.registry.resolve(&strategy.name)?;
+        plugin.validate(&strategy.params, circuit.as_ref())?;
         self.jobs
-            .insert(job_name.into(), JobMetadata::Topology { topology_circuit });
+            .insert(job_name.into(), JobRecord { strategy, circuit });
+        Ok(())
     }
 
     /// The metadata stored for a job, if any.
-    pub fn job_metadata(&self, job_name: &str) -> Option<&JobMetadata> {
+    pub fn job_metadata(&self, job_name: &str) -> Option<&JobRecord> {
         self.jobs.get(job_name)
     }
 
     // --- Scoring -------------------------------------------------------------------------
 
-    /// Score `job_name` against `device` (the request body of §3.4). The
-    /// strategy is chosen by the stored metadata: fidelity if a fidelity
-    /// threshold exists for the job, topology otherwise.
+    /// Score `job_name` against `device` (the request body of §3.4): resolve
+    /// the job's strategy by name and dispatch to the plugin, handing it the
+    /// job's parameters, circuit and the device's latest telemetry.
     ///
     /// # Errors
     ///
-    /// Returns an error for unknown jobs or devices, or when the underlying
-    /// strategy fails.
-    pub fn score(&self, job_name: &str, device: &str) -> Result<ScoreResponse, MetaError> {
-        let metadata = self
+    /// Returns an error for unknown jobs, devices or strategies, or when the
+    /// underlying strategy fails.
+    pub fn score(&self, job_name: &str, device: &str) -> Result<Score, MetaError> {
+        let record = self
             .jobs
             .get(job_name)
             .ok_or_else(|| MetaError::UnknownJob(job_name.to_string()))?;
@@ -181,39 +249,38 @@ impl MetaServer {
             .backends
             .get(device)
             .ok_or_else(|| MetaError::UnknownDevice(device.to_string()))?;
-        match metadata {
-            JobMetadata::Fidelity { target, circuit } => {
-                let evaluation =
-                    evaluate_fidelity(circuit, *target, backend, &self.fidelity_config)?;
-                Ok(ScoreResponse::Fidelity(evaluation))
-            }
-            JobMetadata::Topology { topology_circuit } => {
-                let evaluation = evaluate_topology(topology_circuit, backend)?;
-                Ok(ScoreResponse::Topology(evaluation))
-            }
-        }
+        let strategy = self.registry.resolve(&record.strategy.name)?;
+        let context = JobContext {
+            job_name,
+            params: &record.strategy.params,
+            circuit: record.circuit.as_ref(),
+            telemetry: self.telemetry.get(device),
+        };
+        strategy.score(&context, backend)
     }
 
     /// Score a job against every registered device, returning successful
-    /// evaluations sorted best (lowest score) first. Devices that cannot host
+    /// evaluations sorted best (lowest score) first; equal scores order by
+    /// device name so the ranking is deterministic. Devices that cannot host
     /// the job are skipped.
     ///
     /// # Errors
     ///
     /// Returns an error if the job is unknown.
-    pub fn score_all(&self, job_name: &str) -> Result<Vec<ScoreResponse>, MetaError> {
+    pub fn score_all(&self, job_name: &str) -> Result<Vec<Score>, MetaError> {
         if !self.jobs.contains_key(job_name) {
             return Err(MetaError::UnknownJob(job_name.to_string()));
         }
-        let mut responses: Vec<ScoreResponse> = self
+        let mut responses: Vec<Score> = self
             .backends
             .keys()
             .filter_map(|device| self.score(job_name, device).ok())
             .collect();
         responses.sort_by(|a, b| {
-            a.score()
-                .partial_cmp(&b.score())
+            a.value
+                .partial_cmp(&b.value)
                 .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.device.cmp(&b.device))
         });
         Ok(responses)
     }
@@ -222,6 +289,7 @@ impl MetaServer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::strategy::{RankingStrategy, Score};
     use qrio_backend::{spec, topology};
     use qrio_circuit::library;
 
@@ -267,17 +335,14 @@ mod tests {
         server
             .upload_fidelity_metadata("bv-job", 0.95, &qrio_circuit::qasm::to_qasm(&bv))
             .unwrap();
-        assert!(matches!(
-            server.job_metadata("bv-job"),
-            Some(JobMetadata::Fidelity { .. })
-        ));
+        let record = server.job_metadata("bv-job").unwrap();
+        assert_eq!(record.strategy_name(), "fidelity");
+        assert_eq!(record.params().get_f64("target"), Some(0.95));
+        assert!(record.circuit().is_some());
         let clean = server.score("bv-job", "clean").unwrap();
         let noisy = server.score("bv-job", "noisy").unwrap();
-        assert!(clean.score() < noisy.score());
-        match clean {
-            ScoreResponse::Fidelity(e) => assert!(e.canary_fidelity > 0.9),
-            other => panic!("unexpected response {other:?}"),
-        }
+        assert!(clean.value < noisy.value);
+        assert!(clean.detail("canary_fidelity").unwrap() > 0.9);
     }
 
     #[test]
@@ -295,12 +360,94 @@ mod tests {
         server.register_backend(Backend::uniform("eq-line", topology::line(8), 0.01, 0.05));
         let request = library::topology_circuit(8, &topology::binary_tree(8).edges()).unwrap();
         server.upload_topology_metadata("topo-job", request);
+        assert_eq!(
+            server.job_metadata("topo-job").unwrap().strategy_name(),
+            "topology"
+        );
         let ranked = server.score_all("topo-job").unwrap();
         assert_eq!(ranked.len(), 3);
-        assert_eq!(ranked[0].device(), "eq-tree");
+        assert_eq!(ranked[0].device, "eq-tree");
         for window in ranked.windows(2) {
-            assert!(window[0].score() <= window[1].score());
+            assert!(window[0].value <= window[1].value);
         }
+    }
+
+    #[test]
+    fn generic_upload_dispatches_by_registry_name() {
+        let mut server = server_with_devices();
+        let bv = library::bernstein_vazirani(4, 0b1011).unwrap();
+        let qasm_text = qrio_circuit::qasm::to_qasm(&bv);
+        // The weighted strategy through the fully-generic path.
+        server
+            .upload_job_metadata(
+                "weighted-job",
+                &StrategySpec::weighted(0.9, 1.0, 5.0, 1.0),
+                Some(&qasm_text),
+            )
+            .unwrap();
+        // The min-queue strategy needs neither params nor circuit.
+        server
+            .upload_job_metadata("queue-job", &StrategySpec::min_queue(), None)
+            .unwrap();
+        server.update_telemetry(
+            "clean",
+            DeviceTelemetry {
+                queue_depth: 3,
+                utilization: 0.5,
+            },
+        );
+        let weighted = server.score("weighted-job", "clean").unwrap();
+        assert_eq!(weighted.detail("queue_depth"), Some(3.0));
+        let queue = server.score("queue-job", "clean").unwrap();
+        assert!((queue.value - 3.25).abs() < 1e-12);
+        // An unregistered name is rejected at upload time.
+        assert!(matches!(
+            server.upload_job_metadata("ghost", &StrategySpec::new("no-such"), None),
+            Err(MetaError::UnknownStrategy(_))
+        ));
+    }
+
+    #[test]
+    fn user_defined_strategies_register_and_score() {
+        #[derive(Debug)]
+        struct QubitCountStrategy;
+
+        impl RankingStrategy for QubitCountStrategy {
+            fn name(&self) -> &str {
+                "qubit-count"
+            }
+
+            fn validate(
+                &self,
+                _params: &StrategyParams,
+                _circuit: Option<&Circuit>,
+            ) -> Result<(), MetaError> {
+                Ok(())
+            }
+
+            fn score(&self, _job: &JobContext<'_>, backend: &Backend) -> Result<Score, MetaError> {
+                Ok(Score::new(backend.name(), backend.num_qubits() as f64))
+            }
+        }
+
+        let mut server = server_with_devices();
+        server
+            .register_strategy(Arc::new(QubitCountStrategy))
+            .unwrap();
+        assert!(server.registry().names().contains(&"qubit-count"));
+        // Duplicate registration is rejected.
+        assert!(server
+            .register_strategy(Arc::new(QubitCountStrategy))
+            .is_err());
+        server
+            .upload_job_metadata("count-job", &StrategySpec::new("qubit-count"), None)
+            .unwrap();
+        let ranked = server.score_all("count-job").unwrap();
+        assert_eq!(ranked.len(), 3);
+        // All three devices have 8 qubits: the tie breaks on device name.
+        assert_eq!(ranked[0].device, "clean");
+        assert_eq!(ranked[1].device, "noisy");
+        assert_eq!(ranked[2].device, "tree");
     }
 
     #[test]
@@ -330,6 +477,10 @@ mod tests {
         assert!(server
             .upload_fidelity_metadata("bad", 0.9, "not qasm at all $$")
             .is_err());
+        // Fidelity without a circuit is rejected by the strategy's validation.
+        assert!(server
+            .upload_job_metadata("bad", &StrategySpec::fidelity(0.9), None)
+            .is_err());
     }
 
     #[test]
@@ -341,7 +492,7 @@ mod tests {
             .upload_fidelity_metadata("ghz-job", 0.9, &qrio_circuit::qasm::to_qasm(&ghz))
             .unwrap();
         let ranked = server.score_all("ghz-job").unwrap();
-        assert!(ranked.iter().all(|r| r.device() != "tiny"));
+        assert!(ranked.iter().all(|r| r.device != "tiny"));
         assert!(!ranked.is_empty());
     }
 }

@@ -9,8 +9,10 @@
 //!    qubit count, average two-qubit error, readout error or T1/T2 are
 //!    removed (evaluated in Fig. 10).
 //! 2. **Ranking** ([`QrioScheduler`]) — each shortlisted device is scored by
-//!    the QRIO Meta Server (Clifford-canary fidelity or Mapomatic topology
-//!    similarity) and the device with the lowest score wins.
+//!    the QRIO Meta Server through the job's registered ranking-strategy
+//!    plugin (Clifford-canary fidelity, Mapomatic topology similarity,
+//!    weighted multi-objective, min-queue, or any user-defined strategy) and
+//!    the device with the lowest score wins; ties break on device name.
 //!
 //! [`baselines`] provides the comparison points of the evaluation: the random
 //! scheduler (Fig. 6/7) and the oracle scheduler that scores devices with the

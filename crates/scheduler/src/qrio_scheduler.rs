@@ -84,29 +84,42 @@ impl<'a> QrioScheduler<'a> {
             });
         }
 
-        // Stage 2: ranking via the meta server.
+        // Stage 2: ranking via the meta server. Job-level errors (no such
+        // job / strategy, parameters every device would reject) abort the
+        // cycle; anything else is a device-evaluation failure — the strategy
+        // could not score *this* device (too small, no embedding, simulation
+        // failed, device unknown to the meta server) — and per the
+        // `RankingStrategy` contract such devices are skipped.
         let mut ranked: Vec<(String, f64)> = Vec::with_capacity(shortlisted.len());
+        let mut last_skip_error = None;
         for backend in &shortlisted {
             match self.meta.score(job_name, backend.name()) {
-                Ok(response) => ranked.push((backend.name().to_string(), response.score())),
-                Err(qrio_meta::MetaError::UnknownDevice(_)) => {
-                    // The fleet may contain devices the meta server has not
-                    // been told about; skip them.
-                    continue;
-                }
-                Err(qrio_meta::MetaError::Transpiler(_)) | Err(qrio_meta::MetaError::Layout(_)) => {
-                    // Device cannot host the job (too small / no embedding).
-                    continue;
-                }
-                Err(other) => return Err(other.into()),
+                Ok(response) => ranked.push((backend.name().to_string(), response.value)),
+                Err(
+                    err @ (qrio_meta::MetaError::UnknownJob(_)
+                    | qrio_meta::MetaError::UnknownStrategy(_)
+                    | qrio_meta::MetaError::InvalidMetadata(_)),
+                ) => return Err(err.into()),
+                Err(skipped) => last_skip_error = Some(skipped),
             }
         }
         if ranked.is_empty() {
-            return Err(SchedulerError::NoDeviceCouldBeScored {
-                job: job_name.to_string(),
+            // Surface the root cause when every device failed the same way,
+            // rather than a generic "nothing could be scored".
+            return Err(match last_skip_error {
+                Some(err) => err.into(),
+                None => SchedulerError::NoDeviceCouldBeScored {
+                    job: job_name.to_string(),
+                },
             });
         }
-        ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        // Deterministic ordering: equal scores break on device name, so the
+        // decision never depends on the caller's fleet ordering.
+        ranked.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
         let (device, score) = ranked[0].clone();
         Ok(SchedulerDecision {
             device,
@@ -140,7 +153,7 @@ impl ScorePlugin for MetaRankingPlugin<'_> {
     fn score(&self, spec: &JobSpec, node: &Node) -> Result<f64, String> {
         self.meta
             .score(&spec.name, node.name())
-            .map(|response| response.score())
+            .map(|response| response.value)
             .map_err(|err| err.to_string())
     }
 }
@@ -265,8 +278,33 @@ mod tests {
     }
 
     #[test]
+    fn equal_scores_break_ties_by_device_name() {
+        // Two devices with identical topology and calibration produce exactly
+        // equal scores for a min-queue job with no telemetry; the ranking must
+        // not depend on fleet iteration order.
+        let twin_a = Backend::uniform("twin-a", topology::line(6), 0.01, 0.05);
+        let twin_b = Backend::uniform("twin-b", topology::line(6), 0.01, 0.05);
+        for fleet in [
+            vec![twin_a.clone(), twin_b.clone()],
+            vec![twin_b.clone(), twin_a.clone()],
+        ] {
+            let mut meta = meta_with_fleet(&fleet);
+            meta.upload_job_metadata("tie-job", &qrio_cluster::StrategySpec::min_queue(), None)
+                .unwrap();
+            let scheduler = QrioScheduler::new(&meta);
+            let decision = scheduler
+                .select_device("tie-job", &fleet, &DeviceRequirements::none())
+                .unwrap();
+            assert_eq!(decision.ranked[0].1, decision.ranked[1].1, "scores tie");
+            assert_eq!(decision.device, "twin-a", "ties break lexicographically");
+            let names: Vec<&str> = decision.ranked.iter().map(|(n, _)| n.as_str()).collect();
+            assert_eq!(names, vec!["twin-a", "twin-b"]);
+        }
+    }
+
+    #[test]
     fn ranking_plugin_scores_cluster_nodes() {
-        use qrio_cluster::{Resources, SelectionStrategy};
+        use qrio_cluster::{Resources, StrategySpec};
         let fleet = fleet();
         let mut meta = meta_with_fleet(&fleet);
         let bv = library::bernstein_vazirani(5, 0b10011).unwrap();
@@ -280,7 +318,7 @@ mod tests {
             num_qubits: 5,
             resources: Resources::new(100, 128),
             requirements: DeviceRequirements::none(),
-            strategy: SelectionStrategy::Fidelity(0.9),
+            strategy: StrategySpec::fidelity(0.9),
             shots: 128,
         };
         let clean_node = Node::from_backend(fleet[0].clone(), Resources::new(1000, 1024));
