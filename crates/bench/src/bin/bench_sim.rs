@@ -1,0 +1,580 @@
+//! `bench_sim` — the simulation hot-path benchmark behind `BENCH_sim.json`.
+//!
+//! Measures the rebuilt `qrio-sim` execution engine against the seed
+//! implementation (kept verbatim in [`naive`]): the Clifford-canary shot
+//! loop, ideal statevector sampling, stabilizer gate throughput, the noisy
+//! Monte-Carlo path, pattern-graph dedup and the VF2 embedding search. Every
+//! metric records a baseline number, a current number and the speedup, so
+//! this PR and every future one has before/after evidence.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p qrio-bench --release --bin bench_sim [-- --smoke] [--out PATH]
+//! ```
+//!
+//! `--smoke` shrinks iteration counts for CI; `--out` overrides the default
+//! `BENCH_sim.json` output path.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use qrio_backend::topology;
+use qrio_circuit::{library, Circuit, Gate};
+use qrio_layout::{find_embeddings, PatternGraph, SearchOptions};
+use qrio_sim::{
+    run_ideal_parallel, run_with_noise_parallel, NoiseModel, ParallelConfig, StabilizerSimulator,
+    StateVector,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The seed (pre-optimisation) implementations, kept verbatim so the
+/// baseline is measured on the same machine in the same process — not
+/// copied from a stale lab notebook.
+mod naive {
+    use qrio_circuit::{Circuit, Gate};
+    use qrio_sim::{Complex64, NoiseModel};
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// The seed `Vec<Vec<bool>>` CHP tableau (boolean rows, per-qubit phase
+    /// lookup), exactly as shipped before the bit-packed rebuild.
+    pub struct Tableau {
+        n: usize,
+        x: Vec<Vec<bool>>,
+        z: Vec<Vec<bool>>,
+        r: Vec<bool>,
+    }
+
+    impl Tableau {
+        pub fn new(num_qubits: usize) -> Self {
+            let n = num_qubits;
+            let rows = 2 * n + 1;
+            let mut x = vec![vec![false; n]; rows];
+            let mut z = vec![vec![false; n]; rows];
+            let r = vec![false; rows];
+            for i in 0..n {
+                x[i][i] = true;
+                z[n + i][i] = true;
+            }
+            Tableau { n, x, z, r }
+        }
+
+        fn h(&mut self, a: usize) {
+            for i in 0..2 * self.n {
+                let (xi, zi) = (self.x[i][a], self.z[i][a]);
+                self.r[i] ^= xi && zi;
+                self.x[i][a] = zi;
+                self.z[i][a] = xi;
+            }
+        }
+
+        fn s(&mut self, a: usize) {
+            for i in 0..2 * self.n {
+                let (xi, zi) = (self.x[i][a], self.z[i][a]);
+                self.r[i] ^= xi && zi;
+                self.z[i][a] = zi ^ xi;
+            }
+        }
+
+        fn cx(&mut self, a: usize, b: usize) {
+            for i in 0..2 * self.n {
+                let (xia, zia) = (self.x[i][a], self.z[i][a]);
+                let (xib, zib) = (self.x[i][b], self.z[i][b]);
+                self.r[i] ^= xia && zib && (xib ^ zia ^ true);
+                self.x[i][b] = xib ^ xia;
+                self.z[i][a] = zia ^ zib;
+            }
+        }
+
+        fn x_gate(&mut self, a: usize) {
+            for i in 0..2 * self.n {
+                self.r[i] ^= self.z[i][a];
+            }
+        }
+
+        fn z_gate(&mut self, a: usize) {
+            for i in 0..2 * self.n {
+                self.r[i] ^= self.x[i][a];
+            }
+        }
+
+        /// Apply one gate from the set the benchmark circuits use.
+        pub fn apply_gate(&mut self, gate: &Gate, qubits: &[usize]) {
+            match *gate {
+                Gate::H => self.h(qubits[0]),
+                Gate::S => self.s(qubits[0]),
+                Gate::X => self.x_gate(qubits[0]),
+                Gate::Y => {
+                    self.z_gate(qubits[0]);
+                    self.x_gate(qubits[0]);
+                }
+                Gate::Z => self.z_gate(qubits[0]),
+                Gate::CX => self.cx(qubits[0], qubits[1]),
+                ref g => panic!("naive tableau: unsupported benchmark gate {g:?}"),
+            }
+        }
+
+        fn rowsum(&mut self, h: usize, i: usize) {
+            let mut phase: i32 = i32::from(self.r[h]) * 2 + i32::from(self.r[i]) * 2;
+            for j in 0..self.n {
+                phase += g(self.x[i][j], self.z[i][j], self.x[h][j], self.z[h][j]);
+            }
+            self.r[h] = phase.rem_euclid(4) == 2;
+            for j in 0..self.n {
+                self.x[h][j] ^= self.x[i][j];
+                self.z[h][j] ^= self.z[i][j];
+            }
+        }
+
+        pub fn measure(&mut self, a: usize, rng: &mut StdRng) -> bool {
+            let n = self.n;
+            let mut p = None;
+            for i in n..2 * n {
+                if self.x[i][a] {
+                    p = Some(i);
+                    break;
+                }
+            }
+            if let Some(p) = p {
+                for i in 0..2 * n {
+                    if i != p && self.x[i][a] {
+                        self.rowsum(i, p);
+                    }
+                }
+                self.x[p - n] = self.x[p].clone();
+                self.z[p - n] = self.z[p].clone();
+                self.r[p - n] = self.r[p];
+                for j in 0..n {
+                    self.x[p][j] = false;
+                    self.z[p][j] = false;
+                }
+                self.z[p][a] = true;
+                let outcome = rng.gen_bool(0.5);
+                self.r[p] = outcome;
+                outcome
+            } else {
+                let scratch = 2 * n;
+                for j in 0..n {
+                    self.x[scratch][j] = false;
+                    self.z[scratch][j] = false;
+                }
+                self.r[scratch] = false;
+                for i in 0..n {
+                    if self.x[i][a] {
+                        self.rowsum(scratch, i + n);
+                    }
+                }
+                self.r[scratch]
+            }
+        }
+    }
+
+    fn g(x1: bool, z1: bool, x2: bool, z2: bool) -> i32 {
+        match (x1, z1) {
+            (false, false) => 0,
+            (true, true) => i32::from(z2) - i32::from(x2),
+            (true, false) => i32::from(z2) * (2 * i32::from(x2) - 1),
+            (false, true) => i32::from(x2) * (1 - 2 * i32::from(z2)),
+        }
+    }
+
+    /// The seed shot loop: rebuild the tableau and replay the whole circuit
+    /// for every shot (the old `run_stabilizer_shot`, ideal-noise case).
+    pub fn stabilizer_shot_loop(circuit: &Circuit, shots: u64, rng: &mut StdRng) -> u64 {
+        let mut acc = 0u64;
+        for _ in 0..shots {
+            let mut sim = Tableau::new(circuit.num_qubits());
+            let mut outcome = 0u64;
+            for inst in circuit.instructions() {
+                match inst.gate {
+                    Gate::Barrier => {}
+                    Gate::Measure => {
+                        if sim.measure(inst.qubits[0], rng) {
+                            outcome |= 1 << inst.clbits[0];
+                        }
+                    }
+                    ref gate => sim.apply_gate(gate, &inst.qubits),
+                }
+            }
+            acc ^= outcome;
+        }
+        acc
+    }
+
+    /// The seed noisy shot loop: replay with Pauli-error injection.
+    pub fn noisy_stabilizer_shot_loop(
+        circuit: &Circuit,
+        noise: &NoiseModel,
+        shots: u64,
+        rng: &mut StdRng,
+    ) -> u64 {
+        let mut acc = 0u64;
+        for _ in 0..shots {
+            let mut sim = Tableau::new(circuit.num_qubits());
+            let mut outcome = 0u64;
+            for inst in circuit.instructions() {
+                match inst.gate {
+                    Gate::Barrier => {}
+                    Gate::Measure => {
+                        let raw = sim.measure(inst.qubits[0], rng);
+                        if noise.flip_readout(inst.qubits[0], raw, rng) {
+                            outcome |= 1 << inst.clbits[0];
+                        }
+                    }
+                    ref gate => {
+                        sim.apply_gate(gate, &inst.qubits);
+                        for (q, pauli) in noise.sample_gate_errors(gate, &inst.qubits, rng) {
+                            sim.apply_gate(&pauli.gate(), &[q]);
+                        }
+                    }
+                }
+            }
+            acc ^= outcome;
+        }
+        acc
+    }
+
+    /// The seed statevector sampler: O(2^n) linear scan per draw.
+    pub fn linear_scan_sample(amplitudes: &[Complex64], rng: &mut StdRng) -> u64 {
+        let draw: f64 = rng.gen();
+        let mut cumulative = 0.0;
+        for (index, amp) in amplitudes.iter().enumerate() {
+            cumulative += amp.norm_sqr();
+            if draw < cumulative {
+                return index as u64;
+            }
+        }
+        (amplitudes.len() - 1) as u64
+    }
+
+    /// The seed O(E²) pattern-edge dedup (`Vec::contains` per edge).
+    pub fn quadratic_edge_dedup(num_vertices: usize, edges: &[(usize, usize)]) -> usize {
+        let mut cleaned: Vec<(usize, usize)> = Vec::new();
+        for &(a, b) in edges {
+            if a == b || a >= num_vertices || b >= num_vertices {
+                continue;
+            }
+            let key = (a.min(b), a.max(b));
+            if cleaned.contains(&key) {
+                continue;
+            }
+            cleaned.push(key);
+        }
+        cleaned.len()
+    }
+}
+
+/// One measured metric: baseline vs current in units/second (or seconds).
+struct Metric {
+    name: &'static str,
+    unit: &'static str,
+    baseline: f64,
+    current: f64,
+    note: &'static str,
+}
+
+impl Metric {
+    fn speedup(&self) -> f64 {
+        if self.baseline > 0.0 {
+            self.current / self.baseline
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Time `op` `reps` times and return the best (minimum) duration in seconds.
+fn best_of<F: FnMut()>(reps: u32, mut op: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        op();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn statevector_circuit(qubits: usize) -> Circuit {
+    // Entangled, non-uniform and non-Clifford: GHZ core plus rotations.
+    let mut circuit = library::ghz(qubits).unwrap().without_measurements();
+    circuit.append(Gate::T, &[0]).unwrap();
+    circuit.append(Gate::RY(0.4), &[qubits / 2]).unwrap();
+    circuit.append(Gate::H, &[qubits - 1]).unwrap();
+    circuit
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_sim.json".to_string());
+    let reps: u32 = if smoke { 2 } else { 5 };
+    let shots: u64 = 1024;
+    let sv_qubits: usize = 20;
+    let sv_draws: u64 = if smoke { 256 } else { 1024 };
+
+    let mut metrics: Vec<Metric> = Vec::new();
+
+    // --- 1. Clifford-canary shot loop (stabilizer, 1024 shots) -----------------------------
+    let canary = library::random_clifford_circuit(20, 8, 7).unwrap();
+    let baseline_secs = best_of(reps, || {
+        let mut rng = StdRng::seed_from_u64(3);
+        std::hint::black_box(naive::stabilizer_shot_loop(&canary, shots, &mut rng));
+    });
+    let current_secs = best_of(reps, || {
+        std::hint::black_box(
+            run_ideal_parallel(&canary, shots, 3, &ParallelConfig::auto()).unwrap(),
+        );
+    });
+    let serial_secs = best_of(reps, || {
+        std::hint::black_box(
+            run_ideal_parallel(&canary, shots, 3, &ParallelConfig::serial()).unwrap(),
+        );
+    });
+    metrics.push(Metric {
+        name: "stabilizer_canary_shots_per_sec",
+        unit: "shots/s",
+        baseline: shots as f64 / baseline_secs,
+        current: shots as f64 / current_secs,
+        note: "20q depth-8 Clifford canary, 1024 shots; baseline replays the \
+               circuit per shot on the seed Vec<bool> tableau",
+    });
+    metrics.push(Metric {
+        name: "stabilizer_canary_shots_per_sec_serial",
+        unit: "shots/s",
+        baseline: shots as f64 / baseline_secs,
+        current: shots as f64 / serial_secs,
+        note: "same workload pinned to one thread (fast path only, no parallelism)",
+    });
+
+    // --- 2. Ideal statevector sampling at 20 qubits ----------------------------------------
+    let sv_circuit = statevector_circuit(sv_qubits);
+    let mut state = StateVector::new(sv_qubits).unwrap();
+    state.apply_circuit(&sv_circuit).unwrap();
+    let amplitudes: Vec<qrio_sim::Complex64> = (0..1usize << sv_qubits)
+        .map(|i| state.amplitude(i))
+        .collect();
+    let baseline_secs = best_of(reps, || {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..sv_draws {
+            std::hint::black_box(naive::linear_scan_sample(&amplitudes, &mut rng));
+        }
+    });
+    // Current path includes building the cumulative table (amortised over the
+    // draw loop, exactly as the executor fast path does it).
+    let current_secs = best_of(reps, || {
+        let table = state.cumulative_distribution();
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..sv_draws {
+            std::hint::black_box(table.sample(&mut rng));
+        }
+    });
+    metrics.push(Metric {
+        name: "statevector_sampling_20q_samples_per_sec",
+        unit: "samples/s",
+        baseline: sv_draws as f64 / baseline_secs,
+        current: sv_draws as f64 / current_secs,
+        note: "20-qubit ideal terminal sampling; baseline linear-scans 2^20 \
+               amplitudes per draw, current builds the cumulative table once \
+               (cost included) and binary-searches per draw",
+    });
+
+    // --- 3. End-to-end ideal statevector execution at 20 qubits ----------------------------
+    let mut measured = sv_circuit.clone();
+    measured.measure_all().unwrap();
+    let e2e_shots = if smoke { 256 } else { 1024 };
+    let current_secs = best_of(reps, || {
+        std::hint::black_box(
+            run_ideal_parallel(&measured, e2e_shots, 5, &ParallelConfig::auto()).unwrap(),
+        );
+    });
+    // Baseline = state build (shared) + naive per-shot linear scans.
+    let build_secs = best_of(reps, || {
+        let mut sv = StateVector::new(sv_qubits).unwrap();
+        sv.apply_circuit(&sv_circuit).unwrap();
+        std::hint::black_box(&sv);
+    });
+    let scan_secs = best_of(reps, || {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..e2e_shots {
+            std::hint::black_box(naive::linear_scan_sample(&amplitudes, &mut rng));
+        }
+    });
+    metrics.push(Metric {
+        name: "statevector_run_ideal_20q_shots_per_sec",
+        unit: "shots/s",
+        baseline: e2e_shots as f64 / (build_secs + scan_secs),
+        current: e2e_shots as f64 / current_secs,
+        note: "full run_ideal at 20 qubits (state build + sampling)",
+    });
+
+    // --- 4. Stabilizer gate throughput ------------------------------------------------------
+    let big = library::random_clifford_circuit(100, 40, 11).unwrap();
+    let gates = big
+        .instructions()
+        .iter()
+        .filter(|i| !matches!(i.gate, Gate::Measure | Gate::Barrier))
+        .count();
+    let baseline_secs = best_of(reps, || {
+        let mut sim = naive::Tableau::new(100);
+        for inst in big.instructions() {
+            if matches!(inst.gate, Gate::Measure | Gate::Barrier) {
+                continue;
+            }
+            sim.apply_gate(&inst.gate, &inst.qubits);
+        }
+        std::hint::black_box(&sim);
+    });
+    let current_secs = best_of(reps, || {
+        let mut sim = StabilizerSimulator::new(100);
+        sim.apply_circuit(&big).unwrap();
+        std::hint::black_box(&sim);
+    });
+    metrics.push(Metric {
+        name: "stabilizer_gate_throughput_gates_per_sec",
+        unit: "gates/s",
+        baseline: gates as f64 / baseline_secs,
+        current: gates as f64 / current_secs,
+        note: "100-qubit depth-40 Clifford circuit applied to a fresh tableau",
+    });
+
+    // --- 5. Noisy stabilizer path ----------------------------------------------------------
+    let noise = NoiseModel::uniform(20, 0.01, 0.05, 0.02);
+    let baseline_secs = best_of(reps, || {
+        let mut rng = StdRng::seed_from_u64(13);
+        std::hint::black_box(naive::noisy_stabilizer_shot_loop(
+            &canary, &noise, shots, &mut rng,
+        ));
+    });
+    let current_secs = best_of(reps, || {
+        std::hint::black_box(
+            run_with_noise_parallel(&canary, &noise, shots, 13, &ParallelConfig::auto()).unwrap(),
+        );
+    });
+    metrics.push(Metric {
+        name: "noisy_stabilizer_shots_per_sec",
+        unit: "shots/s",
+        baseline: shots as f64 / baseline_secs,
+        current: shots as f64 / current_secs,
+        note: "per-shot replay with Pauli injection (Monte-Carlo noise); the \
+               win here is the bit-packed tableau plus parallel shards",
+    });
+
+    // --- 6. Pattern-graph dedup + VF2 embedding search --------------------------------------
+    let n = if smoke { 80 } else { 140 };
+    let mut dense_edges = Vec::new();
+    for a in 0..n {
+        for b in (a + 1)..n {
+            dense_edges.push((a, b));
+            dense_edges.push((b, a));
+        }
+    }
+    let baseline_secs = best_of(reps, || {
+        std::hint::black_box(naive::quadratic_edge_dedup(n, &dense_edges));
+    });
+    let current_secs = best_of(reps, || {
+        std::hint::black_box(PatternGraph::new(n, &dense_edges));
+    });
+    metrics.push(Metric {
+        name: "pattern_graph_dedup_edges_per_sec",
+        unit: "edges/s",
+        baseline: dense_edges.len() as f64 / baseline_secs,
+        current: dense_edges.len() as f64 / current_secs,
+        note: "dense fully-connected pattern, every edge in both orientations; \
+               baseline is the seed O(E^2) Vec::contains scan",
+    });
+
+    let pattern = PatternGraph::new(8, &topology::ring(8).edges());
+    let device = topology::grid(6, 6);
+    let embed_secs = best_of(reps, || {
+        std::hint::black_box(find_embeddings(&pattern, &device, SearchOptions::default()));
+    });
+    metrics.push(Metric {
+        name: "embedding_search_seconds",
+        unit: "s",
+        baseline: embed_secs,
+        current: embed_secs,
+        note: "ring-8 into grid-6x6, default search budget (tracking metric, \
+               search algorithm unchanged this PR)",
+    });
+
+    // --- Report -----------------------------------------------------------------------------
+    let threads = ParallelConfig::auto().effective_threads();
+    println!(
+        "bench_sim ({} mode, auto = {} threads)",
+        if smoke { "smoke" } else { "full" },
+        threads
+    );
+    let rows: Vec<(String, String)> = metrics
+        .iter()
+        .map(|m| {
+            (
+                m.name.to_string(),
+                format!(
+                    "{:.0} -> {:.0} {} ({:.1}x)",
+                    m.baseline,
+                    m.current,
+                    m.unit,
+                    m.speedup()
+                ),
+            )
+        })
+        .collect();
+    for (name, value) in &rows {
+        println!("  {name:<44} {value}");
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"benchmark\": \"bench_sim\",");
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if smoke { "smoke" } else { "full" }
+    );
+    let _ = writeln!(json, "  \"auto_threads\": {threads},");
+    let _ = writeln!(json, "  \"shots\": {shots},");
+    let _ = writeln!(
+        json,
+        "  \"baseline\": \"seed implementations (Vec<bool> tableau replay, O(2^n) \
+         linear-scan sampling, O(E^2) dedup) measured in-process\","
+    );
+    json.push_str("  \"metrics\": {\n");
+    for (index, metric) in metrics.iter().enumerate() {
+        let _ = writeln!(json, "    \"{}\": {{", metric.name);
+        let _ = writeln!(json, "      \"unit\": \"{}\",", metric.unit);
+        let _ = writeln!(json, "      \"baseline\": {:.3},", metric.baseline);
+        let _ = writeln!(json, "      \"current\": {:.3},", metric.current);
+        let _ = writeln!(json, "      \"speedup\": {:.3},", metric.speedup());
+        let _ = writeln!(json, "      \"note\": \"{}\"", metric.note);
+        let comma = if index + 1 == metrics.len() { "" } else { "," };
+        let _ = writeln!(json, "    }}{comma}");
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write(&out_path, &json).expect("cannot write BENCH_sim.json");
+    println!("wrote {out_path}");
+
+    // Self-check the acceptance thresholds so CI fails loudly on regression.
+    let canary_speedup = metrics[0].speedup();
+    let sampling_speedup = metrics
+        .iter()
+        .find(|m| m.name == "statevector_sampling_20q_samples_per_sec")
+        .map(Metric::speedup)
+        .unwrap_or(0.0);
+    if !smoke {
+        assert!(
+            canary_speedup >= 10.0,
+            "Clifford-canary shot loop speedup {canary_speedup:.1}x is below the 10x floor"
+        );
+        assert!(
+            sampling_speedup >= 5.0,
+            "statevector sampling speedup {sampling_speedup:.1}x is below the 5x floor"
+        );
+    }
+}

@@ -620,6 +620,7 @@ mod tests {
             requirements: DeviceRequirements::none(),
             strategy: StrategySpec::fidelity(0.9),
             shots: 64,
+            threads: 0,
         }
     }
 

@@ -153,6 +153,7 @@ mod tests {
             },
             strategy: StrategySpec::fidelity(0.9),
             shots: 128,
+            threads: 0,
         }
     }
 

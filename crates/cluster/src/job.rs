@@ -280,6 +280,10 @@ pub struct JobSpec {
     pub strategy: StrategySpec,
     /// Number of shots to execute.
     pub shots: u64,
+    /// Worker threads for shot execution on the node (`0` = auto-detect).
+    /// Thread count never changes results — shot RNG shards are derived from
+    /// the shot count alone — so this is purely a latency knob.
+    pub threads: usize,
 }
 
 /// Lifecycle of a job inside the cluster.
@@ -449,6 +453,7 @@ mod tests {
             requirements: DeviceRequirements::none(),
             strategy: StrategySpec::fidelity(0.9),
             shots: 1024,
+            threads: 0,
         };
         let mut job = Job::new(spec);
         assert_eq!(job.phase(), &JobPhase::Pending);

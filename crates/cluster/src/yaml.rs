@@ -29,6 +29,9 @@ pub fn to_yaml(spec: &JobSpec) -> String {
     let _ = writeln!(out, "  image: {}", spec.image);
     let _ = writeln!(out, "  qubits: {}", spec.num_qubits);
     let _ = writeln!(out, "  shots: {}", spec.shots);
+    if spec.threads != 0 {
+        let _ = writeln!(out, "  threads: {}", spec.threads);
+    }
     out.push_str("  resources:\n");
     let _ = writeln!(out, "    cpuMillis: {}", spec.resources.cpu_millis);
     let _ = writeln!(out, "    memoryMib: {}", spec.resources.memory_mib);
@@ -132,6 +135,7 @@ pub fn from_yaml(text: &str) -> Result<JobSpec, ClusterError> {
     let mut image = None;
     let mut qubits = None;
     let mut shots = 1024u64;
+    let mut threads = 0usize;
     let mut cpu = 0u64;
     let mut mem = 0u64;
     let mut requirements = DeviceRequirements::default();
@@ -224,6 +228,7 @@ pub fn from_yaml(text: &str) -> Result<JobSpec, ClusterError> {
             "image" => image = Some(value.to_string()),
             "qubits" => qubits = Some(parse_u64(value)? as usize),
             "shots" => shots = parse_u64(value)?,
+            "threads" => threads = parse_u64(value)? as usize,
             "cpuMillis" => cpu = parse_u64(value)?,
             "memoryMib" => mem = parse_u64(value)?,
             "minQubits" => requirements.min_qubits = Some(parse_u64(value)? as usize),
@@ -267,6 +272,7 @@ pub fn from_yaml(text: &str) -> Result<JobSpec, ClusterError> {
             params,
         },
         shots,
+        threads,
     })
 }
 
@@ -308,6 +314,7 @@ mod tests {
             },
             strategy: StrategySpec::fidelity(0.85),
             shots: 2048,
+            threads: 0,
         }
     }
 
@@ -326,6 +333,21 @@ mod tests {
         assert_eq!(parsed.requirements.max_two_qubit_error, Some(0.25));
         assert_eq!(parsed.shots, 2048);
         assert_eq!(parsed.strategy, spec.strategy);
+    }
+
+    #[test]
+    fn threads_roundtrip_and_default() {
+        // threads: 0 (auto) is the default and is omitted from the document.
+        let spec = sample_spec();
+        let yaml = to_yaml(&spec);
+        assert!(!yaml.contains("threads:"));
+        assert_eq!(from_yaml(&yaml).unwrap().threads, 0);
+        // An explicit worker count round-trips.
+        let mut spec = sample_spec();
+        spec.threads = 4;
+        let yaml = to_yaml(&spec);
+        assert!(yaml.contains("threads: 4"));
+        assert_eq!(from_yaml(&yaml).unwrap().threads, 4);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use qrio_backend::Backend;
 use qrio_circuit::qasm;
 use qrio_cluster::{ExecutionOutcome, ImageBundle, JobRunner, JobSpec};
-use qrio_sim::{executor, NoiseModel};
+use qrio_sim::{executor, NoiseModel, ParallelConfig, SEED_STREAM_STRIDE};
 use qrio_transpiler::{deflate, transpile};
 
 use crate::master_server::CIRCUIT_FILE;
@@ -84,12 +84,26 @@ impl JobRunner for SimJobRunner {
             deflate(&transpiled.circuit, backend).map_err(|e| format!("deflation failed: {e}"))?;
         let noise = NoiseModel::from_backend(&deflated.backend);
         let seed = self.seed ^ fnv(&spec.name) ^ fnv(backend.name());
-        let noisy = executor::run_with_noise(&deflated.circuit, &noise, spec.shots, seed)
-            .map_err(|e| format!("execution failed: {e}"))?;
+        let parallel = ParallelConfig::with_threads(spec.threads);
+        let noisy = executor::run_with_noise_parallel(
+            &deflated.circuit,
+            &noise,
+            spec.shots,
+            seed,
+            &parallel,
+        )
+        .map_err(|e| format!("execution failed: {e}"))?;
         // 4. Noise-free reference for the achieved fidelity, when tractable.
-        let fidelity = executor::run_ideal(&deflated.circuit, spec.shots, seed.wrapping_add(1))
-            .ok()
-            .map(|ideal| ideal.hellinger_fidelity(&noisy));
+        // Runs a full seed stride away so it never shares a shard RNG stream
+        // with the noisy run.
+        let fidelity = executor::run_ideal_parallel(
+            &deflated.circuit,
+            spec.shots,
+            seed.wrapping_add(SEED_STREAM_STRIDE),
+            &parallel,
+        )
+        .ok()
+        .map(|ideal| ideal.hellinger_fidelity(&noisy));
         logs.push(format!(
             "executed {} shots on '{}'",
             spec.shots,
@@ -143,6 +157,7 @@ mod tests {
             requirements: DeviceRequirements::none(),
             strategy: StrategySpec::fidelity(0.9),
             shots,
+            threads: 0,
         };
         (spec, image)
     }

@@ -9,6 +9,7 @@
 
 use qrio_circuit::{library, qasm, Circuit};
 use qrio_cluster::{strategy_names, DeviceRequirements, Resources, StrategySpec};
+use qrio_sim::ParallelConfig;
 
 use crate::error::QrioError;
 
@@ -109,6 +110,9 @@ pub struct JobRequest {
     pub strategy: StrategySpec,
     /// Shots to execute.
     pub shots: u64,
+    /// Worker-thread configuration for shot execution on the node. Purely a
+    /// latency knob: results are bit-reproducible across thread counts.
+    pub parallel: ParallelConfig,
 }
 
 /// Builder modelling the visualizer's three-step job submission form.
@@ -122,6 +126,7 @@ pub struct JobRequestBuilder {
     requirements: DeviceRequirements,
     strategy: Option<StrategySpec>,
     shots: u64,
+    parallel: ParallelConfig,
 }
 
 impl JobRequestBuilder {
@@ -187,6 +192,15 @@ impl JobRequestBuilder {
     /// Number of shots to execute (defaults to 1024).
     pub fn shots(mut self, shots: u64) -> Self {
         self.shots = shots;
+        self
+    }
+
+    /// Worker-thread configuration for shot execution (defaults to
+    /// [`ParallelConfig::auto`]). Thread count never changes results — shot
+    /// RNG shards depend only on the shot count — so this is purely a
+    /// latency knob.
+    pub fn parallelism(mut self, parallel: ParallelConfig) -> Self {
+        self.parallel = parallel;
         self
     }
 
@@ -302,6 +316,7 @@ impl JobRequestBuilder {
             requirements: self.requirements,
             strategy,
             shots: self.shots,
+            parallel: self.parallel,
         })
     }
 }
@@ -401,6 +416,26 @@ mod tests {
             .strategy(StrategySpec::new(""))
             .build()
             .is_err());
+    }
+
+    #[test]
+    fn parallelism_rides_through_the_builder() {
+        let bv = library::bernstein_vazirani(3, 0b101).unwrap();
+        let default_request = JobRequestBuilder::new()
+            .with_circuit(&bv)
+            .job_name("p-default")
+            .fidelity_target(0.9)
+            .build()
+            .unwrap();
+        assert_eq!(default_request.parallel, ParallelConfig::auto());
+        let pinned = JobRequestBuilder::new()
+            .with_circuit(&bv)
+            .job_name("p-pinned")
+            .fidelity_target(0.9)
+            .parallelism(ParallelConfig::with_threads(4))
+            .build()
+            .unwrap();
+        assert_eq!(pinned.parallel.threads(), 4);
     }
 
     #[test]

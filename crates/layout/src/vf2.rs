@@ -20,15 +20,20 @@ pub struct PatternGraph {
 impl PatternGraph {
     /// Build a pattern from an edge list. Self-loops and out-of-range edges
     /// are ignored.
+    ///
+    /// Deduplication is O(E) via a hash set (the previous `Vec::contains`
+    /// scan per edge was O(E²), which hurt on dense patterns); first-seen
+    /// order of the cleaned edges is preserved.
     pub fn new(num_vertices: usize, edges: &[(usize, usize)]) -> Self {
         let mut adjacency = vec![Vec::new(); num_vertices];
-        let mut cleaned = Vec::new();
+        let mut cleaned = Vec::with_capacity(edges.len());
+        let mut seen = std::collections::HashSet::with_capacity(edges.len());
         for &(a, b) in edges {
             if a == b || a >= num_vertices || b >= num_vertices {
                 continue;
             }
             let key = (a.min(b), a.max(b));
-            if cleaned.contains(&key) {
+            if !seen.insert(key) {
                 continue;
             }
             cleaned.push(key);
@@ -272,6 +277,32 @@ mod tests {
         assert_eq!(pattern.edges(), &[(0, 1)]);
         assert_eq!(pattern.degree(0), 1);
         assert_eq!(pattern.degree(2), 0);
+    }
+
+    #[test]
+    fn dense_pattern_graph_dedups_quickly_and_correctly() {
+        // A fully-connected 120-vertex pattern, every edge listed in both
+        // orientations plus self-loops: 14 280 raw entries deduplicating to
+        // 7 140. The old O(E²) scan took quadratic time here; the hash-set
+        // path is linear and must preserve first-seen order.
+        let n = 120;
+        let mut raw = Vec::new();
+        for a in 0..n {
+            raw.push((a, a)); // self-loop, dropped
+            for b in (a + 1)..n {
+                raw.push((a, b));
+                raw.push((b, a)); // duplicate orientation, dropped
+            }
+        }
+        let pattern = PatternGraph::new(n, &raw);
+        assert_eq!(pattern.edges().len(), n * (n - 1) / 2);
+        assert_eq!(pattern.num_vertices(), n);
+        for v in 0..n {
+            assert_eq!(pattern.degree(v), n - 1);
+        }
+        // First-seen order preserved: (0,1) first, (n-2, n-1) last.
+        assert_eq!(pattern.edges()[0], (0, 1));
+        assert_eq!(*pattern.edges().last().unwrap(), (n - 2, n - 1));
     }
 
     #[test]

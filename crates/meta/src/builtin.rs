@@ -114,6 +114,11 @@ impl RankingStrategy for FidelityStrategy {
             .with_detail("canary_fidelity", evaluation.canary_fidelity)
             .with_detail("swaps_inserted", evaluation.swaps_inserted as f64))
     }
+
+    fn is_cacheable(&self) -> bool {
+        // Canary evaluation is seeded per device name and reads no telemetry.
+        true
+    }
 }
 
 /// The topology-similarity ranking of §3.4.2 as a plugin.
@@ -184,6 +189,11 @@ impl RankingStrategy for TopologyStrategy {
             "exact_embedding",
             if evaluation.exact_embedding { 1.0 } else { 0.0 },
         ))
+    }
+
+    fn is_cacheable(&self) -> bool {
+        // The VF2 embedding search is deterministic and reads no telemetry.
+        true
     }
 }
 

@@ -113,11 +113,13 @@ pub fn canary_fidelity_on_backend(
     let seed = config.seed ^ stable_hash(backend.name());
     let ideal = executor::run_ideal(&deflated.circuit, config.shots, seed)?;
     let noise = NoiseModel::from_backend(&deflated.backend);
+    // Offset by a full seed stride so the ideal and noisy sharded executions
+    // never share an RNG stream.
     let noisy = executor::run_with_noise(
         &deflated.circuit,
         &noise,
         config.shots,
-        seed.wrapping_add(1),
+        seed.wrapping_add(qrio_sim::SEED_STREAM_STRIDE),
     )?;
     Ok(ideal.hellinger_fidelity(&noisy))
 }

@@ -11,7 +11,7 @@
 //! [`MetaServer::register_strategy`].
 
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use qrio_backend::{spec as backend_spec, Backend};
 use qrio_circuit::{qasm, Circuit};
@@ -48,19 +48,50 @@ impl JobRecord {
     }
 }
 
+/// Memoized `(job, device)` scores for cacheable strategies, plus hit/miss
+/// counters. Entries carry the device's calibration revision at compute time,
+/// so re-registering a backend invalidates them implicitly.
+#[derive(Debug, Clone, Default)]
+struct ScoreCache {
+    entries: BTreeMap<(String, String), (u64, Score)>,
+    hits: u64,
+    misses: u64,
+}
+
 /// The QRIO Meta Server.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct MetaServer {
     backends: BTreeMap<String, Backend>,
     jobs: BTreeMap<String, JobRecord>,
     telemetry: BTreeMap<String, DeviceTelemetry>,
     registry: StrategyRegistry,
     fidelity_config: FidelityRankingConfig,
+    /// Calibration revision per device: bumped on every (re-)registration.
+    backend_revisions: BTreeMap<String, u64>,
+    /// Score memoization for strategies whose
+    /// [`RankingStrategy::is_cacheable`] is true — notably the topology
+    /// strategy's VF2 embedding search, which `score_all` would otherwise
+    /// re-run for every (job, device) pair on every scheduling cycle.
+    score_cache: Mutex<ScoreCache>,
 }
 
 impl Default for MetaServer {
     fn default() -> Self {
         MetaServer::with_config(FidelityRankingConfig::default())
+    }
+}
+
+impl Clone for MetaServer {
+    fn clone(&self) -> Self {
+        MetaServer {
+            backends: self.backends.clone(),
+            jobs: self.jobs.clone(),
+            telemetry: self.telemetry.clone(),
+            registry: self.registry.clone(),
+            fidelity_config: self.fidelity_config,
+            backend_revisions: self.backend_revisions.clone(),
+            score_cache: Mutex::new(self.score_cache.lock().expect("cache poisoned").clone()),
+        }
     }
 }
 
@@ -80,6 +111,8 @@ impl MetaServer {
             telemetry: BTreeMap::new(),
             registry: builtin_registry(fidelity_config),
             fidelity_config,
+            backend_revisions: BTreeMap::new(),
+            score_cache: Mutex::new(ScoreCache::default()),
         }
     }
 
@@ -110,8 +143,13 @@ impl MetaServer {
     // --- Backend store -------------------------------------------------------------------
 
     /// Register a vendor backend (a copy of the node's backend file, §3.1).
+    ///
+    /// Re-registering a device bumps its calibration revision, which
+    /// invalidates every memoized score computed against the old calibration.
     pub fn register_backend(&mut self, backend: Backend) {
-        self.backends.insert(backend.name().to_string(), backend);
+        let name = backend.name().to_string();
+        *self.backend_revisions.entry(name.clone()).or_insert(0) += 1;
+        self.backends.insert(name, backend);
     }
 
     /// Register a backend from its `backend.spec` text.
@@ -220,8 +258,15 @@ impl MetaServer {
     ) -> Result<(), MetaError> {
         let plugin = self.registry.resolve(&strategy.name)?;
         plugin.validate(&strategy.params, circuit.as_ref())?;
-        self.jobs
-            .insert(job_name.into(), JobRecord { strategy, circuit });
+        let job_name = job_name.into();
+        // A (re-)upload may change the strategy, parameters or circuit: drop
+        // every memoized score for this job.
+        self.score_cache
+            .lock()
+            .expect("cache poisoned")
+            .entries
+            .retain(|(job, _), _| *job != job_name);
+        self.jobs.insert(job_name, JobRecord { strategy, circuit });
         Ok(())
     }
 
@@ -235,6 +280,12 @@ impl MetaServer {
     /// Score `job_name` against `device` (the request body of §3.4): resolve
     /// the job's strategy by name and dispatch to the plugin, handing it the
     /// job's parameters, circuit and the device's latest telemetry.
+    ///
+    /// For strategies whose [`RankingStrategy::is_cacheable`] is true the
+    /// result is memoized per `(job, device, calibration revision)`:
+    /// `score_all` then re-runs the expensive evaluation (VF2 embedding
+    /// search, canary simulation) only when the job metadata was re-uploaded
+    /// or the device calibration re-registered.
     ///
     /// # Errors
     ///
@@ -256,7 +307,40 @@ impl MetaServer {
             circuit: record.circuit.as_ref(),
             telemetry: self.telemetry.get(device),
         };
-        strategy.score(&context, backend)
+        if !strategy.is_cacheable() {
+            return strategy.score(&context, backend);
+        }
+        let revision = self.backend_revisions.get(device).copied().unwrap_or(0);
+        let key = (job_name.to_string(), device.to_string());
+        {
+            let mut cache = self.score_cache.lock().expect("cache poisoned");
+            let cached = match cache.entries.get(&key) {
+                Some((cached_revision, score)) if *cached_revision == revision => {
+                    Some(score.clone())
+                }
+                _ => None,
+            };
+            if let Some(score) = cached {
+                cache.hits += 1;
+                return Ok(score);
+            }
+            cache.misses += 1;
+        }
+        // Compute outside the lock: cacheable strategies can be expensive.
+        let score = strategy.score(&context, backend)?;
+        self.score_cache
+            .lock()
+            .expect("cache poisoned")
+            .entries
+            .insert(key, (revision, score.clone()));
+        Ok(score)
+    }
+
+    /// Cumulative `(hits, misses)` of the memoized-score cache, for tests and
+    /// operational visibility.
+    pub fn score_cache_stats(&self) -> (u64, u64) {
+        let cache = self.score_cache.lock().expect("cache poisoned");
+        (cache.hits, cache.misses)
     }
 
     /// Score a job against every registered device, returning successful
@@ -448,6 +532,74 @@ mod tests {
         assert_eq!(ranked[0].device, "clean");
         assert_eq!(ranked[1].device, "noisy");
         assert_eq!(ranked[2].device, "tree");
+    }
+
+    #[test]
+    fn topology_scores_are_memoized_until_invalidated() {
+        let mut server = MetaServer::new();
+        server.register_backend(Backend::uniform("ring", topology::ring(8), 0.01, 0.05));
+        server.register_backend(Backend::uniform("line", topology::line(8), 0.01, 0.05));
+        let request = library::topology_circuit(8, &topology::ring(8).edges()).unwrap();
+        server.upload_topology_metadata("topo-cache", request.clone());
+
+        let first = server.score_all("topo-cache").unwrap();
+        assert_eq!(server.score_cache_stats(), (0, 2), "cold cache: all misses");
+        let second = server.score_all("topo-cache").unwrap();
+        assert_eq!(first, second, "cached scores must be identical");
+        assert_eq!(server.score_cache_stats(), (2, 2), "warm cache: all hits");
+
+        // Re-registering one device (new calibration revision) invalidates
+        // only that device's entry.
+        server.register_backend(Backend::uniform("line", topology::line(8), 0.02, 0.1));
+        server.score_all("topo-cache").unwrap();
+        assert_eq!(server.score_cache_stats(), (3, 3));
+
+        // Re-uploading the job drops both of its entries.
+        server.upload_topology_metadata("topo-cache", request);
+        server.score_all("topo-cache").unwrap();
+        assert_eq!(server.score_cache_stats(), (3, 5));
+    }
+
+    #[test]
+    fn telemetry_dependent_strategies_are_never_cached() {
+        let mut server = server_with_devices();
+        server
+            .upload_job_metadata("queue-job", &StrategySpec::min_queue(), None)
+            .unwrap();
+        server.update_telemetry(
+            "clean",
+            DeviceTelemetry {
+                queue_depth: 1,
+                utilization: 0.0,
+            },
+        );
+        let before = server.score("queue-job", "clean").unwrap();
+        // Fresh telemetry must be visible on the very next score call.
+        server.update_telemetry(
+            "clean",
+            DeviceTelemetry {
+                queue_depth: 9,
+                utilization: 0.0,
+            },
+        );
+        let after = server.score("queue-job", "clean").unwrap();
+        assert!((before.value - 1.0).abs() < 1e-12);
+        assert!((after.value - 9.0).abs() < 1e-12);
+        assert_eq!(server.score_cache_stats(), (0, 0));
+    }
+
+    #[test]
+    fn cloned_servers_carry_the_cache() {
+        let mut server = MetaServer::new();
+        server.register_backend(Backend::uniform("ring", topology::ring(6), 0.01, 0.05));
+        let request = library::topology_circuit(6, &topology::ring(6).edges()).unwrap();
+        server.upload_topology_metadata("topo", request);
+        server.score("topo", "ring").unwrap();
+        let clone = server.clone();
+        clone.score("topo", "ring").unwrap();
+        assert_eq!(clone.score_cache_stats(), (1, 1));
+        // The original is unaffected by the clone's hit.
+        assert_eq!(server.score_cache_stats(), (0, 1));
     }
 
     #[test]

@@ -151,6 +151,21 @@ pub trait RankingStrategy: fmt::Debug + Send + Sync {
     /// on *every* device — the scheduler treats it as job-level and aborts
     /// the cycle instead of skipping.
     fn score(&self, job: &JobContext<'_>, backend: &Backend) -> Result<Score, MetaError>;
+
+    /// Whether a score for a `(job, device)` pair may be memoized by the meta
+    /// server until the job metadata is re-uploaded or the device calibration
+    /// is re-registered.
+    ///
+    /// Return `true` only when `score` is a pure function of the job's
+    /// parameters/circuit and the backend's calibration — in particular, a
+    /// strategy that reads [`JobContext::telemetry`] must keep the default
+    /// `false`, since telemetry changes between scheduling cycles without any
+    /// re-upload. The built-in `fidelity` and `topology` strategies are
+    /// cacheable (their embedding searches and canary simulations are
+    /// deterministic and telemetry-free); `weighted` and `min_queue` are not.
+    fn is_cacheable(&self) -> bool {
+        false
+    }
 }
 
 /// A name-indexed collection of [`RankingStrategy`] plugins, owned by the meta

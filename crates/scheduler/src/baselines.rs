@@ -67,7 +67,14 @@ pub fn achieved_fidelity(
     let deflated = deflate(&transpiled.circuit, backend)?;
     let ideal = executor::run_ideal(&deflated.circuit, shots, seed)?;
     let noise = NoiseModel::from_backend(&deflated.backend);
-    let noisy = executor::run_with_noise(&deflated.circuit, &noise, shots, seed.wrapping_add(1))?;
+    // The noisy half runs a full seed stride away from the ideal half so the
+    // two sharded executions never share an RNG stream.
+    let noisy = executor::run_with_noise(
+        &deflated.circuit,
+        &noise,
+        shots,
+        seed.wrapping_add(qrio_sim::SEED_STREAM_STRIDE),
+    )?;
     Ok(ideal.hellinger_fidelity(&noisy))
 }
 

@@ -320,6 +320,7 @@ mod tests {
             requirements: DeviceRequirements::none(),
             strategy: StrategySpec::fidelity(0.9),
             shots: 128,
+            threads: 0,
         };
         let clean_node = Node::from_backend(fleet[0].clone(), Resources::new(1000, 1024));
         let noisy_node = Node::from_backend(fleet[2].clone(), Resources::new(1000, 1024));

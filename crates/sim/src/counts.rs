@@ -72,6 +72,17 @@ impl Counts {
         self.total
     }
 
+    /// Fold every observation of `other` into this histogram.
+    ///
+    /// Merging is commutative and associative, which is what makes the
+    /// executor's sharded parallel shot execution reproducible: per-shard
+    /// histograms merge to the same result regardless of completion order.
+    pub fn merge(&mut self, other: &Counts) {
+        for (outcome, count) in other.iter() {
+            self.record_many(outcome, count);
+        }
+    }
+
     /// Count for a specific outcome.
     pub fn get(&self, outcome: u64) -> u64 {
         self.counts.get(&outcome).copied().unwrap_or(0)
@@ -182,6 +193,19 @@ mod tests {
         assert_eq!(c.bitstring(0b101), "101");
         c.record_many(0b111, 0);
         assert_eq!(c.total(), 5);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let a = Counts::from_pairs(2, [(0, 5), (1, 2)]);
+        let b = Counts::from_pairs(2, [(1, 3), (3, 4)]);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.total(), 14);
+        assert_eq!(ab.get(1), 5);
     }
 
     #[test]

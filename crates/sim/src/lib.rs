@@ -15,9 +15,11 @@
 //!   Clifford circuits (the Gottesman–Knill path behind Clifford canaries).
 //! * [`NoiseModel`] — per-qubit/per-edge depolarizing Pauli errors plus
 //!   readout flips, derived from a [`qrio_backend::Backend`].
-//! * [`executor`] — shot execution with automatic engine selection, and the
-//!   [`executor::fidelity_on_backend`] helper that compares noisy output to
-//!   the noise-free reference with Hellinger fidelity.
+//! * [`executor`] — shot execution with automatic engine selection,
+//!   ideal-terminal-measurement fast paths, deterministic sharded parallel
+//!   execution ([`ParallelConfig`]), and the [`executor::fidelity_on_backend`]
+//!   helper that compares noisy output to the noise-free reference with
+//!   Hellinger fidelity.
 //! * [`Counts`] — outcome histograms and distribution metrics.
 //!
 //! # Examples
@@ -49,7 +51,12 @@ mod statevector;
 pub use complex::Complex64;
 pub use counts::Counts;
 pub use error::SimulatorError;
-pub use executor::{run_ideal, run_on_backend, run_with_noise, Engine, DEFAULT_SHOTS};
+pub use executor::{
+    run_ideal, run_ideal_parallel, run_on_backend, run_on_backend_parallel, run_with_noise,
+    run_with_noise_parallel, Engine, ParallelConfig, DEFAULT_SHOTS, SEED_STREAM_STRIDE,
+};
 pub use noise::{NoiseModel, PauliError};
 pub use stabilizer::StabilizerSimulator;
-pub use statevector::{single_qubit_matrix, u3_matrix, StateVector, MAX_STATEVECTOR_QUBITS};
+pub use statevector::{
+    single_qubit_matrix, u3_matrix, CumulativeDistribution, StateVector, MAX_STATEVECTOR_QUBITS,
+};

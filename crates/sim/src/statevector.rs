@@ -85,43 +85,46 @@ impl StateVector {
     }
 
     /// Apply a controlled phase `e^{iθ}` to states where both qubits are 1.
+    ///
+    /// Stride loop: only the `2^(n-2)` affected amplitudes (both bits set)
+    /// are touched, instead of a branch over all `2^n` indices.
     fn apply_controlled_phase(&mut self, control: usize, target: usize, theta: f64) {
         let phase = Complex64::cis(theta);
         let mask = (1usize << control) | (1usize << target);
-        for (index, amp) in self.amplitudes.iter_mut().enumerate() {
-            if index & mask == mask {
-                *amp = *amp * phase;
-            }
+        let pairs = self.amplitudes.len() >> 2;
+        for k in 0..pairs {
+            let index = expand2(k, control, target) | mask;
+            self.amplitudes[index] = self.amplitudes[index] * phase;
         }
     }
 
     fn apply_cx(&mut self, control: usize, target: usize) {
         let cmask = 1usize << control;
         let tmask = 1usize << target;
-        for index in 0..self.amplitudes.len() {
-            if index & cmask != 0 && index & tmask == 0 {
-                self.amplitudes.swap(index, index | tmask);
-            }
+        let pairs = self.amplitudes.len() >> 2;
+        for k in 0..pairs {
+            let lo = expand2(k, control, target) | cmask;
+            self.amplitudes.swap(lo, lo | tmask);
         }
     }
 
     fn apply_swap(&mut self, a: usize, b: usize) {
         let amask = 1usize << a;
         let bmask = 1usize << b;
-        for index in 0..self.amplitudes.len() {
-            if index & amask != 0 && index & bmask == 0 {
-                self.amplitudes.swap(index, (index & !amask) | bmask);
-            }
+        let pairs = self.amplitudes.len() >> 2;
+        for k in 0..pairs {
+            let base = expand2(k, a, b);
+            self.amplitudes.swap(base | amask, base | bmask);
         }
     }
 
     fn apply_ccx(&mut self, c0: usize, c1: usize, target: usize) {
         let cmask = (1usize << c0) | (1usize << c1);
         let tmask = 1usize << target;
-        for index in 0..self.amplitudes.len() {
-            if index & cmask == cmask && index & tmask == 0 {
-                self.amplitudes.swap(index, index | tmask);
-            }
+        let octets = self.amplitudes.len() >> 3;
+        for k in 0..octets {
+            let lo = expand3(k, c0, c1, target) | cmask;
+            self.amplitudes.swap(lo, lo | tmask);
         }
     }
 
@@ -130,11 +133,11 @@ impl StateVector {
         let tmask = 1usize << target;
         let minus = Complex64::cis(-theta / 2.0);
         let plus = Complex64::cis(theta / 2.0);
-        for (index, amp) in self.amplitudes.iter_mut().enumerate() {
-            if index & cmask != 0 {
-                let phase = if index & tmask == 0 { minus } else { plus };
-                *amp = *amp * phase;
-            }
+        let halves = self.amplitudes.len() >> 1;
+        for k in 0..halves {
+            let index = insert_bit(k, control) | cmask;
+            let phase = if index & tmask == 0 { minus } else { plus };
+            self.amplitudes[index] = self.amplitudes[index] * phase;
         }
     }
 
@@ -142,15 +145,15 @@ impl StateVector {
     fn apply_cy(&mut self, control: usize, target: usize) {
         let cmask = 1usize << control;
         let tmask = 1usize << target;
-        for index in 0..self.amplitudes.len() {
-            if index & cmask != 0 && index & tmask == 0 {
-                let hi = index | tmask;
-                let a0 = self.amplitudes[index];
-                let a1 = self.amplitudes[hi];
-                // Y = [[0, -i], [i, 0]]
-                self.amplitudes[index] = Complex64::new(a1.im, -a1.re);
-                self.amplitudes[hi] = Complex64::new(-a0.im, a0.re);
-            }
+        let pairs = self.amplitudes.len() >> 2;
+        for k in 0..pairs {
+            let index = expand2(k, control, target) | cmask;
+            let hi = index | tmask;
+            let a0 = self.amplitudes[index];
+            let a1 = self.amplitudes[hi];
+            // Y = [[0, -i], [i, 0]]
+            self.amplitudes[index] = Complex64::new(a1.im, -a1.re);
+            self.amplitudes[hi] = Complex64::new(-a0.im, a0.re);
         }
     }
 
@@ -240,12 +243,9 @@ impl StateVector {
     /// Measure qubit `q` in the computational basis, collapsing the state.
     pub fn measure_qubit<R: Rng + ?Sized>(&mut self, q: usize, rng: &mut R) -> bool {
         let mask = 1usize << q;
-        let prob_one: f64 = self
-            .amplitudes
-            .iter()
-            .enumerate()
-            .filter(|(index, _)| index & mask != 0)
-            .map(|(_, amp)| amp.norm_sqr())
+        let halves = self.amplitudes.len() >> 1;
+        let prob_one: f64 = (0..halves)
+            .map(|k| self.amplitudes[insert_bit(k, q) | mask].norm_sqr())
             .sum();
         let outcome = rng.gen_bool(prob_one.clamp(0.0, 1.0));
         let keep_mask_set = outcome;
@@ -270,6 +270,11 @@ impl StateVector {
     }
 
     /// Sample one basis-state outcome from the current distribution.
+    ///
+    /// This is an O(2^n) linear scan, appropriate for a *single* draw. For
+    /// repeated sampling of a fixed state (the terminal-measurement fast
+    /// path), build a [`CumulativeDistribution`] once and draw from it in
+    /// O(log 2^n) = O(n) per shot.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
         let draw: f64 = rng.gen();
         let mut cumulative = 0.0;
@@ -282,6 +287,23 @@ impl StateVector {
         (self.amplitudes.len() - 1) as u64
     }
 
+    /// Precompute the cumulative probability table for repeated O(log N)
+    /// sampling via binary search.
+    ///
+    /// Draws from the returned table are bit-identical to [`Self::sample`]
+    /// given the same RNG stream: the prefix sums are accumulated in the same
+    /// order, and the binary search locates exactly the index the linear scan
+    /// would have stopped at.
+    pub fn cumulative_distribution(&self) -> CumulativeDistribution {
+        let mut cumulative = Vec::with_capacity(self.amplitudes.len());
+        let mut acc = 0.0;
+        for amp in &self.amplitudes {
+            acc += amp.norm_sqr();
+            cumulative.push(acc);
+        }
+        CumulativeDistribution { cumulative }
+    }
+
     /// L2 norm of the state (should stay ≈ 1).
     pub fn norm(&self) -> f64 {
         self.amplitudes
@@ -290,6 +312,64 @@ impl StateVector {
             .sum::<f64>()
             .sqrt()
     }
+}
+
+/// A precomputed cumulative probability table over basis states, for
+/// repeated O(log N) outcome sampling from a fixed [`StateVector`].
+///
+/// Built by [`StateVector::cumulative_distribution`]; the executor's ideal
+/// terminal-measurement fast path builds one table per circuit and then draws
+/// every shot from it by binary search, replacing the previous O(2^n)
+/// linear scan per shot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CumulativeDistribution {
+    /// cumulative[i] = Σ_{j ≤ i} |amplitude_j|².
+    cumulative: Vec<f64>,
+}
+
+impl CumulativeDistribution {
+    /// Number of basis states covered.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the table is empty (zero basis states).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Draw one basis-state outcome by binary search over the table.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let draw: f64 = rng.gen();
+        // First index whose cumulative sum exceeds the draw; if rounding left
+        // the total below the draw, fall back to the last state, exactly as
+        // the linear scan does.
+        let index = self.cumulative.partition_point(|&c| c <= draw);
+        index.min(self.cumulative.len().saturating_sub(1)) as u64
+    }
+}
+
+/// Expand `k` by inserting a zero bit at position `pos`: the result enumerates
+/// all indices whose bit `pos` is clear, in increasing order.
+#[inline]
+fn insert_bit(k: usize, pos: usize) -> usize {
+    let low_mask = (1usize << pos) - 1;
+    ((k & !low_mask) << 1) | (k & low_mask)
+}
+
+/// Expand `k` by inserting zero bits at positions `a` and `b` (`a != b`).
+#[inline]
+fn expand2(k: usize, a: usize, b: usize) -> usize {
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    insert_bit(insert_bit(k, lo), hi)
+}
+
+/// Expand `k` by inserting zero bits at three distinct positions.
+#[inline]
+fn expand3(k: usize, a: usize, b: usize, c: usize) -> usize {
+    let mut pos = [a, b, c];
+    pos.sort_unstable();
+    insert_bit(insert_bit(insert_bit(k, pos[0]), pos[1]), pos[2])
 }
 
 /// The 2×2 matrix of a single-qubit gate, if the gate is single-qubit.
@@ -524,6 +604,100 @@ mod tests {
             }
         }
         assert!((900..1100).contains(&ones), "got {ones} ones");
+    }
+
+    #[test]
+    fn cumulative_distribution_matches_linear_scan() {
+        // Identical RNG stream -> bit-identical outcomes for both samplers.
+        let mut sv = StateVector::new(4).unwrap();
+        for q in 0..4 {
+            sv.apply_gate(&Gate::H, &[q]).unwrap();
+        }
+        sv.apply_gate(&Gate::T, &[2]).unwrap();
+        sv.apply_gate(&Gate::CX, &[0, 3]).unwrap();
+        let table = sv.cumulative_distribution();
+        assert_eq!(table.len(), 16);
+        assert!(!table.is_empty());
+        let mut rng_a = StdRng::seed_from_u64(77);
+        let mut rng_b = StdRng::seed_from_u64(77);
+        for _ in 0..500 {
+            assert_eq!(sv.sample(&mut rng_a), table.sample(&mut rng_b));
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn stride_loops_match_reference_semantics() {
+        // CX/SWAP/CP/CRZ/CCX/CY over every qubit ordering on a 3-qubit
+        // register, compared against the definition applied amplitude-wise.
+        let qubit_pairs = [(0, 1), (1, 0), (0, 2), (2, 0), (1, 2), (2, 1)];
+        for &(a, b) in &qubit_pairs {
+            // Prepare an asymmetric superposition.
+            let mut sv = StateVector::new(3).unwrap();
+            sv.apply_gate(&Gate::H, &[0]).unwrap();
+            sv.apply_gate(&Gate::H, &[1]).unwrap();
+            sv.apply_gate(&Gate::T, &[1]).unwrap();
+            sv.apply_gate(&Gate::RY(0.3), &[2]).unwrap();
+            let before: Vec<Complex64> = (0..8).map(|i| sv.amplitude(i)).collect();
+
+            let mut cx = sv.clone();
+            cx.apply_gate(&Gate::CX, &[a, b]).unwrap();
+            for i in 0..8usize {
+                let expected = if i & (1 << a) != 0 { i ^ (1 << b) } else { i };
+                assert!(cx.amplitude(expected).approx_eq(before[i], 1e-12));
+            }
+
+            let mut swap = sv.clone();
+            swap.apply_gate(&Gate::Swap, &[a, b]).unwrap();
+            for i in 0..8usize {
+                let bit_a = (i >> a) & 1;
+                let bit_b = (i >> b) & 1;
+                let expected = (i & !(1 << a) & !(1 << b)) | (bit_a << b) | (bit_b << a);
+                assert!(swap.amplitude(expected).approx_eq(before[i], 1e-12));
+            }
+
+            let mut cp = sv.clone();
+            cp.apply_gate(&Gate::CP(0.7), &[a, b]).unwrap();
+            for i in 0..8usize {
+                let both = i & (1 << a) != 0 && i & (1 << b) != 0;
+                let expected = if both {
+                    before[i] * Complex64::cis(0.7)
+                } else {
+                    before[i]
+                };
+                assert!(cp.amplitude(i).approx_eq(expected, 1e-12));
+            }
+
+            let mut crz = sv.clone();
+            crz.apply_gate(&Gate::CRZ(0.9), &[a, b]).unwrap();
+            for i in 0..8usize {
+                let expected = if i & (1 << a) != 0 {
+                    let half = if i & (1 << b) == 0 { -0.45 } else { 0.45 };
+                    before[i] * Complex64::cis(half)
+                } else {
+                    before[i]
+                };
+                assert!(crz.amplitude(i).approx_eq(expected, 1e-12));
+            }
+        }
+
+        // CCX across every distinct triple ordering.
+        let mut sv = StateVector::new(3).unwrap();
+        for q in 0..3 {
+            sv.apply_gate(&Gate::H, &[q]).unwrap();
+        }
+        sv.apply_gate(&Gate::T, &[0]).unwrap();
+        let before: Vec<Complex64> = (0..8).map(|i| sv.amplitude(i)).collect();
+        for perm in [(0, 1, 2), (2, 0, 1), (1, 2, 0), (2, 1, 0)] {
+            let (c0, c1, t) = perm;
+            let mut ccx = sv.clone();
+            ccx.apply_gate(&Gate::CCX, &[c0, c1, t]).unwrap();
+            for i in 0..8usize {
+                let controls = i & (1 << c0) != 0 && i & (1 << c1) != 0;
+                let expected = if controls { i ^ (1 << t) } else { i };
+                assert!(ccx.amplitude(expected).approx_eq(before[i], 1e-12));
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,347 @@
+//! Property tests: the bit-packed CHP tableau matches the previous
+//! `Vec<Vec<bool>>` implementation gate-for-gate.
+//!
+//! The reference below is the seed implementation kept verbatim (boolean
+//! rows, per-qubit phase lookup). Both simulators consume the RNG identically
+//! — one `gen_bool(0.5)` per random-outcome measurement — so with equal
+//! seeds their measurement outcomes must be *bit-identical*, which is
+//! strictly stronger than matching distributions.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use qrio_circuit::{library, Circuit, Gate};
+use qrio_sim::StabilizerSimulator;
+
+/// The seed `Vec<Vec<bool>>` CHP tableau, kept as the semantic reference.
+struct ReferenceTableau {
+    n: usize,
+    x: Vec<Vec<bool>>,
+    z: Vec<Vec<bool>>,
+    r: Vec<bool>,
+}
+
+impl ReferenceTableau {
+    fn new(num_qubits: usize) -> Self {
+        let n = num_qubits;
+        let rows = 2 * n + 1;
+        let mut x = vec![vec![false; n]; rows];
+        let mut z = vec![vec![false; n]; rows];
+        let r = vec![false; rows];
+        for i in 0..n {
+            x[i][i] = true;
+            z[n + i][i] = true;
+        }
+        ReferenceTableau { n, x, z, r }
+    }
+
+    fn h(&mut self, a: usize) {
+        for i in 0..2 * self.n {
+            let (xi, zi) = (self.x[i][a], self.z[i][a]);
+            self.r[i] ^= xi && zi;
+            self.x[i][a] = zi;
+            self.z[i][a] = xi;
+        }
+    }
+
+    fn s(&mut self, a: usize) {
+        for i in 0..2 * self.n {
+            let (xi, zi) = (self.x[i][a], self.z[i][a]);
+            self.r[i] ^= xi && zi;
+            self.z[i][a] = zi ^ xi;
+        }
+    }
+
+    fn sdg(&mut self, a: usize) {
+        self.s(a);
+        self.s(a);
+        self.s(a);
+    }
+
+    fn cx(&mut self, a: usize, b: usize) {
+        for i in 0..2 * self.n {
+            let (xia, zia) = (self.x[i][a], self.z[i][a]);
+            let (xib, zib) = (self.x[i][b], self.z[i][b]);
+            self.r[i] ^= xia && zib && (xib ^ zia ^ true);
+            self.x[i][b] = xib ^ xia;
+            self.z[i][a] = zia ^ zib;
+        }
+    }
+
+    fn x_gate(&mut self, a: usize) {
+        for i in 0..2 * self.n {
+            self.r[i] ^= self.z[i][a];
+        }
+    }
+
+    fn z_gate(&mut self, a: usize) {
+        for i in 0..2 * self.n {
+            self.r[i] ^= self.x[i][a];
+        }
+    }
+
+    fn y_gate(&mut self, a: usize) {
+        self.z_gate(a);
+        self.x_gate(a);
+    }
+
+    fn rowsum(&mut self, h: usize, i: usize) {
+        let mut phase: i32 = i32::from(self.r[h]) * 2 + i32::from(self.r[i]) * 2;
+        for j in 0..self.n {
+            phase += g(self.x[i][j], self.z[i][j], self.x[h][j], self.z[h][j]);
+        }
+        self.r[h] = phase.rem_euclid(4) == 2;
+        for j in 0..self.n {
+            self.x[h][j] ^= self.x[i][j];
+            self.z[h][j] ^= self.z[i][j];
+        }
+    }
+
+    fn measure<R: Rng + ?Sized>(&mut self, a: usize, rng: &mut R) -> bool {
+        let n = self.n;
+        let mut p = None;
+        for i in n..2 * n {
+            if self.x[i][a] {
+                p = Some(i);
+                break;
+            }
+        }
+        if let Some(p) = p {
+            for i in 0..2 * n {
+                if i != p && self.x[i][a] {
+                    self.rowsum(i, p);
+                }
+            }
+            self.x[p - n] = self.x[p].clone();
+            self.z[p - n] = self.z[p].clone();
+            self.r[p - n] = self.r[p];
+            for j in 0..n {
+                self.x[p][j] = false;
+                self.z[p][j] = false;
+            }
+            self.z[p][a] = true;
+            let outcome = rng.gen_bool(0.5);
+            self.r[p] = outcome;
+            outcome
+        } else {
+            let scratch = 2 * n;
+            for j in 0..n {
+                self.x[scratch][j] = false;
+                self.z[scratch][j] = false;
+            }
+            self.r[scratch] = false;
+            for i in 0..n {
+                if self.x[i][a] {
+                    self.rowsum(scratch, i + n);
+                }
+            }
+            self.r[scratch]
+        }
+    }
+
+    /// The seed decomposition of every supported Clifford gate, verbatim.
+    fn apply_gate(&mut self, gate: &Gate, qubits: &[usize]) {
+        match *gate {
+            Gate::I | Gate::Barrier => {}
+            Gate::H => self.h(qubits[0]),
+            Gate::S => self.s(qubits[0]),
+            Gate::Sdg => self.sdg(qubits[0]),
+            Gate::X => self.x_gate(qubits[0]),
+            Gate::Y => self.y_gate(qubits[0]),
+            Gate::Z => self.z_gate(qubits[0]),
+            Gate::SX => {
+                self.h(qubits[0]);
+                self.s(qubits[0]);
+                self.h(qubits[0]);
+            }
+            Gate::CX => self.cx(qubits[0], qubits[1]),
+            Gate::CZ => {
+                self.h(qubits[1]);
+                self.cx(qubits[0], qubits[1]);
+                self.h(qubits[1]);
+            }
+            Gate::CY => {
+                self.sdg(qubits[1]);
+                self.cx(qubits[0], qubits[1]);
+                self.s(qubits[1]);
+            }
+            Gate::Swap => {
+                self.cx(qubits[0], qubits[1]);
+                self.cx(qubits[1], qubits[0]);
+                self.cx(qubits[0], qubits[1]);
+            }
+            Gate::RZ(theta) | Gate::U1(theta) => self.apply_quarter_z(qubits[0], theta),
+            Gate::RX(theta) => {
+                self.h(qubits[0]);
+                self.apply_quarter_z(qubits[0], theta);
+                self.h(qubits[0]);
+            }
+            Gate::RY(theta) => {
+                self.sdg(qubits[0]);
+                self.h(qubits[0]);
+                self.apply_quarter_z(qubits[0], theta);
+                self.h(qubits[0]);
+                self.s(qubits[0]);
+            }
+            Gate::U2(phi, lambda) => {
+                self.apply_u3(qubits[0], std::f64::consts::FRAC_PI_2, phi, lambda);
+            }
+            Gate::U3(theta, phi, lambda) => self.apply_u3(qubits[0], theta, phi, lambda),
+            Gate::CP(theta) | Gate::CRZ(theta) => {
+                let k = (theta / std::f64::consts::PI).round() as i64;
+                if k.rem_euclid(2) == 1 {
+                    self.h(qubits[1]);
+                    self.cx(qubits[0], qubits[1]);
+                    self.h(qubits[1]);
+                }
+                if matches!(gate, Gate::CRZ(_)) {
+                    self.apply_quarter_z(qubits[0], -theta / 2.0);
+                }
+            }
+            ref g => panic!("reference tableau: unsupported gate {g:?}"),
+        }
+    }
+
+    fn apply_quarter_z(&mut self, q: usize, theta: f64) {
+        let k = (theta / std::f64::consts::FRAC_PI_2).round() as i64;
+        match k.rem_euclid(4) {
+            1 => self.s(q),
+            2 => self.z_gate(q),
+            3 => self.sdg(q),
+            _ => {}
+        }
+    }
+
+    fn apply_u3(&mut self, q: usize, theta: f64, phi: f64, lambda: f64) {
+        self.apply_quarter_z(q, lambda);
+        self.sdg(q);
+        self.h(q);
+        self.apply_quarter_z(q, theta);
+        self.h(q);
+        self.s(q);
+        self.apply_quarter_z(q, phi);
+    }
+}
+
+fn g(x1: bool, z1: bool, x2: bool, z2: bool) -> i32 {
+    match (x1, z1) {
+        (false, false) => 0,
+        (true, true) => i32::from(z2) - i32::from(x2),
+        (true, false) => i32::from(z2) * (2 * i32::from(x2) - 1),
+        (false, true) => i32::from(x2) * (1 - 2 * i32::from(z2)),
+    }
+}
+
+/// Run one shot of `circuit` (unitaries then a full measurement sweep) on
+/// both tableaus with identically seeded RNGs; return the two outcome words.
+fn shot_pair(circuit: &Circuit, n: usize, shot_seed: u64) -> (u128, u128) {
+    let mut packed = StabilizerSimulator::new(n);
+    let mut reference = ReferenceTableau::new(n);
+    for inst in circuit.instructions() {
+        if matches!(inst.gate, Gate::Measure | Gate::Reset | Gate::Barrier) {
+            continue;
+        }
+        packed.apply_gate(&inst.gate, &inst.qubits).unwrap();
+        reference.apply_gate(&inst.gate, &inst.qubits);
+    }
+    let mut rng_packed = StdRng::seed_from_u64(shot_seed);
+    let mut rng_reference = StdRng::seed_from_u64(shot_seed);
+    let mut outcome_packed = 0u128;
+    let mut outcome_reference = 0u128;
+    for q in 0..n {
+        if packed.measure(q, &mut rng_packed) {
+            outcome_packed |= 1 << q;
+        }
+        if reference.measure(q, &mut rng_reference) {
+            outcome_reference |= 1 << q;
+        }
+    }
+    (outcome_packed, outcome_reference)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn random_clifford_circuits_measure_identically(
+        qubits in 1usize..20,
+        depth in 1usize..7,
+        circuit_seed in 0u64..1_000_000,
+        shot_seed in 0u64..1_000_000,
+    ) {
+        let circuit = library::random_clifford_circuit(qubits, depth, circuit_seed).unwrap();
+        for extra in 0..4u64 {
+            let (packed, reference) = shot_pair(&circuit, qubits, shot_seed.wrapping_add(extra));
+            prop_assert_eq!(packed, reference);
+        }
+    }
+
+    #[test]
+    fn wide_tableaus_measure_identically(
+        qubits in 60usize..90,
+        depth in 1usize..4,
+        circuit_seed in 0u64..100_000,
+        shot_seed in 0u64..100_000,
+    ) {
+        // Crossing the 64-qubit word boundary exercises multi-word rows.
+        let circuit = library::random_clifford_circuit(qubits, depth, circuit_seed).unwrap();
+        let (packed, reference) = shot_pair(&circuit, qubits, shot_seed);
+        prop_assert_eq!(packed, reference);
+    }
+}
+
+#[test]
+fn every_clifford_gate_variant_matches_the_reference() {
+    use std::f64::consts::{FRAC_PI_2, PI};
+    let n = 6;
+    let gates: Vec<(Gate, Vec<usize>)> = vec![
+        (Gate::H, vec![0]),
+        (Gate::H, vec![3]),
+        (Gate::S, vec![1]),
+        (Gate::Sdg, vec![2]),
+        (Gate::X, vec![3]),
+        (Gate::Y, vec![4]),
+        (Gate::Z, vec![5]),
+        (Gate::SX, vec![0]),
+        (Gate::CX, vec![0, 1]),
+        (Gate::CZ, vec![1, 2]),
+        (Gate::CY, vec![2, 3]),
+        (Gate::Swap, vec![3, 4]),
+        (Gate::RZ(FRAC_PI_2), vec![4]),
+        (Gate::RZ(PI), vec![5]),
+        (Gate::RZ(3.0 * FRAC_PI_2), vec![0]),
+        (Gate::RX(PI), vec![1]),
+        (Gate::RY(FRAC_PI_2), vec![2]),
+        (Gate::U1(PI), vec![3]),
+        (Gate::U2(0.0, PI), vec![4]),
+        (Gate::U3(PI, 0.0, PI), vec![5]),
+        (Gate::CP(PI), vec![0, 2]),
+        (Gate::CRZ(PI), vec![1, 3]),
+        (Gate::I, vec![0]),
+    ];
+    let mut circuit = Circuit::new(n, n);
+    for (gate, qubits) in &gates {
+        circuit.append(*gate, qubits).unwrap();
+    }
+    for shot_seed in 0..50 {
+        let (packed, reference) = shot_pair(&circuit, n, shot_seed);
+        assert_eq!(packed, reference, "diverged at shot seed {shot_seed}");
+    }
+}
+
+#[test]
+fn measurement_distributions_match_in_aggregate() {
+    // Distribution-level check on top of the bitwise one: histogram equality
+    // over many shots of an entangling circuit.
+    use std::collections::BTreeMap;
+    let circuit = library::random_clifford_circuit(8, 5, 99).unwrap();
+    let mut hist_packed: BTreeMap<u128, u64> = BTreeMap::new();
+    let mut hist_reference: BTreeMap<u128, u64> = BTreeMap::new();
+    for shot_seed in 0..2000u64 {
+        let (packed, reference) = shot_pair(&circuit, 8, shot_seed);
+        *hist_packed.entry(packed).or_insert(0) += 1;
+        *hist_reference.entry(reference).or_insert(0) += 1;
+    }
+    assert_eq!(hist_packed, hist_reference);
+}

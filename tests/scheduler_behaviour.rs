@@ -15,8 +15,10 @@ fn small_fleet() -> Vec<Backend> {
 }
 
 fn meta_for(fleet: &[Backend]) -> MetaServer {
+    // 256 canary shots: enough precision for the pick to track the oracle on
+    // the small fleet (96 was borderline and flaky across RNG streams).
     let mut meta = MetaServer::with_config(FidelityRankingConfig {
-        shots: 96,
+        shots: 256,
         seed: 17,
         shortfall_weight: 100.0,
     });
