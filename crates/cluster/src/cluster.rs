@@ -445,6 +445,89 @@ impl Cluster {
         })
     }
 
+    /// Replace the backend of an existing node after a calibration refresh or
+    /// drift event, recomputing its QRIO labels. The node keeps its name,
+    /// capacity, allocations and status.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the node does not exist or the backend's name does
+    /// not match the node's.
+    pub fn update_node_backend(&mut self, backend: Backend) -> Result<(), ClusterError> {
+        let name = backend.name().to_string();
+        let node = self
+            .nodes
+            .get_mut(&name)
+            .ok_or_else(|| ClusterError::UnknownNode(name.clone()))?;
+        node.set_backend(backend);
+        self.record(
+            "NodeCalibrated",
+            format!("node '{name}' received new calibration data"),
+        );
+        Ok(())
+    }
+
+    /// Move a `Scheduled` (bound but not yet running) job to another node —
+    /// the migration primitive load-aware schedulers use when calibration
+    /// drift or an outage makes the original binding a bad idea. Resources
+    /// are released on the old node and reserved on the new one. Rebinding a
+    /// job onto the node it is already bound to is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown jobs or nodes, jobs not in the
+    /// `Scheduled` phase, or when the target node cannot accept the job's
+    /// resource request; in every error case the original binding is left
+    /// untouched.
+    pub fn rebind_job(&mut self, job_name: &str, target: &str) -> Result<(), ClusterError> {
+        let (spec, from) = {
+            let job = self
+                .jobs
+                .get(job_name)
+                .ok_or_else(|| ClusterError::UnknownJob(job_name.to_string()))?;
+            let from = match job.phase() {
+                JobPhase::Scheduled { node } => node.clone(),
+                other => {
+                    return Err(ClusterError::BindingRejected {
+                        job: job_name.to_string(),
+                        node: target.to_string(),
+                        reason: format!("only Scheduled jobs can be rebound (currently {other:?})"),
+                    })
+                }
+            };
+            (job.spec().clone(), from)
+        };
+        if from == target {
+            return Ok(());
+        }
+        if !self.nodes.contains_key(target) {
+            return Err(ClusterError::UnknownNode(target.to_string()));
+        }
+        {
+            let target_node = self.nodes.get_mut(target).expect("target checked above");
+            if !target_node.allocate(&spec.resources) {
+                return Err(ClusterError::BindingRejected {
+                    job: job_name.to_string(),
+                    node: target.to_string(),
+                    reason: "target node cannot accept the job's resource request".into(),
+                });
+            }
+        }
+        if let Some(old) = self.nodes.get_mut(&from) {
+            old.release(&spec.resources);
+        }
+        let job = self.jobs.get_mut(job_name).expect("job checked above");
+        job.set_phase(JobPhase::Scheduled {
+            node: target.to_string(),
+        });
+        job.log(format!("rebound from '{from}' to '{target}'"));
+        self.record(
+            "JobRebound",
+            format!("job '{job_name}' moved from '{from}' to '{target}'"),
+        );
+        Ok(())
+    }
+
     /// Execute a previously-scheduled job on its bound node using `runner`.
     ///
     /// # Errors
@@ -795,6 +878,96 @@ mod tests {
         assert_eq!(healed, vec!["noisy"]);
         assert_eq!(cluster.ready_nodes().count(), 3);
         assert_eq!(cluster.node("noisy").unwrap().restart_count(), 1);
+    }
+
+    #[test]
+    fn rebind_moves_scheduled_jobs_and_their_resources() {
+        let mut cluster = cluster_with_nodes();
+        let spec = make_spec("mover", 4);
+        push_image_for(&mut cluster, &spec);
+        cluster.submit_job(spec).unwrap();
+        cluster
+            .schedule_job("mover", &default_filters(), &AverageErrorScore)
+            .unwrap();
+        assert_eq!(cluster.job("mover").unwrap().phase().node(), Some("quiet"));
+
+        cluster.rebind_job("mover", "noisy").unwrap();
+        assert_eq!(cluster.job("mover").unwrap().phase().node(), Some("noisy"));
+        assert_eq!(
+            cluster.node("quiet").unwrap().allocated(),
+            Resources::default()
+        );
+        assert_eq!(
+            cluster.node("noisy").unwrap().allocated(),
+            Resources::new(1000, 1024)
+        );
+        assert!(cluster.events().iter().any(|e| e.kind == "JobRebound"));
+        // Rebinding onto the current node is a no-op.
+        cluster.rebind_job("mover", "noisy").unwrap();
+        // The migrated job still runs to completion on the new node.
+        cluster.run_job("mover", &EchoRunner).unwrap();
+        assert_eq!(cluster.job("mover").unwrap().phase().node(), Some("noisy"));
+    }
+
+    #[test]
+    fn rebind_rejects_bad_targets_and_phases() {
+        let mut cluster = cluster_with_nodes();
+        let spec = make_spec("stuck", 4);
+        push_image_for(&mut cluster, &spec);
+        cluster.submit_job(spec).unwrap();
+        // Pending jobs cannot be rebound.
+        assert!(matches!(
+            cluster.rebind_job("stuck", "noisy"),
+            Err(ClusterError::BindingRejected { .. })
+        ));
+        cluster
+            .schedule_job("stuck", &default_filters(), &AverageErrorScore)
+            .unwrap();
+        assert!(matches!(
+            cluster.rebind_job("stuck", "missing"),
+            Err(ClusterError::UnknownNode(_))
+        ));
+        assert!(matches!(
+            cluster.rebind_job("ghost", "noisy"),
+            Err(ClusterError::UnknownJob(_))
+        ));
+        // A full target node rejects the rebind and the old binding survives.
+        let mut hog = make_spec("hog", 4);
+        hog.resources = Resources::new(4000, 8192);
+        push_image_for(&mut cluster, &hog);
+        cluster.submit_job(hog).unwrap();
+        cluster
+            .schedule_job("hog", &default_filters(), &AverageErrorScore)
+            .unwrap();
+        let hog_node = cluster
+            .job("hog")
+            .unwrap()
+            .phase()
+            .node()
+            .unwrap()
+            .to_string();
+        assert_ne!(hog_node, "quiet", "hog does not fit next to 'stuck'");
+        let err = cluster.rebind_job("stuck", &hog_node);
+        assert!(matches!(err, Err(ClusterError::BindingRejected { .. })));
+        assert_eq!(cluster.job("stuck").unwrap().phase().node(), Some("quiet"));
+    }
+
+    #[test]
+    fn update_node_backend_refreshes_calibration_labels() {
+        let mut cluster = cluster_with_nodes();
+        let before = cluster.node("quiet").unwrap().node_labels();
+        assert!((before.avg_two_qubit_error - 0.02).abs() < 1e-12);
+        let drifted = Backend::uniform("quiet", topology::line(8), 0.01, 0.3);
+        cluster.update_node_backend(drifted).unwrap();
+        let after = cluster.node("quiet").unwrap().node_labels();
+        assert!((after.avg_two_qubit_error - 0.3).abs() < 1e-12);
+        assert!(cluster.events().iter().any(|e| e.kind == "NodeCalibrated"));
+        // Unknown nodes are rejected.
+        let stranger = Backend::uniform("stranger", topology::line(4), 0.0, 0.0);
+        assert!(matches!(
+            cluster.update_node_backend(stranger),
+            Err(ClusterError::UnknownNode(_))
+        ));
     }
 
     #[test]

@@ -116,6 +116,20 @@ impl Node {
         self.allocated = self.allocated.remaining(request);
     }
 
+    /// Replace the node's backend after a calibration refresh (or drift
+    /// event), recomputing the derived QRIO labels. Custom labels attached
+    /// with [`Node::set_label`] are preserved; the `qrio.io/*` labels are
+    /// overwritten from the new calibration.
+    pub fn set_backend(&mut self, backend: Backend) {
+        let labels =
+            NodeLabels::from_backend(&backend, self.capacity.cpu_millis, self.capacity.memory_mib)
+                .to_string_map();
+        for (key, value) in labels {
+            self.labels.insert(key, value);
+        }
+        self.backend = backend;
+    }
+
     /// Mark the node as failed (self-healing will restart it).
     pub fn mark_not_ready(&mut self) {
         self.status = NodeStatus::NotReady;

@@ -120,12 +120,31 @@ fn render_float(v: f64) -> String {
     }
 }
 
+/// The scalar (single-value) fields of the document: each needs a value and
+/// may appear at most once.
+const SCALAR_FIELDS: &[&str] = &[
+    "name",
+    "image",
+    "qubits",
+    "shots",
+    "threads",
+    "cpuMillis",
+    "memoryMib",
+    "minQubits",
+    "maxTwoQubitError",
+    "maxReadoutError",
+    "minT1Us",
+    "minT2Us",
+    "strategy",
+];
+
 /// Parse a YAML-like job document produced by [`to_yaml`].
 ///
 /// The parser is intentionally narrow: it understands the structure this crate
 /// emits (plus arbitrary indentation within a section and blank lines), not
 /// arbitrary YAML. The `qasm` field of the returned spec is empty — the
-/// circuit travels in the container image.
+/// circuit travels in the container image. Scalar fields may appear at most
+/// once; a duplicate is a parse error rather than silently last-wins.
 ///
 /// # Errors
 ///
@@ -148,6 +167,10 @@ pub fn from_yaml(text: &str) -> Result<JobSpec, ClusterError> {
     // While a `key:` param with no inline value is open, `- [a, b]` items
     // accumulate into its edge list.
     let mut open_edges: Option<(String, Vec<(usize, usize)>)> = None;
+    // Scalar fields already assigned: a repeat is rejected rather than
+    // silently last-wins (a duplicated requirement bound would otherwise
+    // loosen the spec without a trace).
+    let mut seen_scalars: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
 
     for (idx, raw) in text.lines().enumerate() {
         let line = raw.trim();
@@ -169,10 +192,14 @@ pub fn from_yaml(text: &str) -> Result<JobSpec, ClusterError> {
         }
 
         if let Some(rest) = line.strip_prefix("- [") {
-            let body = rest.trim_end_matches(']');
+            let Some(body) = rest.strip_suffix(']') else {
+                return Err(err(format!("edge item '{line}' is not closed with ']'")));
+            };
             let parts: Vec<&str> = body.split(',').map(str::trim).collect();
             if parts.len() != 2 {
-                return Err(err(format!("bad edge '{line}'")));
+                return Err(err(format!(
+                    "edge item '{line}' must have exactly two endpoints"
+                )));
             }
             let a = parts[0]
                 .parse()
@@ -198,44 +225,63 @@ pub fn from_yaml(text: &str) -> Result<JobSpec, ClusterError> {
             if let Some((open_key, edges)) = open_edges.take() {
                 params.set(open_key, ParamValue::Edges(edges));
             }
+            // A repeated param key would silently last-wins, just like a
+            // repeated scalar field — reject it the same way.
+            if params.get(key).is_some() {
+                return Err(err(format!("duplicate strategy param '{key}'")));
+            }
             if value.is_empty() {
                 open_edges = Some((key.to_string(), Vec::new()));
             } else {
-                params.set(key, parse_param_value(value));
+                let parsed = parse_param_value(value)
+                    .map_err(|message| err(format!("strategy param '{key}': {message}")))?;
+                params.set(key, parsed);
             }
             continue;
         }
 
         if key == "strategyParams" && value.is_empty() {
+            if !seen_scalars.insert("strategyParams") {
+                return Err(err("duplicate section 'strategyParams'".into()));
+            }
             params_indent = Some(indent);
             continue;
         }
         if value.is_empty() {
-            // Other section headers (metadata:, spec:, resources:, ...).
+            // Scalar fields need a value; anything else with no value is a
+            // section header (metadata:, spec:, resources:, ...).
+            if SCALAR_FIELDS.contains(&key) {
+                return Err(err(format!("field '{key}': missing value")));
+            }
             continue;
         }
-        let parse_f64 = |v: &str| {
+        if let Some(&field) = SCALAR_FIELDS.iter().find(|&&f| f == key) {
+            if !seen_scalars.insert(field) {
+                return Err(err(format!("duplicate field '{field}'")));
+            }
+        }
+        let parse_f64 = |field: &str, v: &str| {
             v.parse::<f64>()
-                .map_err(|_| err(format!("bad number '{v}'")))
+                .map_err(|_| err(format!("field '{field}': bad number '{v}'")))
         };
-        let parse_u64 = |v: &str| {
+        let parse_u64 = |field: &str, v: &str| {
             v.parse::<u64>()
-                .map_err(|_| err(format!("bad integer '{v}'")))
+                .map_err(|_| err(format!("field '{field}': bad non-negative integer '{v}'")))
         };
         match key {
             "apiVersion" | "kind" => {}
             "name" => name = Some(value.to_string()),
             "image" => image = Some(value.to_string()),
-            "qubits" => qubits = Some(parse_u64(value)? as usize),
-            "shots" => shots = parse_u64(value)?,
-            "threads" => threads = parse_u64(value)? as usize,
-            "cpuMillis" => cpu = parse_u64(value)?,
-            "memoryMib" => mem = parse_u64(value)?,
-            "minQubits" => requirements.min_qubits = Some(parse_u64(value)? as usize),
-            "maxTwoQubitError" => requirements.max_two_qubit_error = Some(parse_f64(value)?),
-            "maxReadoutError" => requirements.max_readout_error = Some(parse_f64(value)?),
-            "minT1Us" => requirements.min_t1_us = Some(parse_f64(value)?),
-            "minT2Us" => requirements.min_t2_us = Some(parse_f64(value)?),
+            "qubits" => qubits = Some(parse_u64(key, value)? as usize),
+            "shots" => shots = parse_u64(key, value)?,
+            "threads" => threads = parse_u64(key, value)? as usize,
+            "cpuMillis" => cpu = parse_u64(key, value)?,
+            "memoryMib" => mem = parse_u64(key, value)?,
+            "minQubits" => requirements.min_qubits = Some(parse_u64(key, value)? as usize),
+            "maxTwoQubitError" => requirements.max_two_qubit_error = Some(parse_f64(key, value)?),
+            "maxReadoutError" => requirements.max_readout_error = Some(parse_f64(key, value)?),
+            "minT1Us" => requirements.min_t1_us = Some(parse_f64(key, value)?),
+            "minT2Us" => requirements.min_t2_us = Some(parse_f64(key, value)?),
             "strategy" => strategy_name = Some(value.to_string()),
             other => return Err(err(format!("unknown field '{other}'"))),
         }
@@ -278,20 +324,29 @@ pub fn from_yaml(text: &str) -> Result<JobSpec, ClusterError> {
 
 /// Infer the type of an inline param value: quoted -> text, integer-looking ->
 /// int, float-looking -> float, anything else -> text.
-fn parse_param_value(value: &str) -> ParamValue {
-    if let Some(stripped) = value
-        .strip_prefix('"')
-        .and_then(|rest| rest.strip_suffix('"'))
-    {
-        return ParamValue::Text(unescape_text(stripped));
+///
+/// # Errors
+///
+/// Returns a message when a value opens a quote without closing it (or vice
+/// versa) — silently treating it as bare text would corrupt the payload on
+/// the round trip.
+fn parse_param_value(value: &str) -> Result<ParamValue, String> {
+    if let Some(rest) = value.strip_prefix('"') {
+        return match rest.strip_suffix('"') {
+            Some(stripped) => Ok(ParamValue::Text(unescape_text(stripped))),
+            None => Err(format!("unterminated quoted value {value}")),
+        };
+    }
+    if value.ends_with('"') {
+        return Err(format!("quoted value {value} has no opening quote"));
     }
     if let Ok(int) = value.parse::<u64>() {
-        return ParamValue::Int(int);
+        return Ok(ParamValue::Int(int));
     }
     if let Ok(float) = value.parse::<f64>() {
-        return ParamValue::Float(float);
+        return Ok(ParamValue::Float(float));
     }
-    ParamValue::Text(value.to_string())
+    Ok(ParamValue::Text(value.to_string()))
 }
 
 #[cfg(test)]
@@ -406,6 +461,114 @@ mod tests {
         assert!(yaml.contains("strategy: min_queue"));
         assert!(!yaml.contains("strategyParams"));
         assert_eq!(from_yaml(&yaml).unwrap().strategy, spec.strategy);
+    }
+
+    /// Every malformed `threads:` value surfaces a typed, line-numbered
+    /// [`ClusterError::SpecParse`] naming the field — never a panic.
+    #[test]
+    fn malformed_threads_values_are_typed_errors() {
+        let base = "name: x\nimage: y\nqubits: 2\nstrategy: fidelity\n";
+        for bad in ["-1", "2.5", "lots", "", "99999999999999999999999999"] {
+            let doc = format!("{base}threads: {bad}\n");
+            match from_yaml(&doc) {
+                Err(ClusterError::SpecParse { line, message }) => {
+                    assert_eq!(line, 5, "threads line number for '{bad}'");
+                    assert!(
+                        message.contains("threads"),
+                        "error for '{bad}' names the field: {message}"
+                    );
+                }
+                other => panic!("threads value '{bad}' must be rejected, got {other:?}"),
+            }
+        }
+    }
+
+    /// Malformed strategy params (bad edges, unterminated quotes) surface
+    /// typed errors naming the offending construct.
+    #[test]
+    fn malformed_strategy_params_are_typed_errors() {
+        let base = "name: x\nimage: y\nqubits: 2\nstrategy: custom\nstrategyParams:\n";
+        let cases = [
+            ("    edges:\n      - [0, 1\n", "closed"),
+            ("    edges:\n      - [0]\n", "two endpoints"),
+            ("    edges:\n      - [0, 1, 2]\n", "two endpoints"),
+            ("    edges:\n      - [a, b]\n", "endpoint"),
+            ("    mode: \"unterminated\n", "unterminated"),
+            ("    mode: terminated\"\n", "opening quote"),
+        ];
+        for (body, needle) in cases {
+            let doc = format!("{base}{body}");
+            match from_yaml(&doc) {
+                Err(ClusterError::SpecParse { message, .. }) => assert!(
+                    message.contains(needle),
+                    "'{body}' error should mention '{needle}', got: {message}"
+                ),
+                other => panic!("param body {body:?} must be rejected, got {other:?}"),
+            }
+        }
+    }
+
+    /// Every scalar field — including requirement bounds, whose silent
+    /// last-wins duplication would loosen the spec — is rejected when it
+    /// appears twice.
+    #[test]
+    fn duplicate_fields_are_rejected() {
+        let base = "name: x\nimage: y\nqubits: 2\nshots: 8\nthreads: 1\ncpuMillis: 10\n\
+                    memoryMib: 10\nminQubits: 1\nmaxTwoQubitError: 0.1\nmaxReadoutError: 0.1\n\
+                    minT1Us: 5.0\nminT2Us: 5.0\nstrategy: s\n";
+        assert!(from_yaml(base).is_ok(), "each field once parses");
+        for field in [
+            "name: x",
+            "image: y",
+            "qubits: 2",
+            "shots: 8",
+            "threads: 1",
+            "cpuMillis: 10",
+            "memoryMib: 10",
+            "minQubits: 1",
+            "maxTwoQubitError: 0.5",
+            "maxReadoutError: 0.5",
+            "minT1Us: 1.0",
+            "minT2Us: 1.0",
+            "strategy: s",
+        ] {
+            let doc = format!("{base}{field}\n");
+            match from_yaml(&doc) {
+                Err(ClusterError::SpecParse { message, .. }) => {
+                    assert!(message.contains("duplicate"), "{field}: {message}");
+                }
+                other => panic!("duplicate '{field}' must be rejected, got {other:?}"),
+            }
+        }
+    }
+
+    /// Strategy params and the `strategyParams:` header follow the same
+    /// no-silent-last-wins rule as scalar fields.
+    #[test]
+    fn duplicate_strategy_params_are_rejected() {
+        let base = "name: x\nimage: y\nqubits: 2\nstrategy: s\nstrategyParams:\n";
+        let cases = [
+            "    alpha: 1.0\n    alpha: 2.0\n",
+            "    edges:\n      - [0, 1]\n    edges:\n      - [1, 2]\n",
+            "    alpha: 1.0\n    alpha:\n      - [0, 1]\n",
+        ];
+        for body in cases {
+            let doc = format!("{base}{body}");
+            match from_yaml(&doc) {
+                Err(ClusterError::SpecParse { message, .. }) => {
+                    assert!(message.contains("duplicate"), "{body:?}: {message}");
+                }
+                other => panic!("{body:?} must be rejected, got {other:?}"),
+            }
+        }
+        // A repeated strategyParams: section header is rejected too.
+        let doc = format!("{base}    alpha: 1.0\nstrategyParams:\n    beta: 2.0\n");
+        match from_yaml(&doc) {
+            Err(ClusterError::SpecParse { message, .. }) => {
+                assert!(message.contains("duplicate section"), "{message}");
+            }
+            other => panic!("repeated strategyParams must be rejected, got {other:?}"),
+        }
     }
 
     #[test]

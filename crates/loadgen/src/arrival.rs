@@ -1,0 +1,288 @@
+//! Arrival processes: how each tenant's jobs land on the cloud over virtual
+//! time.
+//!
+//! Three processes cover the traffic shapes reported for real quantum clouds
+//! ("Three Months in the Life of Cloud Quantum Computing"): a memoryless
+//! [`ArrivalProcess::Poisson`] stream, a two-phase Markov-modulated
+//! [`ArrivalProcess::Bursty`] stream (long quiet stretches punctuated by
+//! bursts, the multi-tenant batch-submission pattern), and a
+//! [`ArrivalProcess::Diurnal`] stream whose rate follows a sinusoidal
+//! day/night cycle compressed to the scenario's period.
+//!
+//! Every sampler is seeded and consumes only its own RNG stream, so a
+//! scenario's arrival schedule is a pure function of `(process, seed)` — the
+//! foundation of the simulator's byte-level reproducibility.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The shape of one tenant's job-arrival stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Homogeneous Poisson arrivals at `rate_per_sec`.
+    Poisson {
+        /// Mean arrivals per virtual second.
+        rate_per_sec: f64,
+    },
+    /// Two-phase Markov-modulated Poisson process: the stream alternates
+    /// between an idle phase at `base_rate_per_sec` and a burst phase at
+    /// `base_rate_per_sec * burst_multiplier`; phase dwell times are
+    /// exponential with the given means. Phase switches are evaluated at
+    /// arrival instants.
+    Bursty {
+        /// Idle-phase mean arrivals per virtual second.
+        base_rate_per_sec: f64,
+        /// Rate multiplier while bursting (`>= 1`).
+        burst_multiplier: f64,
+        /// Mean burst-phase duration (virtual ms).
+        mean_burst_ms: u64,
+        /// Mean idle-phase duration (virtual ms).
+        mean_idle_ms: u64,
+    },
+    /// Nonhomogeneous Poisson arrivals whose rate follows
+    /// `base · (1 + amplitude · sin(2πt / period))` — a day/night load swing
+    /// compressed to `period_ms`, sampled by thinning.
+    Diurnal {
+        /// Mean arrivals per virtual second at the cycle midpoint.
+        base_rate_per_sec: f64,
+        /// Relative swing of the cycle, in `[0, 1]`.
+        amplitude: f64,
+        /// Cycle length (virtual ms).
+        period_ms: u64,
+    },
+}
+
+impl ArrivalProcess {
+    /// The long-run mean rate of the process (arrivals per virtual second),
+    /// used for sanity checks and reporting.
+    pub fn mean_rate_per_sec(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate_per_sec } => rate_per_sec,
+            ArrivalProcess::Bursty {
+                base_rate_per_sec,
+                burst_multiplier,
+                mean_burst_ms,
+                mean_idle_ms,
+            } => {
+                let total = (mean_burst_ms + mean_idle_ms).max(1) as f64;
+                let burst_frac = mean_burst_ms as f64 / total;
+                base_rate_per_sec * (1.0 + (burst_multiplier - 1.0) * burst_frac)
+            }
+            ArrivalProcess::Diurnal {
+                base_rate_per_sec, ..
+            } => base_rate_per_sec,
+        }
+    }
+}
+
+/// A seeded sampler producing successive arrival instants for one process.
+#[derive(Debug, Clone)]
+pub struct ArrivalSampler {
+    process: ArrivalProcess,
+    rng: StdRng,
+    /// Bursty state: whether the stream is currently in the burst phase.
+    bursting: bool,
+    /// Bursty state: virtual time at which the current phase ends.
+    phase_until_ms: u64,
+}
+
+/// Draw an exponential variate with the given mean (in ms), clamped to
+/// `>= 1` so virtual time always advances.
+fn exp_ms(rng: &mut StdRng, mean_ms: f64) -> u64 {
+    let u: f64 = rng.gen();
+    // 1 - u is in (0, 1]; ln is finite and <= 0.
+    let gap = -(1.0 - u).ln() * mean_ms;
+    (gap.round() as u64).max(1)
+}
+
+impl ArrivalSampler {
+    /// A sampler over `process` with its own RNG stream. Bursty streams open
+    /// in the idle phase — the burst is the exception, not the greeting.
+    pub fn new(process: ArrivalProcess, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let phase_until_ms = match process {
+            ArrivalProcess::Bursty { mean_idle_ms, .. } => exp_ms(&mut rng, mean_idle_ms as f64),
+            _ => 0,
+        };
+        ArrivalSampler {
+            process,
+            rng,
+            bursting: false,
+            phase_until_ms,
+        }
+    }
+
+    /// The gap (virtual ms, `>= 1`) between an arrival at `now_ms` and the
+    /// next one.
+    pub fn next_gap_ms(&mut self, now_ms: u64) -> u64 {
+        match self.process {
+            ArrivalProcess::Poisson { rate_per_sec } => {
+                exp_ms(&mut self.rng, 1000.0 / rate_per_sec)
+            }
+            ArrivalProcess::Bursty {
+                base_rate_per_sec,
+                burst_multiplier,
+                mean_burst_ms,
+                mean_idle_ms,
+            } => {
+                if now_ms >= self.phase_until_ms {
+                    self.bursting = !self.bursting;
+                    let dwell_mean = if self.bursting {
+                        mean_burst_ms
+                    } else {
+                        mean_idle_ms
+                    };
+                    self.phase_until_ms = now_ms + exp_ms(&mut self.rng, dwell_mean as f64);
+                }
+                let rate = if self.bursting {
+                    base_rate_per_sec * burst_multiplier
+                } else {
+                    base_rate_per_sec
+                };
+                exp_ms(&mut self.rng, 1000.0 / rate)
+            }
+            ArrivalProcess::Diurnal {
+                base_rate_per_sec,
+                amplitude,
+                period_ms,
+            } => {
+                // Thinning (Lewis–Shedler): sample at the peak rate, accept
+                // proportionally to the instantaneous rate.
+                let max_rate = base_rate_per_sec * (1.0 + amplitude);
+                let mut t = now_ms;
+                loop {
+                    t += exp_ms(&mut self.rng, 1000.0 / max_rate);
+                    let phase = 2.0 * std::f64::consts::PI * (t % period_ms.max(1)) as f64
+                        / period_ms.max(1) as f64;
+                    let rate = base_rate_per_sec * (1.0 + amplitude * phase.sin());
+                    let accept: f64 = self.rng.gen();
+                    if accept * max_rate <= rate {
+                        return t - now_ms;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(process: ArrivalProcess, seed: u64, until_ms: u64) -> Vec<u64> {
+        let mut sampler = ArrivalSampler::new(process, seed);
+        let mut now = 0u64;
+        let mut arrivals = Vec::new();
+        loop {
+            now += sampler.next_gap_ms(now);
+            if now >= until_ms {
+                return arrivals;
+            }
+            arrivals.push(now);
+        }
+    }
+
+    #[test]
+    fn samplers_are_deterministic_per_seed() {
+        for process in [
+            ArrivalProcess::Poisson { rate_per_sec: 25.0 },
+            ArrivalProcess::Bursty {
+                base_rate_per_sec: 5.0,
+                burst_multiplier: 10.0,
+                mean_burst_ms: 500,
+                mean_idle_ms: 2000,
+            },
+            ArrivalProcess::Diurnal {
+                base_rate_per_sec: 20.0,
+                amplitude: 0.8,
+                period_ms: 10_000,
+            },
+        ] {
+            let a = drain(process, 7, 20_000);
+            let b = drain(process, 7, 20_000);
+            assert_eq!(a, b, "{process:?} must replay identically");
+            let c = drain(process, 8, 20_000);
+            assert_ne!(a, c, "{process:?} must vary with the seed");
+            assert!(!a.is_empty());
+        }
+    }
+
+    #[test]
+    fn poisson_matches_its_mean_rate() {
+        let process = ArrivalProcess::Poisson { rate_per_sec: 50.0 };
+        let arrivals = drain(process, 3, 60_000);
+        let observed = arrivals.len() as f64 / 60.0;
+        assert!(
+            (observed - 50.0).abs() < 5.0,
+            "observed rate {observed}/s too far from 50/s"
+        );
+        assert_eq!(process.mean_rate_per_sec(), 50.0);
+    }
+
+    #[test]
+    fn bursty_bursts_are_denser_than_idle_stretches() {
+        let process = ArrivalProcess::Bursty {
+            base_rate_per_sec: 2.0,
+            burst_multiplier: 20.0,
+            mean_burst_ms: 1000,
+            mean_idle_ms: 4000,
+        };
+        let arrivals = drain(process, 11, 120_000);
+        // Mean rate sits between the idle and burst rates.
+        let observed = arrivals.len() as f64 / 120.0;
+        assert!(observed > 2.0, "bursts must raise the rate above idle");
+        assert!(observed < 40.0, "rate cannot exceed the burst rate");
+        // The gap distribution is overdispersed relative to Poisson at the
+        // same mean: its coefficient of variation exceeds 1.
+        let gaps: Vec<f64> = arrivals.windows(2).map(|w| (w[1] - w[0]) as f64).collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!(cv > 1.1, "bursty stream should be overdispersed, cv = {cv}");
+        let blended = process.mean_rate_per_sec();
+        assert!(blended > 2.0 && blended < 40.0);
+    }
+
+    #[test]
+    fn bursty_streams_open_in_the_idle_phase() {
+        // With an effectively infinite idle dwell and an extreme burst rate,
+        // a stream that (incorrectly) opened bursting would produce hundreds
+        // of arrivals per second; an idle opening produces ~base rate.
+        let process = ArrivalProcess::Bursty {
+            base_rate_per_sec: 1.0,
+            burst_multiplier: 1000.0,
+            mean_burst_ms: 1000,
+            mean_idle_ms: 1 << 40,
+        };
+        for seed in 0..5 {
+            let arrivals = drain(process, seed, 60_000);
+            assert!(
+                arrivals.len() < 300,
+                "seed {seed}: {} arrivals in 60s — the stream opened bursting",
+                arrivals.len()
+            );
+        }
+    }
+
+    #[test]
+    fn diurnal_peak_half_outweighs_trough_half() {
+        let period = 20_000u64;
+        let process = ArrivalProcess::Diurnal {
+            base_rate_per_sec: 20.0,
+            amplitude: 0.9,
+            period_ms: period,
+        };
+        let arrivals = drain(process, 5, 200_000);
+        // sin > 0 over the first half of each period: that half must carry
+        // clearly more traffic.
+        let peak = arrivals
+            .iter()
+            .filter(|&&t| t % period < period / 2)
+            .count();
+        let trough = arrivals.len() - peak;
+        assert!(
+            peak as f64 > 1.5 * trough as f64,
+            "peak half {peak} vs trough half {trough}"
+        );
+    }
+}

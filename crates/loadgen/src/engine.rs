@@ -1,0 +1,775 @@
+//! The virtual-time discrete-event engine: drives the full QRIO stack —
+//! meta-server ranking → scheduler → cluster queues → simulated execution —
+//! with multi-tenant arrival streams, calibration drift and outages.
+//!
+//! # Model
+//!
+//! Virtual time is an integer millisecond clock; the engine never reads the
+//! wall clock. Events (job arrivals, job completions, drift, outage
+//! start/end) live in a binary heap ordered by `(time, sequence)`, so the
+//! processing order is a pure function of the scenario and its seed.
+//!
+//! Each arrival runs the *real* submission path: metadata upload to the
+//! [`MetaServer`] (strategy validation included), containerization through
+//! the master server, image push, job submission, a telemetry refresh
+//! (queue depth and busy fraction from the engine's virtual device queues —
+//! the same bound-job counts [`Cluster::node_loads`] reports — pushed
+//! through [`MetaServer::update_telemetry_bulk`]), and a scheduling cycle
+//! with the cluster's filter plugins plus the meta-ranking score plugin. The chosen device's queue is
+//! then simulated in virtual time: each device executes one job at a time;
+//! its service time is `(serviceBaseUs + shots·servicePerShotUs) / speed`.
+//! When a job reaches the head of the queue, the engine calls
+//! [`Cluster::run_job`], which transpiles and simulates the circuit under the
+//! device's *current* noise model — so calibration drift degrades the
+//! fidelity of jobs executed after the drift, producing a real
+//! fidelity-vs-load signal.
+//!
+//! Drift events rewrite the device's calibration in both the meta server
+//! (bumping the calibration revision, which invalidates memoized scores) and
+//! the cluster node labels, then re-rank every *waiting* job with
+//! [`QrioScheduler::rank`]; jobs whose best device changed migrate via
+//! [`Cluster::rebind_job`]. Outages cordon the node and force-migrate its
+//! waiting queue (the in-flight job finishes its window).
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+
+use qrio::containerize;
+use qrio::JobRequestBuilder;
+use qrio::SimJobRunner;
+use qrio_backend::Backend;
+use qrio_cluster::{framework, Cluster, Node, Resources};
+use qrio_meta::{DeviceTelemetry, FidelityRankingConfig, MetaServer};
+use qrio_scheduler::{MetaRankingPlugin, QrioScheduler};
+
+use crate::arrival::ArrivalSampler;
+use crate::error::LoadgenError;
+use crate::metrics::{fidelity_vs_load, tenant_stats, CloudReport, DeviceStats, JobSample};
+use crate::scenario::{Scenario, ScenarioEvent};
+
+/// Classical resources requested per simulated job (tiny, so queue depth —
+/// not the classical-resource fit — is the binding constraint, as on real
+/// quantum clouds).
+const JOB_RESOURCES: (u64, u64) = (10, 16);
+
+/// Classical node capacity (effectively unbounded relative to
+/// [`JOB_RESOURCES`]).
+const NODE_RESOURCES: (u64, u64) = (1 << 30, 1 << 30);
+
+/// Minimum score improvement before a drift re-ranking migrates a waiting
+/// job (hysteresis against churn on near-ties).
+const MIGRATION_EPSILON: f64 = 1e-9;
+
+/// FNV-1a, used to derive independent RNG streams per tenant.
+fn fnv(text: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in text.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum EventKind {
+    /// The next arrival of one tenant's stream.
+    Arrival { tenant: usize },
+    /// The in-flight job of `device` finishes.
+    Completion { device: String },
+    /// A calibration-drift event (`index` into `Scenario::events`, so the
+    /// exact `f64` factor is read back without quantization).
+    Drift { index: usize },
+    /// An outage begins.
+    OutageStart { device: String, down_ms: u64 },
+    /// An outage ends.
+    OutageEnd { device: String },
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Event {
+    time: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert so the earliest (time, seq) pops
+        // first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The virtual queue state of one device.
+#[derive(Debug, Default)]
+struct DeviceSim {
+    /// Waiting job names, FIFO.
+    queue: VecDeque<String>,
+    /// The in-flight job, if any.
+    busy_with: Option<String>,
+    /// Accumulated busy time (ms).
+    busy_ms: u64,
+    /// Largest queue length observed (waiting + in-flight).
+    peak_queue: usize,
+    /// Jobs completed.
+    completed: u64,
+    /// Service-speed divisor from the scenario.
+    speed: f64,
+    /// Whether the device is inside an outage window.
+    cordoned: bool,
+}
+
+/// Engine-side bookkeeping for one job.
+#[derive(Debug, Clone)]
+struct JobTrack {
+    tenant: String,
+    arrival_ms: u64,
+    queue_depth_at_bind: usize,
+    migrated: bool,
+}
+
+/// Run `scenario` to completion and produce its [`CloudReport`].
+///
+/// Arrivals stop at the scenario horizon (or job cap); queued work then
+/// drains, so the report's makespan can exceed the horizon. The report is a
+/// pure function of the scenario (including its seed) — calling this twice
+/// yields byte-identical [`CloudReport::to_json`] documents.
+///
+/// # Errors
+///
+/// Returns an error when the scenario is invalid or the QRIO stack rejects
+/// the workload wholesale (e.g. a tenant strategy failing validation on
+/// every job).
+pub fn run_scenario(scenario: &Scenario) -> Result<CloudReport, LoadgenError> {
+    scenario.validate()?;
+    Engine::new(scenario)?.run()
+}
+
+struct Engine<'s> {
+    scenario: &'s Scenario,
+    cluster: Cluster,
+    meta: MetaServer,
+    runner: SimJobRunner,
+    samplers: Vec<ArrivalSampler>,
+    tenant_job_counters: Vec<u64>,
+    devices: BTreeMap<String, DeviceSim>,
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+    now: u64,
+    makespan: u64,
+    submitted: u64,
+    submitted_by_tenant: BTreeMap<String, u64>,
+    rejected_by_tenant: BTreeMap<String, u64>,
+    samples: Vec<JobSample>,
+    jobs: BTreeMap<String, JobTrack>,
+    start_times: BTreeMap<String, u64>,
+    rejected: u64,
+    execution_failures: u64,
+    migrations: u64,
+    drift_events: u64,
+    outage_events: u64,
+}
+
+impl<'s> Engine<'s> {
+    fn new(scenario: &'s Scenario) -> Result<Self, LoadgenError> {
+        let mut cluster = Cluster::new();
+        let mut meta = MetaServer::with_config(FidelityRankingConfig {
+            shots: scenario.canary_shots.max(1),
+            seed: scenario.seed ^ 0xCA11_AB1E,
+            shortfall_weight: 100.0,
+        });
+        let mut devices = BTreeMap::new();
+        for spec in &scenario.fleet {
+            let backend = spec.backend();
+            meta.register_backend(backend.clone());
+            cluster
+                .add_node(Node::from_backend(
+                    backend,
+                    Resources::new(NODE_RESOURCES.0, NODE_RESOURCES.1),
+                ))
+                .map_err(|e| LoadgenError::Engine(format!("cannot add node: {e}")))?;
+            devices.insert(
+                spec.name.clone(),
+                DeviceSim {
+                    speed: spec.speed,
+                    ..DeviceSim::default()
+                },
+            );
+        }
+        let samplers = scenario
+            .tenants
+            .iter()
+            .map(|t| ArrivalSampler::new(t.arrival, scenario.seed ^ fnv(&t.name)))
+            .collect();
+        Ok(Engine {
+            scenario,
+            cluster,
+            meta,
+            runner: SimJobRunner::new(scenario.seed ^ 0x51D0_C10D),
+            samplers,
+            tenant_job_counters: vec![0; scenario.tenants.len()],
+            devices,
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: 0,
+            makespan: 0,
+            submitted: 0,
+            submitted_by_tenant: BTreeMap::new(),
+            rejected_by_tenant: BTreeMap::new(),
+            samples: Vec::new(),
+            jobs: BTreeMap::new(),
+            start_times: BTreeMap::new(),
+            rejected: 0,
+            execution_failures: 0,
+            migrations: 0,
+            drift_events: 0,
+            outage_events: 0,
+        })
+    }
+
+    fn push_event(&mut self, time: u64, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    fn run(mut self) -> Result<CloudReport, LoadgenError> {
+        // Seed the timeline: one first arrival per tenant, plus the scenario's
+        // drift/outage events.
+        for tenant in 0..self.scenario.tenants.len() {
+            let gap = self.samplers[tenant].next_gap_ms(0);
+            if gap < self.scenario.duration_ms {
+                self.push_event(gap, EventKind::Arrival { tenant });
+            }
+        }
+        let scenario = self.scenario;
+        for (index, event) in scenario.events.iter().enumerate() {
+            match event.clone() {
+                ScenarioEvent::Drift { at_ms, .. } => {
+                    self.push_event(at_ms, EventKind::Drift { index })
+                }
+                ScenarioEvent::Outage {
+                    at_ms,
+                    device,
+                    down_ms,
+                } => self.push_event(at_ms, EventKind::OutageStart { device, down_ms }),
+            }
+        }
+
+        while let Some(event) = self.heap.pop() {
+            self.now = event.time;
+            self.makespan = self.makespan.max(event.time);
+            match event.kind {
+                EventKind::Arrival { tenant } => self.on_arrival(tenant)?,
+                EventKind::Completion { device } => self.on_completion(&device)?,
+                EventKind::Drift { index } => {
+                    let ScenarioEvent::Drift {
+                        device,
+                        error_factor,
+                        ..
+                    } = &scenario.events[index]
+                    else {
+                        unreachable!("drift events index only Drift entries");
+                    };
+                    self.on_drift(device, *error_factor)?;
+                }
+                EventKind::OutageStart { device, down_ms } => {
+                    self.on_outage_start(&device, down_ms)
+                }
+                EventKind::OutageEnd { device } => self.on_outage_end(&device),
+            }
+        }
+
+        Ok(self.into_report())
+    }
+
+    // --- Arrivals ------------------------------------------------------------------------
+
+    fn on_arrival(&mut self, tenant_idx: usize) -> Result<(), LoadgenError> {
+        let under_cap = self.scenario.max_jobs == 0 || self.submitted < self.scenario.max_jobs;
+        if self.now >= self.scenario.duration_ms || !under_cap {
+            return Ok(()); // The stream ends; no follow-up arrival.
+        }
+        // Schedule the tenant's next arrival first, so a submission error
+        // cannot silence the stream.
+        let gap = self.samplers[tenant_idx].next_gap_ms(self.now);
+        let next = self.now + gap;
+        if next < self.scenario.duration_ms {
+            self.push_event(next, EventKind::Arrival { tenant: tenant_idx });
+        }
+        self.submit_job(tenant_idx)
+    }
+
+    fn submit_job(&mut self, tenant_idx: usize) -> Result<(), LoadgenError> {
+        // Decouple the scenario borrow from `self` so the tenant reference
+        // survives the `&mut self` calls below.
+        let scenario = self.scenario;
+        let tenant = &scenario.tenants[tenant_idx];
+        let index = self.tenant_job_counters[tenant_idx];
+        self.tenant_job_counters[tenant_idx] += 1;
+        let job_name = format!("{}-{index}", tenant.name);
+        let circuit = tenant.circuit_for(index)?;
+        let strategy = tenant.strategy.strategy_spec();
+
+        let request = JobRequestBuilder::new()
+            .with_circuit(&circuit)
+            .job_name(&job_name)
+            .image_name(format!("qrio/{}:{index}", tenant.name))
+            .strategy(strategy.clone())
+            .shots(tenant.shots)
+            .resources(JOB_RESOURCES.0, JOB_RESOURCES.1)
+            .build()
+            .map_err(|e| LoadgenError::Engine(format!("cannot build request: {e}")))?;
+
+        // 1. Visualizer → meta server: metadata upload (validation included).
+        self.meta
+            .upload_job_metadata(&job_name, &request.strategy, Some(&request.qasm))
+            .map_err(|e| LoadgenError::Engine(format!("metadata upload failed: {e}")))?;
+
+        // 2. Master server: containerize, push, submit.
+        let containerized = containerize(&request)
+            .map_err(|e| LoadgenError::Engine(format!("containerization failed: {e}")))?;
+        self.cluster.push_image(containerized.image);
+        self.cluster
+            .submit_job(containerized.spec)
+            .map_err(|e| LoadgenError::Engine(format!("submission failed: {e}")))?;
+
+        self.submitted += 1;
+        *self
+            .submitted_by_tenant
+            .entry(tenant.name.clone())
+            .or_insert(0) += 1;
+
+        // 3. Scheduler cycle: fresh telemetry, filter, meta-rank, bind.
+        self.sync_telemetry();
+        let filters = framework::default_filters();
+        let ranking = MetaRankingPlugin::new(&self.meta);
+        let decision = match self.cluster.schedule_job(&job_name, &filters, &ranking) {
+            Ok(decision) => decision,
+            Err(_) => {
+                // No eligible device (outage window, oversized circuit, ...).
+                self.rejected += 1;
+                *self
+                    .rejected_by_tenant
+                    .entry(tenant.name.clone())
+                    .or_insert(0) += 1;
+                return Ok(());
+            }
+        };
+
+        // 4. Enter the chosen device's virtual queue.
+        let device = decision.node;
+        let depth = {
+            let sim = self
+                .devices
+                .get(&device)
+                .expect("scheduler only binds to registered devices");
+            sim.queue.len() + usize::from(sim.busy_with.is_some())
+        };
+        self.jobs.insert(
+            job_name.clone(),
+            JobTrack {
+                tenant: tenant.name.clone(),
+                arrival_ms: self.now,
+                queue_depth_at_bind: depth,
+                migrated: false,
+            },
+        );
+        self.enqueue(&device, job_name);
+        Ok(())
+    }
+
+    /// Put a bound job at the tail of a device's virtual queue, starting it
+    /// immediately when the device is idle.
+    fn enqueue(&mut self, device: &str, job_name: String) {
+        let sim = self.devices.get_mut(device).expect("device exists");
+        sim.queue.push_back(job_name);
+        let occupancy = sim.queue.len() + usize::from(sim.busy_with.is_some());
+        sim.peak_queue = sim.peak_queue.max(occupancy);
+        if sim.busy_with.is_none() && !sim.cordoned {
+            self.start_next(device);
+        }
+    }
+
+    /// Start the next waiting job on an idle device.
+    fn start_next(&mut self, device: &str) {
+        let shots = {
+            let sim = self.devices.get_mut(device).expect("device exists");
+            debug_assert!(sim.busy_with.is_none());
+            let Some(job_name) = sim.queue.pop_front() else {
+                return;
+            };
+            sim.busy_with = Some(job_name.clone());
+            let shots = self
+                .cluster
+                .job(&job_name)
+                .map(|j| j.spec().shots)
+                .unwrap_or(1);
+            self.start_times.insert(job_name, self.now);
+            shots
+        };
+        let sim = self.devices.get_mut(device).expect("device exists");
+        let service_us =
+            self.scenario.service_base_us + shots.saturating_mul(self.scenario.service_per_shot_us);
+        let service_ms = ((service_us as f64 / sim.speed / 1000.0).ceil() as u64).max(1);
+        // Busy time is charged as it elapses (at completion, and pro rata in
+        // telemetry), not up front.
+        let finish = self.now + service_ms;
+        self.push_event(
+            finish,
+            EventKind::Completion {
+                device: device.to_string(),
+            },
+        );
+    }
+
+    // --- Completions ---------------------------------------------------------------------
+
+    fn on_completion(&mut self, device: &str) -> Result<(), LoadgenError> {
+        let job_name = {
+            let sim = self.devices.get_mut(device).expect("device exists");
+            sim.busy_with
+                .take()
+                .expect("completion events fire only for busy devices")
+        };
+        // Execute the container on the node: transpile + simulate under the
+        // device's *current* (possibly drifted) noise model.
+        let run = self.cluster.run_job(&job_name, &self.runner);
+        let fidelity = match run {
+            Ok(()) => self
+                .cluster
+                .job(&job_name)
+                .and_then(|j| j.achieved_fidelity()),
+            Err(_) => {
+                self.execution_failures += 1;
+                None
+            }
+        };
+        let track = self
+            .jobs
+            .get(&job_name)
+            .expect("completed jobs were tracked at bind time")
+            .clone();
+        let start_ms = self
+            .start_times
+            .remove(&job_name)
+            .expect("started jobs have a start time");
+        {
+            let sim = self.devices.get_mut(device).expect("device exists");
+            sim.busy_ms += self.now - start_ms;
+        }
+        if run.is_ok() {
+            let sim = self.devices.get_mut(device).expect("device exists");
+            sim.completed += 1;
+            self.samples.push(JobSample {
+                tenant: track.tenant,
+                device: device.to_string(),
+                arrival_ms: track.arrival_ms,
+                start_ms,
+                completion_ms: self.now,
+                queue_depth_at_bind: track.queue_depth_at_bind,
+                fidelity,
+                migrated: track.migrated,
+            });
+        }
+        let sim = self.devices.get_mut(device).expect("device exists");
+        if !sim.cordoned && !sim.queue.is_empty() {
+            self.start_next(device);
+        }
+        Ok(())
+    }
+
+    // --- Telemetry -----------------------------------------------------------------------
+
+    /// Report current queue depth and utilization of every node to the meta
+    /// server — the live signal `weighted` and `min_queue` react to. The
+    /// reported queue depth equals what [`Cluster::node_loads`] counts as
+    /// bound jobs (waiting + in-flight); utilization is the device's busy
+    /// fraction of elapsed virtual time, with the in-flight job charged only
+    /// for the portion that has actually elapsed.
+    fn sync_telemetry(&mut self) {
+        let reports: Vec<(String, DeviceTelemetry)> = self
+            .devices
+            .iter()
+            .map(|(name, sim)| {
+                let queue_depth = sim.queue.len() + usize::from(sim.busy_with.is_some());
+                let in_flight_ms = sim
+                    .busy_with
+                    .as_ref()
+                    .and_then(|job| self.start_times.get(job))
+                    .map_or(0, |&start| self.now - start);
+                let utilization = if self.now == 0 {
+                    0.0
+                } else {
+                    ((sim.busy_ms + in_flight_ms) as f64 / self.now as f64).min(1.0)
+                };
+                (
+                    name.clone(),
+                    DeviceTelemetry {
+                        queue_depth,
+                        utilization,
+                    },
+                )
+            })
+            .collect();
+        self.meta.update_telemetry_bulk(reports);
+    }
+
+    // --- Drift ---------------------------------------------------------------------------
+
+    fn on_drift(&mut self, device: &str, factor: f64) -> Result<(), LoadgenError> {
+        self.drift_events += 1;
+        let Some(backend) = self.meta.backend(device).cloned() else {
+            return Ok(());
+        };
+        let drifted = drift_backend(&backend, factor)?;
+        // New calibration revision: memoized scores against the old
+        // calibration are invalidated implicitly.
+        self.meta.register_backend(drifted.clone());
+        self.cluster
+            .update_node_backend(drifted)
+            .map_err(|e| LoadgenError::Engine(format!("drift update failed: {e}")))?;
+        self.rerank_waiting(None);
+        Ok(())
+    }
+
+    // --- Outages -------------------------------------------------------------------------
+
+    fn on_outage_start(&mut self, device: &str, down_ms: u64) {
+        self.outage_events += 1;
+        if let Some(node) = self.cluster.node_mut(device) {
+            node.cordon();
+        }
+        if let Some(sim) = self.devices.get_mut(device) {
+            sim.cordoned = true;
+        }
+        self.push_event(
+            self.now + down_ms.max(1),
+            EventKind::OutageEnd {
+                device: device.to_string(),
+            },
+        );
+        // Waiting jobs flee to the healthy part of the fleet; the in-flight
+        // job finishes its window.
+        self.rerank_waiting(Some(device));
+    }
+
+    fn on_outage_end(&mut self, device: &str) {
+        if let Some(node) = self.cluster.node_mut(device) {
+            node.uncordon();
+        }
+        if let Some(sim) = self.devices.get_mut(device) {
+            sim.cordoned = false;
+            if sim.busy_with.is_none() && !sim.queue.is_empty() {
+                self.start_next(device);
+            }
+        }
+    }
+
+    // --- Re-ranking / migration ----------------------------------------------------------
+
+    /// Re-rank waiting jobs with the scheduler and migrate the ones whose
+    /// best device changed. `only` restricts the sweep to one device's queue
+    /// (outages); `None` sweeps every queue (drift).
+    ///
+    /// Jobs on a cordoned device migrate whenever *any* eligible device
+    /// exists; elsewhere a strictly better score is required. Each job is
+    /// decided against telemetry refreshed after the previous migration, so
+    /// a fleeing queue spreads over the healthy fleet instead of herding
+    /// onto whichever device looked emptiest in one stale snapshot.
+    fn rerank_waiting(&mut self, only: Option<&str>) {
+        let fleet: Vec<Backend> = self
+            .cluster
+            .ready_nodes()
+            .map(|n| n.backend().clone())
+            .collect();
+        if fleet.is_empty() {
+            return;
+        }
+        // Snapshot the candidates first (device name order, FIFO within a
+        // queue); migrations below mutate the queues being considered.
+        let candidates: Vec<(String, String, bool)> = self
+            .devices
+            .iter()
+            .filter(|(device, _)| only.map_or(true, |o| o == device.as_str()))
+            .flat_map(|(device, sim)| {
+                sim.queue
+                    .iter()
+                    .map(|job| (device.clone(), job.clone(), sim.cordoned))
+            })
+            .collect();
+        for (device, job_name, fleeing) in candidates {
+            let Some(job) = self.cluster.job(&job_name) else {
+                continue;
+            };
+            let requirements = job.spec().requirements;
+            // Fresh telemetry per decision: earlier migrations in this sweep
+            // already changed queue depths.
+            self.sync_telemetry();
+            let scheduler = QrioScheduler::new(&self.meta);
+            let Ok((ranked, _)) = scheduler.rank(&job_name, &fleet, &requirements) else {
+                continue;
+            };
+            let (best_device, best_score) = ranked[0].clone();
+            if best_device == device {
+                continue;
+            }
+            let current_score = ranked
+                .iter()
+                .find(|(name, _)| name == &device)
+                .map(|(_, score)| *score);
+            let improves = match current_score {
+                Some(current) => best_score + MIGRATION_EPSILON < current,
+                // The current device no longer ranks at all (cordoned or
+                // un-scoreable after drift): leave unless fleeing.
+                None => fleeing,
+            };
+            if !(fleeing || improves) {
+                continue;
+            }
+            if self.cluster.rebind_job(&job_name, &best_device).is_err() {
+                continue;
+            }
+            let from_sim = self.devices.get_mut(&device).expect("device exists");
+            from_sim.queue.retain(|name| name != &job_name);
+            if let Some(track) = self.jobs.get_mut(&job_name) {
+                track.migrated = true;
+            }
+            self.migrations += 1;
+            self.enqueue(&best_device, job_name);
+        }
+    }
+
+    // --- Report --------------------------------------------------------------------------
+
+    fn into_report(self) -> CloudReport {
+        let makespan = self.makespan;
+        let tenants = tenant_stats(
+            &self.samples,
+            &self.submitted_by_tenant,
+            &self.rejected_by_tenant,
+            makespan,
+        );
+        let devices = self
+            .devices
+            .iter()
+            .map(|(name, sim)| {
+                (
+                    name.clone(),
+                    DeviceStats {
+                        completed: sim.completed,
+                        busy_ms: sim.busy_ms,
+                        utilization: if makespan == 0 {
+                            0.0
+                        } else {
+                            (sim.busy_ms as f64 / makespan as f64).min(1.0)
+                        },
+                        peak_queue_depth: sim.peak_queue,
+                    },
+                )
+            })
+            .collect();
+        let cache = self.meta.cache_stats();
+        CloudReport {
+            scenario: self.scenario.name.clone(),
+            seed: self.scenario.seed,
+            duration_ms: self.scenario.duration_ms,
+            makespan_ms: makespan,
+            submitted: self.submitted,
+            completed: self.samples.len() as u64,
+            rejected: self.rejected,
+            execution_failures: self.execution_failures,
+            migrations: self.migrations,
+            drift_events: self.drift_events,
+            outage_events: self.outage_events,
+            tenants,
+            devices,
+            fidelity_vs_load: fidelity_vs_load(&self.samples),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_hit_rate: cache.hit_rate(),
+        }
+    }
+}
+
+/// Scale every error rate of `backend` by `factor` (clamping to valid
+/// probabilities) and shorten T1/T2 accordingly — the week-scale calibration
+/// drift real fleets exhibit, compressed to one instant.
+fn drift_backend(backend: &Backend, factor: f64) -> Result<Backend, LoadgenError> {
+    let mut qubit_properties = backend.qubits().to_vec();
+    for props in &mut qubit_properties {
+        props.single_qubit_error = (props.single_qubit_error * factor).clamp(0.0, 0.5);
+        props.readout_error = (props.readout_error * factor).clamp(0.0, 0.5);
+        props.t1_us = (props.t1_us / factor).max(1.0);
+        props.t2_us = (props.t2_us / factor).max(1.0);
+    }
+    let mut two_qubit_gates = backend.two_qubit_gates().clone();
+    for gate in two_qubit_gates.values_mut() {
+        gate.error = (gate.error * factor).clamp(0.0, 0.9);
+    }
+    Backend::new(
+        backend.name(),
+        backend.coupling_map().clone(),
+        qubit_properties,
+        two_qubit_gates,
+        backend.basis_gates().clone(),
+    )
+    .map_err(|e| LoadgenError::Engine(format!("cannot build drifted backend: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrio_backend::topology;
+
+    #[test]
+    fn events_pop_in_time_then_sequence_order() {
+        let mut heap = BinaryHeap::new();
+        let kind = |d: &str| EventKind::Completion { device: d.into() };
+        heap.push(Event {
+            time: 5,
+            seq: 1,
+            kind: kind("b"),
+        });
+        heap.push(Event {
+            time: 5,
+            seq: 0,
+            kind: kind("a"),
+        });
+        heap.push(Event {
+            time: 1,
+            seq: 2,
+            kind: kind("c"),
+        });
+        let order: Vec<(u64, u64)> = std::iter::from_fn(|| heap.pop())
+            .map(|e| (e.time, e.seq))
+            .collect();
+        assert_eq!(order, vec![(1, 2), (5, 0), (5, 1)]);
+    }
+
+    #[test]
+    fn drifted_backends_are_strictly_noisier() {
+        let backend =
+            Backend::uniform("d", topology::line(5), 0.01, 0.05).with_uniform_readout_error(0.02);
+        let drifted = drift_backend(&backend, 4.0).unwrap();
+        assert!((drifted.avg_two_qubit_error() - 0.2).abs() < 1e-12);
+        assert!((drifted.avg_readout_error() - 0.08).abs() < 1e-12);
+        assert!(drifted.avg_t1_us() < backend.avg_t1_us());
+        // Factors below one model recalibration improving the device.
+        let repaired = drift_backend(&drifted, 0.25).unwrap();
+        assert!((repaired.avg_two_qubit_error() - 0.05).abs() < 1e-12);
+        // Extreme factors stay within valid probability ranges.
+        let fried = drift_backend(&backend, 1e6).unwrap();
+        assert!(fried.avg_two_qubit_error() <= 0.9);
+        assert!(fried.avg_readout_error() <= 0.5);
+    }
+}

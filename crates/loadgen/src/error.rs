@@ -1,0 +1,60 @@
+//! Error types for the load generator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while parsing scenarios or running the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoadgenError {
+    /// A scenario document could not be parsed.
+    ScenarioParse {
+        /// 1-based line number (0 when the problem is document-wide).
+        line: usize,
+        /// Description of the failure.
+        message: String,
+    },
+    /// A scenario parsed but is semantically invalid (unknown device in an
+    /// event, zero-rate tenant, empty fleet, ...).
+    InvalidScenario(String),
+    /// The engine could not drive the QRIO stack (metadata upload failed,
+    /// containerization failed, ...).
+    Engine(String),
+}
+
+impl fmt::Display for LoadgenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadgenError::ScenarioParse { line, message } => {
+                write!(f, "scenario parse error at line {line}: {message}")
+            }
+            LoadgenError::InvalidScenario(message) => {
+                write!(f, "invalid scenario: {message}")
+            }
+            LoadgenError::Engine(message) => write!(f, "loadgen engine error: {message}"),
+        }
+    }
+}
+
+impl Error for LoadgenError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let parse = LoadgenError::ScenarioParse {
+            line: 7,
+            message: "bad rate".into(),
+        };
+        assert!(parse.to_string().contains("line 7"));
+        assert!(LoadgenError::InvalidScenario("empty fleet".into())
+            .to_string()
+            .contains("empty fleet"));
+        assert!(LoadgenError::Engine("upload failed".into())
+            .to_string()
+            .contains("upload failed"));
+        fn assert_err<E: Error + Send + Sync>() {}
+        assert_err::<LoadgenError>();
+    }
+}

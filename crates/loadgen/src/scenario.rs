@@ -1,0 +1,1057 @@
+//! Scenario specifications: the fleet, the tenants and the timeline of
+//! calibration-drift and outage events, plus a YAML loader.
+//!
+//! A scenario is the complete, seedable description of one cloud workload:
+//! which devices exist (and how fast/noisy they are), which tenants submit
+//! jobs (circuit template, ranking strategy, arrival process) and what goes
+//! wrong along the way. Scenarios travel as YAML documents with the same
+//! narrow-but-typed parsing discipline as job specs
+//! ([`qrio_cluster::yaml`]): the loader understands exactly the schema below
+//! and rejects anything else with a line-numbered
+//! [`LoadgenError::ScenarioParse`].
+//!
+//! ```yaml
+//! scenario: cloud-small
+//! seed: 42
+//! durationMs: 60000
+//! maxJobs: 2500
+//! serviceBaseUs: 20000
+//! servicePerShotUs: 400
+//! canaryShots: 32
+//! fleet:
+//!   - device: aspen
+//!     topology: line          # line | ring | grid | tree | star | full
+//!     qubits: 12
+//!     singleQubitError: 0.001
+//!     twoQubitError: 0.01
+//!     readoutError: 0.02
+//!     speed: 1.0
+//! tenants:
+//!   - tenant: alice
+//!     strategy: fidelity      # fidelity | weighted | min_queue | topology
+//!     target: 0.9
+//!     circuit: bv             # bv | ghz | grover | random_clifford
+//!     qubits: 5
+//!     shots: 64
+//!     arrival: poisson        # poisson | bursty | diurnal
+//!     ratePerSec: 10.0
+//! events:
+//!   - atMs: 30000
+//!     kind: drift
+//!     device: aspen
+//!     errorFactor: 6.0
+//!   - atMs: 10000
+//!     kind: outage
+//!     device: aspen
+//!     downMs: 8000
+//! ```
+
+use std::collections::BTreeMap;
+
+use qrio_backend::{topology, Backend};
+use qrio_circuit::{library, Circuit};
+use qrio_cluster::StrategySpec;
+
+use crate::arrival::ArrivalProcess;
+use crate::error::LoadgenError;
+
+/// The coupling-map family of a simulated device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyKind {
+    /// A 1-D chain.
+    Line,
+    /// A 1-D chain with wrap-around.
+    Ring,
+    /// A near-square 2-D grid.
+    Grid,
+    /// A binary tree.
+    Tree,
+    /// A hub-and-spokes star.
+    Star,
+    /// All-to-all connectivity.
+    Full,
+}
+
+impl TopologyKind {
+    fn parse(text: &str) -> Option<Self> {
+        Some(match text {
+            "line" => TopologyKind::Line,
+            "ring" => TopologyKind::Ring,
+            "grid" => TopologyKind::Grid,
+            "tree" => TopologyKind::Tree,
+            "star" => TopologyKind::Star,
+            "full" => TopologyKind::Full,
+            _ => return None,
+        })
+    }
+}
+
+/// One device of the simulated fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Device (and cluster node) name.
+    pub name: String,
+    /// Coupling-map family.
+    pub topology: TopologyKind,
+    /// Number of physical qubits.
+    pub qubits: usize,
+    /// Uniform single-qubit gate error.
+    pub single_qubit_error: f64,
+    /// Uniform two-qubit gate error.
+    pub two_qubit_error: f64,
+    /// Uniform readout error.
+    pub readout_error: f64,
+    /// Relative execution speed (service times divide by this; `1.0` =
+    /// reference speed).
+    pub speed: f64,
+}
+
+impl DeviceSpec {
+    /// Materialize the vendor backend this spec describes.
+    pub fn backend(&self) -> Backend {
+        let map = match self.topology {
+            TopologyKind::Line => topology::line(self.qubits),
+            TopologyKind::Ring => topology::ring(self.qubits),
+            TopologyKind::Grid => {
+                // Largest divisor pair keeps the qubit count exact; primes
+                // degrade to a line-shaped 1×n grid.
+                let mut rows = 1;
+                let mut d = 1usize;
+                while d * d <= self.qubits {
+                    if self.qubits % d == 0 {
+                        rows = d;
+                    }
+                    d += 1;
+                }
+                topology::grid(rows, self.qubits / rows)
+            }
+            TopologyKind::Tree => topology::binary_tree(self.qubits),
+            TopologyKind::Star => topology::star(self.qubits),
+            TopologyKind::Full => topology::fully_connected(self.qubits),
+        };
+        Backend::uniform(
+            &self.name,
+            map,
+            self.single_qubit_error,
+            self.two_qubit_error,
+        )
+        .with_uniform_readout_error(self.readout_error)
+    }
+}
+
+/// The circuit family a tenant submits. Individual jobs vary deterministically
+/// with the job index (BV secrets, Grover marks, Clifford seeds), so a
+/// tenant's stream is diverse but replayable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadCircuit {
+    /// Bernstein–Vazirani with a per-job secret (Clifford; stabilizer-fast).
+    Bv,
+    /// A GHZ state (Clifford).
+    Ghz,
+    /// Grover search with a per-job marked element (non-Clifford;
+    /// statevector engine).
+    Grover,
+    /// A random Clifford circuit with a per-job seed.
+    RandomClifford,
+}
+
+impl WorkloadCircuit {
+    fn parse(text: &str) -> Option<Self> {
+        Some(match text {
+            "bv" => WorkloadCircuit::Bv,
+            "ghz" => WorkloadCircuit::Ghz,
+            "grover" => WorkloadCircuit::Grover,
+            "random_clifford" => WorkloadCircuit::RandomClifford,
+            _ => return None,
+        })
+    }
+}
+
+/// The ranking strategy a tenant selects for every job it submits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TenantStrategy {
+    /// Built-in `"fidelity"` ranking with the given target.
+    Fidelity {
+        /// Target fidelity in `[0, 1]`.
+        target: f64,
+    },
+    /// Built-in `"weighted"` multi-objective ranking (default weights).
+    Weighted {
+        /// Target fidelity in `[0, 1]`.
+        target: f64,
+    },
+    /// Built-in `"min_queue"` baseline.
+    MinQueue,
+    /// Built-in `"topology"` ranking using the uploaded circuit as the
+    /// request.
+    Topology,
+}
+
+impl TenantStrategy {
+    /// The [`StrategySpec`] uploaded with each of the tenant's jobs.
+    pub fn strategy_spec(&self) -> StrategySpec {
+        match *self {
+            TenantStrategy::Fidelity { target } => StrategySpec::fidelity(target),
+            TenantStrategy::Weighted { target } => StrategySpec::weighted(target, 1.0, 5.0, 1.0),
+            TenantStrategy::MinQueue => StrategySpec::min_queue(),
+            TenantStrategy::Topology => StrategySpec::new(qrio_cluster::strategy_names::TOPOLOGY),
+        }
+    }
+
+    /// The registry name of the underlying strategy.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TenantStrategy::Fidelity { .. } => qrio_cluster::strategy_names::FIDELITY,
+            TenantStrategy::Weighted { .. } => qrio_cluster::strategy_names::WEIGHTED,
+            TenantStrategy::MinQueue => qrio_cluster::strategy_names::MIN_QUEUE,
+            TenantStrategy::Topology => qrio_cluster::strategy_names::TOPOLOGY,
+        }
+    }
+}
+
+/// One tenant: a stream of jobs sharing a circuit family, a strategy and an
+/// arrival process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpec {
+    /// Tenant name (job names are `"{tenant}-{index}"`).
+    pub name: String,
+    /// Ranking strategy for every submitted job.
+    pub strategy: TenantStrategy,
+    /// Circuit family.
+    pub circuit: WorkloadCircuit,
+    /// Circuit width.
+    pub qubits: usize,
+    /// Shots per job.
+    pub shots: u64,
+    /// Arrival process of the tenant's stream.
+    pub arrival: ArrivalProcess,
+}
+
+impl TenantSpec {
+    /// The circuit of the tenant's `index`-th job — deterministic in
+    /// `(tenant spec, index)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the circuit family cannot be built at the
+    /// requested width (e.g. Grover needs `2 <= qubits <= 12`).
+    pub fn circuit_for(&self, index: u64) -> Result<Circuit, LoadgenError> {
+        let make = || -> Result<Circuit, qrio_circuit::CircuitError> {
+            match self.circuit {
+                WorkloadCircuit::Bv => {
+                    let mask = (1u64 << self.qubits.min(63)) - 1;
+                    // Vary the secret per job; avoid the all-zeros secret.
+                    let secret = (index.wrapping_mul(0x9E37_79B9) & mask).max(1) & mask;
+                    library::bernstein_vazirani(self.qubits, secret.max(1))
+                }
+                WorkloadCircuit::Ghz => library::ghz(self.qubits),
+                WorkloadCircuit::Grover => {
+                    let marked = index % (1u64 << self.qubits.min(20));
+                    library::grover(self.qubits, marked)
+                }
+                WorkloadCircuit::RandomClifford => {
+                    library::random_clifford_circuit(self.qubits, 6, index)
+                }
+            }
+        };
+        make().map_err(|e| {
+            LoadgenError::Engine(format!(
+                "tenant '{}' cannot build job circuit #{index}: {e}",
+                self.name
+            ))
+        })
+    }
+}
+
+/// One entry of the scenario's fault/mutation timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioEvent {
+    /// At `at_ms`, multiply every error rate of `device` by `error_factor`
+    /// (clamped to valid probability ranges) and push the new calibration to
+    /// the meta server and cluster node.
+    Drift {
+        /// Virtual time of the event.
+        at_ms: u64,
+        /// Affected device.
+        device: String,
+        /// Multiplier on the device's error rates (`> 0`; values `< 1` model
+        /// a recalibration improving the device).
+        error_factor: f64,
+    },
+    /// At `at_ms`, cordon `device` for `down_ms` virtual milliseconds;
+    /// waiting jobs are migrated off it through the scheduler.
+    Outage {
+        /// Virtual time of the event.
+        at_ms: u64,
+        /// Affected device.
+        device: String,
+        /// Length of the outage window.
+        down_ms: u64,
+    },
+}
+
+impl ScenarioEvent {
+    /// Virtual time at which the event fires.
+    pub fn at_ms(&self) -> u64 {
+        match self {
+            ScenarioEvent::Drift { at_ms, .. } | ScenarioEvent::Outage { at_ms, .. } => *at_ms,
+        }
+    }
+}
+
+/// A complete, seedable workload scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Scenario name (reported in `BENCH_cloud.json`).
+    pub name: String,
+    /// Master seed; every RNG stream in the run derives from it.
+    pub seed: u64,
+    /// Virtual duration: arrivals stop after this instant (queued work still
+    /// drains).
+    pub duration_ms: u64,
+    /// Hard cap on total submitted jobs across tenants (`0` = unlimited).
+    pub max_jobs: u64,
+    /// Fixed per-job service overhead (virtual µs) at speed 1.0.
+    pub service_base_us: u64,
+    /// Additional service time per shot (virtual µs) at speed 1.0.
+    pub service_per_shot_us: u64,
+    /// Shots used by the meta server's Clifford-canary evaluation.
+    pub canary_shots: u64,
+    /// The device fleet.
+    pub fleet: Vec<DeviceSpec>,
+    /// The tenants.
+    pub tenants: Vec<TenantSpec>,
+    /// Drift/outage timeline.
+    pub events: Vec<ScenarioEvent>,
+}
+
+impl Scenario {
+    /// Check cross-field invariants: non-empty fleet and tenant list, unique
+    /// names, sane rates, event devices that exist, and at least one device
+    /// large enough for every tenant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LoadgenError::InvalidScenario`] describing the first
+    /// violation.
+    pub fn validate(&self) -> Result<(), LoadgenError> {
+        let invalid = |message: String| Err(LoadgenError::InvalidScenario(message));
+        if self.fleet.is_empty() {
+            return invalid("the fleet is empty".into());
+        }
+        if self.tenants.is_empty() {
+            return invalid("no tenants are defined".into());
+        }
+        if self.duration_ms == 0 {
+            return invalid("durationMs must be >= 1".into());
+        }
+        let mut device_names = std::collections::BTreeSet::new();
+        for device in &self.fleet {
+            if device.qubits == 0 {
+                return invalid(format!("device '{}' has zero qubits", device.name));
+            }
+            if !(device.speed.is_finite() && device.speed > 0.0) {
+                return invalid(format!("device '{}' has non-positive speed", device.name));
+            }
+            for (label, p) in [
+                ("singleQubitError", device.single_qubit_error),
+                ("twoQubitError", device.two_qubit_error),
+                ("readoutError", device.readout_error),
+            ] {
+                if !(0.0..=1.0).contains(&p) {
+                    return invalid(format!(
+                        "device '{}': {label} {p} outside [0, 1]",
+                        device.name
+                    ));
+                }
+            }
+            if !device_names.insert(device.name.clone()) {
+                return invalid(format!("duplicate device name '{}'", device.name));
+            }
+        }
+        let max_qubits = self.fleet.iter().map(|d| d.qubits).max().unwrap_or(0);
+        let mut tenant_names = std::collections::BTreeSet::new();
+        for tenant in &self.tenants {
+            if !tenant_names.insert(tenant.name.clone()) {
+                return invalid(format!("duplicate tenant name '{}'", tenant.name));
+            }
+            if tenant.qubits == 0 || tenant.qubits > max_qubits {
+                return invalid(format!(
+                    "tenant '{}' needs {} qubits but the largest device has {max_qubits}",
+                    tenant.name, tenant.qubits
+                ));
+            }
+            if tenant.shots == 0 {
+                return invalid(format!("tenant '{}' has zero shots", tenant.name));
+            }
+            let rate = tenant.arrival.mean_rate_per_sec();
+            if !(rate.is_finite() && rate > 0.0) {
+                return invalid(format!(
+                    "tenant '{}' has a non-positive arrival rate",
+                    tenant.name
+                ));
+            }
+            if let ArrivalProcess::Bursty {
+                burst_multiplier, ..
+            } = tenant.arrival
+            {
+                if burst_multiplier < 1.0 {
+                    return invalid(format!(
+                        "tenant '{}': burstMultiplier must be >= 1",
+                        tenant.name
+                    ));
+                }
+            }
+            if let ArrivalProcess::Diurnal { amplitude, .. } = tenant.arrival {
+                if !(0.0..=1.0).contains(&amplitude) {
+                    return invalid(format!(
+                        "tenant '{}': amplitude must be in [0, 1]",
+                        tenant.name
+                    ));
+                }
+            }
+            // The circuit family must actually build at the tenant's width
+            // (e.g. Grover has its own qubit bounds) — fail here instead of
+            // mid-simulation at the tenant's first arrival.
+            if let Err(e) = tenant.circuit_for(0) {
+                return invalid(format!(
+                    "tenant '{}': circuit family cannot be built at {} qubits ({e})",
+                    tenant.name, tenant.qubits
+                ));
+            }
+        }
+        for event in &self.events {
+            let device = match event {
+                ScenarioEvent::Drift { device, .. } | ScenarioEvent::Outage { device, .. } => {
+                    device
+                }
+            };
+            if !device_names.contains(device) {
+                return invalid(format!("event references unknown device '{device}'"));
+            }
+            if let ScenarioEvent::Drift { error_factor, .. } = event {
+                if !(error_factor.is_finite() && *error_factor > 0.0) {
+                    return invalid("drift errorFactor must be finite and > 0".into());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Parse a scenario from its YAML document. See the module docs for the
+    /// schema. The parsed scenario is also [`Scenario::validate`]d.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LoadgenError::ScenarioParse`] (with a line number) on
+    /// malformed documents and [`LoadgenError::InvalidScenario`] on semantic
+    /// violations.
+    pub fn from_yaml(text: &str) -> Result<Self, LoadgenError> {
+        parse_scenario(text)
+    }
+}
+
+/// One `- key: value` list item under `fleet:`/`tenants:`/`events:`, with the
+/// line number of each field for error messages.
+type Item = BTreeMap<String, (String, usize)>;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    None,
+    Fleet,
+    Tenants,
+    Events,
+}
+
+fn parse_scenario(text: &str) -> Result<Scenario, LoadgenError> {
+    let mut name = String::from("unnamed");
+    let mut seed = 0u64;
+    let mut duration_ms = 0u64;
+    let mut max_jobs = 0u64;
+    let mut service_base_us = 20_000u64;
+    let mut service_per_shot_us = 400u64;
+    let mut canary_shots = 32u64;
+
+    let mut section = Section::None;
+    let mut items: Vec<(Section, Item)> = Vec::new();
+    let mut current: Option<Item> = None;
+    // Top-level scalars already assigned: a repeat is rejected rather than
+    // silently last-wins (same discipline as the job-spec parser).
+    let mut seen_scalars: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |message: String| LoadgenError::ScenarioParse {
+            line: line_no,
+            message,
+        };
+        let (is_item_start, body) = match line.strip_prefix("- ") {
+            Some(rest) => (true, rest),
+            None => (false, line),
+        };
+        let Some((key, value)) = body.split_once(':') else {
+            return Err(err(format!("unrecognised line '{line}'")));
+        };
+        let key = key.trim().to_string();
+        let value = strip_inline_comment(value).trim().to_string();
+
+        if is_item_start {
+            if section == Section::None {
+                return Err(err(format!("list item '{line}' outside a section")));
+            }
+            if let Some(item) = current.take() {
+                items.push((section, item));
+            }
+            let mut item = Item::new();
+            item.insert(key, (value, line_no));
+            current = Some(item);
+            continue;
+        }
+
+        if value.is_empty() {
+            // Section headers. Flush the previous section's pending item
+            // before switching.
+            if let Some(item) = current.take() {
+                items.push((section, item));
+            }
+            section = match key.as_str() {
+                "fleet" => Section::Fleet,
+                "tenants" => Section::Tenants,
+                "events" => Section::Events,
+                other => return Err(err(format!("unknown section '{other}'"))),
+            };
+            continue;
+        }
+
+        if let Some(item) = current.as_mut() {
+            if item.insert(key.clone(), (value, line_no)).is_some() {
+                return Err(err(format!("duplicate item field '{key}'")));
+            }
+            continue;
+        }
+
+        // Top-level scalar.
+        if !seen_scalars.insert(key.clone()) {
+            return Err(err(format!("duplicate field '{key}'")));
+        }
+        let parse_u64 = |v: &str| {
+            v.parse::<u64>()
+                .map_err(|_| err(format!("field '{key}': bad integer '{v}'")))
+        };
+        match key.as_str() {
+            "scenario" => name = value,
+            "seed" => seed = parse_u64(&value)?,
+            "durationMs" => duration_ms = parse_u64(&value)?,
+            "maxJobs" => max_jobs = parse_u64(&value)?,
+            "serviceBaseUs" => service_base_us = parse_u64(&value)?,
+            "servicePerShotUs" => service_per_shot_us = parse_u64(&value)?,
+            "canaryShots" => canary_shots = parse_u64(&value)?,
+            other => return Err(err(format!("unknown field '{other}'"))),
+        }
+    }
+    if let Some(item) = current.take() {
+        items.push((section, item));
+    }
+
+    let mut fleet = Vec::new();
+    let mut tenants = Vec::new();
+    let mut events = Vec::new();
+    for (section, item) in items {
+        match section {
+            Section::Fleet => fleet.push(parse_device(&item)?),
+            Section::Tenants => tenants.push(parse_tenant(&item)?),
+            Section::Events => events.push(parse_event(&item)?),
+            Section::None => unreachable!("items outside sections are rejected above"),
+        }
+    }
+
+    let scenario = Scenario {
+        name,
+        seed,
+        duration_ms,
+        max_jobs,
+        service_base_us,
+        service_per_shot_us,
+        canary_shots,
+        fleet,
+        tenants,
+        events,
+    };
+    scenario.validate()?;
+    Ok(scenario)
+}
+
+/// Strip an inline `# comment` from a value. Only a `#` preceded by
+/// whitespace (or starting the value) opens a comment, so names containing a
+/// bare `#` (e.g. `device: qpu#1`) survive intact — matching YAML's rule.
+fn strip_inline_comment(value: &str) -> &str {
+    let bytes = value.as_bytes();
+    for (index, &byte) in bytes.iter().enumerate() {
+        if byte == b'#' && (index == 0 || bytes[index - 1].is_ascii_whitespace()) {
+            return &value[..index];
+        }
+    }
+    value
+}
+
+/// Reject item fields outside `allowed` — a typo'd optional field (or a
+/// top-level scalar accidentally indented into a list item) must not be
+/// silently dropped onto its default.
+fn reject_unknown_fields(item: &Item, kind: &str, allowed: &[&str]) -> Result<(), LoadgenError> {
+    for (key, &(_, line)) in item {
+        if !allowed.contains(&key.as_str()) {
+            return Err(LoadgenError::ScenarioParse {
+                line,
+                message: format!(
+                    "unknown {kind} field '{key}' (expected one of: {})",
+                    allowed.join(", ")
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn field<'a>(item: &'a Item, key: &str) -> Result<(&'a str, usize), LoadgenError> {
+    item.get(key)
+        .map(|(value, line)| (value.as_str(), *line))
+        .ok_or_else(|| {
+            let line = item.values().map(|(_, l)| *l).min().unwrap_or(0);
+            LoadgenError::ScenarioParse {
+                line,
+                message: format!("missing field '{key}'"),
+            }
+        })
+}
+
+fn field_or<'a>(item: &'a Item, key: &str, default: &'a str) -> (&'a str, usize) {
+    item.get(key)
+        .map(|(value, line)| (value.as_str(), *line))
+        .unwrap_or((default, 0))
+}
+
+fn parse_f64_at(value: &str, line: usize, key: &str) -> Result<f64, LoadgenError> {
+    value
+        .parse::<f64>()
+        .map_err(|_| LoadgenError::ScenarioParse {
+            line,
+            message: format!("field '{key}': bad number '{value}'"),
+        })
+}
+
+fn parse_u64_at(value: &str, line: usize, key: &str) -> Result<u64, LoadgenError> {
+    value
+        .parse::<u64>()
+        .map_err(|_| LoadgenError::ScenarioParse {
+            line,
+            message: format!("field '{key}': bad integer '{value}'"),
+        })
+}
+
+fn parse_device(item: &Item) -> Result<DeviceSpec, LoadgenError> {
+    reject_unknown_fields(
+        item,
+        "device",
+        &[
+            "device",
+            "topology",
+            "qubits",
+            "singleQubitError",
+            "twoQubitError",
+            "readoutError",
+            "speed",
+        ],
+    )?;
+    let (name, _) = field(item, "device")?;
+    let (topo, topo_line) = field_or(item, "topology", "line");
+    let topology = TopologyKind::parse(topo).ok_or_else(|| LoadgenError::ScenarioParse {
+        line: topo_line,
+        message: format!("unknown topology '{topo}' (line|ring|grid|tree|star|full)"),
+    })?;
+    let (qubits, q_line) = field(item, "qubits")?;
+    let (sq, sq_line) = field_or(item, "singleQubitError", "0.001");
+    let (tq, tq_line) = field_or(item, "twoQubitError", "0.01");
+    let (ro, ro_line) = field_or(item, "readoutError", "0.02");
+    let (speed, sp_line) = field_or(item, "speed", "1.0");
+    Ok(DeviceSpec {
+        name: name.to_string(),
+        topology,
+        qubits: parse_u64_at(qubits, q_line, "qubits")? as usize,
+        single_qubit_error: parse_f64_at(sq, sq_line, "singleQubitError")?,
+        two_qubit_error: parse_f64_at(tq, tq_line, "twoQubitError")?,
+        readout_error: parse_f64_at(ro, ro_line, "readoutError")?,
+        speed: parse_f64_at(speed, sp_line, "speed")?,
+    })
+}
+
+fn parse_tenant(item: &Item) -> Result<TenantSpec, LoadgenError> {
+    reject_unknown_fields(
+        item,
+        "tenant",
+        &[
+            "tenant",
+            "strategy",
+            "target",
+            "circuit",
+            "qubits",
+            "shots",
+            "arrival",
+            "ratePerSec",
+            "burstMultiplier",
+            "meanBurstMs",
+            "meanIdleMs",
+            "amplitude",
+            "periodMs",
+        ],
+    )?;
+    let (name, _) = field(item, "tenant")?;
+    let (strategy_name, strategy_line) = field(item, "strategy")?;
+    let (target, t_line) = field_or(item, "target", "0.9");
+    let target = parse_f64_at(target, t_line, "target")?;
+    let strategy = match strategy_name {
+        "fidelity" => TenantStrategy::Fidelity { target },
+        "weighted" => TenantStrategy::Weighted { target },
+        "min_queue" => TenantStrategy::MinQueue,
+        "topology" => TenantStrategy::Topology,
+        other => {
+            return Err(LoadgenError::ScenarioParse {
+                line: strategy_line,
+                message: format!(
+                    "unknown strategy '{other}' (fidelity|weighted|min_queue|topology)"
+                ),
+            })
+        }
+    };
+    let (circuit, c_line) = field_or(item, "circuit", "bv");
+    let circuit = WorkloadCircuit::parse(circuit).ok_or_else(|| LoadgenError::ScenarioParse {
+        line: c_line,
+        message: format!("unknown circuit '{circuit}' (bv|ghz|grover|random_clifford)"),
+    })?;
+    let (qubits, q_line) = field(item, "qubits")?;
+    let (shots, s_line) = field_or(item, "shots", "64");
+    let (arrival_kind, a_line) = field_or(item, "arrival", "poisson");
+    let (rate, r_line) = field(item, "ratePerSec")?;
+    let rate = parse_f64_at(rate, r_line, "ratePerSec")?;
+    let arrival = match arrival_kind {
+        "poisson" => ArrivalProcess::Poisson { rate_per_sec: rate },
+        "bursty" => {
+            let (mult, m_line) = field_or(item, "burstMultiplier", "8.0");
+            let (burst, b_line) = field_or(item, "meanBurstMs", "1000");
+            let (idle, i_line) = field_or(item, "meanIdleMs", "4000");
+            ArrivalProcess::Bursty {
+                base_rate_per_sec: rate,
+                burst_multiplier: parse_f64_at(mult, m_line, "burstMultiplier")?,
+                mean_burst_ms: parse_u64_at(burst, b_line, "meanBurstMs")?,
+                mean_idle_ms: parse_u64_at(idle, i_line, "meanIdleMs")?,
+            }
+        }
+        "diurnal" => {
+            let (amp, am_line) = field_or(item, "amplitude", "0.8");
+            let (period, p_line) = field_or(item, "periodMs", "20000");
+            ArrivalProcess::Diurnal {
+                base_rate_per_sec: rate,
+                amplitude: parse_f64_at(amp, am_line, "amplitude")?,
+                period_ms: parse_u64_at(period, p_line, "periodMs")?,
+            }
+        }
+        other => {
+            return Err(LoadgenError::ScenarioParse {
+                line: a_line,
+                message: format!("unknown arrival '{other}' (poisson|bursty|diurnal)"),
+            })
+        }
+    };
+    Ok(TenantSpec {
+        name: name.to_string(),
+        strategy,
+        circuit,
+        qubits: parse_u64_at(qubits, q_line, "qubits")? as usize,
+        shots: parse_u64_at(shots, s_line, "shots")?,
+        arrival,
+    })
+}
+
+fn parse_event(item: &Item) -> Result<ScenarioEvent, LoadgenError> {
+    reject_unknown_fields(
+        item,
+        "event",
+        &["atMs", "kind", "device", "errorFactor", "downMs"],
+    )?;
+    let (at, at_line) = field(item, "atMs")?;
+    let at_ms = parse_u64_at(at, at_line, "atMs")?;
+    let (kind, kind_line) = field(item, "kind")?;
+    let (device, _) = field(item, "device")?;
+    match kind {
+        "drift" => {
+            reject_unknown_fields(
+                item,
+                "drift event",
+                &["atMs", "kind", "device", "errorFactor"],
+            )?;
+            let (factor, f_line) = field(item, "errorFactor")?;
+            Ok(ScenarioEvent::Drift {
+                at_ms,
+                device: device.to_string(),
+                error_factor: parse_f64_at(factor, f_line, "errorFactor")?,
+            })
+        }
+        "outage" => {
+            reject_unknown_fields(item, "outage event", &["atMs", "kind", "device", "downMs"])?;
+            let (down, d_line) = field(item, "downMs")?;
+            Ok(ScenarioEvent::Outage {
+                at_ms,
+                device: device.to_string(),
+                down_ms: parse_u64_at(down, d_line, "downMs")?,
+            })
+        }
+        other => Err(LoadgenError::ScenarioParse {
+            line: kind_line,
+            message: format!("unknown event kind '{other}' (drift|outage)"),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+scenario: unit
+seed: 9
+durationMs: 5000
+maxJobs: 100
+fleet:
+  - device: alpha
+    topology: line
+    qubits: 8
+  - device: beta
+    topology: ring
+    qubits: 8
+    twoQubitError: 0.05
+    speed: 2.0
+tenants:
+  - tenant: alice
+    strategy: fidelity
+    target: 0.85
+    circuit: bv
+    qubits: 4
+    shots: 32
+    arrival: poisson
+    ratePerSec: 10.0
+  - tenant: bob
+    strategy: min_queue
+    circuit: ghz
+    qubits: 4
+    arrival: bursty
+    ratePerSec: 4.0
+    burstMultiplier: 6.0
+events:
+  - atMs: 2000
+    kind: drift
+    device: alpha
+    errorFactor: 5.0
+  - atMs: 3000
+    kind: outage
+    device: beta
+    downMs: 1000
+";
+
+    #[test]
+    fn sample_scenario_parses() {
+        let scenario = Scenario::from_yaml(SAMPLE).unwrap();
+        assert_eq!(scenario.name, "unit");
+        assert_eq!(scenario.seed, 9);
+        assert_eq!(scenario.fleet.len(), 2);
+        assert_eq!(scenario.fleet[1].topology, TopologyKind::Ring);
+        assert!((scenario.fleet[1].speed - 2.0).abs() < 1e-12);
+        assert_eq!(scenario.tenants.len(), 2);
+        assert!(matches!(
+            scenario.tenants[0].strategy,
+            TenantStrategy::Fidelity { target } if (target - 0.85).abs() < 1e-12
+        ));
+        assert!(matches!(
+            scenario.tenants[1].arrival,
+            ArrivalProcess::Bursty { burst_multiplier, .. } if (burst_multiplier - 6.0).abs() < 1e-12
+        ));
+        assert_eq!(scenario.events.len(), 2);
+        assert_eq!(scenario.events[0].at_ms(), 2000);
+    }
+
+    #[test]
+    fn device_specs_materialize_backends() {
+        let scenario = Scenario::from_yaml(SAMPLE).unwrap();
+        let alpha = scenario.fleet[0].backend();
+        assert_eq!(alpha.name(), "alpha");
+        assert_eq!(alpha.num_qubits(), 8);
+        let beta = scenario.fleet[1].backend();
+        assert!((beta.avg_two_qubit_error() - 0.05).abs() < 1e-12);
+        // Every topology family builds.
+        for (kind, qubits) in [
+            (TopologyKind::Line, 7),
+            (TopologyKind::Ring, 7),
+            (TopologyKind::Grid, 12),
+            (TopologyKind::Grid, 7), // prime degrades to 1×7
+            (TopologyKind::Tree, 7),
+            (TopologyKind::Star, 7),
+            (TopologyKind::Full, 5),
+        ] {
+            let spec = DeviceSpec {
+                name: "d".into(),
+                topology: kind,
+                qubits,
+                single_qubit_error: 0.001,
+                two_qubit_error: 0.01,
+                readout_error: 0.0,
+                speed: 1.0,
+            };
+            assert_eq!(spec.backend().num_qubits(), qubits, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn tenant_circuits_vary_deterministically_with_index() {
+        let tenant = TenantSpec {
+            name: "t".into(),
+            strategy: TenantStrategy::MinQueue,
+            circuit: WorkloadCircuit::Bv,
+            qubits: 5,
+            shots: 16,
+            arrival: ArrivalProcess::Poisson { rate_per_sec: 1.0 },
+        };
+        let a = tenant.circuit_for(3).unwrap();
+        let b = tenant.circuit_for(3).unwrap();
+        let c = tenant.circuit_for(4).unwrap();
+        assert_eq!(
+            qrio_circuit::qasm::to_qasm(&a),
+            qrio_circuit::qasm::to_qasm(&b)
+        );
+        assert_ne!(
+            qrio_circuit::qasm::to_qasm(&a),
+            qrio_circuit::qasm::to_qasm(&c)
+        );
+    }
+
+    #[test]
+    fn inline_comments_strip_only_after_whitespace() {
+        assert_eq!(strip_inline_comment("5.0  # rate"), "5.0  ");
+        assert_eq!(strip_inline_comment("# all comment"), "");
+        assert_eq!(strip_inline_comment("qpu#1"), "qpu#1");
+        assert_eq!(strip_inline_comment("qpu#1 # note"), "qpu#1 ");
+        // End to end: a device name containing '#' survives parsing and can
+        // be referenced by events.
+        let scenario = Scenario::from_yaml(
+            "scenario: hash\nseed: 1\ndurationMs: 10\n\
+             fleet:\n  - device: qpu#1\n    qubits: 4  # four qubits\n\
+             tenants:\n  - tenant: t\n    strategy: min_queue\n    qubits: 2\n    ratePerSec: 1.0\n\
+             events:\n  - atMs: 1\n    kind: drift\n    device: qpu#1\n    errorFactor: 2.0\n",
+        )
+        .unwrap();
+        assert_eq!(scenario.fleet[0].name, "qpu#1");
+        assert_eq!(scenario.fleet[0].qubits, 4);
+    }
+
+    #[test]
+    fn malformed_documents_surface_line_numbered_errors() {
+        let cases: &[(&str, &str)] = &[
+            ("nonsense\n", "unrecognised line"),
+            ("unknownField: 3\n", "unknown field"),
+            ("widgets:\n  - device: x\n", "unknown section"),
+            ("- device: x\n", "outside a section"),
+            ("seed: notanumber\n", "bad integer"),
+            (
+                "fleet:\n  - device: a\n    qubits: 4\n    qubits: 5\n",
+                "duplicate item field",
+            ),
+            ("fleet:\n  - topology: line\n", "missing field 'device'"),
+            (
+                "fleet:\n  - device: a\n    topology: moebius\n    qubits: 4\n",
+                "unknown topology",
+            ),
+            ("seed: 1\nseed: 2\n", "duplicate field 'seed'"),
+            (
+                "fleet:\n  - device: a\n    qubits: 4\n    sped: 2.0\n",
+                "unknown device field 'sped'",
+            ),
+            (
+                // A top-level scalar indented into a list item is rejected,
+                // not silently swallowed.
+                "fleet:\n  - device: a\n    qubits: 4\n    seed: 99\n",
+                "unknown device field 'seed'",
+            ),
+            (
+                "durationMs: 10\nfleet:\n  - device: a\n    qubits: 4\ntenants:\n  - tenant: t\n    strategy: min_queue\n    qubits: 2\n    ratePerSec: 1.0\n    amplitud: 0.9\n",
+                "unknown tenant field 'amplitud'",
+            ),
+            (
+                "durationMs: 10\nfleet:\n  - device: a\n    qubits: 4\ntenants:\n  - tenant: t\n    strategy: min_queue\n    qubits: 2\n    ratePerSec: 1.0\nevents:\n  - atMs: 1\n    kind: drift\n    device: a\n    errorFactor: 2.0\n    downMs: 5\n",
+                "unknown drift event field 'downMs'",
+            ),
+            (
+                "durationMs: 10\nfleet:\n  - device: a\n    qubits: 4\ntenants:\n  - tenant: t\n    strategy: psychic\n    qubits: 2\n    ratePerSec: 1.0\n",
+                "unknown strategy",
+            ),
+            (
+                "durationMs: 10\nfleet:\n  - device: a\n    qubits: 4\ntenants:\n  - tenant: t\n    strategy: min_queue\n    circuit: mystery\n    qubits: 2\n    ratePerSec: 1.0\n",
+                "unknown circuit",
+            ),
+            (
+                "durationMs: 10\nfleet:\n  - device: a\n    qubits: 4\ntenants:\n  - tenant: t\n    strategy: min_queue\n    qubits: 2\n    arrival: psychic\n    ratePerSec: 1.0\n",
+                "unknown arrival",
+            ),
+            (
+                "durationMs: 10\nfleet:\n  - device: a\n    qubits: 4\ntenants:\n  - tenant: t\n    strategy: min_queue\n    qubits: 2\n    ratePerSec: 1.0\nevents:\n  - atMs: 1\n    kind: meteor\n    device: a\n",
+                "unknown event kind",
+            ),
+        ];
+        for (doc, needle) in cases {
+            match Scenario::from_yaml(doc) {
+                Err(LoadgenError::ScenarioParse { message, .. }) => assert!(
+                    message.contains(needle),
+                    "{doc:?}: expected '{needle}' in '{message}'"
+                ),
+                other => panic!("{doc:?} must fail with a parse error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn semantic_violations_surface_invalid_scenario() {
+        let cases: &[(&str, &str)] = &[
+            ("durationMs: 10\ntenants:\n  - tenant: t\n    strategy: min_queue\n    qubits: 2\n    ratePerSec: 1.0\n", "fleet is empty"),
+            ("durationMs: 10\nfleet:\n  - device: a\n    qubits: 4\n", "no tenants"),
+            (
+                "fleet:\n  - device: a\n    qubits: 4\ntenants:\n  - tenant: t\n    strategy: min_queue\n    qubits: 2\n    ratePerSec: 1.0\n",
+                "durationMs",
+            ),
+            (
+                "durationMs: 10\nfleet:\n  - device: a\n    qubits: 4\n  - device: a\n    qubits: 4\ntenants:\n  - tenant: t\n    strategy: min_queue\n    qubits: 2\n    ratePerSec: 1.0\n",
+                "duplicate device",
+            ),
+            (
+                "durationMs: 10\nfleet:\n  - device: a\n    qubits: 4\ntenants:\n  - tenant: t\n    strategy: min_queue\n    qubits: 9\n    ratePerSec: 1.0\n",
+                "largest device",
+            ),
+            (
+                "durationMs: 10\nfleet:\n  - device: a\n    qubits: 4\ntenants:\n  - tenant: t\n    strategy: min_queue\n    qubits: 2\n    ratePerSec: 0.0\n",
+                "arrival rate",
+            ),
+            (
+                "durationMs: 10\nfleet:\n  - device: a\n    qubits: 4\ntenants:\n  - tenant: t\n    strategy: min_queue\n    qubits: 2\n    ratePerSec: 1.0\nevents:\n  - atMs: 1\n    kind: drift\n    device: ghost\n    errorFactor: 2.0\n",
+                "unknown device",
+            ),
+        ];
+        for (doc, needle) in cases {
+            match Scenario::from_yaml(doc) {
+                Err(LoadgenError::InvalidScenario(message)) => assert!(
+                    message.contains(needle),
+                    "{doc:?}: expected '{needle}' in '{message}'"
+                ),
+                other => panic!("{doc:?} must fail validation, got {other:?}"),
+            }
+        }
+    }
+}

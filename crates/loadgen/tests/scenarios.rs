@@ -1,0 +1,271 @@
+//! Scenario-level behaviour of the workload simulator: determinism,
+//! scheduler fairness under load, drift-driven re-ranking and outage
+//! survival.
+
+use qrio_loadgen::{run_scenario, Scenario};
+
+/// A congested three-device fleet: identical arrival streams for every
+/// tenant, service times sized so the offered load exceeds fleet capacity
+/// and queues must form.
+fn congested_scenario(strategies: &[(&str, &str)]) -> Scenario {
+    let mut yaml = String::from(
+        "scenario: congested\n\
+         seed: 1234\n\
+         durationMs: 12000\n\
+         maxJobs: 180\n\
+         serviceBaseUs: 150000\n\
+         servicePerShotUs: 2000\n\
+         canaryShots: 16\n\
+         fleet:\n\
+           - device: alpha\n\
+             topology: line\n\
+             qubits: 8\n\
+             twoQubitError: 0.008\n\
+             readoutError: 0.01\n\
+           - device: beta\n\
+             topology: ring\n\
+             qubits: 8\n\
+             twoQubitError: 0.02\n\
+             readoutError: 0.02\n\
+           - device: gamma\n\
+             topology: line\n\
+             qubits: 8\n\
+             twoQubitError: 0.04\n\
+             readoutError: 0.04\n\
+         tenants:\n",
+    );
+    for (tenant, strategy) in strategies {
+        yaml.push_str(&format!(
+            "  - tenant: {tenant}\n\
+             \x20   strategy: {strategy}\n\
+             \x20   target: 0.85\n\
+             \x20   circuit: bv\n\
+             \x20   qubits: 5\n\
+             \x20   shots: 32\n\
+             \x20   arrival: poisson\n\
+             \x20   ratePerSec: 5.0\n"
+        ));
+    }
+    Scenario::from_yaml(&yaml).unwrap()
+}
+
+#[test]
+fn same_seed_runs_are_byte_identical_through_drift_and_outage() {
+    let scenario = Scenario::from_yaml(
+        "scenario: det\n\
+         seed: 77\n\
+         durationMs: 8000\n\
+         maxJobs: 80\n\
+         serviceBaseUs: 100000\n\
+         canaryShots: 16\n\
+         fleet:\n\
+           - device: a\n\
+             qubits: 6\n\
+           - device: b\n\
+             qubits: 6\n\
+             twoQubitError: 0.03\n\
+         tenants:\n\
+           - tenant: t1\n\
+             strategy: fidelity\n\
+             circuit: bv\n\
+             qubits: 4\n\
+             shots: 16\n\
+             ratePerSec: 6.0\n\
+           - tenant: t2\n\
+             strategy: min_queue\n\
+             circuit: ghz\n\
+             qubits: 4\n\
+             shots: 16\n\
+             arrival: bursty\n\
+             ratePerSec: 3.0\n\
+             burstMultiplier: 6.0\n\
+         events:\n\
+           - atMs: 2000\n\
+             kind: outage\n\
+             device: a\n\
+             downMs: 2000\n\
+           - atMs: 4000\n\
+             kind: drift\n\
+             device: a\n\
+             errorFactor: 10.0\n",
+    )
+    .unwrap();
+    let first = run_scenario(&scenario).unwrap();
+    let second = run_scenario(&scenario).unwrap();
+    assert_eq!(
+        first.to_json(),
+        second.to_json(),
+        "same-seed runs must be byte-identical"
+    );
+    assert!(first.completed > 0);
+    assert_eq!(first.drift_events, 1);
+    assert_eq!(first.outage_events, 1);
+    // A different seed changes the workload (and therefore the report).
+    let mut reseeded = scenario;
+    reseeded.seed = 78;
+    let third = run_scenario(&reseeded).unwrap();
+    assert_ne!(first.to_json(), third.to_json());
+}
+
+/// Satellite: in a congested fleet no tenant starves, and the load-aware
+/// `min_queue` strategy beats load-blind `fidelity` on p95 latency — the
+/// fidelity tenants all chase the same cleanest device while their queue
+/// grows.
+#[test]
+fn min_queue_beats_fidelity_on_p95_latency_and_nobody_starves() {
+    let report = run_scenario(&congested_scenario(&[
+        ("fid-a", "fidelity"),
+        ("fid-b", "fidelity"),
+        ("queue-c", "min_queue"),
+    ]))
+    .unwrap();
+
+    // The fleet was genuinely congested: some device queued several jobs.
+    let peak = report
+        .devices
+        .values()
+        .map(|d| d.peak_queue_depth)
+        .max()
+        .unwrap();
+    assert!(peak >= 4, "scenario must produce contention, peak {peak}");
+
+    // No tenant starves: every stream completes every job it submitted
+    // (queues drain in virtual time; nothing is silently dropped), and every
+    // tenant makes real progress.
+    for (tenant, stats) in &report.tenants {
+        assert!(
+            stats.submitted > 20,
+            "{tenant} submitted {}",
+            stats.submitted
+        );
+        assert_eq!(
+            stats.completed + stats.rejected,
+            stats.submitted,
+            "{tenant} lost jobs"
+        );
+        assert_eq!(stats.rejected, 0, "{tenant} was rejected under plain load");
+        assert!(stats.throughput_per_sec > 0.0, "{tenant} starved");
+    }
+
+    // The load-aware strategy wins on tail latency against both fidelity
+    // tenants.
+    let queue_p95 = report.tenants["queue-c"].p95_latency_ms;
+    for fid in ["fid-a", "fid-b"] {
+        let fid_p95 = report.tenants[fid].p95_latency_ms;
+        assert!(
+            queue_p95 < fid_p95,
+            "min_queue p95 {queue_p95} ms must beat {fid} p95 {fid_p95} ms"
+        );
+    }
+}
+
+/// Drift re-ranking: when the device every fidelity job piles onto drifts to
+/// terrible calibration, waiting jobs migrate off it and later executions
+/// happen under the drifted noise model (lower achieved fidelity).
+#[test]
+fn calibration_drift_triggers_migrations_and_degrades_fidelity() {
+    // The two devices are far enough apart (0.004 vs 0.06 two-qubit error)
+    // that the 64-shot canary ranks them decisively: before the drift every
+    // job chooses 'clean'; the drift (factor 60) inverts the ordering.
+    let base = "\
+scenario: drift
+seed: 5
+durationMs: 10000
+maxJobs: 120
+serviceBaseUs: 200000
+canaryShots: 64
+fleet:
+  - device: clean
+    qubits: 6
+    twoQubitError: 0.004
+    readoutError: 0.005
+  - device: backup
+    qubits: 6
+    twoQubitError: 0.06
+    readoutError: 0.04
+tenants:
+  - tenant: alice
+    strategy: fidelity
+    target: 0.9
+    circuit: bv
+    qubits: 4
+    shots: 32
+    ratePerSec: 8.0
+";
+    let calm = Scenario::from_yaml(base).unwrap();
+    let drifted = Scenario::from_yaml(&format!(
+        "{base}events:\n  - atMs: 3000\n    kind: drift\n    device: clean\n    errorFactor: 60.0\n"
+    ))
+    .unwrap();
+
+    let calm_report = run_scenario(&calm).unwrap();
+    let drift_report = run_scenario(&drifted).unwrap();
+
+    assert_eq!(calm_report.migrations, 0, "nothing migrates without events");
+    assert!(
+        drift_report.migrations > 0,
+        "drift must push waiting jobs off the degraded device"
+    );
+    assert_eq!(drift_report.drift_events, 1);
+    // Re-ranking the same (job, device) pairs after the drift produces cache
+    // hits for the cacheable fidelity strategy.
+    assert!(drift_report.cache_hits > 0, "re-ranking must hit the cache");
+    // Executions after the drift run under the degraded noise model.
+    let calm_f = calm_report.tenants["alice"].mean_fidelity;
+    let drift_f = drift_report.tenants["alice"].mean_fidelity;
+    assert!(
+        drift_f < calm_f - 0.02,
+        "drift must degrade mean fidelity ({drift_f} vs {calm_f})"
+    );
+}
+
+/// Outages cordon the device, flee its waiting queue, and the cloud still
+/// drains every job.
+#[test]
+fn outages_migrate_waiting_jobs_and_everything_drains() {
+    let scenario = Scenario::from_yaml(
+        "scenario: outage\n\
+         seed: 13\n\
+         durationMs: 10000\n\
+         maxJobs: 100\n\
+         serviceBaseUs: 250000\n\
+         canaryShots: 16\n\
+         fleet:\n\
+           - device: primary\n\
+             qubits: 6\n\
+             twoQubitError: 0.005\n\
+           - device: standby\n\
+             qubits: 6\n\
+             twoQubitError: 0.03\n\
+         tenants:\n\
+           - tenant: solo\n\
+             strategy: fidelity\n\
+             target: 0.9\n\
+             circuit: bv\n\
+             qubits: 4\n\
+             shots: 32\n\
+             ratePerSec: 8.0\n\
+         events:\n\
+           - atMs: 2000\n\
+             kind: outage\n\
+             device: primary\n\
+             downMs: 4000\n",
+    )
+    .unwrap();
+    let report = run_scenario(&scenario).unwrap();
+    assert_eq!(report.outage_events, 1);
+    assert!(
+        report.migrations > 0,
+        "the cordoned device's waiting queue must flee"
+    );
+    assert_eq!(
+        report.completed + report.rejected + report.execution_failures,
+        report.submitted,
+        "every job drains even through the outage"
+    );
+    assert!(
+        report.devices["standby"].completed > 0,
+        "standby absorbed load"
+    );
+    assert!(report.completed > 0);
+}

@@ -58,6 +58,30 @@ struct ScoreCache {
     misses: u64,
 }
 
+/// A snapshot of the memoized-score cache counters, exported for operational
+/// dashboards and workload reports (e.g. `BENCH_cloud.json`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to recompute the score.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (`0.0` when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// The QRIO Meta Server.
 #[derive(Debug)]
 pub struct MetaServer {
@@ -191,6 +215,18 @@ impl MetaServer {
     /// The latest telemetry reported for a device, if any.
     pub fn telemetry_for(&self, device: &str) -> Option<&DeviceTelemetry> {
         self.telemetry.get(device)
+    }
+
+    /// Refresh telemetry for a whole fleet in one call — the shape the
+    /// control plane's per-scheduling-cycle report arrives in (one entry per
+    /// node from `Cluster::node_loads`).
+    pub fn update_telemetry_bulk(
+        &mut self,
+        reports: impl IntoIterator<Item = (String, DeviceTelemetry)>,
+    ) {
+        for (device, telemetry) in reports {
+            self.telemetry.insert(device, telemetry);
+        }
     }
 
     // --- Job metadata (Table 1, generalized) ---------------------------------------------
@@ -339,8 +375,20 @@ impl MetaServer {
     /// Cumulative `(hits, misses)` of the memoized-score cache, for tests and
     /// operational visibility.
     pub fn score_cache_stats(&self) -> (u64, u64) {
+        let stats = self.cache_stats();
+        (stats.hits, stats.misses)
+    }
+
+    /// A full snapshot of the memoized-score cache counters, including the
+    /// resident entry count — what workload reports export as the strategy
+    /// cache hit rate.
+    pub fn cache_stats(&self) -> CacheStats {
         let cache = self.score_cache.lock().expect("cache poisoned");
-        (cache.hits, cache.misses)
+        CacheStats {
+            hits: cache.hits,
+            misses: cache.misses,
+            entries: cache.entries.len(),
+        }
     }
 
     /// Score a job against every registered device, returning successful
@@ -600,6 +648,43 @@ mod tests {
         assert_eq!(clone.score_cache_stats(), (1, 1));
         // The original is unaffected by the clone's hit.
         assert_eq!(server.score_cache_stats(), (0, 1));
+    }
+
+    #[test]
+    fn bulk_telemetry_refresh_and_cache_stats_snapshot() {
+        let mut server = MetaServer::new();
+        server.register_backend(Backend::uniform("ring", topology::ring(6), 0.01, 0.05));
+        server.register_backend(Backend::uniform("line", topology::line(6), 0.01, 0.05));
+        server.update_telemetry_bulk(vec![
+            (
+                "ring".to_string(),
+                DeviceTelemetry {
+                    queue_depth: 4,
+                    utilization: 0.5,
+                },
+            ),
+            (
+                "line".to_string(),
+                DeviceTelemetry {
+                    queue_depth: 1,
+                    utilization: 0.0,
+                },
+            ),
+        ]);
+        assert_eq!(server.telemetry_for("ring").unwrap().queue_depth, 4);
+        assert_eq!(server.telemetry_for("line").unwrap().queue_depth, 1);
+
+        let request = library::topology_circuit(6, &topology::ring(6).edges()).unwrap();
+        server.upload_topology_metadata("topo", request);
+        server.score_all("topo").unwrap();
+        server.score_all("topo").unwrap();
+        let stats = server.cache_stats();
+        assert_eq!((stats.hits, stats.misses), server.score_cache_stats());
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.entries, 2);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
     }
 
     #[test]

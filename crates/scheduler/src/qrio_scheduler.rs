@@ -65,6 +65,36 @@ impl<'a> QrioScheduler<'a> {
         fleet: &[Backend],
         requirements: &DeviceRequirements,
     ) -> Result<SchedulerDecision, SchedulerError> {
+        let (ranked, shortlisted) = self.rank(job_name, fleet, requirements)?;
+        let (device, score) = ranked[0].clone();
+        Ok(SchedulerDecision {
+            device,
+            score,
+            ranked,
+            shortlisted,
+            fleet_size: fleet.len(),
+        })
+    }
+
+    /// Filter `fleet` against `requirements` and rank every surviving device
+    /// for `job_name`, best (lowest score) first, without committing to a
+    /// decision. Returns the ranking plus the shortlist size.
+    ///
+    /// This is the re-ranking primitive: callers that already bound a job can
+    /// re-invoke it after a calibration-drift or outage event and compare the
+    /// fresh ranking against the original binding (see
+    /// `Cluster::rebind_job`).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`QrioScheduler::select_device`]: empty fleet, empty
+    /// shortlist, missing metadata, or no scoreable device.
+    pub fn rank(
+        &self,
+        job_name: &str,
+        fleet: &[Backend],
+        requirements: &DeviceRequirements,
+    ) -> Result<(Vec<(String, f64)>, usize), SchedulerError> {
         if fleet.is_empty() {
             return Err(SchedulerError::EmptyFleet);
         }
@@ -120,14 +150,7 @@ impl<'a> QrioScheduler<'a> {
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then_with(|| a.0.cmp(&b.0))
         });
-        let (device, score) = ranked[0].clone();
-        Ok(SchedulerDecision {
-            device,
-            score,
-            ranked,
-            shortlisted: shortlisted.len(),
-            fleet_size: fleet.len(),
-        })
+        Ok((ranked, shortlisted.len()))
     }
 }
 
@@ -245,6 +268,37 @@ mod tests {
             .select_device("topo-job", &fleet, &DeviceRequirements::none())
             .unwrap();
         assert_eq!(decision.device, "tree-dev");
+    }
+
+    #[test]
+    fn rank_reflects_fresh_calibration_without_binding() {
+        // The re-ranking path: after a calibration-drift re-registration the
+        // same job ranks differently, and rank() agrees with select_device().
+        let fleet = fleet();
+        let mut meta = meta_with_fleet(&fleet);
+        let bv = library::bernstein_vazirani(5, 0b10011).unwrap();
+        meta.upload_fidelity_metadata("drift-job", 0.9, &qasm::to_qasm(&bv))
+            .unwrap();
+        let scheduler = QrioScheduler::new(&meta);
+        let (ranked, shortlisted) = scheduler
+            .rank("drift-job", &fleet, &DeviceRequirements::none())
+            .unwrap();
+        assert_eq!(shortlisted, 3);
+        assert_eq!(ranked[0].0, "clean");
+        assert!(ranked.windows(2).all(|w| w[0].1 <= w[1].1));
+        let decision = scheduler
+            .select_device("drift-job", &fleet, &DeviceRequirements::none())
+            .unwrap();
+        assert_eq!(decision.ranked, ranked);
+
+        // 'clean' drifts to terrible calibration: re-ranking must demote it.
+        let mut meta = meta;
+        meta.register_backend(Backend::uniform("clean", topology::line(12), 0.2, 0.6));
+        let scheduler = QrioScheduler::new(&meta);
+        let (reranked, _) = scheduler
+            .rank("drift-job", &fleet, &DeviceRequirements::none())
+            .unwrap();
+        assert_ne!(reranked[0].0, "clean", "drifted device loses the top spot");
     }
 
     #[test]

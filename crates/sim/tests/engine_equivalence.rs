@@ -1,0 +1,149 @@
+//! Cross-engine equivalence: random Clifford circuits must produce
+//! statistically identical `Counts` on the packed stabilizer engine and the
+//! dense statevector engine.
+//!
+//! The stabilizer run samples the circuit as-is (Clifford → CHP tableau
+//! engine); the statevector run appends a `T·T†` identity so the engine
+//! selector is forced onto the dense path without changing the state. Both
+//! histograms are then tested with a pooled chi-square against the *exact*
+//! distribution computed from the statevector amplitudes, and against each
+//! other via Hellinger fidelity. Seeds are fixed, so a failure means an
+//! engine is biased — never flake.
+
+use qrio_circuit::{library, Circuit};
+use qrio_sim::executor::{select_engine, Engine};
+use qrio_sim::{run_ideal, Counts, StateVector};
+
+/// Exact outcome distribution of a measurement-free circuit, from the dense
+/// amplitudes.
+fn exact_probabilities(circuit: &Circuit) -> Vec<f64> {
+    let mut sv = StateVector::new(circuit.num_qubits()).unwrap();
+    sv.apply_circuit(circuit).unwrap();
+    sv.probabilities()
+}
+
+/// Pooled chi-square of `counts` against `probabilities` (expected counts
+/// below 5 pool into one bucket). Returns `(statistic, degrees_of_freedom)`.
+fn chi_square(counts: &Counts, probabilities: &[f64]) -> (f64, f64) {
+    let shots = counts.total() as f64;
+    let mut statistic = 0.0;
+    let mut pooled_expected = 0.0;
+    let mut pooled_observed = 0.0;
+    let mut buckets = 0usize;
+    for (index, &p) in probabilities.iter().enumerate() {
+        let expected = p * shots;
+        let observed = counts.get(index as u64) as f64;
+        if expected < 5.0 {
+            pooled_expected += expected;
+            pooled_observed += observed;
+        } else {
+            let diff = observed - expected;
+            statistic += diff * diff / expected;
+            buckets += 1;
+        }
+    }
+    if pooled_expected > 0.0 {
+        let diff = pooled_observed - pooled_expected;
+        statistic += diff * diff / pooled_expected.max(1e-9);
+        buckets += 1;
+    }
+    (statistic, buckets.saturating_sub(1) as f64)
+}
+
+/// Generous chi-square critical bound at p ≈ 0.001 for df <= ~128.
+fn critical(df: f64) -> f64 {
+    df + 4.0 * (2.0 * df).sqrt() + 10.0
+}
+
+/// The statevector twin of a Clifford circuit: same unitary, but with a
+/// `T·T†` identity prepended so `select_engine` picks the dense path.
+fn statevector_twin(clifford: &Circuit) -> Circuit {
+    let mut twin = Circuit::new(clifford.num_qubits(), clifford.num_qubits());
+    twin.t(0).unwrap();
+    twin.tdg(0).unwrap();
+    for inst in clifford.instructions() {
+        twin.append(inst.gate, &inst.qubits).unwrap();
+    }
+    twin.measure_all().unwrap();
+    twin
+}
+
+#[test]
+fn random_clifford_circuits_agree_across_engines() {
+    let shots = 20_000u64;
+    for seed in [3u64, 17, 42] {
+        let clifford = library::random_clifford_circuit(6, 8, seed)
+            .unwrap()
+            .without_measurements();
+        let exact = exact_probabilities(&clifford);
+
+        let mut measured = clifford.clone();
+        measured.measure_all().unwrap();
+        assert_eq!(select_engine(&measured).unwrap(), Engine::Stabilizer);
+        let stabilizer = run_ideal(&measured, shots, 1000 + seed).unwrap();
+
+        let twin = statevector_twin(&clifford);
+        assert_eq!(select_engine(&twin).unwrap(), Engine::Statevector);
+        let statevector = run_ideal(&twin, shots, 2000 + seed).unwrap();
+
+        // Each engine matches the exact distribution...
+        for (label, counts) in [("stabilizer", &stabilizer), ("statevector", &statevector)] {
+            let (statistic, df) = chi_square(counts, &exact);
+            assert!(
+                statistic < critical(df),
+                "seed {seed}: {label} chi-square {statistic:.1} exceeds {:.1} (df {df})",
+                critical(df)
+            );
+            assert_eq!(counts.total(), shots);
+        }
+        // ...and therefore each other.
+        let fidelity = stabilizer.hellinger_fidelity(&statevector);
+        assert!(
+            fidelity > 0.99,
+            "seed {seed}: engines disagree, Hellinger fidelity {fidelity}"
+        );
+        // Supports match exactly: any outcome one engine emits has nonzero
+        // exact probability (Clifford supports are exact, so a single stray
+        // outcome is an engine bug, not noise).
+        for (label, counts) in [("stabilizer", &stabilizer), ("statevector", &statevector)] {
+            for (outcome, _) in counts.iter() {
+                assert!(
+                    exact[outcome as usize] > 1e-12,
+                    "seed {seed}: {label} emitted impossible outcome {outcome:b}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn engines_agree_on_structured_clifford_families() {
+    // GHZ and the repetition encoder exercise entangling structure the
+    // random sweep may miss at low depth.
+    let shots = 16_000u64;
+    for (label, circuit) in [
+        ("ghz", library::ghz(7).unwrap().without_measurements()),
+        (
+            "repetition",
+            library::repetition_code_encoder(5)
+                .unwrap()
+                .without_measurements(),
+        ),
+    ] {
+        let exact = exact_probabilities(&circuit);
+        let mut measured = circuit.clone();
+        measured.measure_all().unwrap();
+        let stabilizer = run_ideal(&measured, shots, 7).unwrap();
+        let statevector = run_ideal(&statevector_twin(&circuit), shots, 11).unwrap();
+        for (engine, counts) in [("stabilizer", &stabilizer), ("statevector", &statevector)] {
+            let (statistic, df) = chi_square(counts, &exact);
+            assert!(
+                statistic < critical(df),
+                "{label}/{engine}: chi-square {statistic:.1} over {:.1}",
+                critical(df)
+            );
+        }
+        let fidelity = stabilizer.hellinger_fidelity(&statevector);
+        assert!(fidelity > 0.99, "{label}: engines disagree ({fidelity})");
+    }
+}
