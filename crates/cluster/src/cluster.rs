@@ -202,6 +202,18 @@ impl Cluster {
         self.registry.push(image);
     }
 
+    /// Remove an image from the cluster's registry — the garbage-collection
+    /// hook the orchestrator runs when a job reaches a terminal failure and
+    /// its container will never be pulled. Returns the removed image, or
+    /// `None` when no such image existed.
+    pub fn remove_image(&mut self, name: &str) -> Option<ImageBundle> {
+        let removed = self.registry.remove(name);
+        if removed.is_some() {
+            self.record("ImageRemoved", format!("image '{name}' removed"));
+        }
+        removed
+    }
+
     // --- Jobs ----------------------------------------------------------------------------
 
     /// Submit a job for scheduling. The job is queued in FIFO order.
@@ -528,6 +540,54 @@ impl Cluster {
         Ok(())
     }
 
+    /// Cancel a job that has not started running: `Pending` jobs leave the
+    /// submission queue, `Scheduled` jobs release their reserved node
+    /// resources. The job's phase becomes [`JobPhase::Cancelled`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownJob`] for unknown jobs and
+    /// [`ClusterError::PhaseConflict`] for jobs already running or terminal —
+    /// cancellation never rewrites history.
+    pub fn cancel_job(
+        &mut self,
+        job_name: &str,
+        reason: impl Into<String>,
+    ) -> Result<(), ClusterError> {
+        let job = self
+            .jobs
+            .get(job_name)
+            .ok_or_else(|| ClusterError::UnknownJob(job_name.to_string()))?;
+        match job.phase().clone() {
+            JobPhase::Pending => {
+                self.queue.retain(|name| name != job_name);
+            }
+            JobPhase::Scheduled { node } => {
+                let resources = job.spec().resources;
+                if let Some(node) = self.nodes.get_mut(&node) {
+                    node.release(&resources);
+                }
+            }
+            other => {
+                return Err(ClusterError::PhaseConflict {
+                    job: job_name.to_string(),
+                    action: "cancel".to_string(),
+                    phase: other.name().to_string(),
+                })
+            }
+        }
+        let reason = reason.into();
+        let job = self.jobs.get_mut(job_name).expect("job checked above");
+        job.set_phase(JobPhase::Cancelled {
+            reason: reason.clone(),
+        });
+        self.record(
+            "JobCancelled",
+            format!("job '{job_name}' cancelled: {reason}"),
+        );
+        Ok(())
+    }
+
     /// Execute a previously-scheduled job on its bound node using `runner`.
     ///
     /// # Errors
@@ -702,6 +762,7 @@ mod tests {
             resources: Resources::new(1000, 1024),
             requirements: DeviceRequirements::none(),
             strategy: StrategySpec::fidelity(0.9),
+            priority: 0,
             shots: 64,
             threads: 0,
         }
@@ -968,6 +1029,88 @@ mod tests {
             cluster.update_node_backend(stranger),
             Err(ClusterError::UnknownNode(_))
         ));
+    }
+
+    #[test]
+    fn cancel_dequeues_pending_and_releases_scheduled_resources() {
+        let mut cluster = cluster_with_nodes();
+        // Pending: cancellation removes the job from the submission queue.
+        let pending = make_spec("cancel-pending", 4);
+        push_image_for(&mut cluster, &pending);
+        cluster.submit_job(pending).unwrap();
+        assert_eq!(cluster.pending_jobs(), vec!["cancel-pending"]);
+        cluster
+            .cancel_job("cancel-pending", "user request")
+            .unwrap();
+        assert!(cluster.pending_jobs().is_empty());
+        assert!(matches!(
+            cluster.job("cancel-pending").unwrap().phase(),
+            JobPhase::Cancelled { .. }
+        ));
+        assert!(cluster.events().iter().any(|e| e.kind == "JobCancelled"));
+
+        // Scheduled: cancellation releases the node's reserved resources.
+        let scheduled = make_spec("cancel-scheduled", 4);
+        push_image_for(&mut cluster, &scheduled);
+        cluster.submit_job(scheduled).unwrap();
+        cluster
+            .schedule_job("cancel-scheduled", &default_filters(), &AverageErrorScore)
+            .unwrap();
+        assert_eq!(
+            cluster.node("quiet").unwrap().allocated(),
+            Resources::new(1000, 1024)
+        );
+        cluster.cancel_job("cancel-scheduled", "obsolete").unwrap();
+        assert_eq!(
+            cluster.node("quiet").unwrap().allocated(),
+            Resources::default()
+        );
+        // A cancelled job cannot be run or cancelled again.
+        assert!(cluster.run_job("cancel-scheduled", &EchoRunner).is_err());
+        assert!(matches!(
+            cluster.cancel_job("cancel-scheduled", "again"),
+            Err(ClusterError::PhaseConflict { .. })
+        ));
+        assert!(matches!(
+            cluster.cancel_job("ghost", "missing"),
+            Err(ClusterError::UnknownJob(_))
+        ));
+    }
+
+    #[test]
+    fn cancel_rejects_running_and_succeeded_jobs() {
+        let mut cluster = cluster_with_nodes();
+        let spec = make_spec("done-job", 4);
+        push_image_for(&mut cluster, &spec);
+        cluster.submit_job(spec).unwrap();
+        cluster
+            .schedule_job("done-job", &default_filters(), &AverageErrorScore)
+            .unwrap();
+        cluster.run_job("done-job", &EchoRunner).unwrap();
+        assert!(matches!(
+            cluster.cancel_job("done-job", "too late"),
+            Err(ClusterError::PhaseConflict { .. })
+        ));
+        assert!(matches!(
+            cluster.job("done-job").unwrap().phase(),
+            JobPhase::Succeeded { .. }
+        ));
+    }
+
+    #[test]
+    fn remove_image_garbage_collects_the_registry() {
+        let mut cluster = cluster_with_nodes();
+        let spec = make_spec("gc-job", 4);
+        push_image_for(&mut cluster, &spec);
+        assert!(cluster.registry().contains(&spec.image));
+        let removed = cluster.remove_image(&spec.image).unwrap();
+        assert_eq!(removed.name(), spec.image);
+        assert!(!cluster.registry().contains(&spec.image));
+        assert!(cluster.events().iter().any(|e| e.kind == "ImageRemoved"));
+        // Removing a missing image is a silent no-op (no event).
+        let events_before = cluster.events().len();
+        assert!(cluster.remove_image("nope").is_none());
+        assert_eq!(cluster.events().len(), events_before);
     }
 
     #[test]

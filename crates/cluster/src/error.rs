@@ -46,6 +46,16 @@ pub enum ClusterError {
         /// Failure description.
         reason: String,
     },
+    /// A lifecycle action (cancel, rebind, run...) is not legal in the job's
+    /// current phase.
+    PhaseConflict {
+        /// Job name.
+        job: String,
+        /// The action that was attempted.
+        action: String,
+        /// The phase the job was actually in, rendered for diagnostics.
+        phase: String,
+    },
 }
 
 impl fmt::Display for ClusterError {
@@ -68,6 +78,9 @@ impl fmt::Display for ClusterError {
             ClusterError::ExecutionFailed { job, reason } => {
                 write!(f, "execution of job '{job}' failed: {reason}")
             }
+            ClusterError::PhaseConflict { job, action, phase } => {
+                write!(f, "cannot {action} job '{job}' in phase {phase}")
+            }
         }
     }
 }
@@ -89,6 +102,13 @@ mod tests {
             reason: "full".into(),
         };
         assert!(e.to_string().contains("full"));
+        let e = ClusterError::PhaseConflict {
+            job: "j".into(),
+            action: "cancel".into(),
+            phase: "Running".into(),
+        };
+        assert!(e.to_string().contains("cancel"));
+        assert!(e.to_string().contains("Running"));
         fn assert_err<E: std::error::Error + Send + Sync>() {}
         assert_err::<ClusterError>();
     }

@@ -152,6 +152,7 @@ mod tests {
                 ..DeviceRequirements::default()
             },
             strategy: StrategySpec::fidelity(0.9),
+            priority: 0,
             shots: 128,
             threads: 0,
         }

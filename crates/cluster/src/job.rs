@@ -278,6 +278,9 @@ pub struct JobSpec {
     pub requirements: DeviceRequirements,
     /// Ranking strategy reference (registry name plus typed parameters).
     pub strategy: StrategySpec,
+    /// Scheduling priority: higher values are admitted first by batch
+    /// service loops; jobs with equal priority drain in submission order.
+    pub priority: u8,
     /// Number of shots to execute.
     pub shots: u64,
     /// Worker threads for shot execution on the node (`0` = auto-detect).
@@ -311,9 +314,27 @@ pub enum JobPhase {
         /// Human-readable failure reason.
         reason: String,
     },
+    /// Cancelled by the user before it started running.
+    Cancelled {
+        /// Why the job was cancelled.
+        reason: String,
+    },
 }
 
 impl JobPhase {
+    /// The bare variant name (no payload) — for user-facing messages where
+    /// Debug formatting would leak reasons and result payloads.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobPhase::Pending => "Pending",
+            JobPhase::Scheduled { .. } => "Scheduled",
+            JobPhase::Running { .. } => "Running",
+            JobPhase::Succeeded { .. } => "Succeeded",
+            JobPhase::Failed { .. } => "Failed",
+            JobPhase::Cancelled { .. } => "Cancelled",
+        }
+    }
+
     /// The node associated with the phase, if any.
     pub fn node(&self) -> Option<&str> {
         match self {
@@ -326,7 +347,10 @@ impl JobPhase {
 
     /// Whether the job has reached a terminal phase.
     pub fn is_terminal(&self) -> bool {
-        matches!(self, JobPhase::Succeeded { .. } | JobPhase::Failed { .. })
+        matches!(
+            self,
+            JobPhase::Succeeded { .. } | JobPhase::Failed { .. } | JobPhase::Cancelled { .. }
+        )
     }
 }
 
@@ -452,6 +476,7 @@ mod tests {
             resources: Resources::new(500, 512),
             requirements: DeviceRequirements::none(),
             strategy: StrategySpec::fidelity(0.9),
+            priority: 0,
             shots: 1024,
             threads: 0,
         };
@@ -532,6 +557,15 @@ mod tests {
     fn failed_phase_has_no_node() {
         let phase = JobPhase::Failed {
             reason: "no devices matched".into(),
+        };
+        assert!(phase.is_terminal());
+        assert_eq!(phase.node(), None);
+    }
+
+    #[test]
+    fn cancelled_phase_is_terminal_and_nodeless() {
+        let phase = JobPhase::Cancelled {
+            reason: "user request".into(),
         };
         assert!(phase.is_terminal());
         assert_eq!(phase.node(), None);

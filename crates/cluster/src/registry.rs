@@ -89,6 +89,13 @@ impl ImageRegistry {
             .ok_or_else(|| ClusterError::ImageNotFound(name.to_string()))
     }
 
+    /// Remove an image by name, returning it when it existed. Used to
+    /// garbage-collect the containers of jobs that reached a terminal failure
+    /// and will never be pulled.
+    pub fn remove(&mut self, name: &str) -> Option<ImageBundle> {
+        self.images.remove(name)
+    }
+
     /// Whether an image exists.
     pub fn contains(&self, name: &str) -> bool {
         self.images.contains_key(name)
@@ -136,6 +143,15 @@ mod tests {
             registry.pull("nope"),
             Err(ClusterError::ImageNotFound(_))
         ));
+    }
+
+    #[test]
+    fn remove_deletes_and_returns_the_image() {
+        let mut registry = ImageRegistry::new();
+        registry.push(ImageBundle::new("img"));
+        assert_eq!(registry.remove("img").unwrap().name(), "img");
+        assert!(!registry.contains("img"));
+        assert!(registry.remove("img").is_none());
     }
 
     #[test]

@@ -29,6 +29,9 @@ pub fn to_yaml(spec: &JobSpec) -> String {
     let _ = writeln!(out, "  image: {}", spec.image);
     let _ = writeln!(out, "  qubits: {}", spec.num_qubits);
     let _ = writeln!(out, "  shots: {}", spec.shots);
+    if spec.priority != 0 {
+        let _ = writeln!(out, "  priority: {}", spec.priority);
+    }
     if spec.threads != 0 {
         let _ = writeln!(out, "  threads: {}", spec.threads);
     }
@@ -127,6 +130,7 @@ const SCALAR_FIELDS: &[&str] = &[
     "image",
     "qubits",
     "shots",
+    "priority",
     "threads",
     "cpuMillis",
     "memoryMib",
@@ -154,6 +158,7 @@ pub fn from_yaml(text: &str) -> Result<JobSpec, ClusterError> {
     let mut image = None;
     let mut qubits = None;
     let mut shots = 1024u64;
+    let mut priority = 0u8;
     let mut threads = 0usize;
     let mut cpu = 0u64;
     let mut mem = 0u64;
@@ -274,6 +279,10 @@ pub fn from_yaml(text: &str) -> Result<JobSpec, ClusterError> {
             "image" => image = Some(value.to_string()),
             "qubits" => qubits = Some(parse_u64(key, value)? as usize),
             "shots" => shots = parse_u64(key, value)?,
+            "priority" => {
+                priority = u8::try_from(parse_u64(key, value)?)
+                    .map_err(|_| err(format!("field 'priority': '{value}' exceeds 255")))?
+            }
             "threads" => threads = parse_u64(key, value)? as usize,
             "cpuMillis" => cpu = parse_u64(key, value)?,
             "memoryMib" => mem = parse_u64(key, value)?,
@@ -317,6 +326,7 @@ pub fn from_yaml(text: &str) -> Result<JobSpec, ClusterError> {
             name: strategy_name,
             params,
         },
+        priority,
         shots,
         threads,
     })
@@ -368,6 +378,7 @@ mod tests {
                 min_t2_us: None,
             },
             strategy: StrategySpec::fidelity(0.85),
+            priority: 0,
             shots: 2048,
             threads: 0,
         }
@@ -403,6 +414,36 @@ mod tests {
         let yaml = to_yaml(&spec);
         assert!(yaml.contains("threads: 4"));
         assert_eq!(from_yaml(&yaml).unwrap().threads, 4);
+    }
+
+    #[test]
+    fn priority_roundtrip_and_default() {
+        // priority: 0 (the default) is omitted from the document.
+        let spec = sample_spec();
+        let yaml = to_yaml(&spec);
+        assert!(!yaml.contains("priority:"));
+        assert_eq!(from_yaml(&yaml).unwrap().priority, 0);
+        // A non-default priority round-trips.
+        let mut spec = sample_spec();
+        spec.priority = 9;
+        let yaml = to_yaml(&spec);
+        assert!(yaml.contains("priority: 9"));
+        assert_eq!(from_yaml(&yaml).unwrap().priority, 9);
+        // Out-of-range and malformed priorities are typed errors.
+        let base = "name: x\nimage: y\nqubits: 2\nstrategy: fidelity\n";
+        for bad in ["256", "-1", "2.5", "max"] {
+            let doc = format!("{base}priority: {bad}\n");
+            match from_yaml(&doc) {
+                Err(ClusterError::SpecParse { line, message }) => {
+                    assert_eq!(line, 5, "priority line number for '{bad}'");
+                    assert!(
+                        message.contains("priority"),
+                        "error for '{bad}' names the field: {message}"
+                    );
+                }
+                other => panic!("priority value '{bad}' must be rejected, got {other:?}"),
+            }
+        }
     }
 
     #[test]
@@ -513,7 +554,8 @@ mod tests {
     /// appears twice.
     #[test]
     fn duplicate_fields_are_rejected() {
-        let base = "name: x\nimage: y\nqubits: 2\nshots: 8\nthreads: 1\ncpuMillis: 10\n\
+        let base =
+            "name: x\nimage: y\nqubits: 2\nshots: 8\npriority: 3\nthreads: 1\ncpuMillis: 10\n\
                     memoryMib: 10\nminQubits: 1\nmaxTwoQubitError: 0.1\nmaxReadoutError: 0.1\n\
                     minT1Us: 5.0\nminT2Us: 5.0\nstrategy: s\n";
         assert!(from_yaml(base).is_ok(), "each field once parses");
@@ -522,6 +564,7 @@ mod tests {
             "image: y",
             "qubits: 2",
             "shots: 8",
+            "priority: 7",
             "threads: 1",
             "cpuMillis: 10",
             "memoryMib: 10",

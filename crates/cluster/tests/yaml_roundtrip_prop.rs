@@ -87,6 +87,7 @@ proptest! {
         qubits in 1usize..64,
         shots in 1u64..1_000_000,
         threads in 0usize..256,
+        priority in 0u8..=255,
         cpu in 0u64..100_000,
         mem in 0u64..1_000_000,
         req_mask in 0u32..32,
@@ -111,6 +112,7 @@ proptest! {
                 min_t2_us: (req_mask & 16 != 0).then_some(bound * 50.0),
             },
             strategy: strategy_from(strategy_selector, float_milli, int_param, edge_bits),
+            priority,
             shots,
             threads,
         };
@@ -141,6 +143,7 @@ proptest! {
             resources: Resources::new(1, 1),
             requirements: DeviceRequirements::none(),
             strategy: StrategySpec::new(format!("strategy-{selector}")),
+            priority: 0,
             shots: 1,
             threads: 0,
         };
@@ -170,6 +173,7 @@ fn boundary_requirements_roundtrip_bit_exact() {
                 min_t2_us: Some(bound),
             },
             strategy: StrategySpec::min_queue(),
+            priority: 0,
             shots: 1,
             threads: 0,
         };

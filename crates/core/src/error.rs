@@ -21,6 +21,12 @@ pub enum QrioError {
     Meta(MetaError),
     /// The scheduler reported an error.
     Scheduler(SchedulerError),
+    /// No job with the given id was ever enqueued.
+    UnknownJob(String),
+    /// The job has not reached a terminal state yet, so it has no outcome.
+    JobNotFinished(String),
+    /// The job was cancelled before it ran, so it has no outcome.
+    JobCancelled(String),
 }
 
 impl fmt::Display for QrioError {
@@ -31,6 +37,11 @@ impl fmt::Display for QrioError {
             QrioError::Cluster(err) => write!(f, "cluster error: {err}"),
             QrioError::Meta(err) => write!(f, "meta server error: {err}"),
             QrioError::Scheduler(err) => write!(f, "scheduler error: {err}"),
+            QrioError::UnknownJob(id) => write!(f, "no job was enqueued under id '{id}'"),
+            QrioError::JobNotFinished(id) => {
+                write!(f, "job '{id}' has not reached a terminal state yet")
+            }
+            QrioError::JobCancelled(id) => write!(f, "job '{id}' was cancelled"),
         }
     }
 }
@@ -74,6 +85,15 @@ mod tests {
         assert!(QrioError::InvalidRequest("missing circuit".into())
             .to_string()
             .contains("missing"));
+        assert!(QrioError::UnknownJob("j1".into())
+            .to_string()
+            .contains("j1"));
+        assert!(QrioError::JobNotFinished("j2".into())
+            .to_string()
+            .contains("terminal"));
+        assert!(QrioError::JobCancelled("j3".into())
+            .to_string()
+            .contains("cancelled"));
         fn assert_err<E: std::error::Error + Send + Sync>() {}
         assert_err::<QrioError>();
     }

@@ -19,7 +19,9 @@
 //! * [`SimJobRunner`] — the per-node executor that transpiles and runs the
 //!   circuit on its assigned device (the generated runner script of §3.3),
 //! * [`Qrio`] — the end-to-end orchestrator over the Kubernetes-like cluster
-//!   substrate, the meta server and the scheduler,
+//!   substrate, the meta server and the scheduler, exposing a non-blocking
+//!   job lifecycle ([`Qrio::enqueue`] → [`Qrio::tick`] → [`Qrio::outcome`])
+//!   with typed states and watch events ([`lifecycle`]),
 //! * [`experiments`] — the harness that regenerates every table and figure of
 //!   the paper's evaluation (§4).
 //!
@@ -46,6 +48,21 @@
 //!     .build()?;
 //! let outcome = qrio.submit(&request)?;
 //! assert_eq!(outcome.decision.node, "clean");
+//!
+//! // The same pipeline, non-blocking: enqueue returns a JobId immediately,
+//! // the service loop drives the typed state machine, and the outcome is
+//! // read back once the job is terminal.
+//! let async_request = JobRequestBuilder::new()
+//!     .with_circuit(&bv)
+//!     .job_name("bv-async")
+//!     .fidelity_target(0.9)
+//!     .shots(256)
+//!     .build()?;
+//! let id = qrio.enqueue(&async_request)?;
+//! assert_eq!(qrio.status(&id)?, qrio::JobState::Queued);
+//! qrio.run_until_idle();
+//! assert_eq!(qrio.status(&id)?, qrio::JobState::Succeeded);
+//! assert_eq!(qrio.outcome(&id)?.decision.node, "clean");
 //! # Ok(())
 //! # }
 //! ```
@@ -54,13 +71,16 @@
 
 mod error;
 pub mod experiments;
+pub mod lifecycle;
 pub mod master_server;
 mod orchestrator;
 mod runner;
 pub mod visualizer;
 
 pub use error::QrioError;
+pub use lifecycle::{JobEvent, JobId, JobState, JobStatus, TickReport};
 pub use master_server::{containerize, ContainerizedJob};
 pub use orchestrator::{JobOutcome, Qrio};
+pub use qrio_meta::{DeviceTelemetry, FidelityRankingConfig};
 pub use runner::SimJobRunner;
 pub use visualizer::{JobRequest, JobRequestBuilder, TopologyDesigner};

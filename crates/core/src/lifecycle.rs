@@ -1,0 +1,442 @@
+//! The typed job lifecycle: ids, states, watch events and per-job status.
+//!
+//! The paper's QRIO workflow (§3.2–3.3) is asynchronous — a user submits a
+//! job through the visualizer, the job is containerized and queued, the
+//! scheduler binds it to a device later, and the user comes back to check
+//! logs. This module gives that workflow a typed surface: every job is
+//! identified by a [`JobId`], advances through the [`JobState`] machine
+//!
+//! ```text
+//! Submitted → Queued → Scheduled → Running → Succeeded
+//!                │          │                    └────→ Failed
+//!                │          └────→ Cancelled
+//!                └───→ Failed / Cancelled
+//! ```
+//!
+//! and every transition is appended to a Kubernetes-style watch log of
+//! [`JobEvent`]s carrying the virtual timestamp, the node involved and the
+//! transition reason. [`crate::Qrio`] owns the store; this module owns the
+//! types and the bookkeeping invariants.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+use qrio_cluster::ScheduleDecision;
+
+use crate::error::QrioError;
+
+/// The identity of one enqueued job — returned by [`crate::Qrio::enqueue`]
+/// and accepted by every lifecycle query ([`crate::Qrio::status`],
+/// [`crate::Qrio::outcome`], [`crate::Qrio::cancel`], ...).
+///
+/// A `JobId` wraps the unique job name from the request, so deterministic
+/// callers (tests, simulators) can also reconstruct one with [`JobId::new`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(String);
+
+impl JobId {
+    /// The id of the job with the given (unique) name.
+    pub fn new(name: impl Into<String>) -> Self {
+        JobId(name.into())
+    }
+
+    /// The underlying job name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for JobId {
+    fn from(name: &str) -> Self {
+        JobId::new(name)
+    }
+}
+
+impl From<String> for JobId {
+    fn from(name: String) -> Self {
+        JobId(name)
+    }
+}
+
+/// One state of the job lifecycle.
+///
+/// States are flat (no payload) so they can be compared, stored in
+/// transition histories and checked against the legality table
+/// ([`JobState::can_transition_to`]); the node and reason of the current
+/// state live in [`JobStatus`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum JobState {
+    /// Metadata uploaded and the job containerized; not yet admitted.
+    Submitted,
+    /// Waiting in the admission queue for a scheduling cycle.
+    Queued,
+    /// Bound to a device, waiting for its turn on that device's queue.
+    Scheduled,
+    /// Executing on its device.
+    Running,
+    /// Finished successfully; results and logs are available.
+    Succeeded,
+    /// Reached a terminal failure (unschedulable, execution error, ...).
+    Failed,
+    /// Cancelled by the user before it started running.
+    Cancelled,
+}
+
+impl JobState {
+    /// Every state, in lifecycle order.
+    pub const ALL: [JobState; 7] = [
+        JobState::Submitted,
+        JobState::Queued,
+        JobState::Scheduled,
+        JobState::Running,
+        JobState::Succeeded,
+        JobState::Failed,
+        JobState::Cancelled,
+    ];
+
+    /// Whether the state is terminal (no further transitions are legal).
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Succeeded | JobState::Failed | JobState::Cancelled
+        )
+    }
+
+    /// The legality table of the state machine: whether a transition from
+    /// `self` to `next` may ever be observed.
+    ///
+    /// `Scheduled → Scheduled` is the rebinding arc (a waiting job migrates
+    /// to another device after calibration drift or an outage).
+    pub fn can_transition_to(self, next: JobState) -> bool {
+        use JobState::*;
+        matches!(
+            (self, next),
+            (Submitted, Queued)
+                | (Queued, Scheduled)
+                | (Queued, Failed)
+                | (Queued, Cancelled)
+                | (Scheduled, Scheduled)
+                | (Scheduled, Running)
+                | (Scheduled, Cancelled)
+                | (Running, Succeeded)
+                | (Running, Failed)
+        )
+    }
+}
+
+impl fmt::Display for JobState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The states are plain identifiers, so Debug and Display coincide.
+        write!(f, "{self:?}")
+    }
+}
+
+/// One entry of the watch log: a job transitioned between states at a
+/// virtual timestamp, possibly bound to a node and carrying a reason.
+///
+/// Events are totally ordered by `seq` (their index in the log), so
+/// [`crate::Qrio::watch`] resumes from any cursor without missing or
+/// duplicating entries — the resourceVersion idiom of a Kubernetes watch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobEvent {
+    /// Position of the event in the log (0-based, dense).
+    pub seq: u64,
+    /// Virtual timestamp: the service-loop tick the transition happened on
+    /// (`0` for transitions before the first tick).
+    pub at: u64,
+    /// The job that transitioned.
+    pub job: JobId,
+    /// State before the transition; `None` for the initial `Submitted` event.
+    pub from: Option<JobState>,
+    /// State after the transition.
+    pub to: JobState,
+    /// Node involved (bound, executing, or previously bound), when any.
+    pub node: Option<String>,
+    /// Why the transition happened (failure reasons, cancellation causes,
+    /// rebind explanations); `None` for unremarkable progress.
+    pub reason: Option<String>,
+}
+
+/// A point-in-time snapshot of one job's lifecycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobStatus {
+    /// Current state.
+    pub state: JobState,
+    /// Device the job is (or was last) bound to, when any.
+    pub node: Option<String>,
+    /// Reason attached to the latest transition, when any.
+    pub reason: Option<String>,
+    /// Scheduling priority from the request (higher is more urgent).
+    pub priority: u8,
+    /// Every state the job has entered, with its virtual timestamp.
+    pub history: Vec<(u64, JobState)>,
+}
+
+/// What one [`crate::Qrio::tick`] service cycle did.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TickReport {
+    /// The virtual timestamp of this cycle (1-based).
+    pub tick: u64,
+    /// Jobs admitted and bound to a device this cycle.
+    pub scheduled: Vec<JobId>,
+    /// Jobs left in the admission queue because no device can host them
+    /// *right now* (busy resources, cordoned nodes) but one may later.
+    pub deferred: Vec<JobId>,
+    /// Jobs that reached `Failed` during admission (no device can ever host
+    /// them, or every candidate failed scoring).
+    pub failed: Vec<JobId>,
+    /// Jobs executed to a terminal state this cycle (one per device).
+    pub completed: Vec<JobId>,
+}
+
+impl TickReport {
+    /// Whether the cycle changed any job's state. A report of only deferred
+    /// jobs means the loop is at a fixed point: without external changes
+    /// (completions freeing resources happen *within* a tick) another tick
+    /// would do exactly the same.
+    pub fn made_progress(&self) -> bool {
+        !(self.scheduled.is_empty() && self.failed.is_empty() && self.completed.is_empty())
+    }
+
+    /// Whether the cycle found nothing at all to do.
+    pub fn is_idle(&self) -> bool {
+        !self.made_progress() && self.deferred.is_empty()
+    }
+}
+
+/// Internal per-job record: the public status plus the artifacts `outcome()`
+/// needs (the scheduling decision and the original failure error).
+#[derive(Debug, Clone)]
+pub(crate) struct Tracked {
+    pub(crate) status: JobStatus,
+    pub(crate) decision: Option<ScheduleDecision>,
+    pub(crate) failure: Option<QrioError>,
+}
+
+/// The lifecycle store owned by [`crate::Qrio`]: job records, the watch log,
+/// the admission queue and the per-device execution queues.
+#[derive(Debug, Default)]
+pub(crate) struct LifecycleStore {
+    /// Virtual clock, incremented once per service-loop tick.
+    pub(crate) clock: u64,
+    /// The watch log, append-only; `seq` equals the index.
+    pub(crate) events: Vec<JobEvent>,
+    /// Per-job records, keyed by job name (sorted, so bulk listings are
+    /// deterministic).
+    pub(crate) jobs: BTreeMap<String, Tracked>,
+    /// Monotonic admission sequence: the FIFO tie-break within a priority.
+    admit_seq: u64,
+    /// Admission queue entries `(priority, admit_seq, job name)`, kept
+    /// sorted in draining order (priority descending, sequence ascending)
+    /// on insert, so every tick reads it without re-sorting.
+    pending: Vec<(u8, u64, String)>,
+    /// Bound jobs waiting for their device, FIFO per device.
+    pub(crate) device_queues: BTreeMap<String, VecDeque<String>>,
+}
+
+impl LifecycleStore {
+    /// Register a freshly-submitted job and admit it to the queue, emitting
+    /// the `Submitted` and `Queued` events.
+    pub(crate) fn admit_new(&mut self, name: &str, priority: u8) {
+        self.jobs.insert(
+            name.to_string(),
+            Tracked {
+                status: JobStatus {
+                    state: JobState::Submitted,
+                    node: None,
+                    reason: None,
+                    priority,
+                    history: Vec::new(),
+                },
+                decision: None,
+                failure: None,
+            },
+        );
+        self.record(name, JobState::Submitted, None, None);
+        self.record(name, JobState::Queued, None, None);
+        let seq = self.admit_seq;
+        self.admit_seq += 1;
+        // Insert at the job's draining position. Equal-priority jobs append
+        // (their sequence is the largest so far), so the common case is
+        // O(1); a higher-priority job shifts past the lower-priority tail.
+        let key = (std::cmp::Reverse(priority), seq);
+        let position = self
+            .pending
+            .partition_point(|(p, s, _)| (std::cmp::Reverse(*p), *s) < key);
+        self.pending
+            .insert(position, (priority, seq, name.to_string()));
+    }
+
+    /// Append a transition to the watch log and fold it into the job's
+    /// status. The caller guarantees legality (debug-asserted here).
+    pub(crate) fn record(
+        &mut self,
+        name: &str,
+        to: JobState,
+        node: Option<String>,
+        reason: Option<String>,
+    ) {
+        let tracked = self.jobs.get_mut(name).expect("recorded jobs are tracked");
+        let from = tracked.status.history.last().map(|(_, state)| *state);
+        debug_assert!(
+            from.map_or(true, |from| from.can_transition_to(to)),
+            "illegal transition {from:?} -> {to:?} for job '{name}'"
+        );
+        tracked.status.state = to;
+        if node.is_some() {
+            tracked.status.node.clone_from(&node);
+        }
+        tracked.status.reason.clone_from(&reason);
+        tracked.status.history.push((self.clock, to));
+        let seq = self.events.len() as u64;
+        self.events.push(JobEvent {
+            seq,
+            at: self.clock,
+            job: JobId::new(name),
+            from,
+            to,
+            node,
+            reason,
+        });
+    }
+
+    /// The admission queue in draining order: priority descending, then
+    /// admission sequence ascending — a deterministic total order,
+    /// maintained on insert.
+    pub(crate) fn pending_in_order(&self) -> Vec<String> {
+        self.pending
+            .iter()
+            .map(|(_, _, name)| name.clone())
+            .collect()
+    }
+
+    /// Whether any job is waiting for admission.
+    pub(crate) fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// Drop a job from the admission queue (scheduled, failed or cancelled).
+    pub(crate) fn remove_pending(&mut self, name: &str) {
+        self.pending.retain(|(_, _, queued)| queued != name);
+    }
+
+    /// Drop a job from whichever device queue holds it, pruning the queue
+    /// when it empties.
+    pub(crate) fn remove_from_device_queues(&mut self, name: &str) {
+        for queue in self.device_queues.values_mut() {
+            queue.retain(|queued| queued != name);
+        }
+        self.device_queues.retain(|_, queue| !queue.is_empty());
+    }
+
+    /// Whether any device queue still holds work.
+    pub(crate) fn has_bound_work(&self) -> bool {
+        self.device_queues.values().any(|queue| !queue.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_ids_wrap_names() {
+        let id = JobId::new("bv-7");
+        assert_eq!(id.as_str(), "bv-7");
+        assert_eq!(id.to_string(), "bv-7");
+        assert_eq!(JobId::from("bv-7"), id);
+        assert_eq!(JobId::from(String::from("bv-7")), id);
+    }
+
+    #[test]
+    fn terminal_states_allow_no_transitions() {
+        for state in JobState::ALL {
+            if state.is_terminal() {
+                for next in JobState::ALL {
+                    assert!(
+                        !state.can_transition_to(next),
+                        "{state} is terminal but allows -> {next}"
+                    );
+                }
+            }
+        }
+        assert!(JobState::Succeeded.is_terminal());
+        assert!(JobState::Failed.is_terminal());
+        assert!(JobState::Cancelled.is_terminal());
+        assert!(!JobState::Running.is_terminal());
+    }
+
+    #[test]
+    fn legality_table_matches_the_documented_machine() {
+        use JobState::*;
+        assert!(Submitted.can_transition_to(Queued));
+        assert!(Queued.can_transition_to(Scheduled));
+        assert!(Queued.can_transition_to(Failed));
+        assert!(Queued.can_transition_to(Cancelled));
+        assert!(Scheduled.can_transition_to(Scheduled), "rebind arc");
+        assert!(Scheduled.can_transition_to(Running));
+        assert!(Scheduled.can_transition_to(Cancelled));
+        assert!(Running.can_transition_to(Succeeded));
+        assert!(Running.can_transition_to(Failed));
+        // A few forbidden arcs that bugs would most plausibly introduce.
+        assert!(!Submitted.can_transition_to(Running));
+        assert!(!Queued.can_transition_to(Running));
+        assert!(!Running.can_transition_to(Cancelled));
+        assert!(!Running.can_transition_to(Queued));
+        assert!(!Succeeded.can_transition_to(Failed));
+        // A bound job can only fail *through* Running — failing a Scheduled
+        // job without an execution attempt is outside the machine.
+        assert!(!Scheduled.can_transition_to(Failed));
+    }
+
+    #[test]
+    fn pending_drains_by_priority_then_fifo() {
+        let mut store = LifecycleStore::default();
+        store.admit_new("low-first", 1);
+        store.admit_new("high", 9);
+        store.admit_new("low-second", 1);
+        store.admit_new("mid", 5);
+        assert_eq!(
+            store.pending_in_order(),
+            vec!["high", "mid", "low-first", "low-second"]
+        );
+        store.remove_pending("mid");
+        assert_eq!(
+            store.pending_in_order(),
+            vec!["high", "low-first", "low-second"]
+        );
+    }
+
+    #[test]
+    fn events_are_densely_sequenced() {
+        let mut store = LifecycleStore::default();
+        store.admit_new("a", 0);
+        store.admit_new("b", 0);
+        for (idx, event) in store.events.iter().enumerate() {
+            assert_eq!(event.seq, idx as u64);
+        }
+        assert_eq!(store.events.len(), 4, "Submitted + Queued per job");
+        assert_eq!(store.events[0].from, None);
+        assert_eq!(store.events[0].to, JobState::Submitted);
+        assert_eq!(store.events[1].from, Some(JobState::Submitted));
+        assert_eq!(store.events[1].to, JobState::Queued);
+    }
+
+    #[test]
+    fn tick_report_progress_semantics() {
+        let mut report = TickReport::default();
+        assert!(report.is_idle());
+        assert!(!report.made_progress());
+        report.deferred.push(JobId::new("waiting"));
+        assert!(!report.made_progress(), "deferral alone is a fixed point");
+        assert!(!report.is_idle());
+        report.scheduled.push(JobId::new("bound"));
+        assert!(report.made_progress());
+    }
+}

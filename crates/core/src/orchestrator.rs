@@ -1,19 +1,49 @@
 //! The end-to-end QRIO orchestrator: visualizer → master server → meta server
-//! → scheduler → cluster execution → logs (the full workflow of §3).
+//! → scheduler → cluster execution → logs (the full workflow of §3), exposed
+//! as a **non-blocking job lifecycle**.
+//!
+//! # The lifecycle API
+//!
+//! [`Qrio::enqueue`] returns a [`JobId`] as soon as the job's metadata is
+//! uploaded and its container pushed — nothing has been scheduled yet. A
+//! deterministic service loop ([`Qrio::tick`] / [`Qrio::run_until_idle`])
+//! then drains the admission queue in priority order (FIFO within a
+//! priority), binds each job to a device via filter + meta-server ranking,
+//! and executes one job per device per tick. Every transition is appended to
+//! a watch log ([`Qrio::watch`]) and queryable per job ([`Qrio::status`],
+//! [`Qrio::outcome`], [`Qrio::job_logs`]). [`Qrio::cancel`] withdraws a job
+//! that has not started running.
+//!
+//! The blocking [`Qrio::submit`] of earlier revisions is still here, now a
+//! thin lifecycle wrapper: `enqueue`, tick until *that* job is terminal,
+//! `outcome` — other queued work advances alongside, but only the submitted
+//! job is ever force-failed on its account.
+//!
+//! # Simulator primitives
+//!
+//! Virtual-time simulators (e.g. `qrio-loadgen`) need to decide *when* each
+//! lifecycle step happens instead of delegating to `tick()`. For them the
+//! individual steps are public: [`Qrio::schedule`] binds one queued job
+//! against the most recently reported telemetry ([`Qrio::report_telemetry`]),
+//! [`Qrio::execute`] runs one bound job, [`Qrio::rank_ready`] re-ranks a job
+//! over the currently-ready fleet, [`Qrio::rebind`] migrates a waiting job,
+//! and [`Qrio::recalibrate_device`] applies a calibration refresh to the
+//! meta server and the cluster in one step.
 
 use std::sync::Arc;
 
 use qrio_backend::Backend;
-use qrio_cluster::{framework, Cluster, Node, Resources, ScheduleDecision};
+use qrio_cluster::{framework, Cluster, ClusterError, Node, Resources, ScheduleDecision};
 use qrio_meta::{DeviceTelemetry, FidelityRankingConfig, MetaServer, RankingStrategy};
-use qrio_scheduler::MetaRankingPlugin;
+use qrio_scheduler::{MetaRankingPlugin, QrioScheduler};
 
 use crate::error::QrioError;
+use crate::lifecycle::{JobEvent, JobId, JobState, JobStatus, LifecycleStore, TickReport};
 use crate::master_server::containerize;
 use crate::runner::SimJobRunner;
 use crate::visualizer::JobRequest;
 
-/// The outcome of submitting one job through the full QRIO pipeline.
+/// The outcome of one job that ran to completion through the QRIO pipeline.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobOutcome {
     /// The scheduling decision (chosen node, score, candidates).
@@ -26,13 +56,25 @@ pub struct JobOutcome {
     pub logs: Vec<String>,
 }
 
-/// The QRIO orchestrator, owning the cluster and the meta server.
+/// How an admission attempt for one queued job ended.
+enum Admitted {
+    /// Bound to a device.
+    Scheduled(String),
+    /// No device can host the job right now; it stays `Queued`.
+    Deferred,
+    /// Terminal failure (unschedulable, or every candidate failed scoring).
+    Failed,
+}
+
+/// The QRIO orchestrator, owning the cluster, the meta server and the job
+/// lifecycle store.
 #[derive(Debug)]
 pub struct Qrio {
     cluster: Cluster,
     meta: MetaServer,
     runner: SimJobRunner,
     default_node_resources: Resources,
+    lifecycle: LifecycleStore,
 }
 
 impl Qrio {
@@ -48,6 +90,7 @@ impl Qrio {
             meta: MetaServer::with_config(fidelity_config),
             runner: SimJobRunner::new(seed),
             default_node_resources: Resources::new(4000, 8192),
+            lifecycle: LifecycleStore::default(),
         }
     }
 
@@ -58,9 +101,25 @@ impl Qrio {
     ///
     /// Returns an error if a node with the same name already exists.
     pub fn add_device(&mut self, backend: Backend) -> Result<(), QrioError> {
+        let resources = self.default_node_resources;
+        self.add_device_with_resources(backend, resources)
+    }
+
+    /// Register a quantum device whose node gets a custom classical capacity
+    /// (simulators typically want effectively-unbounded nodes so that queue
+    /// depth, not classical fit, is the binding constraint).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a node with the same name already exists.
+    pub fn add_device_with_resources(
+        &mut self,
+        backend: Backend,
+        resources: Resources,
+    ) -> Result<(), QrioError> {
         self.meta.register_backend(backend.clone());
         self.cluster
-            .add_node(Node::from_backend(backend, self.default_node_resources))?;
+            .add_node(Node::from_backend(backend, resources))?;
         Ok(())
     }
 
@@ -73,6 +132,20 @@ impl Qrio {
         for backend in fleet {
             self.add_device(backend)?;
         }
+        Ok(())
+    }
+
+    /// Apply a calibration refresh (or drift) to a registered device: the
+    /// meta server gets the new backend under a bumped calibration revision
+    /// (invalidating memoized scores) and the cluster node's labels are
+    /// recomputed from it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no node carries the backend's name.
+    pub fn recalibrate_device(&mut self, backend: Backend) -> Result<(), QrioError> {
+        self.meta.register_backend(backend.clone());
+        self.cluster.update_node_backend(backend)?;
         Ok(())
     }
 
@@ -104,10 +177,23 @@ impl Qrio {
         Ok(self.meta.register_strategy(strategy)?)
     }
 
+    /// Report load telemetry for a set of devices to the meta server, so
+    /// telemetry-aware strategies (`weighted`, `min_queue`) score against
+    /// these numbers on the next [`Qrio::schedule`] call.
+    ///
+    /// [`Qrio::tick`] refreshes telemetry from the cluster registry itself;
+    /// this hook exists for virtual-time simulators whose queue model — not
+    /// the cluster's bound-job count — is the truth about device load.
+    pub fn report_telemetry(
+        &mut self,
+        reports: impl IntoIterator<Item = (String, DeviceTelemetry)>,
+    ) {
+        self.meta.update_telemetry_bulk(reports);
+    }
+
     /// Report the current per-node load (queue depth, classical utilization)
-    /// from the cluster registry to the meta server, so telemetry-aware
-    /// strategies score against fresh numbers. Runs automatically before every
-    /// scheduling cycle.
+    /// from the cluster registry to the meta server. Runs automatically
+    /// before every `tick()` admission decision.
     fn sync_telemetry(&mut self) {
         for (device, load) in self.cluster.node_loads() {
             self.meta.update_telemetry(
@@ -120,14 +206,30 @@ impl Qrio {
         }
     }
 
-    /// Submit a job request and drive it to completion: upload metadata,
-    /// containerize, schedule (filter + meta-server ranking) and execute.
+    // --- Non-blocking lifecycle ----------------------------------------------------------
+
+    /// Submit a job without blocking: upload its metadata to the meta server
+    /// (strategy validation runs here), containerize it, push the image and
+    /// admit the job to the scheduling queue. Returns as soon as the job is
+    /// `Queued`; nothing has been scheduled or executed yet — drive the
+    /// lifecycle with [`Qrio::tick`] / [`Qrio::run_until_idle`] and read the
+    /// result with [`Qrio::outcome`].
+    ///
+    /// A job that later turns out to be unschedulable ends in
+    /// [`JobState::Failed`] (observable via [`Qrio::status`]) — that is not
+    /// an error of `enqueue` itself.
     ///
     /// # Errors
     ///
-    /// Returns an error if any stage fails (no matching devices, execution
-    /// failure, ...). The job object in the cluster records the failure too.
-    pub fn submit(&mut self, request: &JobRequest) -> Result<JobOutcome, QrioError> {
+    /// Returns an error when the request is rejected up front: a duplicate
+    /// job name, strategy validation failure, or an inconsistent request. No
+    /// metadata or image is retained in that case.
+    pub fn enqueue(&mut self, request: &JobRequest) -> Result<JobId, QrioError> {
+        if self.cluster.job(&request.job_name).is_some() {
+            return Err(QrioError::Cluster(ClusterError::DuplicateJob(
+                request.job_name.clone(),
+            )));
+        }
         // 1. Visualizer → meta server: upload the job metadata (Table 1,
         //    generalized): the strategy reference plus the circuit when one
         //    was provided. The strategy's own validation hook runs here.
@@ -135,33 +237,580 @@ impl Qrio {
         self.meta
             .upload_job_metadata(&request.job_name, &request.strategy, qasm_text)?;
 
-        // 2. Visualizer → master server: containerize and create the job spec.
-        let containerized = containerize(request)?;
+        // 2. Visualizer → master server: containerize and create the job
+        //    spec. A failure here must not leak the metadata uploaded above.
+        let containerized = match containerize(request) {
+            Ok(containerized) => containerized,
+            Err(err) => {
+                self.meta.remove_job_metadata(&request.job_name);
+                return Err(err);
+            }
+        };
+        let image_name = containerized.image.name().to_string();
         self.cluster.push_image(containerized.image);
-        self.cluster.submit_job(containerized.spec)?;
+        // Currently unreachable (submit_job only fails on DuplicateJob,
+        // pre-checked above) — kept as rollback defense in case the
+        // cluster's submission surface grows more failure modes.
+        if let Err(err) = self.cluster.submit_job(containerized.spec) {
+            self.meta.remove_job_metadata(&request.job_name);
+            self.remove_image_if_unreferenced(&image_name, &request.job_name);
+            return Err(err.into());
+        }
 
-        // 3. Scheduler: refresh telemetry, then filter + rank via the meta
-        //    server and bind to the winner.
-        self.sync_telemetry();
+        // 3. Lifecycle bookkeeping: Submitted → Queued, admission queue.
+        self.lifecycle
+            .admit_new(&request.job_name, request.priority);
+        Ok(JobId::new(&request.job_name))
+    }
+
+    /// Enqueue a whole batch, returning one result per request in order.
+    /// A rejected request (duplicate name, invalid strategy...) does not
+    /// abort the rest of the batch.
+    pub fn enqueue_all<'r>(
+        &mut self,
+        requests: impl IntoIterator<Item = &'r JobRequest>,
+    ) -> Vec<Result<JobId, QrioError>> {
+        requests.into_iter().map(|r| self.enqueue(r)).collect()
+    }
+
+    /// Cancel a job that has not started running.
+    ///
+    /// `Queued` jobs leave the admission queue; `Scheduled` jobs release
+    /// their device binding and reserved resources. Either way the job ends
+    /// in [`JobState::Cancelled`] and its metadata and image are garbage-
+    /// collected.
+    ///
+    /// # Errors
+    ///
+    /// Deterministically returns [`ClusterError::PhaseConflict`] (wrapped)
+    /// for jobs that are `Running` or already terminal — cancellation never
+    /// rewrites history — and an unknown-job error for ids never enqueued.
+    pub fn cancel(&mut self, id: &JobId) -> Result<(), QrioError> {
+        let status = self.job_status(id)?;
+        let state = status.state;
+        // The event names the device whose binding the cancellation frees
+        // (None for jobs cancelled before they were bound).
+        let node = status.node.clone();
+        match state {
+            JobState::Queued | JobState::Scheduled => {
+                self.cluster.cancel_job(id.as_str(), "cancelled by user")?;
+                self.lifecycle.remove_pending(id.as_str());
+                self.lifecycle.remove_from_device_queues(id.as_str());
+                self.lifecycle.record(
+                    id.as_str(),
+                    JobState::Cancelled,
+                    node,
+                    Some("cancelled by user".to_string()),
+                );
+                self.cleanup_terminal(id.as_str());
+                Ok(())
+            }
+            other => Err(QrioError::Cluster(ClusterError::PhaseConflict {
+                job: id.to_string(),
+                action: "cancel".to_string(),
+                phase: other.to_string(),
+            })),
+        }
+    }
+
+    /// The current lifecycle state of a job.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for ids that were never enqueued.
+    pub fn status(&self, id: &JobId) -> Result<JobState, QrioError> {
+        Ok(self.job_status(id)?.state)
+    }
+
+    /// The full status snapshot of a job: state, node, reason, priority and
+    /// the timestamped transition history.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for ids that were never enqueued.
+    pub fn job_status(&self, id: &JobId) -> Result<&JobStatus, QrioError> {
+        self.lifecycle
+            .jobs
+            .get(id.as_str())
+            .map(|tracked| &tracked.status)
+            .ok_or_else(|| QrioError::UnknownJob(id.to_string()))
+    }
+
+    /// The outcome of a job that ran to completion.
+    ///
+    /// # Errors
+    ///
+    /// For a `Failed` job this returns the original failure (the same error
+    /// the blocking `submit` would have surfaced); for a `Cancelled` job a
+    /// [`QrioError::JobCancelled`]; for a job still in flight a
+    /// [`QrioError::JobNotFinished`].
+    pub fn outcome(&self, id: &JobId) -> Result<JobOutcome, QrioError> {
+        let tracked = self
+            .lifecycle
+            .jobs
+            .get(id.as_str())
+            .ok_or_else(|| QrioError::UnknownJob(id.to_string()))?;
+        match tracked.status.state {
+            JobState::Succeeded => {
+                let job = self
+                    .cluster
+                    .job(id.as_str())
+                    .expect("succeeded jobs stay in the cluster store");
+                Ok(JobOutcome {
+                    decision: tracked
+                        .decision
+                        .clone()
+                        .expect("succeeded jobs were scheduled"),
+                    counts: job.result_counts().to_vec(),
+                    achieved_fidelity: job.achieved_fidelity(),
+                    logs: job.logs().to_vec(),
+                })
+            }
+            JobState::Cancelled => Err(QrioError::JobCancelled(id.to_string())),
+            JobState::Failed => Err(tracked.failure.clone().unwrap_or_else(|| {
+                QrioError::Cluster(ClusterError::ExecutionFailed {
+                    job: id.to_string(),
+                    reason: tracked
+                        .status
+                        .reason
+                        .clone()
+                        .unwrap_or_else(|| "job failed".to_string()),
+                })
+            })),
+            _ => Err(QrioError::JobNotFinished(id.to_string())),
+        }
+    }
+
+    /// The watch log from `cursor` onward — every [`JobEvent`] with
+    /// `seq >= cursor`, in order. Pass `0` for the full history; pass the
+    /// previous `last.seq + 1` (or the running event count) to resume
+    /// without missing or duplicating events, Kubernetes-watch style.
+    pub fn watch(&self, cursor: u64) -> &[JobEvent] {
+        let start = (cursor as usize).min(self.lifecycle.events.len());
+        &self.lifecycle.events[start..]
+    }
+
+    /// The virtual timestamp of the service loop: how many [`Qrio::tick`]
+    /// cycles have run.
+    pub fn now(&self) -> u64 {
+        self.lifecycle.clock
+    }
+
+    // --- Service loop --------------------------------------------------------------------
+
+    /// Run one deterministic service cycle.
+    ///
+    /// 1. **Admission**: the queue drains in priority order (FIFO within a
+    ///    priority; ties never depend on map iteration order). Each job is
+    ///    bound via filter + meta-server ranking against fresh cluster
+    ///    telemetry. Jobs no device can host *right now* stay `Queued`; jobs
+    ///    no device could *ever* host end `Failed`.
+    /// 2. **Execution**: each device (in name order) runs the head of its
+    ///    queue to completion.
+    pub fn tick(&mut self) -> TickReport {
+        self.lifecycle.clock += 1;
+        let mut report = TickReport {
+            tick: self.lifecycle.clock,
+            ..TickReport::default()
+        };
+        // Admission.
+        for name in self.lifecycle.pending_in_order() {
+            match self.admit_and_bind(&name, false) {
+                Admitted::Scheduled(_) => report.scheduled.push(JobId::new(&name)),
+                Admitted::Deferred => report.deferred.push(JobId::new(&name)),
+                Admitted::Failed => report.failed.push(JobId::new(&name)),
+            }
+        }
+        // Execution: one job per device per tick, device-name order.
+        let devices: Vec<String> = self.lifecycle.device_queues.keys().cloned().collect();
+        for device in devices {
+            let Some(name) = self
+                .lifecycle
+                .device_queues
+                .get_mut(&device)
+                .and_then(|queue| queue.pop_front())
+            else {
+                continue;
+            };
+            let _ = self.execute_bound(&name);
+            report.completed.push(JobId::new(&name));
+        }
+        self.lifecycle
+            .device_queues
+            .retain(|_, queue| !queue.is_empty());
+        report
+    }
+
+    /// Tick until every enqueued job reached a terminal state. When a cycle
+    /// makes no progress (jobs deferred forever — e.g. waiting on a device
+    /// that stays cordoned), the stragglers are deterministically failed
+    /// rather than spinning. Returns the ids of the jobs that reached a
+    /// terminal state during this call, in event order.
+    pub fn run_until_idle(&mut self) -> Vec<JobId> {
+        let first_new_event = self.lifecycle.events.len();
+        let mut force_next = false;
+        while self.lifecycle.has_pending() || self.lifecycle.has_bound_work() {
+            if force_next {
+                // Fixed point: nothing scheduled, ran or failed last cycle.
+                // Force an admission verdict for every straggler: either it
+                // schedules after all, or the cluster records why it cannot.
+                for name in self.lifecycle.pending_in_order() {
+                    let _ = self.admit_and_bind(&name, true);
+                }
+                if self.lifecycle.has_pending() && !self.lifecycle.has_bound_work() {
+                    break; // Defensive: nothing more can change.
+                }
+            }
+            let report = self.tick();
+            force_next = !report.made_progress();
+        }
+        self.lifecycle.events[first_new_event..]
+            .iter()
+            .filter(|event| event.to.is_terminal())
+            .map(|event| event.job.clone())
+            .collect()
+    }
+
+    /// Admit one queued job and, when it schedules, append it to the tail
+    /// of its device's execution queue — the single bookkeeping path every
+    /// service-loop admission (regular or forced) goes through.
+    fn admit_and_bind(&mut self, name: &str, force: bool) -> Admitted {
+        let verdict = self.admit(name, force);
+        if let Admitted::Scheduled(device) = &verdict {
+            self.lifecycle
+                .device_queues
+                .entry(device.clone())
+                .or_default()
+                .push_back(name.to_string());
+        }
+        verdict
+    }
+
+    /// Decide admission for one queued job. With `force`, a job that would
+    /// be deferred is pushed through the scheduler anyway so it reaches a
+    /// recorded verdict.
+    fn admit(&mut self, name: &str, force: bool) -> Admitted {
+        let spec = self
+            .cluster
+            .job(name)
+            .expect("queued jobs exist in the cluster store")
+            .spec()
+            .clone();
         let filters = framework::default_filters();
+        let feasible_now = self
+            .cluster
+            .ready_nodes()
+            .any(|node| filters.iter().all(|f| f.filter(&spec, node).is_ok()));
+        if !feasible_now && !force {
+            // Resources may free up or a cordon may lift: stay Queued unless
+            // no node could ever host the job. "Ever" is judged by the same
+            // filter plugins, run against a pristine (idle, uncordoned)
+            // replica of each node, so the Deferred/Failed split cannot
+            // drift from the scheduler's real feasibility rules.
+            let could_ever = self.cluster.nodes().any(|node| {
+                let pristine = Node::from_backend(node.backend().clone(), node.capacity());
+                filters.iter().all(|f| f.filter(&spec, &pristine).is_ok())
+            });
+            if could_ever {
+                return Admitted::Deferred;
+            }
+        }
+        self.sync_telemetry();
+        match self.schedule_queued(name, &filters) {
+            Ok(decision) => Admitted::Scheduled(decision.node),
+            // A rejected binding is transient (schedule_queued left the job
+            // Queued): report it as deferred, not failed, so the service
+            // loop retries instead of mislabelling a live job.
+            Err(QrioError::Cluster(ClusterError::BindingRejected { .. })) => Admitted::Deferred,
+            Err(_) => Admitted::Failed,
+        }
+    }
+
+    // --- Lifecycle primitives (also public for virtual-time simulators) ------------------
+
+    /// Bind one `Queued` job to a device: filter the fleet, rank the
+    /// survivors through the meta server, reserve resources on the winner.
+    ///
+    /// Unlike [`Qrio::tick`], this primitive does **not** refresh telemetry
+    /// from the cluster registry first — it scores against whatever
+    /// [`Qrio::report_telemetry`] last reported, which is exactly what
+    /// virtual-time simulators need. A job bound through this primitive is
+    /// the caller's to run (via [`Qrio::execute`]) — the `tick()` service
+    /// loop only executes jobs it admitted itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the job is not `Queued`, or when scheduling
+    /// fails. An unschedulable job ends `Failed` (terminal); a job whose
+    /// binding was rejected for transient resource reasons stays `Queued`.
+    pub fn schedule(&mut self, id: &JobId) -> Result<ScheduleDecision, QrioError> {
+        match self.status(id)? {
+            JobState::Queued => self.schedule_queued(id.as_str(), &framework::default_filters()),
+            other => Err(QrioError::Cluster(ClusterError::PhaseConflict {
+                job: id.to_string(),
+                action: "schedule".to_string(),
+                phase: other.to_string(),
+            })),
+        }
+    }
+
+    /// Execute one `Scheduled` job on its bound device, driving it through
+    /// `Running` to `Succeeded` or `Failed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the job is not `Scheduled`, or propagates the
+    /// execution failure (the job then ends `Failed`).
+    pub fn execute(&mut self, id: &JobId) -> Result<(), QrioError> {
+        match self.status(id)? {
+            JobState::Scheduled => {
+                self.lifecycle.remove_from_device_queues(id.as_str());
+                self.execute_bound(id.as_str())
+            }
+            other => Err(QrioError::Cluster(ClusterError::PhaseConflict {
+                job: id.to_string(),
+                action: "execute".to_string(),
+                phase: other.to_string(),
+            })),
+        }
+    }
+
+    /// A snapshot of the backends of every node currently able to accept
+    /// work — the fleet [`Qrio::rank_ready`] ranks against. Callers
+    /// re-ranking many jobs in one sweep should take this snapshot once and
+    /// pass it to [`Qrio::rank_among`].
+    pub fn ready_fleet(&self) -> Vec<Backend> {
+        self.cluster
+            .ready_nodes()
+            .map(|node| node.backend().clone())
+            .collect()
+    }
+
+    /// Re-rank a job over the currently-ready fleet, best (lowest score)
+    /// first — the migration primitive: compare the fresh ranking against
+    /// the job's current binding and [`Qrio::rebind`] when it improved.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as the scheduler's rank: empty fleet, empty shortlist,
+    /// missing metadata, or no scoreable device.
+    pub fn rank_ready(&self, id: &JobId) -> Result<Vec<(String, f64)>, QrioError> {
+        self.rank_among(id, &self.ready_fleet())
+    }
+
+    /// Re-rank a job over an explicit fleet snapshot (see
+    /// [`Qrio::ready_fleet`]) — avoids re-cloning the fleet when many jobs
+    /// are re-ranked in one drift/outage sweep.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Qrio::rank_ready`].
+    pub fn rank_among(
+        &self,
+        id: &JobId,
+        fleet: &[Backend],
+    ) -> Result<Vec<(String, f64)>, QrioError> {
+        let requirements = self
+            .cluster
+            .job(id.as_str())
+            .ok_or_else(|| QrioError::UnknownJob(id.to_string()))?
+            .spec()
+            .requirements;
+        let scheduler = QrioScheduler::new(&self.meta);
+        let (ranked, _) = scheduler.rank(id.as_str(), fleet, &requirements)?;
+        Ok(ranked)
+    }
+
+    /// Move a `Scheduled` (bound but not yet running) job to another device,
+    /// releasing resources on the old node and reserving them on the new
+    /// one. Rebinding a `Scheduled` job onto its current device is a no-op.
+    /// The job stays `Scheduled`; the move is recorded in the watch log.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the cluster's rebind errors (unknown job or node, wrong
+    /// phase — including a same-device rebind of a job that is no longer
+    /// `Scheduled` — target full); the original binding survives an error.
+    pub fn rebind(&mut self, id: &JobId, target: &str) -> Result<(), QrioError> {
+        let status = self.job_status(id)?;
+        let from = status
+            .node
+            .clone()
+            .unwrap_or_else(|| "<unbound>".to_string());
+        // The no-op arc exists only for jobs that are actually rebindable;
+        // anything else falls through so the cluster reports the phase
+        // conflict instead of a silent Ok.
+        if status.state == JobState::Scheduled && from == target {
+            return Ok(());
+        }
+        self.cluster.rebind_job(id.as_str(), target)?;
+        // Keep the tick()-loop queues consistent: the job leaves its old
+        // device queue and joins the tail of the new one.
+        let was_queued = self
+            .lifecycle
+            .device_queues
+            .values()
+            .any(|queue| queue.iter().any(|name| name == id.as_str()));
+        self.lifecycle.remove_from_device_queues(id.as_str());
+        if was_queued {
+            self.lifecycle
+                .device_queues
+                .entry(target.to_string())
+                .or_default()
+                .push_back(id.as_str().to_string());
+        }
+        // The stored decision must follow the job: outcome() reports the
+        // device that will actually run it. The candidate list keeps
+        // documenting the original scheduling cycle; the score moves with
+        // the node when that cycle ranked the target. A forced migration
+        // outside the original ranking has no comparable score — infinity
+        // marks it (sorting last under lower-is-better) without poisoning
+        // the derived `PartialEq` the way NaN would.
+        if let Some(decision) = self
+            .lifecycle
+            .jobs
+            .get_mut(id.as_str())
+            .and_then(|tracked| tracked.decision.as_mut())
+        {
+            decision.node = target.to_string();
+            decision.score = decision
+                .candidates
+                .iter()
+                .find(|(name, _)| name == target)
+                .map_or(f64::INFINITY, |(_, score)| *score);
+        }
+        self.lifecycle.record(
+            id.as_str(),
+            JobState::Scheduled,
+            Some(target.to_string()),
+            Some(format!("rebound from '{from}' to '{target}'")),
+        );
+        Ok(())
+    }
+
+    /// Schedule a job known to be `Queued`, updating lifecycle state. The
+    /// caller provides the filter chain so admission's feasibility probe
+    /// and the scheduling cycle share one construction.
+    fn schedule_queued(
+        &mut self,
+        name: &str,
+        filters: &[Box<dyn framework::FilterPlugin>],
+    ) -> Result<ScheduleDecision, QrioError> {
         let ranking = MetaRankingPlugin::new(&self.meta);
-        let decision = self
-            .cluster
-            .schedule_job(&request.job_name, &filters, &ranking)?;
+        match self.cluster.schedule_job(name, filters, &ranking) {
+            Ok(decision) => {
+                self.lifecycle.remove_pending(name);
+                self.lifecycle
+                    .record(name, JobState::Scheduled, Some(decision.node.clone()), None);
+                if let Some(tracked) = self.lifecycle.jobs.get_mut(name) {
+                    tracked.decision = Some(decision.clone());
+                }
+                Ok(decision)
+            }
+            Err(err @ ClusterError::BindingRejected { .. }) => {
+                // Transient: the resources were claimed during scoring. The
+                // job stays Queued and may be rescheduled later.
+                Err(err.into())
+            }
+            Err(err) => {
+                let qerr: QrioError = err.into();
+                self.lifecycle.remove_pending(name);
+                self.lifecycle
+                    .record(name, JobState::Failed, None, Some(qerr.to_string()));
+                if let Some(tracked) = self.lifecycle.jobs.get_mut(name) {
+                    tracked.failure = Some(qerr.clone());
+                }
+                self.cleanup_terminal(name);
+                Err(qerr)
+            }
+        }
+    }
 
-        // 4. Node executor: run the container on the chosen device.
-        self.cluster.run_job(&request.job_name, &self.runner)?;
+    /// Run a job known to be `Scheduled` (already removed from any device
+    /// queue), updating lifecycle state.
+    fn execute_bound(&mut self, name: &str) -> Result<(), QrioError> {
+        let node = self
+            .lifecycle
+            .jobs
+            .get(name)
+            .and_then(|tracked| tracked.status.node.clone());
+        self.lifecycle
+            .record(name, JobState::Running, node.clone(), None);
+        let runner = self.runner;
+        match self.cluster.run_job(name, &runner) {
+            Ok(()) => {
+                self.lifecycle.record(name, JobState::Succeeded, node, None);
+                Ok(())
+            }
+            Err(err) => {
+                let qerr: QrioError = err.into();
+                self.lifecycle
+                    .record(name, JobState::Failed, node, Some(qerr.to_string()));
+                if let Some(tracked) = self.lifecycle.jobs.get_mut(name) {
+                    tracked.failure = Some(qerr.clone());
+                }
+                self.cleanup_terminal(name);
+                Err(qerr)
+            }
+        }
+    }
 
-        let job = self
-            .cluster
-            .job(&request.job_name)
-            .expect("job was just submitted and executed");
-        Ok(JobOutcome {
-            decision,
-            counts: job.result_counts().to_vec(),
-            achieved_fidelity: job.achieved_fidelity(),
-            logs: job.logs().to_vec(),
-        })
+    /// Garbage-collect the artifacts of a job that reached a terminal
+    /// failure or cancellation: its metadata leaves the meta server and its
+    /// image leaves the registry (unless another live job still references
+    /// the same image). The cluster's job record — phase, logs — survives as
+    /// the queryable history.
+    fn cleanup_terminal(&mut self, name: &str) {
+        self.meta.remove_job_metadata(name);
+        if let Some(image) = self.cluster.job(name).map(|job| job.spec().image.clone()) {
+            self.remove_image_if_unreferenced(&image, name);
+        }
+    }
+
+    /// Remove `image` from the registry unless a different non-terminal job
+    /// still references it.
+    fn remove_image_if_unreferenced(&mut self, image: &str, except_job: &str) {
+        let referenced = self.cluster.jobs().any(|job| {
+            job.name() != except_job && !job.phase().is_terminal() && job.spec().image == image
+        });
+        if !referenced {
+            self.cluster.remove_image(image);
+        }
+    }
+
+    // --- Blocking compatibility wrapper --------------------------------------------------
+
+    /// Submit a job request and drive it to completion — the blocking
+    /// convenience wrapper over the lifecycle API: [`Qrio::enqueue`], then
+    /// [`Qrio::tick`] until *this* job is terminal, then [`Qrio::outcome`].
+    ///
+    /// Other queued work naturally advances while the loop runs (it shares
+    /// the cluster), but only the submitted job is ever force-failed when
+    /// it cannot make progress — jobs someone else enqueued are left
+    /// `Queued` for their owner's service loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any stage fails (no matching devices, execution
+    /// failure, ...). The job object in the cluster records the failure too.
+    pub fn submit(&mut self, request: &JobRequest) -> Result<JobOutcome, QrioError> {
+        let id = self.enqueue(request)?;
+        let mut stalled = false;
+        while !self.status(&id)?.is_terminal() {
+            let report = self.tick();
+            if report.made_progress() {
+                stalled = false;
+                continue;
+            }
+            if stalled {
+                break; // Defensive: a forced verdict changed nothing.
+            }
+            stalled = true;
+            // Fixed point with this job still queued: force its admission
+            // verdict (schedule after all, or a recorded failure).
+            let _ = self.admit_and_bind(id.as_str(), true);
+        }
+        self.outcome(&id)
     }
 
     /// Fetch the logs of a previously-submitted job (what the visualizer's
@@ -287,6 +936,11 @@ mod tests {
             .unwrap()
             .phase()
             .is_terminal());
+        // The async view agrees: enqueue succeeded, the job ended Failed.
+        assert_eq!(
+            qrio.status(&JobId::new("impossible")).unwrap(),
+            JobState::Failed
+        );
     }
 
     #[test]
@@ -295,5 +949,123 @@ mod tests {
         assert!(qrio
             .add_device(Backend::uniform("clean", topology::line(4), 0.0, 0.0))
             .is_err());
+    }
+
+    #[test]
+    fn enqueue_is_non_blocking_and_tick_drives_the_lifecycle() {
+        let mut qrio = small_qrio();
+        let bv = library::bernstein_vazirani(5, 0b10110).unwrap();
+        let request = JobRequestBuilder::new()
+            .with_circuit(&bv)
+            .job_name("async-job")
+            .fidelity_target(0.9)
+            .shots(128)
+            .build()
+            .unwrap();
+        let id = qrio.enqueue(&request).unwrap();
+        assert_eq!(id.as_str(), "async-job");
+        // Nothing has run yet: the job is Queued, the cluster job Pending.
+        assert_eq!(qrio.status(&id).unwrap(), JobState::Queued);
+        assert!(matches!(
+            qrio.cluster().job("async-job").unwrap().phase(),
+            JobPhase::Pending
+        ));
+        assert!(qrio.outcome(&id).is_err(), "no outcome before it runs");
+
+        // One tick schedules *and* runs it (admission then execution).
+        let report = qrio.tick();
+        assert_eq!(report.tick, 1);
+        assert_eq!(report.scheduled, vec![id.clone()]);
+        assert_eq!(report.completed, vec![id.clone()]);
+        assert_eq!(qrio.status(&id).unwrap(), JobState::Succeeded);
+        let outcome = qrio.outcome(&id).unwrap();
+        assert_eq!(outcome.decision.node, "clean");
+        assert!(!outcome.counts.is_empty());
+
+        // The transition history is complete, legal and timestamped.
+        let history = &qrio.job_status(&id).unwrap().history;
+        let states: Vec<JobState> = history.iter().map(|(_, s)| *s).collect();
+        assert_eq!(
+            states,
+            vec![
+                JobState::Submitted,
+                JobState::Queued,
+                JobState::Scheduled,
+                JobState::Running,
+                JobState::Succeeded
+            ]
+        );
+        assert_eq!(history[0].0, 0, "enqueued before the first tick");
+        assert_eq!(history[4].0, 1, "finished on tick 1");
+    }
+
+    #[test]
+    fn watch_streams_events_from_any_cursor() {
+        let mut qrio = small_qrio();
+        let bv = library::bernstein_vazirani(4, 0b1011).unwrap();
+        let request = JobRequestBuilder::new()
+            .with_circuit(&bv)
+            .job_name("watched")
+            .fidelity_target(0.9)
+            .shots(64)
+            .build()
+            .unwrap();
+        let id = qrio.enqueue(&request).unwrap();
+        let first = qrio.watch(0);
+        assert_eq!(first.len(), 2, "Submitted + Queued");
+        let cursor = first.last().unwrap().seq + 1;
+        qrio.run_until_idle();
+        let rest = qrio.watch(cursor);
+        let states: Vec<JobState> = rest.iter().map(|e| e.to).collect();
+        assert_eq!(
+            states,
+            vec![JobState::Scheduled, JobState::Running, JobState::Succeeded]
+        );
+        for event in rest {
+            assert_eq!(event.job, id);
+            assert!(event.from.unwrap().can_transition_to(event.to));
+        }
+        // Sequences are dense and the cursor never overshoots.
+        assert_eq!(
+            qrio.watch(0).len() as u64,
+            qrio.watch(0).last().unwrap().seq + 1
+        );
+        assert!(qrio.watch(9999).is_empty());
+    }
+
+    #[test]
+    fn duplicate_enqueue_is_rejected_without_leaking() {
+        let mut qrio = small_qrio();
+        let bv = library::bernstein_vazirani(4, 0b1011).unwrap();
+        let request = JobRequestBuilder::new()
+            .with_circuit(&bv)
+            .job_name("dup")
+            .fidelity_target(0.9)
+            .build()
+            .unwrap();
+        qrio.enqueue(&request).unwrap();
+        let before_meta = qrio.meta().job_count();
+        assert!(matches!(
+            qrio.enqueue(&request),
+            Err(QrioError::Cluster(ClusterError::DuplicateJob(_)))
+        ));
+        assert_eq!(qrio.meta().job_count(), before_meta);
+        // The original job is unharmed and still runs to completion.
+        qrio.run_until_idle();
+        assert_eq!(
+            qrio.status(&JobId::new("dup")).unwrap(),
+            JobState::Succeeded
+        );
+    }
+
+    #[test]
+    fn unknown_job_ids_error_everywhere() {
+        let mut qrio = small_qrio();
+        let ghost = JobId::new("ghost");
+        assert!(matches!(qrio.status(&ghost), Err(QrioError::UnknownJob(_))));
+        assert!(qrio.job_status(&ghost).is_err());
+        assert!(qrio.outcome(&ghost).is_err());
+        assert!(qrio.cancel(&ghost).is_err());
+        assert!(qrio.rank_ready(&ghost).is_err());
     }
 }

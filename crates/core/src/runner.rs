@@ -156,6 +156,7 @@ mod tests {
             resources: Resources::new(100, 128),
             requirements: DeviceRequirements::none(),
             strategy: StrategySpec::fidelity(0.9),
+            priority: 0,
             shots,
             threads: 0,
         };

@@ -108,6 +108,10 @@ pub struct JobRequest {
     /// strategy registered in the meta server's registry is valid here —
     /// built-in or user-defined.
     pub strategy: StrategySpec,
+    /// Scheduling priority: jobs with a higher priority are admitted to the
+    /// cluster first by the service loop; equal priorities drain in
+    /// submission order (step 1, defaults to `0`).
+    pub priority: u8,
     /// Shots to execute.
     pub shots: u64,
     /// Worker-thread configuration for shot execution on the node. Purely a
@@ -125,6 +129,7 @@ pub struct JobRequestBuilder {
     resources: Resources,
     requirements: DeviceRequirements,
     strategy: Option<StrategySpec>,
+    priority: u8,
     shots: u64,
     parallel: ParallelConfig,
 }
@@ -192,6 +197,14 @@ impl JobRequestBuilder {
     /// Number of shots to execute (defaults to 1024).
     pub fn shots(mut self, shots: u64) -> Self {
         self.shots = shots;
+        self
+    }
+
+    /// Step 1: scheduling priority (defaults to `0`). Higher-priority jobs
+    /// are admitted to the cluster first when a batch is queued; jobs with
+    /// equal priority keep their submission order.
+    pub fn priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
         self
     }
 
@@ -315,6 +328,7 @@ impl JobRequestBuilder {
             resources: self.resources,
             requirements: self.requirements,
             strategy,
+            priority: self.priority,
             shots: self.shots,
             parallel: self.parallel,
         })
@@ -436,6 +450,26 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(pinned.parallel.threads(), 4);
+    }
+
+    #[test]
+    fn priority_rides_through_the_builder() {
+        let bv = library::bernstein_vazirani(3, 0b101).unwrap();
+        let default_request = JobRequestBuilder::new()
+            .with_circuit(&bv)
+            .job_name("prio-default")
+            .fidelity_target(0.9)
+            .build()
+            .unwrap();
+        assert_eq!(default_request.priority, 0);
+        let urgent = JobRequestBuilder::new()
+            .with_circuit(&bv)
+            .job_name("prio-urgent")
+            .fidelity_target(0.9)
+            .priority(200)
+            .build()
+            .unwrap();
+        assert_eq!(urgent.priority, 200);
     }
 
     #[test]

@@ -1,6 +1,8 @@
-//! The virtual-time discrete-event engine: drives the full QRIO stack —
-//! meta-server ranking → scheduler → cluster queues → simulated execution —
-//! with multi-tenant arrival streams, calibration drift and outages.
+//! The virtual-time discrete-event engine: drives the full QRIO stack
+//! through the orchestrator's **public job-lifecycle API** — non-blocking
+//! enqueue → telemetry-aware scheduling → per-device queues → simulated
+//! execution — with multi-tenant arrival streams, calibration drift and
+//! outages.
 //!
 //! # Model
 //!
@@ -9,38 +11,35 @@
 //! start/end) live in a binary heap ordered by `(time, sequence)`, so the
 //! processing order is a pure function of the scenario and its seed.
 //!
-//! Each arrival runs the *real* submission path: metadata upload to the
-//! [`MetaServer`] (strategy validation included), containerization through
-//! the master server, image push, job submission, a telemetry refresh
-//! (queue depth and busy fraction from the engine's virtual device queues —
-//! the same bound-job counts [`Cluster::node_loads`] reports — pushed
-//! through [`MetaServer::update_telemetry_bulk`]), and a scheduling cycle
-//! with the cluster's filter plugins plus the meta-ranking score plugin. The chosen device's queue is
-//! then simulated in virtual time: each device executes one job at a time;
-//! its service time is `(serviceBaseUs + shots·servicePerShotUs) / speed`.
-//! When a job reaches the head of the queue, the engine calls
-//! [`Cluster::run_job`], which transpiles and simulates the circuit under the
-//! device's *current* noise model — so calibration drift degrades the
+//! Each arrival runs the *real* submission path, via [`Qrio::enqueue`]:
+//! metadata upload to the meta server (strategy validation included),
+//! containerization through the master server, image push and job
+//! submission. The engine then reports its virtual device load (queue depth
+//! and busy fraction from its own queues) through
+//! [`Qrio::report_telemetry`] and binds the job with the lifecycle
+//! primitive [`Qrio::schedule`] — the same filter + meta-rank cycle the
+//! service loop runs. The chosen device's queue is then simulated in
+//! virtual time: each device executes one job at a time; its service time
+//! is `(serviceBaseUs + shots·servicePerShotUs) / speed`. When a job
+//! reaches the head of the queue, the engine calls [`Qrio::execute`], which
+//! transpiles and simulates the circuit under the device's *current*
+//! (possibly drifted) noise model — so calibration drift degrades the
 //! fidelity of jobs executed after the drift, producing a real
 //! fidelity-vs-load signal.
 //!
-//! Drift events rewrite the device's calibration in both the meta server
-//! (bumping the calibration revision, which invalidates memoized scores) and
-//! the cluster node labels, then re-rank every *waiting* job with
-//! [`QrioScheduler::rank`]; jobs whose best device changed migrate via
-//! [`Cluster::rebind_job`]. Outages cordon the node and force-migrate its
-//! waiting queue (the in-flight job finishes its window).
+//! Drift events rewrite the device's calibration through
+//! [`Qrio::recalibrate_device`] (bumping the calibration revision, which
+//! invalidates memoized scores), then re-rank every *waiting* job with
+//! [`Qrio::rank_among`]; jobs whose best device changed migrate via
+//! [`Qrio::rebind`]. Outages cordon the node and force-migrate its waiting
+//! queue (the in-flight job finishes its window).
 
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
-use qrio::containerize;
-use qrio::JobRequestBuilder;
-use qrio::SimJobRunner;
+use qrio::{DeviceTelemetry, FidelityRankingConfig, JobId, JobRequestBuilder, Qrio};
 use qrio_backend::Backend;
-use qrio_cluster::{framework, Cluster, Node, Resources};
-use qrio_meta::{DeviceTelemetry, FidelityRankingConfig, MetaServer};
-use qrio_scheduler::{MetaRankingPlugin, QrioScheduler};
+use qrio_cluster::Resources;
 
 use crate::arrival::ArrivalSampler;
 use crate::error::LoadgenError;
@@ -156,9 +155,9 @@ pub fn run_scenario(scenario: &Scenario) -> Result<CloudReport, LoadgenError> {
 
 struct Engine<'s> {
     scenario: &'s Scenario,
-    cluster: Cluster,
-    meta: MetaServer,
-    runner: SimJobRunner,
+    /// The QRIO deployment under test, driven exclusively through its public
+    /// lifecycle API.
+    qrio: Qrio,
     samplers: Vec<ArrivalSampler>,
     tenant_job_counters: Vec<u64>,
     devices: BTreeMap<String, DeviceSim>,
@@ -181,22 +180,21 @@ struct Engine<'s> {
 
 impl<'s> Engine<'s> {
     fn new(scenario: &'s Scenario) -> Result<Self, LoadgenError> {
-        let mut cluster = Cluster::new();
-        let mut meta = MetaServer::with_config(FidelityRankingConfig {
-            shots: scenario.canary_shots.max(1),
-            seed: scenario.seed ^ 0xCA11_AB1E,
-            shortfall_weight: 100.0,
-        });
+        let mut qrio = Qrio::with_config(
+            FidelityRankingConfig {
+                shots: scenario.canary_shots.max(1),
+                seed: scenario.seed ^ 0xCA11_AB1E,
+                shortfall_weight: 100.0,
+            },
+            scenario.seed ^ 0x51D0_C10D,
+        );
         let mut devices = BTreeMap::new();
         for spec in &scenario.fleet {
-            let backend = spec.backend();
-            meta.register_backend(backend.clone());
-            cluster
-                .add_node(Node::from_backend(
-                    backend,
-                    Resources::new(NODE_RESOURCES.0, NODE_RESOURCES.1),
-                ))
-                .map_err(|e| LoadgenError::Engine(format!("cannot add node: {e}")))?;
+            qrio.add_device_with_resources(
+                spec.backend(),
+                Resources::new(NODE_RESOURCES.0, NODE_RESOURCES.1),
+            )
+            .map_err(|e| LoadgenError::Engine(format!("cannot add node: {e}")))?;
             devices.insert(
                 spec.name.clone(),
                 DeviceSim {
@@ -212,9 +210,7 @@ impl<'s> Engine<'s> {
             .collect();
         Ok(Engine {
             scenario,
-            cluster,
-            meta,
-            runner: SimJobRunner::new(scenario.seed ^ 0x51D0_C10D),
+            qrio,
             samplers,
             tenant_job_counters: vec![0; scenario.tenants.len()],
             devices,
@@ -330,18 +326,13 @@ impl<'s> Engine<'s> {
             .build()
             .map_err(|e| LoadgenError::Engine(format!("cannot build request: {e}")))?;
 
-        // 1. Visualizer → meta server: metadata upload (validation included).
-        self.meta
-            .upload_job_metadata(&job_name, &request.strategy, Some(&request.qasm))
-            .map_err(|e| LoadgenError::Engine(format!("metadata upload failed: {e}")))?;
-
-        // 2. Master server: containerize, push, submit.
-        let containerized = containerize(&request)
-            .map_err(|e| LoadgenError::Engine(format!("containerization failed: {e}")))?;
-        self.cluster.push_image(containerized.image);
-        self.cluster
-            .submit_job(containerized.spec)
-            .map_err(|e| LoadgenError::Engine(format!("submission failed: {e}")))?;
+        // 1. Non-blocking submission through the public lifecycle API:
+        //    metadata upload (validation included), containerization, image
+        //    push — the job comes back `Queued`.
+        let job_id = self
+            .qrio
+            .enqueue(&request)
+            .map_err(|e| LoadgenError::Engine(format!("enqueue failed: {e}")))?;
 
         self.submitted += 1;
         *self
@@ -349,14 +340,14 @@ impl<'s> Engine<'s> {
             .entry(tenant.name.clone())
             .or_insert(0) += 1;
 
-        // 3. Scheduler cycle: fresh telemetry, filter, meta-rank, bind.
-        self.sync_telemetry();
-        let filters = framework::default_filters();
-        let ranking = MetaRankingPlugin::new(&self.meta);
-        let decision = match self.cluster.schedule_job(&job_name, &filters, &ranking) {
+        // 2. Scheduling cycle: report the virtual-queue telemetry, then bind
+        //    via filter + meta-rank. A job no eligible device can host
+        //    (outage window, oversized circuit, ...) ends `Failed`.
+        let reports = self.telemetry_snapshot();
+        self.qrio.report_telemetry(reports);
+        let decision = match self.qrio.schedule(&job_id) {
             Ok(decision) => decision,
             Err(_) => {
-                // No eligible device (outage window, oversized circuit, ...).
                 self.rejected += 1;
                 *self
                     .rejected_by_tenant
@@ -366,7 +357,7 @@ impl<'s> Engine<'s> {
             }
         };
 
-        // 4. Enter the chosen device's virtual queue.
+        // 3. Enter the chosen device's virtual queue.
         let device = decision.node;
         let depth = {
             let sim = self
@@ -410,7 +401,8 @@ impl<'s> Engine<'s> {
             };
             sim.busy_with = Some(job_name.clone());
             let shots = self
-                .cluster
+                .qrio
+                .cluster()
                 .job(&job_name)
                 .map(|j| j.spec().shots)
                 .unwrap_or(1);
@@ -443,10 +435,11 @@ impl<'s> Engine<'s> {
         };
         // Execute the container on the node: transpile + simulate under the
         // device's *current* (possibly drifted) noise model.
-        let run = self.cluster.run_job(&job_name, &self.runner);
+        let run = self.qrio.execute(&JobId::new(&job_name));
         let fidelity = match run {
             Ok(()) => self
-                .cluster
+                .qrio
+                .cluster()
                 .job(&job_name)
                 .and_then(|j| j.achieved_fidelity()),
             Err(_) => {
@@ -490,15 +483,15 @@ impl<'s> Engine<'s> {
 
     // --- Telemetry -----------------------------------------------------------------------
 
-    /// Report current queue depth and utilization of every node to the meta
-    /// server — the live signal `weighted` and `min_queue` react to. The
-    /// reported queue depth equals what [`Cluster::node_loads`] counts as
-    /// bound jobs (waiting + in-flight); utilization is the device's busy
-    /// fraction of elapsed virtual time, with the in-flight job charged only
-    /// for the portion that has actually elapsed.
-    fn sync_telemetry(&mut self) {
-        let reports: Vec<(String, DeviceTelemetry)> = self
-            .devices
+    /// Snapshot the current queue depth and utilization of every virtual
+    /// device — the live signal `weighted` and `min_queue` react to, fed to
+    /// the meta server via [`Qrio::report_telemetry`]. The reported queue
+    /// depth equals what the cluster counts as bound jobs (waiting +
+    /// in-flight); utilization is the device's busy fraction of elapsed
+    /// virtual time, with the in-flight job charged only for the portion
+    /// that has actually elapsed.
+    fn telemetry_snapshot(&self) -> Vec<(String, DeviceTelemetry)> {
+        self.devices
             .iter()
             .map(|(name, sim)| {
                 let queue_depth = sim.queue.len() + usize::from(sim.busy_with.is_some());
@@ -520,23 +513,22 @@ impl<'s> Engine<'s> {
                     },
                 )
             })
-            .collect();
-        self.meta.update_telemetry_bulk(reports);
+            .collect()
     }
 
     // --- Drift ---------------------------------------------------------------------------
 
     fn on_drift(&mut self, device: &str, factor: f64) -> Result<(), LoadgenError> {
         self.drift_events += 1;
-        let Some(backend) = self.meta.backend(device).cloned() else {
+        let Some(backend) = self.qrio.meta().backend(device).cloned() else {
             return Ok(());
         };
         let drifted = drift_backend(&backend, factor)?;
-        // New calibration revision: memoized scores against the old
-        // calibration are invalidated implicitly.
-        self.meta.register_backend(drifted.clone());
-        self.cluster
-            .update_node_backend(drifted)
+        // New calibration revision in the meta server (memoized scores
+        // against the old calibration are invalidated implicitly) plus
+        // recomputed node labels in the cluster, in one public call.
+        self.qrio
+            .recalibrate_device(drifted)
             .map_err(|e| LoadgenError::Engine(format!("drift update failed: {e}")))?;
         self.rerank_waiting(None);
         Ok(())
@@ -546,7 +538,7 @@ impl<'s> Engine<'s> {
 
     fn on_outage_start(&mut self, device: &str, down_ms: u64) {
         self.outage_events += 1;
-        if let Some(node) = self.cluster.node_mut(device) {
+        if let Some(node) = self.qrio.cluster_mut().node_mut(device) {
             node.cordon();
         }
         if let Some(sim) = self.devices.get_mut(device) {
@@ -564,7 +556,7 @@ impl<'s> Engine<'s> {
     }
 
     fn on_outage_end(&mut self, device: &str) {
-        if let Some(node) = self.cluster.node_mut(device) {
+        if let Some(node) = self.qrio.cluster_mut().node_mut(device) {
             node.uncordon();
         }
         if let Some(sim) = self.devices.get_mut(device) {
@@ -577,9 +569,9 @@ impl<'s> Engine<'s> {
 
     // --- Re-ranking / migration ----------------------------------------------------------
 
-    /// Re-rank waiting jobs with the scheduler and migrate the ones whose
-    /// best device changed. `only` restricts the sweep to one device's queue
-    /// (outages); `None` sweeps every queue (drift).
+    /// Re-rank waiting jobs through [`Qrio::rank_among`] and migrate the
+    /// ones whose best device changed. `only` restricts the sweep to one
+    /// device's queue (outages); `None` sweeps every queue (drift).
     ///
     /// Jobs on a cordoned device migrate whenever *any* eligible device
     /// exists; elsewhere a strictly better score is required. Each job is
@@ -587,11 +579,9 @@ impl<'s> Engine<'s> {
     /// a fleeing queue spreads over the healthy fleet instead of herding
     /// onto whichever device looked emptiest in one stale snapshot.
     fn rerank_waiting(&mut self, only: Option<&str>) {
-        let fleet: Vec<Backend> = self
-            .cluster
-            .ready_nodes()
-            .map(|n| n.backend().clone())
-            .collect();
+        // One fleet snapshot per sweep: node readiness cannot change while
+        // the sweep runs (migrations move jobs, not node status).
+        let fleet = self.qrio.ready_fleet();
         if fleet.is_empty() {
             return;
         }
@@ -608,15 +598,12 @@ impl<'s> Engine<'s> {
             })
             .collect();
         for (device, job_name, fleeing) in candidates {
-            let Some(job) = self.cluster.job(&job_name) else {
-                continue;
-            };
-            let requirements = job.spec().requirements;
             // Fresh telemetry per decision: earlier migrations in this sweep
             // already changed queue depths.
-            self.sync_telemetry();
-            let scheduler = QrioScheduler::new(&self.meta);
-            let Ok((ranked, _)) = scheduler.rank(&job_name, &fleet, &requirements) else {
+            let reports = self.telemetry_snapshot();
+            self.qrio.report_telemetry(reports);
+            let job_id = JobId::new(&job_name);
+            let Ok(ranked) = self.qrio.rank_among(&job_id, &fleet) else {
                 continue;
             };
             let (best_device, best_score) = ranked[0].clone();
@@ -636,7 +623,7 @@ impl<'s> Engine<'s> {
             if !(fleeing || improves) {
                 continue;
             }
-            if self.cluster.rebind_job(&job_name, &best_device).is_err() {
+            if self.qrio.rebind(&job_id, &best_device).is_err() {
                 continue;
             }
             let from_sim = self.devices.get_mut(&device).expect("device exists");
@@ -678,7 +665,7 @@ impl<'s> Engine<'s> {
                 )
             })
             .collect();
-        let cache = self.meta.cache_stats();
+        let cache = self.qrio.meta().cache_stats();
         CloudReport {
             scenario: self.scenario.name.clone(),
             seed: self.scenario.seed,

@@ -311,6 +311,33 @@ impl MetaServer {
         self.jobs.get(job_name)
     }
 
+    /// Remove the metadata stored for a job, returning it when it existed.
+    ///
+    /// This is the cleanup hook the orchestrator calls when a job reaches a
+    /// terminal failure (unschedulable, execution error, cancelled): the
+    /// upload is garbage-collected instead of accumulating forever. Every
+    /// memoized score of the job is dropped with it.
+    pub fn remove_job_metadata(&mut self, job_name: &str) -> Option<JobRecord> {
+        let removed = self.jobs.remove(job_name)?;
+        self.score_cache
+            .lock()
+            .expect("cache poisoned")
+            .entries
+            .retain(|(job, _), _| job != job_name);
+        Some(removed)
+    }
+
+    /// Number of jobs with metadata currently stored.
+    pub fn job_count(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Names of all jobs with stored metadata, in sorted order — the
+    /// deterministic listing bulk operations and leak checks iterate.
+    pub fn job_names(&self) -> Vec<&str> {
+        self.jobs.keys().map(String::as_str).collect()
+    }
+
     // --- Scoring -------------------------------------------------------------------------
 
     /// Score `job_name` against `device` (the request body of §3.4): resolve
@@ -685,6 +712,38 @@ mod tests {
         assert_eq!(stats.entries, 2);
         assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
         assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn remove_job_metadata_drops_the_record_and_its_cached_scores() {
+        let mut server = MetaServer::new();
+        server.register_backend(Backend::uniform("ring", topology::ring(6), 0.01, 0.05));
+        server.register_backend(Backend::uniform("line", topology::line(6), 0.01, 0.05));
+        let request = library::topology_circuit(6, &topology::ring(6).edges()).unwrap();
+        server.upload_topology_metadata("keep", request.clone());
+        server.upload_topology_metadata("drop", request);
+        assert_eq!(server.job_count(), 2);
+        assert_eq!(server.job_names(), vec!["drop", "keep"]);
+        server.score_all("keep").unwrap();
+        server.score_all("drop").unwrap();
+        assert_eq!(server.cache_stats().entries, 4);
+
+        let removed = server.remove_job_metadata("drop").unwrap();
+        assert_eq!(removed.strategy_name(), "topology");
+        assert!(server.job_metadata("drop").is_none());
+        assert_eq!(server.job_count(), 1);
+        // Only the removed job's memoized scores are dropped.
+        assert_eq!(server.cache_stats().entries, 2);
+        server.score_all("keep").unwrap();
+        assert_eq!(server.cache_stats().hits, 2, "'keep' entries survived");
+        // Removing again (or a never-uploaded job) is None, not an error.
+        assert!(server.remove_job_metadata("drop").is_none());
+        assert!(server.remove_job_metadata("ghost").is_none());
+        // Scoring the removed job now fails as unknown.
+        assert!(matches!(
+            server.score("drop", "ring"),
+            Err(MetaError::UnknownJob(_))
+        ));
     }
 
     #[test]

@@ -373,6 +373,7 @@ mod tests {
             resources: Resources::new(100, 128),
             requirements: DeviceRequirements::none(),
             strategy: StrategySpec::fidelity(0.9),
+            priority: 0,
             shots: 128,
             threads: 0,
         };

@@ -1,0 +1,119 @@
+//! The non-blocking job lifecycle: enqueue a mixed-priority batch, drive the
+//! service loop tick by tick, cancel a job mid-flight, and follow everything
+//! through the Kubernetes-style watch stream.
+//!
+//! Run with: `cargo run --example job_lifecycle`
+
+use qrio::{JobRequestBuilder, JobState, Qrio};
+use qrio_backend::{topology, Backend};
+use qrio_circuit::library;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Vendor side: a two-device cloud of unequal quality. ----------------
+    let mut qrio = Qrio::new();
+    qrio.add_device(Backend::uniform("clean", topology::grid(2, 4), 0.002, 0.01))?;
+    qrio.add_device(Backend::uniform("noisy", topology::line(10), 0.05, 0.3))?;
+
+    // --- User side: a batch of jobs with mixed priorities. ------------------
+    // Higher priority is admitted first; equal priorities keep FIFO order.
+    let mut requests = Vec::new();
+    for (name, qubits, priority) in [
+        ("nightly-sweep", 4, 0u8),
+        ("paper-deadline", 5, 9),
+        ("smoke-check", 3, 5),
+        ("background-scan", 4, 0),
+    ] {
+        let circuit = library::ghz(qubits)?;
+        requests.push(
+            JobRequestBuilder::new()
+                .with_circuit(&circuit)
+                .job_name(name)
+                .fidelity_target(0.85)
+                .shots(256)
+                .priority(priority)
+                .build()?,
+        );
+    }
+
+    // --- Enqueue: returns immediately, nothing has been scheduled yet. ------
+    let ids: Vec<_> = qrio
+        .enqueue_all(&requests)
+        .into_iter()
+        .collect::<Result<_, _>>()?;
+    for id in &ids {
+        println!("enqueued '{id}' -> {}", qrio.status(id)?);
+    }
+
+    // --- Second thoughts: cancel the background scan before it runs. --------
+    let background = &ids[3];
+    qrio.cancel(background)?;
+    println!("cancelled '{background}' -> {}", qrio.status(background)?);
+
+    // --- Service loop: one tick = one admission pass + one job per device. --
+    let mut watch_cursor = 0;
+    loop {
+        let report = qrio.tick();
+        println!(
+            "tick {}: scheduled {:?}, completed {:?}",
+            report.tick,
+            report
+                .scheduled
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>(),
+            report
+                .completed
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>(),
+        );
+        // Follow the watch stream from where we left off, k8s-style.
+        for event in qrio.watch(watch_cursor) {
+            watch_cursor = event.seq + 1;
+            println!(
+                "  event #{:>2} t={} {:<15} {:?} -> {:?}{}",
+                event.seq,
+                event.at,
+                event.job.to_string(),
+                event.from,
+                event.to,
+                event
+                    .node
+                    .as_deref()
+                    .map(|n| format!(" on '{n}'"))
+                    .unwrap_or_default(),
+            );
+        }
+        if report.is_idle() {
+            break;
+        }
+    }
+
+    // --- Outcomes: typed per-job results, failures and histories. -----------
+    for id in &ids {
+        match qrio.outcome(id) {
+            Ok(outcome) => println!(
+                "'{id}': Succeeded on '{}' (fidelity {:.3})",
+                outcome.decision.node,
+                outcome.achieved_fidelity.unwrap_or(f64::NAN),
+            ),
+            Err(err) => println!("'{id}': {} ({err})", qrio.status(id)?),
+        }
+    }
+
+    // The deadline job outranked everything: it was scheduled first.
+    let deadline_done = qrio.job_status(&ids[1])?;
+    assert_eq!(deadline_done.state, JobState::Succeeded);
+    let first_scheduled = qrio
+        .watch(0)
+        .iter()
+        .find(|e| e.to == JobState::Scheduled)
+        .expect("something was scheduled");
+    assert_eq!(first_scheduled.job, ids[1], "priority 9 admits first");
+    assert_eq!(qrio.status(background)?, JobState::Cancelled);
+    println!("\nfull transition history of '{}':", ids[1]);
+    for (at, state) in &deadline_done.history {
+        println!("  t={at} {state}");
+    }
+    Ok(())
+}

@@ -152,3 +152,51 @@ fn registry_tracks_pushes_and_pulls() {
         .unwrap();
     assert_eq!(cluster.registry().pull_count(), 1);
 }
+
+/// Determinism audit pin: every user-visible listing of the cluster and the
+/// meta server iterates in sorted (BTree) order, independent of insertion
+/// order — the property batch draining, watch streams and bulk operations
+/// rely on. If a store ever regresses to a hash-ordered map, this test
+/// catches it.
+#[test]
+fn listings_iterate_in_sorted_order_regardless_of_insertion_order() {
+    let insertion_orders = [
+        vec!["zeta", "alpha", "mid"],
+        vec!["mid", "zeta", "alpha"],
+        vec!["alpha", "mid", "zeta"],
+    ];
+    for order in &insertion_orders {
+        let mut cluster = Cluster::new();
+        let mut meta = qrio_meta::MetaServer::new();
+        for name in order {
+            cluster.add_node(node(name, 6, 0.02)).unwrap();
+            meta.register_backend(Backend::uniform(*name, topology::line(6), 0.01, 0.02));
+            let (spec, image) = containerized_request(&format!("job-{name}"), 4);
+            cluster.push_image(image);
+            cluster.submit_job(spec).unwrap();
+        }
+        let node_names: Vec<&str> = cluster.nodes().map(|n| n.name()).collect();
+        assert_eq!(node_names, vec!["alpha", "mid", "zeta"]);
+        let job_names: Vec<&str> = cluster.jobs().map(|j| j.name()).collect();
+        assert_eq!(job_names, vec!["job-alpha", "job-mid", "job-zeta"]);
+        assert_eq!(
+            cluster.registry().image_names(),
+            vec![
+                "qrio/job-alpha:latest",
+                "qrio/job-mid:latest",
+                "qrio/job-zeta:latest"
+            ]
+        );
+        assert_eq!(meta.device_names(), vec!["alpha", "mid", "zeta"]);
+        // Load listings (the bulk telemetry feed) are name-ordered too.
+        let load_names: Vec<String> = cluster
+            .node_loads()
+            .into_iter()
+            .map(|(name, _)| name)
+            .collect();
+        assert_eq!(load_names, vec!["alpha", "mid", "zeta"]);
+        // The FIFO submission queue, by contrast, keeps submission order.
+        let expected_queue: Vec<String> = order.iter().map(|name| format!("job-{name}")).collect();
+        assert_eq!(cluster.pending_jobs(), expected_queue);
+    }
+}

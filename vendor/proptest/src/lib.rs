@@ -63,6 +63,34 @@ pub mod strategy {
     range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 }
 
+/// Strategies over collections, mirroring `proptest::collection`.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::StdRng;
+    use rand::Rng;
+
+    /// A strategy producing `Vec`s of values drawn from an element strategy,
+    /// with a length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    /// `Vec` strategy constructor, mirroring `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
 /// Test-runner plumbing used by the generated tests.
 pub mod test_runner {
     pub use super::ProptestConfig;
@@ -160,6 +188,14 @@ mod tests {
         fn arithmetic_holds(a in 0u32..1000, b in 0u32..1000) {
             prop_assert_eq!(a + b, b + a);
             prop_assert_ne!(a + b + 1, a + b);
+        }
+
+        #[test]
+        fn vec_strategy_respects_length_and_element_bounds(
+            values in crate::collection::vec(2u8..7, 1..5),
+        ) {
+            prop_assert!(!values.is_empty() && values.len() < 5);
+            prop_assert!(values.iter().all(|v| (2..7).contains(v)));
         }
     }
 
