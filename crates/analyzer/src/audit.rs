@@ -1,0 +1,239 @@
+//! The watch-log auditor: replay a [`JobEvent`] stream and assert the
+//! invariants the orchestrator promises its watchers.
+//!
+//! [`qrio::Qrio::watch`] exposes a Kubernetes-style event log; everything a
+//! client can know about job lifecycles flows through it. Auditing a full run
+//! (e.g. a loadgen scenario) therefore end-to-end checks the orchestrator's
+//! bookkeeping: sequence numbers are dense from zero (QL0301), each job's
+//! events chain correctly (`from` equals the previous `to`, QL0302), every
+//! observed transition is in the legality table (QL0303), no job is left
+//! non-terminal at the end of a drained run (QL0304), and no job enters
+//! `Running` twice (QL0305).
+
+use std::collections::BTreeMap;
+
+use qrio::{JobEvent, JobState};
+
+use crate::diag::{Diagnostic, LintCode, Location};
+
+/// Options controlling the audit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuditOptions {
+    /// Require every observed job to end in a terminal state — set for runs
+    /// that drained to completion, unset for mid-run snapshots.
+    pub require_terminal: bool,
+}
+
+impl Default for AuditOptions {
+    fn default() -> Self {
+        AuditOptions {
+            require_terminal: true,
+        }
+    }
+}
+
+/// Replay `events` and report every invariant violation.
+pub fn audit_watch_log(events: &[JobEvent], options: AuditOptions) -> Vec<Diagnostic> {
+    let subject = format!("watch log ({} events)", events.len());
+    let mut diagnostics = Vec::new();
+
+    // QL0301: seq must equal the event's index (dense from zero).
+    for (index, event) in events.iter().enumerate() {
+        if event.seq != index as u64 {
+            diagnostics.push(Diagnostic::new(
+                LintCode::NonDenseSequence,
+                Location::at(&subject, format!("event #{index}")),
+                format!("expected seq {index}, found {}", event.seq),
+            ));
+        }
+    }
+
+    // Per-job replay.
+    let mut last_state: BTreeMap<&str, JobState> = BTreeMap::new();
+    let mut running_entries: BTreeMap<&str, usize> = BTreeMap::new();
+    for event in events {
+        let job = event.job.as_str();
+        let previous = last_state.get(job).copied();
+
+        // QL0302: the event's `from` must equal the job's previous `to`
+        // (None for the very first event of the job, which must be the
+        // Submitted entry).
+        let chain_ok = match (previous, event.from) {
+            (None, None) => event.to == JobState::Submitted,
+            (Some(last), Some(from)) => last == from,
+            _ => false,
+        };
+        if !chain_ok {
+            diagnostics.push(Diagnostic::new(
+                LintCode::BrokenEventChain,
+                Location::at(&subject, format!("seq {} (job '{job}')", event.seq)),
+                format!(
+                    "event claims {:?} -> {}, but the job's previous state was {:?}",
+                    event.from, event.to, previous
+                ),
+            ));
+        }
+
+        // QL0303: the observed transition must be legal.
+        if let Some(from) = event.from {
+            if !from.can_transition_to(event.to) {
+                diagnostics.push(Diagnostic::new(
+                    LintCode::IllegalTransition,
+                    Location::at(&subject, format!("seq {} (job '{job}')", event.seq)),
+                    format!(
+                        "transition {from} -> {} is outside the legality table",
+                        event.to
+                    ),
+                ));
+            }
+        }
+
+        // QL0305: Running must be entered at most once.
+        if event.to == JobState::Running {
+            let entries = running_entries.entry(job).or_insert(0);
+            *entries += 1;
+            if *entries > 1 {
+                diagnostics.push(Diagnostic::new(
+                    LintCode::DoubleRunning,
+                    Location::at(&subject, format!("seq {} (job '{job}')", event.seq)),
+                    format!("job entered Running {entries} times"),
+                ));
+            }
+        }
+
+        last_state.insert(job, event.to);
+    }
+
+    // QL0304: at the end of a drained run, no job may be left behind.
+    if options.require_terminal {
+        for (job, state) in &last_state {
+            if !state.is_terminal() {
+                diagnostics.push(Diagnostic::new(
+                    LintCode::JobLost,
+                    Location::at(&subject, format!("job '{job}'")),
+                    format!("job's last observed state is {state}, not a terminal state"),
+                ));
+            }
+        }
+    }
+
+    diagnostics
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrio::JobId;
+
+    fn event(seq: u64, job: &str, from: Option<JobState>, to: JobState) -> JobEvent {
+        JobEvent {
+            seq,
+            at: 0,
+            job: JobId::new(job),
+            from,
+            to,
+            node: None,
+            reason: None,
+        }
+    }
+
+    fn healthy_log() -> Vec<JobEvent> {
+        use JobState::*;
+        vec![
+            event(0, "a", None, Submitted),
+            event(1, "a", Some(Submitted), Queued),
+            event(2, "b", None, Submitted),
+            event(3, "b", Some(Submitted), Queued),
+            event(4, "a", Some(Queued), Scheduled),
+            event(5, "a", Some(Scheduled), Running),
+            event(6, "a", Some(Running), Succeeded),
+            event(7, "b", Some(Queued), Failed),
+        ]
+    }
+
+    #[test]
+    fn a_healthy_log_audits_clean() {
+        assert!(audit_watch_log(&healthy_log(), AuditOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn sparse_sequence_numbers_are_flagged() {
+        let mut log = healthy_log();
+        log[3].seq = 30;
+        let diags = audit_watch_log(&log, AuditOptions::default());
+        assert!(diags.iter().any(|d| d.code == LintCode::NonDenseSequence));
+    }
+
+    #[test]
+    fn broken_chains_are_flagged() {
+        use JobState::*;
+        let log = vec![
+            event(0, "a", None, Submitted),
+            event(1, "a", Some(Queued), Scheduled), // skipped the Queued entry
+        ];
+        let diags = audit_watch_log(
+            &log,
+            AuditOptions {
+                require_terminal: false,
+            },
+        );
+        assert!(diags.iter().any(|d| d.code == LintCode::BrokenEventChain));
+    }
+
+    #[test]
+    fn illegal_transitions_are_flagged() {
+        use JobState::*;
+        let log = vec![
+            event(0, "a", None, Submitted),
+            event(1, "a", Some(Submitted), Queued),
+            event(2, "a", Some(Queued), Running), // skips Scheduled: illegal
+        ];
+        let diags = audit_watch_log(
+            &log,
+            AuditOptions {
+                require_terminal: false,
+            },
+        );
+        assert!(diags.iter().any(|d| d.code == LintCode::IllegalTransition));
+    }
+
+    #[test]
+    fn lost_jobs_are_flagged_only_when_required() {
+        use JobState::*;
+        let log = vec![
+            event(0, "a", None, Submitted),
+            event(1, "a", Some(Submitted), Queued),
+        ];
+        let strict = audit_watch_log(&log, AuditOptions::default());
+        assert!(strict.iter().any(|d| d.code == LintCode::JobLost));
+        let lax = audit_watch_log(
+            &log,
+            AuditOptions {
+                require_terminal: false,
+            },
+        );
+        assert!(!lax.iter().any(|d| d.code == LintCode::JobLost));
+    }
+
+    #[test]
+    fn double_running_is_flagged() {
+        use JobState::*;
+        // Craft a log whose individual arcs are legal-looking via the rebind
+        // path but which runs the job twice (from-states forged to match).
+        let log = vec![
+            event(0, "a", None, Submitted),
+            event(1, "a", Some(Submitted), Queued),
+            event(2, "a", Some(Queued), Scheduled),
+            event(3, "a", Some(Scheduled), Running),
+            event(4, "a", Some(Running), Succeeded),
+            event(5, "a", Some(Scheduled), Running), // forged second run
+        ];
+        let diags = audit_watch_log(
+            &log,
+            AuditOptions {
+                require_terminal: false,
+            },
+        );
+        assert!(diags.iter().any(|d| d.code == LintCode::DoubleRunning));
+    }
+}

@@ -1,0 +1,377 @@
+//! `qrio-lint`: the command-line front end of `qrio-analyzer`.
+//!
+//! Runs every pass family over a set of scenario files plus the shipped
+//! circuit corpus, prints compiler-style diagnostics, and optionally writes a
+//! JSON artifact for CI.
+//!
+//! ```text
+//! qrio-lint [--json PATH] [--deny-warnings] [--self-check] [PATH...]
+//! ```
+//!
+//! `PATH` entries are scenario YAML files or directories of them (default:
+//! `scenarios/`). Exit status: `0` clean, `1` findings, `2` operational
+//! error (unreadable path, bad flag). `--self-check` instead runs seeded
+//! fixture violations and verifies each expected lint code fires — a
+//! self-test that the analyzer still catches what it claims to catch.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use qrio_analyzer::{
+    audit_watch_log, lint_engine_fit, lint_logical_circuit, lint_requirements, lint_routed_circuit,
+    lint_scenario, lint_transpile_result, verify_job_state_machine, AuditOptions, Diagnostic,
+    EngineHint, LintCode, Location, Report, TargetView,
+};
+use qrio_backend::{topology, Backend};
+use qrio_circuit::{library, Circuit};
+use qrio_cluster::DeviceRequirements;
+use qrio_loadgen::{Scenario, WorkloadCircuit};
+use qrio_meta::{builtin_registry, FidelityRankingConfig, StrategyRegistry};
+use qrio_transpiler::transpile;
+
+/// Parsed command line.
+struct Options {
+    json_path: Option<PathBuf>,
+    deny_warnings: bool,
+    self_check: bool,
+    paths: Vec<PathBuf>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        json_path: None,
+        deny_warnings: false,
+        self_check: false,
+        paths: Vec::new(),
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--json" => {
+                let path = iter.next().ok_or("--json needs a file path")?;
+                options.json_path = Some(PathBuf::from(path));
+            }
+            "--deny-warnings" => options.deny_warnings = true,
+            "--self-check" => options.self_check = true,
+            "--help" | "-h" => {
+                return Err("usage: qrio-lint [--json PATH] [--deny-warnings] \
+                            [--self-check] [PATH...]"
+                    .into())
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag '{flag}'")),
+            path => options.paths.push(PathBuf::from(path)),
+        }
+    }
+    if options.paths.is_empty() {
+        options.paths.push(PathBuf::from("scenarios"));
+    }
+    Ok(options)
+}
+
+/// Expand files/directories into a sorted list of scenario YAML files.
+fn collect_scenarios(paths: &[PathBuf]) -> Result<Vec<PathBuf>, String> {
+    let mut files = Vec::new();
+    for path in paths {
+        if path.is_dir() {
+            let entries = fs::read_dir(path)
+                .map_err(|e| format!("cannot read directory '{}': {e}", path.display()))?;
+            for entry in entries {
+                let entry = entry
+                    .map_err(|e| format!("'{}': {e}", path.display()))?
+                    .path();
+                let is_yaml = entry
+                    .extension()
+                    .is_some_and(|ext| ext == "yaml" || ext == "yml");
+                if entry.is_file() && is_yaml {
+                    files.push(entry);
+                }
+            }
+        } else if path.is_file() {
+            files.push(path.clone());
+        } else {
+            return Err(format!("no such file or directory: '{}'", path.display()));
+        }
+    }
+    files.sort();
+    files.dedup();
+    Ok(files)
+}
+
+/// The engine a tenant's circuit family runs on in the simulator.
+fn engine_hint(circuit: WorkloadCircuit) -> EngineHint {
+    match circuit {
+        // Grover circuits are non-Clifford by construction.
+        WorkloadCircuit::Grover => EngineHint::Statevector,
+        WorkloadCircuit::Bv | WorkloadCircuit::Ghz | WorkloadCircuit::RandomClifford => {
+            EngineHint::Stabilizer
+        }
+    }
+}
+
+/// Lint one scenario file end to end: parse, spec lints, then each tenant's
+/// representative circuit both logically and transpiled onto every fleet
+/// device that can host it.
+fn lint_scenario_file(path: &Path, registry: &StrategyRegistry, report: &mut Report) {
+    let subject = path.display().to_string();
+    let text = match fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            report.push(Diagnostic::new(
+                LintCode::ScenarioInvalid,
+                Location::subject(&subject),
+                format!("cannot read file: {e}"),
+            ));
+            return;
+        }
+    };
+    let scenario = match Scenario::from_yaml(&text) {
+        Ok(scenario) => scenario,
+        Err(e) => {
+            report.push(Diagnostic::new(
+                LintCode::ScenarioInvalid,
+                Location::subject(&subject),
+                e.to_string(),
+            ));
+            return;
+        }
+    };
+
+    report.extend(lint_scenario(&scenario, registry));
+
+    for tenant in &scenario.tenants {
+        // Job #0 is representative: the family and width are fixed per
+        // tenant, only secrets/marks/seeds vary across the stream.
+        let Ok(circuit) = tenant.circuit_for(0) else {
+            continue; // from_yaml validated this already
+        };
+        let name = format!("{}/{}", scenario.name, tenant.name);
+        report.extend(lint_logical_circuit(&circuit, &name));
+        report.extend(lint_engine_fit(
+            &circuit,
+            &name,
+            engine_hint(tenant.circuit),
+        ));
+        for device in &scenario.fleet {
+            if device.qubits < tenant.qubits {
+                continue;
+            }
+            let backend = device.backend();
+            match transpile(&circuit, &backend) {
+                Ok(result) => report.extend(lint_transpile_result(&result, &name)),
+                Err(e) => report.push(Diagnostic::new(
+                    LintCode::ScenarioInvalid,
+                    Location::at(&subject, format!("tenant '{}'", tenant.name)),
+                    format!("transpilation for device '{}' failed: {e}", device.name),
+                )),
+            }
+        }
+    }
+}
+
+/// Lint the shipped figure/benchmark circuit corpus: every library circuit
+/// the experiments use, transpiled onto a small heterogeneous fleet, must be
+/// routed-lint clean — the regression net for the CCX-on-uncoupled-pairs bug
+/// class.
+fn lint_circuit_corpus(report: &mut Report) {
+    let corpus: Vec<(&str, Circuit)> = vec![
+        (
+            "bv_10110",
+            library::bernstein_vazirani_with_ancilla(5, 0b10110).expect("library circuit"),
+        ),
+        ("ghz_6", library::ghz(6).expect("library circuit")),
+        ("qft_4", library::qft(4).expect("library circuit")),
+        ("grover_3", library::grover(3, 5).expect("library circuit")),
+        (
+            "clifford_6x6",
+            library::random_clifford_circuit(6, 6, 7).expect("library circuit"),
+        ),
+    ];
+    let fleet = [
+        Backend::uniform("lint-line", topology::line(8), 0.001, 0.01),
+        Backend::uniform("lint-grid", topology::grid(3, 3), 0.002, 0.02),
+        Backend::uniform("lint-ring", topology::ring(8), 0.004, 0.04),
+    ];
+    for (name, circuit) in &corpus {
+        report.extend(lint_logical_circuit(circuit, name));
+        for backend in &fleet {
+            match transpile(circuit, backend) {
+                Ok(result) => report.extend(lint_transpile_result(&result, name)),
+                Err(e) => report.push(Diagnostic::new(
+                    LintCode::ScenarioInvalid,
+                    Location::subject(format!("circuit corpus '{name}'")),
+                    format!("transpilation for device '{}' failed: {e}", backend.name()),
+                )),
+            }
+        }
+    }
+}
+
+/// Run seeded violations and check each expected code fires. Returns the
+/// failures (empty = the analyzer still catches everything it claims to).
+fn self_check() -> Vec<String> {
+    let mut failures = Vec::new();
+    let mut expect = |label: &str, code: LintCode, diagnostics: Vec<Diagnostic>| {
+        let fired = diagnostics.iter().any(|d| d.code == code);
+        let status = if fired { "ok" } else { "MISSED" };
+        println!("self-check: {label:<38} {} ... {status}", code.code());
+        if !fired {
+            failures.push(format!("{label}: expected {} to fire", code.code()));
+        }
+    };
+
+    // 1. A CX across an uncoupled pair on a line device.
+    let mut uncoupled = Circuit::new(5, 5);
+    uncoupled.h(0).expect("fixture");
+    uncoupled.cx(0, 4).expect("fixture");
+    uncoupled.measure_all().expect("fixture");
+    let line = Backend::uniform("line-5", topology::line(5), 0.01, 0.02);
+    expect(
+        "uncoupled CX on line device",
+        LintCode::UncoupledTwoQubitGate,
+        lint_routed_circuit(&uncoupled, "uncoupled-cx", TargetView::from_backend(&line)),
+    );
+
+    // 2. A T gate in a circuit bound for the stabilizer engine.
+    let mut t_circuit = Circuit::new(2, 2);
+    t_circuit.h(0).expect("fixture");
+    t_circuit.t(0).expect("fixture");
+    t_circuit.cx(0, 1).expect("fixture");
+    t_circuit.measure_all().expect("fixture");
+    expect(
+        "T gate bound for stabilizer engine",
+        LintCode::NonCliffordForStabilizer,
+        lint_engine_fit(&t_circuit, "t-job", EngineHint::Stabilizer),
+    );
+
+    // 3. A scenario event after the arrival horizon.
+    let late_event = "scenario: self-check\n\
+                      seed: 1\n\
+                      durationMs: 3000\n\
+                      maxJobs: 10\n\
+                      fleet:\n\
+                      - device: alpha\n\
+                      \x20 qubits: 6\n\
+                      tenants:\n\
+                      - tenant: t\n\
+                      \x20 strategy: min_queue\n\
+                      \x20 circuit: ghz\n\
+                      \x20 qubits: 4\n\
+                      \x20 shots: 16\n\
+                      \x20 ratePerSec: 1.0\n\
+                      events:\n\
+                      - atMs: 5000\n\
+                      \x20 kind: outage\n\
+                      \x20 device: alpha\n\
+                      \x20 downMs: 100\n";
+    let registry = builtin_registry(FidelityRankingConfig::default());
+    let horizon_diags = match Scenario::from_yaml(late_event) {
+        Ok(scenario) => lint_scenario(&scenario, &registry),
+        // An unparsable fixture yields no diagnostics, so the expectation
+        // below fails and reports the miss.
+        Err(_) => Vec::new(),
+    };
+    expect(
+        "scenario event beyond the horizon",
+        LintCode::EventOutsideHorizon,
+        horizon_diags,
+    );
+
+    // 4. Requirements no fleet device satisfies.
+    let fleet = [
+        Backend::uniform("small-a", topology::line(5), 0.01, 0.05),
+        Backend::uniform("small-b", topology::line(8), 0.02, 0.10),
+    ];
+    let requirements = DeviceRequirements {
+        min_qubits: Some(40),
+        ..DeviceRequirements::default()
+    };
+    expect(
+        "unsatisfiable device requirements",
+        LintCode::UnsatisfiableRequirements,
+        lint_requirements(&requirements, &fleet, "job 'picky'"),
+    );
+
+    // 5. The watch-log auditor rejects a log that loses a job.
+    let truncated = {
+        use qrio::{JobEvent, JobId, JobState};
+        vec![JobEvent {
+            seq: 0,
+            at: 0,
+            job: JobId::new("lost-job"),
+            from: None,
+            to: JobState::Submitted,
+            node: None,
+            reason: None,
+        }]
+    };
+    expect(
+        "watch log losing a non-terminal job",
+        LintCode::JobLost,
+        audit_watch_log(&truncated, AuditOptions::default()),
+    );
+
+    failures
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("qrio-lint: {message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if options.self_check {
+        let failures = self_check();
+        return if failures.is_empty() {
+            println!("self-check: all seeded violations detected");
+            ExitCode::SUCCESS
+        } else {
+            for failure in &failures {
+                eprintln!("qrio-lint: self-check failed: {failure}");
+            }
+            ExitCode::from(2)
+        };
+    }
+
+    let files = match collect_scenarios(&options.paths) {
+        Ok(files) => files,
+        Err(message) => {
+            eprintln!("qrio-lint: {message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let registry = builtin_registry(FidelityRankingConfig::default());
+    let mut report = Report::new();
+
+    // The state machine is part of every run: the lifecycle contract must
+    // hold no matter which scenarios are being linted.
+    report.extend(verify_job_state_machine().diagnostics);
+    lint_circuit_corpus(&mut report);
+    for file in &files {
+        lint_scenario_file(file, &registry, &mut report);
+    }
+
+    print!("{}", report.render_human());
+    println!(
+        "linted {} scenario file(s) and the builtin circuit corpus",
+        files.len()
+    );
+
+    if let Some(json_path) = &options.json_path {
+        if let Err(e) = fs::write(json_path, report.to_json()) {
+            eprintln!("qrio-lint: cannot write '{}': {e}", json_path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if report.fails(options.deny_warnings) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

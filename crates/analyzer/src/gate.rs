@@ -1,0 +1,181 @@
+//! The lint-backed admission gate: runs the analyzer's circuit and spec
+//! passes inside [`qrio::Qrio::enqueue`], so doomed jobs are rejected before
+//! any metadata, image or queue slot is spent on them — the "fail at
+//! submission, not in the queue" discipline cloud QPU time demands.
+
+use qrio::{AdmissionGate, JobRequest};
+use qrio_backend::Backend;
+use qrio_circuit::qasm;
+
+use crate::circuit_lints::{lint_logical_circuit, lint_width_against_fleet};
+use crate::diag::Report;
+use crate::spec_lints::lint_requirements;
+
+/// An [`AdmissionGate`] that lints each request against the registered fleet.
+///
+/// Error-severity findings always reject; warnings reject only when
+/// [`LintGate::deny_warnings`] is set. The rejection reason is the rendered
+/// diagnostic list, so callers see exactly what a `qrio-lint` run would.
+///
+/// # Examples
+///
+/// ```
+/// use qrio::{Qrio, QrioError, JobRequestBuilder};
+/// use qrio_analyzer::LintGate;
+/// use qrio_backend::{topology, Backend};
+///
+/// let mut qrio = Qrio::new();
+/// qrio.add_device(Backend::uniform("dev", topology::line(5), 0.01, 0.02))
+///     .unwrap();
+/// qrio.set_admission_gate(Box::new(LintGate::new()));
+///
+/// // An 8-qubit job cannot fit the 5-qubit fleet: rejected at enqueue.
+/// let request = JobRequestBuilder::new()
+///     .with_circuit(&qrio_circuit::library::ghz(8).unwrap())
+///     .job_name("too-wide")
+///     .min_queue()
+///     .build()
+///     .unwrap();
+/// assert!(matches!(
+///     qrio.enqueue(&request),
+///     Err(QrioError::AdmissionRejected { .. })
+/// ));
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LintGate {
+    deny_warnings: bool,
+}
+
+impl LintGate {
+    /// A gate rejecting on error-severity findings only.
+    pub fn new() -> Self {
+        LintGate::default()
+    }
+
+    /// Escalate: reject on any finding, warnings included.
+    #[must_use]
+    pub fn deny_warnings(mut self) -> Self {
+        self.deny_warnings = true;
+        self
+    }
+
+    /// Run the admission passes over one request, returning the full report
+    /// (also usable outside the enqueue path, e.g. from a pre-submission UI).
+    pub fn analyze(&self, request: &JobRequest, fleet: &[Backend]) -> Report {
+        let mut report = Report::new();
+        let subject = format!("job '{}'", request.job_name);
+        if !request.qasm.is_empty() {
+            // An unparsable circuit is rejected by enqueue itself; the gate
+            // only lints what parses.
+            if let Ok(circuit) = qasm::parse_qasm(&request.qasm) {
+                report.extend(lint_logical_circuit(&circuit, &request.job_name));
+                report.extend(lint_width_against_fleet(
+                    circuit.num_qubits(),
+                    fleet,
+                    &subject,
+                ));
+            }
+        } else {
+            report.extend(lint_width_against_fleet(
+                request.num_qubits,
+                fleet,
+                &subject,
+            ));
+        }
+        report.extend(lint_requirements(&request.requirements, fleet, &subject));
+        report
+    }
+}
+
+impl AdmissionGate for LintGate {
+    fn check(&self, request: &JobRequest, fleet: &[Backend]) -> Result<(), String> {
+        let report = self.analyze(request, fleet);
+        if report.fails(self.deny_warnings) {
+            Err(report.render_human().trim_end().to_string())
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrio::{JobRequestBuilder, Qrio, QrioError};
+    use qrio_backend::topology;
+    use qrio_circuit::library;
+    use qrio_cluster::DeviceRequirements;
+
+    fn deployment() -> Qrio {
+        let mut qrio = Qrio::new();
+        qrio.add_device(Backend::uniform("dev-a", topology::line(6), 0.01, 0.02))
+            .unwrap();
+        qrio.add_device(Backend::uniform("dev-b", topology::grid(2, 3), 0.02, 0.04))
+            .unwrap();
+        qrio.set_admission_gate(Box::new(LintGate::new()));
+        qrio
+    }
+
+    #[test]
+    fn clean_jobs_pass_the_gate() {
+        let mut qrio = deployment();
+        let request = JobRequestBuilder::new()
+            .with_circuit(&library::ghz(4).unwrap())
+            .job_name("fits")
+            .min_queue()
+            .build()
+            .unwrap();
+        let _ = qrio.enqueue(&request).unwrap();
+    }
+
+    #[test]
+    fn oversized_jobs_are_rejected_with_the_lint_code() {
+        let mut qrio = deployment();
+        let request = JobRequestBuilder::new()
+            .with_circuit(&library::ghz(9).unwrap())
+            .job_name("too-wide")
+            .min_queue()
+            .build()
+            .unwrap();
+        let err = qrio.enqueue(&request).unwrap_err();
+        let QrioError::AdmissionRejected { job, reason } = err else {
+            panic!("expected AdmissionRejected, got {err:?}");
+        };
+        assert_eq!(job, "too-wide");
+        assert!(reason.contains("QL0003"), "{reason}");
+        // Rejection left no trace: the same name can be enqueued once fixed.
+        assert!(qrio.cluster().job("too-wide").is_none());
+    }
+
+    #[test]
+    fn unsatisfiable_requirements_are_rejected() {
+        let mut qrio = deployment();
+        let request = JobRequestBuilder::new()
+            .with_circuit(&library::ghz(4).unwrap())
+            .job_name("picky")
+            .requirements(DeviceRequirements {
+                min_qubits: Some(40),
+                ..DeviceRequirements::default()
+            })
+            .min_queue()
+            .build()
+            .unwrap();
+        let err = qrio.enqueue(&request).unwrap_err();
+        assert!(err.to_string().contains("QL0101"), "{err}");
+    }
+
+    #[test]
+    fn clearing_the_gate_restores_unchecked_admission() {
+        let mut qrio = deployment();
+        qrio.clear_admission_gate();
+        let request = JobRequestBuilder::new()
+            .with_circuit(&library::ghz(9).unwrap())
+            .job_name("too-wide")
+            .min_queue()
+            .build()
+            .unwrap();
+        // Without the gate the job is admitted (and will fail later in
+        // scheduling) — the pre-gate behavior.
+        let _ = qrio.enqueue(&request).unwrap();
+    }
+}

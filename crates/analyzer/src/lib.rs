@@ -1,0 +1,47 @@
+//! # qrio-analyzer
+//!
+//! Static analysis for the QRIO quantum-cloud orchestrator (reproduction of
+//! *Empowering the Quantum Cloud User with QRIO*, IISWC 2024): lints for
+//! circuits and workload specs, and exhaustive verification of the job
+//! lifecycle — catching user mistakes *before* jobs burn scarce QPU time.
+//!
+//! Every check reports through one [`diag`]nostic framework (stable `QLnnnn`
+//! codes, severities, locations, human and JSON rendering) and belongs to one
+//! of three pass families:
+//!
+//! * [`circuit_lints`] — structural circuit checks at two stages: logical
+//!   (dead qubits, gates after terminal measurement, missing measurements,
+//!   stabilizer-engine fit) and routed (two-qubit gates on uncoupled pairs,
+//!   gates outside the device basis, width vs. capacity) — the routed stage
+//!   verifies against the routing metadata the transpiler emits.
+//! * [`spec_lints`] — semantic checks on job and scenario specs:
+//!   requirements no fleet device satisfies, scenario events beyond the
+//!   arrival horizon, offered load beyond fleet capacity, strategy
+//!   parameters the registered strategy would silently ignore.
+//! * [`state_machine`] and [`audit`] — model-checking of the `JobState`
+//!   transition table (reachability, terminal closure, liveness) and replay
+//!   auditing of `JobEvent` watch logs from real runs.
+//!
+//! The [`LintGate`] plugs the relevant passes into [`qrio::Qrio::enqueue`]
+//! as a pre-admission check, and the `qrio-lint` binary runs everything over
+//! scenario files and the shipped circuit corpus for CI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod circuit_lints;
+pub mod diag;
+pub mod gate;
+pub mod spec_lints;
+pub mod state_machine;
+
+pub use audit::{audit_watch_log, AuditOptions};
+pub use circuit_lints::{
+    lint_engine_fit, lint_logical_circuit, lint_routed_circuit, lint_transpile_result,
+    lint_width_against_fleet, EngineHint, TargetView,
+};
+pub use diag::{Diagnostic, LintCode, Location, Report, Severity};
+pub use gate::LintGate;
+pub use spec_lints::{lint_requirements, lint_scenario, lint_strategy_spec};
+pub use state_machine::{verify_job_state_machine, StateMachineReport};

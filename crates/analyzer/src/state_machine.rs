@@ -1,0 +1,146 @@
+//! Exhaustive verification of the [`JobState`] transition table.
+//!
+//! The lifecycle legality table ([`JobState::can_transition_to`]) is the
+//! contract every component of the orchestrator writes against. This pass
+//! model-checks the table itself, by brute force over the (tiny, finite)
+//! state space:
+//!
+//! 1. **Reachability** — every state is reachable from `Submitted`
+//!    (QL0201 otherwise): an unreachable state is dead code in the API.
+//! 2. **Terminal closure** — terminal states have no outgoing arcs
+//!    (QL0202 otherwise): "terminal" must mean terminal.
+//! 3. **Liveness** — every non-terminal state can reach some terminal state
+//!    (QL0203 otherwise): no job can get stuck in a live-lock region.
+
+use qrio::JobState;
+
+use crate::diag::{Diagnostic, LintCode, Location};
+
+/// The initial state of the job lifecycle.
+const INITIAL: JobState = JobState::Submitted;
+
+fn successors(state: JobState) -> Vec<JobState> {
+    JobState::ALL
+        .into_iter()
+        .filter(|&next| state.can_transition_to(next))
+        .collect()
+}
+
+/// States reachable from `from` by following legal transitions (excluding
+/// `from` itself unless a cycle returns to it).
+fn reachable_from(from: JobState) -> Vec<JobState> {
+    let mut seen = vec![from];
+    let mut frontier = vec![from];
+    while let Some(state) = frontier.pop() {
+        for next in successors(state) {
+            if !seen.contains(&next) {
+                seen.push(next);
+                frontier.push(next);
+            }
+        }
+    }
+    seen
+}
+
+/// A machine-readable summary of the verification, alongside the diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateMachineReport {
+    /// Every legal arc of the table, in `JobState::ALL` order.
+    pub transitions: Vec<(JobState, JobState)>,
+    /// States reachable from the initial state.
+    pub reachable: Vec<JobState>,
+    /// Verification findings (empty when all three properties hold).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl StateMachineReport {
+    /// Whether all three transition-table properties hold.
+    pub fn verified(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Exhaustively check the three properties of the `JobState` machine.
+pub fn verify_job_state_machine() -> StateMachineReport {
+    let subject = "JobState transition table";
+    let mut diagnostics = Vec::new();
+
+    let transitions: Vec<(JobState, JobState)> = JobState::ALL
+        .into_iter()
+        .flat_map(|from| successors(from).into_iter().map(move |to| (from, to)))
+        .collect();
+
+    // Property 1: every state is reachable from the initial state.
+    let reachable = reachable_from(INITIAL);
+    for state in JobState::ALL {
+        if !reachable.contains(&state) {
+            diagnostics.push(Diagnostic::new(
+                LintCode::UnreachableState,
+                Location::at(subject, format!("state {state}")),
+                format!("{state} is unreachable from {INITIAL}"),
+            ));
+        }
+    }
+
+    // Property 2: terminal states have no outgoing arcs.
+    for state in JobState::ALL.into_iter().filter(|s| s.is_terminal()) {
+        for next in successors(state) {
+            diagnostics.push(Diagnostic::new(
+                LintCode::TerminalHasExit,
+                Location::at(subject, format!("state {state}")),
+                format!("terminal state {state} allows a transition to {next}"),
+            ));
+        }
+    }
+
+    // Property 3: every non-terminal state can reach a terminal state.
+    for state in JobState::ALL.into_iter().filter(|s| !s.is_terminal()) {
+        let escapes = reachable_from(state).iter().any(|s| s.is_terminal());
+        if !escapes {
+            diagnostics.push(Diagnostic::new(
+                LintCode::NoPathToTerminal,
+                Location::at(subject, format!("state {state}")),
+                format!("no terminal state is reachable from {state}: jobs could be stuck forever"),
+            ));
+        }
+    }
+
+    StateMachineReport {
+        transitions,
+        reachable,
+        diagnostics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_shipped_table_verifies() {
+        let report = verify_job_state_machine();
+        assert!(report.verified(), "{:?}", report.diagnostics);
+        assert_eq!(report.reachable.len(), JobState::ALL.len());
+    }
+
+    #[test]
+    fn the_table_matches_the_documented_arcs() {
+        let report = verify_job_state_machine();
+        use JobState::*;
+        let expected = [
+            (Submitted, Queued),
+            (Queued, Scheduled),
+            (Queued, Failed),
+            (Queued, Cancelled),
+            (Scheduled, Scheduled),
+            (Scheduled, Running),
+            (Scheduled, Cancelled),
+            (Running, Succeeded),
+            (Running, Failed),
+        ];
+        assert_eq!(report.transitions.len(), expected.len());
+        for arc in expected {
+            assert!(report.transitions.contains(&arc), "missing arc {arc:?}");
+        }
+    }
+}

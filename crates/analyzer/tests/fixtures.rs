@@ -1,0 +1,116 @@
+//! The acceptance fixtures: each seeded violation class is flagged with its
+//! stable code, and every shipped scenario lints clean end to end.
+
+use std::path::PathBuf;
+
+use qrio_analyzer::{
+    lint_engine_fit, lint_logical_circuit, lint_requirements, lint_routed_circuit, lint_scenario,
+    lint_transpile_result, EngineHint, LintCode, TargetView,
+};
+use qrio_backend::{topology, Backend};
+use qrio_circuit::Circuit;
+use qrio_cluster::DeviceRequirements;
+use qrio_loadgen::Scenario;
+use qrio_meta::{builtin_registry, FidelityRankingConfig};
+
+fn scenarios_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+#[test]
+fn uncoupled_cx_fixture_is_flagged() {
+    let mut circuit = Circuit::new(5, 5);
+    circuit.h(0).unwrap();
+    circuit.cx(0, 4).unwrap(); // line(5) couples only neighbors
+    circuit.measure_all().unwrap();
+    let backend = Backend::uniform("line-5", topology::line(5), 0.01, 0.02);
+    let diags = lint_routed_circuit(&circuit, "uncoupled", TargetView::from_backend(&backend));
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.code == LintCode::UncoupledTwoQubitGate),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn t_gate_bound_for_stabilizer_is_flagged() {
+    let mut circuit = Circuit::new(2, 2);
+    circuit.h(0).unwrap();
+    circuit.t(0).unwrap();
+    circuit.cx(0, 1).unwrap();
+    circuit.measure_all().unwrap();
+    let diags = lint_engine_fit(&circuit, "t-job", EngineHint::Stabilizer);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].code, LintCode::NonCliffordForStabilizer);
+}
+
+#[test]
+fn out_of_horizon_event_is_flagged() {
+    let text = std::fs::read_to_string(scenarios_dir().join("cloud_smoke.yaml")).unwrap();
+    // Push the outage past the horizon; everything else stays shipped-clean.
+    let text = text.replace("atMs: 8000", "atMs: 999000");
+    let scenario = Scenario::from_yaml(&text).unwrap();
+    let registry = builtin_registry(FidelityRankingConfig::default());
+    let diags = lint_scenario(&scenario, &registry);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.code == LintCode::EventOutsideHorizon),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn unsatisfiable_requirements_fixture_is_flagged() {
+    let fleet = [
+        Backend::uniform("a", topology::line(5), 0.01, 0.05),
+        Backend::uniform("b", topology::grid(2, 4), 0.02, 0.10),
+    ];
+    let requirements = DeviceRequirements {
+        min_qubits: Some(40),
+        ..DeviceRequirements::default()
+    };
+    let diags = lint_requirements(&requirements, &fleet, "job 'picky'");
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].code, LintCode::UnsatisfiableRequirements);
+}
+
+/// Every scenario file shipped in `scenarios/` must lint clean, including
+/// each tenant's representative circuit transpiled onto every fleet device
+/// that can host it — the same sweep the `qrio-lint` binary runs in CI.
+#[test]
+fn shipped_scenarios_lint_clean() {
+    let registry = builtin_registry(FidelityRankingConfig::default());
+    let mut checked = 0;
+    for entry in std::fs::read_dir(scenarios_dir()).unwrap() {
+        let path = entry.unwrap().path();
+        if path
+            .extension()
+            .map_or(true, |ext| ext != "yaml" && ext != "yml")
+        {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let scenario =
+            Scenario::from_yaml(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let diags = lint_scenario(&scenario, &registry);
+        assert!(diags.is_empty(), "{}: {diags:?}", path.display());
+        for tenant in &scenario.tenants {
+            let circuit = tenant.circuit_for(0).unwrap();
+            let name = format!("{}/{}", scenario.name, tenant.name);
+            let logical = lint_logical_circuit(&circuit, &name);
+            assert!(logical.is_empty(), "{name}: {logical:?}");
+            for device in &scenario.fleet {
+                if device.qubits < tenant.qubits {
+                    continue;
+                }
+                let result = qrio_transpiler::transpile(&circuit, &device.backend()).unwrap();
+                let routed = lint_transpile_result(&result, &name);
+                assert!(routed.is_empty(), "{name} on {}: {routed:?}", device.name);
+            }
+        }
+        checked += 1;
+    }
+    assert!(checked >= 2, "expected the shipped scenarios to be present");
+}

@@ -1,0 +1,31 @@
+//! CI target for the lifecycle model check: the three transition-table
+//! properties (reachability, terminal closure, liveness) must hold on every
+//! build. A failure here means a `JobState::can_transition_to` edit broke the
+//! contract the orchestrator, cluster and auditor all write against.
+
+use qrio::JobState;
+use qrio_analyzer::verify_job_state_machine;
+
+#[test]
+fn job_state_machine_properties_hold() {
+    let report = verify_job_state_machine();
+    assert!(
+        report.verified(),
+        "lifecycle verification failed:\n{:#?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn every_state_is_reachable_and_accounted_for() {
+    let report = verify_job_state_machine();
+    for state in JobState::ALL {
+        assert!(
+            report.reachable.contains(&state),
+            "{state} unreachable from Submitted"
+        );
+    }
+    // The table is small and deliberate: any arc-count change should be a
+    // conscious decision, reviewed together with this number.
+    assert_eq!(report.transitions.len(), 9);
+}

@@ -1,0 +1,61 @@
+//! Property: transpiler output is always lint-clean.
+//!
+//! For any circuit and any device that can host it, the transpiled result
+//! must pass every routed-circuit lint — two-qubit gates only on coupled
+//! pairs, every gate in the device basis, width within capacity — verified
+//! against the routing metadata the result itself carries. This encodes the
+//! bug class the original seed shipped (a CCX decomposed onto uncoupled
+//! pairs) as a standing property rather than a single regression case.
+
+use proptest::prelude::*;
+use qrio_analyzer::lint_transpile_result;
+use qrio_backend::{topology, Backend, CouplingMap};
+use qrio_circuit::library;
+use qrio_transpiler::transpile;
+
+/// One of the six supported coupling-map families, sized to `qubits`.
+fn coupling(kind: u8, qubits: usize) -> CouplingMap {
+    match kind % 6 {
+        0 => topology::line(qubits),
+        1 => topology::ring(qubits.max(3)),
+        2 => topology::grid(2, qubits.div_ceil(2)),
+        3 => topology::star(qubits),
+        4 => topology::binary_tree(qubits),
+        _ => topology::fully_connected(qubits),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_circuits_transpile_lint_clean(
+        width in 2usize..7,
+        depth in 1usize..8,
+        seed in 0u64..10_000,
+        kind in 0u8..6,
+        headroom in 0usize..4,
+    ) {
+        let circuit = library::random_circuit(width, depth, seed).expect("library circuit");
+        let map = coupling(kind, width + headroom);
+        let backend = Backend::uniform("prop-dev", map, 0.01, 0.05);
+        let result = transpile(&circuit, &backend).expect("transpilation");
+        let diags = lint_transpile_result(&result, "random");
+        prop_assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn random_clifford_circuits_transpile_lint_clean(
+        width in 2usize..7,
+        depth in 1usize..7,
+        seed in 0u64..10_000,
+        kind in 0u8..6,
+    ) {
+        let circuit =
+            library::random_clifford_circuit(width, depth, seed).expect("library circuit");
+        let backend = Backend::uniform("prop-dev", coupling(kind, width), 0.01, 0.05);
+        let result = transpile(&circuit, &backend).expect("transpilation");
+        let diags = lint_transpile_result(&result, "clifford");
+        prop_assert!(diags.is_empty(), "{diags:?}");
+    }
+}

@@ -1,0 +1,29 @@
+//! End-to-end lifecycle audit: replay the watch log of a full `cloud_smoke`
+//! loadgen run through the auditor. A clean audit proves the orchestrator's
+//! bookkeeping over thousands of real transitions — dense sequence numbers,
+//! correctly chained per-job events, only legal transitions, no job lost, no
+//! double execution.
+
+use qrio_analyzer::{audit_watch_log, AuditOptions};
+use qrio_loadgen::{run_scenario_with_log, Scenario};
+
+#[test]
+fn cloud_smoke_watch_log_audits_clean() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../scenarios/cloud_smoke.yaml"
+    );
+    let text = std::fs::read_to_string(path).expect("shipped scenario");
+    let scenario = Scenario::from_yaml(&text).expect("shipped scenario parses");
+    let (report, log) = run_scenario_with_log(&scenario).expect("scenario runs");
+    assert!(report.completed > 0, "the run did no work");
+    assert!(
+        log.len() as u64 >= 4 * report.completed,
+        "each completed job emits at least Submitted/Queued/Scheduled/Running/terminal"
+    );
+    let diags = audit_watch_log(&log, AuditOptions::default());
+    assert!(
+        diags.is_empty(),
+        "watch-log audit found violations: {diags:#?}"
+    );
+}

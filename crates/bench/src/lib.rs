@@ -6,6 +6,7 @@
 //!
 //! This library crate only hosts small output helpers shared by the binaries.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 /// Print a two-column table with a title, matching the plain-text rendering

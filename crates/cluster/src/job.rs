@@ -170,6 +170,7 @@ pub struct StrategySpec {
 
 impl StrategySpec {
     /// A strategy reference with no parameters.
+    #[must_use]
     pub fn new(name: impl Into<String>) -> Self {
         StrategySpec {
             name: name.into(),
@@ -193,12 +194,14 @@ impl StrategySpec {
     /// Convenience constructor for the built-in Clifford-canary fidelity
     /// strategy (`"fidelity"`, parameter `target`). The name is merely a
     /// well-known registry key; this crate attaches no semantics to it.
+    #[must_use]
     pub fn fidelity(target: f64) -> Self {
         StrategySpec::new(strategy_names::FIDELITY).with_float(strategy_names::PARAM_TARGET, target)
     }
 
     /// Convenience constructor for the built-in topology-matching strategy
     /// (`"topology"`, parameters `edges` and `qubits`).
+    #[must_use]
     pub fn topology(edges: &[(usize, usize)], num_qubits: usize) -> Self {
         StrategySpec::new(strategy_names::TOPOLOGY)
             .with_param(
@@ -214,6 +217,7 @@ impl StrategySpec {
     /// Convenience constructor for the built-in weighted multi-objective
     /// strategy (`"weighted"`): canary-fidelity score blended with queue depth
     /// and classical utilization.
+    #[must_use]
     pub fn weighted(
         target: f64,
         fidelity_weight: f64,
@@ -229,6 +233,7 @@ impl StrategySpec {
 
     /// Convenience constructor for the built-in min-queue-time baseline
     /// strategy (`"min_queue"`, no parameters).
+    #[must_use]
     pub fn min_queue() -> Self {
         StrategySpec::new(strategy_names::MIN_QUEUE)
     }

@@ -21,6 +21,14 @@ pub enum QrioError {
     Meta(MetaError),
     /// The scheduler reported an error.
     Scheduler(SchedulerError),
+    /// An installed [`crate::AdmissionGate`] rejected the request before any
+    /// metadata or image was created.
+    AdmissionRejected {
+        /// The job name from the request.
+        job: String,
+        /// The gate's explanation (e.g. rendered lint diagnostics).
+        reason: String,
+    },
     /// No job with the given id was ever enqueued.
     UnknownJob(String),
     /// The job has not reached a terminal state yet, so it has no outcome.
@@ -37,6 +45,9 @@ impl fmt::Display for QrioError {
             QrioError::Cluster(err) => write!(f, "cluster error: {err}"),
             QrioError::Meta(err) => write!(f, "meta server error: {err}"),
             QrioError::Scheduler(err) => write!(f, "scheduler error: {err}"),
+            QrioError::AdmissionRejected { job, reason } => {
+                write!(f, "job '{job}' rejected by the admission gate: {reason}")
+            }
             QrioError::UnknownJob(id) => write!(f, "no job was enqueued under id '{id}'"),
             QrioError::JobNotFinished(id) => {
                 write!(f, "job '{id}' has not reached a terminal state yet")

@@ -67,6 +67,7 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod error;
@@ -80,7 +81,7 @@ pub mod visualizer;
 pub use error::QrioError;
 pub use lifecycle::{JobEvent, JobId, JobState, JobStatus, TickReport};
 pub use master_server::{containerize, ContainerizedJob};
-pub use orchestrator::{JobOutcome, Qrio};
+pub use orchestrator::{AdmissionGate, JobOutcome, Qrio};
 pub use qrio_meta::{DeviceTelemetry, FidelityRankingConfig};
 pub use runner::SimJobRunner;
 pub use visualizer::{JobRequest, JobRequestBuilder, TopologyDesigner};

@@ -32,6 +32,7 @@ use crate::error::QrioError;
 /// A `JobId` wraps the unique job name from the request, so deterministic
 /// callers (tests, simulators) can also reconstruct one with [`JobId::new`].
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[must_use = "a JobId is the only handle to the enqueued job's lifecycle"]
 pub struct JobId(String);
 
 impl JobId {

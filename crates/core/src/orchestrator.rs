@@ -30,6 +30,7 @@
 //! and [`Qrio::recalibrate_device`] applies a calibration refresh to the
 //! meta server and the cluster in one step.
 
+use std::fmt;
 use std::sync::Arc;
 
 use qrio_backend::Backend;
@@ -66,6 +67,26 @@ enum Admitted {
     Failed,
 }
 
+/// A pre-admission check consulted by [`Qrio::enqueue`] before any state is
+/// created for the request.
+///
+/// The gate sees the full request plus a snapshot of every registered device
+/// (cordoned or not — admission asks "could this ever run", not "can it run
+/// now"). Returning `Err` rejects the request with
+/// [`QrioError::AdmissionRejected`]; nothing is uploaded, containerized or
+/// queued in that case.
+///
+/// The `qrio-analyzer` crate ships a lint-based implementation; custom gates
+/// (quota checks, policy enforcement) implement this trait directly.
+pub trait AdmissionGate: fmt::Debug {
+    /// Check one request against the registered fleet. `Err(reason)` rejects.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason when the request must not be admitted.
+    fn check(&self, request: &JobRequest, fleet: &[Backend]) -> Result<(), String>;
+}
+
 /// The QRIO orchestrator, owning the cluster, the meta server and the job
 /// lifecycle store.
 #[derive(Debug)]
@@ -75,6 +96,7 @@ pub struct Qrio {
     runner: SimJobRunner,
     default_node_resources: Resources,
     lifecycle: LifecycleStore,
+    admission_gate: Option<Box<dyn AdmissionGate>>,
 }
 
 impl Qrio {
@@ -91,7 +113,20 @@ impl Qrio {
             runner: SimJobRunner::new(seed),
             default_node_resources: Resources::new(4000, 8192),
             lifecycle: LifecycleStore::default(),
+            admission_gate: None,
         }
+    }
+
+    /// Install a pre-admission gate: every subsequent [`Qrio::enqueue`] runs
+    /// it before creating any state, and a rejection surfaces as
+    /// [`QrioError::AdmissionRejected`]. Replaces any previous gate.
+    pub fn set_admission_gate(&mut self, gate: Box<dyn AdmissionGate>) {
+        self.admission_gate = Some(gate);
+    }
+
+    /// Remove the admission gate, restoring unchecked admission.
+    pub fn clear_admission_gate(&mut self) {
+        self.admission_gate = None;
     }
 
     /// Register a quantum device: adds a labelled node to the cluster and a
@@ -229,6 +264,17 @@ impl Qrio {
             return Err(QrioError::Cluster(ClusterError::DuplicateJob(
                 request.job_name.clone(),
             )));
+        }
+        // 0. Optional pre-admission gate: reject doomed requests before any
+        //    metadata, image or lifecycle state exists for them.
+        if let Some(gate) = &self.admission_gate {
+            let fleet: Vec<Backend> = self.cluster.nodes().map(|n| n.backend().clone()).collect();
+            if let Err(reason) = gate.check(request, &fleet) {
+                return Err(QrioError::AdmissionRejected {
+                    job: request.job_name.clone(),
+                    reason,
+                });
+            }
         }
         // 1. Visualizer → meta server: upload the job metadata (Table 1,
         //    generalized): the strategy reference plus the circuit when one
@@ -1043,7 +1089,7 @@ mod tests {
             .fidelity_target(0.9)
             .build()
             .unwrap();
-        qrio.enqueue(&request).unwrap();
+        let _ = qrio.enqueue(&request).unwrap();
         let before_meta = qrio.meta().job_count();
         assert!(matches!(
             qrio.enqueue(&request),

@@ -162,6 +162,7 @@ impl JobRequestBuilder {
 
     /// Step 0 (alternative): choose an in-memory circuit; it is serialized to
     /// QASM exactly as a file upload would be.
+    #[must_use]
     pub fn with_circuit(mut self, circuit: &Circuit) -> Self {
         self.qasm = Some(qasm::to_qasm(circuit));
         if self.num_qubits.is_none() {
@@ -171,30 +172,35 @@ impl JobRequestBuilder {
     }
 
     /// Step 1: job name.
+    #[must_use]
     pub fn job_name(mut self, name: impl Into<String>) -> Self {
         self.job_name = Some(name.into());
         self
     }
 
     /// Step 1: docker image name.
+    #[must_use]
     pub fn image_name(mut self, name: impl Into<String>) -> Self {
         self.image_name = Some(name.into());
         self
     }
 
     /// Step 1: override the number of qubits.
+    #[must_use]
     pub fn num_qubits(mut self, qubits: usize) -> Self {
         self.num_qubits = Some(qubits);
         self
     }
 
     /// Step 1: CPU (millicores) and memory (MiB) request.
+    #[must_use]
     pub fn resources(mut self, cpu_millis: u64, memory_mib: u64) -> Self {
         self.resources = Resources::new(cpu_millis, memory_mib);
         self
     }
 
     /// Number of shots to execute (defaults to 1024).
+    #[must_use]
     pub fn shots(mut self, shots: u64) -> Self {
         self.shots = shots;
         self
@@ -203,6 +209,7 @@ impl JobRequestBuilder {
     /// Step 1: scheduling priority (defaults to `0`). Higher-priority jobs
     /// are admitted to the cluster first when a batch is queued; jobs with
     /// equal priority keep their submission order.
+    #[must_use]
     pub fn priority(mut self, priority: u8) -> Self {
         self.priority = priority;
         self
@@ -212,12 +219,14 @@ impl JobRequestBuilder {
     /// [`ParallelConfig::auto`]). Thread count never changes results — shot
     /// RNG shards depend only on the shot count — so this is purely a
     /// latency knob.
+    #[must_use]
     pub fn parallelism(mut self, parallel: ParallelConfig) -> Self {
         self.parallel = parallel;
         self
     }
 
     /// Step 2: requested device characteristics.
+    #[must_use]
     pub fn requirements(mut self, requirements: DeviceRequirements) -> Self {
         self.requirements = requirements;
         self
@@ -225,6 +234,7 @@ impl JobRequestBuilder {
 
     /// Step 3 (option A): fidelity requirement between 0 and 1 — sugar for
     /// the built-in `"fidelity"` strategy.
+    #[must_use]
     pub fn fidelity_target(mut self, fidelity: f64) -> Self {
         self.strategy = Some(StrategySpec::fidelity(fidelity));
         self
@@ -232,6 +242,7 @@ impl JobRequestBuilder {
 
     /// Step 3 (option B): topology requirement from the drawing canvas —
     /// sugar for the built-in `"topology"` strategy.
+    #[must_use]
     pub fn topology(mut self, designer: &TopologyDesigner) -> Self {
         self.strategy = Some(StrategySpec::topology(
             designer.edges(),
@@ -245,6 +256,7 @@ impl JobRequestBuilder {
 
     /// Step 3 (option C): the built-in `"weighted"` multi-objective strategy —
     /// canary-fidelity score blended with live queue depth and utilization.
+    #[must_use]
     pub fn weighted(mut self, target: f64, fidelity_w: f64, queue_w: f64, util_w: f64) -> Self {
         self.strategy = Some(StrategySpec::weighted(target, fidelity_w, queue_w, util_w));
         self
@@ -252,6 +264,7 @@ impl JobRequestBuilder {
 
     /// Step 3 (option D): the built-in `"min_queue"` baseline — pick the
     /// least-loaded device regardless of calibration.
+    #[must_use]
     pub fn min_queue(mut self) -> Self {
         self.strategy = Some(StrategySpec::min_queue());
         self
@@ -260,6 +273,7 @@ impl JobRequestBuilder {
     /// Step 3 (fully general): any strategy by registry name with typed
     /// parameters — the extension point for user-defined ranking plugins.
     /// Parameter validation runs in the meta server when the job is submitted.
+    #[must_use]
     pub fn strategy(mut self, strategy: StrategySpec) -> Self {
         self.strategy = Some(strategy);
         self

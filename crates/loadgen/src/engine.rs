@@ -149,6 +149,20 @@ struct JobTrack {
 /// the workload wholesale (e.g. a tenant strategy failing validation on
 /// every job).
 pub fn run_scenario(scenario: &Scenario) -> Result<CloudReport, LoadgenError> {
+    run_scenario_with_log(scenario).map(|(report, _)| report)
+}
+
+/// Like [`run_scenario`], but also return the orchestrator's full watch log —
+/// every [`qrio::JobEvent`] the run emitted, in sequence order. Auditing the
+/// log (see `qrio-analyzer`) end-to-end checks the orchestrator's lifecycle
+/// bookkeeping over a whole cloud-scale run.
+///
+/// # Errors
+///
+/// Same failure modes as [`run_scenario`].
+pub fn run_scenario_with_log(
+    scenario: &Scenario,
+) -> Result<(CloudReport, Vec<qrio::JobEvent>), LoadgenError> {
     scenario.validate()?;
     Engine::new(scenario)?.run()
 }
@@ -238,7 +252,7 @@ impl<'s> Engine<'s> {
         self.heap.push(Event { time, seq, kind });
     }
 
-    fn run(mut self) -> Result<CloudReport, LoadgenError> {
+    fn run(mut self) -> Result<(CloudReport, Vec<qrio::JobEvent>), LoadgenError> {
         // Seed the timeline: one first arrival per tenant, plus the scenario's
         // drift/outage events.
         for tenant in 0..self.scenario.tenants.len() {
@@ -285,7 +299,8 @@ impl<'s> Engine<'s> {
             }
         }
 
-        Ok(self.into_report())
+        let log = self.qrio.watch(0).to_vec();
+        Ok((self.into_report(), log))
     }
 
     // --- Arrivals ------------------------------------------------------------------------

@@ -49,6 +49,7 @@
 //! assert_eq!(report.to_json(), run_scenario(&scenario).unwrap().to_json());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod arrival;
@@ -58,7 +59,7 @@ pub mod metrics;
 pub mod scenario;
 
 pub use arrival::{ArrivalProcess, ArrivalSampler};
-pub use engine::run_scenario;
+pub use engine::{run_scenario, run_scenario_with_log};
 pub use error::LoadgenError;
 pub use metrics::{CloudReport, DeviceStats, JobSample, LoadBucket, TenantStats};
 pub use scenario::{

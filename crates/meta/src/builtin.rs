@@ -115,6 +115,10 @@ impl RankingStrategy for FidelityStrategy {
             .with_detail("swaps_inserted", evaluation.swaps_inserted as f64))
     }
 
+    fn known_params(&self) -> Option<&'static [&'static str]> {
+        Some(&[strategy_names::PARAM_TARGET])
+    }
+
     fn is_cacheable(&self) -> bool {
         // Canary evaluation is seeded per device name and reads no telemetry.
         true
@@ -189,6 +193,10 @@ impl RankingStrategy for TopologyStrategy {
             "exact_embedding",
             if evaluation.exact_embedding { 1.0 } else { 0.0 },
         ))
+    }
+
+    fn known_params(&self) -> Option<&'static [&'static str]> {
+        Some(&[strategy_names::PARAM_EDGES, strategy_names::PARAM_QUBITS])
     }
 
     fn is_cacheable(&self) -> bool {
@@ -269,6 +277,15 @@ impl RankingStrategy for WeightedStrategy {
             .with_detail("queue_depth", queue_depth)
             .with_detail("utilization", utilization))
     }
+
+    fn known_params(&self) -> Option<&'static [&'static str]> {
+        Some(&[
+            strategy_names::PARAM_TARGET,
+            strategy_names::PARAM_FIDELITY_WEIGHT,
+            strategy_names::PARAM_QUEUE_WEIGHT,
+            strategy_names::PARAM_UTILIZATION_WEIGHT,
+        ])
+    }
 }
 
 /// The min-queue-time baseline: score is the device's queue depth plus half
@@ -301,6 +318,10 @@ impl RankingStrategy for MinQueueStrategy {
         Ok(Score::new(backend.name(), queue_depth + 0.5 * utilization)
             .with_detail("queue_depth", queue_depth)
             .with_detail("utilization", utilization))
+    }
+
+    fn known_params(&self) -> Option<&'static [&'static str]> {
+        Some(&[])
     }
 }
 

@@ -152,6 +152,17 @@ pub trait RankingStrategy: fmt::Debug + Send + Sync {
     /// the cycle instead of skipping.
     fn score(&self, job: &JobContext<'_>, backend: &Backend) -> Result<Score, MetaError>;
 
+    /// The parameter keys this strategy understands, when its parameter
+    /// surface is closed. Static analysis uses this to flag misspelled
+    /// parameters that `score` would silently ignore.
+    ///
+    /// Return `None` (the default) when the surface is open or unknown — no
+    /// checking runs then. Return `Some(&[])` for a strategy that takes no
+    /// parameters at all.
+    fn known_params(&self) -> Option<&'static [&'static str]> {
+        None
+    }
+
     /// Whether a score for a `(job, device)` pair may be memoized by the meta
     /// server until the job metadata is re-uploaded or the device calibration
     /// is re-registered.

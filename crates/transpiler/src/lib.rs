@@ -35,6 +35,7 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod deflate;
@@ -48,6 +49,8 @@ pub mod translation;
 pub use deflate::{deflate, DeflatedCircuit};
 pub use error::TranspilerError;
 pub use layout::{select_layout, Layout, LayoutStrategy};
-pub use pipeline::{transpile, transpile_with_options, TranspileOptions, TranspileResult};
+pub use pipeline::{
+    transpile, transpile_with_options, RoutingTarget, TranspileOptions, TranspileResult,
+};
 pub use routing::{route, RoutedCircuit, RoutingStrategy};
 pub use translation::{translate_to_basis, unroll_multi_qubit_gates};

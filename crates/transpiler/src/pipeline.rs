@@ -6,7 +6,7 @@
 //! master server performs exactly this step before executing a job on its
 //! assigned node.
 
-use qrio_backend::Backend;
+use qrio_backend::{Backend, BasisGates, CouplingMap};
 use qrio_circuit::Circuit;
 
 use crate::error::TranspilerError;
@@ -26,6 +26,36 @@ pub struct TranspileOptions {
     pub skip_optimization: bool,
 }
 
+/// The routing target a circuit was transpiled against: a snapshot of the
+/// device constraints (width, coupling map, basis) the pipeline enforced.
+///
+/// Emitting this alongside the circuit lets downstream consumers — most
+/// importantly the `qrio-analyzer` routed-circuit lints — verify the output
+/// against the *actual* target instead of re-guessing which device was meant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutingTarget {
+    /// Name of the device the circuit was routed for.
+    pub device: String,
+    /// Number of physical qubits on the device.
+    pub num_qubits: usize,
+    /// The coupling map routing enforced adjacency against.
+    pub coupling_map: CouplingMap,
+    /// The native gate set translation targeted.
+    pub basis_gates: BasisGates,
+}
+
+impl RoutingTarget {
+    /// Snapshot the routing-relevant constraints of a backend.
+    pub fn from_backend(backend: &Backend) -> Self {
+        RoutingTarget {
+            device: backend.name().to_string(),
+            num_qubits: backend.num_qubits(),
+            coupling_map: backend.coupling_map().clone(),
+            basis_gates: backend.basis_gates().clone(),
+        }
+    }
+}
+
 /// The result of transpiling a circuit for a device.
 #[derive(Debug, Clone)]
 pub struct TranspileResult {
@@ -38,6 +68,8 @@ pub struct TranspileResult {
     pub final_mapping: Vec<usize>,
     /// Number of SWAPs the router inserted (before basis translation).
     pub swaps_inserted: usize,
+    /// The device constraints the circuit was routed and translated for.
+    pub target: RoutingTarget,
 }
 
 impl TranspileResult {
@@ -103,6 +135,7 @@ pub fn transpile_with_options(
         initial_layout,
         final_mapping: routed.final_mapping,
         swaps_inserted: routed.swaps_inserted,
+        target: RoutingTarget::from_backend(backend),
     })
 }
 
@@ -184,6 +217,18 @@ mod tests {
         assert!((0.0..=1.0).contains(&pg));
         assert!((0.0..=1.0).contains(&pb));
         assert!(pg > pb);
+    }
+
+    #[test]
+    fn result_carries_the_routing_target() {
+        let circuit = library::ghz(4).unwrap();
+        let backend = Backend::uniform("ring", topology::ring(6), 0.01, 0.05);
+        let result = transpile(&circuit, &backend).unwrap();
+        assert_eq!(result.target, RoutingTarget::from_backend(&backend));
+        assert_eq!(result.target.device, "ring");
+        assert_eq!(result.target.num_qubits, 6);
+        assert!(result.target.coupling_map.has_edge(0, 1));
+        assert!(result.target.basis_gates.contains("cx"));
     }
 
     #[test]
