@@ -8,20 +8,23 @@
 //! qrio-lint [--json PATH] [--deny-warnings] [--self-check] [PATH...]
 //! ```
 //!
-//! `PATH` entries are scenario YAML files or directories of them (default:
-//! `scenarios/`). Exit status: `0` clean, `1` findings, `2` operational
-//! error (unreadable path, bad flag). `--self-check` instead runs seeded
-//! fixture violations and verifies each expected lint code fires — a
-//! self-test that the analyzer still catches what it claims to catch.
+//! `PATH` entries are scenario YAML files, durability journals (`.qj`
+//! files, or any file starting with the `QRIOJRNL` magic) or directories of
+//! them (default: `scenarios/`). Exit status: `0` clean, `1` findings, `2`
+//! operational error (unreadable path, bad flag). `--self-check` instead
+//! runs seeded fixture violations and verifies each expected lint code
+//! fires — a self-test that the analyzer still catches what it claims to
+//! catch.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use qrio_analyzer::{
-    audit_watch_log, lint_engine_fit, lint_logical_circuit, lint_requirements, lint_routed_circuit,
-    lint_scenario, lint_transpile_result, verify_job_state_machine, AuditOptions, Diagnostic,
-    EngineHint, LintCode, Location, Report, TargetView,
+    audit_watch_log, lint_engine_fit, lint_journal_bytes, lint_journal_file, lint_logical_circuit,
+    lint_requirements, lint_routed_circuit, lint_scenario, lint_transpile_result,
+    verify_job_state_machine, AuditOptions, Diagnostic, EngineHint, LintCode, Location, Report,
+    TargetView,
 };
 use qrio_backend::{topology, Backend};
 use qrio_circuit::{library, Circuit};
@@ -69,7 +72,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     Ok(options)
 }
 
-/// Expand files/directories into a sorted list of scenario YAML files.
+/// Expand files/directories into a sorted list of lintable files: scenario
+/// YAML plus durability journals (`.qj`).
 fn collect_scenarios(paths: &[PathBuf]) -> Result<Vec<PathBuf>, String> {
     let mut files = Vec::new();
     for path in paths {
@@ -80,10 +84,10 @@ fn collect_scenarios(paths: &[PathBuf]) -> Result<Vec<PathBuf>, String> {
                 let entry = entry
                     .map_err(|e| format!("'{}': {e}", path.display()))?
                     .path();
-                let is_yaml = entry
+                let is_lintable = entry
                     .extension()
-                    .is_some_and(|ext| ext == "yaml" || ext == "yml");
-                if entry.is_file() && is_yaml {
+                    .is_some_and(|ext| ext == "yaml" || ext == "yml" || ext == "qj");
+                if entry.is_file() && is_lintable {
                     files.push(entry);
                 }
             }
@@ -96,6 +100,23 @@ fn collect_scenarios(paths: &[PathBuf]) -> Result<Vec<PathBuf>, String> {
     files.sort();
     files.dedup();
     Ok(files)
+}
+
+/// Whether a file should be linted as a durability journal: by extension,
+/// or by sniffing the `QRIOJRNL` magic for extensionless artifacts.
+fn is_journal_file(path: &Path) -> bool {
+    if path.extension().is_some_and(|ext| ext == "qj") {
+        return true;
+    }
+    let mut magic = [0u8; 8];
+    std::io::Read::read_exact(
+        &mut match fs::File::open(path) {
+            Ok(file) => file,
+            Err(_) => return false,
+        },
+        &mut magic,
+    )
+    .is_ok_and(|()| qrio_journal::looks_like_journal(&magic))
 }
 
 /// The engine a tenant's circuit family runs on in the simulator.
@@ -311,6 +332,61 @@ fn self_check() -> Vec<String> {
         audit_watch_log(&truncated, AuditOptions::default()),
     );
 
+    // 6-9. The durability-journal family, over hand-built byte fixtures.
+    {
+        use qrio::durability::{encode_events_record, RECORD_COMMAND, RECORD_SNAPSHOT};
+        use qrio::{JobEvent, JobId, JobState};
+        use qrio_journal::{encode_record, header_bytes, Record};
+
+        let event = JobEvent {
+            seq: 0,
+            at: 0,
+            job: JobId::new("fixture-job"),
+            from: None,
+            to: JobState::Submitted,
+            node: None,
+            reason: None,
+        };
+        let journal = |records: &[Record]| {
+            let mut bytes = header_bytes().to_vec();
+            for record in records {
+                bytes.extend(encode_record(record));
+            }
+            bytes
+        };
+
+        let mut torn = journal(&[encode_events_record(std::slice::from_ref(&event))]);
+        torn.truncate(torn.len() - 2);
+        expect(
+            "journal with a torn tail record",
+            LintCode::TornTailRecord,
+            lint_journal_bytes("self-check torn", &torn),
+        );
+
+        let liar = Record::new(RECORD_SNAPSHOT, 1, 999u64.to_le_bytes().to_vec());
+        expect(
+            "snapshot ahead of the log head",
+            LintCode::SnapshotBeyondLogHead,
+            lint_journal_bytes(
+                "self-check liar-snapshot",
+                &journal(&[encode_events_record(&[event]), liar]),
+            ),
+        );
+
+        let future = Record::new(RECORD_COMMAND, 9, vec![0]);
+        expect(
+            "record from a future codec version",
+            LintCode::RecordVersionMismatch,
+            lint_journal_bytes("self-check future-record", &journal(&[future])),
+        );
+
+        expect(
+            "file without the journal magic",
+            LintCode::MalformedJournal,
+            lint_journal_bytes("self-check garbage", b"not a journal at all"),
+        );
+    }
+
     failures
 }
 
@@ -353,12 +429,16 @@ fn main() -> ExitCode {
     report.extend(verify_job_state_machine().diagnostics);
     lint_circuit_corpus(&mut report);
     for file in &files {
-        lint_scenario_file(file, &registry, &mut report);
+        if is_journal_file(file) {
+            report.extend(lint_journal_file(file));
+        } else {
+            lint_scenario_file(file, &registry, &mut report);
+        }
     }
 
     print!("{}", report.render_human());
     println!(
-        "linted {} scenario file(s) and the builtin circuit corpus",
+        "linted {} file(s) (scenarios and journals) and the builtin circuit corpus",
         files.len()
     );
 

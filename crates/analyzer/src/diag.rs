@@ -114,6 +114,15 @@ lint_codes! {
      "job never reached a terminal state by the end of the run"),
     (DoubleRunning, "QL0305", Error,
      "job entered Running more than once"),
+    // Durability-journal lints (QL04xx).
+    (TornTailRecord, "QL0401", Warning,
+     "journal ends in a torn (truncated or corrupt) tail record that recovery will discard"),
+    (SnapshotBeyondLogHead, "QL0402", Error,
+     "snapshot claims an event cursor beyond the events the journal has seen"),
+    (RecordVersionMismatch, "QL0403", Error,
+     "journal record carries a format version this build cannot decode"),
+    (MalformedJournal, "QL0404", Error,
+     "file is not a QRIO journal or its header/records are structurally invalid"),
 }
 
 impl fmt::Display for LintCode {

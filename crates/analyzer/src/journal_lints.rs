@@ -1,0 +1,248 @@
+//! Lints over durability journals (`qrio-journal` write-ahead logs): the
+//! QL04xx family.
+//!
+//! A journal is the crash-recovery story of a QRIO deployment, so a damaged
+//! or inconsistent one deserves diagnostics *before* an operator needs it in
+//! anger. These lints work on the raw bytes — no recovery is attempted —
+//! and therefore also apply to journals whose snapshots reference strategies
+//! this process has not registered.
+//!
+//! * **QL0401** (warning) — the file ends in a torn tail: a truncated or
+//!   checksum-corrupt trailing record, as a crash mid-append leaves behind.
+//!   Recovery discards the tail silently; the lint makes it visible.
+//! * **QL0402** (error) — a snapshot record claims an event cursor beyond
+//!   the log head established by the records before it: the snapshot "knows"
+//!   events the journal never saw, so the file was spliced or rewritten.
+//! * **QL0403** (error) — a record carries a codec version this build cannot
+//!   decode; recovery would stop with a typed error at that record.
+//! * **QL0404** (error) — the file is not a journal at all, or a record's
+//!   payload is structurally undecodable.
+
+use std::fs;
+use std::path::Path;
+
+use qrio::durability::{
+    decode_command, decode_events, snapshot_cursor, RECORD_COMMAND, RECORD_EVENTS, RECORD_SNAPSHOT,
+    RECORD_VERSION,
+};
+use qrio_journal::scan_bytes;
+
+use crate::diag::{Diagnostic, LintCode, Location};
+
+/// Lint a journal's full byte image. `subject` names the journal in the
+/// diagnostics (usually its file path).
+pub fn lint_journal_bytes(subject: &str, bytes: &[u8]) -> Vec<Diagnostic> {
+    let mut diagnostics = Vec::new();
+    let scan = match scan_bytes(bytes) {
+        Ok(scan) => scan,
+        Err(err) => {
+            diagnostics.push(Diagnostic::new(
+                LintCode::MalformedJournal,
+                Location::subject(subject),
+                err.to_string(),
+            ));
+            return diagnostics;
+        }
+    };
+
+    // The next event sequence number the journal has accounted for. `None`
+    // until the first snapshot or events record: the genesis snapshot may
+    // legitimately carry history from before durability was enabled.
+    let mut head: Option<u64> = None;
+    for (index, record) in scan.records.iter().enumerate() {
+        let context = format!("record #{index} (kind {})", record.kind);
+        if record.version != RECORD_VERSION {
+            diagnostics.push(Diagnostic::new(
+                LintCode::RecordVersionMismatch,
+                Location::at(subject, &context),
+                format!(
+                    "record version {} (this build decodes version {RECORD_VERSION})",
+                    record.version
+                ),
+            ));
+            continue;
+        }
+        match record.kind {
+            RECORD_COMMAND => {
+                if let Err(err) = decode_command(&record.payload) {
+                    diagnostics.push(Diagnostic::new(
+                        LintCode::MalformedJournal,
+                        Location::at(subject, &context),
+                        format!("command payload does not decode: {err}"),
+                    ));
+                }
+            }
+            RECORD_EVENTS => match decode_events(&record.payload) {
+                Ok(events) => {
+                    if let Some(last) = events.last() {
+                        head = Some(head.unwrap_or(0).max(last.seq + 1));
+                    }
+                }
+                Err(err) => {
+                    diagnostics.push(Diagnostic::new(
+                        LintCode::MalformedJournal,
+                        Location::at(subject, &context),
+                        format!("events payload does not decode: {err}"),
+                    ));
+                }
+            },
+            RECORD_SNAPSHOT => match snapshot_cursor(&record.payload) {
+                Ok(cursor) => {
+                    if let Some(known) = head {
+                        if cursor > known {
+                            diagnostics.push(Diagnostic::new(
+                                LintCode::SnapshotBeyondLogHead,
+                                Location::at(subject, &context),
+                                format!(
+                                    "snapshot cursor {cursor} exceeds the {known} event(s) \
+                                     the journal has seen"
+                                ),
+                            ));
+                        }
+                    }
+                    head = Some(head.unwrap_or(0).max(cursor));
+                }
+                Err(err) => {
+                    diagnostics.push(Diagnostic::new(
+                        LintCode::MalformedJournal,
+                        Location::at(subject, &context),
+                        format!("snapshot payload does not decode: {err}"),
+                    ));
+                }
+            },
+            kind => {
+                diagnostics.push(Diagnostic::new(
+                    LintCode::MalformedJournal,
+                    Location::at(subject, &context),
+                    format!("unknown record kind {kind}"),
+                ));
+            }
+        }
+    }
+
+    if let Some(torn) = &scan.torn {
+        diagnostics.push(Diagnostic::new(
+            LintCode::TornTailRecord,
+            Location::at(subject, format!("byte offset {}", torn.offset)),
+            format!(
+                "{} trailing byte(s) do not form a valid record ({}); recovery truncates them",
+                torn.trailing, torn.reason
+            ),
+        ));
+    }
+    diagnostics
+}
+
+/// Lint a journal file on disk. An unreadable file reports QL0404 — from the
+/// lint's point of view there is no journal there.
+pub fn lint_journal_file(path: &Path) -> Vec<Diagnostic> {
+    let subject = path.display().to_string();
+    match fs::read(path) {
+        Ok(bytes) => lint_journal_bytes(&subject, &bytes),
+        Err(err) => vec![Diagnostic::new(
+            LintCode::MalformedJournal,
+            Location::subject(subject),
+            format!("cannot read file: {err}"),
+        )],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrio::durability::encode_events_record;
+    use qrio::{JobEvent, JobId, JobState};
+    use qrio_journal::{encode_record, header_bytes, Record};
+
+    fn event(seq: u64) -> JobEvent {
+        JobEvent {
+            seq,
+            at: 0,
+            job: JobId::new("j"),
+            from: None,
+            to: JobState::Submitted,
+            node: None,
+            reason: None,
+        }
+    }
+
+    fn journal(records: &[Record]) -> Vec<u8> {
+        let mut bytes = header_bytes().to_vec();
+        for record in records {
+            bytes.extend(encode_record(record));
+        }
+        bytes
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code.code()).collect()
+    }
+
+    #[test]
+    fn a_clean_journal_is_clean() {
+        let events = encode_events_record(&[event(0), event(1)]);
+        let snapshot = Record::new(RECORD_SNAPSHOT, RECORD_VERSION, 2u64.to_le_bytes().to_vec());
+        let bytes = journal(&[events, snapshot]);
+        assert!(lint_journal_bytes("test", &bytes).is_empty());
+    }
+
+    #[test]
+    fn garbage_is_ql0404() {
+        let diags = lint_journal_bytes("test", b"definitely not a journal");
+        assert_eq!(codes(&diags), ["QL0404"]);
+    }
+
+    #[test]
+    fn torn_tail_is_ql0401_warning() {
+        let events = encode_events_record(&[event(0)]);
+        let mut bytes = journal(&[events]);
+        bytes.truncate(bytes.len() - 2);
+        let diags = lint_journal_bytes("test", &bytes);
+        assert_eq!(codes(&diags), ["QL0401"]);
+        assert_eq!(
+            diags[0].severity,
+            crate::diag::Severity::Warning,
+            "torn tails are recoverable, so a warning"
+        );
+    }
+
+    #[test]
+    fn snapshot_beyond_head_is_ql0402() {
+        let events = encode_events_record(&[event(0)]);
+        let liar = Record::new(
+            RECORD_SNAPSHOT,
+            RECORD_VERSION,
+            999u64.to_le_bytes().to_vec(),
+        );
+        let diags = lint_journal_bytes("test", &journal(&[events, liar]));
+        assert_eq!(codes(&diags), ["QL0402"]);
+    }
+
+    #[test]
+    fn genesis_snapshots_may_carry_prior_history() {
+        // Durability can be enabled mid-run: the first snapshot's cursor is
+        // unconstrained by (nonexistent) earlier records.
+        let genesis = Record::new(
+            RECORD_SNAPSHOT,
+            RECORD_VERSION,
+            17u64.to_le_bytes().to_vec(),
+        );
+        let later = encode_events_record(&[event(17)]);
+        assert!(lint_journal_bytes("test", &journal(&[genesis, later])).is_empty());
+    }
+
+    #[test]
+    fn version_mismatch_is_ql0403() {
+        let future = Record::new(RECORD_COMMAND, 9, vec![1, 2, 3]);
+        let diags = lint_journal_bytes("test", &journal(&[future]));
+        assert_eq!(codes(&diags), ["QL0403"]);
+    }
+
+    #[test]
+    fn undecodable_payloads_and_unknown_kinds_are_ql0404() {
+        let bad_events = Record::new(RECORD_EVENTS, RECORD_VERSION, vec![0xFF; 3]);
+        let unknown = Record::new(42, RECORD_VERSION, Vec::new());
+        let diags = lint_journal_bytes("test", &journal(&[bad_events, unknown]));
+        assert_eq!(codes(&diags), ["QL0404", "QL0404"]);
+    }
+}

@@ -21,6 +21,9 @@
 //! * [`state_machine`] and [`audit`] — model-checking of the `JobState`
 //!   transition table (reachability, terminal closure, liveness) and replay
 //!   auditing of `JobEvent` watch logs from real runs.
+//! * [`journal_lints`] — structural checks over `qrio-journal` durability
+//!   logs: torn tails, snapshots ahead of the log head, undecodable or
+//!   version-mismatched records.
 //!
 //! The [`LintGate`] plugs the relevant passes into [`qrio::Qrio::enqueue`]
 //! as a pre-admission check, and the `qrio-lint` binary runs everything over
@@ -33,6 +36,7 @@ pub mod audit;
 pub mod circuit_lints;
 pub mod diag;
 pub mod gate;
+pub mod journal_lints;
 pub mod spec_lints;
 pub mod state_machine;
 
@@ -43,5 +47,6 @@ pub use circuit_lints::{
 };
 pub use diag::{Diagnostic, LintCode, Location, Report, Severity};
 pub use gate::LintGate;
+pub use journal_lints::{lint_journal_bytes, lint_journal_file};
 pub use spec_lints::{lint_requirements, lint_scenario, lint_strategy_spec};
 pub use state_machine::{verify_job_state_machine, StateMachineReport};

@@ -12,9 +12,9 @@ use qrio_backend::Backend;
 
 use crate::error::ClusterError;
 use crate::framework::{FilterPlugin, ScorePlugin};
-use crate::job::{Job, JobPhase, JobSpec};
-use crate::node::{Node, NodeStatus};
-use crate::registry::{ImageBundle, ImageRegistry};
+use crate::job::{Job, JobPhase, JobSnapshot, JobSpec};
+use crate::node::{Node, NodeState, NodeStatus};
+use crate::registry::{ImageBundle, ImageRegistry, RegistryState};
 
 /// One entry in the cluster's event log.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -89,6 +89,23 @@ pub struct ScheduleDecision {
     pub filtered_out: Vec<(String, String)>,
 }
 
+/// The full persistable state of a [`Cluster`], used by durability snapshots:
+/// nodes, jobs, the image registry (with its counters), the event log and the
+/// FIFO submission queue.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ClusterState {
+    /// Every node's state, in name order.
+    pub nodes: Vec<NodeState>,
+    /// Every job's state, in name order.
+    pub jobs: Vec<JobSnapshot>,
+    /// The image registry with its push/pull counters.
+    pub registry: RegistryState,
+    /// The event log, in chronological order.
+    pub events: Vec<ClusterEvent>,
+    /// Pending job names in submission order.
+    pub queue: Vec<String>,
+}
+
 /// The QRIO cluster: nodes, jobs, images and events.
 #[derive(Default)]
 pub struct Cluster {
@@ -104,6 +121,39 @@ impl Cluster {
     /// An empty cluster.
     pub fn new() -> Self {
         Cluster::default()
+    }
+
+    /// Rebuild a cluster from a previously exported [`ClusterState`],
+    /// verbatim: no events are re-recorded and no counters are reset.
+    pub fn from_state(state: ClusterState) -> Self {
+        Cluster {
+            nodes: state
+                .nodes
+                .into_iter()
+                .map(Node::from_state)
+                .map(|node| (node.name().to_string(), node))
+                .collect(),
+            jobs: state
+                .jobs
+                .into_iter()
+                .map(Job::from_state)
+                .map(|job| (job.name().to_string(), job))
+                .collect(),
+            registry: ImageRegistry::from_state(state.registry),
+            events: state.events,
+            queue: state.queue,
+        }
+    }
+
+    /// Export the cluster's full persistable state for a durability snapshot.
+    pub fn export_state(&self) -> ClusterState {
+        ClusterState {
+            nodes: self.nodes.values().map(Node::export_state).collect(),
+            jobs: self.jobs.values().map(Job::export_state).collect(),
+            registry: self.registry.export_state(),
+            events: self.events.clone(),
+            queue: self.queue.clone(),
+        }
     }
 
     fn record(&mut self, kind: &str, message: impl Into<String>) {
@@ -1111,6 +1161,66 @@ mod tests {
         let events_before = cluster.events().len();
         assert!(cluster.remove_image("nope").is_none());
         assert_eq!(cluster.events().len(), events_before);
+    }
+
+    #[test]
+    fn export_and_restore_round_trip_exactly() {
+        let mut cluster = cluster_with_nodes();
+        // Mixed state: a succeeded job, a scheduled (bound) job, a pending
+        // job, a cordoned node, a restarted node, a custom label and live
+        // registry counters.
+        let done = make_spec("done", 4);
+        push_image_for(&mut cluster, &done);
+        cluster.submit_job(done).unwrap();
+        cluster
+            .schedule_job("done", &default_filters(), &AverageErrorScore)
+            .unwrap();
+        cluster.run_job("done", &EchoRunner).unwrap();
+
+        let bound = make_spec("bound", 4);
+        push_image_for(&mut cluster, &bound);
+        cluster.submit_job(bound).unwrap();
+        cluster
+            .schedule_job("bound", &default_filters(), &AverageErrorScore)
+            .unwrap();
+
+        let waiting = make_spec("waiting", 4);
+        cluster.submit_job(waiting).unwrap();
+
+        cluster.node_mut("tiny").unwrap().cordon();
+        cluster.node_mut("noisy").unwrap().mark_not_ready();
+        cluster.heal_nodes();
+        cluster
+            .node_mut("noisy")
+            .unwrap()
+            .set_label("vendor", "umich");
+
+        let state = cluster.export_state();
+        let restored = Cluster::from_state(state.clone());
+
+        // The restored cluster exports byte-for-byte the same state.
+        assert_eq!(restored.export_state(), state);
+        // Live behaviour survives: the pending queue, bound resources and
+        // counters are intact.
+        assert_eq!(restored.pending_jobs(), vec!["waiting"]);
+        assert_eq!(
+            restored.node("quiet").unwrap().allocated(),
+            Resources::new(1000, 1024)
+        );
+        assert_eq!(restored.node("noisy").unwrap().restart_count(), 1);
+        assert_eq!(
+            restored.node("tiny").unwrap().status(),
+            NodeStatus::Cordoned
+        );
+        assert_eq!(
+            restored.node("noisy").unwrap().labels().get("vendor"),
+            Some(&"umich".to_string())
+        );
+        assert_eq!(
+            restored.registry().pull_count(),
+            cluster.registry().pull_count()
+        );
+        assert_eq!(restored.events().len(), cluster.events().len());
     }
 
     #[test]

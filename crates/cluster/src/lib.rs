@@ -50,13 +50,15 @@ mod registry;
 mod resources;
 pub mod yaml;
 
-pub use cluster::{Cluster, ClusterEvent, ExecutionOutcome, JobRunner, NodeLoad, ScheduleDecision};
+pub use cluster::{
+    Cluster, ClusterEvent, ClusterState, ExecutionOutcome, JobRunner, NodeLoad, ScheduleDecision,
+};
 pub use error::ClusterError;
 pub use framework::{FilterPlugin, ScorePlugin};
 pub use job::{
-    strategy_names, DeviceRequirements, Job, JobPhase, JobSpec, ParamValue, StrategyParams,
-    StrategySpec,
+    strategy_names, DeviceRequirements, Job, JobPhase, JobSnapshot, JobSpec, ParamValue,
+    StrategyParams, StrategySpec,
 };
-pub use node::{Node, NodeStatus};
-pub use registry::{ImageBundle, ImageRegistry};
+pub use node::{Node, NodeState, NodeStatus};
+pub use registry::{ImageBundle, ImageRegistry, RegistryState};
 pub use resources::Resources;

@@ -19,6 +19,27 @@ pub enum NodeStatus {
     Cordoned,
 }
 
+/// The full persistable state of a [`Node`], used by durability snapshots.
+///
+/// Unlike [`Node::from_backend`], restoring from a `NodeState` preserves the
+/// label map verbatim (including custom labels), the live allocations, the
+/// health status and the restart counter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeState {
+    /// The quantum device hosted by the node.
+    pub backend: Backend,
+    /// The full label map, custom labels included.
+    pub labels: BTreeMap<String, String>,
+    /// Total classical capacity.
+    pub capacity: Resources,
+    /// Classical resources allocated to bound jobs.
+    pub allocated: Resources,
+    /// Health status.
+    pub status: NodeStatus,
+    /// Lifetime restart counter.
+    pub restart_count: u64,
+}
+
 /// A QRIO worker node: a quantum device, its vendor-provided backend spec, the
 /// Kubernetes-style labels derived from it, and classical capacity (§3.1).
 #[derive(Debug, Clone, PartialEq)]
@@ -48,6 +69,32 @@ impl Node {
             allocated: Resources::default(),
             status: NodeStatus::Ready,
             restart_count: 0,
+        }
+    }
+
+    /// Rebuild a node from a previously exported [`NodeState`], byte-for-byte:
+    /// no labels are rederived and no counters are reset.
+    pub fn from_state(state: NodeState) -> Self {
+        Node {
+            name: state.backend.name().to_string(),
+            backend: state.backend,
+            labels: state.labels,
+            capacity: state.capacity,
+            allocated: state.allocated,
+            status: state.status,
+            restart_count: state.restart_count,
+        }
+    }
+
+    /// Export the node's full persistable state for a durability snapshot.
+    pub fn export_state(&self) -> NodeState {
+        NodeState {
+            backend: self.backend.clone(),
+            labels: self.labels.clone(),
+            capacity: self.capacity,
+            allocated: self.allocated,
+            status: self.status,
+            restart_count: self.restart_count,
         }
     }
 

@@ -45,6 +45,11 @@ impl ImageBundle {
         self.files.keys().map(String::as_str).collect()
     }
 
+    /// Iterate over `(path, contents)` pairs in path order.
+    pub fn files(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.files.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
     /// Number of files.
     pub fn len(&self) -> usize {
         self.files.len()
@@ -54,6 +59,20 @@ impl ImageBundle {
     pub fn is_empty(&self) -> bool {
         self.files.is_empty()
     }
+}
+
+/// The full persistable state of an [`ImageRegistry`], used by durability
+/// snapshots. Carries the operation counters explicitly, since
+/// [`ImageRegistry::push`] and [`ImageRegistry::pull`] bump them as a side
+/// effect.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RegistryState {
+    /// Every stored image, in name order.
+    pub images: Vec<ImageBundle>,
+    /// Lifetime push-operation counter.
+    pub push_count: u64,
+    /// Lifetime pull-operation counter.
+    pub pull_count: u64,
 }
 
 /// An in-memory image registry.
@@ -68,6 +87,29 @@ impl ImageRegistry {
     /// An empty registry.
     pub fn new() -> Self {
         ImageRegistry::default()
+    }
+
+    /// Rebuild a registry from a previously exported [`RegistryState`],
+    /// counters included.
+    pub fn from_state(state: RegistryState) -> Self {
+        ImageRegistry {
+            images: state
+                .images
+                .into_iter()
+                .map(|image| (image.name().to_string(), image))
+                .collect(),
+            push_count: state.push_count,
+            pull_count: state.pull_count,
+        }
+    }
+
+    /// Export the registry's full persistable state for a durability snapshot.
+    pub fn export_state(&self) -> RegistryState {
+        RegistryState {
+            images: self.images.values().cloned().collect(),
+            push_count: self.push_count,
+            pull_count: self.pull_count,
+        }
     }
 
     /// Push an image, replacing any previous image with the same name.

@@ -1,0 +1,1653 @@
+//! Durable, crash-recoverable orchestrator state: the domain layer over the
+//! `qrio-journal` write-ahead log.
+//!
+//! The paper's QRIO deployment inherits crash recovery from Kubernetes' etcd;
+//! this reproduction provides the same guarantee natively. When durability is
+//! enabled ([`crate::Qrio::enable_durability`]), every successful mutation of
+//! the orchestrator is appended to an on-disk journal *after* it is applied
+//! in memory and *before* it is acknowledged to the caller. Recovery
+//! ([`crate::Qrio::recover`]) rebuilds the orchestrator to its exact
+//! pre-crash state by restoring the most recent snapshot and replaying the
+//! command tail.
+//!
+//! # Record kinds
+//!
+//! The journal carries three record kinds, all at [`RECORD_VERSION`]:
+//!
+//! * [`RECORD_COMMAND`] — one journaled mutation ([`Command`]), e.g. a tick,
+//!   an enqueue, a cancellation. Replayed verbatim during recovery.
+//! * [`RECORD_EVENTS`] — the watch-log [`JobEvent`]s the preceding command
+//!   produced. Never replayed (replay regenerates them); used to *verify*
+//!   that replay reproduced the pre-crash history bit-for-bit.
+//! * [`RECORD_SNAPSHOT`] — the full orchestrator state (cluster, meta
+//!   server, lifecycle store, runner seed, configuration). The payload
+//!   begins with a `u64` event cursor: the length of the watch log at
+//!   snapshot time. Recovery starts from the last snapshot in the log.
+//!
+//! # Encoding conventions
+//!
+//! All scalars use the `qrio-journal` codec (little-endian, `f64` by bit
+//! pattern, length-prefixed strings, one-byte tags for options and enums).
+//! Backends are embedded as their `backend.spec` text and circuits as their
+//! OpenQASM text — both formats round-trip exactly, and keep the journal
+//! greppable where it matters most.
+//!
+//! # What is *not* journaled
+//!
+//! Custom ranking strategies and admission gates are live trait objects and
+//! cannot be serialized. Recovery accepts a setup hook
+//! ([`crate::Qrio::recover_with`]) that re-registers them before replay; a
+//! deployment that installs either must recover through that hook. The
+//! failure cause of a terminal job is persisted as a cluster-level error:
+//! non-cluster failures survive with their message intact but re-surface as
+//! [`ClusterError::ExecutionFailed`] after a snapshot restore.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use qrio_backend::{spec as backend_spec, Backend};
+use qrio_circuit::{qasm, Circuit};
+use qrio_cluster::{
+    ClusterError, ClusterEvent, ClusterState, DeviceRequirements, ImageBundle, JobPhase,
+    JobSnapshot, JobSpec, NodeState, NodeStatus, ParamValue, RegistryState, Resources,
+    ScheduleDecision, StrategyParams, StrategySpec,
+};
+use qrio_journal::{ByteReader, ByteWriter, CodecError, Journal, JournalError, Record};
+use qrio_meta::{DeviceTelemetry, FidelityRankingConfig, MetaState};
+use qrio_sim::ParallelConfig;
+
+use crate::lifecycle::{JobEvent, JobId, JobState, JobStatus, LifecycleStore, Tracked};
+use crate::visualizer::JobRequest;
+
+/// Record kind: one journaled orchestrator mutation ([`Command`]).
+pub const RECORD_COMMAND: u8 = 1;
+/// Record kind: the watch-log events a command produced.
+pub const RECORD_EVENTS: u8 = 2;
+/// Record kind: a full orchestrator state snapshot.
+pub const RECORD_SNAPSHOT: u8 = 3;
+/// The payload version this build reads and writes for all record kinds.
+pub const RECORD_VERSION: u16 = 1;
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Errors surfaced by the durability layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DurabilityError {
+    /// The underlying journal failed (I/O, bad header, oversized record).
+    Journal(JournalError),
+    /// A record payload failed to decode.
+    Codec(CodecError),
+    /// A payload decoded structurally but held an invalid domain value
+    /// (unparsable backend spec or QASM text, unknown enum tag).
+    Malformed(String),
+    /// The journal holds no snapshot record, so there is nothing to recover
+    /// from.
+    NoSnapshot,
+    /// A record kind/version combination this build does not understand.
+    UnsupportedRecord {
+        /// The record's kind byte.
+        kind: u8,
+        /// The record's payload version.
+        version: u16,
+    },
+    /// Replaying the command tail did not reproduce the journaled event
+    /// history — the journal and the code that wrote it disagree.
+    ReplayDivergence(String),
+}
+
+impl fmt::Display for DurabilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurabilityError::Journal(err) => write!(f, "journal error: {err}"),
+            DurabilityError::Codec(err) => write!(f, "record codec error: {err}"),
+            DurabilityError::Malformed(detail) => write!(f, "malformed journal payload: {detail}"),
+            DurabilityError::NoSnapshot => {
+                write!(f, "the journal holds no snapshot to recover from")
+            }
+            DurabilityError::UnsupportedRecord { kind, version } => write!(
+                f,
+                "unsupported journal record: kind {kind} version {version} \
+                 (this build supports version {RECORD_VERSION})"
+            ),
+            DurabilityError::ReplayDivergence(detail) => {
+                write!(f, "replay diverged from the journaled history: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for DurabilityError {}
+
+impl From<JournalError> for DurabilityError {
+    fn from(err: JournalError) -> Self {
+        DurabilityError::Journal(err)
+    }
+}
+
+impl From<CodecError> for DurabilityError {
+    fn from(err: CodecError) -> Self {
+        DurabilityError::Codec(err)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Configuration and recovery reporting
+// ---------------------------------------------------------------------------
+
+/// Configuration for [`crate::Qrio::enable_durability`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurabilityConfig {
+    /// Write a fresh snapshot after this many journaled commands
+    /// (`0` = only the genesis snapshot, never again). Snapshots bound the
+    /// replay work recovery has to do; commands since the last snapshot are
+    /// replayed one by one.
+    pub snapshot_every: u64,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig { snapshot_every: 64 }
+    }
+}
+
+/// What [`crate::Qrio::recover`] did, in deterministic (byte-reproducible)
+/// terms: two recoveries of the same journal render identical reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Watch-log length at the snapshot recovery started from.
+    pub snapshot_cursor: u64,
+    /// Commands replayed after the snapshot.
+    pub commands_replayed: u64,
+    /// Post-snapshot events found journaled (in `RECORD_EVENTS` records).
+    pub events_journaled: u64,
+    /// Post-snapshot events regenerated by replay.
+    pub events_regenerated: u64,
+    /// Events regenerated by replay that the journal had not yet captured
+    /// (lost with a torn tail) and were re-journaled during recovery.
+    pub events_healed: u64,
+    /// Torn tail truncated on open, as `(file offset, bytes discarded)`.
+    pub torn_tail: Option<(u64, u64)>,
+    /// Jobs tracked by the recovered lifecycle store.
+    pub jobs: u64,
+    /// Of those, jobs already in a terminal state.
+    pub terminal_jobs: u64,
+}
+
+impl fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "recovery report")?;
+        writeln!(f, "  snapshot_cursor    = {}", self.snapshot_cursor)?;
+        writeln!(f, "  commands_replayed  = {}", self.commands_replayed)?;
+        writeln!(f, "  events_journaled   = {}", self.events_journaled)?;
+        writeln!(f, "  events_regenerated = {}", self.events_regenerated)?;
+        writeln!(f, "  events_healed      = {}", self.events_healed)?;
+        match self.torn_tail {
+            Some((offset, trailing)) => writeln!(
+                f,
+                "  torn_tail          = offset {offset}, {trailing} bytes"
+            )?,
+            None => writeln!(f, "  torn_tail          = none")?,
+        }
+        writeln!(f, "  jobs               = {}", self.jobs)?;
+        write!(f, "  terminal_jobs      = {}", self.terminal_jobs)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Commands
+// ---------------------------------------------------------------------------
+
+/// One journaled orchestrator mutation. Replaying the command sequence from a
+/// snapshot deterministically reproduces the orchestrator's state: every
+/// source of nondeterminism (runner seed, clock, admission order) is part of
+/// the snapshot, not the environment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// [`crate::Qrio::add_device_with_resources`] — backend as spec text.
+    AddDevice {
+        /// The device's `backend.spec` serialization.
+        spec_text: String,
+        /// Classical capacity of the device's node.
+        resources: Resources,
+    },
+    /// [`crate::Qrio::recalibrate_device`] — backend as spec text.
+    Recalibrate {
+        /// The refreshed `backend.spec` serialization.
+        spec_text: String,
+    },
+    /// [`crate::Qrio::report_telemetry`] with the materialized reports.
+    Telemetry {
+        /// `(device, telemetry)` pairs, in the order reported.
+        reports: Vec<(String, DeviceTelemetry)>,
+    },
+    /// A successful [`crate::Qrio::enqueue`].
+    Enqueue {
+        /// The full job request.
+        request: JobRequest,
+    },
+    /// [`crate::Qrio::cancel`].
+    Cancel {
+        /// The cancelled job's name.
+        job: String,
+    },
+    /// One [`crate::Qrio::tick`] service cycle.
+    Tick,
+    /// A forced admission verdict for one straggler (the fixed-point arm of
+    /// `run_until_idle` / `submit`).
+    ForceAdmit {
+        /// The straggler's name.
+        job: String,
+    },
+    /// [`crate::Qrio::schedule`].
+    Schedule {
+        /// The job to bind.
+        job: String,
+    },
+    /// [`crate::Qrio::execute`].
+    Execute {
+        /// The job to run.
+        job: String,
+    },
+    /// [`crate::Qrio::rebind`].
+    Rebind {
+        /// The job to migrate.
+        job: String,
+        /// The target device.
+        target: String,
+    },
+    /// [`crate::Qrio::cordon_device`].
+    Cordon {
+        /// The node to cordon.
+        node: String,
+    },
+    /// [`crate::Qrio::uncordon_device`].
+    Uncordon {
+        /// The node to uncordon.
+        node: String,
+    },
+    /// [`crate::Qrio::heal_devices`].
+    Heal,
+}
+
+// ---------------------------------------------------------------------------
+// Scalar / option helpers
+// ---------------------------------------------------------------------------
+
+fn put_opt_str(w: &mut ByteWriter, value: Option<&str>) {
+    match value {
+        Some(text) => {
+            w.put_bool(true);
+            w.put_str(text);
+        }
+        None => w.put_bool(false),
+    }
+}
+
+fn take_opt_str(r: &mut ByteReader<'_>) -> Result<Option<String>, DurabilityError> {
+    Ok(if r.take_bool()? {
+        Some(r.take_str()?)
+    } else {
+        None
+    })
+}
+
+fn put_opt_f64(w: &mut ByteWriter, value: Option<f64>) {
+    match value {
+        Some(v) => {
+            w.put_bool(true);
+            w.put_f64(v);
+        }
+        None => w.put_bool(false),
+    }
+}
+
+fn take_opt_f64(r: &mut ByteReader<'_>) -> Result<Option<f64>, DurabilityError> {
+    Ok(if r.take_bool()? {
+        Some(r.take_f64()?)
+    } else {
+        None
+    })
+}
+
+fn put_opt_usize(w: &mut ByteWriter, value: Option<usize>) {
+    match value {
+        Some(v) => {
+            w.put_bool(true);
+            w.put_usize(v);
+        }
+        None => w.put_bool(false),
+    }
+}
+
+fn take_opt_usize(r: &mut ByteReader<'_>) -> Result<Option<usize>, DurabilityError> {
+    Ok(if r.take_bool()? {
+        Some(r.take_usize()?)
+    } else {
+        None
+    })
+}
+
+fn put_str_vec(w: &mut ByteWriter, values: &[String]) {
+    w.put_usize(values.len());
+    for value in values {
+        w.put_str(value);
+    }
+}
+
+fn take_str_vec(r: &mut ByteReader<'_>) -> Result<Vec<String>, DurabilityError> {
+    let len = r.take_usize()?;
+    let mut out = Vec::with_capacity(len.min(4096));
+    for _ in 0..len {
+        out.push(r.take_str()?);
+    }
+    Ok(out)
+}
+
+fn bad_tag(what: &'static str, tag: u8) -> DurabilityError {
+    DurabilityError::Codec(CodecError::InvalidTag {
+        what,
+        tag: u64::from(tag),
+    })
+}
+
+fn take_backend(r: &mut ByteReader<'_>) -> Result<Backend, DurabilityError> {
+    let text = r.take_str()?;
+    backend_spec::from_spec(&text)
+        .map_err(|err| DurabilityError::Malformed(format!("backend spec: {err}")))
+}
+
+fn take_circuit(r: &mut ByteReader<'_>) -> Result<Circuit, DurabilityError> {
+    let text = r.take_str()?;
+    qasm::parse_qasm(&text).map_err(|err| DurabilityError::Malformed(format!("qasm: {err}")))
+}
+
+// ---------------------------------------------------------------------------
+// Domain codecs
+// ---------------------------------------------------------------------------
+
+fn put_resources(w: &mut ByteWriter, value: &Resources) {
+    w.put_u64(value.cpu_millis);
+    w.put_u64(value.memory_mib);
+}
+
+fn take_resources(r: &mut ByteReader<'_>) -> Result<Resources, DurabilityError> {
+    Ok(Resources {
+        cpu_millis: r.take_u64()?,
+        memory_mib: r.take_u64()?,
+    })
+}
+
+fn put_requirements(w: &mut ByteWriter, value: &DeviceRequirements) {
+    put_opt_usize(w, value.min_qubits);
+    put_opt_f64(w, value.max_two_qubit_error);
+    put_opt_f64(w, value.max_readout_error);
+    put_opt_f64(w, value.min_t1_us);
+    put_opt_f64(w, value.min_t2_us);
+}
+
+fn take_requirements(r: &mut ByteReader<'_>) -> Result<DeviceRequirements, DurabilityError> {
+    Ok(DeviceRequirements {
+        min_qubits: take_opt_usize(r)?,
+        max_two_qubit_error: take_opt_f64(r)?,
+        max_readout_error: take_opt_f64(r)?,
+        min_t1_us: take_opt_f64(r)?,
+        min_t2_us: take_opt_f64(r)?,
+    })
+}
+
+fn put_param_value(w: &mut ByteWriter, value: &ParamValue) {
+    match value {
+        ParamValue::Float(v) => {
+            w.put_u8(0);
+            w.put_f64(*v);
+        }
+        ParamValue::Int(v) => {
+            w.put_u8(1);
+            w.put_u64(*v);
+        }
+        ParamValue::Text(v) => {
+            w.put_u8(2);
+            w.put_str(v);
+        }
+        ParamValue::Edges(edges) => {
+            w.put_u8(3);
+            w.put_usize(edges.len());
+            for &(a, b) in edges {
+                w.put_usize(a);
+                w.put_usize(b);
+            }
+        }
+    }
+}
+
+fn take_param_value(r: &mut ByteReader<'_>) -> Result<ParamValue, DurabilityError> {
+    Ok(match r.take_u8()? {
+        0 => ParamValue::Float(r.take_f64()?),
+        1 => ParamValue::Int(r.take_u64()?),
+        2 => ParamValue::Text(r.take_str()?),
+        3 => {
+            let len = r.take_usize()?;
+            let mut edges = Vec::with_capacity(len.min(4096));
+            for _ in 0..len {
+                edges.push((r.take_usize()?, r.take_usize()?));
+            }
+            ParamValue::Edges(edges)
+        }
+        tag => return Err(bad_tag("ParamValue", tag)),
+    })
+}
+
+fn put_strategy_spec(w: &mut ByteWriter, value: &StrategySpec) {
+    w.put_str(&value.name);
+    let params: Vec<(&str, &ParamValue)> = value.params.iter().collect();
+    w.put_usize(params.len());
+    for (key, param) in params {
+        w.put_str(key);
+        put_param_value(w, param);
+    }
+}
+
+fn take_strategy_spec(r: &mut ByteReader<'_>) -> Result<StrategySpec, DurabilityError> {
+    let name = r.take_str()?;
+    let len = r.take_usize()?;
+    let mut params = StrategyParams::new();
+    for _ in 0..len {
+        let key = r.take_str()?;
+        params.set(key, take_param_value(r)?);
+    }
+    Ok(StrategySpec { name, params })
+}
+
+fn put_job_request(w: &mut ByteWriter, value: &JobRequest) {
+    w.put_str(&value.job_name);
+    w.put_str(&value.image_name);
+    w.put_str(&value.qasm);
+    w.put_usize(value.num_qubits);
+    put_resources(w, &value.resources);
+    put_requirements(w, &value.requirements);
+    put_strategy_spec(w, &value.strategy);
+    w.put_u8(value.priority);
+    w.put_u64(value.shots);
+    w.put_usize(value.parallel.threads());
+}
+
+fn take_job_request(r: &mut ByteReader<'_>) -> Result<JobRequest, DurabilityError> {
+    Ok(JobRequest {
+        job_name: r.take_str()?,
+        image_name: r.take_str()?,
+        qasm: r.take_str()?,
+        num_qubits: r.take_usize()?,
+        resources: take_resources(r)?,
+        requirements: take_requirements(r)?,
+        strategy: take_strategy_spec(r)?,
+        priority: r.take_u8()?,
+        shots: r.take_u64()?,
+        parallel: ParallelConfig::with_threads(r.take_usize()?),
+    })
+}
+
+fn put_telemetry(w: &mut ByteWriter, value: &DeviceTelemetry) {
+    w.put_usize(value.queue_depth);
+    w.put_f64(value.utilization);
+}
+
+fn take_telemetry(r: &mut ByteReader<'_>) -> Result<DeviceTelemetry, DurabilityError> {
+    Ok(DeviceTelemetry {
+        queue_depth: r.take_usize()?,
+        utilization: r.take_f64()?,
+    })
+}
+
+fn job_state_tag(state: JobState) -> u8 {
+    match state {
+        JobState::Submitted => 0,
+        JobState::Queued => 1,
+        JobState::Scheduled => 2,
+        JobState::Running => 3,
+        JobState::Succeeded => 4,
+        JobState::Failed => 5,
+        JobState::Cancelled => 6,
+    }
+}
+
+fn take_job_state(r: &mut ByteReader<'_>) -> Result<JobState, DurabilityError> {
+    Ok(match r.take_u8()? {
+        0 => JobState::Submitted,
+        1 => JobState::Queued,
+        2 => JobState::Scheduled,
+        3 => JobState::Running,
+        4 => JobState::Succeeded,
+        5 => JobState::Failed,
+        6 => JobState::Cancelled,
+        tag => return Err(bad_tag("JobState", tag)),
+    })
+}
+
+fn put_opt_job_state(w: &mut ByteWriter, value: Option<JobState>) {
+    match value {
+        Some(state) => {
+            w.put_bool(true);
+            w.put_u8(job_state_tag(state));
+        }
+        None => w.put_bool(false),
+    }
+}
+
+fn take_opt_job_state(r: &mut ByteReader<'_>) -> Result<Option<JobState>, DurabilityError> {
+    Ok(if r.take_bool()? {
+        Some(take_job_state(r)?)
+    } else {
+        None
+    })
+}
+
+fn put_job_event(w: &mut ByteWriter, event: &JobEvent) {
+    w.put_u64(event.seq);
+    w.put_u64(event.at);
+    w.put_str(event.job.as_str());
+    put_opt_job_state(w, event.from);
+    w.put_u8(job_state_tag(event.to));
+    put_opt_str(w, event.node.as_deref());
+    put_opt_str(w, event.reason.as_deref());
+}
+
+fn take_job_event(r: &mut ByteReader<'_>) -> Result<JobEvent, DurabilityError> {
+    Ok(JobEvent {
+        seq: r.take_u64()?,
+        at: r.take_u64()?,
+        job: JobId::new(&r.take_str()?),
+        from: take_opt_job_state(r)?,
+        to: take_job_state(r)?,
+        node: take_opt_str(r)?,
+        reason: take_opt_str(r)?,
+    })
+}
+
+fn put_job_status(w: &mut ByteWriter, status: &JobStatus) {
+    w.put_u8(job_state_tag(status.state));
+    put_opt_str(w, status.node.as_deref());
+    put_opt_str(w, status.reason.as_deref());
+    w.put_u8(status.priority);
+    w.put_usize(status.history.len());
+    for &(at, state) in &status.history {
+        w.put_u64(at);
+        w.put_u8(job_state_tag(state));
+    }
+}
+
+fn take_job_status(r: &mut ByteReader<'_>) -> Result<JobStatus, DurabilityError> {
+    let state = take_job_state(r)?;
+    let node = take_opt_str(r)?;
+    let reason = take_opt_str(r)?;
+    let priority = r.take_u8()?;
+    let len = r.take_usize()?;
+    let mut history = Vec::with_capacity(len.min(4096));
+    for _ in 0..len {
+        let at = r.take_u64()?;
+        history.push((at, take_job_state(r)?));
+    }
+    Ok(JobStatus {
+        state,
+        node,
+        reason,
+        priority,
+        history,
+    })
+}
+
+fn put_schedule_decision(w: &mut ByteWriter, decision: &ScheduleDecision) {
+    w.put_str(&decision.job);
+    w.put_str(&decision.node);
+    w.put_f64(decision.score);
+    w.put_usize(decision.candidates.len());
+    for (node, score) in &decision.candidates {
+        w.put_str(node);
+        w.put_f64(*score);
+    }
+    w.put_usize(decision.filtered_out.len());
+    for (node, reason) in &decision.filtered_out {
+        w.put_str(node);
+        w.put_str(reason);
+    }
+}
+
+fn take_schedule_decision(r: &mut ByteReader<'_>) -> Result<ScheduleDecision, DurabilityError> {
+    let job = r.take_str()?;
+    let node = r.take_str()?;
+    let score = r.take_f64()?;
+    let len = r.take_usize()?;
+    let mut candidates = Vec::with_capacity(len.min(4096));
+    for _ in 0..len {
+        let name = r.take_str()?;
+        candidates.push((name, r.take_f64()?));
+    }
+    let len = r.take_usize()?;
+    let mut filtered_out = Vec::with_capacity(len.min(4096));
+    for _ in 0..len {
+        let name = r.take_str()?;
+        filtered_out.push((name, r.take_str()?));
+    }
+    Ok(ScheduleDecision {
+        job,
+        node,
+        score,
+        candidates,
+        filtered_out,
+    })
+}
+
+fn put_cluster_error(w: &mut ByteWriter, err: &ClusterError) {
+    match err {
+        ClusterError::DuplicateNode(name) => {
+            w.put_u8(0);
+            w.put_str(name);
+        }
+        ClusterError::UnknownNode(name) => {
+            w.put_u8(1);
+            w.put_str(name);
+        }
+        ClusterError::DuplicateJob(name) => {
+            w.put_u8(2);
+            w.put_str(name);
+        }
+        ClusterError::UnknownJob(name) => {
+            w.put_u8(3);
+            w.put_str(name);
+        }
+        ClusterError::ImageNotFound(name) => {
+            w.put_u8(4);
+            w.put_str(name);
+        }
+        ClusterError::BindingRejected { job, node, reason } => {
+            w.put_u8(5);
+            w.put_str(job);
+            w.put_str(node);
+            w.put_str(reason);
+        }
+        ClusterError::Unschedulable { job, reason } => {
+            w.put_u8(6);
+            w.put_str(job);
+            w.put_str(reason);
+        }
+        ClusterError::SpecParse { line, message } => {
+            w.put_u8(7);
+            w.put_usize(*line);
+            w.put_str(message);
+        }
+        ClusterError::ExecutionFailed { job, reason } => {
+            w.put_u8(8);
+            w.put_str(job);
+            w.put_str(reason);
+        }
+        ClusterError::PhaseConflict { job, action, phase } => {
+            w.put_u8(9);
+            w.put_str(job);
+            w.put_str(action);
+            w.put_str(phase);
+        }
+    }
+}
+
+fn take_cluster_error(r: &mut ByteReader<'_>) -> Result<ClusterError, DurabilityError> {
+    Ok(match r.take_u8()? {
+        0 => ClusterError::DuplicateNode(r.take_str()?),
+        1 => ClusterError::UnknownNode(r.take_str()?),
+        2 => ClusterError::DuplicateJob(r.take_str()?),
+        3 => ClusterError::UnknownJob(r.take_str()?),
+        4 => ClusterError::ImageNotFound(r.take_str()?),
+        5 => ClusterError::BindingRejected {
+            job: r.take_str()?,
+            node: r.take_str()?,
+            reason: r.take_str()?,
+        },
+        6 => ClusterError::Unschedulable {
+            job: r.take_str()?,
+            reason: r.take_str()?,
+        },
+        7 => ClusterError::SpecParse {
+            line: r.take_usize()?,
+            message: r.take_str()?,
+        },
+        8 => ClusterError::ExecutionFailed {
+            job: r.take_str()?,
+            reason: r.take_str()?,
+        },
+        9 => ClusterError::PhaseConflict {
+            job: r.take_str()?,
+            action: r.take_str()?,
+            phase: r.take_str()?,
+        },
+        tag => return Err(bad_tag("ClusterError", tag)),
+    })
+}
+
+/// Project a lifecycle failure onto the persistable [`ClusterError`] space.
+/// Cluster failures survive exactly; anything else (meta, scheduler, ...)
+/// keeps its rendered message under `ExecutionFailed`.
+fn failure_as_cluster(job: &str, err: &crate::QrioError) -> ClusterError {
+    match err {
+        crate::QrioError::Cluster(inner) => inner.clone(),
+        other => ClusterError::ExecutionFailed {
+            job: job.to_string(),
+            reason: other.to_string(),
+        },
+    }
+}
+
+fn put_job_phase(w: &mut ByteWriter, phase: &JobPhase) {
+    match phase {
+        JobPhase::Pending => w.put_u8(0),
+        JobPhase::Scheduled { node } => {
+            w.put_u8(1);
+            w.put_str(node);
+        }
+        JobPhase::Running { node } => {
+            w.put_u8(2);
+            w.put_str(node);
+        }
+        JobPhase::Succeeded { node } => {
+            w.put_u8(3);
+            w.put_str(node);
+        }
+        JobPhase::Failed { reason } => {
+            w.put_u8(4);
+            w.put_str(reason);
+        }
+        JobPhase::Cancelled { reason } => {
+            w.put_u8(5);
+            w.put_str(reason);
+        }
+    }
+}
+
+fn take_job_phase(r: &mut ByteReader<'_>) -> Result<JobPhase, DurabilityError> {
+    Ok(match r.take_u8()? {
+        0 => JobPhase::Pending,
+        1 => JobPhase::Scheduled {
+            node: r.take_str()?,
+        },
+        2 => JobPhase::Running {
+            node: r.take_str()?,
+        },
+        3 => JobPhase::Succeeded {
+            node: r.take_str()?,
+        },
+        4 => JobPhase::Failed {
+            reason: r.take_str()?,
+        },
+        5 => JobPhase::Cancelled {
+            reason: r.take_str()?,
+        },
+        tag => return Err(bad_tag("JobPhase", tag)),
+    })
+}
+
+fn put_job_spec(w: &mut ByteWriter, spec: &JobSpec) {
+    w.put_str(&spec.name);
+    w.put_str(&spec.image);
+    w.put_str(&spec.qasm);
+    w.put_usize(spec.num_qubits);
+    put_resources(w, &spec.resources);
+    put_requirements(w, &spec.requirements);
+    put_strategy_spec(w, &spec.strategy);
+    w.put_u8(spec.priority);
+    w.put_u64(spec.shots);
+    w.put_usize(spec.threads);
+}
+
+fn take_job_spec(r: &mut ByteReader<'_>) -> Result<JobSpec, DurabilityError> {
+    Ok(JobSpec {
+        name: r.take_str()?,
+        image: r.take_str()?,
+        qasm: r.take_str()?,
+        num_qubits: r.take_usize()?,
+        resources: take_resources(r)?,
+        requirements: take_requirements(r)?,
+        strategy: take_strategy_spec(r)?,
+        priority: r.take_u8()?,
+        shots: r.take_u64()?,
+        threads: r.take_usize()?,
+    })
+}
+
+fn put_job_snapshot(w: &mut ByteWriter, job: &JobSnapshot) {
+    put_job_spec(w, &job.spec);
+    put_job_phase(w, &job.phase);
+    put_str_vec(w, &job.logs);
+    w.put_usize(job.result_counts.len());
+    for (bitstring, count) in &job.result_counts {
+        w.put_str(bitstring);
+        w.put_u64(*count);
+    }
+    put_opt_f64(w, job.achieved_fidelity);
+}
+
+fn take_job_snapshot(r: &mut ByteReader<'_>) -> Result<JobSnapshot, DurabilityError> {
+    let spec = take_job_spec(r)?;
+    let phase = take_job_phase(r)?;
+    let logs = take_str_vec(r)?;
+    let len = r.take_usize()?;
+    let mut result_counts = Vec::with_capacity(len.min(4096));
+    for _ in 0..len {
+        let bitstring = r.take_str()?;
+        result_counts.push((bitstring, r.take_u64()?));
+    }
+    Ok(JobSnapshot {
+        spec,
+        phase,
+        logs,
+        result_counts,
+        achieved_fidelity: take_opt_f64(r)?,
+    })
+}
+
+fn put_node_state(w: &mut ByteWriter, node: &NodeState) {
+    w.put_str(&backend_spec::to_spec(&node.backend));
+    w.put_usize(node.labels.len());
+    for (key, value) in &node.labels {
+        w.put_str(key);
+        w.put_str(value);
+    }
+    put_resources(w, &node.capacity);
+    put_resources(w, &node.allocated);
+    w.put_u8(match node.status {
+        NodeStatus::Ready => 0,
+        NodeStatus::NotReady => 1,
+        NodeStatus::Cordoned => 2,
+    });
+    w.put_u64(node.restart_count);
+}
+
+fn take_node_state(r: &mut ByteReader<'_>) -> Result<NodeState, DurabilityError> {
+    let backend = take_backend(r)?;
+    let len = r.take_usize()?;
+    let mut labels = BTreeMap::new();
+    for _ in 0..len {
+        let key = r.take_str()?;
+        labels.insert(key, r.take_str()?);
+    }
+    let capacity = take_resources(r)?;
+    let allocated = take_resources(r)?;
+    let status = match r.take_u8()? {
+        0 => NodeStatus::Ready,
+        1 => NodeStatus::NotReady,
+        2 => NodeStatus::Cordoned,
+        tag => return Err(bad_tag("NodeStatus", tag)),
+    };
+    Ok(NodeState {
+        backend,
+        labels,
+        capacity,
+        allocated,
+        status,
+        restart_count: r.take_u64()?,
+    })
+}
+
+fn put_registry_state(w: &mut ByteWriter, registry: &RegistryState) {
+    w.put_usize(registry.images.len());
+    for image in &registry.images {
+        w.put_str(image.name());
+        w.put_usize(image.len());
+        for (path, contents) in image.files() {
+            w.put_str(path);
+            w.put_str(contents);
+        }
+    }
+    w.put_u64(registry.push_count);
+    w.put_u64(registry.pull_count);
+}
+
+fn take_registry_state(r: &mut ByteReader<'_>) -> Result<RegistryState, DurabilityError> {
+    let len = r.take_usize()?;
+    let mut images = Vec::with_capacity(len.min(4096));
+    for _ in 0..len {
+        let mut image = ImageBundle::new(r.take_str()?);
+        let files = r.take_usize()?;
+        for _ in 0..files {
+            let path = r.take_str()?;
+            image.add_file(path, r.take_str()?);
+        }
+        images.push(image);
+    }
+    Ok(RegistryState {
+        images,
+        push_count: r.take_u64()?,
+        pull_count: r.take_u64()?,
+    })
+}
+
+fn put_cluster_state(w: &mut ByteWriter, cluster: &ClusterState) {
+    w.put_usize(cluster.nodes.len());
+    for node in &cluster.nodes {
+        put_node_state(w, node);
+    }
+    w.put_usize(cluster.jobs.len());
+    for job in &cluster.jobs {
+        put_job_snapshot(w, job);
+    }
+    put_registry_state(w, &cluster.registry);
+    w.put_usize(cluster.events.len());
+    for event in &cluster.events {
+        w.put_str(&event.kind);
+        w.put_str(&event.message);
+    }
+    put_str_vec(w, &cluster.queue);
+}
+
+fn take_cluster_state(r: &mut ByteReader<'_>) -> Result<ClusterState, DurabilityError> {
+    let len = r.take_usize()?;
+    let mut nodes = Vec::with_capacity(len.min(4096));
+    for _ in 0..len {
+        nodes.push(take_node_state(r)?);
+    }
+    let len = r.take_usize()?;
+    let mut jobs = Vec::with_capacity(len.min(4096));
+    for _ in 0..len {
+        jobs.push(take_job_snapshot(r)?);
+    }
+    let registry = take_registry_state(r)?;
+    let len = r.take_usize()?;
+    let mut events = Vec::with_capacity(len.min(4096));
+    for _ in 0..len {
+        let kind = r.take_str()?;
+        events.push(ClusterEvent {
+            kind,
+            message: r.take_str()?,
+        });
+    }
+    Ok(ClusterState {
+        nodes,
+        jobs,
+        registry,
+        events,
+        queue: take_str_vec(r)?,
+    })
+}
+
+fn put_meta_state(w: &mut ByteWriter, meta: &MetaState) {
+    w.put_u64(meta.fidelity_config.shots);
+    w.put_u64(meta.fidelity_config.seed);
+    w.put_f64(meta.fidelity_config.shortfall_weight);
+    w.put_usize(meta.backends.len());
+    for (backend, revision) in &meta.backends {
+        w.put_str(&backend_spec::to_spec(backend));
+        w.put_u64(*revision);
+    }
+    w.put_usize(meta.jobs.len());
+    for (job, strategy, circuit) in &meta.jobs {
+        w.put_str(job);
+        put_strategy_spec(w, strategy);
+        match circuit {
+            Some(circuit) => {
+                w.put_bool(true);
+                w.put_str(&qasm::to_qasm(circuit));
+            }
+            None => w.put_bool(false),
+        }
+    }
+    w.put_usize(meta.telemetry.len());
+    for (device, telemetry) in &meta.telemetry {
+        w.put_str(device);
+        put_telemetry(w, telemetry);
+    }
+}
+
+fn take_meta_state(r: &mut ByteReader<'_>) -> Result<MetaState, DurabilityError> {
+    let fidelity_config = FidelityRankingConfig {
+        shots: r.take_u64()?,
+        seed: r.take_u64()?,
+        shortfall_weight: r.take_f64()?,
+    };
+    let len = r.take_usize()?;
+    let mut backends = Vec::with_capacity(len.min(4096));
+    for _ in 0..len {
+        let backend = take_backend(r)?;
+        backends.push((backend, r.take_u64()?));
+    }
+    let len = r.take_usize()?;
+    let mut jobs = Vec::with_capacity(len.min(4096));
+    for _ in 0..len {
+        let job = r.take_str()?;
+        let strategy = take_strategy_spec(r)?;
+        let circuit = if r.take_bool()? {
+            Some(take_circuit(r)?)
+        } else {
+            None
+        };
+        jobs.push((job, strategy, circuit));
+    }
+    let len = r.take_usize()?;
+    let mut telemetry = Vec::with_capacity(len.min(4096));
+    for _ in 0..len {
+        let device = r.take_str()?;
+        telemetry.push((device, take_telemetry(r)?));
+    }
+    Ok(MetaState {
+        fidelity_config,
+        backends,
+        jobs,
+        telemetry,
+    })
+}
+
+fn put_lifecycle(w: &mut ByteWriter, store: &LifecycleStore) {
+    w.put_u64(store.clock);
+    w.put_usize(store.events.len());
+    for event in &store.events {
+        put_job_event(w, event);
+    }
+    w.put_usize(store.jobs.len());
+    for (name, tracked) in &store.jobs {
+        w.put_str(name);
+        put_job_status(w, &tracked.status);
+        match &tracked.decision {
+            Some(decision) => {
+                w.put_bool(true);
+                put_schedule_decision(w, decision);
+            }
+            None => w.put_bool(false),
+        }
+        match &tracked.failure {
+            Some(failure) => {
+                w.put_bool(true);
+                put_cluster_error(w, &failure_as_cluster(name, failure));
+            }
+            None => w.put_bool(false),
+        }
+    }
+    w.put_u64(store.admit_seq);
+    w.put_usize(store.pending.len());
+    for (priority, seq, name) in &store.pending {
+        w.put_u8(*priority);
+        w.put_u64(*seq);
+        w.put_str(name);
+    }
+    w.put_usize(store.device_queues.len());
+    for (device, queue) in &store.device_queues {
+        w.put_str(device);
+        w.put_usize(queue.len());
+        for name in queue {
+            w.put_str(name);
+        }
+    }
+}
+
+fn take_lifecycle(r: &mut ByteReader<'_>) -> Result<LifecycleStore, DurabilityError> {
+    let clock = r.take_u64()?;
+    let len = r.take_usize()?;
+    let mut events = Vec::with_capacity(len.min(4096));
+    for _ in 0..len {
+        events.push(take_job_event(r)?);
+    }
+    let len = r.take_usize()?;
+    let mut jobs = BTreeMap::new();
+    for _ in 0..len {
+        let name = r.take_str()?;
+        let status = take_job_status(r)?;
+        let decision = if r.take_bool()? {
+            Some(take_schedule_decision(r)?)
+        } else {
+            None
+        };
+        let failure = if r.take_bool()? {
+            Some(crate::QrioError::Cluster(take_cluster_error(r)?))
+        } else {
+            None
+        };
+        jobs.insert(
+            name,
+            Tracked {
+                status,
+                decision,
+                failure,
+            },
+        );
+    }
+    let admit_seq = r.take_u64()?;
+    let len = r.take_usize()?;
+    let mut pending = Vec::with_capacity(len.min(4096));
+    for _ in 0..len {
+        let priority = r.take_u8()?;
+        let seq = r.take_u64()?;
+        pending.push((priority, seq, r.take_str()?));
+    }
+    let len = r.take_usize()?;
+    let mut device_queues = BTreeMap::new();
+    for _ in 0..len {
+        let device = r.take_str()?;
+        let jobs_len = r.take_usize()?;
+        let mut queue = std::collections::VecDeque::with_capacity(jobs_len.min(4096));
+        for _ in 0..jobs_len {
+            queue.push_back(r.take_str()?);
+        }
+        device_queues.insert(device, queue);
+    }
+    Ok(LifecycleStore {
+        clock,
+        events,
+        jobs,
+        admit_seq,
+        pending,
+        device_queues,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Record-level encode / decode (public: the analyzer lints over these)
+// ---------------------------------------------------------------------------
+
+/// Encode a [`Command`] as a framed journal record.
+pub fn encode_command_record(cmd: &Command) -> Record {
+    let mut w = ByteWriter::new();
+    match cmd {
+        Command::AddDevice {
+            spec_text,
+            resources,
+        } => {
+            w.put_u8(0);
+            w.put_str(spec_text);
+            put_resources(&mut w, resources);
+        }
+        Command::Recalibrate { spec_text } => {
+            w.put_u8(1);
+            w.put_str(spec_text);
+        }
+        Command::Telemetry { reports } => {
+            w.put_u8(2);
+            w.put_usize(reports.len());
+            for (device, telemetry) in reports {
+                w.put_str(device);
+                put_telemetry(&mut w, telemetry);
+            }
+        }
+        Command::Enqueue { request } => {
+            w.put_u8(3);
+            put_job_request(&mut w, request);
+        }
+        Command::Cancel { job } => {
+            w.put_u8(4);
+            w.put_str(job);
+        }
+        Command::Tick => w.put_u8(5),
+        Command::ForceAdmit { job } => {
+            w.put_u8(6);
+            w.put_str(job);
+        }
+        Command::Schedule { job } => {
+            w.put_u8(7);
+            w.put_str(job);
+        }
+        Command::Execute { job } => {
+            w.put_u8(8);
+            w.put_str(job);
+        }
+        Command::Rebind { job, target } => {
+            w.put_u8(9);
+            w.put_str(job);
+            w.put_str(target);
+        }
+        Command::Cordon { node } => {
+            w.put_u8(10);
+            w.put_str(node);
+        }
+        Command::Uncordon { node } => {
+            w.put_u8(11);
+            w.put_str(node);
+        }
+        Command::Heal => w.put_u8(12),
+    }
+    Record::new(RECORD_COMMAND, RECORD_VERSION, w.into_bytes())
+}
+
+/// Decode the payload of a [`RECORD_COMMAND`] record.
+///
+/// # Errors
+///
+/// Returns a codec error on truncated or trailing bytes and a
+/// [`DurabilityError::Codec`] invalid-tag error on unknown command tags.
+pub fn decode_command(payload: &[u8]) -> Result<Command, DurabilityError> {
+    let mut r = ByteReader::new(payload);
+    let cmd = match r.take_u8()? {
+        0 => {
+            let spec_text = r.take_str()?;
+            Command::AddDevice {
+                spec_text,
+                resources: take_resources(&mut r)?,
+            }
+        }
+        1 => Command::Recalibrate {
+            spec_text: r.take_str()?,
+        },
+        2 => {
+            let len = r.take_usize()?;
+            let mut reports = Vec::with_capacity(len.min(4096));
+            for _ in 0..len {
+                let device = r.take_str()?;
+                reports.push((device, take_telemetry(&mut r)?));
+            }
+            Command::Telemetry { reports }
+        }
+        3 => Command::Enqueue {
+            request: take_job_request(&mut r)?,
+        },
+        4 => Command::Cancel { job: r.take_str()? },
+        5 => Command::Tick,
+        6 => Command::ForceAdmit { job: r.take_str()? },
+        7 => Command::Schedule { job: r.take_str()? },
+        8 => Command::Execute { job: r.take_str()? },
+        9 => {
+            let job = r.take_str()?;
+            Command::Rebind {
+                job,
+                target: r.take_str()?,
+            }
+        }
+        10 => Command::Cordon {
+            node: r.take_str()?,
+        },
+        11 => Command::Uncordon {
+            node: r.take_str()?,
+        },
+        12 => Command::Heal,
+        tag => return Err(bad_tag("Command", tag)),
+    };
+    r.finish()?;
+    Ok(cmd)
+}
+
+/// Encode a slice of watch-log events as a framed journal record.
+pub fn encode_events_record(events: &[JobEvent]) -> Record {
+    let mut w = ByteWriter::new();
+    w.put_usize(events.len());
+    for event in events {
+        put_job_event(&mut w, event);
+    }
+    Record::new(RECORD_EVENTS, RECORD_VERSION, w.into_bytes())
+}
+
+/// Decode the payload of a [`RECORD_EVENTS`] record.
+///
+/// # Errors
+///
+/// Returns a codec error on truncated payloads or unknown state tags.
+pub fn decode_events(payload: &[u8]) -> Result<Vec<JobEvent>, DurabilityError> {
+    let mut r = ByteReader::new(payload);
+    let len = r.take_usize()?;
+    let mut events = Vec::with_capacity(len.min(4096));
+    for _ in 0..len {
+        events.push(take_job_event(&mut r)?);
+    }
+    r.finish()?;
+    Ok(events)
+}
+
+/// Read the event cursor a [`RECORD_SNAPSHOT`] payload starts with — the
+/// watch-log length at snapshot time — without decoding the rest. The
+/// analyzer's journal lints use this to cross-check snapshots against the
+/// event records around them.
+///
+/// # Errors
+///
+/// Returns a codec error when the payload is shorter than the cursor.
+pub fn snapshot_cursor(payload: &[u8]) -> Result<u64, DurabilityError> {
+    let mut r = ByteReader::new(payload);
+    Ok(r.take_u64()?)
+}
+
+/// The full orchestrator state captured by a snapshot record.
+#[derive(Debug, Clone)]
+pub(crate) struct SnapshotState {
+    /// Watch-log length at snapshot time (`lifecycle.events.len()`).
+    pub(crate) cursor: u64,
+    pub(crate) lifecycle: LifecycleStore,
+    pub(crate) cluster: ClusterState,
+    pub(crate) meta: MetaState,
+    pub(crate) runner_seed: u64,
+    pub(crate) default_node_resources: Resources,
+    pub(crate) snapshot_every: u64,
+}
+
+pub(crate) fn encode_snapshot_record(snap: &SnapshotState) -> Record {
+    let mut w = ByteWriter::new();
+    w.put_u64(snap.cursor);
+    put_lifecycle(&mut w, &snap.lifecycle);
+    put_cluster_state(&mut w, &snap.cluster);
+    put_meta_state(&mut w, &snap.meta);
+    w.put_u64(snap.runner_seed);
+    put_resources(&mut w, &snap.default_node_resources);
+    w.put_u64(snap.snapshot_every);
+    Record::new(RECORD_SNAPSHOT, RECORD_VERSION, w.into_bytes())
+}
+
+pub(crate) fn decode_snapshot(payload: &[u8]) -> Result<SnapshotState, DurabilityError> {
+    let mut r = ByteReader::new(payload);
+    let cursor = r.take_u64()?;
+    let lifecycle = take_lifecycle(&mut r)?;
+    let cluster = take_cluster_state(&mut r)?;
+    let meta = take_meta_state(&mut r)?;
+    let runner_seed = r.take_u64()?;
+    let default_node_resources = take_resources(&mut r)?;
+    let snapshot_every = r.take_u64()?;
+    r.finish()?;
+    Ok(SnapshotState {
+        cursor,
+        lifecycle,
+        cluster,
+        meta,
+        runner_seed,
+        default_node_resources,
+        snapshot_every,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The attached journal
+// ---------------------------------------------------------------------------
+
+/// The journaling half of a durable [`crate::Qrio`]: owns the open journal,
+/// tracks which watch-log events are already on disk, counts commands toward
+/// the next snapshot, and turns the first I/O failure into a sticky poison so
+/// the in-memory state can never silently outrun the log.
+#[derive(Debug)]
+pub(crate) struct Durability {
+    journal: Journal,
+    snapshot_every: u64,
+    commands_since_snapshot: u64,
+    journaled_events: u64,
+    error: Option<DurabilityError>,
+}
+
+impl Durability {
+    pub(crate) fn new(journal: Journal, snapshot_every: u64, journaled_events: u64) -> Self {
+        Durability {
+            journal,
+            snapshot_every,
+            commands_since_snapshot: 0,
+            journaled_events,
+            error: None,
+        }
+    }
+
+    pub(crate) fn snapshot_every(&self) -> u64 {
+        self.snapshot_every
+    }
+
+    pub(crate) fn error(&self) -> Option<&DurabilityError> {
+        self.error.as_ref()
+    }
+
+    pub(crate) fn poison(&mut self, err: DurabilityError) {
+        if self.error.is_none() {
+            self.error = Some(err);
+        }
+    }
+
+    /// Append one command record plus the events it produced, then flush.
+    pub(crate) fn log_command(
+        &mut self,
+        cmd: &Command,
+        all_events: &[JobEvent],
+    ) -> Result<(), DurabilityError> {
+        if let Some(err) = &self.error {
+            return Err(err.clone());
+        }
+        let result = self.log_command_inner(cmd, all_events);
+        if let Err(err) = &result {
+            self.poison(err.clone());
+        }
+        result
+    }
+
+    fn log_command_inner(
+        &mut self,
+        cmd: &Command,
+        all_events: &[JobEvent],
+    ) -> Result<(), DurabilityError> {
+        self.journal.append(&encode_command_record(cmd))?;
+        self.append_event_tail(all_events)?;
+        self.journal.flush()?;
+        self.commands_since_snapshot += 1;
+        Ok(())
+    }
+
+    /// Journal any watch-log events not yet on disk.
+    pub(crate) fn append_event_tail(
+        &mut self,
+        all_events: &[JobEvent],
+    ) -> Result<(), DurabilityError> {
+        let start = self.journaled_events as usize;
+        if start >= all_events.len() {
+            return Ok(());
+        }
+        self.journal
+            .append(&encode_events_record(&all_events[start..]))?;
+        self.journaled_events = all_events.len() as u64;
+        Ok(())
+    }
+
+    pub(crate) fn snapshot_due(&self) -> bool {
+        self.error.is_none()
+            && self.snapshot_every > 0
+            && self.commands_since_snapshot >= self.snapshot_every
+    }
+
+    /// Append a snapshot record and reset the command counter.
+    pub(crate) fn log_snapshot(&mut self, snap: &SnapshotState) -> Result<(), DurabilityError> {
+        if let Some(err) = &self.error {
+            return Err(err.clone());
+        }
+        let result: Result<(), DurabilityError> = (|| {
+            self.journal.append(&encode_snapshot_record(snap))?;
+            self.journal.flush()?;
+            Ok(())
+        })();
+        match &result {
+            Ok(()) => self.commands_since_snapshot = 0,
+            Err(err) => self.poison(err.clone()),
+        }
+        result
+    }
+
+    /// Force the journal down to the storage device (`fdatasync`).
+    pub(crate) fn sync(&mut self) -> Result<(), DurabilityError> {
+        if let Some(err) = &self.error {
+            return Err(err.clone());
+        }
+        let result = self.journal.sync().map_err(DurabilityError::from);
+        if let Err(err) = &result {
+            self.poison(err.clone());
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_request() -> JobRequest {
+        JobRequest {
+            job_name: "bv".into(),
+            image_name: "qrio/bv:latest".into(),
+            qasm: "OPENQASM 2.0;\n".into(),
+            num_qubits: 5,
+            resources: Resources::new(500, 256),
+            requirements: DeviceRequirements {
+                min_qubits: Some(5),
+                max_two_qubit_error: Some(0.05),
+                max_readout_error: None,
+                min_t1_us: Some(80.0),
+                min_t2_us: None,
+            },
+            strategy: StrategySpec::fidelity(0.9),
+            priority: 3,
+            shots: 256,
+            parallel: ParallelConfig::with_threads(2),
+        }
+    }
+
+    fn sample_event(seq: u64) -> JobEvent {
+        JobEvent {
+            seq,
+            at: seq / 2,
+            job: JobId::new("bv"),
+            from: if seq == 0 {
+                None
+            } else {
+                Some(JobState::Queued)
+            },
+            to: JobState::Scheduled,
+            node: Some("clean".into()),
+            reason: None,
+        }
+    }
+
+    #[test]
+    fn every_command_variant_round_trips() {
+        let backend =
+            qrio_backend::Backend::uniform("dev", qrio_backend::topology::line(3), 0.01, 0.02);
+        let commands = vec![
+            Command::AddDevice {
+                spec_text: backend_spec::to_spec(&backend),
+                resources: Resources::new(4000, 8192),
+            },
+            Command::Recalibrate {
+                spec_text: backend_spec::to_spec(&backend),
+            },
+            Command::Telemetry {
+                reports: vec![(
+                    "dev".into(),
+                    DeviceTelemetry {
+                        queue_depth: 3,
+                        utilization: 0.75,
+                    },
+                )],
+            },
+            Command::Enqueue {
+                request: sample_request(),
+            },
+            Command::Cancel { job: "bv".into() },
+            Command::Tick,
+            Command::ForceAdmit { job: "bv".into() },
+            Command::Schedule { job: "bv".into() },
+            Command::Execute { job: "bv".into() },
+            Command::Rebind {
+                job: "bv".into(),
+                target: "dev".into(),
+            },
+            Command::Cordon { node: "dev".into() },
+            Command::Uncordon { node: "dev".into() },
+            Command::Heal,
+        ];
+        for cmd in commands {
+            let record = encode_command_record(&cmd);
+            assert_eq!(record.kind, RECORD_COMMAND);
+            assert_eq!(record.version, RECORD_VERSION);
+            let decoded = decode_command(&record.payload).unwrap();
+            assert_eq!(decoded, cmd);
+            // Byte-identical fixed point.
+            assert_eq!(encode_command_record(&decoded).payload, record.payload);
+        }
+    }
+
+    #[test]
+    fn events_round_trip_and_cursor_reads() {
+        let events = vec![sample_event(0), sample_event(7)];
+        let record = encode_events_record(&events);
+        assert_eq!(record.kind, RECORD_EVENTS);
+        assert_eq!(decode_events(&record.payload).unwrap(), events);
+
+        let snap_payload = {
+            let mut w = ByteWriter::new();
+            w.put_u64(42);
+            w.put_u8(0xFF); // trailing bytes are fine for cursor reads
+            w.into_bytes()
+        };
+        assert_eq!(snapshot_cursor(&snap_payload).unwrap(), 42);
+        assert!(snapshot_cursor(&[1, 2]).is_err());
+    }
+
+    #[test]
+    fn unknown_tags_are_typed_errors() {
+        let mut w = ByteWriter::new();
+        w.put_u8(200);
+        assert!(matches!(
+            decode_command(&w.into_bytes()),
+            Err(DurabilityError::Codec(CodecError::InvalidTag { .. }))
+        ));
+    }
+
+    #[test]
+    fn cluster_error_variants_round_trip() {
+        let errors = vec![
+            ClusterError::DuplicateNode("a".into()),
+            ClusterError::UnknownNode("b".into()),
+            ClusterError::DuplicateJob("c".into()),
+            ClusterError::UnknownJob("d".into()),
+            ClusterError::ImageNotFound("e".into()),
+            ClusterError::BindingRejected {
+                job: "j".into(),
+                node: "n".into(),
+                reason: "full".into(),
+            },
+            ClusterError::Unschedulable {
+                job: "j".into(),
+                reason: "no device".into(),
+            },
+            ClusterError::SpecParse {
+                line: 7,
+                message: "bad".into(),
+            },
+            ClusterError::ExecutionFailed {
+                job: "j".into(),
+                reason: "boom".into(),
+            },
+            ClusterError::PhaseConflict {
+                job: "j".into(),
+                action: "cancel".into(),
+                phase: "Running".into(),
+            },
+        ];
+        for err in errors {
+            let mut w = ByteWriter::new();
+            put_cluster_error(&mut w, &err);
+            let bytes = w.into_bytes();
+            let mut r = ByteReader::new(&bytes);
+            assert_eq!(take_cluster_error(&mut r).unwrap(), err);
+            r.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn non_cluster_failures_project_to_execution_failed() {
+        let err = crate::QrioError::UnknownJob("ghost".into());
+        let projected = failure_as_cluster("ghost", &err);
+        assert!(matches!(
+            projected,
+            ClusterError::ExecutionFailed { ref job, .. } if job == "ghost"
+        ));
+        let cluster = crate::QrioError::Cluster(ClusterError::UnknownNode("n".into()));
+        assert_eq!(
+            failure_as_cluster("x", &cluster),
+            ClusterError::UnknownNode("n".into())
+        );
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert!(DurabilityError::NoSnapshot.to_string().contains("snapshot"));
+        assert!(DurabilityError::UnsupportedRecord {
+            kind: 9,
+            version: 3
+        }
+        .to_string()
+        .contains("kind 9"));
+        assert!(DurabilityError::ReplayDivergence("seq 4".into())
+            .to_string()
+            .contains("seq 4"));
+    }
+}

@@ -8,6 +8,8 @@ use qrio_cluster::ClusterError;
 use qrio_meta::MetaError;
 use qrio_scheduler::SchedulerError;
 
+use crate::durability::DurabilityError;
+
 /// Errors surfaced by the end-to-end QRIO orchestrator.
 #[derive(Debug, Clone, PartialEq)]
 pub enum QrioError {
@@ -35,6 +37,11 @@ pub enum QrioError {
     JobNotFinished(String),
     /// The job was cancelled before it ran, so it has no outcome.
     JobCancelled(String),
+    /// The durability layer (journal, snapshot codec or recovery replay)
+    /// failed. Once a journal write fails the error is sticky: every
+    /// subsequent journaled operation reports it until durability is
+    /// disabled, so in-memory state can never silently outrun the log.
+    Durability(DurabilityError),
 }
 
 impl fmt::Display for QrioError {
@@ -53,6 +60,7 @@ impl fmt::Display for QrioError {
                 write!(f, "job '{id}' has not reached a terminal state yet")
             }
             QrioError::JobCancelled(id) => write!(f, "job '{id}' was cancelled"),
+            QrioError::Durability(err) => write!(f, "durability error: {err}"),
         }
     }
 }
@@ -80,6 +88,12 @@ impl From<MetaError> for QrioError {
 impl From<SchedulerError> for QrioError {
     fn from(err: SchedulerError) -> Self {
         QrioError::Scheduler(err)
+    }
+}
+
+impl From<DurabilityError> for QrioError {
+    fn from(err: DurabilityError) -> Self {
+        QrioError::Durability(err)
     }
 }
 

@@ -22,6 +22,10 @@
 //!   substrate, the meta server and the scheduler, exposing a non-blocking
 //!   job lifecycle ([`Qrio::enqueue`] → [`Qrio::tick`] → [`Qrio::outcome`])
 //!   with typed states and watch events ([`lifecycle`]),
+//! * [`durability`] — opt-in crash recovery: every mutation is journaled to
+//!   a `qrio-journal` write-ahead log before it is acknowledged
+//!   ([`Qrio::enable_durability`]), and [`Qrio::recover`] rebuilds the exact
+//!   pre-crash orchestrator from snapshot + replay,
 //! * [`experiments`] — the harness that regenerates every table and figure of
 //!   the paper's evaluation (§4).
 //!
@@ -70,6 +74,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod durability;
 mod error;
 pub mod experiments;
 pub mod lifecycle;
@@ -78,6 +83,7 @@ mod orchestrator;
 mod runner;
 pub mod visualizer;
 
+pub use durability::{Command, DurabilityConfig, DurabilityError, RecoveryReport};
 pub use error::QrioError;
 pub use lifecycle::{JobEvent, JobId, JobState, JobStatus, TickReport};
 pub use master_server::{containerize, ContainerizedJob};

@@ -222,7 +222,7 @@ pub(crate) struct Tracked {
 
 /// The lifecycle store owned by [`crate::Qrio`]: job records, the watch log,
 /// the admission queue and the per-device execution queues.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub(crate) struct LifecycleStore {
     /// Virtual clock, incremented once per service-loop tick.
     pub(crate) clock: u64,
@@ -232,11 +232,13 @@ pub(crate) struct LifecycleStore {
     /// deterministic).
     pub(crate) jobs: BTreeMap<String, Tracked>,
     /// Monotonic admission sequence: the FIFO tie-break within a priority.
-    admit_seq: u64,
+    /// `pub(crate)` so durability snapshots can persist and restore it.
+    pub(crate) admit_seq: u64,
     /// Admission queue entries `(priority, admit_seq, job name)`, kept
     /// sorted in draining order (priority descending, sequence ascending)
-    /// on insert, so every tick reads it without re-sorting.
-    pending: Vec<(u8, u64, String)>,
+    /// on insert, so every tick reads it without re-sorting. `pub(crate)`
+    /// for durability snapshots.
+    pub(crate) pending: Vec<(u8, u64, String)>,
     /// Bound jobs waiting for their device, FIFO per device.
     pub(crate) device_queues: BTreeMap<String, VecDeque<String>>,
 }

@@ -31,13 +31,19 @@
 //! meta server and the cluster in one step.
 
 use std::fmt;
+use std::path::Path;
 use std::sync::Arc;
 
-use qrio_backend::Backend;
+use qrio_backend::{spec as backend_spec, Backend};
 use qrio_cluster::{framework, Cluster, ClusterError, Node, Resources, ScheduleDecision};
+use qrio_journal::Journal;
 use qrio_meta::{DeviceTelemetry, FidelityRankingConfig, MetaServer, RankingStrategy};
 use qrio_scheduler::{MetaRankingPlugin, QrioScheduler};
 
+use crate::durability::{
+    self, Command, Durability, DurabilityConfig, DurabilityError, RecoveryReport, SnapshotState,
+    RECORD_COMMAND, RECORD_EVENTS, RECORD_SNAPSHOT, RECORD_VERSION,
+};
 use crate::error::QrioError;
 use crate::lifecycle::{JobEvent, JobId, JobState, JobStatus, LifecycleStore, TickReport};
 use crate::master_server::containerize;
@@ -97,6 +103,7 @@ pub struct Qrio {
     default_node_resources: Resources,
     lifecycle: LifecycleStore,
     admission_gate: Option<Box<dyn AdmissionGate>>,
+    durability: Option<Durability>,
 }
 
 impl Qrio {
@@ -114,6 +121,7 @@ impl Qrio {
             default_node_resources: Resources::new(4000, 8192),
             lifecycle: LifecycleStore::default(),
             admission_gate: None,
+            durability: None,
         }
     }
 
@@ -152,6 +160,28 @@ impl Qrio {
         backend: Backend,
         resources: Resources,
     ) -> Result<(), QrioError> {
+        let spec_text = backend_spec::to_spec(&backend);
+        self.add_device_unjournaled(backend, resources)?;
+        self.journal_command(Command::AddDevice {
+            spec_text,
+            resources,
+        })?;
+        Ok(())
+    }
+
+    /// The registration itself, free of journaling. A duplicate name is
+    /// rejected before any state changes, so a failed registration leaves
+    /// both the meta server and the cluster untouched.
+    fn add_device_unjournaled(
+        &mut self,
+        backend: Backend,
+        resources: Resources,
+    ) -> Result<(), QrioError> {
+        if self.cluster.node(backend.name()).is_some() {
+            return Err(QrioError::Cluster(ClusterError::DuplicateNode(
+                backend.name().to_string(),
+            )));
+        }
         self.meta.register_backend(backend.clone());
         self.cluster
             .add_node(Node::from_backend(backend, resources))?;
@@ -179,6 +209,21 @@ impl Qrio {
     ///
     /// Returns an error if no node carries the backend's name.
     pub fn recalibrate_device(&mut self, backend: Backend) -> Result<(), QrioError> {
+        let spec_text = backend_spec::to_spec(&backend);
+        self.recalibrate_unjournaled(backend)?;
+        self.journal_command(Command::Recalibrate { spec_text })?;
+        Ok(())
+    }
+
+    /// The calibration refresh itself, free of journaling. The node is
+    /// looked up before the meta server is touched, so an unknown device
+    /// leaves no state behind.
+    fn recalibrate_unjournaled(&mut self, backend: Backend) -> Result<(), QrioError> {
+        if self.cluster.node(backend.name()).is_none() {
+            return Err(QrioError::Cluster(ClusterError::UnknownNode(
+                backend.name().to_string(),
+            )));
+        }
         self.meta.register_backend(backend.clone());
         self.cluster.update_node_backend(backend)?;
         Ok(())
@@ -189,9 +234,65 @@ impl Qrio {
         &self.cluster
     }
 
-    /// Mutable access to the cluster for vendor operations (cordon, heal...).
+    /// Mutable access to the cluster for vendor operations.
+    ///
+    /// Mutations made through this escape hatch are **not journaled**: with
+    /// durability enabled they are invisible to crash recovery. Prefer the
+    /// journaled wrappers ([`Qrio::cordon_device`], [`Qrio::uncordon_device`],
+    /// [`Qrio::heal_devices`], [`Qrio::recalibrate_device`]) when the change
+    /// must survive a restart.
     pub fn cluster_mut(&mut self) -> &mut Cluster {
         &mut self.cluster
+    }
+
+    /// Cordon a device's node: it stops accepting new bindings until
+    /// uncordoned. Journaled when durability is enabled.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when no such node exists, or when the journal append
+    /// fails.
+    pub fn cordon_device(&mut self, name: &str) -> Result<(), QrioError> {
+        self.cluster
+            .node_mut(name)
+            .ok_or_else(|| QrioError::Cluster(ClusterError::UnknownNode(name.to_string())))?
+            .cordon();
+        self.journal_command(Command::Cordon {
+            node: name.to_string(),
+        })?;
+        Ok(())
+    }
+
+    /// Lift a device's cordon, making its node schedulable again. Journaled
+    /// when durability is enabled.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when no such node exists, or when the journal append
+    /// fails.
+    pub fn uncordon_device(&mut self, name: &str) -> Result<(), QrioError> {
+        self.cluster
+            .node_mut(name)
+            .ok_or_else(|| QrioError::Cluster(ClusterError::UnknownNode(name.to_string())))?
+            .uncordon();
+        self.journal_command(Command::Uncordon {
+            node: name.to_string(),
+        })?;
+        Ok(())
+    }
+
+    /// Restart every `NotReady` node (the cluster's self-healing sweep),
+    /// returning the names of the restarted nodes. Journaled when durability
+    /// is enabled.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only when the journal append fails; the restarts
+    /// themselves are infallible.
+    pub fn heal_devices(&mut self) -> Result<Vec<String>, QrioError> {
+        let healed = self.cluster.heal_nodes();
+        self.journal_command(Command::Heal)?;
+        Ok(healed)
     }
 
     /// Read-only access to the meta server.
@@ -223,7 +324,11 @@ impl Qrio {
         &mut self,
         reports: impl IntoIterator<Item = (String, DeviceTelemetry)>,
     ) {
-        self.meta.update_telemetry_bulk(reports);
+        let reports: Vec<(String, DeviceTelemetry)> = reports.into_iter().collect();
+        self.meta.update_telemetry_bulk(reports.iter().cloned());
+        // Infallible signature: a journal failure poisons durability (see
+        // `Qrio::durability_error`) instead of surfacing here.
+        let _ = self.journal_command(Command::Telemetry { reports });
     }
 
     /// Report the current per-node load (queue depth, classical utilization)
@@ -260,6 +365,17 @@ impl Qrio {
     /// job name, strategy validation failure, or an inconsistent request. No
     /// metadata or image is retained in that case.
     pub fn enqueue(&mut self, request: &JobRequest) -> Result<JobId, QrioError> {
+        let id = self.enqueue_unjournaled(request)?;
+        // Only successful admissions are journaled: every failure path above
+        // rolls back fully, so replaying the successes alone reproduces the
+        // exact state — and rejected requests never burden recovery.
+        self.journal_command(Command::Enqueue {
+            request: request.clone(),
+        })?;
+        Ok(id)
+    }
+
+    fn enqueue_unjournaled(&mut self, request: &JobRequest) -> Result<JobId, QrioError> {
         if self.cluster.job(&request.job_name).is_some() {
             return Err(QrioError::Cluster(ClusterError::DuplicateJob(
                 request.job_name.clone(),
@@ -332,6 +448,16 @@ impl Qrio {
     /// for jobs that are `Running` or already terminal — cancellation never
     /// rewrites history — and an unknown-job error for ids never enqueued.
     pub fn cancel(&mut self, id: &JobId) -> Result<(), QrioError> {
+        self.cancel_unjournaled(id)?;
+        // Failed cancellations mutate nothing, so only successes are
+        // journaled.
+        self.journal_command(Command::Cancel {
+            job: id.to_string(),
+        })?;
+        Ok(())
+    }
+
+    fn cancel_unjournaled(&mut self, id: &JobId) -> Result<(), QrioError> {
         let status = self.job_status(id)?;
         let state = status.state;
         // The event names the device whose binding the cancellation frees
@@ -431,6 +557,15 @@ impl Qrio {
     /// `seq >= cursor`, in order. Pass `0` for the full history; pass the
     /// previous `last.seq + 1` (or the running event count) to resume
     /// without missing or duplicating events, Kubernetes-watch style.
+    ///
+    /// # Beyond-the-end cursors
+    ///
+    /// A cursor at or past the end of the log is **not** an error: it is
+    /// clamped to the log length and yields an empty slice. `watch(len)`,
+    /// `watch(len + 1)` and `watch(u64::MAX)` all return `&[]` — so a poller
+    /// that resumes from `last.seq + 1` reads "no new events yet" rather
+    /// than panicking when nothing happened between polls. This contract is
+    /// pinned by a test and will not change to a typed error.
     pub fn watch(&self, cursor: u64) -> &[JobEvent] {
         let start = (cursor as usize).min(self.lifecycle.events.len());
         &self.lifecycle.events[start..]
@@ -454,6 +589,14 @@ impl Qrio {
     /// 2. **Execution**: each device (in name order) runs the head of its
     ///    queue to completion.
     pub fn tick(&mut self) -> TickReport {
+        let report = self.tick_unjournaled();
+        // Infallible signature: a journal failure poisons durability (see
+        // `Qrio::durability_error`) instead of surfacing here.
+        let _ = self.journal_command(Command::Tick);
+        report
+    }
+
+    fn tick_unjournaled(&mut self) -> TickReport {
         self.lifecycle.clock += 1;
         let mut report = TickReport {
             tick: self.lifecycle.clock,
@@ -501,7 +644,7 @@ impl Qrio {
                 // Force an admission verdict for every straggler: either it
                 // schedules after all, or the cluster records why it cannot.
                 for name in self.lifecycle.pending_in_order() {
-                    let _ = self.admit_and_bind(&name, true);
+                    let _ = self.force_admit(&name);
                 }
                 if self.lifecycle.has_pending() && !self.lifecycle.has_bound_work() {
                     break; // Defensive: nothing more can change.
@@ -515,6 +658,17 @@ impl Qrio {
             .filter(|event| event.to.is_terminal())
             .map(|event| event.job.clone())
             .collect()
+    }
+
+    /// A forced admission verdict for one straggler, journaled so recovery
+    /// replays the fixed-point arms of `run_until_idle` / `submit` exactly.
+    fn force_admit(&mut self, name: &str) -> Admitted {
+        let verdict = self.admit_and_bind(name, true);
+        // Infallible signature: a journal failure poisons durability.
+        let _ = self.journal_command(Command::ForceAdmit {
+            job: name.to_string(),
+        });
+        verdict
     }
 
     /// Admit one queued job and, when it schedules, append it to the tail
@@ -590,6 +744,20 @@ impl Qrio {
     /// fails. An unschedulable job ends `Failed` (terminal); a job whose
     /// binding was rejected for transient resource reasons stays `Queued`.
     pub fn schedule(&mut self, id: &JobId) -> Result<ScheduleDecision, QrioError> {
+        let result = self.schedule_unjournaled(id);
+        // A scheduling attempt on a known job mutates state even when it
+        // fails (Failed transitions, cluster filter events), so the command
+        // is journaled on attempt — only unknown-job lookups (pure no-ops)
+        // are skipped.
+        if !matches!(result, Err(QrioError::UnknownJob(_))) {
+            self.journal_command(Command::Schedule {
+                job: id.to_string(),
+            })?;
+        }
+        result
+    }
+
+    fn schedule_unjournaled(&mut self, id: &JobId) -> Result<ScheduleDecision, QrioError> {
         match self.status(id)? {
             JobState::Queued => self.schedule_queued(id.as_str(), &framework::default_filters()),
             other => Err(QrioError::Cluster(ClusterError::PhaseConflict {
@@ -608,6 +776,18 @@ impl Qrio {
     /// Returns an error when the job is not `Scheduled`, or propagates the
     /// execution failure (the job then ends `Failed`).
     pub fn execute(&mut self, id: &JobId) -> Result<(), QrioError> {
+        let result = self.execute_unjournaled(id);
+        // Same journaling rule as `schedule`: failed executions still drive
+        // the job to `Failed`, so attempts on known jobs are journaled.
+        if !matches!(result, Err(QrioError::UnknownJob(_))) {
+            self.journal_command(Command::Execute {
+                job: id.to_string(),
+            })?;
+        }
+        result
+    }
+
+    fn execute_unjournaled(&mut self, id: &JobId) -> Result<(), QrioError> {
         match self.status(id)? {
             JobState::Scheduled => {
                 self.lifecycle.remove_from_device_queues(id.as_str());
@@ -678,6 +858,19 @@ impl Qrio {
     /// phase — including a same-device rebind of a job that is no longer
     /// `Scheduled` — target full); the original binding survives an error.
     pub fn rebind(&mut self, id: &JobId, target: &str) -> Result<(), QrioError> {
+        let result = self.rebind_unjournaled(id, target);
+        // Rebind attempts on known jobs may log cluster events even when
+        // rejected, so they are journaled on attempt like `schedule`.
+        if !matches!(result, Err(QrioError::UnknownJob(_))) {
+            self.journal_command(Command::Rebind {
+                job: id.to_string(),
+                target: target.to_string(),
+            })?;
+        }
+        result
+    }
+
+    fn rebind_unjournaled(&mut self, id: &JobId, target: &str) -> Result<(), QrioError> {
         let status = self.job_status(id)?;
         let from = status
             .node
@@ -824,6 +1017,340 @@ impl Qrio {
         }
     }
 
+    // --- Durability ----------------------------------------------------------------------
+
+    /// Turn on crash recovery: create a write-ahead journal at `path`
+    /// (truncating any previous file there), write a genesis snapshot of the
+    /// current state, and from now on journal every mutation before it is
+    /// acknowledged. Recover later with [`Qrio::recover`].
+    ///
+    /// Custom ranking strategies and admission gates are live trait objects
+    /// and are **not** journaled — deployments that install them must
+    /// re-install them through [`Qrio::recover_with`]'s setup hook.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when durability is already enabled or when the
+    /// journal file cannot be created or written.
+    pub fn enable_durability(
+        &mut self,
+        path: impl AsRef<Path>,
+        config: DurabilityConfig,
+    ) -> Result<(), QrioError> {
+        if self.durability.is_some() {
+            return Err(QrioError::InvalidRequest(
+                "durability is already enabled".into(),
+            ));
+        }
+        let journal = Journal::create(path.as_ref()).map_err(DurabilityError::Journal)?;
+        self.durability = Some(Durability::new(
+            journal,
+            config.snapshot_every,
+            self.lifecycle.events.len() as u64,
+        ));
+        self.write_snapshot()?;
+        Ok(())
+    }
+
+    /// Detach the journal, returning to in-memory-only operation. Returns
+    /// the sticky durability error when the journal had already failed.
+    /// The journal file is left on disk and stays recoverable up to the
+    /// last successfully journaled command.
+    pub fn disable_durability(&mut self) -> Option<DurabilityError> {
+        self.durability
+            .take()
+            .and_then(|durability| durability.error().cloned())
+    }
+
+    /// Whether durability is enabled (and the journal has not been
+    /// detached).
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// The sticky journal failure, if any. Infallible journaled operations
+    /// ([`Qrio::tick`], [`Qrio::report_telemetry`]) cannot surface a journal
+    /// error through their signatures — they poison durability instead, and
+    /// this accessor is how a durable deployment notices.
+    pub fn durability_error(&self) -> Option<&DurabilityError> {
+        self.durability.as_ref().and_then(Durability::error)
+    }
+
+    /// Force the journal's bytes down to the storage device (`fdatasync`).
+    /// Appends are write-through to the OS on every command, which survives
+    /// process crashes; syncing additionally survives power loss. Virtual-
+    /// time simulations typically never call this.
+    ///
+    /// # Errors
+    ///
+    /// Returns the sticky durability error, or the sync failure.
+    pub fn sync_journal(&mut self) -> Result<(), QrioError> {
+        match self.durability.as_mut() {
+            Some(durability) => Ok(durability.sync()?),
+            None => Ok(()),
+        }
+    }
+
+    /// Write a snapshot record now, regardless of the configured cadence.
+    ///
+    /// # Errors
+    ///
+    /// Returns the sticky durability error, or the append failure.
+    pub fn snapshot_now(&mut self) -> Result<(), QrioError> {
+        self.write_snapshot()?;
+        Ok(())
+    }
+
+    /// Journal one command plus the watch-log events it produced, then write
+    /// a snapshot when the cadence says one is due. A no-op without
+    /// durability.
+    fn journal_command(&mut self, cmd: Command) -> Result<(), QrioError> {
+        let Some(durability) = self.durability.as_mut() else {
+            return Ok(());
+        };
+        durability.log_command(&cmd, &self.lifecycle.events)?;
+        if durability.snapshot_due() {
+            self.write_snapshot()?;
+        }
+        Ok(())
+    }
+
+    /// Capture the full orchestrator state as a snapshot payload.
+    fn export_snapshot(&self) -> SnapshotState {
+        SnapshotState {
+            cursor: self.lifecycle.events.len() as u64,
+            lifecycle: self.lifecycle.clone(),
+            cluster: self.cluster.export_state(),
+            meta: self.meta.export_state(),
+            runner_seed: self.runner.seed,
+            default_node_resources: self.default_node_resources,
+            snapshot_every: self
+                .durability
+                .as_ref()
+                .map_or(0, Durability::snapshot_every),
+        }
+    }
+
+    fn write_snapshot(&mut self) -> Result<(), DurabilityError> {
+        if self.durability.is_none() {
+            return Ok(());
+        }
+        let snapshot = self.export_snapshot();
+        self.durability
+            .as_mut()
+            .expect("checked above")
+            .log_snapshot(&snapshot)
+    }
+
+    /// Rebuild an orchestrator from a decoded snapshot. No journal is
+    /// attached yet; the caller wires that after replay.
+    fn from_snapshot(snapshot: SnapshotState) -> Self {
+        Qrio {
+            cluster: Cluster::from_state(snapshot.cluster),
+            meta: MetaServer::from_state(snapshot.meta),
+            runner: SimJobRunner::new(snapshot.runner_seed),
+            default_node_resources: snapshot.default_node_resources,
+            lifecycle: snapshot.lifecycle,
+            admission_gate: None,
+            durability: None,
+        }
+    }
+
+    /// Re-apply one journaled command during recovery. Results are
+    /// deliberately ignored: the original run journaled the command after
+    /// observing the same deterministic outcome, and the event-history
+    /// verification after replay catches any true divergence.
+    fn apply_command(&mut self, cmd: Command) -> Result<(), DurabilityError> {
+        match cmd {
+            Command::AddDevice {
+                spec_text,
+                resources,
+            } => {
+                let backend = backend_spec::from_spec(&spec_text)
+                    .map_err(|err| DurabilityError::Malformed(format!("backend spec: {err}")))?;
+                let _ = self.add_device_unjournaled(backend, resources);
+            }
+            Command::Recalibrate { spec_text } => {
+                let backend = backend_spec::from_spec(&spec_text)
+                    .map_err(|err| DurabilityError::Malformed(format!("backend spec: {err}")))?;
+                let _ = self.recalibrate_unjournaled(backend);
+            }
+            Command::Telemetry { reports } => {
+                self.meta.update_telemetry_bulk(reports);
+            }
+            Command::Enqueue { request } => {
+                let _ = self.enqueue_unjournaled(&request);
+            }
+            Command::Cancel { job } => {
+                let _ = self.cancel_unjournaled(&JobId::new(&job));
+            }
+            Command::Tick => {
+                let _ = self.tick_unjournaled();
+            }
+            Command::ForceAdmit { job } => {
+                let _ = self.admit_and_bind(&job, true);
+            }
+            Command::Schedule { job } => {
+                let _ = self.schedule_unjournaled(&JobId::new(&job));
+            }
+            Command::Execute { job } => {
+                let _ = self.execute_unjournaled(&JobId::new(&job));
+            }
+            Command::Rebind { job, target } => {
+                let _ = self.rebind_unjournaled(&JobId::new(&job), &target);
+            }
+            Command::Cordon { node } => {
+                if let Some(node) = self.cluster.node_mut(&node) {
+                    node.cordon();
+                }
+            }
+            Command::Uncordon { node } => {
+                if let Some(node) = self.cluster.node_mut(&node) {
+                    node.uncordon();
+                }
+            }
+            Command::Heal => {
+                let _ = self.cluster.heal_nodes();
+            }
+        }
+        Ok(())
+    }
+
+    /// Recover an orchestrator from a journal written by
+    /// [`Qrio::enable_durability`]: truncate any torn tail, restore the last
+    /// snapshot, replay the command tail, verify the replayed history
+    /// against the journaled events, and re-attach the journal so the
+    /// recovered instance keeps journaling where the crashed one stopped.
+    ///
+    /// The returned [`RecoveryReport`] is deterministic: recovering the same
+    /// journal twice renders byte-identical reports.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the file is not a journal, holds no snapshot,
+    /// contains records this build cannot decode, or when replay fails to
+    /// reproduce the journaled event history.
+    pub fn recover(path: impl AsRef<Path>) -> Result<(Qrio, RecoveryReport), QrioError> {
+        Qrio::recover_with(path, |_| Ok(()))
+    }
+
+    /// [`Qrio::recover`] with a setup hook that runs after the snapshot is
+    /// restored and **before** the command tail is replayed. Use it to
+    /// re-register custom ranking strategies (and re-install admission
+    /// gates) that journaled jobs reference — they are live trait objects
+    /// the journal cannot carry.
+    ///
+    /// # Errors
+    ///
+    /// As [`Qrio::recover`], plus any error the hook returns.
+    pub fn recover_with(
+        path: impl AsRef<Path>,
+        setup: impl FnOnce(&mut Qrio) -> Result<(), QrioError>,
+    ) -> Result<(Qrio, RecoveryReport), QrioError> {
+        let (journal, scan) = Journal::open(path.as_ref()).map_err(DurabilityError::Journal)?;
+        let snapshot_index = scan
+            .records
+            .iter()
+            .rposition(|record| record.kind == RECORD_SNAPSHOT)
+            .ok_or(DurabilityError::NoSnapshot)?;
+        let snapshot_record = &scan.records[snapshot_index];
+        if snapshot_record.version != RECORD_VERSION {
+            return Err(QrioError::Durability(DurabilityError::UnsupportedRecord {
+                kind: snapshot_record.kind,
+                version: snapshot_record.version,
+            }));
+        }
+        let snapshot = durability::decode_snapshot(&snapshot_record.payload)?;
+        let cursor = snapshot.cursor;
+        let snapshot_every = snapshot.snapshot_every;
+        let mut qrio = Qrio::from_snapshot(snapshot);
+        setup(&mut qrio)?;
+
+        // Replay the command tail, collecting the journaled events alongside.
+        let mut commands_replayed: u64 = 0;
+        let mut journaled_tail: Vec<JobEvent> = Vec::new();
+        for record in &scan.records[snapshot_index + 1..] {
+            if record.version != RECORD_VERSION {
+                return Err(QrioError::Durability(DurabilityError::UnsupportedRecord {
+                    kind: record.kind,
+                    version: record.version,
+                }));
+            }
+            match record.kind {
+                RECORD_COMMAND => {
+                    let cmd = durability::decode_command(&record.payload)?;
+                    qrio.apply_command(cmd)?;
+                    commands_replayed += 1;
+                }
+                RECORD_EVENTS => {
+                    journaled_tail.extend(durability::decode_events(&record.payload)?);
+                }
+                kind => {
+                    return Err(QrioError::Durability(DurabilityError::UnsupportedRecord {
+                        kind,
+                        version: record.version,
+                    }));
+                }
+            }
+        }
+
+        // Verify: replay must regenerate the journaled history exactly. The
+        // journal may run *short* (events lost with a torn tail before their
+        // command's acknowledgement was journaled never existed, and events
+        // regenerated past the journaled prefix are healed below) but never
+        // long or different.
+        let regenerated = &qrio.lifecycle.events[cursor as usize..];
+        if journaled_tail.len() > regenerated.len() {
+            return Err(QrioError::Durability(DurabilityError::ReplayDivergence(
+                format!(
+                    "journal holds {} post-snapshot events but replay regenerated only {}",
+                    journaled_tail.len(),
+                    regenerated.len()
+                ),
+            )));
+        }
+        for (journaled, regenerated) in journaled_tail.iter().zip(regenerated.iter()) {
+            if journaled != regenerated {
+                return Err(QrioError::Durability(DurabilityError::ReplayDivergence(
+                    format!(
+                        "event seq {} replayed differently from the journal",
+                        journaled.seq
+                    ),
+                )));
+            }
+        }
+        let events_healed = (regenerated.len() - journaled_tail.len()) as u64;
+
+        // Re-attach the journal: it already holds everything up to the
+        // journaled prefix; heal the regenerated-but-unjournaled tail so the
+        // on-disk history is whole again.
+        let mut durability = Durability::new(
+            journal,
+            snapshot_every,
+            cursor + journaled_tail.len() as u64,
+        );
+        if events_healed > 0 {
+            durability.append_event_tail(&qrio.lifecycle.events)?;
+        }
+        let report = RecoveryReport {
+            snapshot_cursor: cursor,
+            commands_replayed,
+            events_journaled: journaled_tail.len() as u64,
+            events_regenerated: regenerated.len() as u64,
+            events_healed,
+            torn_tail: scan.torn.as_ref().map(|torn| (torn.offset, torn.trailing)),
+            jobs: qrio.lifecycle.jobs.len() as u64,
+            terminal_jobs: qrio
+                .lifecycle
+                .jobs
+                .values()
+                .filter(|tracked| tracked.status.state.is_terminal())
+                .count() as u64,
+        };
+        qrio.durability = Some(durability);
+        Ok((qrio, report))
+    }
+
     // --- Blocking compatibility wrapper --------------------------------------------------
 
     /// Submit a job request and drive it to completion — the blocking
@@ -854,7 +1381,7 @@ impl Qrio {
             stalled = true;
             // Fixed point with this job still queued: force its admission
             // verdict (schedule after all, or a recorded failure).
-            let _ = self.admit_and_bind(id.as_str(), true);
+            let _ = self.force_admit(id.as_str());
         }
         self.outcome(&id)
     }

@@ -1,0 +1,84 @@
+//! Codec round-trip properties at the journal layer: framed records and the
+//! `ByteWriter`/`ByteReader` primitives must hit a byte-identical fixed point
+//! under encode→decode→encode.
+//!
+//! (The domain-level record payloads — commands, event batches, snapshots —
+//! have their own round-trip properties in the `qrio` core crate.)
+
+use proptest::prelude::*;
+
+use qrio_journal::{encode_record, header_bytes, scan_bytes, ByteReader, ByteWriter, Record};
+
+fn record_from(kind: u8, version: u16, payload: Vec<u8>) -> Record {
+    Record::new(kind, version, payload)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn framed_records_reach_a_byte_identical_fixed_point(
+        kind_a in 0u8..=255,
+        kind_b in 0u8..=255,
+        version in 0u16..=512,
+        payload_a in proptest::collection::vec(0u8..=255, 0..200),
+        payload_b in proptest::collection::vec(0u8..=255, 0..40),
+    ) {
+        let records = vec![
+            record_from(kind_a, version, payload_a),
+            record_from(kind_b, version.wrapping_add(1), payload_b),
+        ];
+        let mut bytes = header_bytes().to_vec();
+        for record in &records {
+            bytes.extend_from_slice(&encode_record(record));
+        }
+
+        // decode
+        let report = scan_bytes(&bytes).unwrap();
+        prop_assert_eq!(&report.records, &records);
+        prop_assert!(report.torn.is_none());
+
+        // re-encode: byte-identical fixed point
+        let mut reencoded = header_bytes().to_vec();
+        for record in &report.records {
+            reencoded.extend_from_slice(&encode_record(record));
+        }
+        prop_assert_eq!(reencoded, bytes);
+    }
+
+    #[test]
+    fn writer_reader_scalars_round_trip(
+        small in 0u8..=255,
+        medium in 0u32..=u32::MAX,
+        wide in 0u64..=u64::MAX,
+        float_bits in 0u64..=u64::MAX,
+        text_bytes in proptest::collection::vec(0u8..=255, 0..64),
+        blob in proptest::collection::vec(0u8..=255, 0..64),
+    ) {
+        // Arbitrary bytes → lossy string gives full UTF-8 coverage including
+        // multi-byte sequences and replacement characters.
+        let text = String::from_utf8_lossy(&text_bytes).into_owned();
+        let float = f64::from_bits(float_bits);
+
+        let mut writer = ByteWriter::new();
+        writer.put_u8(small);
+        writer.put_u32(medium);
+        writer.put_u64(wide);
+        writer.put_f64(float);
+        writer.put_bool(small % 2 == 0);
+        writer.put_str(&text);
+        writer.put_bytes(&blob);
+        let bytes = writer.into_bytes();
+
+        let mut reader = ByteReader::new(&bytes);
+        prop_assert_eq!(reader.take_u8().unwrap(), small);
+        prop_assert_eq!(reader.take_u32().unwrap(), medium);
+        prop_assert_eq!(reader.take_u64().unwrap(), wide);
+        // Bit-exact, not value-equal: NaN payloads must survive.
+        prop_assert_eq!(reader.take_f64().unwrap().to_bits(), float_bits);
+        prop_assert_eq!(reader.take_bool().unwrap(), small % 2 == 0);
+        prop_assert_eq!(reader.take_str().unwrap(), text);
+        prop_assert_eq!(reader.take_blob().unwrap(), blob);
+        reader.finish().unwrap();
+    }
+}

@@ -1,0 +1,93 @@
+//! Torn-write property tests: a journal truncated at *every* byte offset of
+//! its final record must either recover cleanly to the previous record or
+//! surface a typed [`JournalError`] — never panic, never silently hand back
+//! corrupt data.
+
+use proptest::prelude::*;
+
+use qrio_journal::{encode_record, header_bytes, scan_bytes, JournalError, Record};
+
+/// Build a deterministic record from sampled raw ints, exercising empty,
+/// short and multi-hundred-byte payloads.
+fn record_from(kind: u8, version: u16, payload_len: usize, fill: u8) -> Record {
+    let payload: Vec<u8> = (0..payload_len)
+        .map(|i| fill.wrapping_add(i as u8).wrapping_mul(31))
+        .collect();
+    Record::new(kind, version, payload)
+}
+
+fn journal_bytes(records: &[Record]) -> Vec<u8> {
+    let mut bytes = header_bytes().to_vec();
+    for record in records {
+        bytes.extend_from_slice(&encode_record(record));
+    }
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn truncation_at_every_offset_of_the_final_record_is_recoverable(
+        kept_len in 0usize..120,
+        torn_len in 0usize..300,
+        kind in 0u8..=255,
+        fill in 0u8..=255,
+    ) {
+        let kept = record_from(1, 1, kept_len, fill);
+        let torn = record_from(kind, 1, torn_len, fill.wrapping_add(7));
+        let prefix = journal_bytes(std::slice::from_ref(&kept));
+        let full = journal_bytes(&[kept.clone(), torn]);
+
+        // Cut everywhere inside the final record, including "nothing written
+        // yet" (== prefix) and "one byte short of complete".
+        for cut in prefix.len()..full.len() {
+            let report = scan_bytes(&full[..cut]).expect("valid header must scan");
+            prop_assert_eq!(&report.records, std::slice::from_ref(&kept));
+            if cut == prefix.len() {
+                prop_assert!(report.torn.is_none());
+            } else {
+                let tail = report.torn.as_ref().expect("partial record must be torn");
+                prop_assert_eq!(tail.offset, prefix.len() as u64);
+                prop_assert_eq!(tail.trailing, (cut - prefix.len()) as u64);
+            }
+            prop_assert_eq!(report.valid_len, prefix.len() as u64);
+        }
+
+        // The untruncated journal scans both records cleanly.
+        let clean = scan_bytes(&full).unwrap();
+        prop_assert_eq!(clean.records.len(), 2);
+        prop_assert!(clean.torn.is_none());
+    }
+
+    #[test]
+    fn corrupting_any_byte_of_the_final_record_never_panics(
+        payload_len in 0usize..200,
+        flip in 1u8..=255,
+        fill in 0u8..=255,
+    ) {
+        let kept = record_from(2, 1, 16, fill);
+        let tail = record_from(3, 1, payload_len, fill.wrapping_add(3));
+        let prefix = journal_bytes(std::slice::from_ref(&kept));
+        let full = journal_bytes(&[kept.clone(), tail.clone()]);
+
+        for offset in prefix.len()..full.len() {
+            let mut bytes = full.clone();
+            bytes[offset] ^= flip;
+            let report = scan_bytes(&bytes).expect("valid header must scan");
+            // Either the defect is detected (torn tail, kept record intact) or
+            // the flip landed in the length prefix and produced a shorter but
+            // still checksum-consistent read — which CRC-32 makes practically
+            // impossible; assert detection outright.
+            prop_assert_eq!(&report.records, std::slice::from_ref(&kept));
+            prop_assert!(report.torn.is_some(), "flip at {offset} went undetected");
+        }
+    }
+
+    #[test]
+    fn truncation_inside_the_header_is_a_typed_error(cut in 0usize..10) {
+        let bytes = journal_bytes(&[record_from(1, 1, 8, 9)]);
+        let result = scan_bytes(&bytes[..cut.min(qrio_journal::HEADER_LEN - 1)]);
+        prop_assert!(matches!(result, Err(JournalError::NotAJournal { .. })));
+    }
+}

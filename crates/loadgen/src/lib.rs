@@ -55,12 +55,16 @@
 pub mod arrival;
 mod engine;
 mod error;
+pub mod killrestart;
 pub mod metrics;
 pub mod scenario;
 
 pub use arrival::{ArrivalProcess, ArrivalSampler};
 pub use engine::{run_scenario, run_scenario_with_log};
 pub use error::LoadgenError;
+pub use killrestart::{
+    run_kill_restart, run_kill_restart_with_log, KillRestartReport, KillRestartScenario,
+};
 pub use metrics::{CloudReport, DeviceStats, JobSample, LoadBucket, TenantStats};
 pub use scenario::{
     DeviceSpec, Scenario, ScenarioEvent, TenantSpec, TenantStrategy, TopologyKind, WorkloadCircuit,

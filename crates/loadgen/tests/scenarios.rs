@@ -269,3 +269,36 @@ fn outages_migrate_waiting_jobs_and_everything_drains() {
     );
     assert!(report.completed > 0);
 }
+
+// --- Kill-and-restart durability ----------------------------------------------------------
+
+#[test]
+fn kill_restart_storm_is_certified_by_the_watch_log_auditor() {
+    use qrio_analyzer::{audit_watch_log, AuditOptions};
+    use qrio_loadgen::{run_kill_restart_with_log, KillRestartScenario};
+
+    let scenario = KillRestartScenario {
+        seed: 4242,
+        jobs: 80,
+        crash_after_jobs: 55,
+        snapshot_every: 8,
+        ..KillRestartScenario::default()
+    };
+    let dir = std::env::temp_dir().join(format!("qrio-loadgen-audit-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("certified.qj");
+
+    let (report, log) = run_kill_restart_with_log(&scenario, &path).unwrap();
+    assert!(report.holds(), "durability contract violated:\n{report}");
+    assert_eq!(report.jobs_lost, 0);
+    assert_eq!(report.double_executed, 0);
+
+    // The spliced pre-crash + post-recovery stream must satisfy every watch
+    // invariant the analyzer knows: dense sequences, legal transitions, one
+    // Running entry per job, terminal states final.
+    let diagnostics = audit_watch_log(&log, AuditOptions::default());
+    assert!(
+        diagnostics.is_empty(),
+        "auditor flagged the spliced stream: {diagnostics:?}"
+    );
+}

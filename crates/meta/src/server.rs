@@ -48,6 +48,28 @@ impl JobRecord {
     }
 }
 
+/// The full persistable state of a [`MetaServer`], used by durability
+/// snapshots.
+///
+/// The strategy registry is deliberately **not** part of the state: strategy
+/// implementations are arbitrary Rust values and cannot be serialized.
+/// [`MetaServer::from_state`] starts from the built-in registry; user-defined
+/// strategies must be re-registered by the caller before any scoring happens
+/// (the orchestrator's recovery hook does exactly that). The memoized-score
+/// cache is also dropped — it is a pure performance artifact and every entry
+/// is deterministically recomputable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetaState {
+    /// The fidelity-ranking configuration of the built-in strategies.
+    pub fidelity_config: FidelityRankingConfig,
+    /// Every registered backend with its calibration revision, in name order.
+    pub backends: Vec<(Backend, u64)>,
+    /// Every job record as `(job, strategy, circuit)`, in name order.
+    pub jobs: Vec<(String, StrategySpec, Option<Circuit>)>,
+    /// The latest telemetry per device, in name order.
+    pub telemetry: Vec<(String, DeviceTelemetry)>,
+}
+
 /// Memoized `(job, device)` scores for cacheable strategies, plus hit/miss
 /// counters. Entries carry the device's calibration revision at compute time,
 /// so re-registering a backend invalidates them implicitly.
@@ -143,6 +165,60 @@ impl MetaServer {
     /// The fidelity-ranking configuration the built-in strategies use.
     pub fn fidelity_config(&self) -> &FidelityRankingConfig {
         &self.fidelity_config
+    }
+
+    /// Rebuild a meta server from a previously exported [`MetaState`].
+    ///
+    /// Backends, calibration revisions, job records and telemetry are restored
+    /// verbatim — in particular, revision counters are **not** re-bumped and
+    /// job records are **not** re-validated (they were validated at original
+    /// upload time). The registry starts from the built-ins; see [`MetaState`]
+    /// for the custom-strategy caveat. The score cache starts cold.
+    pub fn from_state(state: MetaState) -> Self {
+        let mut server = MetaServer::with_config(state.fidelity_config);
+        for (backend, revision) in state.backends {
+            let name = backend.name().to_string();
+            server.backend_revisions.insert(name.clone(), revision);
+            server.backends.insert(name, backend);
+        }
+        for (job, strategy, circuit) in state.jobs {
+            server.jobs.insert(job, JobRecord { strategy, circuit });
+        }
+        for (device, telemetry) in state.telemetry {
+            server.telemetry.insert(device, telemetry);
+        }
+        server
+    }
+
+    /// Export the server's full persistable state for a durability snapshot.
+    pub fn export_state(&self) -> MetaState {
+        MetaState {
+            fidelity_config: self.fidelity_config,
+            backends: self
+                .backends
+                .iter()
+                .map(|(name, backend)| {
+                    let revision = self.backend_revisions.get(name).copied().unwrap_or(0);
+                    (backend.clone(), revision)
+                })
+                .collect(),
+            jobs: self
+                .jobs
+                .iter()
+                .map(|(name, record)| {
+                    (
+                        name.clone(),
+                        record.strategy.clone(),
+                        record.circuit.clone(),
+                    )
+                })
+                .collect(),
+            telemetry: self
+                .telemetry
+                .iter()
+                .map(|(device, telemetry)| (device.clone(), *telemetry))
+                .collect(),
+        }
     }
 
     // --- Strategy registry ---------------------------------------------------------------
@@ -744,6 +820,51 @@ mod tests {
             server.score("drop", "ring"),
             Err(MetaError::UnknownJob(_))
         ));
+    }
+
+    #[test]
+    fn export_and_restore_round_trip_exactly() {
+        let mut server = server_with_devices();
+        // Bump one device's revision and store mixed job records + telemetry.
+        server.register_backend(Backend::uniform("noisy", topology::line(8), 0.06, 0.31));
+        let bv = library::bernstein_vazirani(4, 0b1011).unwrap();
+        server
+            .upload_fidelity_metadata("bv", 0.9, &qrio_circuit::qasm::to_qasm(&bv))
+            .unwrap();
+        server
+            .upload_job_metadata("queued", &StrategySpec::min_queue(), None)
+            .unwrap();
+        server.update_telemetry(
+            "clean",
+            DeviceTelemetry {
+                queue_depth: 2,
+                utilization: 0.25,
+            },
+        );
+
+        let state = server.export_state();
+        let restored = MetaServer::from_state(state.clone());
+        assert_eq!(restored.export_state(), state);
+        // Revisions were restored verbatim (not re-bumped).
+        assert_eq!(
+            state
+                .backends
+                .iter()
+                .find(|(b, _)| b.name() == "noisy")
+                .unwrap()
+                .1,
+            2
+        );
+        // Scoring reproduces the original server's results from a cold cache.
+        assert_eq!(restored.cache_stats().entries, 0);
+        assert_eq!(
+            restored.score("bv", "clean").unwrap(),
+            server.score("bv", "clean").unwrap()
+        );
+        assert_eq!(
+            restored.telemetry_for("clean"),
+            server.telemetry_for("clean")
+        );
     }
 
     #[test]

@@ -1,0 +1,290 @@
+//! Crash-recovery integration tests: enable durability, mutate, "crash" (drop
+//! the orchestrator), recover from the journal and verify the rebuilt
+//! instance matches the pre-crash one exactly — then keep working with it.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use qrio::durability::DurabilityError;
+use qrio::{
+    DeviceTelemetry, DurabilityConfig, FidelityRankingConfig, JobRequestBuilder, JobState, Qrio,
+    QrioError,
+};
+use qrio_backend::{topology, Backend};
+use qrio_circuit::{library, Circuit};
+use qrio_cluster::{StrategyParams, StrategySpec};
+use qrio_meta::{JobContext, MetaError, RankingStrategy, Score};
+
+/// A scratch journal path unique to this test binary and test name.
+fn journal_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qrio-recovery-{}", std::process::id()));
+    fs::create_dir_all(&dir).expect("scratch dir");
+    dir.join(format!("{name}.qj"))
+}
+
+fn seeded_qrio() -> Qrio {
+    Qrio::with_config(
+        FidelityRankingConfig {
+            shots: 96,
+            seed: 23,
+            shortfall_weight: 100.0,
+        },
+        23,
+    )
+}
+
+fn two_device_fleet(qrio: &mut Qrio) {
+    qrio.add_device(Backend::uniform("clean", topology::line(8), 0.002, 0.01))
+        .unwrap();
+    qrio.add_device(Backend::uniform("noisy", topology::line(8), 0.05, 0.35))
+        .unwrap();
+}
+
+fn bv_request(name: &str) -> qrio::JobRequest {
+    let bv = library::bernstein_vazirani(4, 0b1011).unwrap();
+    JobRequestBuilder::new()
+        .with_circuit(&bv)
+        .job_name(name)
+        .fidelity_target(0.8)
+        .shots(64)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn recovery_restores_exact_pre_crash_state_and_resumes() {
+    let path = journal_path("exact-state");
+    let (pre_events, pre_statuses, pre_now);
+    {
+        let mut qrio = seeded_qrio();
+        qrio.enable_durability(&path, DurabilityConfig { snapshot_every: 3 })
+            .unwrap();
+        two_device_fleet(&mut qrio);
+        let ids: Vec<_> = ["dur-a", "dur-b", "dur-c"]
+            .iter()
+            .map(|name| qrio.enqueue(&bv_request(name)).unwrap())
+            .collect();
+        qrio.report_telemetry([(
+            "noisy".to_string(),
+            DeviceTelemetry {
+                queue_depth: 3,
+                utilization: 0.5,
+            },
+        )]);
+        // One service cycle: some jobs finish, at least one stays in flight,
+        // so the crash lands mid-workload.
+        qrio.tick();
+        qrio.cancel(&ids[2]).ok();
+        assert!(qrio.durability_error().is_none());
+
+        pre_events = qrio.watch(0).to_vec();
+        pre_statuses = ids
+            .iter()
+            .map(|id| (id.clone(), qrio.job_status(id).unwrap().clone()))
+            .collect::<Vec<_>>();
+        pre_now = qrio.now();
+        // Crash: drop without any orderly shutdown.
+    }
+
+    let (mut recovered, report) = Qrio::recover(&path).unwrap();
+    assert_eq!(recovered.watch(0), &pre_events[..]);
+    for (id, status) in &pre_statuses {
+        assert_eq!(recovered.job_status(id).unwrap(), status);
+    }
+    assert_eq!(recovered.now(), pre_now);
+    assert!(recovered.is_durable());
+    assert_eq!(report.torn_tail, None);
+    assert_eq!(report.events_healed, 0);
+    assert_eq!(report.jobs, pre_statuses.len() as u64);
+
+    // The recovered instance is live: finish the workload.
+    recovered.run_until_idle();
+    for (id, _) in &pre_statuses {
+        assert!(recovered.status(id).unwrap().is_terminal());
+    }
+}
+
+#[test]
+fn recovering_the_same_journal_twice_is_byte_deterministic() {
+    let path = journal_path("deterministic");
+    {
+        let mut qrio = seeded_qrio();
+        qrio.enable_durability(&path, DurabilityConfig::default())
+            .unwrap();
+        two_device_fleet(&mut qrio);
+        for name in ["det-a", "det-b"] {
+            let _ = qrio.enqueue(&bv_request(name)).unwrap();
+        }
+        qrio.tick();
+    }
+    let (first, first_report) = Qrio::recover(&path).unwrap();
+    let (second, second_report) = Qrio::recover(&path).unwrap();
+    assert_eq!(first_report, second_report);
+    assert_eq!(first_report.to_string(), second_report.to_string());
+    assert_eq!(first.watch(0), second.watch(0));
+}
+
+#[test]
+fn torn_tail_is_truncated_and_recovery_keeps_the_acknowledged_prefix() {
+    let path = journal_path("torn-tail");
+    let pre_jobs: Vec<String>;
+    {
+        let mut qrio = seeded_qrio();
+        qrio.enable_durability(&path, DurabilityConfig::default())
+            .unwrap();
+        two_device_fleet(&mut qrio);
+        for name in ["torn-a", "torn-b", "torn-c"] {
+            let _ = qrio.enqueue(&bv_request(name)).unwrap();
+        }
+        qrio.tick();
+        pre_jobs = qrio.watch(0).iter().map(|e| e.job.to_string()).collect();
+    }
+
+    // Tear the last few bytes off, as a crash mid-write would.
+    let bytes = fs::read(&path).unwrap();
+    fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+
+    let (mut recovered, report) = Qrio::recover(&path).unwrap();
+    assert!(report.torn_tail.is_some(), "truncation must be reported");
+    // Every job the torn journal still knows was a real pre-crash job —
+    // the tear can only lose the unacknowledged tail, never invent state.
+    for event in recovered.watch(0) {
+        assert!(pre_jobs.contains(&event.job.to_string()));
+    }
+    // And the recovered instance keeps journaling: drive it to completion.
+    recovered.run_until_idle();
+    assert!(recovered.durability_error().is_none());
+}
+
+/// Ranks devices by name length — exists only to prove the re-registration
+/// hook runs before replay.
+#[derive(Debug)]
+struct NameLength;
+
+impl RankingStrategy for NameLength {
+    fn name(&self) -> &str {
+        "name-length"
+    }
+
+    fn validate(
+        &self,
+        _params: &StrategyParams,
+        _circuit: Option<&Circuit>,
+    ) -> Result<(), MetaError> {
+        Ok(())
+    }
+
+    fn score(&self, _job: &JobContext<'_>, backend: &Backend) -> Result<Score, MetaError> {
+        Ok(Score::new(backend.name(), backend.name().len() as f64))
+    }
+}
+
+#[test]
+fn custom_strategies_need_the_recover_with_hook() {
+    let path = journal_path("custom-strategy");
+    {
+        let mut qrio = seeded_qrio();
+        qrio.register_strategy(Arc::new(NameLength)).unwrap();
+        qrio.enable_durability(&path, DurabilityConfig::default())
+            .unwrap();
+        two_device_fleet(&mut qrio);
+        let bv = library::bernstein_vazirani(4, 0b0110).unwrap();
+        let request = JobRequestBuilder::new()
+            .with_circuit(&bv)
+            .job_name("custom-job")
+            .strategy(StrategySpec::new("name-length"))
+            .shots(64)
+            .build()
+            .unwrap();
+        let _ = qrio.enqueue(&request).unwrap();
+    }
+
+    // Without the hook the journaled enqueue cannot replay (the strategy is a
+    // live trait object the journal does not carry) — a typed divergence.
+    match Qrio::recover(&path) {
+        Err(QrioError::Durability(DurabilityError::ReplayDivergence(_))) => {}
+        other => panic!("expected replay divergence, got {other:?}"),
+    }
+
+    // With the hook, replay sees the strategy and the job completes.
+    let (mut recovered, _) =
+        Qrio::recover_with(&path, |qrio| qrio.register_strategy(Arc::new(NameLength))).unwrap();
+    let id = qrio::JobId::new("custom-job");
+    assert_eq!(recovered.status(&id).unwrap(), JobState::Queued);
+    recovered.run_until_idle();
+    assert_eq!(recovered.status(&id).unwrap(), JobState::Succeeded);
+}
+
+#[test]
+fn journals_without_a_snapshot_or_with_garbage_are_typed_errors() {
+    // Header-only journal: structurally valid, but nothing to recover from.
+    let path = journal_path("no-snapshot");
+    drop(qrio_journal::Journal::create(&path).unwrap());
+    match Qrio::recover(&path) {
+        Err(QrioError::Durability(DurabilityError::NoSnapshot)) => {}
+        other => panic!("expected NoSnapshot, got {other:?}"),
+    }
+
+    // Not a journal at all.
+    let garbage = journal_path("garbage");
+    fs::write(&garbage, b"this is not a journal").unwrap();
+    match Qrio::recover(&garbage) {
+        Err(QrioError::Durability(DurabilityError::Journal(_))) => {}
+        other => panic!("expected a journal error, got {other:?}"),
+    }
+}
+
+#[test]
+fn durability_lifecycle_guards() {
+    let path = journal_path("guards");
+    let mut qrio = seeded_qrio();
+    assert!(!qrio.is_durable());
+    assert_eq!(qrio.disable_durability(), None);
+    qrio.enable_durability(&path, DurabilityConfig::default())
+        .unwrap();
+    assert!(qrio.is_durable());
+    // Double-enable is rejected without clobbering the active journal.
+    match qrio.enable_durability(&path, DurabilityConfig::default()) {
+        Err(QrioError::InvalidRequest(_)) => {}
+        other => panic!("expected InvalidRequest, got {other:?}"),
+    }
+    qrio.sync_journal().unwrap();
+    qrio.snapshot_now().unwrap();
+    assert_eq!(qrio.disable_durability(), None);
+    assert!(!qrio.is_durable());
+
+    // Enabling at an impossible path surfaces the journal error.
+    let dir = std::env::temp_dir();
+    match qrio.enable_durability(&dir, DurabilityConfig::default()) {
+        Err(QrioError::Durability(DurabilityError::Journal(_))) => {}
+        other => panic!("expected a journal error, got {other:?}"),
+    }
+    assert!(!qrio.is_durable());
+}
+
+#[test]
+fn durability_does_not_change_behavior() {
+    let run = |durable: bool| {
+        let path = journal_path("behavior-parity");
+        let mut qrio = seeded_qrio();
+        if durable {
+            qrio.enable_durability(&path, DurabilityConfig { snapshot_every: 2 })
+                .unwrap();
+        }
+        two_device_fleet(&mut qrio);
+        for name in ["par-a", "par-b", "par-c"] {
+            let _ = qrio.enqueue(&bv_request(name)).unwrap();
+        }
+        qrio.run_until_idle();
+        (
+            qrio.watch(0).to_vec(),
+            qrio.now(),
+            qrio.outcome(&qrio::JobId::new("par-a"))
+                .unwrap()
+                .decision
+                .node,
+        )
+    };
+    assert_eq!(run(false), run(true));
+}

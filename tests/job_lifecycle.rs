@@ -425,6 +425,26 @@ fn rejected_enqueue_rolls_back_the_upload() {
     assert_eq!(qrio.meta().job_count(), 0);
 }
 
+/// Pins the beyond-the-end watch contract: a cursor at or past the log end
+/// returns an empty slice — never a panic, never a typed error. Pollers that
+/// raced ahead (or persisted a cursor from a longer-lived log) keep polling.
+#[test]
+fn watch_cursors_beyond_the_log_end_return_empty() {
+    let mut qrio = two_device_qrio();
+    assert!(qrio.watch(0).is_empty());
+    assert!(qrio.watch(u64::MAX).is_empty());
+
+    let id = qrio.enqueue(&fidelity_request("w-end", 3, 0)).unwrap();
+    qrio.run_until_idle();
+    drop(id);
+    let len = qrio.watch(0).len() as u64;
+    assert!(len > 0);
+    assert_eq!(qrio.watch(len - 1).len(), 1);
+    assert!(qrio.watch(len).is_empty());
+    assert!(qrio.watch(len + 1).is_empty());
+    assert!(qrio.watch(u64::MAX).is_empty());
+}
+
 // --- Determinism pins (watch streams, listings, replays) ---------------------------------
 
 /// Render the full watch log into comparable lines.
