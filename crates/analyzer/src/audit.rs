@@ -7,8 +7,10 @@
 //! bookkeeping: sequence numbers are dense from zero (QL0301), each job's
 //! events chain correctly (`from` equals the previous `to`, QL0302), every
 //! observed transition is in the legality table (QL0303), no job is left
-//! non-terminal at the end of a drained run (QL0304), and no job enters
-//! `Running` twice (QL0305).
+//! non-terminal at the end of a drained run (QL0304), no job re-enters
+//! `Running` without an intervening `Retrying` decision (QL0305), retry
+//! attempt counters climb by exactly one per `Retrying` event (QL0306), and
+//! nothing happens to a job after it reaches a terminal state (QL0307).
 
 use std::collections::BTreeMap;
 
@@ -50,10 +52,27 @@ pub fn audit_watch_log(events: &[JobEvent], options: AuditOptions) -> Vec<Diagno
 
     // Per-job replay.
     let mut last_state: BTreeMap<&str, JobState> = BTreeMap::new();
-    let mut running_entries: BTreeMap<&str, usize> = BTreeMap::new();
+    // Whether the job may (re-)enter Running: true initially, consumed by a
+    // Running entry, restored by a Retrying decision.
+    let mut may_run: BTreeMap<&str, bool> = BTreeMap::new();
+    let mut last_attempt: BTreeMap<&str, u64> = BTreeMap::new();
     for event in events {
         let job = event.job.as_str();
         let previous = last_state.get(job).copied();
+
+        // QL0307: terminal states are final — any further event for the job
+        // means the orchestrator kept mutating settled work.
+        if previous.is_some_and(|state| state.is_terminal()) {
+            diagnostics.push(Diagnostic::new(
+                LintCode::EventAfterTerminal,
+                Location::at(&subject, format!("seq {} (job '{job}')", event.seq)),
+                format!(
+                    "job already settled in {} but a later event moves it to {}",
+                    previous.expect("checked above"),
+                    event.to
+                ),
+            ));
+        }
 
         // QL0302: the event's `from` must equal the job's previous `to`
         // (None for the very first event of the job, which must be the
@@ -88,16 +107,38 @@ pub fn audit_watch_log(events: &[JobEvent], options: AuditOptions) -> Vec<Diagno
             }
         }
 
-        // QL0305: Running must be entered at most once.
+        // QL0305: each Running entry must be "paid for" — the first one by
+        // admission, every later one by an intervening Retrying decision.
+        // (A retried job legitimately runs again; a *silent* re-run is the
+        // double-execution bug this lint exists to catch.)
         if event.to == JobState::Running {
-            let entries = running_entries.entry(job).or_insert(0);
-            *entries += 1;
-            if *entries > 1 {
+            let allowed = may_run.entry(job).or_insert(true);
+            if !*allowed {
                 diagnostics.push(Diagnostic::new(
                     LintCode::DoubleRunning,
                     Location::at(&subject, format!("seq {} (job '{job}')", event.seq)),
-                    format!("job entered Running {entries} times"),
+                    "job re-entered Running without an intervening Retrying decision".to_string(),
                 ));
+            }
+            *allowed = false;
+        }
+        if event.to == JobState::Retrying {
+            may_run.insert(job, true);
+
+            // QL0306: the orchestrator stamps each Retrying reason with
+            // "attempt N failed: ..."; N must climb by exactly one per
+            // retry decision (monotone, gapless), or the backoff schedule
+            // and dead-letter accounting disagree with reality.
+            if let Some(attempt) = event.reason.as_deref().and_then(parse_attempt) {
+                let expected = last_attempt.get(job).copied().unwrap_or(0) + 1;
+                if attempt != expected {
+                    diagnostics.push(Diagnostic::new(
+                        LintCode::NonMonotoneAttempts,
+                        Location::at(&subject, format!("seq {} (job '{job}')", event.seq)),
+                        format!("expected attempt {expected}, but the Retrying reason says attempt {attempt}"),
+                    ));
+                }
+                last_attempt.insert(job, attempt);
             }
         }
 
@@ -118,6 +159,17 @@ pub fn audit_watch_log(events: &[JobEvent], options: AuditOptions) -> Vec<Diagno
     }
 
     diagnostics
+}
+
+/// Parse the attempt counter out of a `Retrying` reason of the
+/// orchestrator's form `"attempt N failed: ..."`. Returns `None` for logs
+/// that carry no (or a foreign) reason — those simply skip the QL0306 check.
+fn parse_attempt(reason: &str) -> Option<u64> {
+    let rest = reason.strip_prefix("attempt ")?;
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
 #[cfg(test)]
@@ -235,5 +287,94 @@ mod tests {
             },
         );
         assert!(diags.iter().any(|d| d.code == LintCode::DoubleRunning));
+    }
+
+    fn retry_event(
+        seq: u64,
+        job: &str,
+        from: JobState,
+        to: JobState,
+        reason: Option<&str>,
+    ) -> JobEvent {
+        JobEvent {
+            reason: reason.map(str::to_string),
+            ..event(seq, job, Some(from), to)
+        }
+    }
+
+    /// A full, legal retry loop: run, fail into Retrying, requeue, run
+    /// again, succeed.
+    fn retry_log(first_reason: &str, second_reason: &str) -> Vec<JobEvent> {
+        use JobState::*;
+        vec![
+            event(0, "a", None, Submitted),
+            event(1, "a", Some(Submitted), Queued),
+            event(2, "a", Some(Queued), Scheduled),
+            event(3, "a", Some(Scheduled), Running),
+            retry_event(4, "a", Running, Retrying, Some(first_reason)),
+            event(5, "a", Some(Retrying), Queued),
+            event(6, "a", Some(Queued), Scheduled),
+            event(7, "a", Some(Scheduled), Running),
+            retry_event(8, "a", Running, Retrying, Some(second_reason)),
+            event(9, "a", Some(Retrying), Queued),
+            event(10, "a", Some(Queued), Scheduled),
+            event(11, "a", Some(Scheduled), Running),
+            event(12, "a", Some(Running), Succeeded),
+        ]
+    }
+
+    #[test]
+    fn retried_jobs_may_rerun_and_audit_clean() {
+        let log = retry_log(
+            "attempt 1 failed: boom; backing off 4 ticks",
+            "attempt 2 failed: boom; backing off 8 ticks",
+        );
+        assert!(audit_watch_log(&log, AuditOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn non_monotone_attempt_counters_are_flagged() {
+        // The second Retrying claims attempt 5; after attempt 1, only
+        // attempt 2 is coherent.
+        let log = retry_log(
+            "attempt 1 failed: boom; backing off 4 ticks",
+            "attempt 5 failed: boom; backing off 8 ticks",
+        );
+        let diags = audit_watch_log(&log, AuditOptions::default());
+        assert!(diags
+            .iter()
+            .any(|d| d.code == LintCode::NonMonotoneAttempts));
+        // Reasons without the counter skip the check rather than misfire.
+        let opaque = retry_log("node exploded", "node exploded again");
+        assert!(audit_watch_log(&opaque, AuditOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn events_after_a_terminal_state_are_flagged() {
+        use JobState::*;
+        let log = vec![
+            event(0, "a", None, Submitted),
+            event(1, "a", Some(Submitted), Queued),
+            event(2, "a", Some(Queued), Failed),
+            event(3, "a", Some(Failed), Queued), // zombie revival
+        ];
+        let diags = audit_watch_log(
+            &log,
+            AuditOptions {
+                require_terminal: false,
+            },
+        );
+        assert!(diags.iter().any(|d| d.code == LintCode::EventAfterTerminal));
+    }
+
+    #[test]
+    fn attempt_counters_parse_from_orchestrator_reasons() {
+        assert_eq!(
+            parse_attempt("attempt 3 failed: x; backing off 2 ticks"),
+            Some(3)
+        );
+        assert_eq!(parse_attempt("attempt 12"), Some(12));
+        assert_eq!(parse_attempt("attempted murder"), None);
+        assert_eq!(parse_attempt("something else"), None);
     }
 }

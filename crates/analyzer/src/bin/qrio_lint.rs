@@ -21,14 +21,14 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use qrio_analyzer::{
-    audit_watch_log, lint_engine_fit, lint_journal_bytes, lint_journal_file, lint_logical_circuit,
-    lint_requirements, lint_routed_circuit, lint_scenario, lint_transpile_result,
-    verify_job_state_machine, AuditOptions, Diagnostic, EngineHint, LintCode, Location, Report,
-    TargetView,
+    audit_watch_log, lint_breaker_config, lint_chaos_scenario, lint_engine_fit, lint_journal_bytes,
+    lint_journal_file, lint_logical_circuit, lint_requirements, lint_retry_policy,
+    lint_routed_circuit, lint_scenario, lint_transpile_result, verify_job_state_machine,
+    AuditOptions, Diagnostic, EngineHint, LintCode, Location, Report, TargetView,
 };
 use qrio_backend::{topology, Backend};
 use qrio_circuit::{library, Circuit};
-use qrio_cluster::DeviceRequirements;
+use qrio_cluster::{DeviceRequirements, RetryPolicy};
 use qrio_loadgen::{Scenario, WorkloadCircuit};
 use qrio_meta::{builtin_registry, FidelityRankingConfig, StrategyRegistry};
 use qrio_transpiler::transpile;
@@ -159,6 +159,7 @@ fn lint_scenario_file(path: &Path, registry: &StrategyRegistry, report: &mut Rep
     };
 
     report.extend(lint_scenario(&scenario, registry));
+    report.extend(lint_chaos_scenario(&scenario));
 
     for tenant in &scenario.tenants {
         // Job #0 is representative: the family and width are fixed per
@@ -334,7 +335,9 @@ fn self_check() -> Vec<String> {
 
     // 6-9. The durability-journal family, over hand-built byte fixtures.
     {
-        use qrio::durability::{encode_events_record, RECORD_COMMAND, RECORD_SNAPSHOT};
+        use qrio::durability::{
+            encode_events_record, RECORD_COMMAND, RECORD_SNAPSHOT, RECORD_VERSION,
+        };
         use qrio::{JobEvent, JobId, JobState};
         use qrio_journal::{encode_record, header_bytes, Record};
 
@@ -363,7 +366,11 @@ fn self_check() -> Vec<String> {
             lint_journal_bytes("self-check torn", &torn),
         );
 
-        let liar = Record::new(RECORD_SNAPSHOT, 1, 999u64.to_le_bytes().to_vec());
+        let liar = Record::new(
+            RECORD_SNAPSHOT,
+            RECORD_VERSION,
+            999u64.to_le_bytes().to_vec(),
+        );
         expect(
             "snapshot ahead of the log head",
             LintCode::SnapshotBeyondLogHead,
@@ -384,6 +391,73 @@ fn self_check() -> Vec<String> {
             "file without the journal magic",
             LintCode::MalformedJournal,
             lint_journal_bytes("self-check garbage", b"not a journal at all"),
+        );
+    }
+
+    // 10-13. The fault-tolerance configuration family.
+    {
+        use qrio::BreakerConfig;
+
+        let zero_attempts = RetryPolicy {
+            max_attempts: 0,
+            ..RetryPolicy::fixed(1, 5)
+        };
+        expect(
+            "retry policy with zero attempts",
+            LintCode::RetryNeverRuns,
+            lint_retry_policy(&zero_attempts, None, "self-check zero-retry"),
+        );
+
+        // 4 attempts x 50-tick delays = 150 ticks of backoff vs a deadline
+        // of 100.
+        expect(
+            "backoff schedule outliving the deadline",
+            LintCode::BackoffOutlivesDeadline,
+            lint_retry_policy(
+                &RetryPolicy::fixed(4, 50),
+                Some(100),
+                "self-check doomed-backoff",
+            ),
+        );
+
+        let saturated = "scenario: self-check-chaos\n\
+                         seed: 1\n\
+                         durationMs: 1000\n\
+                         maxJobs: 5\n\
+                         fleet:\n\
+                         - device: alpha\n\
+                         \x20 qubits: 6\n\
+                         tenants:\n\
+                         - tenant: t\n\
+                         \x20 strategy: min_queue\n\
+                         \x20 circuit: ghz\n\
+                         \x20 qubits: 4\n\
+                         \x20 shots: 16\n\
+                         \x20 ratePerSec: 1.0\n\
+                         events:\n\
+                         - kind: faults\n\
+                         \x20 atMs: 0\n\
+                         \x20 transientRate: 0.7\n\
+                         \x20 flapRate: 0.4\n";
+        let saturated_diags = match Scenario::from_yaml(saturated) {
+            Ok(scenario) => lint_chaos_scenario(&scenario),
+            Err(_) => Vec::new(),
+        };
+        expect(
+            "chaos fault rates summing past 1.0",
+            LintCode::FaultRateSaturated,
+            saturated_diags,
+        );
+
+        let inverted = BreakerConfig {
+            consecutive_failures: 0,
+            failure_rate: 0.0,
+            ..BreakerConfig::default()
+        };
+        expect(
+            "inverted circuit-breaker thresholds",
+            LintCode::BreakerThresholdsInverted,
+            lint_breaker_config(&inverted, "self-check inverted-breaker"),
         );
     }
 

@@ -113,7 +113,11 @@ lint_codes! {
     (JobLost, "QL0304", Error,
      "job never reached a terminal state by the end of the run"),
     (DoubleRunning, "QL0305", Error,
-     "job entered Running more than once"),
+     "job re-entered Running without an intervening Retrying decision"),
+    (NonMonotoneAttempts, "QL0306", Error,
+     "Retrying events' attempt counters do not increase by one per attempt"),
+    (EventAfterTerminal, "QL0307", Error,
+     "event recorded for a job after it reached a terminal state"),
     // Durability-journal lints (QL04xx).
     (TornTailRecord, "QL0401", Warning,
      "journal ends in a torn (truncated or corrupt) tail record that recovery will discard"),
@@ -123,6 +127,15 @@ lint_codes! {
      "journal record carries a format version this build cannot decode"),
     (MalformedJournal, "QL0404", Error,
      "file is not a QRIO journal or its header/records are structurally invalid"),
+    // Fault-tolerance configuration lints (QL05xx).
+    (RetryNeverRuns, "QL0500", Error,
+     "retry policy allows zero attempts, so the job can never execute"),
+    (BackoffOutlivesDeadline, "QL0501", Warning,
+     "worst-case retry backoff extends past the job's deadline, so late attempts are dead on arrival"),
+    (FaultRateSaturated, "QL0502", Warning,
+     "chaos fault rates sum to 1.0 or more, so every attempt fails and no work can complete"),
+    (BreakerThresholdsInverted, "QL0503", Error,
+     "circuit-breaker thresholds are inverted or degenerate, so the breaker can never work as configured"),
 }
 
 impl fmt::Display for LintCode {

@@ -24,6 +24,9 @@
 //! * [`journal_lints`] — structural checks over `qrio-journal` durability
 //!   logs: torn tails, snapshots ahead of the log head, undecodable or
 //!   version-mismatched records.
+//! * [`fault_lints`] — fault-tolerance configuration checks: retry policies
+//!   that can never run, backoff schedules that outlive their deadline,
+//!   saturated chaos fault rates, inverted circuit-breaker thresholds.
 //!
 //! The [`LintGate`] plugs the relevant passes into [`qrio::Qrio::enqueue`]
 //! as a pre-admission check, and the `qrio-lint` binary runs everything over
@@ -35,6 +38,7 @@
 pub mod audit;
 pub mod circuit_lints;
 pub mod diag;
+pub mod fault_lints;
 pub mod gate;
 pub mod journal_lints;
 pub mod spec_lints;
@@ -46,6 +50,7 @@ pub use circuit_lints::{
     lint_width_against_fleet, EngineHint, TargetView,
 };
 pub use diag::{Diagnostic, LintCode, Location, Report, Severity};
+pub use fault_lints::{lint_breaker_config, lint_chaos_scenario, lint_retry_policy};
 pub use gate::LintGate;
 pub use journal_lints::{lint_journal_bytes, lint_journal_file};
 pub use spec_lints::{lint_requirements, lint_scenario, lint_strategy_spec};

@@ -117,8 +117,9 @@ pub fn lint_scenario(scenario: &Scenario, registry: &StrategyRegistry) -> Vec<Di
     for (index, event) in scenario.events.iter().enumerate() {
         if event.at_ms() >= scenario.duration_ms {
             let (kind, device) = match event {
-                ScenarioEvent::Drift { device, .. } => ("drift", device),
-                ScenarioEvent::Outage { device, .. } => ("outage", device),
+                ScenarioEvent::Drift { device, .. } => ("drift", device.as_str()),
+                ScenarioEvent::Outage { device, .. } => ("outage", device.as_str()),
+                ScenarioEvent::Faults { .. } => ("faults", "fleet-wide"),
             };
             diagnostics.push(Diagnostic::new(
                 LintCode::EventOutsideHorizon,

@@ -137,6 +137,10 @@ mod tests {
             (Scheduled, Cancelled),
             (Running, Succeeded),
             (Running, Failed),
+            (Running, Retrying),
+            (Retrying, Queued),
+            (Retrying, Failed),
+            (Retrying, Cancelled),
         ];
         assert_eq!(report.transitions.len(), expected.len());
         for arc in expected {

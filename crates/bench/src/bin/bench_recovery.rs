@@ -15,9 +15,14 @@
 //!
 //! ```text
 //! cargo run -p qrio-bench --release --bin bench_recovery --
-//!     [--seed N] [--jobs N] [--crash-after N]
-//!     [--journal PATH] [--out PATH]
+//!     [--seed N] [--jobs N] [--crash-after N] [--fault-permille N]
+//!     [--retry-attempts N] [--journal PATH] [--out PATH]
 //! ```
+//!
+//! The storm runs with fault injection, per-job retry policies and armed
+//! circuit breakers by default (disable with `--fault-permille 0
+//! --retry-attempts 0`), so the crash lands over jobs parked mid-backoff in
+//! `Retrying` and recovery must replay the same retry schedule.
 
 use std::path::PathBuf;
 
@@ -42,21 +47,30 @@ fn flag_path(args: &[String], name: &str, default: &str) -> PathBuf {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let fault_permille = flag_u64(&args, "--fault-permille", 250) as u32;
+    let retry_attempts = flag_u64(&args, "--retry-attempts", 4) as u32;
     let scenario = KillRestartScenario {
         name: "bench-recovery".into(),
         seed: flag_u64(&args, "--seed", 20240),
         jobs: flag_u64(&args, "--jobs", 120),
         crash_after_jobs: flag_u64(&args, "--crash-after", 75),
+        fault_permille,
+        retry_max_attempts: retry_attempts,
+        breakers: retry_attempts > 0 || fault_permille > 0,
         ..KillRestartScenario::default()
     };
     let journal_path = flag_path(&args, "--journal", "bench_recovery.qj");
     let out_path = flag_path(&args, "--out", "BENCH_recovery.txt");
 
     println!(
-        "bench_recovery: seed {}, {} jobs, crash after {}, journal {}",
+        "bench_recovery: seed {}, {} jobs, crash after {}, {}permille faults, \
+         {} attempts, breakers {}, journal {}",
         scenario.seed,
         scenario.jobs,
         scenario.crash_after_jobs,
+        scenario.fault_permille,
+        scenario.retry_max_attempts,
+        if scenario.breakers { "on" } else { "off" },
         journal_path.display()
     );
 

@@ -11,10 +11,12 @@ use std::collections::BTreeMap;
 use qrio_backend::Backend;
 
 use crate::error::ClusterError;
+use crate::fault::{FaultInjector, FaultKind};
 use crate::framework::{FilterPlugin, ScorePlugin};
 use crate::job::{Job, JobPhase, JobSnapshot, JobSpec};
 use crate::node::{Node, NodeState, NodeStatus};
 use crate::registry::{ImageBundle, ImageRegistry, RegistryState};
+use crate::resources::Resources;
 
 /// One entry in the cluster's event log.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -104,6 +106,8 @@ pub struct ClusterState {
     pub events: Vec<ClusterEvent>,
     /// Pending job names in submission order.
     pub queue: Vec<String>,
+    /// The installed fault injector, when any.
+    pub fault_injector: Option<FaultInjector>,
 }
 
 /// The QRIO cluster: nodes, jobs, images and events.
@@ -115,6 +119,8 @@ pub struct Cluster {
     events: Vec<ClusterEvent>,
     /// Pending job names in submission order (FIFO queue).
     queue: Vec<String>,
+    /// Deterministic fault injector consulted by every execution attempt.
+    fault_injector: Option<FaultInjector>,
 }
 
 impl Cluster {
@@ -142,6 +148,7 @@ impl Cluster {
             registry: ImageRegistry::from_state(state.registry),
             events: state.events,
             queue: state.queue,
+            fault_injector: state.fault_injector,
         }
     }
 
@@ -153,7 +160,20 @@ impl Cluster {
             registry: self.registry.export_state(),
             events: self.events.clone(),
             queue: self.queue.clone(),
+            fault_injector: self.fault_injector,
         }
+    }
+
+    /// Install (or, with `None`, remove) the deterministic fault injector.
+    /// Every subsequent execution attempt consults it; see
+    /// [`Cluster::run_job_attempt`].
+    pub fn set_fault_injector(&mut self, injector: Option<FaultInjector>) {
+        self.fault_injector = injector;
+    }
+
+    /// The installed fault injector, when any.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.fault_injector.as_ref()
     }
 
     fn record(&mut self, kind: &str, message: impl Into<String>) {
@@ -638,7 +658,8 @@ impl Cluster {
         Ok(())
     }
 
-    /// Execute a previously-scheduled job on its bound node using `runner`.
+    /// Execute a previously-scheduled job on its bound node using `runner` —
+    /// the first (0th) attempt of [`Cluster::run_job_attempt`].
     ///
     /// # Errors
     ///
@@ -646,6 +667,26 @@ impl Cluster {
     /// is missing, or the runner fails; in the latter cases the job is marked
     /// `Failed` and the node's resources are released.
     pub fn run_job(&mut self, job_name: &str, runner: &dyn JobRunner) -> Result<(), ClusterError> {
+        self.run_job_attempt(job_name, runner, 0)
+    }
+
+    /// Execute attempt `attempt` of a previously-scheduled job. Before the
+    /// runner is invoked, the installed [`FaultInjector`] (if any) decides —
+    /// as a pure function of `(seed, job, node, attempt)` — whether this
+    /// attempt faults; an injected fault marks the job `Failed` with the
+    /// fault's typed reason and surfaces as [`ClusterError::InjectedFault`].
+    /// A [`FaultKind::DeviceFlap`] additionally marks the node `NotReady`
+    /// (self-healing restarts it later).
+    ///
+    /// # Errors
+    ///
+    /// As [`Cluster::run_job`], plus [`ClusterError::InjectedFault`].
+    pub fn run_job_attempt(
+        &mut self,
+        job_name: &str,
+        runner: &dyn JobRunner,
+        attempt: u32,
+    ) -> Result<(), ClusterError> {
         let (spec, node_name) = {
             let job = self
                 .jobs
@@ -679,6 +720,15 @@ impl Cluster {
             "JobStarted",
             format!("job '{job_name}' running on '{node_name}'"),
         );
+
+        // Fault injection: a stateless decision, so snapshot-based recovery
+        // replays the exact same verdict for this (job, node, attempt).
+        if let Some(kind) = self
+            .fault_injector
+            .and_then(|injector| injector.decide(job_name, &node_name, attempt))
+        {
+            return Err(self.fail_with_fault(job_name, &node_name, &spec.resources, kind, attempt));
+        }
 
         let outcome = runner.run(&spec, &image, &backend);
         // Release classical resources regardless of the outcome.
@@ -716,6 +766,129 @@ impl Cluster {
                 })
             }
         }
+    }
+
+    /// Mark a `Running` job as faulted: release its node's resources, record
+    /// the typed failure, and (for device flaps) take the node down.
+    fn fail_with_fault(
+        &mut self,
+        job_name: &str,
+        node_name: &str,
+        resources: &Resources,
+        kind: FaultKind,
+        attempt: u32,
+    ) -> ClusterError {
+        if let Some(node) = self.nodes.get_mut(node_name) {
+            node.release(resources);
+            if kind == FaultKind::DeviceFlap {
+                node.mark_not_ready();
+            }
+        }
+        if kind == FaultKind::DeviceFlap {
+            self.record(
+                "NodeFlapped",
+                format!("node '{node_name}' flapped while running job '{job_name}'"),
+            );
+        }
+        let job = self.jobs.get_mut(job_name).expect("job exists");
+        job.set_phase(JobPhase::Failed {
+            reason: kind.reason().to_string(),
+        });
+        self.record(
+            "JobFaultInjected",
+            format!(
+                "job '{job_name}' attempt {attempt} on '{node_name}' hit {}",
+                kind.reason()
+            ),
+        );
+        ClusterError::InjectedFault {
+            job: job_name.to_string(),
+            node: node_name.to_string(),
+            kind,
+            attempt,
+        }
+    }
+
+    /// Return a `Failed` job to `Pending` and the tail of the FIFO queue —
+    /// the re-admission step of a retry. The job keeps its logs and history;
+    /// a fresh scheduling cycle will bind it again.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownJob`] for unknown jobs and
+    /// [`ClusterError::PhaseConflict`] when the job is not `Failed`.
+    pub fn requeue_job(&mut self, job_name: &str) -> Result<(), ClusterError> {
+        let job = self
+            .jobs
+            .get_mut(job_name)
+            .ok_or_else(|| ClusterError::UnknownJob(job_name.to_string()))?;
+        match job.phase() {
+            JobPhase::Failed { .. } => {}
+            other => {
+                let phase = other.name().to_string();
+                return Err(ClusterError::PhaseConflict {
+                    job: job_name.to_string(),
+                    action: "requeue".to_string(),
+                    phase,
+                });
+            }
+        }
+        job.set_phase(JobPhase::Pending);
+        // The queue may still hold a stale entry from the original
+        // submission (scheduling filters by phase rather than draining), so
+        // only push when absent to keep `pending_jobs` duplicate-free.
+        if !self.queue.iter().any(|name| name == job_name) {
+            self.queue.push(job_name.to_string());
+        }
+        self.record("JobRequeued", format!("job '{job_name}' requeued"));
+        Ok(())
+    }
+
+    /// Interrupt a `Scheduled` job whose device died under it: the job passes
+    /// through `Running` straight into a [`FaultKind::DeviceFlap`] failure
+    /// (resources released, node marked `NotReady`) without the runner ever
+    /// being invoked. Virtual-time drivers use this when an outage lands on
+    /// a device with a job mid-execution.
+    ///
+    /// # Errors
+    ///
+    /// Always errs on success: the applied interrupt surfaces as
+    /// [`ClusterError::InjectedFault`] with [`FaultKind::DeviceFlap`], like
+    /// any other injected fault. `UnknownJob` / `ExecutionFailed` report a
+    /// missing job or one that is not `Scheduled`.
+    pub fn interrupt_job(&mut self, job_name: &str, attempt: u32) -> Result<(), ClusterError> {
+        let (resources, node_name) = {
+            let job = self
+                .jobs
+                .get(job_name)
+                .ok_or_else(|| ClusterError::UnknownJob(job_name.to_string()))?;
+            let node = match job.phase() {
+                JobPhase::Scheduled { node } => node.clone(),
+                other => {
+                    return Err(ClusterError::ExecutionFailed {
+                        job: job_name.to_string(),
+                        reason: format!("job is not in the Scheduled phase (currently {other:?})"),
+                    })
+                }
+            };
+            (job.spec().resources, node)
+        };
+        if let Some(job) = self.jobs.get_mut(job_name) {
+            job.set_phase(JobPhase::Running {
+                node: node_name.clone(),
+            });
+        }
+        self.record(
+            "JobStarted",
+            format!("job '{job_name}' running on '{node_name}'"),
+        );
+        Err(self.fail_with_fault(
+            job_name,
+            &node_name,
+            &resources,
+            FaultKind::DeviceFlap,
+            attempt,
+        ))
     }
 
     /// Schedule and run every pending job in FIFO order (the multi-job mode
@@ -815,6 +988,8 @@ mod tests {
             priority: 0,
             shots: 64,
             threads: 0,
+            retry: None,
+            deadline: None,
         }
     }
 
@@ -1231,5 +1406,156 @@ mod tests {
         assert!(cluster.submit_job(spec).is_err());
         assert!(cluster.job_logs("dup").unwrap().is_empty());
         assert!(cluster.job_logs("missing").is_err());
+    }
+
+    fn submit_and_schedule(cluster: &mut Cluster, name: &str) {
+        let spec = make_spec(name, 4);
+        push_image_for(cluster, &spec);
+        cluster.submit_job(spec).unwrap();
+        cluster
+            .schedule_job(name, &default_filters(), &AverageErrorScore)
+            .unwrap();
+    }
+
+    #[test]
+    fn injected_fault_fails_job_and_releases_resources() {
+        let mut cluster = cluster_with_nodes();
+        cluster.set_fault_injector(Some(FaultInjector {
+            transient_rate: 1.0,
+            ..FaultInjector::new(11)
+        }));
+        submit_and_schedule(&mut cluster, "doomed");
+        let err = cluster.run_job("doomed", &EchoRunner).unwrap_err();
+        assert!(matches!(
+            err,
+            ClusterError::InjectedFault {
+                kind: FaultKind::TransientExecution,
+                attempt: 0,
+                ..
+            }
+        ));
+        assert!(matches!(
+            cluster.job("doomed").unwrap().phase(),
+            JobPhase::Failed { .. }
+        ));
+        // Resources released and the injection left an audit trail.
+        assert_eq!(
+            cluster.node("quiet").unwrap().allocated(),
+            Resources::default()
+        );
+        assert!(cluster
+            .events()
+            .iter()
+            .any(|e| e.kind == "JobFaultInjected"));
+    }
+
+    #[test]
+    fn fault_decisions_are_deterministic_per_attempt() {
+        let injector = FaultInjector {
+            transient_rate: 0.3,
+            calibration_rate: 0.2,
+            ..FaultInjector::new(99)
+        };
+        for attempt in 0..32 {
+            assert_eq!(
+                injector.decide("job", "node", attempt),
+                injector.decide("job", "node", attempt)
+            );
+        }
+        // Some attempt escapes the injector: a retry loop can make progress.
+        assert!((0..32).any(|a| injector.decide("job", "node", a).is_none()));
+    }
+
+    #[test]
+    fn device_flap_marks_node_not_ready_and_heals() {
+        let mut cluster = cluster_with_nodes();
+        cluster.set_fault_injector(Some(FaultInjector {
+            flap_rate: 1.0,
+            ..FaultInjector::new(3)
+        }));
+        submit_and_schedule(&mut cluster, "flappy");
+        let err = cluster.run_job("flappy", &EchoRunner).unwrap_err();
+        assert!(matches!(
+            err,
+            ClusterError::InjectedFault {
+                kind: FaultKind::DeviceFlap,
+                ..
+            }
+        ));
+        assert_eq!(
+            cluster.node("quiet").unwrap().status(),
+            NodeStatus::NotReady
+        );
+        assert!(cluster.events().iter().any(|e| e.kind == "NodeFlapped"));
+        cluster.heal_nodes();
+        assert_eq!(cluster.node("quiet").unwrap().status(), NodeStatus::Ready);
+    }
+
+    #[test]
+    fn requeue_returns_failed_job_to_pending() {
+        let mut cluster = cluster_with_nodes();
+        submit_and_schedule(&mut cluster, "retry-me");
+        assert!(cluster.run_job("retry-me", &FailingRunner).is_err());
+        // Only Failed jobs may be requeued.
+        cluster.requeue_job("retry-me").unwrap();
+        assert!(matches!(
+            cluster.job("retry-me").unwrap().phase(),
+            JobPhase::Pending
+        ));
+        assert_eq!(cluster.pending_jobs(), vec!["retry-me"]);
+        assert!(cluster.events().iter().any(|e| e.kind == "JobRequeued"));
+        // A pending job cannot be requeued again; unknown jobs error.
+        assert!(matches!(
+            cluster.requeue_job("retry-me"),
+            Err(ClusterError::PhaseConflict { .. })
+        ));
+        assert!(matches!(
+            cluster.requeue_job("ghost"),
+            Err(ClusterError::UnknownJob { .. })
+        ));
+        // The requeued job schedules and runs to completion again.
+        cluster
+            .schedule_job("retry-me", &default_filters(), &AverageErrorScore)
+            .unwrap();
+        cluster.run_job("retry-me", &EchoRunner).unwrap();
+    }
+
+    #[test]
+    fn interrupt_turns_scheduled_job_into_flap_fault() {
+        let mut cluster = cluster_with_nodes();
+        submit_and_schedule(&mut cluster, "cut-short");
+        let err = cluster.interrupt_job("cut-short", 2).unwrap_err();
+        assert!(matches!(
+            err,
+            ClusterError::InjectedFault {
+                kind: FaultKind::DeviceFlap,
+                attempt: 2,
+                ..
+            }
+        ));
+        assert!(matches!(
+            cluster.job("cut-short").unwrap().phase(),
+            JobPhase::Failed { .. }
+        ));
+        assert_eq!(
+            cluster.node("quiet").unwrap().allocated(),
+            Resources::default()
+        );
+        // Interrupting a non-scheduled job is an error.
+        assert!(cluster.interrupt_job("cut-short", 3).is_err());
+        assert!(cluster.interrupt_job("missing", 0).is_err());
+    }
+
+    #[test]
+    fn fault_injector_survives_state_export() {
+        let mut cluster = cluster_with_nodes();
+        let injector = FaultInjector {
+            transient_rate: 0.25,
+            slow_rate: 0.1,
+            ..FaultInjector::new(7)
+        };
+        cluster.set_fault_injector(Some(injector));
+        let restored = Cluster::from_state(cluster.export_state());
+        assert_eq!(restored.fault_injector(), Some(&injector));
     }
 }

@@ -3,6 +3,8 @@
 use std::error::Error;
 use std::fmt;
 
+use crate::fault::FaultKind;
+
 /// Errors produced by the cluster control plane, registry and executor.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ClusterError {
@@ -56,6 +58,25 @@ pub enum ClusterError {
         /// The phase the job was actually in, rendered for diagnostics.
         phase: String,
     },
+    /// The fault injector fired during an execution attempt.
+    InjectedFault {
+        /// Job name.
+        job: String,
+        /// Node the attempt ran on.
+        node: String,
+        /// Which typed fault fired.
+        kind: FaultKind,
+        /// The (0-based) execution attempt that faulted.
+        attempt: u32,
+    },
+    /// The job blew its virtual-time deadline before reaching a terminal
+    /// state.
+    DeadlineExceeded {
+        /// Job name.
+        job: String,
+        /// The absolute virtual time the deadline expired at.
+        deadline: u64,
+    },
 }
 
 impl fmt::Display for ClusterError {
@@ -80,6 +101,21 @@ impl fmt::Display for ClusterError {
             }
             ClusterError::PhaseConflict { job, action, phase } => {
                 write!(f, "cannot {action} job '{job}' in phase {phase}")
+            }
+            ClusterError::InjectedFault {
+                job,
+                node,
+                kind,
+                attempt,
+            } => {
+                write!(
+                    f,
+                    "attempt {attempt} of job '{job}' on node '{node}' hit {}",
+                    kind.reason()
+                )
+            }
+            ClusterError::DeadlineExceeded { job, deadline } => {
+                write!(f, "job '{job}' exceeded its deadline at t={deadline}")
             }
         }
     }
@@ -109,6 +145,20 @@ mod tests {
         };
         assert!(e.to_string().contains("cancel"));
         assert!(e.to_string().contains("Running"));
+        let e = ClusterError::InjectedFault {
+            job: "j".into(),
+            node: "n".into(),
+            kind: FaultKind::CalibrationGlitch,
+            attempt: 2,
+        };
+        assert!(e.to_string().contains("attempt 2"));
+        assert!(e.to_string().contains("calibration glitch"));
+        let e = ClusterError::DeadlineExceeded {
+            job: "late".into(),
+            deadline: 40,
+        };
+        assert!(e.to_string().contains("late"));
+        assert!(e.to_string().contains("t=40"));
         fn assert_err<E: std::error::Error + Send + Sync>() {}
         assert_err::<ClusterError>();
     }

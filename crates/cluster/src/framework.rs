@@ -155,6 +155,8 @@ mod tests {
             priority: 0,
             shots: 128,
             threads: 0,
+            retry: None,
+            deadline: None,
         }
     }
 

@@ -5,6 +5,7 @@ use std::fmt;
 
 use qrio_backend::NodeLabels;
 
+use crate::fault::RetryPolicy;
 use crate::resources::Resources;
 
 /// User-specified bounds on device characteristics (§3.1/§3.2): the filter
@@ -292,6 +293,12 @@ pub struct JobSpec {
     /// Thread count never changes results — shot RNG shards are derived from
     /// the shot count alone — so this is purely a latency knob.
     pub threads: usize,
+    /// Optional retry policy: how failed execution attempts are retried.
+    /// `None` means every failure is terminal on the first attempt.
+    pub retry: Option<RetryPolicy>,
+    /// Optional virtual-time deadline (ticks after admission). A job still
+    /// non-terminal when the deadline passes fails with `DeadlineExceeded`.
+    pub deadline: Option<u64>,
 }
 
 /// Lifecycle of a job inside the cluster.
@@ -525,6 +532,8 @@ mod tests {
             priority: 0,
             shots: 1024,
             threads: 0,
+            retry: None,
+            deadline: None,
         };
         let mut job = Job::new(spec);
         assert_eq!(job.phase(), &JobPhase::Pending);

@@ -21,6 +21,9 @@
 //! * [`Cluster`] — the control plane: node/job stores, the scheduling cycle,
 //!   the kubelet-style [`JobRunner`] execution hook, an event log, and a FIFO
 //!   queue for the multi-job mode the paper lists as future work.
+//! * [`FaultInjector`], [`FaultKind`], [`RetryPolicy`] — deterministic typed
+//!   fault injection consulted by every execution attempt, plus the per-job
+//!   retry/backoff policies the orchestrator's fault-tolerant lifecycle runs.
 //!
 //! # Examples
 //!
@@ -43,6 +46,7 @@
 
 mod cluster;
 mod error;
+mod fault;
 pub mod framework;
 mod job;
 mod node;
@@ -54,6 +58,7 @@ pub use cluster::{
     Cluster, ClusterEvent, ClusterState, ExecutionOutcome, JobRunner, NodeLoad, ScheduleDecision,
 };
 pub use error::ClusterError;
+pub use fault::{BackoffPolicy, FaultInjector, FaultKind, RetryOn, RetryPolicy};
 pub use framework::{FilterPlugin, ScorePlugin};
 pub use job::{
     strategy_names, DeviceRequirements, Job, JobPhase, JobSnapshot, JobSpec, ParamValue,

@@ -15,6 +15,7 @@
 use std::fmt::Write as _;
 
 use crate::error::ClusterError;
+use crate::fault::{BackoffPolicy, RetryOn, RetryPolicy};
 use crate::job::{DeviceRequirements, JobSpec, ParamValue, StrategyParams, StrategySpec};
 use crate::resources::Resources;
 
@@ -34,6 +35,25 @@ pub fn to_yaml(spec: &JobSpec) -> String {
     }
     if spec.threads != 0 {
         let _ = writeln!(out, "  threads: {}", spec.threads);
+    }
+    if let Some(deadline) = spec.deadline {
+        let _ = writeln!(out, "  deadline: {deadline}");
+    }
+    if let Some(retry) = &spec.retry {
+        let _ = writeln!(out, "  retryMaxAttempts: {}", retry.max_attempts);
+        match retry.backoff {
+            BackoffPolicy::Fixed { delay } => {
+                out.push_str("  retryBackoff: fixed\n");
+                let _ = writeln!(out, "  retryDelay: {delay}");
+            }
+            BackoffPolicy::Exponential { base, max, jitter } => {
+                out.push_str("  retryBackoff: exponential\n");
+                let _ = writeln!(out, "  retryDelay: {base}");
+                let _ = writeln!(out, "  retryMaxDelay: {max}");
+                let _ = writeln!(out, "  retryJitter: {jitter}");
+            }
+        }
+        let _ = writeln!(out, "  retryOn: {}", render_retry_on(retry.retry_on));
     }
     out.push_str("  resources:\n");
     let _ = writeln!(out, "    cpuMillis: {}", spec.resources.cpu_millis);
@@ -132,6 +152,13 @@ const SCALAR_FIELDS: &[&str] = &[
     "shots",
     "priority",
     "threads",
+    "deadline",
+    "retryMaxAttempts",
+    "retryBackoff",
+    "retryDelay",
+    "retryMaxDelay",
+    "retryJitter",
+    "retryOn",
     "cpuMillis",
     "memoryMib",
     "minQubits",
@@ -141,6 +168,68 @@ const SCALAR_FIELDS: &[&str] = &[
     "minT2Us",
     "strategy",
 ];
+
+/// Render a [`RetryOn`] class set: the `all` / `faults` / `none` presets when
+/// one matches, else a comma-joined class list.
+fn render_retry_on(on: RetryOn) -> String {
+    if on == RetryOn::all() {
+        return "all".into();
+    }
+    if on == RetryOn::faults_only() {
+        return "faults".into();
+    }
+    let classes: Vec<&str> = [
+        (on.transient, "transient"),
+        (on.calibration, "calibration"),
+        (on.slow, "slow"),
+        (on.flap, "flap"),
+        (on.execution, "execution"),
+    ]
+    .into_iter()
+    .filter_map(|(enabled, name)| enabled.then_some(name))
+    .collect();
+    if classes.is_empty() {
+        "none".into()
+    } else {
+        classes.join(",")
+    }
+}
+
+/// Invert [`render_retry_on`].
+fn parse_retry_on(text: &str) -> Result<RetryOn, String> {
+    match text {
+        "all" => return Ok(RetryOn::all()),
+        "faults" => return Ok(RetryOn::faults_only()),
+        "none" => {
+            return Ok(RetryOn {
+                transient: false,
+                calibration: false,
+                slow: false,
+                flap: false,
+                execution: false,
+            })
+        }
+        _ => {}
+    }
+    let mut on = RetryOn {
+        transient: false,
+        calibration: false,
+        slow: false,
+        flap: false,
+        execution: false,
+    };
+    for class in text.split(',').map(str::trim) {
+        match class {
+            "transient" => on.transient = true,
+            "calibration" => on.calibration = true,
+            "slow" => on.slow = true,
+            "flap" => on.flap = true,
+            "execution" => on.execution = true,
+            other => return Err(format!("unknown retry class '{other}'")),
+        }
+    }
+    Ok(on)
+}
 
 /// Parse a YAML-like job document produced by [`to_yaml`].
 ///
@@ -160,6 +249,13 @@ pub fn from_yaml(text: &str) -> Result<JobSpec, ClusterError> {
     let mut shots = 1024u64;
     let mut priority = 0u8;
     let mut threads = 0usize;
+    let mut deadline: Option<u64> = None;
+    let mut retry_max_attempts: Option<u32> = None;
+    let mut retry_backoff: Option<String> = None;
+    let mut retry_delay: Option<u64> = None;
+    let mut retry_max_delay: Option<u64> = None;
+    let mut retry_jitter: Option<bool> = None;
+    let mut retry_on: Option<RetryOn> = None;
     let mut cpu = 0u64;
     let mut mem = 0u64;
     let mut requirements = DeviceRequirements::default();
@@ -284,6 +380,35 @@ pub fn from_yaml(text: &str) -> Result<JobSpec, ClusterError> {
                     .map_err(|_| err(format!("field 'priority': '{value}' exceeds 255")))?
             }
             "threads" => threads = parse_u64(key, value)? as usize,
+            "deadline" => deadline = Some(parse_u64(key, value)?),
+            "retryMaxAttempts" => {
+                retry_max_attempts =
+                    Some(u32::try_from(parse_u64(key, value)?).map_err(|_| {
+                        err(format!("field 'retryMaxAttempts': '{value}' exceeds u32"))
+                    })?)
+            }
+            "retryBackoff" => {
+                if value != "fixed" && value != "exponential" {
+                    return Err(err(format!(
+                        "field 'retryBackoff': '{value}' is neither 'fixed' nor 'exponential'"
+                    )));
+                }
+                retry_backoff = Some(value.to_string());
+            }
+            "retryDelay" => retry_delay = Some(parse_u64(key, value)?),
+            "retryMaxDelay" => retry_max_delay = Some(parse_u64(key, value)?),
+            "retryJitter" => {
+                retry_jitter =
+                    Some(value.parse::<bool>().map_err(|_| {
+                        err(format!("field 'retryJitter': '{value}' is not a boolean"))
+                    })?)
+            }
+            "retryOn" => {
+                retry_on = Some(
+                    parse_retry_on(value)
+                        .map_err(|message| err(format!("field 'retryOn': {message}")))?,
+                )
+            }
             "cpuMillis" => cpu = parse_u64(key, value)?,
             "memoryMib" => mem = parse_u64(key, value)?,
             "minQubits" => requirements.min_qubits = Some(parse_u64(key, value)? as usize),
@@ -315,6 +440,40 @@ pub fn from_yaml(text: &str) -> Result<JobSpec, ClusterError> {
         line: 0,
         message: "missing strategy name".into(),
     })?;
+    let retry = match retry_max_attempts {
+        None => {
+            // Retry tuning without a retryMaxAttempts anchor would silently
+            // configure nothing — reject instead.
+            if retry_backoff.is_some()
+                || retry_delay.is_some()
+                || retry_max_delay.is_some()
+                || retry_jitter.is_some()
+                || retry_on.is_some()
+            {
+                return Err(ClusterError::SpecParse {
+                    line: 0,
+                    message: "retry fields present but 'retryMaxAttempts' is missing".into(),
+                });
+            }
+            None
+        }
+        Some(max_attempts) => {
+            let delay = retry_delay.unwrap_or(1);
+            let backoff = match retry_backoff.as_deref().unwrap_or("fixed") {
+                "exponential" => BackoffPolicy::Exponential {
+                    base: delay,
+                    max: retry_max_delay.unwrap_or_else(|| delay.saturating_mul(32)),
+                    jitter: retry_jitter.unwrap_or(false),
+                },
+                _ => BackoffPolicy::Fixed { delay },
+            };
+            Some(RetryPolicy {
+                max_attempts,
+                backoff,
+                retry_on: retry_on.unwrap_or_else(RetryOn::all),
+            })
+        }
+    };
     Ok(JobSpec {
         name,
         image,
@@ -329,6 +488,8 @@ pub fn from_yaml(text: &str) -> Result<JobSpec, ClusterError> {
         priority,
         shots,
         threads,
+        retry,
+        deadline,
     })
 }
 
@@ -381,6 +542,81 @@ mod tests {
             priority: 0,
             shots: 2048,
             threads: 0,
+            retry: None,
+            deadline: None,
+        }
+    }
+
+    #[test]
+    fn retry_and_deadline_roundtrip_and_default() {
+        // No retry policy / deadline: the fields are omitted entirely.
+        let spec = sample_spec();
+        let yaml = to_yaml(&spec);
+        assert!(!yaml.contains("retry"));
+        assert!(!yaml.contains("deadline"));
+        let parsed = from_yaml(&yaml).unwrap();
+        assert_eq!(parsed.retry, None);
+        assert_eq!(parsed.deadline, None);
+
+        // Fixed backoff round-trips.
+        let mut spec = sample_spec();
+        spec.deadline = Some(500);
+        spec.retry = Some(RetryPolicy {
+            max_attempts: 3,
+            backoff: BackoffPolicy::Fixed { delay: 7 },
+            retry_on: RetryOn::faults_only(),
+        });
+        let yaml = to_yaml(&spec);
+        assert!(yaml.contains("deadline: 500"));
+        assert!(yaml.contains("retryMaxAttempts: 3"));
+        assert!(yaml.contains("retryBackoff: fixed"));
+        assert!(yaml.contains("retryOn: faults"));
+        let parsed = from_yaml(&yaml).unwrap();
+        assert_eq!(parsed.retry, spec.retry);
+        assert_eq!(parsed.deadline, Some(500));
+
+        // Exponential backoff with jitter and a custom class set round-trips.
+        spec.retry = Some(RetryPolicy {
+            max_attempts: 5,
+            backoff: BackoffPolicy::Exponential {
+                base: 2,
+                max: 64,
+                jitter: true,
+            },
+            retry_on: RetryOn {
+                transient: true,
+                calibration: false,
+                slow: true,
+                flap: false,
+                execution: false,
+            },
+        });
+        let yaml = to_yaml(&spec);
+        assert!(yaml.contains("retryBackoff: exponential"));
+        assert!(yaml.contains("retryJitter: true"));
+        assert!(yaml.contains("retryOn: transient,slow"));
+        assert_eq!(from_yaml(&yaml).unwrap().retry, spec.retry);
+    }
+
+    #[test]
+    fn malformed_retry_fields_are_typed_errors() {
+        let base = "name: x\nimage: y\nqubits: 2\nstrategy: fidelity\n";
+        for (line, needle) in [
+            ("retryMaxAttempts: -1\n", "retryMaxAttempts"),
+            ("retryBackoff: quadratic\n", "retryBackoff"),
+            ("retryMaxAttempts: 2\nretryJitter: maybe\n", "retryJitter"),
+            ("retryMaxAttempts: 2\nretryOn: gamma-rays\n", "retryOn"),
+            ("retryDelay: 5\n", "retryMaxAttempts"),
+            ("deadline: soon\n", "deadline"),
+        ] {
+            let doc = format!("{base}{line}");
+            match from_yaml(&doc) {
+                Err(ClusterError::SpecParse { message, .. }) => assert!(
+                    message.contains(needle),
+                    "'{line}' error should mention '{needle}', got: {message}"
+                ),
+                other => panic!("'{line}' must be rejected, got {other:?}"),
+            }
         }
     }
 

@@ -9,7 +9,40 @@
 use proptest::prelude::*;
 
 use qrio_cluster::yaml::{from_yaml, to_yaml};
-use qrio_cluster::{DeviceRequirements, JobSpec, ParamValue, Resources, StrategySpec};
+use qrio_cluster::{
+    BackoffPolicy, DeviceRequirements, JobSpec, ParamValue, Resources, RetryOn, RetryPolicy,
+    StrategySpec,
+};
+
+/// A retry policy (or none) from sampled raw integers, cycling backoff shapes
+/// and retry-class sets.
+fn retry_from(selector: u64, attempts: u32, delay: u64) -> Option<RetryPolicy> {
+    let backoff = match selector % 3 {
+        0 => BackoffPolicy::Fixed { delay },
+        _ => BackoffPolicy::Exponential {
+            base: delay,
+            max: delay.saturating_mul(1 + selector % 16),
+            jitter: selector % 2 == 0,
+        },
+    };
+    let retry_on = match selector % 4 {
+        0 => RetryOn::all(),
+        1 => RetryOn::faults_only(),
+        2 => RetryOn {
+            transient: true,
+            calibration: false,
+            slow: selector % 8 < 4,
+            flap: false,
+            execution: true,
+        },
+        _ => return None,
+    };
+    Some(RetryPolicy {
+        max_attempts: attempts,
+        backoff,
+        retry_on,
+    })
+}
 
 /// Deterministic "interesting" text for a text param: quotes, backslashes,
 /// newlines, carriage returns and plain words, selected by index.
@@ -96,6 +129,10 @@ proptest! {
         float_milli in 0u64..10_000,
         int_param in 0u64..1_000_000,
         edge_bits in 0u64..64,
+        retry_selector in 0u64..10_000,
+        retry_attempts in 0u32..10,
+        retry_delay in 0u64..1_000,
+        deadline_sel in 0u64..5_000,
     ) {
         let bound = req_milli as f64 / 1000.0;
         let spec = JobSpec {
@@ -115,6 +152,8 @@ proptest! {
             priority,
             shots,
             threads,
+            retry: retry_from(retry_selector, retry_attempts, retry_delay),
+            deadline: (deadline_sel % 2 == 0).then_some(deadline_sel),
         };
 
         let yaml = to_yaml(&spec);
@@ -146,6 +185,8 @@ proptest! {
             priority: 0,
             shots: 1,
             threads: 0,
+            retry: None,
+            deadline: None,
         };
         let yaml = to_yaml(&spec);
         prop_assert!(!yaml.contains("strategyParams"));
@@ -176,6 +217,8 @@ fn boundary_requirements_roundtrip_bit_exact() {
             priority: 0,
             shots: 1,
             threads: 0,
+            retry: None,
+            deadline: None,
         };
         let parsed = from_yaml(&to_yaml(&spec)).unwrap();
         assert_eq!(parsed.requirements.max_two_qubit_error, Some(bound));

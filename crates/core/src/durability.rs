@@ -49,14 +49,15 @@ use std::fmt;
 use qrio_backend::{spec as backend_spec, Backend};
 use qrio_circuit::{qasm, Circuit};
 use qrio_cluster::{
-    ClusterError, ClusterEvent, ClusterState, DeviceRequirements, ImageBundle, JobPhase,
-    JobSnapshot, JobSpec, NodeState, NodeStatus, ParamValue, RegistryState, Resources,
-    ScheduleDecision, StrategyParams, StrategySpec,
+    BackoffPolicy, ClusterError, ClusterEvent, ClusterState, DeviceRequirements, FaultInjector,
+    FaultKind, ImageBundle, JobPhase, JobSnapshot, JobSpec, NodeState, NodeStatus, ParamValue,
+    RegistryState, Resources, RetryOn, RetryPolicy, ScheduleDecision, StrategyParams, StrategySpec,
 };
 use qrio_journal::{ByteReader, ByteWriter, CodecError, Journal, JournalError, Record};
 use qrio_meta::{DeviceTelemetry, FidelityRankingConfig, MetaState};
 use qrio_sim::ParallelConfig;
 
+use crate::breaker::{BreakerBoard, BreakerConfig, BreakerEvent, BreakerState, DeviceBreaker};
 use crate::lifecycle::{JobEvent, JobId, JobState, JobStatus, LifecycleStore, Tracked};
 use crate::visualizer::JobRequest;
 
@@ -67,7 +68,11 @@ pub const RECORD_EVENTS: u8 = 2;
 /// Record kind: a full orchestrator state snapshot.
 pub const RECORD_SNAPSHOT: u8 = 3;
 /// The payload version this build reads and writes for all record kinds.
-pub const RECORD_VERSION: u16 = 1;
+/// Version 2 added fault-tolerance state: retry policies and deadlines on
+/// job specs and requests, the `Retrying` lifecycle state, per-job attempt
+/// counters, the dead-letter queue, circuit-breaker boards, telemetry
+/// health penalties, and the fault-injection / breaker / retry commands.
+pub const RECORD_VERSION: u16 = 2;
 
 // ---------------------------------------------------------------------------
 // Errors
@@ -145,11 +150,22 @@ pub struct DurabilityConfig {
     /// replay work recovery has to do; commands since the last snapshot are
     /// replayed one by one.
     pub snapshot_every: u64,
+    /// Force the journal down to the storage device (`fdatasync`) after this
+    /// many journaled commands (`0` = never automatically; only explicit
+    /// [`crate::Qrio::sync_journal`] calls sync). Every command is still
+    /// write-through to the OS before it is acknowledged — batching the
+    /// sync trades power-loss durability of the last `n-1` commands for
+    /// fewer device flushes; no acknowledged command is ever lost to a mere
+    /// process crash.
+    pub sync_every_n_commands: u64,
 }
 
 impl Default for DurabilityConfig {
     fn default() -> Self {
-        DurabilityConfig { snapshot_every: 64 }
+        DurabilityConfig {
+            snapshot_every: 64,
+            sync_every_n_commands: 0,
+        }
     }
 }
 
@@ -225,8 +241,8 @@ pub enum Command {
     },
     /// A successful [`crate::Qrio::enqueue`].
     Enqueue {
-        /// The full job request.
-        request: JobRequest,
+        /// The full job request (boxed: it dwarfs every other variant).
+        request: Box<JobRequest>,
     },
     /// [`crate::Qrio::cancel`].
     Cancel {
@@ -270,6 +286,36 @@ pub enum Command {
     },
     /// [`crate::Qrio::heal_devices`].
     Heal,
+    /// [`crate::Qrio::configure_faults`] — install or clear the cluster's
+    /// deterministic fault injector.
+    ConfigureFaults {
+        /// The injector to install, or `None` to clear it.
+        injector: Option<FaultInjector>,
+    },
+    /// [`crate::Qrio::configure_breakers`] — install or clear the per-device
+    /// circuit-breaker board (installing resets all breaker state).
+    ConfigureBreakers {
+        /// The breaker thresholds, or `None` to remove the board.
+        config: Option<BreakerConfig>,
+    },
+    /// [`crate::Qrio::kick_retry`] — promote a `Retrying` job back to
+    /// `Queued` without waiting out its backoff.
+    KickRetry {
+        /// The job to re-queue.
+        job: String,
+    },
+    /// [`crate::Qrio::interrupt`] — fail a `Scheduled` job with a device
+    /// flap, as a mid-run outage would.
+    Interrupt {
+        /// The job to interrupt.
+        job: String,
+    },
+    /// [`crate::Qrio::probe_device`] — force an `Open` breaker straight to
+    /// probation.
+    Probe {
+        /// The device to probe.
+        device: String,
+    },
 }
 
 // ---------------------------------------------------------------------------
@@ -307,6 +353,24 @@ fn put_opt_f64(w: &mut ByteWriter, value: Option<f64>) {
 fn take_opt_f64(r: &mut ByteReader<'_>) -> Result<Option<f64>, DurabilityError> {
     Ok(if r.take_bool()? {
         Some(r.take_f64()?)
+    } else {
+        None
+    })
+}
+
+fn put_opt_u64(w: &mut ByteWriter, value: Option<u64>) {
+    match value {
+        Some(v) => {
+            w.put_bool(true);
+            w.put_u64(v);
+        }
+        None => w.put_bool(false),
+    }
+}
+
+fn take_opt_u64(r: &mut ByteReader<'_>) -> Result<Option<u64>, DurabilityError> {
+    Ok(if r.take_bool()? {
+        Some(r.take_u64()?)
     } else {
         None
     })
@@ -472,6 +536,8 @@ fn put_job_request(w: &mut ByteWriter, value: &JobRequest) {
     w.put_u8(value.priority);
     w.put_u64(value.shots);
     w.put_usize(value.parallel.threads());
+    put_opt_retry_policy(w, value.retry.as_ref());
+    put_opt_u64(w, value.deadline);
 }
 
 fn take_job_request(r: &mut ByteReader<'_>) -> Result<JobRequest, DurabilityError> {
@@ -486,19 +552,262 @@ fn take_job_request(r: &mut ByteReader<'_>) -> Result<JobRequest, DurabilityErro
         priority: r.take_u8()?,
         shots: r.take_u64()?,
         parallel: ParallelConfig::with_threads(r.take_usize()?),
+        retry: take_opt_retry_policy(r)?,
+        deadline: take_opt_u64(r)?,
     })
 }
 
 fn put_telemetry(w: &mut ByteWriter, value: &DeviceTelemetry) {
     w.put_usize(value.queue_depth);
     w.put_f64(value.utilization);
+    w.put_f64(value.health_penalty);
 }
 
 fn take_telemetry(r: &mut ByteReader<'_>) -> Result<DeviceTelemetry, DurabilityError> {
     Ok(DeviceTelemetry {
         queue_depth: r.take_usize()?,
         utilization: r.take_f64()?,
+        health_penalty: r.take_f64()?,
     })
+}
+
+// ---------------------------------------------------------------------------
+// Fault-tolerance codecs: injector, retry policy, circuit breakers
+// ---------------------------------------------------------------------------
+
+fn fault_kind_tag(kind: FaultKind) -> u8 {
+    match kind {
+        FaultKind::TransientExecution => 0,
+        FaultKind::CalibrationGlitch => 1,
+        FaultKind::SlowJob => 2,
+        FaultKind::DeviceFlap => 3,
+    }
+}
+
+fn take_fault_kind(r: &mut ByteReader<'_>) -> Result<FaultKind, DurabilityError> {
+    Ok(match r.take_u8()? {
+        0 => FaultKind::TransientExecution,
+        1 => FaultKind::CalibrationGlitch,
+        2 => FaultKind::SlowJob,
+        3 => FaultKind::DeviceFlap,
+        tag => return Err(bad_tag("FaultKind", tag)),
+    })
+}
+
+fn put_opt_fault_injector(w: &mut ByteWriter, value: Option<&FaultInjector>) {
+    match value {
+        Some(injector) => {
+            w.put_bool(true);
+            w.put_u64(injector.seed);
+            w.put_f64(injector.transient_rate);
+            w.put_f64(injector.calibration_rate);
+            w.put_f64(injector.slow_rate);
+            w.put_f64(injector.flap_rate);
+        }
+        None => w.put_bool(false),
+    }
+}
+
+fn take_opt_fault_injector(
+    r: &mut ByteReader<'_>,
+) -> Result<Option<FaultInjector>, DurabilityError> {
+    Ok(if r.take_bool()? {
+        Some(FaultInjector {
+            seed: r.take_u64()?,
+            transient_rate: r.take_f64()?,
+            calibration_rate: r.take_f64()?,
+            slow_rate: r.take_f64()?,
+            flap_rate: r.take_f64()?,
+        })
+    } else {
+        None
+    })
+}
+
+fn put_backoff(w: &mut ByteWriter, value: &BackoffPolicy) {
+    match *value {
+        BackoffPolicy::Fixed { delay } => {
+            w.put_u8(0);
+            w.put_u64(delay);
+        }
+        BackoffPolicy::Exponential { base, max, jitter } => {
+            w.put_u8(1);
+            w.put_u64(base);
+            w.put_u64(max);
+            w.put_bool(jitter);
+        }
+    }
+}
+
+fn take_backoff(r: &mut ByteReader<'_>) -> Result<BackoffPolicy, DurabilityError> {
+    Ok(match r.take_u8()? {
+        0 => BackoffPolicy::Fixed {
+            delay: r.take_u64()?,
+        },
+        1 => BackoffPolicy::Exponential {
+            base: r.take_u64()?,
+            max: r.take_u64()?,
+            jitter: r.take_bool()?,
+        },
+        tag => return Err(bad_tag("BackoffPolicy", tag)),
+    })
+}
+
+fn put_opt_retry_policy(w: &mut ByteWriter, value: Option<&RetryPolicy>) {
+    match value {
+        Some(policy) => {
+            w.put_bool(true);
+            w.put_u64(u64::from(policy.max_attempts));
+            put_backoff(w, &policy.backoff);
+            w.put_bool(policy.retry_on.transient);
+            w.put_bool(policy.retry_on.calibration);
+            w.put_bool(policy.retry_on.slow);
+            w.put_bool(policy.retry_on.flap);
+            w.put_bool(policy.retry_on.execution);
+        }
+        None => w.put_bool(false),
+    }
+}
+
+fn take_opt_retry_policy(r: &mut ByteReader<'_>) -> Result<Option<RetryPolicy>, DurabilityError> {
+    if !r.take_bool()? {
+        return Ok(None);
+    }
+    let max_attempts = u32::try_from(r.take_u64()?)
+        .map_err(|_| DurabilityError::Malformed("retry max_attempts exceeds u32".into()))?;
+    Ok(Some(RetryPolicy {
+        max_attempts,
+        backoff: take_backoff(r)?,
+        retry_on: RetryOn {
+            transient: r.take_bool()?,
+            calibration: r.take_bool()?,
+            slow: r.take_bool()?,
+            flap: r.take_bool()?,
+            execution: r.take_bool()?,
+        },
+    }))
+}
+
+fn put_breaker_config(w: &mut ByteWriter, config: &BreakerConfig) {
+    w.put_u64(u64::from(config.consecutive_failures));
+    w.put_f64(config.failure_rate);
+    w.put_u64(u64::from(config.window));
+    w.put_u64(config.open_ticks);
+    w.put_u64(u64::from(config.probe_jobs));
+}
+
+fn take_u32(r: &mut ByteReader<'_>, what: &'static str) -> Result<u32, DurabilityError> {
+    u32::try_from(r.take_u64()?)
+        .map_err(|_| DurabilityError::Malformed(format!("{what} exceeds u32")))
+}
+
+fn take_breaker_config(r: &mut ByteReader<'_>) -> Result<BreakerConfig, DurabilityError> {
+    Ok(BreakerConfig {
+        consecutive_failures: take_u32(r, "breaker consecutive_failures")?,
+        failure_rate: r.take_f64()?,
+        window: take_u32(r, "breaker window")?,
+        open_ticks: r.take_u64()?,
+        probe_jobs: take_u32(r, "breaker probe_jobs")?,
+    })
+}
+
+fn put_breaker_state(w: &mut ByteWriter, state: BreakerState) {
+    match state {
+        BreakerState::Closed => w.put_u8(0),
+        BreakerState::Open { until } => {
+            w.put_u8(1);
+            w.put_u64(until);
+        }
+        BreakerState::HalfOpen { successes } => {
+            w.put_u8(2);
+            w.put_u64(u64::from(successes));
+        }
+    }
+}
+
+fn take_breaker_state(r: &mut ByteReader<'_>) -> Result<BreakerState, DurabilityError> {
+    Ok(match r.take_u8()? {
+        0 => BreakerState::Closed,
+        1 => BreakerState::Open {
+            until: r.take_u64()?,
+        },
+        2 => BreakerState::HalfOpen {
+            successes: take_u32(r, "breaker probe successes")?,
+        },
+        tag => return Err(bad_tag("BreakerState", tag)),
+    })
+}
+
+fn put_opt_breaker_board(w: &mut ByteWriter, value: Option<&BreakerBoard>) {
+    let Some(board) = value else {
+        w.put_bool(false);
+        return;
+    };
+    w.put_bool(true);
+    put_breaker_config(w, &board.config);
+    w.put_usize(board.breakers.len());
+    for (device, breaker) in &board.breakers {
+        w.put_str(device);
+        put_breaker_state(w, breaker.state);
+        w.put_usize(breaker.outcomes.len());
+        for failed in &breaker.outcomes {
+            w.put_bool(*failed);
+        }
+        w.put_u64(u64::from(breaker.consecutive));
+        w.put_u64(breaker.trips);
+    }
+    w.put_usize(board.events.len());
+    for event in &board.events {
+        w.put_u64(event.at);
+        w.put_str(&event.device);
+        put_breaker_state(w, event.from);
+        put_breaker_state(w, event.to);
+        w.put_str(&event.reason);
+    }
+}
+
+fn take_opt_breaker_board(r: &mut ByteReader<'_>) -> Result<Option<BreakerBoard>, DurabilityError> {
+    if !r.take_bool()? {
+        return Ok(None);
+    }
+    let config = take_breaker_config(r)?;
+    let len = r.take_usize()?;
+    let mut breakers = BTreeMap::new();
+    for _ in 0..len {
+        let device = r.take_str()?;
+        let state = take_breaker_state(r)?;
+        let outcomes_len = r.take_usize()?;
+        let mut outcomes = std::collections::VecDeque::with_capacity(outcomes_len.min(4096));
+        for _ in 0..outcomes_len {
+            outcomes.push_back(r.take_bool()?);
+        }
+        let consecutive = take_u32(r, "breaker consecutive run")?;
+        breakers.insert(
+            device,
+            DeviceBreaker {
+                state,
+                outcomes,
+                consecutive,
+                trips: r.take_u64()?,
+            },
+        );
+    }
+    let len = r.take_usize()?;
+    let mut events = Vec::with_capacity(len.min(4096));
+    for _ in 0..len {
+        events.push(BreakerEvent {
+            at: r.take_u64()?,
+            device: r.take_str()?,
+            from: take_breaker_state(r)?,
+            to: take_breaker_state(r)?,
+            reason: r.take_str()?,
+        });
+    }
+    Ok(Some(BreakerBoard {
+        config,
+        breakers,
+        events,
+    }))
 }
 
 fn job_state_tag(state: JobState) -> u8 {
@@ -510,6 +819,7 @@ fn job_state_tag(state: JobState) -> u8 {
         JobState::Succeeded => 4,
         JobState::Failed => 5,
         JobState::Cancelled => 6,
+        JobState::Retrying => 7,
     }
 }
 
@@ -522,6 +832,7 @@ fn take_job_state(r: &mut ByteReader<'_>) -> Result<JobState, DurabilityError> {
         4 => JobState::Succeeded,
         5 => JobState::Failed,
         6 => JobState::Cancelled,
+        7 => JobState::Retrying,
         tag => return Err(bad_tag("JobState", tag)),
     })
 }
@@ -688,6 +999,23 @@ fn put_cluster_error(w: &mut ByteWriter, err: &ClusterError) {
             w.put_str(action);
             w.put_str(phase);
         }
+        ClusterError::InjectedFault {
+            job,
+            node,
+            kind,
+            attempt,
+        } => {
+            w.put_u8(10);
+            w.put_str(job);
+            w.put_str(node);
+            w.put_u8(fault_kind_tag(*kind));
+            w.put_u64(u64::from(*attempt));
+        }
+        ClusterError::DeadlineExceeded { job, deadline } => {
+            w.put_u8(11);
+            w.put_str(job);
+            w.put_u64(*deadline);
+        }
     }
 }
 
@@ -719,6 +1047,16 @@ fn take_cluster_error(r: &mut ByteReader<'_>) -> Result<ClusterError, Durability
             job: r.take_str()?,
             action: r.take_str()?,
             phase: r.take_str()?,
+        },
+        10 => ClusterError::InjectedFault {
+            job: r.take_str()?,
+            node: r.take_str()?,
+            kind: take_fault_kind(r)?,
+            attempt: take_u32(r, "fault attempt")?,
+        },
+        11 => ClusterError::DeadlineExceeded {
+            job: r.take_str()?,
+            deadline: r.take_u64()?,
         },
         tag => return Err(bad_tag("ClusterError", tag)),
     })
@@ -796,6 +1134,8 @@ fn put_job_spec(w: &mut ByteWriter, spec: &JobSpec) {
     w.put_u8(spec.priority);
     w.put_u64(spec.shots);
     w.put_usize(spec.threads);
+    put_opt_retry_policy(w, spec.retry.as_ref());
+    put_opt_u64(w, spec.deadline);
 }
 
 fn take_job_spec(r: &mut ByteReader<'_>) -> Result<JobSpec, DurabilityError> {
@@ -810,6 +1150,8 @@ fn take_job_spec(r: &mut ByteReader<'_>) -> Result<JobSpec, DurabilityError> {
         priority: r.take_u8()?,
         shots: r.take_u64()?,
         threads: r.take_usize()?,
+        retry: take_opt_retry_policy(r)?,
+        deadline: take_opt_u64(r)?,
     })
 }
 
@@ -936,6 +1278,7 @@ fn put_cluster_state(w: &mut ByteWriter, cluster: &ClusterState) {
         w.put_str(&event.message);
     }
     put_str_vec(w, &cluster.queue);
+    put_opt_fault_injector(w, cluster.fault_injector.as_ref());
 }
 
 fn take_cluster_state(r: &mut ByteReader<'_>) -> Result<ClusterState, DurabilityError> {
@@ -959,12 +1302,14 @@ fn take_cluster_state(r: &mut ByteReader<'_>) -> Result<ClusterState, Durability
             message: r.take_str()?,
         });
     }
+    let queue = take_str_vec(r)?;
     Ok(ClusterState {
         nodes,
         jobs,
         registry,
         events,
-        queue: take_str_vec(r)?,
+        queue,
+        fault_injector: take_opt_fault_injector(r)?,
     })
 }
 
@@ -1058,6 +1403,9 @@ fn put_lifecycle(w: &mut ByteWriter, store: &LifecycleStore) {
             }
             None => w.put_bool(false),
         }
+        w.put_u64(u64::from(tracked.attempt));
+        w.put_u64(tracked.not_before);
+        put_opt_u64(w, tracked.deadline_at);
     }
     w.put_u64(store.admit_seq);
     w.put_usize(store.pending.len());
@@ -1074,6 +1422,7 @@ fn put_lifecycle(w: &mut ByteWriter, store: &LifecycleStore) {
             w.put_str(name);
         }
     }
+    put_str_vec(w, &store.dead_letters);
 }
 
 fn take_lifecycle(r: &mut ByteReader<'_>) -> Result<LifecycleStore, DurabilityError> {
@@ -1098,12 +1447,18 @@ fn take_lifecycle(r: &mut ByteReader<'_>) -> Result<LifecycleStore, DurabilityEr
         } else {
             None
         };
+        let attempt = take_u32(r, "job attempt counter")?;
+        let not_before = r.take_u64()?;
+        let deadline_at = take_opt_u64(r)?;
         jobs.insert(
             name,
             Tracked {
                 status,
                 decision,
                 failure,
+                attempt,
+                not_before,
+                deadline_at,
             },
         );
     }
@@ -1126,6 +1481,7 @@ fn take_lifecycle(r: &mut ByteReader<'_>) -> Result<LifecycleStore, DurabilityEr
         }
         device_queues.insert(device, queue);
     }
+    let dead_letters = take_str_vec(r)?;
     Ok(LifecycleStore {
         clock,
         events,
@@ -1133,6 +1489,7 @@ fn take_lifecycle(r: &mut ByteReader<'_>) -> Result<LifecycleStore, DurabilityEr
         admit_seq,
         pending,
         device_queues,
+        dead_letters,
     })
 }
 
@@ -1199,6 +1556,32 @@ pub fn encode_command_record(cmd: &Command) -> Record {
             w.put_str(node);
         }
         Command::Heal => w.put_u8(12),
+        Command::ConfigureFaults { injector } => {
+            w.put_u8(13);
+            put_opt_fault_injector(&mut w, injector.as_ref());
+        }
+        Command::ConfigureBreakers { config } => {
+            w.put_u8(14);
+            match config {
+                Some(config) => {
+                    w.put_bool(true);
+                    put_breaker_config(&mut w, config);
+                }
+                None => w.put_bool(false),
+            }
+        }
+        Command::KickRetry { job } => {
+            w.put_u8(15);
+            w.put_str(job);
+        }
+        Command::Interrupt { job } => {
+            w.put_u8(16);
+            w.put_str(job);
+        }
+        Command::Probe { device } => {
+            w.put_u8(17);
+            w.put_str(device);
+        }
     }
     Record::new(RECORD_COMMAND, RECORD_VERSION, w.into_bytes())
 }
@@ -1232,7 +1615,7 @@ pub fn decode_command(payload: &[u8]) -> Result<Command, DurabilityError> {
             Command::Telemetry { reports }
         }
         3 => Command::Enqueue {
-            request: take_job_request(&mut r)?,
+            request: Box::new(take_job_request(&mut r)?),
         },
         4 => Command::Cancel { job: r.take_str()? },
         5 => Command::Tick,
@@ -1253,6 +1636,21 @@ pub fn decode_command(payload: &[u8]) -> Result<Command, DurabilityError> {
             node: r.take_str()?,
         },
         12 => Command::Heal,
+        13 => Command::ConfigureFaults {
+            injector: take_opt_fault_injector(&mut r)?,
+        },
+        14 => Command::ConfigureBreakers {
+            config: if r.take_bool()? {
+                Some(take_breaker_config(&mut r)?)
+            } else {
+                None
+            },
+        },
+        15 => Command::KickRetry { job: r.take_str()? },
+        16 => Command::Interrupt { job: r.take_str()? },
+        17 => Command::Probe {
+            device: r.take_str()?,
+        },
         tag => return Err(bad_tag("Command", tag)),
     };
     r.finish()?;
@@ -1309,6 +1707,8 @@ pub(crate) struct SnapshotState {
     pub(crate) runner_seed: u64,
     pub(crate) default_node_resources: Resources,
     pub(crate) snapshot_every: u64,
+    pub(crate) sync_every: u64,
+    pub(crate) breakers: Option<BreakerBoard>,
 }
 
 pub(crate) fn encode_snapshot_record(snap: &SnapshotState) -> Record {
@@ -1320,6 +1720,8 @@ pub(crate) fn encode_snapshot_record(snap: &SnapshotState) -> Record {
     w.put_u64(snap.runner_seed);
     put_resources(&mut w, &snap.default_node_resources);
     w.put_u64(snap.snapshot_every);
+    w.put_u64(snap.sync_every);
+    put_opt_breaker_board(&mut w, snap.breakers.as_ref());
     Record::new(RECORD_SNAPSHOT, RECORD_VERSION, w.into_bytes())
 }
 
@@ -1332,6 +1734,8 @@ pub(crate) fn decode_snapshot(payload: &[u8]) -> Result<SnapshotState, Durabilit
     let runner_seed = r.take_u64()?;
     let default_node_resources = take_resources(&mut r)?;
     let snapshot_every = r.take_u64()?;
+    let sync_every = r.take_u64()?;
+    let breakers = take_opt_breaker_board(&mut r)?;
     r.finish()?;
     Ok(SnapshotState {
         cursor,
@@ -1341,6 +1745,8 @@ pub(crate) fn decode_snapshot(payload: &[u8]) -> Result<SnapshotState, Durabilit
         runner_seed,
         default_node_resources,
         snapshot_every,
+        sync_every,
+        breakers,
     })
 }
 
@@ -1356,17 +1762,26 @@ pub(crate) fn decode_snapshot(payload: &[u8]) -> Result<SnapshotState, Durabilit
 pub(crate) struct Durability {
     journal: Journal,
     snapshot_every: u64,
+    sync_every: u64,
     commands_since_snapshot: u64,
+    commands_since_sync: u64,
     journaled_events: u64,
     error: Option<DurabilityError>,
 }
 
 impl Durability {
-    pub(crate) fn new(journal: Journal, snapshot_every: u64, journaled_events: u64) -> Self {
+    pub(crate) fn new(
+        journal: Journal,
+        snapshot_every: u64,
+        sync_every: u64,
+        journaled_events: u64,
+    ) -> Self {
         Durability {
             journal,
             snapshot_every,
+            sync_every,
             commands_since_snapshot: 0,
+            commands_since_sync: 0,
             journaled_events,
             error: None,
         }
@@ -1374,6 +1789,10 @@ impl Durability {
 
     pub(crate) fn snapshot_every(&self) -> u64 {
         self.snapshot_every
+    }
+
+    pub(crate) fn sync_every(&self) -> u64 {
+        self.sync_every
     }
 
     pub(crate) fn error(&self) -> Option<&DurabilityError> {
@@ -1411,6 +1830,16 @@ impl Durability {
         self.append_event_tail(all_events)?;
         self.journal.flush()?;
         self.commands_since_snapshot += 1;
+        // Batched fdatasync: every command is already write-through to the
+        // OS (flush above), so a process crash loses nothing acknowledged;
+        // the periodic sync additionally bounds what power loss could lose.
+        if self.sync_every > 0 {
+            self.commands_since_sync += 1;
+            if self.commands_since_sync >= self.sync_every {
+                self.journal.sync()?;
+                self.commands_since_sync = 0;
+            }
+        }
         Ok(())
     }
 
@@ -1458,8 +1887,9 @@ impl Durability {
             return Err(err.clone());
         }
         let result = self.journal.sync().map_err(DurabilityError::from);
-        if let Err(err) = &result {
-            self.poison(err.clone());
+        match &result {
+            Ok(()) => self.commands_since_sync = 0,
+            Err(err) => self.poison(err.clone()),
         }
         result
     }
@@ -1487,6 +1917,16 @@ mod tests {
             priority: 3,
             shots: 256,
             parallel: ParallelConfig::with_threads(2),
+            retry: Some(RetryPolicy {
+                max_attempts: 3,
+                backoff: BackoffPolicy::Exponential {
+                    base: 2,
+                    max: 32,
+                    jitter: true,
+                },
+                retry_on: RetryOn::faults_only(),
+            }),
+            deadline: Some(120),
         }
     }
 
@@ -1524,11 +1964,12 @@ mod tests {
                     DeviceTelemetry {
                         queue_depth: 3,
                         utilization: 0.75,
+                        health_penalty: 0.25,
                     },
                 )],
             },
             Command::Enqueue {
-                request: sample_request(),
+                request: Box::new(sample_request()),
             },
             Command::Cancel { job: "bv".into() },
             Command::Tick,
@@ -1542,6 +1983,25 @@ mod tests {
             Command::Cordon { node: "dev".into() },
             Command::Uncordon { node: "dev".into() },
             Command::Heal,
+            Command::ConfigureFaults {
+                injector: Some(FaultInjector {
+                    seed: 7,
+                    transient_rate: 0.25,
+                    calibration_rate: 0.1,
+                    slow_rate: 0.05,
+                    flap_rate: 0.02,
+                }),
+            },
+            Command::ConfigureFaults { injector: None },
+            Command::ConfigureBreakers {
+                config: Some(BreakerConfig::default()),
+            },
+            Command::ConfigureBreakers { config: None },
+            Command::KickRetry { job: "bv".into() },
+            Command::Interrupt { job: "bv".into() },
+            Command::Probe {
+                device: "dev".into(),
+            },
         ];
         for cmd in commands {
             let record = encode_command_record(&cmd);
@@ -1611,6 +2071,16 @@ mod tests {
                 action: "cancel".into(),
                 phase: "Running".into(),
             },
+            ClusterError::InjectedFault {
+                job: "j".into(),
+                node: "n".into(),
+                kind: FaultKind::CalibrationGlitch,
+                attempt: 2,
+            },
+            ClusterError::DeadlineExceeded {
+                job: "j".into(),
+                deadline: 44,
+            },
         ];
         for err in errors {
             let mut w = ByteWriter::new();
@@ -1620,6 +2090,43 @@ mod tests {
             assert_eq!(take_cluster_error(&mut r).unwrap(), err);
             r.finish().unwrap();
         }
+    }
+
+    #[test]
+    fn breaker_board_round_trips_mid_probation() {
+        let mut board = BreakerBoard::new(BreakerConfig {
+            consecutive_failures: 2,
+            failure_rate: 0.5,
+            window: 4,
+            open_ticks: 6,
+            probe_jobs: 3,
+        });
+        board.record_outcome("flaky", true, 1);
+        board.record_outcome("flaky", true, 2); // trips
+        board.record_outcome("steady", false, 3);
+        board.tick(8); // flaky → half-open
+        board.record_outcome("flaky", false, 9); // one probe passed
+
+        let mut w = ByteWriter::new();
+        put_opt_breaker_board(&mut w, Some(&board));
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let decoded = take_opt_breaker_board(&mut r).unwrap().unwrap();
+        r.finish().unwrap();
+        assert_eq!(decoded, board);
+        assert_eq!(
+            decoded.state("flaky"),
+            BreakerState::HalfOpen { successes: 1 }
+        );
+        assert_eq!(decoded.trip_count("flaky"), 1);
+
+        // And the absent board is one byte.
+        let mut w = ByteWriter::new();
+        put_opt_breaker_board(&mut w, None);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(take_opt_breaker_board(&mut r).unwrap(), None);
+        r.finish().unwrap();
     }
 
     #[test]

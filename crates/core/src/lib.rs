@@ -74,6 +74,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod breaker;
 pub mod durability;
 mod error;
 pub mod experiments;
@@ -83,6 +84,7 @@ mod orchestrator;
 mod runner;
 pub mod visualizer;
 
+pub use breaker::{BreakerAction, BreakerBoard, BreakerConfig, BreakerEvent, BreakerState};
 pub use durability::{Command, DurabilityConfig, DurabilityError, RecoveryReport};
 pub use error::QrioError;
 pub use lifecycle::{JobEvent, JobId, JobState, JobStatus, TickReport};

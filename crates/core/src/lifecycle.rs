@@ -8,9 +8,11 @@
 //!
 //! ```text
 //! Submitted → Queued → Scheduled → Running → Succeeded
-//!                │          │                    └────→ Failed
-//!                │          └────→ Cancelled
-//!                └───→ Failed / Cancelled
+//!                ↑  │       │          │ └──────→ Failed
+//!                │  │       └→ Cancelled
+//!                │  └→ Failed / Cancelled
+//!                └─ Retrying ←─ Running   (backoff, then re-admission)
+//!                       └→ Failed / Cancelled
 //! ```
 //!
 //! and every transition is appended to a Kubernetes-style watch log of
@@ -81,6 +83,8 @@ pub enum JobState {
     Scheduled,
     /// Executing on its device.
     Running,
+    /// A retryable failure is waiting out its backoff before re-admission.
+    Retrying,
     /// Finished successfully; results and logs are available.
     Succeeded,
     /// Reached a terminal failure (unschedulable, execution error, ...).
@@ -91,11 +95,12 @@ pub enum JobState {
 
 impl JobState {
     /// Every state, in lifecycle order.
-    pub const ALL: [JobState; 7] = [
+    pub const ALL: [JobState; 8] = [
         JobState::Submitted,
         JobState::Queued,
         JobState::Scheduled,
         JobState::Running,
+        JobState::Retrying,
         JobState::Succeeded,
         JobState::Failed,
         JobState::Cancelled,
@@ -114,6 +119,10 @@ impl JobState {
     ///
     /// `Scheduled → Scheduled` is the rebinding arc (a waiting job migrates
     /// to another device after calibration drift or an outage).
+    /// `Running → Retrying → Queued` is the retry arc: a retryable failure
+    /// waits out its backoff in `Retrying`, then re-enters the admission
+    /// queue. A job in `Retrying` may still be cancelled, or fail outright
+    /// when its deadline expires mid-backoff.
     pub fn can_transition_to(self, next: JobState) -> bool {
         use JobState::*;
         matches!(
@@ -127,6 +136,10 @@ impl JobState {
                 | (Scheduled, Cancelled)
                 | (Running, Succeeded)
                 | (Running, Failed)
+                | (Running, Retrying)
+                | (Retrying, Queued)
+                | (Retrying, Failed)
+                | (Retrying, Cancelled)
         )
     }
 }
@@ -194,6 +207,12 @@ pub struct TickReport {
     pub failed: Vec<JobId>,
     /// Jobs executed to a terminal state this cycle (one per device).
     pub completed: Vec<JobId>,
+    /// Jobs whose execution failed retryably this cycle: they entered
+    /// `Retrying` and will re-queue once their backoff elapses.
+    pub retried: Vec<JobId>,
+    /// Jobs that blew their deadline this cycle and failed with
+    /// `DeadlineExceeded` (from `Queued` or mid-backoff in `Retrying`).
+    pub expired: Vec<JobId>,
 }
 
 impl TickReport {
@@ -202,7 +221,11 @@ impl TickReport {
     /// (completions freeing resources happen *within* a tick) another tick
     /// would do exactly the same.
     pub fn made_progress(&self) -> bool {
-        !(self.scheduled.is_empty() && self.failed.is_empty() && self.completed.is_empty())
+        !(self.scheduled.is_empty()
+            && self.failed.is_empty()
+            && self.completed.is_empty()
+            && self.retried.is_empty()
+            && self.expired.is_empty())
     }
 
     /// Whether the cycle found nothing at all to do.
@@ -218,6 +241,14 @@ pub(crate) struct Tracked {
     pub(crate) status: JobStatus,
     pub(crate) decision: Option<ScheduleDecision>,
     pub(crate) failure: Option<QrioError>,
+    /// Execution attempts already consumed (0 before the first run).
+    pub(crate) attempt: u32,
+    /// Earliest tick a `Retrying` job may re-queue (its backoff horizon);
+    /// meaningless outside `Retrying`.
+    pub(crate) not_before: u64,
+    /// Absolute virtual-time deadline (`admission clock + spec.deadline`),
+    /// when the request carried one.
+    pub(crate) deadline_at: Option<u64>,
 }
 
 /// The lifecycle store owned by [`crate::Qrio`]: job records, the watch log,
@@ -241,12 +272,17 @@ pub(crate) struct LifecycleStore {
     pub(crate) pending: Vec<(u8, u64, String)>,
     /// Bound jobs waiting for their device, FIFO per device.
     pub(crate) device_queues: BTreeMap<String, VecDeque<String>>,
+    /// Dead-letter queue: names of jobs whose retry policy was exhausted,
+    /// in the order they were routed here. `pub(crate)` for durability
+    /// snapshots.
+    pub(crate) dead_letters: Vec<String>,
 }
 
 impl LifecycleStore {
     /// Register a freshly-submitted job and admit it to the queue, emitting
-    /// the `Submitted` and `Queued` events.
-    pub(crate) fn admit_new(&mut self, name: &str, priority: u8) {
+    /// the `Submitted` and `Queued` events. A request deadline is anchored
+    /// to the admission clock: `deadline_at = clock + deadline`.
+    pub(crate) fn admit_new(&mut self, name: &str, priority: u8, deadline: Option<u64>) {
         self.jobs.insert(
             name.to_string(),
             Tracked {
@@ -259,15 +295,24 @@ impl LifecycleStore {
                 },
                 decision: None,
                 failure: None,
+                attempt: 0,
+                not_before: 0,
+                deadline_at: deadline.map(|d| self.clock.saturating_add(d)),
             },
         );
         self.record(name, JobState::Submitted, None, None);
         self.record(name, JobState::Queued, None, None);
+        self.enqueue_pending(name, priority);
+    }
+
+    /// Insert a job into the admission queue at its draining position with a
+    /// fresh admission sequence. Equal-priority jobs append (their sequence
+    /// is the largest so far), so the common case is O(1); a higher-priority
+    /// job shifts past the lower-priority tail. Used both at first admission
+    /// and when a `Retrying` job re-queues after its backoff.
+    pub(crate) fn enqueue_pending(&mut self, name: &str, priority: u8) {
         let seq = self.admit_seq;
         self.admit_seq += 1;
-        // Insert at the job's draining position. Equal-priority jobs append
-        // (their sequence is the largest so far), so the common case is
-        // O(1); a higher-priority job shifts past the lower-priority tail.
         let key = (std::cmp::Reverse(priority), seq);
         let position = self
             .pending
@@ -342,6 +387,13 @@ impl LifecycleStore {
     pub(crate) fn has_bound_work(&self) -> bool {
         self.device_queues.values().any(|queue| !queue.is_empty())
     }
+
+    /// Whether any job is sitting in `Retrying`, waiting out its backoff.
+    pub(crate) fn has_waiting_retries(&self) -> bool {
+        self.jobs
+            .values()
+            .any(|tracked| tracked.status.state == JobState::Retrying)
+    }
 }
 
 #[cfg(test)]
@@ -387,12 +439,21 @@ mod tests {
         assert!(Scheduled.can_transition_to(Cancelled));
         assert!(Running.can_transition_to(Succeeded));
         assert!(Running.can_transition_to(Failed));
+        // The retry arcs: a retryable failure backs off in Retrying, then
+        // re-queues; mid-backoff it may still be cancelled or expire.
+        assert!(Running.can_transition_to(Retrying));
+        assert!(Retrying.can_transition_to(Queued));
+        assert!(Retrying.can_transition_to(Failed));
+        assert!(Retrying.can_transition_to(Cancelled));
         // A few forbidden arcs that bugs would most plausibly introduce.
         assert!(!Submitted.can_transition_to(Running));
         assert!(!Queued.can_transition_to(Running));
         assert!(!Running.can_transition_to(Cancelled));
         assert!(!Running.can_transition_to(Queued));
         assert!(!Succeeded.can_transition_to(Failed));
+        assert!(!Retrying.can_transition_to(Running), "must re-queue first");
+        assert!(!Retrying.can_transition_to(Scheduled));
+        assert!(!Queued.can_transition_to(Retrying));
         // A bound job can only fail *through* Running — failing a Scheduled
         // job without an execution attempt is outside the machine.
         assert!(!Scheduled.can_transition_to(Failed));
@@ -401,10 +462,10 @@ mod tests {
     #[test]
     fn pending_drains_by_priority_then_fifo() {
         let mut store = LifecycleStore::default();
-        store.admit_new("low-first", 1);
-        store.admit_new("high", 9);
-        store.admit_new("low-second", 1);
-        store.admit_new("mid", 5);
+        store.admit_new("low-first", 1, None);
+        store.admit_new("high", 9, None);
+        store.admit_new("low-second", 1, None);
+        store.admit_new("mid", 5, None);
         assert_eq!(
             store.pending_in_order(),
             vec!["high", "mid", "low-first", "low-second"]
@@ -419,8 +480,8 @@ mod tests {
     #[test]
     fn events_are_densely_sequenced() {
         let mut store = LifecycleStore::default();
-        store.admit_new("a", 0);
-        store.admit_new("b", 0);
+        store.admit_new("a", 0, None);
+        store.admit_new("b", 0, None);
         for (idx, event) in store.events.iter().enumerate() {
             assert_eq!(event.seq, idx as u64);
         }

@@ -35,11 +35,14 @@ use std::path::Path;
 use std::sync::Arc;
 
 use qrio_backend::{spec as backend_spec, Backend};
-use qrio_cluster::{framework, Cluster, ClusterError, Node, Resources, ScheduleDecision};
+use qrio_cluster::{
+    framework, Cluster, ClusterError, FaultInjector, Node, Resources, ScheduleDecision,
+};
 use qrio_journal::Journal;
 use qrio_meta::{DeviceTelemetry, FidelityRankingConfig, MetaServer, RankingStrategy};
 use qrio_scheduler::{MetaRankingPlugin, QrioScheduler};
 
+use crate::breaker::{BreakerAction, BreakerBoard, BreakerConfig};
 use crate::durability::{
     self, Command, Durability, DurabilityConfig, DurabilityError, RecoveryReport, SnapshotState,
     RECORD_COMMAND, RECORD_EVENTS, RECORD_SNAPSHOT, RECORD_VERSION,
@@ -104,6 +107,7 @@ pub struct Qrio {
     lifecycle: LifecycleStore,
     admission_gate: Option<Box<dyn AdmissionGate>>,
     durability: Option<Durability>,
+    breakers: Option<BreakerBoard>,
 }
 
 impl Qrio {
@@ -122,6 +126,7 @@ impl Qrio {
             lifecycle: LifecycleStore::default(),
             admission_gate: None,
             durability: None,
+            breakers: None,
         }
     }
 
@@ -295,6 +300,58 @@ impl Qrio {
         Ok(healed)
     }
 
+    // --- Fault tolerance -----------------------------------------------------------------
+
+    /// Install (or, with `None`, remove) the cluster's deterministic fault
+    /// injector. Every execution attempt consults it; an injected fault
+    /// fails the attempt with [`ClusterError::InjectedFault`] and flows
+    /// through the job's retry policy like any real failure. Journaled, so
+    /// recovery replays the exact same faults.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only when the journal append fails.
+    pub fn configure_faults(&mut self, injector: Option<FaultInjector>) -> Result<(), QrioError> {
+        self.cluster.set_fault_injector(injector);
+        self.journal_command(Command::ConfigureFaults { injector })?;
+        Ok(())
+    }
+
+    /// The currently-installed fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.cluster.fault_injector()
+    }
+
+    /// Install (or, with `None`, remove) per-device circuit breakers. A
+    /// fresh board starts with every breaker closed; from then on every
+    /// execution outcome feeds it, a trip cordons the device, and probation
+    /// uncordons it. Journaled, so recovery replays every trip.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only when the journal append fails.
+    pub fn configure_breakers(&mut self, config: Option<BreakerConfig>) -> Result<(), QrioError> {
+        self.breakers = config.map(BreakerBoard::new);
+        self.journal_command(Command::ConfigureBreakers { config })?;
+        Ok(())
+    }
+
+    /// The circuit-breaker board, when breakers are configured.
+    pub fn breakers(&self) -> Option<&BreakerBoard> {
+        self.breakers.as_ref()
+    }
+
+    /// The dead-letter queue: ids of jobs whose retry policy was exhausted,
+    /// oldest first. Jobs that fail without a retry policy (or on a
+    /// non-retryable failure class) are plain failures, not dead letters.
+    pub fn dead_letters(&self) -> Vec<JobId> {
+        self.lifecycle
+            .dead_letters
+            .iter()
+            .map(|name| JobId::new(name.as_str()))
+            .collect()
+    }
+
     /// Read-only access to the meta server.
     pub fn meta(&self) -> &MetaServer {
         &self.meta
@@ -325,10 +382,32 @@ impl Qrio {
         reports: impl IntoIterator<Item = (String, DeviceTelemetry)>,
     ) {
         let reports: Vec<(String, DeviceTelemetry)> = reports.into_iter().collect();
-        self.meta.update_telemetry_bulk(reports.iter().cloned());
+        self.report_telemetry_unjournaled(reports.iter().cloned());
         // Infallible signature: a journal failure poisons durability (see
-        // `Qrio::durability_error`) instead of surfacing here.
+        // `Qrio::durability_error`) instead of surfacing here. The journal
+        // carries the *raw* reports; the breaker overlay is re-derived on
+        // replay so it can never drift from the board's state.
         let _ = self.journal_command(Command::Telemetry { reports });
+    }
+
+    /// Apply telemetry reports, overlaying each device's circuit-breaker
+    /// health penalty (when breakers are configured) before the meta server
+    /// stores them. Shared by the public path and journal replay so both
+    /// derive the identical overlay.
+    fn report_telemetry_unjournaled(
+        &mut self,
+        reports: impl IntoIterator<Item = (String, DeviceTelemetry)>,
+    ) {
+        let overlaid: Vec<(String, DeviceTelemetry)> = reports
+            .into_iter()
+            .map(|(device, mut telemetry)| {
+                if let Some(board) = &self.breakers {
+                    telemetry.health_penalty = board.health_penalty(&device);
+                }
+                (device, telemetry)
+            })
+            .collect();
+        self.meta.update_telemetry_bulk(overlaid);
     }
 
     /// Report the current per-node load (queue depth, classical utilization)
@@ -336,11 +415,16 @@ impl Qrio {
     /// before every `tick()` admission decision.
     fn sync_telemetry(&mut self) {
         for (device, load) in self.cluster.node_loads() {
+            let health_penalty = self
+                .breakers
+                .as_ref()
+                .map_or(0.0, |board| board.health_penalty(&device));
             self.meta.update_telemetry(
                 device,
                 DeviceTelemetry {
                     queue_depth: load.active_jobs,
                     utilization: load.utilization(),
+                    health_penalty,
                 },
             );
         }
@@ -370,7 +454,7 @@ impl Qrio {
         // rolls back fully, so replaying the successes alone reproduces the
         // exact state — and rejected requests never burden recovery.
         self.journal_command(Command::Enqueue {
-            request: request.clone(),
+            request: Box::new(request.clone()),
         })?;
         Ok(id)
     }
@@ -420,8 +504,9 @@ impl Qrio {
         }
 
         // 3. Lifecycle bookkeeping: Submitted → Queued, admission queue.
+        //    The deadline is anchored to the admission clock here.
         self.lifecycle
-            .admit_new(&request.job_name, request.priority);
+            .admit_new(&request.job_name, request.priority, request.deadline);
         Ok(JobId::new(&request.job_name))
     }
 
@@ -438,8 +523,9 @@ impl Qrio {
     /// Cancel a job that has not started running.
     ///
     /// `Queued` jobs leave the admission queue; `Scheduled` jobs release
-    /// their device binding and reserved resources. Either way the job ends
-    /// in [`JobState::Cancelled`] and its metadata and image are garbage-
+    /// their device binding and reserved resources; `Retrying` jobs are
+    /// withdrawn mid-backoff. Either way the job ends in
+    /// [`JobState::Cancelled`] and its metadata and image are garbage-
     /// collected.
     ///
     /// # Errors
@@ -464,7 +550,10 @@ impl Qrio {
         // (None for jobs cancelled before they were bound).
         let node = status.node.clone();
         match state {
-            JobState::Queued | JobState::Scheduled => {
+            // A Retrying job is cancellable mid-backoff: its cluster record
+            // is back in `Pending` (requeued at the retry decision), so the
+            // cluster's Pending arm handles it.
+            JobState::Queued | JobState::Scheduled | JobState::Retrying => {
                 self.cluster.cancel_job(id.as_str(), "cancelled by user")?;
                 self.lifecycle.remove_pending(id.as_str());
                 self.lifecycle.remove_from_device_queues(id.as_str());
@@ -602,6 +691,34 @@ impl Qrio {
             tick: self.lifecycle.clock,
             ..TickReport::default()
         };
+        // Circuit breakers: every Open breaker whose timer expired moves to
+        // HalfOpen and its device is uncordoned for probation.
+        if let Some(board) = self.breakers.as_mut() {
+            for device in board.tick(self.lifecycle.clock) {
+                if let Some(node) = self.cluster.node_mut(&device) {
+                    node.uncordon();
+                }
+            }
+        }
+        // Deadline expiry: Queued / Retrying jobs past their deadline fail
+        // with DeadlineExceeded before anything else happens this cycle —
+        // the deadline dominates an elapsed backoff.
+        for name in self.expired_deadline_jobs() {
+            self.expire_deadline(&name);
+            report.expired.push(JobId::new(&name));
+        }
+        // Retry promotion: Retrying jobs whose backoff elapsed re-enter the
+        // admission queue with a fresh admission sequence.
+        for name in self.due_retry_jobs() {
+            let priority = self.lifecycle.jobs[&name].status.priority;
+            self.lifecycle.record(
+                &name,
+                JobState::Queued,
+                None,
+                Some("backoff elapsed; re-queued for retry".to_string()),
+            );
+            self.lifecycle.enqueue_pending(&name, priority);
+        }
         // Admission.
         for name in self.lifecycle.pending_in_order() {
             match self.admit_and_bind(&name, false) {
@@ -630,6 +747,59 @@ impl Qrio {
         report
     }
 
+    /// Queued / Retrying jobs whose absolute deadline has passed, in name
+    /// order (deterministic: `lifecycle.jobs` is a sorted map).
+    fn expired_deadline_jobs(&self) -> Vec<String> {
+        let now = self.lifecycle.clock;
+        self.lifecycle
+            .jobs
+            .iter()
+            .filter(|(_, tracked)| {
+                matches!(tracked.status.state, JobState::Queued | JobState::Retrying)
+                    && tracked.deadline_at.is_some_and(|at| now > at)
+            })
+            .map(|(name, _)| name.clone())
+            .collect()
+    }
+
+    /// Retrying jobs whose backoff horizon has been reached, in name order.
+    fn due_retry_jobs(&self) -> Vec<String> {
+        let now = self.lifecycle.clock;
+        self.lifecycle
+            .jobs
+            .iter()
+            .filter(|(_, tracked)| {
+                tracked.status.state == JobState::Retrying && tracked.not_before <= now
+            })
+            .map(|(name, _)| name.clone())
+            .collect()
+    }
+
+    /// Terminally fail a Queued / Retrying job whose deadline passed.
+    fn expire_deadline(&mut self, name: &str) {
+        let tracked = &self.lifecycle.jobs[name];
+        let deadline = tracked.deadline_at.expect("expired jobs carry a deadline");
+        let node = tracked.status.node.clone();
+        let err = QrioError::Cluster(ClusterError::DeadlineExceeded {
+            job: name.to_string(),
+            deadline,
+        });
+        // The cluster job is `Pending` in both source states (Queued before
+        // scheduling; Retrying jobs were requeued at the retry decision) —
+        // withdraw it so the cluster queue and logs agree.
+        let _ = self
+            .cluster
+            .cancel_job(name, format!("deadline exceeded at t={deadline}"));
+        self.lifecycle.remove_pending(name);
+        self.lifecycle.remove_from_device_queues(name);
+        self.lifecycle
+            .record(name, JobState::Failed, node, Some(err.to_string()));
+        if let Some(tracked) = self.lifecycle.jobs.get_mut(name) {
+            tracked.failure = Some(err);
+        }
+        self.cleanup_terminal(name);
+    }
+
     /// Tick until every enqueued job reached a terminal state. When a cycle
     /// makes no progress (jobs deferred forever — e.g. waiting on a device
     /// that stays cordoned), the stragglers are deterministically failed
@@ -638,15 +808,23 @@ impl Qrio {
     pub fn run_until_idle(&mut self) -> Vec<JobId> {
         let first_new_event = self.lifecycle.events.len();
         let mut force_next = false;
-        while self.lifecycle.has_pending() || self.lifecycle.has_bound_work() {
+        while self.lifecycle.has_pending()
+            || self.lifecycle.has_bound_work()
+            || self.lifecycle.has_waiting_retries()
+        {
             if force_next {
                 // Fixed point: nothing scheduled, ran or failed last cycle.
                 // Force an admission verdict for every straggler: either it
                 // schedules after all, or the cluster records why it cannot.
+                // (Jobs waiting out a retry backoff are not stragglers —
+                // ticking the clock forward is exactly their progress.)
                 for name in self.lifecycle.pending_in_order() {
                     let _ = self.force_admit(&name);
                 }
-                if self.lifecycle.has_pending() && !self.lifecycle.has_bound_work() {
+                if self.lifecycle.has_pending()
+                    && !self.lifecycle.has_bound_work()
+                    && !self.lifecycle.has_waiting_retries()
+                {
                     break; // Defensive: nothing more can change.
                 }
             }
@@ -798,6 +976,128 @@ impl Qrio {
                 action: "execute".to_string(),
                 phase: other.to_string(),
             })),
+        }
+    }
+
+    /// Interrupt a `Scheduled` job whose device died under it: the job
+    /// passes through `Running` straight into a device-flap fault without
+    /// the runner being invoked, then flows through its retry policy like
+    /// any other failure. Virtual-time simulators call this when an outage
+    /// lands on a device with a job mid-execution, so the work is visibly
+    /// lost (and retried) instead of silently completing.
+    ///
+    /// # Errors
+    ///
+    /// Always errs on success: the interrupt surfaces as
+    /// [`ClusterError::InjectedFault`] (wrapped). Unknown ids and jobs not
+    /// `Scheduled` report a phase conflict instead.
+    pub fn interrupt(&mut self, id: &JobId) -> Result<(), QrioError> {
+        let result = self.interrupt_unjournaled(id);
+        // Same journaling rule as `execute`: the interrupt mutates state
+        // whenever the job exists, so attempts on known jobs are journaled.
+        if !matches!(result, Err(QrioError::UnknownJob(_))) {
+            self.journal_command(Command::Interrupt {
+                job: id.to_string(),
+            })?;
+        }
+        result
+    }
+
+    fn interrupt_unjournaled(&mut self, id: &JobId) -> Result<(), QrioError> {
+        match self.status(id)? {
+            JobState::Scheduled => {
+                let name = id.as_str();
+                self.lifecycle.remove_from_device_queues(name);
+                let node = self
+                    .lifecycle
+                    .jobs
+                    .get(name)
+                    .and_then(|tracked| tracked.status.node.clone());
+                self.lifecycle
+                    .record(name, JobState::Running, node.clone(), None);
+                let attempt = self.lifecycle.jobs.get(name).map_or(0, |t| t.attempt);
+                let result = self.cluster.interrupt_job(name, attempt);
+                self.settle_execution(name, node, result)
+            }
+            other => Err(QrioError::Cluster(ClusterError::PhaseConflict {
+                job: id.to_string(),
+                action: "interrupt".to_string(),
+                phase: other.to_string(),
+            })),
+        }
+    }
+
+    /// Promote a `Retrying` job straight to `Queued`, ignoring its backoff
+    /// horizon — the retry primitive of virtual-time simulators, which own
+    /// the backoff timing themselves (they model it in wall-clock
+    /// milliseconds, not service-loop ticks) and never call [`Qrio::tick`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a phase conflict for jobs not in `Retrying`, an unknown-job
+    /// error for ids never enqueued, or the journal failure.
+    pub fn kick_retry(&mut self, id: &JobId) -> Result<(), QrioError> {
+        let result = self.kick_retry_unjournaled(id);
+        if result.is_ok() {
+            self.journal_command(Command::KickRetry {
+                job: id.to_string(),
+            })?;
+        }
+        result
+    }
+
+    fn kick_retry_unjournaled(&mut self, id: &JobId) -> Result<(), QrioError> {
+        match self.status(id)? {
+            JobState::Retrying => {
+                let name = id.as_str();
+                let priority = self.lifecycle.jobs[name].status.priority;
+                self.lifecycle.record(
+                    name,
+                    JobState::Queued,
+                    None,
+                    Some("retry kicked; re-queued".to_string()),
+                );
+                self.lifecycle.enqueue_pending(name, priority);
+                Ok(())
+            }
+            other => Err(QrioError::Cluster(ClusterError::PhaseConflict {
+                job: id.to_string(),
+                action: "kick_retry".to_string(),
+                phase: other.to_string(),
+            })),
+        }
+    }
+
+    /// Force a device's `Open` circuit breaker into probation now,
+    /// uncordoning the device — the breaker primitive of virtual-time
+    /// simulators, which never call [`Qrio::tick`] (whose timer would
+    /// otherwise probe automatically). Returns whether probation began
+    /// (`false` when breakers are off or the breaker was not `Open`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only when the journal append fails.
+    pub fn probe_device(&mut self, device: &str) -> Result<bool, QrioError> {
+        let probing = self.probe_device_unjournaled(device);
+        if probing {
+            self.journal_command(Command::Probe {
+                device: device.to_string(),
+            })?;
+        }
+        Ok(probing)
+    }
+
+    fn probe_device_unjournaled(&mut self, device: &str) -> bool {
+        let Some(board) = self.breakers.as_mut() else {
+            return false;
+        };
+        if board.force_probe(device, self.lifecycle.clock) {
+            if let Some(node) = self.cluster.node_mut(device) {
+                node.uncordon();
+            }
+            true
+        } else {
+            false
         }
     }
 
@@ -966,7 +1266,9 @@ impl Qrio {
     }
 
     /// Run a job known to be `Scheduled` (already removed from any device
-    /// queue), updating lifecycle state.
+    /// queue), updating lifecycle state. The attempt number passed to the
+    /// cluster makes injected-fault decisions attempt-aware, so a retried
+    /// job can draw a different verdict than its first run.
     fn execute_bound(&mut self, name: &str) -> Result<(), QrioError> {
         let node = self
             .lifecycle
@@ -975,20 +1277,98 @@ impl Qrio {
             .and_then(|tracked| tracked.status.node.clone());
         self.lifecycle
             .record(name, JobState::Running, node.clone(), None);
+        let attempt = self.lifecycle.jobs.get(name).map_or(0, |t| t.attempt);
         let runner = self.runner;
-        match self.cluster.run_job(name, &runner) {
+        let result = self.cluster.run_job_attempt(name, &runner, attempt);
+        self.settle_execution(name, node, result)
+    }
+
+    /// Fold one execution outcome into the lifecycle: feed the device's
+    /// circuit breaker, then either record success, enter `Retrying` with a
+    /// backoff horizon, or fail terminally (routing exhausted retry
+    /// policies to the dead-letter queue). Shared by [`Qrio::execute`] /
+    /// `tick()` execution and by [`Qrio::interrupt`].
+    fn settle_execution(
+        &mut self,
+        name: &str,
+        node: Option<String>,
+        result: Result<(), ClusterError>,
+    ) -> Result<(), QrioError> {
+        // Every outcome on a device feeds its breaker; a trip cordons the
+        // device so the scheduler steers around it.
+        if let (Some(board), Some(device)) = (self.breakers.as_mut(), node.as_deref()) {
+            let action = board.record_outcome(device, result.is_err(), self.lifecycle.clock);
+            match action {
+                Some(BreakerAction::Cordon) => {
+                    if let Some(node) = self.cluster.node_mut(device) {
+                        node.cordon();
+                    }
+                }
+                Some(BreakerAction::Uncordon) => {
+                    if let Some(node) = self.cluster.node_mut(device) {
+                        node.uncordon();
+                    }
+                }
+                None => {}
+            }
+        }
+        match result {
             Ok(()) => {
+                if let Some(tracked) = self.lifecycle.jobs.get_mut(name) {
+                    tracked.attempt += 1;
+                }
                 self.lifecycle.record(name, JobState::Succeeded, node, None);
                 Ok(())
             }
             Err(err) => {
-                let qerr: QrioError = err.into();
-                self.lifecycle
-                    .record(name, JobState::Failed, node, Some(qerr.to_string()));
+                let policy = self.cluster.job(name).and_then(|job| job.spec().retry);
+                let consumed = self.lifecycle.jobs.get(name).map_or(0, |t| t.attempt) + 1;
                 if let Some(tracked) = self.lifecycle.jobs.get_mut(name) {
-                    tracked.failure = Some(qerr.clone());
+                    tracked.attempt = consumed;
                 }
-                self.cleanup_terminal(name);
+                let retryable = policy.is_some_and(|policy| {
+                    consumed < policy.max_attempts && policy.retry_on.matches(&err)
+                });
+                let qerr: QrioError = err.into();
+                if retryable {
+                    let policy = policy.expect("retryable implies a policy");
+                    // Backoff is a pure function of (seed, job, attempt) —
+                    // byte-identical on journal replay. At least one tick so
+                    // the job never re-queues within the same cycle.
+                    let delay = policy
+                        .backoff
+                        .delay(self.runner.seed, name, consumed)
+                        .max(1);
+                    let not_before = self.lifecycle.clock + delay;
+                    if let Some(tracked) = self.lifecycle.jobs.get_mut(name) {
+                        tracked.not_before = not_before;
+                    }
+                    self.lifecycle.record(
+                        name,
+                        JobState::Retrying,
+                        node,
+                        Some(format!(
+                            "attempt {consumed} failed: {qerr}; backing off {delay} ticks"
+                        )),
+                    );
+                    // The cluster job goes back to Pending now; the
+                    // lifecycle gate (Retrying until not_before) decides
+                    // when it may actually re-bind.
+                    let _ = self.cluster.requeue_job(name);
+                } else {
+                    self.lifecycle
+                        .record(name, JobState::Failed, node, Some(qerr.to_string()));
+                    if let Some(tracked) = self.lifecycle.jobs.get_mut(name) {
+                        tracked.failure = Some(qerr.clone());
+                    }
+                    // A job that consumed every allowed attempt is a dead
+                    // letter; one that failed on a non-retryable class (or
+                    // had no policy) is a plain failure.
+                    if policy.is_some_and(|policy| consumed >= policy.max_attempts) {
+                        self.lifecycle.dead_letters.push(name.to_string());
+                    }
+                    self.cleanup_terminal(name);
+                }
                 Err(qerr)
             }
         }
@@ -1046,6 +1426,7 @@ impl Qrio {
         self.durability = Some(Durability::new(
             journal,
             config.snapshot_every,
+            config.sync_every_n_commands,
             self.lifecycle.events.len() as u64,
         ));
         self.write_snapshot()?;
@@ -1128,6 +1509,8 @@ impl Qrio {
                 .durability
                 .as_ref()
                 .map_or(0, Durability::snapshot_every),
+            sync_every: self.durability.as_ref().map_or(0, Durability::sync_every),
+            breakers: self.breakers.clone(),
         }
     }
 
@@ -1153,6 +1536,7 @@ impl Qrio {
             lifecycle: snapshot.lifecycle,
             admission_gate: None,
             durability: None,
+            breakers: snapshot.breakers,
         }
     }
 
@@ -1176,7 +1560,7 @@ impl Qrio {
                 let _ = self.recalibrate_unjournaled(backend);
             }
             Command::Telemetry { reports } => {
-                self.meta.update_telemetry_bulk(reports);
+                self.report_telemetry_unjournaled(reports);
             }
             Command::Enqueue { request } => {
                 let _ = self.enqueue_unjournaled(&request);
@@ -1211,6 +1595,21 @@ impl Qrio {
             }
             Command::Heal => {
                 let _ = self.cluster.heal_nodes();
+            }
+            Command::ConfigureFaults { injector } => {
+                self.cluster.set_fault_injector(injector);
+            }
+            Command::ConfigureBreakers { config } => {
+                self.breakers = config.map(BreakerBoard::new);
+            }
+            Command::KickRetry { job } => {
+                let _ = self.kick_retry_unjournaled(&JobId::new(&job));
+            }
+            Command::Interrupt { job } => {
+                let _ = self.interrupt_unjournaled(&JobId::new(&job));
+            }
+            Command::Probe { device } => {
+                let _ = self.probe_device_unjournaled(&device);
             }
         }
         Ok(())
@@ -1263,6 +1662,7 @@ impl Qrio {
         let snapshot = durability::decode_snapshot(&snapshot_record.payload)?;
         let cursor = snapshot.cursor;
         let snapshot_every = snapshot.snapshot_every;
+        let sync_every = snapshot.sync_every;
         let mut qrio = Qrio::from_snapshot(snapshot);
         setup(&mut qrio)?;
 
@@ -1327,6 +1727,7 @@ impl Qrio {
         let mut durability = Durability::new(
             journal,
             snapshot_every,
+            sync_every,
             cursor + journaled_tail.len() as u64,
         );
         if events_healed > 0 {
@@ -1640,5 +2041,359 @@ mod tests {
         assert!(qrio.outcome(&ghost).is_err());
         assert!(qrio.cancel(&ghost).is_err());
         assert!(qrio.rank_ready(&ghost).is_err());
+    }
+
+    // --- Fault tolerance ----------------------------------------------------------------
+
+    use crate::BreakerState;
+    use qrio_cluster::{FaultKind, NodeStatus, RetryPolicy};
+
+    /// An injector that faults every attempt with the given kind's rate at 1.
+    fn always(kind: FaultKind) -> FaultInjector {
+        let mut injector = FaultInjector {
+            seed: 11,
+            ..FaultInjector::default()
+        };
+        match kind {
+            FaultKind::TransientExecution => injector.transient_rate = 1.0,
+            FaultKind::CalibrationGlitch => injector.calibration_rate = 1.0,
+            FaultKind::SlowJob => injector.slow_rate = 1.0,
+            FaultKind::DeviceFlap => injector.flap_rate = 1.0,
+        }
+        injector
+    }
+
+    fn faulty_request(name: &str, retry: Option<RetryPolicy>, deadline: Option<u64>) -> JobRequest {
+        let bv = library::bernstein_vazirani(5, 0b10110).unwrap();
+        let mut builder = JobRequestBuilder::new()
+            .with_circuit(&bv)
+            .job_name(name)
+            .fidelity_target(0.9)
+            .shots(64);
+        if let Some(policy) = retry {
+            builder = builder.retry_policy(policy);
+        }
+        if let Some(ticks) = deadline {
+            builder = builder.deadline(ticks);
+        }
+        builder.build().unwrap()
+    }
+
+    #[test]
+    fn injected_fault_retries_then_succeeds_once_faults_clear() {
+        let mut qrio = small_qrio();
+        qrio.configure_faults(Some(always(FaultKind::TransientExecution)))
+            .unwrap();
+        let id = qrio
+            .enqueue(&faulty_request(
+                "flaky",
+                Some(RetryPolicy::fixed(5, 2)),
+                None,
+            ))
+            .unwrap();
+        qrio.tick();
+        assert_eq!(qrio.status(&id).unwrap(), JobState::Retrying);
+        let status = qrio.job_status(&id).unwrap();
+        assert!(
+            status.reason.as_deref().unwrap().contains("transient"),
+            "reason names the fault: {:?}",
+            status.reason
+        );
+
+        // The fault storm passes; the backoff elapses; the retry succeeds.
+        qrio.configure_faults(None).unwrap();
+        qrio.run_until_idle();
+        assert_eq!(qrio.status(&id).unwrap(), JobState::Succeeded);
+        assert!(qrio.dead_letters().is_empty());
+        let states: Vec<JobState> = qrio
+            .job_status(&id)
+            .unwrap()
+            .history
+            .iter()
+            .map(|(_, s)| *s)
+            .collect();
+        assert_eq!(
+            states,
+            vec![
+                JobState::Submitted,
+                JobState::Queued,
+                JobState::Scheduled,
+                JobState::Running,
+                JobState::Retrying,
+                JobState::Queued,
+                JobState::Scheduled,
+                JobState::Running,
+                JobState::Succeeded,
+            ]
+        );
+        // The outcome is a real one: counts from the successful attempt.
+        assert!(!qrio.outcome(&id).unwrap().counts.is_empty());
+    }
+
+    #[test]
+    fn exhausted_retries_dead_letter_the_job() {
+        let mut qrio = small_qrio();
+        qrio.configure_faults(Some(always(FaultKind::CalibrationGlitch)))
+            .unwrap();
+        let id = qrio
+            .enqueue(&faulty_request(
+                "doomed",
+                Some(RetryPolicy::fixed(3, 1)),
+                None,
+            ))
+            .unwrap();
+        qrio.run_until_idle();
+        assert_eq!(qrio.status(&id).unwrap(), JobState::Failed);
+        assert_eq!(qrio.dead_letters(), vec![id.clone()]);
+        // Three attempts ran: two Retrying transitions, then the terminal one.
+        let retries = qrio
+            .watch(0)
+            .iter()
+            .filter(|e| e.job == id && e.to == JobState::Retrying)
+            .count();
+        assert_eq!(retries, 2);
+        let status = qrio.job_status(&id).unwrap();
+        assert!(status
+            .reason
+            .as_deref()
+            .unwrap()
+            .contains("calibration glitch"));
+    }
+
+    #[test]
+    fn faults_without_a_policy_fail_fast_and_skip_the_dead_letter_queue() {
+        let mut qrio = small_qrio();
+        qrio.configure_faults(Some(always(FaultKind::TransientExecution)))
+            .unwrap();
+        let id = qrio
+            .enqueue(&faulty_request("fragile", None, None))
+            .unwrap();
+        qrio.tick();
+        assert_eq!(qrio.status(&id).unwrap(), JobState::Failed);
+        assert!(qrio.dead_letters().is_empty(), "no policy, no dead letter");
+    }
+
+    #[test]
+    fn a_deadline_expires_a_job_stuck_in_backoff() {
+        let mut qrio = small_qrio();
+        qrio.configure_faults(Some(always(FaultKind::SlowJob)))
+            .unwrap();
+        let id = qrio
+            .enqueue(&faulty_request(
+                "late",
+                Some(RetryPolicy::fixed(5, 100)),
+                Some(3),
+            ))
+            .unwrap();
+        qrio.run_until_idle();
+        assert_eq!(qrio.status(&id).unwrap(), JobState::Failed);
+        let status = qrio.job_status(&id).unwrap();
+        assert!(
+            status.reason.as_deref().unwrap().contains("deadline"),
+            "reason: {:?}",
+            status.reason
+        );
+        assert!(
+            qrio.dead_letters().is_empty(),
+            "a blown deadline is not retry exhaustion"
+        );
+        // The expiry fired on the first tick past the absolute deadline, not
+        // after the 100-tick backoff.
+        let (at, _) = *qrio.job_status(&id).unwrap().history.last().unwrap();
+        assert_eq!(at, 4, "deadline_at = 3, first tick with now > 3 is 4");
+    }
+
+    #[test]
+    fn deadlines_are_inert_when_the_job_finishes_in_time() {
+        let mut qrio = small_qrio();
+        let id = qrio
+            .enqueue(&faulty_request("prompt", None, Some(50)))
+            .unwrap();
+        qrio.run_until_idle();
+        assert_eq!(qrio.status(&id).unwrap(), JobState::Succeeded);
+    }
+
+    #[test]
+    fn breaker_trips_cordon_and_the_tick_timer_probes_and_heals() {
+        let mut qrio = Qrio::with_config(
+            FidelityRankingConfig {
+                shots: 64,
+                seed: 5,
+                shortfall_weight: 100.0,
+            },
+            7,
+        );
+        qrio.add_device(Backend::uniform("solo", topology::line(8), 0.01, 0.05))
+            .unwrap();
+        qrio.configure_breakers(Some(BreakerConfig {
+            consecutive_failures: 2,
+            failure_rate: 2.0,
+            window: 8,
+            open_ticks: 2,
+            probe_jobs: 1,
+        }))
+        .unwrap();
+        qrio.configure_faults(Some(always(FaultKind::TransientExecution)))
+            .unwrap();
+
+        let a = qrio.enqueue(&faulty_request("burn-a", None, None)).unwrap();
+        let b = qrio.enqueue(&faulty_request("burn-b", None, None)).unwrap();
+        qrio.tick(); // runs burn-a: failure 1
+        qrio.tick(); // runs burn-b: failure 2 → breaker trips at t=2
+        assert_eq!(qrio.status(&a).unwrap(), JobState::Failed);
+        assert_eq!(qrio.status(&b).unwrap(), JobState::Failed);
+        let board = qrio.breakers().unwrap();
+        assert_eq!(board.trip_count("solo"), 1);
+        assert!(matches!(
+            board.state("solo"),
+            BreakerState::Open { until: 4 }
+        ));
+        assert!(
+            qrio.cluster().node("solo").unwrap().status() != NodeStatus::Ready,
+            "tripped breaker cordons the device"
+        );
+
+        // While cordoned, the telemetry overlay reports the full penalty.
+        qrio.report_telemetry([(
+            "solo".to_string(),
+            DeviceTelemetry {
+                queue_depth: 0,
+                utilization: 0.0,
+                health_penalty: 0.0,
+            },
+        )]);
+        let meta_state = qrio.meta().export_state();
+        let (_, telemetry) = meta_state
+            .telemetry
+            .iter()
+            .find(|(device, _)| device == "solo")
+            .unwrap();
+        assert_eq!(telemetry.health_penalty, 1.0);
+
+        // The storm passes. A queued job waits out the open interval, the
+        // timer probes at t=4, and the probe closes the breaker.
+        qrio.configure_faults(None).unwrap();
+        let c = qrio.enqueue(&faulty_request("after", None, None)).unwrap();
+        qrio.tick(); // t=3: still open, job deferred
+        assert_eq!(qrio.status(&c).unwrap(), JobState::Queued);
+        qrio.tick(); // t=4: probation begins, job schedules and runs
+        assert_eq!(qrio.status(&c).unwrap(), JobState::Succeeded);
+        assert_eq!(qrio.breakers().unwrap().state("solo"), BreakerState::Closed);
+        assert!(qrio.cluster().node("solo").unwrap().status() == NodeStatus::Ready);
+    }
+
+    #[test]
+    fn probe_device_forces_probation_without_ticking() {
+        let mut qrio = small_qrio();
+        qrio.configure_breakers(Some(BreakerConfig {
+            consecutive_failures: 1,
+            failure_rate: 2.0,
+            window: 4,
+            open_ticks: 1_000_000,
+            probe_jobs: 1,
+        }))
+        .unwrap();
+        qrio.configure_faults(Some(always(FaultKind::TransientExecution)))
+            .unwrap();
+        let id = qrio
+            .enqueue(&faulty_request("one-shot", None, None))
+            .unwrap();
+        qrio.tick();
+        assert_eq!(qrio.status(&id).unwrap(), JobState::Failed);
+        let device = qrio.job_status(&id).unwrap().node.clone().unwrap();
+        assert!(matches!(
+            qrio.breakers().unwrap().state(&device),
+            BreakerState::Open { .. }
+        ));
+        assert!(qrio.probe_device(&device).unwrap());
+        assert_eq!(
+            qrio.breakers().unwrap().state(&device),
+            BreakerState::HalfOpen { successes: 0 }
+        );
+        assert!(qrio.cluster().node(&device).unwrap().status() == NodeStatus::Ready);
+        // Probing a breaker that is not open reports false.
+        assert!(!qrio.probe_device(&device).unwrap());
+        assert!(!qrio.probe_device("no-such-device").unwrap());
+    }
+
+    #[test]
+    fn interrupt_flaps_a_scheduled_job_and_kick_retry_requeues_it() {
+        let mut qrio = small_qrio();
+        let id = qrio
+            .enqueue(&faulty_request(
+                "cut-off",
+                Some(RetryPolicy::fixed(3, 1_000)),
+                None,
+            ))
+            .unwrap();
+        // Interrupt requires a bound job.
+        assert!(matches!(
+            qrio.interrupt(&id),
+            Err(QrioError::Cluster(ClusterError::PhaseConflict { .. }))
+        ));
+        qrio.schedule(&id).unwrap();
+        let err = qrio.interrupt(&id).unwrap_err();
+        assert!(matches!(
+            err,
+            QrioError::Cluster(ClusterError::InjectedFault {
+                kind: FaultKind::DeviceFlap,
+                ..
+            })
+        ));
+        assert_eq!(qrio.status(&id).unwrap(), JobState::Retrying);
+
+        // The backoff horizon is 1000 ticks away; kick_retry skips it.
+        qrio.kick_retry(&id).unwrap();
+        assert_eq!(qrio.status(&id).unwrap(), JobState::Queued);
+        assert!(matches!(
+            qrio.kick_retry(&id),
+            Err(QrioError::Cluster(ClusterError::PhaseConflict { .. }))
+        ));
+
+        // The flap marked the device not-ready; heal and finish the retry.
+        qrio.heal_devices().unwrap();
+        qrio.run_until_idle();
+        assert_eq!(qrio.status(&id).unwrap(), JobState::Succeeded);
+    }
+
+    #[test]
+    fn retrying_jobs_can_be_cancelled() {
+        let mut qrio = small_qrio();
+        qrio.configure_faults(Some(always(FaultKind::TransientExecution)))
+            .unwrap();
+        let id = qrio
+            .enqueue(&faulty_request(
+                "abandoned",
+                Some(RetryPolicy::fixed(5, 1_000)),
+                None,
+            ))
+            .unwrap();
+        qrio.tick();
+        assert_eq!(qrio.status(&id).unwrap(), JobState::Retrying);
+        qrio.cancel(&id).unwrap();
+        assert_eq!(qrio.status(&id).unwrap(), JobState::Cancelled);
+        assert!(qrio.dead_letters().is_empty());
+    }
+
+    #[test]
+    fn zero_penalty_breakers_leave_scores_and_routing_unchanged() {
+        // The same workload with and without an (untripped) breaker board
+        // must produce identical decisions — the penalty term is strictly
+        // additive over a zero baseline.
+        let run = |with_breakers: bool| -> Vec<String> {
+            let mut qrio = small_qrio();
+            if with_breakers {
+                qrio.configure_breakers(Some(BreakerConfig::default()))
+                    .unwrap();
+            }
+            let mut nodes = Vec::new();
+            for name in ["w1", "w2", "w3"] {
+                let id = qrio.enqueue(&faulty_request(name, None, None)).unwrap();
+                qrio.run_until_idle();
+                nodes.push(qrio.outcome(&id).unwrap().decision.node);
+            }
+            nodes
+        };
+        assert_eq!(run(false), run(true));
     }
 }

@@ -159,6 +159,8 @@ mod tests {
             priority: 0,
             shots,
             threads: 0,
+            retry: None,
+            deadline: None,
         };
         (spec, image)
     }

@@ -8,7 +8,7 @@
 //! the topology-drawing canvas (edges between qubits → topology circuit).
 
 use qrio_circuit::{library, qasm, Circuit};
-use qrio_cluster::{strategy_names, DeviceRequirements, Resources, StrategySpec};
+use qrio_cluster::{strategy_names, DeviceRequirements, Resources, RetryPolicy, StrategySpec};
 use qrio_sim::ParallelConfig;
 
 use crate::error::QrioError;
@@ -117,6 +117,13 @@ pub struct JobRequest {
     /// Worker-thread configuration for shot execution on the node. Purely a
     /// latency knob: results are bit-reproducible across thread counts.
     pub parallel: ParallelConfig,
+    /// Optional retry policy: how many execution attempts are allowed, the
+    /// backoff between them and which failure classes are retryable.
+    /// `None` means every failure is terminal on the first attempt.
+    pub retry: Option<RetryPolicy>,
+    /// Optional virtual-time deadline in ticks after admission. A job still
+    /// non-terminal when it passes fails with `DeadlineExceeded`.
+    pub deadline: Option<u64>,
 }
 
 /// Builder modelling the visualizer's three-step job submission form.
@@ -132,6 +139,8 @@ pub struct JobRequestBuilder {
     priority: u8,
     shots: u64,
     parallel: ParallelConfig,
+    retry: Option<RetryPolicy>,
+    deadline: Option<u64>,
 }
 
 impl JobRequestBuilder {
@@ -229,6 +238,24 @@ impl JobRequestBuilder {
     #[must_use]
     pub fn requirements(mut self, requirements: DeviceRequirements) -> Self {
         self.requirements = requirements;
+        self
+    }
+
+    /// Step 1 (optional): retry policy for failed execution attempts —
+    /// maximum attempts, backoff shape and the retryable failure classes.
+    /// Without one, the first failure is terminal.
+    #[must_use]
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Step 1 (optional): virtual-time deadline, in service-loop ticks after
+    /// admission. A job still non-terminal when the deadline passes fails
+    /// with `DeadlineExceeded` — even mid-backoff between retries.
+    #[must_use]
+    pub fn deadline(mut self, ticks: u64) -> Self {
+        self.deadline = Some(ticks);
         self
     }
 
@@ -334,6 +361,18 @@ impl JobRequestBuilder {
         if self.shots == 0 {
             return Err(QrioError::InvalidRequest("shots must be at least 1".into()));
         }
+        if let Some(policy) = &self.retry {
+            if policy.max_attempts == 0 {
+                return Err(QrioError::InvalidRequest(
+                    "retry max_attempts must be at least 1 (the first attempt counts)".into(),
+                ));
+            }
+        }
+        if self.deadline == Some(0) {
+            return Err(QrioError::InvalidRequest(
+                "a deadline of 0 ticks would expire before the first cycle".into(),
+            ));
+        }
         Ok(JobRequest {
             job_name,
             image_name,
@@ -345,6 +384,8 @@ impl JobRequestBuilder {
             priority: self.priority,
             shots: self.shots,
             parallel: self.parallel,
+            retry: self.retry,
+            deadline: self.deadline,
         })
     }
 }
@@ -484,6 +525,57 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(urgent.priority, 200);
+    }
+
+    #[test]
+    fn retry_and_deadline_ride_through_the_builder() {
+        use qrio_cluster::{BackoffPolicy, RetryOn};
+        let bv = library::bernstein_vazirani(3, 0b101).unwrap();
+        let plain = JobRequestBuilder::new()
+            .with_circuit(&bv)
+            .job_name("plain")
+            .fidelity_target(0.9)
+            .build()
+            .unwrap();
+        assert_eq!(plain.retry, None);
+        assert_eq!(plain.deadline, None);
+
+        let tenacious = JobRequestBuilder::new()
+            .with_circuit(&bv)
+            .job_name("tenacious")
+            .fidelity_target(0.9)
+            .retry_policy(RetryPolicy::exponential(4, 2, 16))
+            .deadline(100)
+            .build()
+            .unwrap();
+        let policy = tenacious.retry.unwrap();
+        assert_eq!(policy.max_attempts, 4);
+        assert!(matches!(
+            policy.backoff,
+            BackoffPolicy::Exponential {
+                base: 2,
+                max: 16,
+                ..
+            }
+        ));
+        assert_eq!(policy.retry_on, RetryOn::all());
+        assert_eq!(tenacious.deadline, Some(100));
+
+        // Degenerate policies are rejected at the form.
+        assert!(JobRequestBuilder::new()
+            .with_circuit(&bv)
+            .job_name("zero-attempts")
+            .fidelity_target(0.9)
+            .retry_policy(RetryPolicy::fixed(0, 1))
+            .build()
+            .is_err());
+        assert!(JobRequestBuilder::new()
+            .with_circuit(&bv)
+            .job_name("zero-deadline")
+            .fidelity_target(0.9)
+            .deadline(0)
+            .build()
+            .is_err());
     }
 
     #[test]

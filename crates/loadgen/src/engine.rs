@@ -35,15 +35,20 @@
 //! queue (the in-flight job finishes its window).
 
 use std::cmp::Ordering;
-use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
 
-use qrio::{DeviceTelemetry, FidelityRankingConfig, JobId, JobRequestBuilder, Qrio};
+use qrio::{
+    BreakerConfig, BreakerState, DeviceTelemetry, FidelityRankingConfig, JobId, JobRequestBuilder,
+    JobState, Qrio,
+};
 use qrio_backend::Backend;
-use qrio_cluster::Resources;
+use qrio_cluster::{FaultInjector, Resources, RetryPolicy};
 
 use crate::arrival::ArrivalSampler;
 use crate::error::LoadgenError;
-use crate::metrics::{fidelity_vs_load, tenant_stats, CloudReport, DeviceStats, JobSample};
+use crate::metrics::{
+    fidelity_vs_load, tenant_stats, ChaosStats, CloudReport, DeviceStats, JobSample,
+};
 use crate::scenario::{Scenario, ScenarioEvent};
 
 /// Classical resources requested per simulated job (tiny, so queue depth —
@@ -73,8 +78,10 @@ fn fnv(text: &str) -> u64 {
 enum EventKind {
     /// The next arrival of one tenant's stream.
     Arrival { tenant: usize },
-    /// The in-flight job of `device` finishes.
-    Completion { device: String },
+    /// `job`, in flight on `device`, finishes its service window. Stale once
+    /// the job was interrupted by an outage — `job` no longer matches the
+    /// device's `busy_with`, and the event is ignored.
+    Completion { device: String, job: String },
     /// A calibration-drift event (`index` into `Scenario::events`, so the
     /// exact `f64` factor is read back without quantization).
     Drift { index: usize },
@@ -82,6 +89,13 @@ enum EventKind {
     OutageStart { device: String, down_ms: u64 },
     /// An outage ends.
     OutageEnd { device: String },
+    /// A `faults` timeline event reconfigures the fault injector (`index`
+    /// into `Scenario::events`, so rates are read back exactly).
+    FaultRates { index: usize },
+    /// `job`'s backoff elapsed: kick the retry and re-bind it.
+    Retry { job: String },
+    /// A tripped breaker's open window elapsed: probe `device`.
+    Probe { device: String },
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -131,9 +145,13 @@ struct DeviceSim {
 #[derive(Debug, Clone)]
 struct JobTrack {
     tenant: String,
+    /// Index into `Scenario::tenants`, for the retry/deadline spec.
+    tenant_idx: usize,
     arrival_ms: u64,
     queue_depth_at_bind: usize,
     migrated: bool,
+    /// Failed execution attempts so far (drives the backoff schedule).
+    attempts: u32,
 }
 
 /// Run `scenario` to completion and produce its [`CloudReport`].
@@ -190,6 +208,10 @@ struct Engine<'s> {
     migrations: u64,
     drift_events: u64,
     outage_events: u64,
+    chaos: ChaosStats,
+    /// Devices with a breaker probe already on the heap (dedupes probes
+    /// across the failures that accumulate while a breaker is open).
+    probe_pending: BTreeSet<String>,
 }
 
 impl<'s> Engine<'s> {
@@ -222,6 +244,19 @@ impl<'s> Engine<'s> {
             .iter()
             .map(|t| ArrivalSampler::new(t.arrival, scenario.seed ^ fnv(&t.name)))
             .collect();
+        if let Some(breakers) = &scenario.breakers {
+            qrio.configure_breakers(Some(BreakerConfig {
+                consecutive_failures: breakers.consecutive_failures,
+                failure_rate: breakers.failure_rate,
+                window: breakers.window,
+                // The orchestrator's tick clock never advances here — the
+                // engine paces probes itself, in virtual ms, via
+                // `Qrio::probe_device`.
+                open_ticks: breakers.open_ms,
+                probe_jobs: breakers.probe_jobs,
+            }))
+            .map_err(|e| LoadgenError::Engine(format!("cannot configure breakers: {e}")))?;
+        }
         Ok(Engine {
             scenario,
             qrio,
@@ -243,6 +278,8 @@ impl<'s> Engine<'s> {
             migrations: 0,
             drift_events: 0,
             outage_events: 0,
+            chaos: ChaosStats::default(),
+            probe_pending: BTreeSet::new(),
         })
     }
 
@@ -272,6 +309,9 @@ impl<'s> Engine<'s> {
                     device,
                     down_ms,
                 } => self.push_event(at_ms, EventKind::OutageStart { device, down_ms }),
+                ScenarioEvent::Faults { at_ms, .. } => {
+                    self.push_event(at_ms, EventKind::FaultRates { index })
+                }
             }
         }
 
@@ -280,7 +320,7 @@ impl<'s> Engine<'s> {
             self.makespan = self.makespan.max(event.time);
             match event.kind {
                 EventKind::Arrival { tenant } => self.on_arrival(tenant)?,
-                EventKind::Completion { device } => self.on_completion(&device)?,
+                EventKind::Completion { device, job } => self.on_completion(&device, &job)?,
                 EventKind::Drift { index } => {
                     let ScenarioEvent::Drift {
                         device,
@@ -296,6 +336,21 @@ impl<'s> Engine<'s> {
                     self.on_outage_start(&device, down_ms)
                 }
                 EventKind::OutageEnd { device } => self.on_outage_end(&device),
+                EventKind::FaultRates { index } => {
+                    let ScenarioEvent::Faults {
+                        transient_rate,
+                        calibration_rate,
+                        slow_rate,
+                        flap_rate,
+                        ..
+                    } = &scenario.events[index]
+                    else {
+                        unreachable!("fault-rate events index only Faults entries");
+                    };
+                    self.on_fault_rates(*transient_rate, *calibration_rate, *slow_rate, *flap_rate);
+                }
+                EventKind::Retry { job } => self.on_retry(&job),
+                EventKind::Probe { device } => self.on_probe(&device),
             }
         }
 
@@ -331,13 +386,22 @@ impl<'s> Engine<'s> {
         let circuit = tenant.circuit_for(index)?;
         let strategy = tenant.strategy.strategy_spec();
 
-        let request = JobRequestBuilder::new()
+        let mut builder = JobRequestBuilder::new()
             .with_circuit(&circuit)
             .job_name(&job_name)
             .image_name(format!("qrio/{}:{index}", tenant.name))
             .strategy(strategy.clone())
             .shots(tenant.shots)
-            .resources(JOB_RESOURCES.0, JOB_RESOURCES.1)
+            .resources(JOB_RESOURCES.0, JOB_RESOURCES.1);
+        if let Some(retry) = &tenant.retry {
+            // The orchestrator only needs to know *how many* attempts are
+            // allowed (so failures land in `Retrying`, not `Failed`); the
+            // engine paces the backoff itself, in virtual ms, via `Retry`
+            // events — the orchestrator's tick-based delay never elapses
+            // because the engine never ticks.
+            builder = builder.retry_policy(RetryPolicy::fixed(retry.max_attempts, 1));
+        }
+        let request = builder
             .build()
             .map_err(|e| LoadgenError::Engine(format!("cannot build request: {e}")))?;
 
@@ -385,9 +449,11 @@ impl<'s> Engine<'s> {
             job_name.clone(),
             JobTrack {
                 tenant: tenant.name.clone(),
+                tenant_idx,
                 arrival_ms: self.now,
                 queue_depth_at_bind: depth,
                 migrated: false,
+                attempts: 0,
             },
         );
         self.enqueue(&device, job_name);
@@ -431,36 +497,44 @@ impl<'s> Engine<'s> {
         // Busy time is charged as it elapses (at completion, and pro rata in
         // telemetry), not up front.
         let finish = self.now + service_ms;
+        let job = self
+            .devices
+            .get(device)
+            .and_then(|sim| sim.busy_with.clone())
+            .expect("start_next just set busy_with");
         self.push_event(
             finish,
             EventKind::Completion {
                 device: device.to_string(),
+                job,
             },
         );
     }
 
     // --- Completions ---------------------------------------------------------------------
 
-    fn on_completion(&mut self, device: &str) -> Result<(), LoadgenError> {
-        let job_name = {
+    fn on_completion(&mut self, device: &str, job: &str) -> Result<(), LoadgenError> {
+        {
             let sim = self.devices.get_mut(device).expect("device exists");
-            sim.busy_with
-                .take()
-                .expect("completion events fire only for busy devices")
-        };
+            // Stale event: the job was interrupted (outage) before its window
+            // elapsed, so the device is busy with something else (or idle).
+            if sim.busy_with.as_deref() != Some(job) {
+                return Ok(());
+            }
+            sim.busy_with = None;
+        }
+        let job_name = job.to_string();
         // Execute the container on the node: transpile + simulate under the
-        // device's *current* (possibly drifted) noise model.
+        // device's *current* (possibly drifted) noise model. The fault
+        // injector (if configured) is consulted inside this call.
         let run = self.qrio.execute(&JobId::new(&job_name));
-        let fidelity = match run {
+        let fidelity = match &run {
             Ok(()) => self
                 .qrio
                 .cluster()
                 .job(&job_name)
                 .and_then(|j| j.achieved_fidelity()),
-            Err(_) => {
-                self.execution_failures += 1;
-                None
-            }
+            Err(_) => None,
         };
         let track = self
             .jobs
@@ -475,25 +549,187 @@ impl<'s> Engine<'s> {
             let sim = self.devices.get_mut(device).expect("device exists");
             sim.busy_ms += self.now - start_ms;
         }
-        if run.is_ok() {
-            let sim = self.devices.get_mut(device).expect("device exists");
-            sim.completed += 1;
-            self.samples.push(JobSample {
-                tenant: track.tenant,
-                device: device.to_string(),
-                arrival_ms: track.arrival_ms,
-                start_ms,
-                completion_ms: self.now,
-                queue_depth_at_bind: track.queue_depth_at_bind,
-                fidelity,
-                migrated: track.migrated,
-            });
+        match run {
+            Ok(()) => {
+                let sim = self.devices.get_mut(device).expect("device exists");
+                sim.completed += 1;
+                self.samples.push(JobSample {
+                    tenant: track.tenant,
+                    device: device.to_string(),
+                    arrival_ms: track.arrival_ms,
+                    start_ms,
+                    completion_ms: self.now,
+                    queue_depth_at_bind: track.queue_depth_at_bind,
+                    fidelity,
+                    migrated: track.migrated,
+                });
+            }
+            Err(error) => self.handle_failed_attempt(&job_name, &error.to_string()),
         }
+        self.note_breaker_state(device);
         let sim = self.devices.get_mut(device).expect("device exists");
-        if !sim.cordoned && !sim.queue.is_empty() {
+        if !sim.cordoned && sim.busy_with.is_none() && !sim.queue.is_empty() {
             self.start_next(device);
         }
         Ok(())
+    }
+
+    // --- Fault handling ------------------------------------------------------------------
+
+    /// Account for one failed execution attempt of `job_name`. When the
+    /// orchestrator parked the job in `Retrying`, schedule the engine-paced
+    /// retry (or cancel it when the backoff would blow the tenant deadline);
+    /// otherwise the failure is terminal.
+    fn handle_failed_attempt(&mut self, job_name: &str, error_text: &str) {
+        if error_text.contains("injected fault") {
+            if error_text.contains("transient") {
+                self.chaos.injected_transient += 1;
+            } else if error_text.contains("calibration") {
+                self.chaos.injected_calibration += 1;
+            } else if error_text.contains("hung") {
+                self.chaos.injected_slow += 1;
+            } else if error_text.contains("flapped") {
+                self.chaos.injected_flap += 1;
+            }
+        }
+        let job_id = JobId::new(job_name);
+        let retrying = self
+            .qrio
+            .job_status(&job_id)
+            .map(|status| status.state == JobState::Retrying)
+            .unwrap_or(false);
+        if !retrying {
+            self.execution_failures += 1;
+            return;
+        }
+        let (attempts, tenant_idx) = {
+            let track = self
+                .jobs
+                .get_mut(job_name)
+                .expect("failed jobs were tracked at bind time");
+            track.attempts += 1;
+            (track.attempts, track.tenant_idx)
+        };
+        let tenant = &self.scenario.tenants[tenant_idx];
+        let backoff = tenant
+            .retry
+            .as_ref()
+            .expect("jobs only enter Retrying when the tenant set a retry policy")
+            .backoff_ms(attempts)
+            .max(1);
+        let arrival = self.jobs[job_name].arrival_ms;
+        let misses_deadline = tenant
+            .deadline_ms
+            .is_some_and(|deadline| self.now + backoff > arrival.saturating_add(deadline));
+        if misses_deadline {
+            // Retrying would land past the tenant's deadline: give up now
+            // rather than burn a doomed attempt.
+            let _ = self.qrio.cancel(&job_id);
+            self.chaos.deadline_cancelled += 1;
+            return;
+        }
+        self.push_event(
+            self.now + backoff,
+            EventKind::Retry {
+                job: job_name.to_string(),
+            },
+        );
+    }
+
+    /// A retry backoff elapsed: move the job back to `Queued` and re-run the
+    /// scheduling cycle (the original device may be cordoned by now).
+    fn on_retry(&mut self, job: &str) {
+        let job_id = JobId::new(job);
+        if self.qrio.kick_retry(&job_id).is_err() {
+            // Cancelled (deadline) or otherwise settled in the meantime.
+            return;
+        }
+        self.chaos.retries += 1;
+        let reports = self.telemetry_snapshot();
+        self.qrio.report_telemetry(reports);
+        match self.qrio.schedule(&job_id) {
+            Ok(decision) => {
+                let device = decision.node;
+                let depth = {
+                    let sim = self
+                        .devices
+                        .get(&device)
+                        .expect("scheduler only binds to registered devices");
+                    sim.queue.len() + usize::from(sim.busy_with.is_some())
+                };
+                if let Some(track) = self.jobs.get_mut(job) {
+                    track.queue_depth_at_bind = depth;
+                }
+                self.enqueue(&device, job.to_string());
+            }
+            // `schedule` settles unschedulable jobs as `Failed` (terminal).
+            Err(_) => self.execution_failures += 1,
+        }
+    }
+
+    /// A `faults` timeline event: swap the cluster's fault injector for one
+    /// with the new rates (or remove it entirely when all rates are zero).
+    fn on_fault_rates(&mut self, transient: f64, calibration: f64, slow: f64, flap: f64) {
+        let injector = if transient + calibration + slow + flap == 0.0 {
+            None
+        } else {
+            Some(FaultInjector {
+                transient_rate: transient,
+                calibration_rate: calibration,
+                slow_rate: slow,
+                flap_rate: flap,
+                ..FaultInjector::new(self.scenario.fault_seed)
+            })
+        };
+        self.qrio
+            .configure_faults(injector)
+            .expect("fault injector reconfiguration is infallible on a live cluster");
+    }
+
+    /// A breaker's open window elapsed: probe the device. A successful probe
+    /// transition (open → half-open) lifts the engine-side pause so queued
+    /// work flows again while the breaker counts its probe jobs.
+    fn on_probe(&mut self, device: &str) {
+        self.probe_pending.remove(device);
+        self.chaos.breaker_probes += 1;
+        if self.qrio.probe_device(device).unwrap_or(false) {
+            if let Some(sim) = self.devices.get_mut(device) {
+                sim.cordoned = false;
+                if sim.busy_with.is_none() && !sim.queue.is_empty() {
+                    self.start_next(device);
+                }
+            }
+        }
+    }
+
+    /// After an execution outcome, mirror the breaker's verdict into the
+    /// engine's virtual queues: an `Open` breaker pauses the device (its
+    /// waiting queue flees to the healthy fleet) and schedules exactly one
+    /// probe for when the open window elapses.
+    fn note_breaker_state(&mut self, device: &str) {
+        let open = matches!(
+            self.qrio.breakers().map(|board| board.state(device)),
+            Some(BreakerState::Open { .. })
+        );
+        if !open || self.probe_pending.contains(device) {
+            return;
+        }
+        let open_ms = self
+            .scenario
+            .breakers
+            .as_ref()
+            .map_or(1, |b| b.open_ms.max(1));
+        self.probe_pending.insert(device.to_string());
+        self.push_event(
+            self.now + open_ms,
+            EventKind::Probe {
+                device: device.to_string(),
+            },
+        );
+        if let Some(sim) = self.devices.get_mut(device) {
+            sim.cordoned = true;
+        }
+        self.rerank_waiting(Some(device));
     }
 
     // --- Telemetry -----------------------------------------------------------------------
@@ -525,6 +761,7 @@ impl<'s> Engine<'s> {
                     DeviceTelemetry {
                         queue_depth,
                         utilization,
+                        health_penalty: 0.0,
                     },
                 )
             })
@@ -553,6 +790,29 @@ impl<'s> Engine<'s> {
 
     fn on_outage_start(&mut self, device: &str, down_ms: u64) {
         self.outage_events += 1;
+        // A device dying mid-shot kills the in-flight job's attempt: surface
+        // it through the orchestrator as an injected device-flap fault (it
+        // may retry, per its policy) instead of letting its completion event
+        // silently succeed later. Interrupt *before* cordoning so the
+        // outage-end uncordon restores the node cleanly.
+        let in_flight = self
+            .devices
+            .get_mut(device)
+            .and_then(|sim| sim.busy_with.take());
+        if let Some(job_name) = in_flight {
+            let start_ms = self
+                .start_times
+                .remove(&job_name)
+                .expect("started jobs have a start time");
+            let sim = self.devices.get_mut(device).expect("device exists");
+            sim.busy_ms += self.now - start_ms;
+            self.chaos.interrupted += 1;
+            let error = self
+                .qrio
+                .interrupt(&JobId::new(&job_name))
+                .expect_err("interrupting a scheduled job always fails the attempt");
+            self.handle_failed_attempt(&job_name, &error.to_string());
+        }
         if let Some(node) = self.qrio.cluster_mut().node_mut(device) {
             node.cordon();
         }
@@ -681,7 +941,21 @@ impl<'s> Engine<'s> {
             })
             .collect();
         let cache = self.qrio.meta().cache_stats();
+        let chaos = if self.scenario.has_chaos() {
+            let mut chaos = self.chaos.clone();
+            chaos.dead_lettered = self.qrio.dead_letters().len() as u64;
+            chaos.breaker_trips = self.qrio.breakers().map_or(0, |board| board.total_trips());
+            chaos.goodput_per_sec = if makespan == 0 {
+                0.0
+            } else {
+                self.samples.len() as f64 / (makespan as f64 / 1000.0)
+            };
+            Some(chaos)
+        } else {
+            None
+        };
         CloudReport {
+            benchmark: "bench_cloud".to_string(),
             scenario: self.scenario.name.clone(),
             seed: self.scenario.seed,
             duration_ms: self.scenario.duration_ms,
@@ -699,6 +973,7 @@ impl<'s> Engine<'s> {
             cache_hits: cache.hits,
             cache_misses: cache.misses,
             cache_hit_rate: cache.hit_rate(),
+            chaos,
         }
     }
 }
@@ -736,7 +1011,10 @@ mod tests {
     #[test]
     fn events_pop_in_time_then_sequence_order() {
         let mut heap = BinaryHeap::new();
-        let kind = |d: &str| EventKind::Completion { device: d.into() };
+        let kind = |d: &str| EventKind::Completion {
+            device: d.into(),
+            job: "j".into(),
+        };
         heap.push(Event {
             time: 5,
             seq: 1,
@@ -773,5 +1051,90 @@ mod tests {
         let fried = drift_backend(&backend, 1e6).unwrap();
         assert!(fried.avg_two_qubit_error() <= 0.9);
         assert!(fried.avg_readout_error() <= 0.5);
+    }
+
+    #[test]
+    fn outage_interrupts_in_flight_job_instead_of_completing_it() {
+        // One device, one job whose 600 ms service window straddles an
+        // outage at 100 ms. Without the interrupt path the stale completion
+        // event at 600 ms would silently mark the job successful.
+        let scenario = Scenario::from_yaml(
+            "scenario: interrupt\n\
+             seed: 5\n\
+             durationMs: 1000\n\
+             maxJobs: 1\n\
+             serviceBaseUs: 600000\n\
+             fleet:\n\
+               - device: solo\n\
+                 qubits: 6\n\
+             tenants:\n\
+               - tenant: alice\n\
+                 strategy: min_queue\n\
+                 circuit: ghz\n\
+                 qubits: 4\n\
+                 shots: 16\n\
+                 ratePerSec: 1000.0\n\
+             events:\n\
+               - kind: outage\n\
+                 atMs: 100\n\
+                 device: solo\n\
+                 downMs: 100\n",
+        )
+        .unwrap();
+        let (report, log) = run_scenario_with_log(&scenario).unwrap();
+        assert_eq!(report.submitted, 1);
+        assert_eq!(report.completed, 0, "interrupted job must not complete");
+        assert_eq!(report.execution_failures, 1);
+        // No retry policy: the interrupt surfaces as a terminal failure whose
+        // reason names the injected device flap.
+        let failed_reason = log
+            .iter()
+            .find(|e| e.to == qrio::JobState::Failed)
+            .and_then(|e| e.reason.clone())
+            .expect("interrupted job emits a Failed event with a reason");
+        assert!(
+            failed_reason.contains("flapped"),
+            "reason should name the flap fault, got: {failed_reason}"
+        );
+    }
+
+    #[test]
+    fn chaos_scenario_retries_through_faults_and_reports_deterministically() {
+        // 100% transient faults until 300 ms, then a clean window: every job
+        // needs at least one retry, yet all of them eventually complete.
+        let yaml = "scenario: chaos-smoke\n\
+             seed: 11\n\
+             durationMs: 400\n\
+             maxJobs: 3\n\
+             serviceBaseUs: 50000\n\
+             fleet:\n\
+               - device: solo\n\
+                 qubits: 6\n\
+             tenants:\n\
+               - tenant: alice\n\
+                 strategy: min_queue\n\
+                 circuit: ghz\n\
+                 qubits: 4\n\
+                 shots: 16\n\
+                 ratePerSec: 50.0\n\
+                 retryMaxAttempts: 10\n\
+                 retryDelayMs: 20\n\
+             events:\n\
+               - kind: faults\n\
+                 atMs: 0\n\
+                 transientRate: 1.0\n\
+               - kind: faults\n\
+                 atMs: 300\n";
+        let scenario = Scenario::from_yaml(yaml).unwrap();
+        let report = run_scenario(&scenario).unwrap();
+        assert_eq!(report.completed, report.submitted);
+        assert_eq!(report.execution_failures, 0);
+        let chaos = report.chaos.as_ref().expect("retry tenants imply chaos");
+        assert!(chaos.retries > 0, "100% fault rate must force retries");
+        assert!(chaos.injected_transient > 0);
+        assert_eq!(chaos.dead_lettered, 0);
+        // Byte-determinism: the whole chaos pipeline is seed-pure.
+        let again = run_scenario(&scenario).unwrap();
+        assert_eq!(report.to_json(), again.to_json());
     }
 }

@@ -25,11 +25,12 @@ use std::fmt;
 use std::path::Path;
 
 use qrio::{
-    DurabilityConfig, FidelityRankingConfig, JobEvent, JobId, JobRequest, JobRequestBuilder,
-    JobState, Qrio, RecoveryReport,
+    BreakerConfig, DurabilityConfig, FidelityRankingConfig, JobEvent, JobId, JobRequest,
+    JobRequestBuilder, JobState, Qrio, RecoveryReport,
 };
 use qrio_backend::{topology, Backend};
 use qrio_circuit::library;
+use qrio_cluster::{FaultInjector, RetryPolicy};
 
 use crate::error::LoadgenError;
 
@@ -56,6 +57,16 @@ pub struct KillRestartScenario {
     pub snapshot_every: u64,
     /// Shots per job.
     pub shots: u64,
+    /// Injected fault rate in per-mille (0 disables), split between
+    /// transient faults and device flaps so the storm also exercises the
+    /// breakers. Integer so the scenario stays `Eq`/hashable.
+    pub fault_permille: u32,
+    /// Attempts allowed per storm job (0 = no retry policy).
+    pub retry_max_attempts: u32,
+    /// Fixed backoff between attempts, in service-loop ticks.
+    pub retry_backoff_ticks: u64,
+    /// Arm per-device circuit breakers (default thresholds) for the run.
+    pub breakers: bool,
 }
 
 impl Default for KillRestartScenario {
@@ -69,6 +80,10 @@ impl Default for KillRestartScenario {
             tick_every: 4,
             snapshot_every: 16,
             shots: 32,
+            fault_permille: 0,
+            retry_max_attempts: 0,
+            retry_backoff_ticks: 2,
+            breakers: false,
         }
     }
 }
@@ -91,9 +106,16 @@ pub struct KillRestartReport {
     /// Acknowledged pre-crash jobs missing from the recovered store. A
     /// durable store must report zero.
     pub jobs_lost: u64,
-    /// Jobs that entered `Running` more than once across the spliced watch
-    /// log. A durable store must report zero.
+    /// Jobs that re-entered `Running` without an intervening `Retrying`
+    /// decision across the spliced watch log — i.e. genuinely executed
+    /// twice. A durable store must report zero.
     pub double_executed: u64,
+    /// Jobs that took at least one retry (count of distinct jobs with a
+    /// `Retrying` event in the spliced log).
+    pub retried_jobs: u64,
+    /// Jobs that exhausted their retry policy (the dead-letter queue of the
+    /// recovered instance after the final drain).
+    pub dead_letters: u64,
     /// Terminal tallies over the full run: `(succeeded, failed, cancelled)`.
     pub terminal: (u64, u64, u64),
     /// Jobs not terminal after the final drain (must be zero).
@@ -122,6 +144,8 @@ impl fmt::Display for KillRestartReport {
         }
         writeln!(f, "  jobs_lost          = {}", self.jobs_lost)?;
         writeln!(f, "  double_executed    = {}", self.double_executed)?;
+        writeln!(f, "  retried_jobs       = {}", self.retried_jobs)?;
+        writeln!(f, "  dead_letters       = {}", self.dead_letters)?;
         writeln!(
             f,
             "  terminal           = {} succeeded / {} failed / {} cancelled",
@@ -143,13 +167,15 @@ impl fmt::Display for KillRestartReport {
 struct Storm {
     state: u64,
     shots: u64,
+    retry: Option<RetryPolicy>,
 }
 
 impl Storm {
-    fn new(seed: u64, shots: u64) -> Self {
+    fn new(seed: u64, shots: u64, retry: Option<RetryPolicy>) -> Self {
         Storm {
             state: seed ^ 0x9E37_79B9_7F4A_7C15,
             shots,
+            retry,
         }
     }
 
@@ -171,12 +197,15 @@ impl Storm {
             _ => library::qft(3 + (self.next() % 2) as usize),
         }
         .map_err(|e| LoadgenError::Engine(format!("cannot build storm circuit: {e}")))?;
-        let builder = JobRequestBuilder::new()
+        let mut builder = JobRequestBuilder::new()
             .with_circuit(&circuit)
             .job_name(format!("storm-{index}"))
             .image_name(format!("qrio/storm:{index}"))
             .priority((self.next() % 3) as u8)
             .shots(self.shots);
+        if let Some(policy) = &self.retry {
+            builder = builder.retry_policy(*policy);
+        }
         let builder = if self.next() % 2 == 0 {
             builder.fidelity_target(0.75)
         } else {
@@ -228,6 +257,11 @@ fn storm_step(
     }
     if scenario.tick_every > 0 && (index + 1) % scenario.tick_every == 0 {
         qrio.tick();
+        // The self-healing sweep real deployments run: flapped (`NotReady`)
+        // nodes restart; breaker-cordoned nodes stay down until their
+        // probation passes. Journaled, so recovery replays the same sweep.
+        qrio.heal_devices()
+            .map_err(|e| LoadgenError::Engine(format!("heal sweep failed: {e}")))?;
     }
     Ok(id)
 }
@@ -258,7 +292,13 @@ pub fn run_kill_restart_with_log(
     journal_path: &Path,
 ) -> Result<(KillRestartReport, Vec<JobEvent>), LoadgenError> {
     let crash_after = scenario.crash_after_jobs.min(scenario.jobs);
-    let mut storm = Storm::new(scenario.seed, scenario.shots.max(1));
+    let retry = (scenario.retry_max_attempts > 0).then(|| {
+        RetryPolicy::fixed(
+            scenario.retry_max_attempts,
+            scenario.retry_backoff_ticks.max(1),
+        )
+    });
+    let mut storm = Storm::new(scenario.seed, scenario.shots.max(1), retry);
     let mut cancelled_requests = 0u64;
     let mut acknowledged: Vec<JobId> = Vec::new();
 
@@ -276,10 +316,26 @@ pub fn run_kill_restart_with_log(
             journal_path,
             DurabilityConfig {
                 snapshot_every: scenario.snapshot_every,
+                ..DurabilityConfig::default()
             },
         )
         .map_err(|e| LoadgenError::Engine(format!("cannot enable durability: {e}")))?;
         storm_fleet(scenario, &mut qrio)?;
+        // Chaos knobs, both journaled: recovery replays the same injector
+        // (same seed, same decisions) and the same breaker thresholds.
+        if scenario.fault_permille > 0 {
+            let rate = f64::from(scenario.fault_permille.min(1000)) / 1000.0;
+            qrio.configure_faults(Some(FaultInjector {
+                transient_rate: rate / 2.0,
+                flap_rate: rate / 2.0,
+                ..FaultInjector::new(scenario.seed ^ 0xFA_17)
+            }))
+            .map_err(|e| LoadgenError::Engine(format!("cannot configure faults: {e}")))?;
+        }
+        if scenario.breakers {
+            qrio.configure_breakers(Some(BreakerConfig::default()))
+                .map_err(|e| LoadgenError::Engine(format!("cannot configure breakers: {e}")))?;
+        }
         for index in 0..crash_after {
             let id = storm_step(
                 &mut qrio,
@@ -327,13 +383,32 @@ pub fn run_kill_restart_with_log(
 
     // --- Verification over the spliced log ----------------------------------
     let log = qrio.watch(0).to_vec();
-    let mut running_counts = std::collections::BTreeMap::new();
+    // Retry-aware double-execution check: every Running entry must be paid
+    // for — the first by admission, later ones by an intervening Retrying
+    // decision. A silent re-run (the actual double-execution bug) has no
+    // Retrying event between its Running entries.
+    let mut may_run: std::collections::BTreeMap<&str, bool> = std::collections::BTreeMap::new();
+    let mut violators: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+    let mut retried: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
     for event in &log {
-        if event.to == JobState::Running {
-            *running_counts.entry(event.job.as_str()).or_insert(0u64) += 1;
+        match event.to {
+            JobState::Running => {
+                let allowed = may_run.entry(event.job.as_str()).or_insert(true);
+                if !*allowed {
+                    violators.insert(event.job.as_str());
+                }
+                *allowed = false;
+            }
+            JobState::Retrying => {
+                may_run.insert(event.job.as_str(), true);
+                retried.insert(event.job.as_str());
+            }
+            _ => {}
         }
     }
-    let double_executed = running_counts.values().filter(|&&n| n > 1).count() as u64;
+    let double_executed = violators.len() as u64;
+    let retried_jobs = retried.len() as u64;
+    let dead_letters = qrio.dead_letters().len() as u64;
 
     let mut terminal = (0u64, 0u64, 0u64);
     let mut unfinished = 0u64;
@@ -356,6 +431,8 @@ pub fn run_kill_restart_with_log(
         recovery,
         jobs_lost,
         double_executed,
+        retried_jobs,
+        dead_letters,
         terminal,
         unfinished,
         events_total: log.len() as u64,
@@ -400,6 +477,39 @@ mod tests {
         let b = run_kill_restart(&scenario, &scratch("det-b")).unwrap();
         assert_eq!(a, b);
         assert_eq!(a.to_string(), b.to_string());
+    }
+
+    #[test]
+    fn chaotic_storm_with_retries_and_breakers_holds_the_contract() {
+        // A third of attempts hit injected faults (transient + flap), every
+        // job may retry, breakers are armed — and the crash still lands over
+        // a mix of states including jobs parked mid-backoff in `Retrying`.
+        let scenario = KillRestartScenario {
+            name: "kill-restart-chaos".into(),
+            seed: 21,
+            jobs: 60,
+            crash_after_jobs: 35,
+            fault_permille: 330,
+            retry_max_attempts: 4,
+            retry_backoff_ticks: 3,
+            breakers: true,
+            ..KillRestartScenario::default()
+        };
+        let (report, log) = run_kill_restart_with_log(&scenario, &scratch("chaos")).unwrap();
+        assert!(report.holds(), "contract violated:\n{report}");
+        assert!(
+            report.retried_jobs > 0,
+            "a 33% fault rate must force retries:\n{report}"
+        );
+        assert!(
+            log.iter().any(|e| e.to == JobState::Retrying),
+            "spliced log should show Retrying transitions"
+        );
+        // Recovery replays the same injector decisions and retry schedule:
+        // the whole run is still byte-deterministic.
+        let again = run_kill_restart(&scenario, &scratch("chaos-b")).unwrap();
+        assert_eq!(report, again);
+        assert_eq!(report.to_string(), again.to_string());
     }
 
     #[test]

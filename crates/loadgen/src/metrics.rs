@@ -107,10 +107,43 @@ pub struct LoadBucket {
 /// Queue depths at or above this value pool into one bucket.
 pub const POOLED_DEPTH: usize = 5;
 
+/// Fault-tolerance statistics of one chaos run. Only present (and only
+/// rendered into the JSON report) when the scenario actually exercises the
+/// fault machinery — chaos-free reports keep their exact previous shape.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ChaosStats {
+    /// Injected transient execution errors.
+    pub injected_transient: u64,
+    /// Injected calibration glitches.
+    pub injected_calibration: u64,
+    /// Injected hung/slow jobs.
+    pub injected_slow: u64,
+    /// Injected device flaps (fault injector and outage interrupts).
+    pub injected_flap: u64,
+    /// Retry attempts actually re-submitted after backoff.
+    pub retries: u64,
+    /// Jobs interrupted mid-execution by a device outage.
+    pub interrupted: u64,
+    /// Retries cancelled because their backoff would blow the deadline.
+    pub deadline_cancelled: u64,
+    /// Jobs that exhausted their retry budget and were dead-lettered.
+    pub dead_lettered: u64,
+    /// Circuit-breaker trips across the fleet.
+    pub breaker_trips: u64,
+    /// Circuit-breaker probes issued after open windows elapsed.
+    pub breaker_probes: u64,
+    /// Successfully completed jobs per virtual second of makespan — the
+    /// goodput that survives the configured fault schedule.
+    pub goodput_per_sec: f64,
+}
+
 /// The full report of one scenario run — everything `BENCH_cloud.json`
 /// serializes.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CloudReport {
+    /// Benchmark name rendered into the report (`bench_cloud`,
+    /// `bench_chaos`).
+    pub benchmark: String,
     /// Scenario name.
     pub scenario: String,
     /// Master seed of the run.
@@ -146,6 +179,9 @@ pub struct CloudReport {
     pub cache_misses: u64,
     /// Strategy-cache hit rate.
     pub cache_hit_rate: f64,
+    /// Fault-tolerance statistics (`None` for chaos-free scenarios, which
+    /// keeps their JSON byte-identical to pre-chaos builds).
+    pub chaos: Option<ChaosStats>,
 }
 
 /// Build per-tenant stats from samples (completed jobs only) plus the
@@ -263,7 +299,11 @@ impl CloudReport {
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
-        let _ = writeln!(out, "  \"benchmark\": \"bench_cloud\",");
+        let _ = writeln!(
+            out,
+            "  \"benchmark\": \"{}\",",
+            escape_json(&self.benchmark)
+        );
         let _ = writeln!(out, "  \"scenario\": \"{}\",", escape_json(&self.scenario));
         let _ = writeln!(out, "  \"seed\": {},", self.seed);
         let _ = writeln!(out, "  \"duration_ms\": {},", self.duration_ms);
@@ -283,6 +323,36 @@ impl CloudReport {
         let _ = writeln!(out, "    \"drift\": {},", self.drift_events);
         let _ = writeln!(out, "    \"outage\": {}", self.outage_events);
         out.push_str("  },\n");
+
+        if let Some(chaos) = &self.chaos {
+            out.push_str("  \"chaos\": {\n");
+            out.push_str("    \"injected\": {\n");
+            let _ = writeln!(out, "      \"transient\": {},", chaos.injected_transient);
+            let _ = writeln!(
+                out,
+                "      \"calibration\": {},",
+                chaos.injected_calibration
+            );
+            let _ = writeln!(out, "      \"slow\": {},", chaos.injected_slow);
+            let _ = writeln!(out, "      \"flap\": {}", chaos.injected_flap);
+            out.push_str("    },\n");
+            let _ = writeln!(out, "    \"retries\": {},", chaos.retries);
+            let _ = writeln!(out, "    \"interrupted\": {},", chaos.interrupted);
+            let _ = writeln!(
+                out,
+                "    \"deadline_cancelled\": {},",
+                chaos.deadline_cancelled
+            );
+            let _ = writeln!(out, "    \"dead_lettered\": {},", chaos.dead_lettered);
+            let _ = writeln!(out, "    \"breaker_trips\": {},", chaos.breaker_trips);
+            let _ = writeln!(out, "    \"breaker_probes\": {},", chaos.breaker_probes);
+            let _ = writeln!(
+                out,
+                "    \"goodput_per_sec\": {}",
+                f6(chaos.goodput_per_sec)
+            );
+            out.push_str("  },\n");
+        }
 
         out.push_str("  \"tenants\": {\n");
         let last = self.tenants.len();
@@ -436,6 +506,7 @@ mod tests {
         let mut submitted = BTreeMap::new();
         submitted.insert("ten\"ant".to_string(), 1u64);
         let report = CloudReport {
+            benchmark: "bench_cloud".into(),
             scenario: "sce\"nario".into(),
             seed: 1,
             duration_ms: 10,
@@ -453,6 +524,7 @@ mod tests {
             cache_hits: 0,
             cache_misses: 0,
             cache_hit_rate: 0.0,
+            chaos: None,
         };
         let json = report.to_json();
         assert!(json.contains("\"sce\\\"nario\""));
@@ -466,6 +538,7 @@ mod tests {
         let mut submitted = BTreeMap::new();
         submitted.insert("a".to_string(), 1u64);
         let report = CloudReport {
+            benchmark: "bench_cloud".into(),
             scenario: "unit".into(),
             seed: 1,
             duration_ms: 100,
@@ -491,6 +564,7 @@ mod tests {
             cache_hits: 2,
             cache_misses: 4,
             cache_hit_rate: 2.0 / 6.0,
+            chaos: None,
         };
         let a = report.to_json();
         let b = report.clone().to_json();
@@ -498,8 +572,57 @@ mod tests {
         assert!(a.contains("\"benchmark\": \"bench_cloud\""));
         assert!(a.contains("\"p95_latency_ms\": 10,"));
         assert!(a.contains("\"hit_rate\": 0.333333"));
+        // Chaos-free reports carry no chaos block at all.
+        assert!(!a.contains("\"chaos\""));
         // Balanced braces/brackets as a cheap well-formedness check.
         assert_eq!(a.matches('{').count(), a.matches('}').count());
         assert_eq!(a.matches('[').count(), a.matches(']').count());
+    }
+
+    #[test]
+    fn chaos_stats_render_as_their_own_block() {
+        let samples = vec![sample("a", 0, 0, 10, 0)];
+        let mut submitted = BTreeMap::new();
+        submitted.insert("a".to_string(), 1u64);
+        let report = CloudReport {
+            benchmark: "bench_chaos".into(),
+            scenario: "storm".into(),
+            seed: 3,
+            duration_ms: 100,
+            makespan_ms: 120,
+            submitted: 1,
+            completed: 1,
+            rejected: 0,
+            execution_failures: 0,
+            migrations: 0,
+            drift_events: 0,
+            outage_events: 1,
+            tenants: tenant_stats(&samples, &submitted, &BTreeMap::new(), 120),
+            devices: BTreeMap::new(),
+            fidelity_vs_load: fidelity_vs_load(&samples),
+            cache_hits: 0,
+            cache_misses: 1,
+            cache_hit_rate: 0.0,
+            chaos: Some(ChaosStats {
+                injected_transient: 4,
+                injected_flap: 2,
+                retries: 5,
+                interrupted: 2,
+                deadline_cancelled: 1,
+                dead_lettered: 1,
+                breaker_trips: 1,
+                breaker_probes: 1,
+                goodput_per_sec: 1.0 / 0.12,
+                ..ChaosStats::default()
+            }),
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"benchmark\": \"bench_chaos\""));
+        assert!(json.contains("\"chaos\": {"));
+        assert!(json.contains("\"transient\": 4,"));
+        assert!(json.contains("\"dead_lettered\": 1,"));
+        assert!(json.contains("\"goodput_per_sec\": 8.333333"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json, report.clone().to_json());
     }
 }

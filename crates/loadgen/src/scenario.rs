@@ -18,6 +18,13 @@
 //! serviceBaseUs: 20000
 //! servicePerShotUs: 400
 //! canaryShots: 32
+//! faultSeed: 7                # defaults to `seed`
+//! breakers: on                # per-device circuit breakers (default: off)
+//! breakerConsecutiveFailures: 3
+//! breakerFailureRate: 0.6
+//! breakerWindow: 8
+//! breakerOpenMs: 5000
+//! breakerProbeJobs: 2
 //! fleet:
 //!   - device: aspen
 //!     topology: line          # line | ring | grid | tree | star | full
@@ -35,6 +42,11 @@
 //!     shots: 64
 //!     arrival: poisson        # poisson | bursty | diurnal
 //!     ratePerSec: 10.0
+//!     retryMaxAttempts: 3     # total attempts incl. the first (optional)
+//!     retryBackoff: exponential  # fixed | exponential (default: fixed)
+//!     retryDelayMs: 500       # first/fixed backoff (default: 1000)
+//!     retryMaxDelayMs: 4000   # exponential cap (default: 8 x retryDelayMs)
+//!     deadlineMs: 20000       # end-to-end budget per job (optional)
 //! events:
 //!   - atMs: 30000
 //!     kind: drift
@@ -44,7 +56,19 @@
 //!     kind: outage
 //!     device: aspen
 //!     downMs: 8000
+//!   - atMs: 15000
+//!     kind: faults            # chaos: turn the fault injector on/off
+//!     transientRate: 0.2
+//!     calibrationRate: 0.05
+//!     slowRate: 0.0
+//!     flapRate: 0.05
 //! ```
+//!
+//! A `faults` event reconfigures the fleet-wide
+//! [`qrio_cluster::FaultInjector`] rates from
+//! that instant on; an event whose rates are all zero switches chaos off
+//! again. `faultSeed` decouples the fault stream from the arrival streams so
+//! the same workload can replay under different fault schedules.
 
 use std::collections::BTreeMap;
 
@@ -209,6 +233,86 @@ impl TenantStrategy {
     }
 }
 
+/// How a tenant's retry backoff grows across attempts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryBackoffKind {
+    /// The same delay before every retry.
+    Fixed,
+    /// Doubling delay, capped at `retryMaxDelayMs`.
+    Exponential,
+}
+
+impl RetryBackoffKind {
+    fn parse(text: &str) -> Option<Self> {
+        Some(match text {
+            "fixed" => RetryBackoffKind::Fixed,
+            "exponential" => RetryBackoffKind::Exponential,
+            _ => return None,
+        })
+    }
+}
+
+/// A tenant's retry policy, in virtual milliseconds. The engine paces
+/// re-submissions on its own event heap (virtual-time drivers never call
+/// `Qrio::tick`), so delays here are wall-clock-free simulation time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantRetrySpec {
+    /// Total execution attempts allowed, the first included.
+    pub max_attempts: u32,
+    /// Delay growth across attempts.
+    pub backoff: RetryBackoffKind,
+    /// First (and, for `Fixed`, every) backoff delay in virtual ms.
+    pub delay_ms: u64,
+    /// Cap on the exponential delay in virtual ms.
+    pub max_delay_ms: u64,
+}
+
+impl TenantRetrySpec {
+    /// The backoff before retry number `attempt` (1-based: the delay between
+    /// the first failure and the second attempt is `backoff_ms(1)`).
+    /// Deterministic in `(spec, attempt)` so chaos runs replay byte-for-byte.
+    pub fn backoff_ms(&self, attempt: u32) -> u64 {
+        match self.backoff {
+            RetryBackoffKind::Fixed => self.delay_ms,
+            RetryBackoffKind::Exponential => {
+                let exp = attempt.saturating_sub(1).min(32);
+                self.delay_ms
+                    .saturating_mul(1u64 << exp)
+                    .min(self.max_delay_ms)
+            }
+        }
+    }
+}
+
+/// Circuit-breaker thresholds for the whole fleet, as configured by the
+/// scenario's top-level `breakers:`/`breaker*` scalars.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerSettings {
+    /// Trip after this many consecutive failures (0 disables the trigger).
+    pub consecutive_failures: u32,
+    /// Trip when the failure rate over the last `window` outcomes reaches
+    /// this fraction (values above 1 disable the trigger).
+    pub failure_rate: f64,
+    /// Number of recent outcomes the failure rate is computed over.
+    pub window: u32,
+    /// Virtual ms an open breaker waits before probing the device.
+    pub open_ms: u64,
+    /// Consecutive probe successes required to close the breaker again.
+    pub probe_jobs: u32,
+}
+
+impl Default for BreakerSettings {
+    fn default() -> Self {
+        BreakerSettings {
+            consecutive_failures: 3,
+            failure_rate: 0.6,
+            window: 8,
+            open_ms: 5000,
+            probe_jobs: 2,
+        }
+    }
+}
+
 /// One tenant: a stream of jobs sharing a circuit family, a strategy and an
 /// arrival process.
 #[derive(Debug, Clone, PartialEq)]
@@ -225,6 +329,11 @@ pub struct TenantSpec {
     pub shots: u64,
     /// Arrival process of the tenant's stream.
     pub arrival: ArrivalProcess,
+    /// Retry policy for failed attempts (`None` = fail fast).
+    pub retry: Option<TenantRetrySpec>,
+    /// End-to-end budget per job in virtual ms, measured from arrival; a
+    /// retry that cannot start inside the budget is cancelled instead.
+    pub deadline_ms: Option<u64>,
 }
 
 impl TenantSpec {
@@ -279,7 +388,8 @@ pub enum ScenarioEvent {
         error_factor: f64,
     },
     /// At `at_ms`, cordon `device` for `down_ms` virtual milliseconds;
-    /// waiting jobs are migrated off it through the scheduler.
+    /// waiting jobs are migrated off it through the scheduler and the
+    /// in-flight job (if any) is interrupted as a device-flap fault.
     Outage {
         /// Virtual time of the event.
         at_ms: u64,
@@ -288,13 +398,29 @@ pub enum ScenarioEvent {
         /// Length of the outage window.
         down_ms: u64,
     },
+    /// At `at_ms`, set the fleet-wide fault-injection rates (all zero turns
+    /// chaos off).
+    Faults {
+        /// Virtual time of the event.
+        at_ms: u64,
+        /// Probability of a transient execution error per attempt.
+        transient_rate: f64,
+        /// Probability of a calibration glitch per attempt.
+        calibration_rate: f64,
+        /// Probability of a hung/slow job per attempt.
+        slow_rate: f64,
+        /// Probability of a device flap per attempt.
+        flap_rate: f64,
+    },
 }
 
 impl ScenarioEvent {
     /// Virtual time at which the event fires.
     pub fn at_ms(&self) -> u64 {
         match self {
-            ScenarioEvent::Drift { at_ms, .. } | ScenarioEvent::Outage { at_ms, .. } => *at_ms,
+            ScenarioEvent::Drift { at_ms, .. }
+            | ScenarioEvent::Outage { at_ms, .. }
+            | ScenarioEvent::Faults { at_ms, .. } => *at_ms,
         }
     }
 }
@@ -317,11 +443,15 @@ pub struct Scenario {
     pub service_per_shot_us: u64,
     /// Shots used by the meta server's Clifford-canary evaluation.
     pub canary_shots: u64,
+    /// Seed of the fault injector's decision stream (defaults to `seed`).
+    pub fault_seed: u64,
+    /// Circuit-breaker thresholds (`None` = breakers off).
+    pub breakers: Option<BreakerSettings>,
     /// The device fleet.
     pub fleet: Vec<DeviceSpec>,
     /// The tenants.
     pub tenants: Vec<TenantSpec>,
-    /// Drift/outage timeline.
+    /// Drift/outage/faults timeline.
     pub events: Vec<ScenarioEvent>,
 }
 
@@ -410,6 +540,29 @@ impl Scenario {
                     ));
                 }
             }
+            if let Some(retry) = &tenant.retry {
+                if retry.max_attempts == 0 {
+                    return invalid(format!(
+                        "tenant '{}': retryMaxAttempts must be >= 1",
+                        tenant.name
+                    ));
+                }
+                if retry.delay_ms == 0 {
+                    return invalid(format!(
+                        "tenant '{}': retryDelayMs must be >= 1",
+                        tenant.name
+                    ));
+                }
+                if retry.max_delay_ms < retry.delay_ms {
+                    return invalid(format!(
+                        "tenant '{}': retryMaxDelayMs {} is below retryDelayMs {}",
+                        tenant.name, retry.max_delay_ms, retry.delay_ms
+                    ));
+                }
+            }
+            if tenant.deadline_ms == Some(0) {
+                return invalid(format!("tenant '{}': deadlineMs must be >= 1", tenant.name));
+            }
             // The circuit family must actually build at the tenant's width
             // (e.g. Grover has its own qubit bounds) — fail here instead of
             // mid-simulation at the tenant's first arrival.
@@ -420,22 +573,73 @@ impl Scenario {
                 ));
             }
         }
-        for event in &self.events {
-            let device = match event {
-                ScenarioEvent::Drift { device, .. } | ScenarioEvent::Outage { device, .. } => {
-                    device
-                }
-            };
-            if !device_names.contains(device) {
-                return invalid(format!("event references unknown device '{device}'"));
+        if let Some(breakers) = &self.breakers {
+            if !(breakers.failure_rate.is_finite() && breakers.failure_rate > 0.0) {
+                return invalid("breakerFailureRate must be finite and > 0".into());
             }
-            if let ScenarioEvent::Drift { error_factor, .. } = event {
-                if !(error_factor.is_finite() && *error_factor > 0.0) {
-                    return invalid("drift errorFactor must be finite and > 0".into());
+            if breakers.window == 0 {
+                return invalid("breakerWindow must be >= 1".into());
+            }
+            if breakers.probe_jobs == 0 {
+                return invalid("breakerProbeJobs must be >= 1".into());
+            }
+        }
+        for event in &self.events {
+            match event {
+                ScenarioEvent::Drift {
+                    device,
+                    error_factor,
+                    ..
+                } => {
+                    if !device_names.contains(device) {
+                        return invalid(format!("event references unknown device '{device}'"));
+                    }
+                    if !(error_factor.is_finite() && *error_factor > 0.0) {
+                        return invalid("drift errorFactor must be finite and > 0".into());
+                    }
+                }
+                ScenarioEvent::Outage { device, .. } => {
+                    if !device_names.contains(device) {
+                        return invalid(format!("event references unknown device '{device}'"));
+                    }
+                }
+                ScenarioEvent::Faults {
+                    transient_rate,
+                    calibration_rate,
+                    slow_rate,
+                    flap_rate,
+                    ..
+                } => {
+                    for (label, rate) in [
+                        ("transientRate", *transient_rate),
+                        ("calibrationRate", *calibration_rate),
+                        ("slowRate", *slow_rate),
+                        ("flapRate", *flap_rate),
+                    ] {
+                        if !(rate.is_finite() && (0.0..=1.0).contains(&rate)) {
+                            return invalid(format!("faults event: {label} {rate} outside [0, 1]"));
+                        }
+                    }
                 }
             }
         }
         Ok(())
+    }
+
+    /// Whether the scenario exercises the fault-tolerance machinery at all:
+    /// any `faults` event, breakers, or a tenant with a retry policy or
+    /// deadline. Chaos-free scenarios keep their reports (and JSON) exactly
+    /// as before.
+    pub fn has_chaos(&self) -> bool {
+        self.breakers.is_some()
+            || self
+                .events
+                .iter()
+                .any(|e| matches!(e, ScenarioEvent::Faults { .. }))
+            || self
+                .tenants
+                .iter()
+                .any(|t| t.retry.is_some() || t.deadline_ms.is_some())
     }
 
     /// Parse a scenario from its YAML document. See the module docs for the
@@ -471,6 +675,12 @@ fn parse_scenario(text: &str) -> Result<Scenario, LoadgenError> {
     let mut service_base_us = 20_000u64;
     let mut service_per_shot_us = 400u64;
     let mut canary_shots = 32u64;
+    let mut fault_seed: Option<u64> = None;
+    let mut breakers_on = false;
+    let mut breaker_settings = BreakerSettings::default();
+    // Line of the first `breaker*` threshold, so thresholds without
+    // `breakers: on` are rejected instead of silently inert.
+    let mut breaker_scalar_line: Option<usize> = None;
 
     let mut section = Section::None;
     let mut items: Vec<(Section, Item)> = Vec::new();
@@ -542,6 +752,10 @@ fn parse_scenario(text: &str) -> Result<Scenario, LoadgenError> {
             v.parse::<u64>()
                 .map_err(|_| err(format!("field '{key}': bad integer '{v}'")))
         };
+        let parse_f64 = |v: &str| {
+            v.parse::<f64>()
+                .map_err(|_| err(format!("field '{key}': bad number '{v}'")))
+        };
         match key.as_str() {
             "scenario" => name = value,
             "seed" => seed = parse_u64(&value)?,
@@ -550,11 +764,45 @@ fn parse_scenario(text: &str) -> Result<Scenario, LoadgenError> {
             "serviceBaseUs" => service_base_us = parse_u64(&value)?,
             "servicePerShotUs" => service_per_shot_us = parse_u64(&value)?,
             "canaryShots" => canary_shots = parse_u64(&value)?,
+            "faultSeed" => fault_seed = Some(parse_u64(&value)?),
+            "breakers" => {
+                breakers_on = match value.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(err(format!("field 'breakers': '{other}' (on|off)"))),
+                }
+            }
+            "breakerConsecutiveFailures" => {
+                breaker_scalar_line.get_or_insert(line_no);
+                breaker_settings.consecutive_failures = parse_u64(&value)? as u32;
+            }
+            "breakerFailureRate" => {
+                breaker_scalar_line.get_or_insert(line_no);
+                breaker_settings.failure_rate = parse_f64(&value)?;
+            }
+            "breakerWindow" => {
+                breaker_scalar_line.get_or_insert(line_no);
+                breaker_settings.window = parse_u64(&value)? as u32;
+            }
+            "breakerOpenMs" => {
+                breaker_scalar_line.get_or_insert(line_no);
+                breaker_settings.open_ms = parse_u64(&value)?;
+            }
+            "breakerProbeJobs" => {
+                breaker_scalar_line.get_or_insert(line_no);
+                breaker_settings.probe_jobs = parse_u64(&value)? as u32;
+            }
             other => return Err(err(format!("unknown field '{other}'"))),
         }
     }
     if let Some(item) = current.take() {
         items.push((section, item));
+    }
+    if let (Some(line), false) = (breaker_scalar_line, breakers_on) {
+        return Err(LoadgenError::ScenarioParse {
+            line,
+            message: "breaker thresholds require 'breakers: on'".into(),
+        });
     }
 
     let mut fleet = Vec::new();
@@ -577,6 +825,8 @@ fn parse_scenario(text: &str) -> Result<Scenario, LoadgenError> {
         service_base_us,
         service_per_shot_us,
         canary_shots,
+        fault_seed: fault_seed.unwrap_or(seed),
+        breakers: breakers_on.then_some(breaker_settings),
         fleet,
         tenants,
         events,
@@ -706,6 +956,11 @@ fn parse_tenant(item: &Item) -> Result<TenantSpec, LoadgenError> {
             "meanIdleMs",
             "amplitude",
             "periodMs",
+            "retryMaxAttempts",
+            "retryBackoff",
+            "retryDelayMs",
+            "retryMaxDelayMs",
+            "deadlineMs",
         ],
     )?;
     let (name, _) = field(item, "tenant")?;
@@ -765,6 +1020,44 @@ fn parse_tenant(item: &Item) -> Result<TenantSpec, LoadgenError> {
             })
         }
     };
+    let retry = match item.get("retryMaxAttempts") {
+        Some((attempts, ra_line)) => {
+            let max_attempts = parse_u64_at(attempts, *ra_line, "retryMaxAttempts")? as u32;
+            let (backoff, b_line) = field_or(item, "retryBackoff", "fixed");
+            let backoff =
+                RetryBackoffKind::parse(backoff).ok_or_else(|| LoadgenError::ScenarioParse {
+                    line: b_line,
+                    message: format!("unknown retryBackoff '{backoff}' (fixed|exponential)"),
+                })?;
+            let (delay, d_line) = field_or(item, "retryDelayMs", "1000");
+            let delay_ms = parse_u64_at(delay, d_line, "retryDelayMs")?;
+            let default_max = delay_ms.saturating_mul(8).to_string();
+            let (max_delay, md_line) = field_or(item, "retryMaxDelayMs", &default_max);
+            Some(TenantRetrySpec {
+                max_attempts,
+                backoff,
+                delay_ms,
+                max_delay_ms: parse_u64_at(max_delay, md_line, "retryMaxDelayMs")?,
+            })
+        }
+        None => {
+            // Stray retry knobs without the policy itself would be silently
+            // inert; reject them like any other field mistake.
+            for stray in ["retryBackoff", "retryDelayMs", "retryMaxDelayMs"] {
+                if let Some((_, line)) = item.get(stray) {
+                    return Err(LoadgenError::ScenarioParse {
+                        line: *line,
+                        message: format!("'{stray}' requires 'retryMaxAttempts'"),
+                    });
+                }
+            }
+            None
+        }
+    };
+    let deadline_ms = match item.get("deadlineMs") {
+        Some((value, line)) => Some(parse_u64_at(value, *line, "deadlineMs")?),
+        None => None,
+    };
     Ok(TenantSpec {
         name: name.to_string(),
         strategy,
@@ -772,19 +1065,15 @@ fn parse_tenant(item: &Item) -> Result<TenantSpec, LoadgenError> {
         qubits: parse_u64_at(qubits, q_line, "qubits")? as usize,
         shots: parse_u64_at(shots, s_line, "shots")?,
         arrival,
+        retry,
+        deadline_ms,
     })
 }
 
 fn parse_event(item: &Item) -> Result<ScenarioEvent, LoadgenError> {
-    reject_unknown_fields(
-        item,
-        "event",
-        &["atMs", "kind", "device", "errorFactor", "downMs"],
-    )?;
     let (at, at_line) = field(item, "atMs")?;
     let at_ms = parse_u64_at(at, at_line, "atMs")?;
     let (kind, kind_line) = field(item, "kind")?;
-    let (device, _) = field(item, "device")?;
     match kind {
         "drift" => {
             reject_unknown_fields(
@@ -792,6 +1081,7 @@ fn parse_event(item: &Item) -> Result<ScenarioEvent, LoadgenError> {
                 "drift event",
                 &["atMs", "kind", "device", "errorFactor"],
             )?;
+            let (device, _) = field(item, "device")?;
             let (factor, f_line) = field(item, "errorFactor")?;
             Ok(ScenarioEvent::Drift {
                 at_ms,
@@ -801,6 +1091,7 @@ fn parse_event(item: &Item) -> Result<ScenarioEvent, LoadgenError> {
         }
         "outage" => {
             reject_unknown_fields(item, "outage event", &["atMs", "kind", "device", "downMs"])?;
+            let (device, _) = field(item, "device")?;
             let (down, d_line) = field(item, "downMs")?;
             Ok(ScenarioEvent::Outage {
                 at_ms,
@@ -808,9 +1099,39 @@ fn parse_event(item: &Item) -> Result<ScenarioEvent, LoadgenError> {
                 down_ms: parse_u64_at(down, d_line, "downMs")?,
             })
         }
+        "faults" => {
+            // Fleet-wide: no `device` field.
+            reject_unknown_fields(
+                item,
+                "faults event",
+                &[
+                    "atMs",
+                    "kind",
+                    "transientRate",
+                    "calibrationRate",
+                    "slowRate",
+                    "flapRate",
+                ],
+            )?;
+            let mut rates = [0.0f64; 4];
+            for (slot, key) in ["transientRate", "calibrationRate", "slowRate", "flapRate"]
+                .into_iter()
+                .enumerate()
+            {
+                let (value, line) = field_or(item, key, "0");
+                rates[slot] = parse_f64_at(value, line, key)?;
+            }
+            Ok(ScenarioEvent::Faults {
+                at_ms,
+                transient_rate: rates[0],
+                calibration_rate: rates[1],
+                slow_rate: rates[2],
+                flap_rate: rates[3],
+            })
+        }
         other => Err(LoadgenError::ScenarioParse {
             line: kind_line,
-            message: format!("unknown event kind '{other}' (drift|outage)"),
+            message: format!("unknown event kind '{other}' (drift|outage|faults)"),
         }),
     }
 }
@@ -921,6 +1242,8 @@ events:
             qubits: 5,
             shots: 16,
             arrival: ArrivalProcess::Poisson { rate_per_sec: 1.0 },
+            retry: None,
+            deadline_ms: None,
         };
         let a = tenant.circuit_for(3).unwrap();
         let b = tenant.circuit_for(3).unwrap();
@@ -933,6 +1256,163 @@ events:
             qrio_circuit::qasm::to_qasm(&a),
             qrio_circuit::qasm::to_qasm(&c)
         );
+    }
+
+    const CHAOS_SAMPLE: &str = "\
+scenario: chaos-unit
+seed: 11
+durationMs: 5000
+faultSeed: 77
+breakers: on
+breakerConsecutiveFailures: 2
+breakerOpenMs: 1500
+fleet:
+  - device: alpha
+    qubits: 8
+tenants:
+  - tenant: alice
+    strategy: min_queue
+    circuit: ghz
+    qubits: 4
+    ratePerSec: 5.0
+    retryMaxAttempts: 4
+    retryBackoff: exponential
+    retryDelayMs: 200
+    retryMaxDelayMs: 900
+    deadlineMs: 4000
+events:
+  - atMs: 1000
+    kind: faults
+    transientRate: 0.3
+    flapRate: 0.1
+  - atMs: 3000
+    kind: faults
+";
+
+    #[test]
+    fn chaos_scenario_parses_with_retries_breakers_and_fault_events() {
+        let scenario = Scenario::from_yaml(CHAOS_SAMPLE).unwrap();
+        assert_eq!(scenario.fault_seed, 77);
+        let breakers = scenario.breakers.expect("breakers: on");
+        assert_eq!(breakers.consecutive_failures, 2);
+        assert_eq!(breakers.open_ms, 1500);
+        assert_eq!(breakers.probe_jobs, BreakerSettings::default().probe_jobs);
+        let tenant = &scenario.tenants[0];
+        let retry = tenant.retry.expect("retry policy");
+        assert_eq!(retry.max_attempts, 4);
+        assert_eq!(retry.backoff, RetryBackoffKind::Exponential);
+        assert_eq!(tenant.deadline_ms, Some(4000));
+        assert!(matches!(
+            scenario.events[0],
+            ScenarioEvent::Faults { transient_rate, flap_rate, calibration_rate, .. }
+                if (transient_rate - 0.3).abs() < 1e-12
+                    && (flap_rate - 0.1).abs() < 1e-12
+                    && calibration_rate == 0.0
+        ));
+        // The second event turns chaos back off: all rates default to zero.
+        assert!(matches!(
+            scenario.events[1],
+            ScenarioEvent::Faults {
+                transient_rate: 0.0,
+                flap_rate: 0.0,
+                ..
+            }
+        ));
+        assert!(scenario.has_chaos());
+        assert!(!Scenario::from_yaml(SAMPLE).unwrap().has_chaos());
+        // `faultSeed` defaults to the master seed when absent.
+        assert_eq!(Scenario::from_yaml(SAMPLE).unwrap().fault_seed, 9);
+    }
+
+    #[test]
+    fn tenant_backoff_schedules_are_deterministic() {
+        let fixed = TenantRetrySpec {
+            max_attempts: 3,
+            backoff: RetryBackoffKind::Fixed,
+            delay_ms: 250,
+            max_delay_ms: 2000,
+        };
+        assert_eq!(fixed.backoff_ms(1), 250);
+        assert_eq!(fixed.backoff_ms(7), 250);
+        let expo = TenantRetrySpec {
+            max_attempts: 6,
+            backoff: RetryBackoffKind::Exponential,
+            delay_ms: 100,
+            max_delay_ms: 500,
+        };
+        assert_eq!(
+            (1..=4).map(|a| expo.backoff_ms(a)).collect::<Vec<_>>(),
+            vec![100, 200, 400, 500]
+        );
+        // Saturates instead of overflowing on absurd attempt counts.
+        assert_eq!(expo.backoff_ms(u32::MAX), 500);
+    }
+
+    #[test]
+    fn chaos_schema_mistakes_are_rejected() {
+        let parse_cases: &[(&str, &str)] = &[
+            (
+                "breakerOpenMs: 10\n",
+                "breaker thresholds require 'breakers: on'",
+            ),
+            ("breakers: maybe\n", "(on|off)"),
+            (
+                "durationMs: 10\nfleet:\n  - device: a\n    qubits: 4\ntenants:\n  - tenant: t\n    strategy: min_queue\n    qubits: 2\n    ratePerSec: 1.0\n    retryDelayMs: 50\n",
+                "requires 'retryMaxAttempts'",
+            ),
+            (
+                "durationMs: 10\nfleet:\n  - device: a\n    qubits: 4\ntenants:\n  - tenant: t\n    strategy: min_queue\n    qubits: 2\n    ratePerSec: 1.0\n    retryMaxAttempts: 2\n    retryBackoff: quadratic\n",
+                "unknown retryBackoff",
+            ),
+            (
+                "durationMs: 10\nfleet:\n  - device: a\n    qubits: 4\ntenants:\n  - tenant: t\n    strategy: min_queue\n    qubits: 2\n    ratePerSec: 1.0\nevents:\n  - atMs: 1\n    kind: faults\n    device: a\n",
+                "unknown faults event field 'device'",
+            ),
+        ];
+        for (doc, needle) in parse_cases {
+            match Scenario::from_yaml(doc) {
+                Err(LoadgenError::ScenarioParse { message, .. }) => assert!(
+                    message.contains(needle),
+                    "{doc:?}: expected '{needle}' in '{message}'"
+                ),
+                other => panic!("{doc:?} must fail to parse, got {other:?}"),
+            }
+        }
+        let base = "durationMs: 10\nfleet:\n  - device: a\n    qubits: 4\ntenants:\n  - tenant: t\n    strategy: min_queue\n    qubits: 2\n    ratePerSec: 1.0\n";
+        let semantic_cases: &[(String, &str)] = &[
+            (
+                base.replace("ratePerSec: 1.0", "ratePerSec: 1.0\n    retryMaxAttempts: 0"),
+                "retryMaxAttempts must be >= 1",
+            ),
+            (
+                base.replace(
+                    "ratePerSec: 1.0",
+                    "ratePerSec: 1.0\n    retryMaxAttempts: 2\n    retryDelayMs: 100\n    retryMaxDelayMs: 10",
+                ),
+                "below retryDelayMs",
+            ),
+            (
+                base.replace("ratePerSec: 1.0", "ratePerSec: 1.0\n    deadlineMs: 0"),
+                "deadlineMs must be >= 1",
+            ),
+            (
+                format!("{base}events:\n  - atMs: 1\n    kind: faults\n    transientRate: 1.5\n"),
+                "outside [0, 1]",
+            ),
+            (
+                format!("breakers: on\nbreakerWindow: 0\n{base}"),
+                "breakerWindow must be >= 1",
+            ),
+        ];
+        for (doc, needle) in semantic_cases {
+            match Scenario::from_yaml(doc) {
+                Err(LoadgenError::InvalidScenario(message)) => assert!(
+                    message.contains(needle),
+                    "{doc:?}: expected '{needle}' in '{message}'"
+                ),
+                other => panic!("{doc:?} must fail validation, got {other:?}"),
+            }
+        }
     }
 
     #[test]

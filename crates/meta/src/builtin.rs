@@ -210,12 +210,15 @@ impl RankingStrategy for TopologyStrategy {
 /// control plane as [`crate::DeviceTelemetry`]).
 ///
 /// `score = fidelity_weight · fidelity_score + queue_weight · queue_depth
-/// + utilization_weight · 100 · utilization`
+/// + utilization_weight · 100 · (utilization + health_penalty)`
 ///
 /// Parameters (all optional): `target` (default 1.0), `fidelity_weight`
 /// (default 1.0), `queue_weight` (default 5.0), `utilization_weight`
 /// (default 1.0). Requires the job circuit. Devices with no telemetry report
-/// are treated as idle.
+/// are treated as idle. The health penalty (circuit-breaker flakiness,
+/// `0` for a healthy device) rides on the utilization weight, so
+/// recently-flaky devices rank behind equally-loaded healthy ones without
+/// changing scores in deployments that never report a penalty.
 #[derive(Debug, Clone, Copy)]
 pub struct WeightedStrategy {
     config: FidelityRankingConfig,
@@ -269,13 +272,16 @@ impl RankingStrategy for WeightedStrategy {
         let telemetry = job.telemetry.copied().unwrap_or_default();
         let queue_depth = telemetry.queue_depth as f64;
         let utilization = telemetry.utilization.clamp(0.0, 1.0);
-        let value =
-            w_fidelity * evaluation.score + w_queue * queue_depth + w_util * 100.0 * utilization;
+        let health_penalty = telemetry.health_penalty.clamp(0.0, 1.0);
+        let value = w_fidelity * evaluation.score
+            + w_queue * queue_depth
+            + w_util * 100.0 * (utilization + health_penalty);
         Ok(Score::new(backend.name(), value)
             .with_detail("fidelity_score", evaluation.score)
             .with_detail("canary_fidelity", evaluation.canary_fidelity)
             .with_detail("queue_depth", queue_depth)
-            .with_detail("utilization", utilization))
+            .with_detail("utilization", utilization)
+            .with_detail("health_penalty", health_penalty))
     }
 
     fn known_params(&self) -> Option<&'static [&'static str]> {
@@ -434,10 +440,12 @@ mod tests {
         let idle = DeviceTelemetry {
             queue_depth: 0,
             utilization: 0.0,
+            health_penalty: 0.0,
         };
         let busy = DeviceTelemetry {
             queue_depth: 4,
             utilization: 0.75,
+            health_penalty: 0.0,
         };
         let idle_score = strategy
             .score(&context(&spec.params, Some(&circuit), Some(&idle)), &dev)
@@ -468,10 +476,12 @@ mod tests {
         let shallow = DeviceTelemetry {
             queue_depth: 1,
             utilization: 0.2,
+            health_penalty: 0.0,
         };
         let deep = DeviceTelemetry {
             queue_depth: 6,
             utilization: 0.1,
+            health_penalty: 0.0,
         };
         let s = strategy
             .score(&context(&params, None, Some(&shallow)), &dev)
@@ -486,10 +496,12 @@ mod tests {
         let full_util = DeviceTelemetry {
             queue_depth: 0,
             utilization: 1.0,
+            health_penalty: 0.0,
         };
         let one_deep = DeviceTelemetry {
             queue_depth: 1,
             utilization: 0.0,
+            health_penalty: 0.0,
         };
         let f = strategy
             .score(&context(&params, None, Some(&full_util)), &dev)

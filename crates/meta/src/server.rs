@@ -629,6 +629,7 @@ mod tests {
             DeviceTelemetry {
                 queue_depth: 3,
                 utilization: 0.5,
+                health_penalty: 0.0,
             },
         );
         let weighted = server.score("weighted-job", "clean").unwrap();
@@ -722,6 +723,7 @@ mod tests {
             DeviceTelemetry {
                 queue_depth: 1,
                 utilization: 0.0,
+                health_penalty: 0.0,
             },
         );
         let before = server.score("queue-job", "clean").unwrap();
@@ -731,6 +733,7 @@ mod tests {
             DeviceTelemetry {
                 queue_depth: 9,
                 utilization: 0.0,
+                health_penalty: 0.0,
             },
         );
         let after = server.score("queue-job", "clean").unwrap();
@@ -764,6 +767,7 @@ mod tests {
                 DeviceTelemetry {
                     queue_depth: 4,
                     utilization: 0.5,
+                    health_penalty: 0.0,
                 },
             ),
             (
@@ -771,6 +775,7 @@ mod tests {
                 DeviceTelemetry {
                     queue_depth: 1,
                     utilization: 0.0,
+                    health_penalty: 0.0,
                 },
             ),
         ]);
@@ -839,6 +844,7 @@ mod tests {
             DeviceTelemetry {
                 queue_depth: 2,
                 utilization: 0.25,
+                health_penalty: 0.0,
             },
         );
 

@@ -66,6 +66,12 @@ pub struct DeviceTelemetry {
     pub queue_depth: usize,
     /// Classical utilization of the device's node, in `[0, 1]`.
     pub utilization: f64,
+    /// Health penalty from the device's circuit breaker, in `[0, 1]`:
+    /// `0.0` for a healthy device, `1.0` while the breaker is open
+    /// (cordoned), `0.5` on probation, and the recent failure rate while
+    /// closed. Telemetry-aware strategies use it to steer work away from
+    /// recently-flaky devices.
+    pub health_penalty: f64,
 }
 
 /// Everything a strategy may consult when scoring a job against a device.

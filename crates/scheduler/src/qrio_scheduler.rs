@@ -376,6 +376,8 @@ mod tests {
             priority: 0,
             shots: 128,
             threads: 0,
+            retry: None,
+            deadline: None,
         };
         let clean_node = Node::from_backend(fleet[0].clone(), Resources::new(1000, 1024));
         let noisy_node = Node::from_backend(fleet[2].clone(), Resources::new(1000, 1024));

@@ -124,6 +124,7 @@ fn arb_command(state: &mut u64) -> Command {
                             DeviceTelemetry {
                                 queue_depth: (next(state) % 64) as usize,
                                 utilization: (next(state) % 1000) as f64 / 1000.0,
+                                health_penalty: (next(state) % 100) as f64 / 100.0,
                             },
                         )
                     })
@@ -131,7 +132,7 @@ fn arb_command(state: &mut u64) -> Command {
             }
         }
         3 => Command::Enqueue {
-            request: arb_request(state),
+            request: Box::new(arb_request(state)),
         },
         4 => Command::Cancel {
             job: arb_string(state, "job-"),

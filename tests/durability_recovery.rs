@@ -58,8 +58,14 @@ fn recovery_restores_exact_pre_crash_state_and_resumes() {
     let (pre_events, pre_statuses, pre_now);
     {
         let mut qrio = seeded_qrio();
-        qrio.enable_durability(&path, DurabilityConfig { snapshot_every: 3 })
-            .unwrap();
+        qrio.enable_durability(
+            &path,
+            DurabilityConfig {
+                snapshot_every: 3,
+                ..DurabilityConfig::default()
+            },
+        )
+        .unwrap();
         two_device_fleet(&mut qrio);
         let ids: Vec<_> = ["dur-a", "dur-b", "dur-c"]
             .iter()
@@ -70,6 +76,7 @@ fn recovery_restores_exact_pre_crash_state_and_resumes() {
             DeviceTelemetry {
                 queue_depth: 3,
                 utilization: 0.5,
+                health_penalty: 0.0,
             },
         )]);
         // One service cycle: some jobs finish, at least one stays in flight,
@@ -264,13 +271,153 @@ fn durability_lifecycle_guards() {
 }
 
 #[test]
+fn batched_sync_recovery_loses_no_acknowledged_jobs() {
+    // `sync_every_n_commands` batches the expensive fsync, but every command
+    // is still flushed to the OS before it is acknowledged — so a process
+    // crash (drop without shutdown) must never lose an acknowledged job, no
+    // matter where in the sync batch it lands.
+    for jobs in 1..=6u32 {
+        let path = journal_path(&format!("batched-sync-{jobs}"));
+        let ids: Vec<qrio::JobId>;
+        {
+            let mut qrio = seeded_qrio();
+            qrio.enable_durability(
+                &path,
+                DurabilityConfig {
+                    snapshot_every: 1_000,
+                    sync_every_n_commands: 4,
+                },
+            )
+            .unwrap();
+            two_device_fleet(&mut qrio);
+            ids = (0..jobs)
+                .map(|i| {
+                    qrio.enqueue(&bv_request(&format!("ack-{jobs}-{i}")))
+                        .unwrap()
+                })
+                .collect();
+            qrio.tick();
+            assert!(qrio.durability_error().is_none());
+            // Crash mid-batch: no disable_durability, no final sync.
+        }
+        let (recovered, _) = Qrio::recover(&path).unwrap();
+        for id in &ids {
+            assert!(
+                recovered.job_status(id).is_ok(),
+                "job {id} was acknowledged before the crash but lost on recovery \
+                 (jobs={jobs}, sync_every_n_commands=4)"
+            );
+        }
+    }
+}
+
+#[test]
+fn faulted_workload_recovers_retries_dead_letters_and_breakers_exactly() {
+    use qrio::BreakerConfig;
+    use qrio_cluster::{FaultInjector, RetryPolicy};
+
+    let path = journal_path("fault-recovery");
+    let (pre_events, pre_dead, pre_board, pre_now);
+    {
+        let mut qrio = seeded_qrio();
+        qrio.enable_durability(
+            &path,
+            DurabilityConfig {
+                snapshot_every: 5,
+                sync_every_n_commands: 3,
+            },
+        )
+        .unwrap();
+        two_device_fleet(&mut qrio);
+        qrio.configure_breakers(Some(BreakerConfig {
+            consecutive_failures: 2,
+            failure_rate: 2.0,
+            window: 8,
+            open_ticks: 4,
+            probe_jobs: 1,
+        }))
+        .unwrap();
+        qrio.configure_faults(Some(FaultInjector {
+            seed: 77,
+            transient_rate: 1.0,
+            ..FaultInjector::default()
+        }))
+        .unwrap();
+        // One job retries its way to the dead-letter queue; two more fail
+        // fast and trip breakers; one sits in backoff when the crash hits.
+        let _ = qrio
+            .enqueue(
+                &JobRequestBuilder::new()
+                    .with_circuit(&library::bernstein_vazirani(4, 0b1011).unwrap())
+                    .job_name("retry-exhaust")
+                    .fidelity_target(0.8)
+                    .shots(64)
+                    .retry_policy(RetryPolicy::fixed(2, 1))
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+        for name in ["fast-fail-a", "fast-fail-b"] {
+            let _ = qrio.enqueue(&bv_request(name)).unwrap();
+        }
+        let _ = qrio
+            .enqueue(
+                &JobRequestBuilder::new()
+                    .with_circuit(&library::bernstein_vazirani(4, 0b0101).unwrap())
+                    .job_name("in-backoff")
+                    .fidelity_target(0.8)
+                    .shots(64)
+                    .retry_policy(RetryPolicy::exponential(6, 50, 400))
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+        for _ in 0..8 {
+            qrio.tick();
+        }
+        assert!(qrio.durability_error().is_none());
+        assert!(
+            !qrio.dead_letters().is_empty(),
+            "the exhausted job must be dead-lettered before the crash"
+        );
+        pre_events = qrio.watch(0).to_vec();
+        pre_dead = qrio.dead_letters();
+        pre_board = qrio.breakers().cloned();
+        pre_now = qrio.now();
+        // Crash.
+    }
+
+    let (mut recovered, _) = Qrio::recover(&path).unwrap();
+    assert_eq!(recovered.watch(0), &pre_events[..]);
+    assert_eq!(recovered.dead_letters(), pre_dead);
+    assert_eq!(recovered.breakers().cloned(), pre_board);
+    assert_eq!(recovered.now(), pre_now);
+
+    // The recovered instance carries the fault configuration too: clearing
+    // it lets the backed-off job finish on a live retry.
+    recovered.configure_faults(None).unwrap();
+    recovered.run_until_idle();
+    assert_eq!(
+        recovered.status(&qrio::JobId::new("in-backoff")).unwrap(),
+        JobState::Succeeded
+    );
+    assert!(recovered.durability_error().is_none());
+}
+
+#[test]
 fn durability_does_not_change_behavior() {
     let run = |durable: bool| {
         let path = journal_path("behavior-parity");
         let mut qrio = seeded_qrio();
         if durable {
-            qrio.enable_durability(&path, DurabilityConfig { snapshot_every: 2 })
-                .unwrap();
+            qrio.enable_durability(
+                &path,
+                DurabilityConfig {
+                    snapshot_every: 2,
+                    ..DurabilityConfig::default()
+                },
+            )
+            .unwrap();
         }
         two_device_fleet(&mut qrio);
         for name in ["par-a", "par-b", "par-c"] {

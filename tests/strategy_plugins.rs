@@ -267,6 +267,7 @@ fn scheduler_tie_break_is_independent_of_fleet_order() {
             DeviceTelemetry {
                 queue_depth: 2,
                 utilization: 0.5,
+                health_penalty: 0.0,
             },
         );
         let reranked = meta.score_all("tie").unwrap();
