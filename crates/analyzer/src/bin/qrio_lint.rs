@@ -23,8 +23,9 @@ use std::process::ExitCode;
 use qrio_analyzer::{
     audit_watch_log, lint_breaker_config, lint_chaos_scenario, lint_engine_fit, lint_journal_bytes,
     lint_journal_file, lint_logical_circuit, lint_requirements, lint_retry_policy,
-    lint_routed_circuit, lint_scenario, lint_transpile_result, verify_job_state_machine,
-    AuditOptions, Diagnostic, EngineHint, LintCode, Location, Report, TargetView,
+    lint_routed_circuit, lint_scenario, lint_simulation_path, lint_transpile_result,
+    verify_job_state_machine, AuditOptions, Diagnostic, EngineHint, LintCode, Location, Report,
+    TargetView,
 };
 use qrio_backend::{topology, Backend};
 use qrio_circuit::{library, Circuit};
@@ -169,6 +170,7 @@ fn lint_scenario_file(path: &Path, registry: &StrategyRegistry, report: &mut Rep
         };
         let name = format!("{}/{}", scenario.name, tenant.name);
         report.extend(lint_logical_circuit(&circuit, &name));
+        report.extend(lint_simulation_path(&circuit, &name));
         report.extend(lint_engine_fit(
             &circuit,
             &name,
@@ -216,6 +218,7 @@ fn lint_circuit_corpus(report: &mut Report) {
     ];
     for (name, circuit) in &corpus {
         report.extend(lint_logical_circuit(circuit, name));
+        report.extend(lint_simulation_path(circuit, name));
         for backend in &fleet {
             match transpile(circuit, backend) {
                 Ok(result) => report.extend(lint_transpile_result(&result, name)),
@@ -264,6 +267,19 @@ fn self_check() -> Vec<String> {
         "T gate bound for stabilizer engine",
         LintCode::NonCliffordForStabilizer,
         lint_engine_fit(&t_circuit, "t-job", EngineHint::Stabilizer),
+    );
+
+    // 2b. A mid-circuit reset that forces the simulator off the Pauli-frame
+    // path onto per-shot replay.
+    let mut mid_reset = Circuit::new(2, 2);
+    mid_reset.x(0).expect("fixture");
+    mid_reset.reset(0).expect("fixture");
+    mid_reset.h(0).expect("fixture");
+    mid_reset.measure_all().expect("fixture");
+    expect(
+        "mid-circuit reset forcing replay",
+        LintCode::MidCircuitForcesReplay,
+        lint_simulation_path(&mid_reset, "mid-reset"),
     );
 
     // 3. A scenario event after the arrival horizon.

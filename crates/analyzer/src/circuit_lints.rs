@@ -259,6 +259,50 @@ pub fn lint_engine_fit(circuit: &Circuit, name: &str, engine: EngineHint) -> Vec
     )]
 }
 
+/// Lint a Clifford circuit's simulator-path fit (QL0008): a reset anywhere,
+/// or any operation after a measurement, makes the circuit ineligible for the
+/// batched Pauli-frame path, so the executor falls back to per-shot replay —
+/// typically an order of magnitude slower. Only the first offending
+/// instruction is reported; fixing it may reveal later ones.
+pub fn lint_simulation_path(circuit: &Circuit, name: &str) -> Vec<Diagnostic> {
+    let subject = format!("circuit '{name}'");
+    let mut measured = false;
+    for (index, inst) in circuit.instructions().iter().enumerate() {
+        match inst.gate {
+            Gate::Barrier => continue,
+            Gate::Measure => measured = true,
+            Gate::Reset => {
+                return vec![Diagnostic::new(
+                    LintCode::MidCircuitForcesReplay,
+                    Location::at(
+                        &subject,
+                        instruction_context(index, &inst.gate, &inst.qubits),
+                    ),
+                    "reset forces the simulator off the batched Pauli-frame \
+                     path onto per-shot replay",
+                )];
+            }
+            _ if measured => {
+                return vec![Diagnostic::new(
+                    LintCode::MidCircuitForcesReplay,
+                    Location::at(
+                        &subject,
+                        instruction_context(index, &inst.gate, &inst.qubits),
+                    ),
+                    format!(
+                        "'{}' after a measurement makes that measurement \
+                         mid-circuit, forcing per-shot replay instead of the \
+                         batched Pauli-frame path",
+                        inst.gate.name()
+                    ),
+                )];
+            }
+            _ => {}
+        }
+    }
+    Vec::new()
+}
+
 /// Lint a circuit's width against a whole fleet (QL0003): flags circuits no
 /// declared device could ever host, the earliest-possible rejection point.
 pub fn lint_width_against_fleet(
@@ -381,6 +425,39 @@ mod tests {
         assert!(!diags
             .iter()
             .any(|d| d.code == LintCode::GateAfterMeasurement));
+    }
+
+    #[test]
+    fn mid_circuit_reset_and_measure_force_replay() {
+        // A reset anywhere forces replay, even if measurements are terminal.
+        let mut with_reset = Circuit::new(2, 2);
+        with_reset.h(0).unwrap();
+        with_reset.reset(0).unwrap();
+        with_reset.measure_all().unwrap();
+        let diags = lint_simulation_path(&with_reset, "reset");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, LintCode::MidCircuitForcesReplay);
+
+        // A gate after a measurement makes that measurement mid-circuit.
+        let mut mid_measure = Circuit::new(2, 2);
+        mid_measure.h(0).unwrap();
+        mid_measure.measure(0, 0).unwrap();
+        mid_measure.cx(0, 1).unwrap();
+        mid_measure.measure(1, 1).unwrap();
+        let diags = lint_simulation_path(&mid_measure, "mid-measure");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, LintCode::MidCircuitForcesReplay);
+        assert!(diags[0].message.contains("mid-circuit"));
+
+        // Terminal measurements (even followed by more measurements or
+        // barriers) stay on the frame path.
+        let mut terminal = Circuit::new(2, 2);
+        terminal.h(0).unwrap();
+        terminal.cx(0, 1).unwrap();
+        terminal.measure(0, 0).unwrap();
+        terminal.barrier(&[]).unwrap();
+        terminal.measure(1, 1).unwrap();
+        assert!(lint_simulation_path(&terminal, "terminal").is_empty());
     }
 
     #[test]

@@ -11,9 +11,11 @@
 //!
 //! * [`circuit_lints`] — structural circuit checks at two stages: logical
 //!   (dead qubits, gates after terminal measurement, missing measurements,
-//!   stabilizer-engine fit) and routed (two-qubit gates on uncoupled pairs,
-//!   gates outside the device basis, width vs. capacity) — the routed stage
-//!   verifies against the routing metadata the transpiler emits.
+//!   stabilizer-engine fit, mid-circuit operations that force the simulator
+//!   off the batched Pauli-frame path) and routed (two-qubit gates on
+//!   uncoupled pairs, gates outside the device basis, width vs. capacity) —
+//!   the routed stage verifies against the routing metadata the transpiler
+//!   emits.
 //! * [`spec_lints`] — semantic checks on job and scenario specs:
 //!   requirements no fleet device satisfies, scenario events beyond the
 //!   arrival horizon, offered load beyond fleet capacity, strategy
@@ -46,8 +48,8 @@ pub mod state_machine;
 
 pub use audit::{audit_watch_log, AuditOptions};
 pub use circuit_lints::{
-    lint_engine_fit, lint_logical_circuit, lint_routed_circuit, lint_transpile_result,
-    lint_width_against_fleet, EngineHint, TargetView,
+    lint_engine_fit, lint_logical_circuit, lint_routed_circuit, lint_simulation_path,
+    lint_transpile_result, lint_width_against_fleet, EngineHint, TargetView,
 };
 pub use diag::{Diagnostic, LintCode, Location, Report, Severity};
 pub use fault_lints::{lint_breaker_config, lint_chaos_scenario, lint_retry_policy};

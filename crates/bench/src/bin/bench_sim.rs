@@ -10,11 +10,15 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run -p qrio-bench --release --bin bench_sim [-- --smoke] [--out PATH]
+//! cargo run -p qrio-bench --release --bin bench_sim [-- --smoke] [--out PATH] [--canary PATH]
 //! ```
 //!
 //! `--smoke` shrinks iteration counts for CI; `--out` overrides the default
-//! `BENCH_sim.json` output path.
+//! `BENCH_sim.json` output path. `--canary PATH` skips the timing loops and
+//! instead runs the noisy Clifford canary once on the Pauli-frame path at
+//! 1/2/8 threads plus the forced replay path, asserts all four histograms are
+//! identical, and writes the counts to `PATH` — CI runs this twice and
+//! `cmp`s the files to pin byte-reproducibility.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -23,8 +27,8 @@ use qrio_backend::topology;
 use qrio_circuit::{library, Circuit, Gate};
 use qrio_layout::{find_embeddings, PatternGraph, SearchOptions};
 use qrio_sim::{
-    run_ideal_parallel, run_with_noise_parallel, NoiseModel, ParallelConfig, StabilizerSimulator,
-    StateVector,
+    run_ideal_parallel, run_with_noise_parallel, run_with_noise_path, ExecutionPath, NoiseModel,
+    ParallelConfig, StabilizerSimulator, StateVector,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -305,8 +309,84 @@ fn statevector_circuit(qubits: usize) -> Circuit {
     circuit
 }
 
+/// A fusion-friendly dense circuit: per-layer Euler-angle runs on every wire
+/// (three 1q gates that collapse to one matrix) plus CZ·CP diagonal chains
+/// (two 2q gates that collapse to one phase table).
+fn fusion_circuit(qubits: usize, layers: usize) -> Circuit {
+    let mut circuit = Circuit::new(qubits, 0);
+    for layer in 0..layers {
+        for q in 0..qubits {
+            let theta = 0.1 + 0.05 * (layer * qubits + q) as f64;
+            circuit.rz(theta, q).unwrap();
+            circuit.rx(0.7, q).unwrap();
+            circuit.rz(0.3, q).unwrap();
+        }
+        for q in 0..qubits - 1 {
+            circuit.cz(q, q + 1).unwrap();
+            circuit.append(Gate::CP(0.25), &[q, q + 1]).unwrap();
+        }
+    }
+    circuit
+}
+
+/// `--canary PATH`: deterministic noisy-canary run, no timing. Asserts the
+/// Pauli-frame path at 1/2/8 threads and the forced replay path all produce
+/// the same histogram, then writes the counts as JSON for CI to diff.
+fn run_canary(path: &str) {
+    let canary = library::random_clifford_circuit(20, 8, 7).unwrap();
+    let noise = NoiseModel::uniform(20, 0.01, 0.05, 0.02);
+    let (shots, seed) = (1024u64, 13u64);
+    let replay = run_with_noise_path(
+        &canary,
+        &noise,
+        shots,
+        seed,
+        &ParallelConfig::serial(),
+        ExecutionPath::Replay,
+    )
+    .unwrap();
+    for threads in [1usize, 2, 8] {
+        let frame = run_with_noise_path(
+            &canary,
+            &noise,
+            shots,
+            seed,
+            &ParallelConfig::with_threads(threads),
+            ExecutionPath::Frame,
+        )
+        .unwrap();
+        assert_eq!(
+            frame, replay,
+            "canary: frame path at {threads} threads diverged from serial replay"
+        );
+    }
+    let entries: Vec<(u64, u64)> = replay.iter().collect();
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"canary\": \"noisy_clifford_20q_depth8\",");
+    let _ = writeln!(json, "  \"shots\": {shots},");
+    let _ = writeln!(json, "  \"seed\": {seed},");
+    json.push_str("  \"counts\": {\n");
+    for (index, (outcome, count)) in entries.iter().enumerate() {
+        let comma = if index + 1 == entries.len() { "" } else { "," };
+        let _ = writeln!(json, "    \"{outcome}\": {count}{comma}");
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write(path, &json).expect("cannot write canary output");
+    println!(
+        "canary: {} distinct outcomes over {shots} shots, frame path byte-identical \
+         to replay across 1/2/8 threads; wrote {path}",
+        entries.len()
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--canary") {
+        let path = args.get(i + 1).expect("--canary requires an output path");
+        run_canary(path);
+        return;
+    }
     let smoke = args.iter().any(|a| a == "--smoke");
     let out_path = args
         .iter()
@@ -462,8 +542,35 @@ fn main() {
         unit: "shots/s",
         baseline: shots as f64 / baseline_secs,
         current: shots as f64 / current_secs,
-        note: "per-shot replay with Pauli injection (Monte-Carlo noise); the \
-               win here is the bit-packed tableau plus parallel shards",
+        note: "Monte-Carlo noise on the Pauli-frame path: ideal tableau built \
+               once, each shot propagates an n-qubit X/Z frame in O(n*depth) \
+               word ops and replays nothing; byte-identical to per-shot replay",
+    });
+
+    // --- 5b. Statevector gate fusion --------------------------------------------------------
+    let fusion = fusion_circuit(16, 6);
+    let fusion_gates = fusion.instructions().len();
+    let baseline_secs = best_of(reps, || {
+        let mut sv = StateVector::new(16).unwrap();
+        for inst in fusion.instructions() {
+            sv.apply_gate(&inst.gate, &inst.qubits).unwrap();
+        }
+        std::hint::black_box(&sv);
+    });
+    let current_secs = best_of(reps, || {
+        let mut sv = StateVector::new(16).unwrap();
+        sv.apply_circuit(&fusion).unwrap();
+        std::hint::black_box(&sv);
+    });
+    metrics.push(Metric {
+        name: "statevector_fusion_gates_per_sec",
+        unit: "gates/s",
+        baseline: fusion_gates as f64 / baseline_secs,
+        current: fusion_gates as f64 / current_secs,
+        note: "16q dense circuit of Euler-angle runs and CZ*CP chains; baseline \
+               applies each gate as its own pass, current fuses adjacent 1q \
+               gates into one 2x2 matrix and commuting diagonal pairs into one \
+               phase table (fusion cost included)",
     });
 
     // --- 6. Pattern-graph dedup + VF2 embedding search --------------------------------------
@@ -567,6 +674,11 @@ fn main() {
         .find(|m| m.name == "statevector_sampling_20q_samples_per_sec")
         .map(Metric::speedup)
         .unwrap_or(0.0);
+    let noisy_speedup = metrics
+        .iter()
+        .find(|m| m.name == "noisy_stabilizer_shots_per_sec")
+        .map(Metric::speedup)
+        .unwrap_or(0.0);
     if !smoke {
         assert!(
             canary_speedup >= 10.0,
@@ -575,6 +687,10 @@ fn main() {
         assert!(
             sampling_speedup >= 5.0,
             "statevector sampling speedup {sampling_speedup:.1}x is below the 5x floor"
+        );
+        assert!(
+            noisy_speedup >= 10.0,
+            "noisy stabilizer (Pauli-frame) speedup {noisy_speedup:.1}x is below the 10x floor"
         );
     }
 }

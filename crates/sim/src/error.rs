@@ -29,6 +29,17 @@ pub enum SimulatorError {
     },
     /// Invalid execution parameters (e.g. zero shots).
     InvalidParameter(String),
+    /// A classical bit index exceeds the 64-bit outcome register the executor
+    /// packs measurement results into. Raised at circuit-validation time so
+    /// the shot loops never evaluate `1 << bit` with `bit >= 64` (a debug
+    /// panic / silent release wrap).
+    ClassicalBitOutOfRange {
+        /// Offending classical bit (for circuits without explicit
+        /// measurements, the highest implicitly measured qubit index).
+        bit: usize,
+        /// Width of the packed outcome register (64).
+        limit: usize,
+    },
 }
 
 impl fmt::Display for SimulatorError {
@@ -51,6 +62,12 @@ impl fmt::Display for SimulatorError {
                 )
             }
             SimulatorError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            SimulatorError::ClassicalBitOutOfRange { bit, limit } => {
+                write!(
+                    f,
+                    "classical bit {bit} exceeds the {limit}-bit packed outcome register"
+                )
+            }
         }
     }
 }

@@ -8,7 +8,7 @@
 //!
 //! # Throughput
 //!
-//! Two layers of optimisation keep the shot loop fast:
+//! Three layers of optimisation keep the shot loop fast:
 //!
 //! * **Ideal terminal-measurement fast paths.** When the noise model is ideal
 //!   and every measurement is terminal, the circuit is applied **once**: the
@@ -16,6 +16,14 @@
 //!   hundred bytes of `memcpy` instead of a full circuit replay), and the
 //!   statevector engine samples a precomputed [`CumulativeDistribution`] by
 //!   binary search (O(n) per shot instead of O(2^n)).
+//! * **Pauli-frame batched shots for noisy Clifford circuits.** When the
+//!   circuit is Clifford with terminal measurements but the noise model is
+//!   *not* ideal, a [`FramePlan`] compiles the ideal
+//!   tableau and the noise sites once; each shot then propagates only an
+//!   n-qubit Pauli frame (two `u64` masks per 64 qubits) and draws from the
+//!   RNG in the exact order of the replay path — byte-identical histograms,
+//!   orders of magnitude less work. Mid-circuit measure/reset falls back to
+//!   per-shot replay (the analyzer flags this as lint QL0008).
 //! * **Deterministic parallel shards.** Shots are split into fixed-size
 //!   shards; shard `s` runs on its own `StdRng` seeded with
 //!   `seed + s`, and shard histograms merge commutatively. The shard
@@ -39,6 +47,7 @@ use qrio_circuit::{Circuit, Gate};
 
 use crate::counts::Counts;
 use crate::error::SimulatorError;
+use crate::frame::FramePlan;
 use crate::noise::NoiseModel;
 use crate::stabilizer::StabilizerSimulator;
 use crate::statevector::{CumulativeDistribution, StateVector, MAX_STATEVECTOR_QUBITS};
@@ -240,6 +249,25 @@ pub fn run_with_noise(
     run_with_noise_parallel(circuit, noise, shots, seed, &ParallelConfig::default())
 }
 
+/// Which per-shot strategy [`run_with_noise_path`] should use for a
+/// stabilizer-engine circuit. The paths are byte-identical where they
+/// overlap — [`ExecutionPath::Frame`] and [`ExecutionPath::Replay`] draw from
+/// the RNG in the same order — so forcing one is only useful for
+/// differential testing and benchmarking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionPath {
+    /// Pick automatically: ideal fast path, then the Pauli-frame path when
+    /// eligible, then per-shot replay.
+    #[default]
+    Auto,
+    /// Force per-shot replay (full tableau / statevector rebuild per shot).
+    Replay,
+    /// Force the Pauli-frame batched-shot path. Errors when the circuit is
+    /// not frame-eligible (non-Clifford, mid-circuit measure/reset, or more
+    /// than 64 random-outcome measurements).
+    Frame,
+}
+
 /// The prepared per-run execution mode, built once and shared by every shard.
 enum Prepared {
     /// Ideal terminal-measurement Clifford circuit: the tableau after all
@@ -248,8 +276,12 @@ enum Prepared {
         tableau: StabilizerSimulator,
         mapping: Vec<(usize, usize)>,
     },
-    /// General stabilizer path: replay the circuit per shot (noise injection
-    /// or mid-circuit measurement/reset).
+    /// Noisy terminal-measurement Clifford circuit: propagate an n-qubit
+    /// Pauli frame per shot through a precompiled [`FramePlan`]
+    /// (byte-identical to replay, orders of magnitude faster).
+    StabilizerFrame(FramePlan),
+    /// General stabilizer path: replay the circuit per shot (mid-circuit
+    /// measurement/reset, or >64 random-outcome measurements).
     StabilizerReplay,
     /// Ideal terminal-measurement dense circuit: sample the precomputed
     /// cumulative distribution per shot.
@@ -279,14 +311,34 @@ pub fn run_with_noise_parallel(
     seed: u64,
     parallel: &ParallelConfig,
 ) -> Result<Counts, SimulatorError> {
+    run_with_noise_path(circuit, noise, shots, seed, parallel, ExecutionPath::Auto)
+}
+
+/// [`run_with_noise_parallel`] with an explicit [`ExecutionPath`], for
+/// differential testing and benchmarking of the per-shot strategies.
+///
+/// # Errors
+///
+/// As [`run_with_noise_parallel`]; additionally, [`ExecutionPath::Frame`]
+/// errors when the circuit is not frame-eligible.
+pub fn run_with_noise_path(
+    circuit: &Circuit,
+    noise: &NoiseModel,
+    shots: u64,
+    seed: u64,
+    parallel: &ParallelConfig,
+    path: ExecutionPath,
+) -> Result<Counts, SimulatorError> {
     if shots == 0 {
         return Err(SimulatorError::InvalidParameter(
             "shots must be >= 1".into(),
         ));
     }
+    validate_outcome_register(circuit)?;
     let engine = select_engine(circuit)?;
     let num_bits = effective_num_bits(circuit);
-    let fast_path = noise.is_ideal() && has_only_terminal_measurements(circuit);
+    let fast_path =
+        path == ExecutionPath::Auto && noise.is_ideal() && has_only_terminal_measurements(circuit);
     let prepared = match engine {
         Engine::Stabilizer if fast_path => {
             let mut tableau = StabilizerSimulator::new(circuit.num_qubits());
@@ -296,7 +348,20 @@ pub fn run_with_noise_parallel(
                 mapping: measurement_mapping(circuit),
             }
         }
-        Engine::Stabilizer => Prepared::StabilizerReplay,
+        Engine::Stabilizer => match path {
+            ExecutionPath::Replay => Prepared::StabilizerReplay,
+            ExecutionPath::Auto | ExecutionPath::Frame => match FramePlan::build(circuit, noise)? {
+                Some(plan) => Prepared::StabilizerFrame(plan),
+                None if path == ExecutionPath::Frame => {
+                    return Err(SimulatorError::Unsupported(
+                        "circuit is not eligible for the Pauli-frame path \
+                             (mid-circuit measure/reset or >64 random measurements)"
+                            .into(),
+                    ));
+                }
+                None => Prepared::StabilizerReplay,
+            },
+        },
         Engine::Statevector if fast_path => {
             let mut state = StateVector::new(circuit.num_qubits())?;
             state.apply_circuit(circuit)?;
@@ -304,6 +369,11 @@ pub fn run_with_noise_parallel(
                 table: state.cumulative_distribution(),
                 mapping: measurement_mapping(circuit),
             }
+        }
+        Engine::Statevector if path == ExecutionPath::Frame => {
+            return Err(SimulatorError::Unsupported(
+                "the Pauli-frame path requires the stabilizer engine (Clifford circuit)".into(),
+            ));
         }
         Engine::Statevector => Prepared::StatevectorReplay,
     };
@@ -314,6 +384,10 @@ pub fn run_with_noise_parallel(
         let shard_shots = SHARD_SHOTS.min(shots - first);
         let mut rng = StdRng::seed_from_u64(seed.wrapping_add(shard));
         let mut counts = Counts::new(num_bits);
+        let mut frame_scratch = match &prepared {
+            Prepared::StabilizerFrame(plan) => Some(plan.scratch()),
+            _ => None,
+        };
         for _ in 0..shard_shots {
             let outcome = match &prepared {
                 Prepared::StabilizerFast { tableau, mapping } => {
@@ -326,6 +400,10 @@ pub fn run_with_noise_parallel(
                     }
                     outcome
                 }
+                Prepared::StabilizerFrame(plan) => plan.run_shot(
+                    &mut rng,
+                    frame_scratch.as_mut().expect("scratch built with the plan"),
+                ),
                 Prepared::StabilizerReplay => run_stabilizer_shot(circuit, noise, &mut rng)?,
                 Prepared::StatevectorFast { table, mapping } => {
                     map_outcome(table.sample(&mut rng), mapping)
@@ -427,7 +505,38 @@ fn map_outcome(basis_state: u64, mapping: &[(usize, usize)]) -> u64 {
     outcome
 }
 
-fn has_only_terminal_measurements(circuit: &Circuit) -> bool {
+/// Width of the packed `u64` outcome register every shot loop writes into.
+const OUTCOME_REGISTER_BITS: usize = 64;
+
+/// Reject circuits whose outcomes cannot be packed into the 64-bit outcome
+/// register: an explicit measurement into classical bit ≥ 64, or a
+/// measurement-free circuit (implicitly measured qubit-per-bit) wider than
+/// 64 qubits. Validated up front so the shot loops never evaluate
+/// `1 << bit` with `bit >= 64` — a panic in debug builds and a silent wrap
+/// in release builds.
+fn validate_outcome_register(circuit: &Circuit) -> Result<(), SimulatorError> {
+    let mut any_measure = false;
+    for inst in circuit.instructions() {
+        if inst.gate == Gate::Measure {
+            any_measure = true;
+            if inst.clbits[0] >= OUTCOME_REGISTER_BITS {
+                return Err(SimulatorError::ClassicalBitOutOfRange {
+                    bit: inst.clbits[0],
+                    limit: OUTCOME_REGISTER_BITS,
+                });
+            }
+        }
+    }
+    if !any_measure && circuit.num_qubits() > OUTCOME_REGISTER_BITS {
+        return Err(SimulatorError::ClassicalBitOutOfRange {
+            bit: circuit.num_qubits() - 1,
+            limit: OUTCOME_REGISTER_BITS,
+        });
+    }
+    Ok(())
+}
+
+pub(crate) fn has_only_terminal_measurements(circuit: &Circuit) -> bool {
     let mut seen_measure = false;
     for inst in circuit.instructions() {
         match inst.gate {
@@ -463,8 +572,14 @@ fn run_stabilizer_shot(
                 }
             }
             Gate::Reset => {
+                // The internal collapse is not a classical readout, so no
+                // readout flip — but the reset pulse itself carries the
+                // qubit's single-qubit error (see `sample_reset_error`).
                 if sim.measure(inst.qubits[0], rng) {
                     sim.x_gate(inst.qubits[0]);
+                }
+                if let Some(pauli) = noise.sample_reset_error(inst.qubits[0], rng) {
+                    sim.apply_gate(&pauli.gate(), &[inst.qubits[0]])?;
                 }
             }
             ref gate => {
@@ -507,7 +622,14 @@ fn run_statevector_shot(
                     outcome &= !(1 << inst.clbits[0]);
                 }
             }
-            Gate::Reset => state.reset_qubit(inst.qubits[0], rng),
+            Gate::Reset => {
+                // Same semantics as the stabilizer path: ideal collapse (no
+                // readout flip), then the qubit's single-qubit gate error.
+                state.reset_qubit(inst.qubits[0], rng);
+                if let Some(pauli) = noise.sample_reset_error(inst.qubits[0], rng) {
+                    state.apply_gate(&pauli.gate(), &[inst.qubits[0]])?;
+                }
+            }
             ref gate => {
                 state.apply_gate(gate, &inst.qubits)?;
                 for (q, pauli) in noise.sample_gate_errors(gate, &inst.qubits, rng) {
@@ -721,6 +843,99 @@ mod tests {
         let wild =
             run_ideal_parallel(&circuit, 200, 7, &ParallelConfig::with_threads(100_000)).unwrap();
         assert_eq!(sane, wild);
+    }
+
+    #[test]
+    fn reset_carries_single_qubit_noise_in_both_engines() {
+        // Regression: reset used to be the only silently ideal operation in
+        // a noisy circuit. With a certain single-qubit error, the reset
+        // pulse faults with X/Y/Z uniformly, so outcomes are no longer
+        // always |0>.
+        let mut clifford = Circuit::new(1, 1);
+        clifford.reset(0).unwrap();
+        clifford.measure(0, 0).unwrap();
+        let noisy = NoiseModel::uniform(1, 1.0, 0.0, 0.0);
+        let counts = run_with_noise(&clifford, &noisy, 600, 41).unwrap();
+        // X and Y faults (2/3 of draws) flip the reset qubit.
+        assert!(
+            counts.get(1) > 300,
+            "stabilizer reset stayed ideal: {counts:?}"
+        );
+        let counts = run_with_noise(&clifford, &NoiseModel::ideal(1), 64, 41).unwrap();
+        assert_eq!(counts.get(0), 64);
+
+        // Same through the statevector engine (forced by a T·T† identity).
+        let mut dense = Circuit::new(1, 1);
+        dense.t(0).unwrap();
+        dense.tdg(0).unwrap();
+        dense.reset(0).unwrap();
+        dense.measure(0, 0).unwrap();
+        let counts = run_with_noise(&dense, &noisy, 600, 43).unwrap();
+        assert!(
+            counts.get(1) > 150,
+            "statevector reset stayed ideal: {counts:?}"
+        );
+        let counts = run_with_noise(&dense, &NoiseModel::ideal(1), 64, 43).unwrap();
+        assert_eq!(counts.get(0), 64);
+    }
+
+    #[test]
+    fn classical_bits_beyond_outcome_register_are_rejected() {
+        // Explicit measurement into bit 65 would shift past the u64 register.
+        let mut wide = Circuit::new(70, 70);
+        wide.h(0).unwrap();
+        wide.measure(65, 65).unwrap();
+        assert!(matches!(
+            run_ideal(&wide, 16, 0),
+            Err(SimulatorError::ClassicalBitOutOfRange { bit: 65, limit: 64 })
+        ));
+
+        // Measurement-free circuits implicitly measure every qubit.
+        let mut implicit = Circuit::new(70, 0);
+        implicit.x(0).unwrap();
+        assert!(matches!(
+            run_ideal(&implicit, 16, 0),
+            Err(SimulatorError::ClassicalBitOutOfRange { bit: 69, limit: 64 })
+        ));
+
+        // A wide circuit measuring into low classical bits is fine.
+        let mut ok = Circuit::new(70, 2);
+        ok.h(0).unwrap();
+        ok.cx(0, 69).unwrap();
+        ok.measure(0, 0).unwrap();
+        ok.measure(69, 1).unwrap();
+        let counts = run_ideal(&ok, 64, 1).unwrap();
+        assert_eq!(counts.get(0b00) + counts.get(0b11), 64);
+    }
+
+    #[test]
+    fn forced_frame_path_rejects_ineligible_circuits() {
+        let mut mid = Circuit::new(1, 1);
+        mid.x(0).unwrap();
+        mid.reset(0).unwrap();
+        mid.measure(0, 0).unwrap();
+        let noise = NoiseModel::uniform(1, 0.01, 0.0, 0.0);
+        assert!(matches!(
+            run_with_noise_path(
+                &mid,
+                &noise,
+                16,
+                0,
+                &ParallelConfig::serial(),
+                ExecutionPath::Frame
+            ),
+            Err(SimulatorError::Unsupported(_))
+        ));
+        // Auto falls back to replay and still runs.
+        assert!(run_with_noise_path(
+            &mid,
+            &noise,
+            16,
+            0,
+            &ParallelConfig::serial(),
+            ExecutionPath::Auto
+        )
+        .is_ok());
     }
 
     #[test]

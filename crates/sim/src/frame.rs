@@ -1,0 +1,795 @@
+//! Pauli-frame batched-shot simulation for noisy Clifford circuits.
+//!
+//! The per-shot replay path rebuilds and replays the full `(2n+1) × (2n+1)`
+//! stabilizer tableau for every shot — O(shots · n² · depth) word operations —
+//! even though the only thing that differs between shots of a *Clifford*
+//! circuit is which Pauli errors fired and which measurement coins came up.
+//! This module exploits that: it simulates the ideal tableau **once** at plan
+//! time, and per shot propagates only an n-qubit *Pauli frame* (an X mask and
+//! a Z mask, `⌈n/64⌉` `u64` words each) plus a handful of parity evaluations —
+//! O(shots · n · depth / 64) word operations.
+//!
+//! # Why this is exact (and byte-identical to replay)
+//!
+//! The replay computation is affine over GF(2) in two kinds of random
+//! sources: the *error indicators* (which Pauli fired at which noise site)
+//! and the *measurement coins* (the `gen_bool(0.5)` draws of random-outcome
+//! measurements). Three facts make this linearity exact, not approximate:
+//!
+//! 1. **Pauli errors never change tableau structure.** Applying X/Y/Z to a
+//!    tableau only flips phase bits `r[i]` (by whether row `i` anticommutes
+//!    with the error); the X/Z components — and therefore every pivot choice
+//!    and row operation taken during measurement — are identical in every
+//!    shot.
+//! 2. **Anticommutation survives conjugation.** An error `E` injected
+//!    mid-circuit flips `r[i]` iff row `i` anticommutes with `E` *at that
+//!    point*; conjugating both by the rest of the circuit preserves the
+//!    symplectic product, so the flip equals the anticommutation of the
+//!    *final* row with the *forward-propagated* error. All errors can thus be
+//!    accumulated into a single terminal frame.
+//! 3. **`rowsum` phases are linear in `r`.** The Aaronson–Gottesman phase is
+//!    `(2·r[h] + 2·r[i] + Q) mod 4` where `Q` depends only on X/Z components
+//!    and the total is always even for valid stabilizer products, so a
+//!    perturbation `δ` of the phase bits propagates as `δ[h] ^= δ[i]` —
+//!    plain XOR.
+//!
+//! [`FramePlan::build`] therefore (a) forward-propagates a unit X and a unit
+//! Z frame from every noise site to the end of the circuit, and (b) replays
+//! the terminal measurement block *symbolically*, tracking for every phase
+//! bit its dependence on the coins and on the terminal frame. A shot then
+//! draws from the RNG **in exactly the order the replay path would** (noise
+//! sites in instruction order, then per measurement the coin and the readout
+//! flip), so the frame path is byte-identical to [`run_stabilizer_shot`]
+//! replay — with or without noise — and slots into the sharded executor
+//! without disturbing shard seeding or [`SEED_STREAM_STRIDE`] semantics.
+//!
+//! # Eligibility
+//!
+//! A plan is built only for circuits that are Clifford with all measurements
+//! terminal (no mid-circuit measure, no `Reset` anywhere) and at most 64
+//! random-outcome measurements; anything else returns `None` and the executor
+//! falls back to per-shot replay. The analyzer flags fallback-forcing
+//! circuits as lint `QL0008`.
+//!
+//! [`run_stabilizer_shot`]: crate::executor::run_with_noise_parallel
+//! [`SEED_STREAM_STRIDE`]: crate::executor::SEED_STREAM_STRIDE
+
+use rand::Rng;
+
+use qrio_circuit::{Circuit, Gate, Instruction};
+
+use crate::error::SimulatorError;
+use crate::executor::has_only_terminal_measurements;
+use crate::noise::NoiseModel;
+use crate::stabilizer::StabilizerSimulator;
+
+/// A bit-packed n-qubit Pauli operator, sign-free: `fx` holds the X
+/// components, `fz` the Z components. Used both as the per-shot error frame
+/// and, at plan time, to forward-propagate unit errors through the circuit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Frame {
+    fx: Vec<u64>,
+    fz: Vec<u64>,
+}
+
+impl Frame {
+    fn zero(wpr: usize) -> Self {
+        Frame {
+            fx: vec![0; wpr],
+            fz: vec![0; wpr],
+        }
+    }
+
+    fn unit_x(q: usize, wpr: usize) -> Self {
+        let mut f = Frame::zero(wpr);
+        f.fx[q >> 6] |= 1 << (q & 63);
+        f
+    }
+
+    fn unit_z(q: usize, wpr: usize) -> Self {
+        let mut f = Frame::zero(wpr);
+        f.fz[q >> 6] |= 1 << (q & 63);
+        f
+    }
+
+    fn x_bit(&self, q: usize) -> bool {
+        self.fx[q >> 6] >> (q & 63) & 1 == 1
+    }
+
+    fn z_bit(&self, q: usize) -> bool {
+        self.fz[q >> 6] >> (q & 63) & 1 == 1
+    }
+
+    /// Conjugate by H on `q`: X ↔ Z.
+    fn h(&mut self, q: usize) {
+        let (w, bit) = (q >> 6, 1u64 << (q & 63));
+        let xb = self.fx[w] & bit;
+        let zb = self.fz[w] & bit;
+        self.fx[w] = (self.fx[w] & !bit) | zb;
+        self.fz[w] = (self.fz[w] & !bit) | xb;
+    }
+
+    /// Conjugate by S (or S†, identical sign-free) on `q`: X → Y.
+    fn s(&mut self, q: usize) {
+        let (w, bit) = (q >> 6, 1u64 << (q & 63));
+        self.fz[w] ^= self.fx[w] & bit;
+    }
+
+    /// Conjugate by CNOT control `a`, target `b`: X_a → X_a X_b, Z_b → Z_a Z_b.
+    fn cx(&mut self, a: usize, b: usize) {
+        if self.x_bit(a) {
+            self.fx[b >> 6] ^= 1 << (b & 63);
+        }
+        if self.z_bit(b) {
+            self.fz[a >> 6] ^= 1 << (a & 63);
+        }
+    }
+
+    /// RZ at a multiple of π/2; mirrors `StabilizerSimulator::apply_quarter_z`
+    /// (sign-free, so S and S† coincide and Z is the identity).
+    fn quarter_z(&mut self, q: usize, theta: f64) {
+        let k = (theta / std::f64::consts::FRAC_PI_2).round() as i64;
+        if k.rem_euclid(2) == 1 {
+            self.s(q);
+        }
+    }
+
+    fn u3(&mut self, q: usize, theta: f64, phi: f64, lambda: f64) {
+        self.quarter_z(q, lambda);
+        self.s(q); // sdg ≡ s sign-free
+        self.h(q);
+        self.quarter_z(q, theta);
+        self.h(q);
+        self.s(q);
+        self.quarter_z(q, phi);
+    }
+
+    /// Conjugate the frame by one Clifford gate, using the same decomposition
+    /// as `StabilizerSimulator::apply_gate` so both views of the circuit
+    /// agree gate-for-gate. Paulis and the identity are no-ops (they commute
+    /// with every Pauli up to a sign the frame does not carry).
+    fn apply_gate(&mut self, gate: &Gate, qubits: &[usize]) -> Result<(), SimulatorError> {
+        match *gate {
+            Gate::I | Gate::Barrier | Gate::X | Gate::Y | Gate::Z => {}
+            Gate::H => self.h(qubits[0]),
+            Gate::S | Gate::Sdg => self.s(qubits[0]),
+            Gate::SX => {
+                self.h(qubits[0]);
+                self.s(qubits[0]);
+                self.h(qubits[0]);
+            }
+            Gate::CX => self.cx(qubits[0], qubits[1]),
+            Gate::CZ => {
+                self.h(qubits[1]);
+                self.cx(qubits[0], qubits[1]);
+                self.h(qubits[1]);
+            }
+            Gate::CY => {
+                self.s(qubits[1]);
+                self.cx(qubits[0], qubits[1]);
+                self.s(qubits[1]);
+            }
+            Gate::Swap => {
+                self.cx(qubits[0], qubits[1]);
+                self.cx(qubits[1], qubits[0]);
+                self.cx(qubits[0], qubits[1]);
+            }
+            Gate::RZ(theta) | Gate::U1(theta) => self.quarter_z(qubits[0], theta),
+            Gate::RX(theta) => {
+                self.h(qubits[0]);
+                self.quarter_z(qubits[0], theta);
+                self.h(qubits[0]);
+            }
+            Gate::RY(theta) => {
+                self.s(qubits[0]);
+                self.h(qubits[0]);
+                self.quarter_z(qubits[0], theta);
+                self.h(qubits[0]);
+                self.s(qubits[0]);
+            }
+            Gate::U2(phi, lambda) => {
+                self.u3(qubits[0], std::f64::consts::FRAC_PI_2, phi, lambda);
+            }
+            Gate::U3(theta, phi, lambda) => self.u3(qubits[0], theta, phi, lambda),
+            Gate::CP(theta) | Gate::CRZ(theta) => {
+                let k = (theta / std::f64::consts::PI).round() as i64;
+                if k.rem_euclid(2) == 1 {
+                    self.h(qubits[1]);
+                    self.cx(qubits[0], qubits[1]);
+                    self.h(qubits[1]);
+                }
+                if matches!(gate, Gate::CRZ(_)) {
+                    self.quarter_z(qubits[0], -theta / 2.0);
+                }
+            }
+            ref g => {
+                return Err(SimulatorError::NotClifford {
+                    gate: g.name().to_string(),
+                })
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The terminal images of a unit X and a unit Z error injected at one noise
+/// site: XORing the matching pair into the shot frame accounts for the error
+/// exactly (Y uses both pairs, since Y ∝ X·Z and propagation is linear).
+#[derive(Debug, Clone)]
+struct Propagated {
+    x_fx: Vec<u64>,
+    x_fz: Vec<u64>,
+    z_fx: Vec<u64>,
+    z_fz: Vec<u64>,
+}
+
+/// One step of the per-shot loop, in the exact order (and with the exact RNG
+/// draw pattern) of the replay path.
+#[derive(Debug, Clone)]
+enum ShotOp {
+    /// Single-qubit depolarizing site with `p > 0`: one `gen_bool(p)`, and on
+    /// a hit one `gen_range(0..3)` picking X/Y/Z.
+    NoiseOne { p: f64, prop: Propagated },
+    /// Two-qubit depolarizing site with `p > 0`: one `gen_bool(p)`, and on a
+    /// hit one `gen_range(0..3)` picking first/second/both operands, each
+    /// faulted operand drawing its own Pauli.
+    NoiseTwo {
+        p: f64,
+        prop_a: Propagated,
+        prop_b: Propagated,
+    },
+    /// Measurement with a random ideal outcome: the outcome *is* coin `coin`
+    /// (errors flip phase bits, never the freshly drawn sign), followed by
+    /// the readout-flip draw.
+    MeasureRandom {
+        clbit: usize,
+        coin: u32,
+        readout_p: f64,
+    },
+    /// Measurement with a deterministic ideal outcome: `base` XOR the parity
+    /// of the recorded coin/frame dependencies, followed by the readout-flip
+    /// draw.
+    MeasureDet {
+        clbit: usize,
+        base: bool,
+        dep_u: u64,
+        dep_fx: Vec<u64>,
+        dep_fz: Vec<u64>,
+        readout_p: f64,
+    },
+}
+
+/// Reusable per-worker buffers for [`FramePlan::run_shot`], so the hot loop
+/// allocates nothing.
+#[derive(Debug, Clone)]
+pub(crate) struct FrameScratch {
+    fx: Vec<u64>,
+    fz: Vec<u64>,
+}
+
+/// A compiled Pauli-frame execution plan: the ideal circuit folded into
+/// per-site error masks and a symbolic terminal measurement block.
+///
+/// Built once per run by [`FramePlan::build`]; [`run`]s of the shot loop are
+/// then O(sites + measurements) word operations and draw from the RNG in the
+/// exact order of the per-shot replay path, making results byte-identical to
+/// replay at every seed, shard and thread count.
+///
+/// [`run`]: FramePlan::build
+#[derive(Debug, Clone)]
+pub struct FramePlan {
+    wpr: usize,
+    ops: Vec<ShotOp>,
+}
+
+impl FramePlan {
+    /// Compile a plan for `circuit` under `noise`.
+    ///
+    /// Returns `Ok(None)` when the circuit is not eligible — non-Clifford,
+    /// mid-circuit measurement, any `Reset`, or more than 64 random-outcome
+    /// measurements — in which case the caller should use the replay path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tableau errors (e.g. out-of-range qubits); eligibility
+    /// misses are *not* errors.
+    pub fn build(
+        circuit: &Circuit,
+        noise: &NoiseModel,
+    ) -> Result<Option<FramePlan>, SimulatorError> {
+        if !circuit.is_clifford() || !has_only_terminal_measurements(circuit) {
+            return Ok(None);
+        }
+        let n = circuit.num_qubits();
+        let wpr = n.div_ceil(64).max(1);
+
+        let mut tableau = StabilizerSimulator::new(n);
+        tableau.apply_circuit(circuit)?;
+        let mut sym = SymbolicTableau::new(&tableau);
+
+        let instructions = circuit.instructions();
+        let mut ops = Vec::new();
+        let mut coins = 0u32;
+        let mut any_measure = false;
+        for (index, inst) in instructions.iter().enumerate() {
+            match inst.gate {
+                Gate::Barrier => {}
+                Gate::Measure => {
+                    any_measure = true;
+                    match symbolic_measure_op(
+                        &mut sym,
+                        inst.qubits[0],
+                        inst.clbits[0],
+                        &mut coins,
+                        noise,
+                    )? {
+                        Some(op) => ops.push(op),
+                        None => return Ok(None),
+                    }
+                }
+                Gate::Reset => unreachable!("terminal-measurement check rejects Reset"),
+                ref gate => {
+                    if let Some(op) = noise_site(gate, inst, index, instructions, wpr, noise)? {
+                        ops.push(op);
+                    }
+                }
+            }
+        }
+        if !any_measure {
+            for q in 0..n {
+                match symbolic_measure_op(&mut sym, q, q, &mut coins, noise)? {
+                    Some(op) => ops.push(op),
+                    None => return Ok(None),
+                }
+            }
+        }
+        Ok(Some(FramePlan { wpr, ops }))
+    }
+
+    /// Fresh scratch buffers sized for this plan.
+    pub(crate) fn scratch(&self) -> FrameScratch {
+        FrameScratch {
+            fx: vec![0; self.wpr],
+            fz: vec![0; self.wpr],
+        }
+    }
+
+    /// Execute one shot: walk the plan, drawing noise hits, measurement coins
+    /// and readout flips in replay order, and return the packed outcome.
+    pub(crate) fn run_shot<R: Rng + ?Sized>(&self, rng: &mut R, scratch: &mut FrameScratch) -> u64 {
+        scratch.fx.fill(0);
+        scratch.fz.fill(0);
+        let mut coins = 0u64;
+        let mut outcome = 0u64;
+        for op in &self.ops {
+            match op {
+                ShotOp::NoiseOne { p, prop } => {
+                    if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                        xor_random_pauli(prop, rng, scratch);
+                    }
+                }
+                ShotOp::NoiseTwo { p, prop_a, prop_b } => {
+                    if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                        match rng.gen_range(0..3u8) {
+                            0 => xor_random_pauli(prop_a, rng, scratch),
+                            1 => xor_random_pauli(prop_b, rng, scratch),
+                            _ => {
+                                xor_random_pauli(prop_a, rng, scratch);
+                                xor_random_pauli(prop_b, rng, scratch);
+                            }
+                        }
+                    }
+                }
+                ShotOp::MeasureRandom {
+                    clbit,
+                    coin,
+                    readout_p,
+                } => {
+                    let raw = rng.gen_bool(0.5);
+                    coins |= u64::from(raw) << coin;
+                    record_bit(&mut outcome, *clbit, readout(raw, *readout_p, rng));
+                }
+                ShotOp::MeasureDet {
+                    clbit,
+                    base,
+                    dep_u,
+                    dep_fx,
+                    dep_fz,
+                    readout_p,
+                } => {
+                    let mut acc = dep_u & coins;
+                    let mut word_acc = 0u64;
+                    for j in 0..self.wpr {
+                        word_acc ^= (dep_fx[j] & scratch.fx[j]) ^ (dep_fz[j] & scratch.fz[j]);
+                    }
+                    acc ^= word_acc; // parities add mod 2, so XOR then popcount once
+                    let raw = *base ^ (acc.count_ones() & 1 == 1);
+                    record_bit(&mut outcome, *clbit, readout(raw, *readout_p, rng));
+                }
+            }
+        }
+        outcome
+    }
+}
+
+/// Build the noise-site op (if any) for the unitary at `index`, propagating
+/// unit errors on each faultable operand through the rest of the circuit.
+fn noise_site(
+    gate: &Gate,
+    inst: &Instruction,
+    index: usize,
+    instructions: &[Instruction],
+    wpr: usize,
+    noise: &NoiseModel,
+) -> Result<Option<ShotOp>, SimulatorError> {
+    if gate.is_directive() {
+        return Ok(None);
+    }
+    if gate.is_two_qubit() && inst.qubits.len() == 2 {
+        let p = noise.two_qubit_error(inst.qubits[0], inst.qubits[1]);
+        if p > 0.0 {
+            return Ok(Some(ShotOp::NoiseTwo {
+                p,
+                prop_a: propagate(inst.qubits[0], &instructions[index + 1..], wpr)?,
+                prop_b: propagate(inst.qubits[1], &instructions[index + 1..], wpr)?,
+            }));
+        }
+    } else if let Some(&q) = inst.qubits.first() {
+        let p = noise.single_qubit_error(q);
+        if p > 0.0 {
+            return Ok(Some(ShotOp::NoiseOne {
+                p,
+                prop: propagate(q, &instructions[index + 1..], wpr)?,
+            }));
+        }
+    }
+    Ok(None)
+}
+
+/// Terminal images of unit X / unit Z errors on `q` injected just before
+/// `rest` of the circuit.
+fn propagate(q: usize, rest: &[Instruction], wpr: usize) -> Result<Propagated, SimulatorError> {
+    let mut xf = Frame::unit_x(q, wpr);
+    let mut zf = Frame::unit_z(q, wpr);
+    for inst in rest {
+        if matches!(inst.gate, Gate::Measure | Gate::Reset | Gate::Barrier) {
+            continue;
+        }
+        xf.apply_gate(&inst.gate, &inst.qubits)?;
+        zf.apply_gate(&inst.gate, &inst.qubits)?;
+    }
+    Ok(Propagated {
+        x_fx: xf.fx,
+        x_fz: xf.fz,
+        z_fx: zf.fx,
+        z_fz: zf.fz,
+    })
+}
+
+/// XOR a uniformly random non-identity Pauli at a site into the shot frame,
+/// drawing exactly like `PauliError::random` (one `gen_range(0..3)`).
+fn xor_random_pauli<R: Rng + ?Sized>(prop: &Propagated, rng: &mut R, scratch: &mut FrameScratch) {
+    let kind = rng.gen_range(0..3u8); // 0 = X, 1 = Y, 2 = Z
+    if kind != 2 {
+        xor_into(&mut scratch.fx, &prop.x_fx);
+        xor_into(&mut scratch.fz, &prop.x_fz);
+    }
+    if kind != 0 {
+        xor_into(&mut scratch.fx, &prop.z_fx);
+        xor_into(&mut scratch.fz, &prop.z_fz);
+    }
+}
+
+fn xor_into(dst: &mut [u64], src: &[u64]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= *s;
+    }
+}
+
+/// Readout flip, drawing exactly like `NoiseModel::flip_readout`.
+fn readout<R: Rng + ?Sized>(raw: bool, p: f64, rng: &mut R) -> bool {
+    if p > 0.0 && rng.gen_bool(p.clamp(0.0, 1.0)) {
+        !raw
+    } else {
+        raw
+    }
+}
+
+/// Replay-path overwrite semantics: a later measurement into the same
+/// classical bit replaces the earlier value.
+fn record_bit(outcome: &mut u64, clbit: usize, bit: bool) {
+    if bit {
+        *outcome |= 1 << clbit;
+    } else {
+        *outcome &= !(1 << clbit);
+    }
+}
+
+/// Run one symbolic measurement of `qubit` into `clbit`, mutating the
+/// symbolic tableau exactly like `StabilizerSimulator::measure` mutates the
+/// concrete one. Returns `None` when the plan would need more than 64 coins.
+fn symbolic_measure_op(
+    sym: &mut SymbolicTableau,
+    qubit: usize,
+    clbit: usize,
+    coins: &mut u32,
+    noise: &NoiseModel,
+) -> Result<Option<ShotOp>, SimulatorError> {
+    let readout_p = noise.readout_error(qubit);
+    match sym.measure(qubit, *coins) {
+        SymbolicOutcome::Random => {
+            if *coins >= 64 {
+                return Ok(None);
+            }
+            let coin = *coins;
+            *coins += 1;
+            Ok(Some(ShotOp::MeasureRandom {
+                clbit,
+                coin,
+                readout_p,
+            }))
+        }
+        SymbolicOutcome::Det {
+            base,
+            dep_u,
+            dep_fx,
+            dep_fz,
+        } => Ok(Some(ShotOp::MeasureDet {
+            clbit,
+            base,
+            dep_u,
+            dep_fx,
+            dep_fz,
+            readout_p,
+        })),
+    }
+}
+
+/// Outcome of a symbolic measurement.
+enum SymbolicOutcome {
+    /// The ideal outcome is a fresh coin; the tableau consumed it.
+    Random,
+    /// The ideal outcome is `base` XOR the parity of the listed dependencies.
+    Det {
+        base: bool,
+        dep_u: u64,
+        dep_fx: Vec<u64>,
+        dep_fz: Vec<u64>,
+    },
+}
+
+/// A CHP tableau augmented with, per row, the GF(2) dependence of its phase
+/// bit on the measurement coins (`dep_u`, one bit per coin) and on the
+/// terminal error frame (`dep_fx`/`dep_fz`, one bit per qubit).
+///
+/// Row `i`'s phase flips iff the terminal frame anticommutes with row `i`:
+/// `parity(fx & z_i) ^ parity(fz & x_i)` — hence the initial dependence of
+/// row `i` is `dep_fx = z_i`, `dep_fz = x_i`. `rowsum` propagates
+/// dependencies by XOR (phase updates are linear in `r`, see module docs),
+/// and a random measurement's fresh row depends on its coin alone.
+struct SymbolicTableau {
+    n: usize,
+    wpr: usize,
+    x: Vec<u64>,
+    z: Vec<u64>,
+    r: Vec<bool>,
+    dep_u: Vec<u64>,
+    dep_fx: Vec<u64>,
+    dep_fz: Vec<u64>,
+}
+
+impl SymbolicTableau {
+    fn new(sim: &StabilizerSimulator) -> Self {
+        let n = sim.num_qubits();
+        let wpr = sim.words_per_row();
+        let rows = 2 * n + 1;
+        let mut x = Vec::with_capacity(rows * wpr);
+        let mut z = Vec::with_capacity(rows * wpr);
+        let mut r = Vec::with_capacity(rows);
+        let mut dep_fx = Vec::with_capacity(rows * wpr);
+        let mut dep_fz = Vec::with_capacity(rows * wpr);
+        for i in 0..rows {
+            x.extend_from_slice(sim.row_x(i));
+            z.extend_from_slice(sim.row_z(i));
+            r.push(sim.phase_bit(i));
+            dep_fx.extend_from_slice(sim.row_z(i));
+            dep_fz.extend_from_slice(sim.row_x(i));
+        }
+        SymbolicTableau {
+            n,
+            wpr,
+            x,
+            z,
+            r,
+            dep_u: vec![0; rows],
+            dep_fx,
+            dep_fz,
+        }
+    }
+
+    /// `rowsum` with dependency tracking: identical X/Z/phase arithmetic to
+    /// `StabilizerSimulator::rowsum`, plus `deps[h] ^= deps[i]`.
+    fn rowsum(&mut self, h: usize, i: usize) {
+        let mut phase: i64 = i64::from(self.r[h]) * 2 + i64::from(self.r[i]) * 2;
+        let hoff = h * self.wpr;
+        let ioff = i * self.wpr;
+        for j in 0..self.wpr {
+            let x1 = self.x[ioff + j];
+            let z1 = self.z[ioff + j];
+            let x2 = self.x[hoff + j];
+            let z2 = self.z[hoff + j];
+            let plus = (x1 & z1 & !x2 & z2) | (x1 & !z1 & x2 & z2) | (!x1 & z1 & x2 & !z2);
+            let minus = (x1 & z1 & x2 & !z2) | (x1 & !z1 & !x2 & z2) | (!x1 & z1 & x2 & z2);
+            phase += i64::from(plus.count_ones()) - i64::from(minus.count_ones());
+            self.x[hoff + j] = x2 ^ x1;
+            self.z[hoff + j] = z2 ^ z1;
+            self.dep_fx[hoff + j] ^= self.dep_fx[ioff + j];
+            self.dep_fz[hoff + j] ^= self.dep_fz[ioff + j];
+        }
+        self.r[h] = phase.rem_euclid(4) == 2;
+        self.dep_u[h] ^= self.dep_u[i];
+    }
+
+    /// Symbolic mirror of `StabilizerSimulator::measure`: same pivot search
+    /// and row operations (both are error-independent), but outcomes are
+    /// returned as dependency sets instead of drawing from an RNG.
+    fn measure(&mut self, a: usize, next_coin: u32) -> SymbolicOutcome {
+        let n = self.n;
+        let wpr = self.wpr;
+        let (w, bit) = (a >> 6, 1u64 << (a & 63));
+        let mut p = None;
+        for i in n..2 * n {
+            if self.x[i * wpr + w] & bit != 0 {
+                p = Some(i);
+                break;
+            }
+        }
+        if let Some(p) = p {
+            for i in 0..2 * n {
+                if i != p && self.x[i * wpr + w] & bit != 0 {
+                    self.rowsum(i, p);
+                }
+            }
+            self.x.copy_within(p * wpr..(p + 1) * wpr, (p - n) * wpr);
+            self.z.copy_within(p * wpr..(p + 1) * wpr, (p - n) * wpr);
+            self.r[p - n] = self.r[p];
+            self.dep_u[p - n] = self.dep_u[p];
+            self.dep_fx
+                .copy_within(p * wpr..(p + 1) * wpr, (p - n) * wpr);
+            self.dep_fz
+                .copy_within(p * wpr..(p + 1) * wpr, (p - n) * wpr);
+            self.x[p * wpr..(p + 1) * wpr].fill(0);
+            self.z[p * wpr..(p + 1) * wpr].fill(0);
+            self.z[p * wpr + w] |= bit;
+            // The concrete tableau sets r[p] to the fresh coin; symbolically
+            // that is base=false plus a sole dependency on the coin.
+            self.r[p] = false;
+            self.dep_u[p] = 1u64.checked_shl(next_coin).unwrap_or(0);
+            self.dep_fx[p * wpr..(p + 1) * wpr].fill(0);
+            self.dep_fz[p * wpr..(p + 1) * wpr].fill(0);
+            SymbolicOutcome::Random
+        } else {
+            let scratch = 2 * n;
+            self.x[scratch * wpr..(scratch + 1) * wpr].fill(0);
+            self.z[scratch * wpr..(scratch + 1) * wpr].fill(0);
+            self.r[scratch] = false;
+            self.dep_u[scratch] = 0;
+            self.dep_fx[scratch * wpr..(scratch + 1) * wpr].fill(0);
+            self.dep_fz[scratch * wpr..(scratch + 1) * wpr].fill(0);
+            for i in 0..n {
+                if self.x[i * wpr + w] & bit != 0 {
+                    self.rowsum(scratch, i + n);
+                }
+            }
+            SymbolicOutcome::Det {
+                base: self.r[scratch],
+                dep_u: self.dep_u[scratch],
+                dep_fx: self.dep_fx[scratch * wpr..(scratch + 1) * wpr].to_vec(),
+                dep_fz: self.dep_fz[scratch * wpr..(scratch + 1) * wpr].to_vec(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrio_circuit::library;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ineligible_circuits_return_none() {
+        // Mid-circuit reset.
+        let mut reset = Circuit::new(2, 2);
+        reset.x(0).unwrap();
+        reset.reset(0).unwrap();
+        reset.measure_all().unwrap();
+        assert!(FramePlan::build(&reset, &NoiseModel::ideal(2))
+            .unwrap()
+            .is_none());
+
+        // Gate after measurement.
+        let mut mid = Circuit::new(2, 2);
+        mid.h(0).unwrap();
+        mid.measure(0, 0).unwrap();
+        mid.x(1).unwrap();
+        mid.measure(1, 1).unwrap();
+        assert!(FramePlan::build(&mid, &NoiseModel::ideal(2))
+            .unwrap()
+            .is_none());
+
+        // Non-Clifford gate.
+        let mut t = Circuit::new(1, 1);
+        t.t(0).unwrap();
+        t.measure(0, 0).unwrap();
+        assert!(FramePlan::build(&t, &NoiseModel::ideal(1))
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn deterministic_circuit_reproduces_exact_outcome() {
+        let secret = 0b1011001101u64;
+        let circuit = library::bernstein_vazirani(10, secret).unwrap();
+        let plan = FramePlan::build(&circuit, &NoiseModel::ideal(10))
+            .unwrap()
+            .expect("bv is eligible");
+        let mut scratch = plan.scratch();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..16 {
+            assert_eq!(plan.run_shot(&mut rng, &mut scratch), secret);
+        }
+    }
+
+    #[test]
+    fn ghz_shots_are_bimodal_and_correlated() {
+        let circuit = library::ghz(5).unwrap();
+        let plan = FramePlan::build(&circuit, &NoiseModel::ideal(5))
+            .unwrap()
+            .expect("ghz is eligible");
+        let mut scratch = plan.scratch();
+        let mut rng = StdRng::seed_from_u64(2);
+        let all_ones = (1u64 << 5) - 1;
+        let mut zeros = 0;
+        for _ in 0..200 {
+            let outcome = plan.run_shot(&mut rng, &mut scratch);
+            assert!(outcome == 0 || outcome == all_ones, "got {outcome:b}");
+            if outcome == 0 {
+                zeros += 1;
+            }
+        }
+        assert!((40..160).contains(&zeros), "{zeros} zeros of 200");
+    }
+
+    #[test]
+    fn pure_readout_noise_flips_every_bit() {
+        let mut circuit = Circuit::new(2, 2);
+        circuit.measure_all().unwrap();
+        let noise = NoiseModel::uniform(2, 0.0, 0.0, 1.0);
+        let plan = FramePlan::build(&circuit, &noise).unwrap().unwrap();
+        let mut scratch = plan.scratch();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..32 {
+            assert_eq!(plan.run_shot(&mut rng, &mut scratch), 0b11);
+        }
+    }
+
+    #[test]
+    fn certain_x_noise_site_flips_downstream_measurement() {
+        // One H-free wire: |0> -I-> measure, with p(single-qubit error) = 1.
+        // Every shot faults the I gate with X, Y or Z; X and Y flip the
+        // outcome, so roughly 2/3 of shots read 1.
+        let mut circuit = Circuit::new(1, 1);
+        circuit.append(Gate::I, &[0]).unwrap();
+        circuit.measure(0, 0).unwrap();
+        let noise = NoiseModel::uniform(1, 1.0, 0.0, 0.0);
+        let plan = FramePlan::build(&circuit, &noise).unwrap().unwrap();
+        let mut scratch = plan.scratch();
+        let mut rng = StdRng::seed_from_u64(4);
+        let ones: u32 = (0..600)
+            .map(|_| plan.run_shot(&mut rng, &mut scratch) as u32)
+            .sum();
+        assert!((300..500).contains(&ones), "{ones} ones of 600");
+    }
+}

@@ -16,7 +16,8 @@
 //! * [`NoiseModel`] — per-qubit/per-edge depolarizing Pauli errors plus
 //!   readout flips, derived from a [`qrio_backend::Backend`].
 //! * [`executor`] — shot execution with automatic engine selection,
-//!   ideal-terminal-measurement fast paths, deterministic sharded parallel
+//!   ideal-terminal-measurement fast paths, Pauli-frame batched shots for
+//!   noisy Clifford circuits ([`FramePlan`]), deterministic sharded parallel
 //!   execution ([`ParallelConfig`]), and the [`executor::fidelity_on_backend`]
 //!   helper that compares noisy output to the noise-free reference with
 //!   Hellinger fidelity.
@@ -45,6 +46,7 @@ mod complex;
 mod counts;
 mod error;
 pub mod executor;
+pub mod frame;
 mod noise;
 mod stabilizer;
 mod statevector;
@@ -54,10 +56,13 @@ pub use counts::Counts;
 pub use error::SimulatorError;
 pub use executor::{
     run_ideal, run_ideal_parallel, run_on_backend, run_on_backend_parallel, run_with_noise,
-    run_with_noise_parallel, Engine, ParallelConfig, DEFAULT_SHOTS, SEED_STREAM_STRIDE,
+    run_with_noise_parallel, run_with_noise_path, Engine, ExecutionPath, ParallelConfig,
+    DEFAULT_SHOTS, SEED_STREAM_STRIDE,
 };
+pub use frame::FramePlan;
 pub use noise::{NoiseModel, PauliError};
 pub use stabilizer::StabilizerSimulator;
 pub use statevector::{
-    single_qubit_matrix, u3_matrix, CumulativeDistribution, StateVector, MAX_STATEVECTOR_QUBITS,
+    fuse_circuit, single_qubit_matrix, u3_matrix, CumulativeDistribution, FusedOp, StateVector,
+    MAX_STATEVECTOR_QUBITS,
 };

@@ -175,6 +175,23 @@ impl NoiseModel {
         faults
     }
 
+    /// Sample the Pauli error (if any) to inject after a `Reset` on `q`.
+    ///
+    /// Reset semantics: the internal collapse of a reset is *not* a classical
+    /// readout (nothing is recorded), so readout error does not apply — but
+    /// the reset pulse itself is an active single-qubit operation and carries
+    /// the qubit's single-qubit depolarizing error, sampled *after* the ideal
+    /// re-initialisation. Without this, reset would be the only silently
+    /// ideal operation in an otherwise noisy circuit.
+    pub fn sample_reset_error<R: Rng + ?Sized>(&self, q: usize, rng: &mut R) -> Option<PauliError> {
+        let p = self.single_qubit_error(q);
+        if p > 0.0 && rng.gen_bool(p.clamp(0.0, 1.0)) {
+            Some(PauliError::random(rng))
+        } else {
+            None
+        }
+    }
+
     /// Apply readout noise to a measured bit.
     pub fn flip_readout<R: Rng + ?Sized>(&self, q: usize, value: bool, rng: &mut R) -> bool {
         let p = self.readout_error(q);

@@ -65,6 +65,27 @@ impl StabilizerSimulator {
         self.n
     }
 
+    /// Words per bit-packed row (`⌈n/64⌉`, at least 1). Used by the
+    /// Pauli-frame planner to lay out its masks identically.
+    pub(crate) fn words_per_row(&self) -> usize {
+        self.wpr
+    }
+
+    /// The packed X components of row `i` (row layout documented on `x`).
+    pub(crate) fn row_x(&self, i: usize) -> &[u64] {
+        &self.x[i * self.wpr..(i + 1) * self.wpr]
+    }
+
+    /// The packed Z components of row `i`.
+    pub(crate) fn row_z(&self, i: usize) -> &[u64] {
+        &self.z[i * self.wpr..(i + 1) * self.wpr]
+    }
+
+    /// The phase bit of row `i` (true = −1).
+    pub(crate) fn phase_bit(&self, i: usize) -> bool {
+        self.r[i]
+    }
+
     /// Apply a Hadamard gate to qubit `a`.
     pub fn h(&mut self, a: usize) {
         let (w, bit) = (a >> 6, 1u64 << (a & 63));

@@ -4,6 +4,12 @@
 //! fidelity experiment (§4.3): it can simulate arbitrary (non-Clifford)
 //! circuits exactly, but only up to a modest number of qubits because memory
 //! grows as `2^n`.
+//!
+//! [`StateVector::apply_circuit`] runs a gate-fusion pass first
+//! ([`fuse_circuit`]): adjacent single-qubit gates on one wire collapse into
+//! a single 2×2 matrix, and runs of diagonal two-qubit gates (CZ/CP/CRZ) on
+//! one pair collapse into per-quadrant phase factors — one sweep over the
+//! `2^n` amplitudes instead of one per gate.
 
 use std::f64::consts::FRAC_1_SQRT_2;
 
@@ -218,7 +224,9 @@ impl StateVector {
     }
 
     /// Apply every unitary gate of `circuit` in order, skipping measurements,
-    /// resets and barriers.
+    /// resets and barriers. Gates are fused first (see [`fuse_circuit`]), so
+    /// runs of single-qubit gates and of diagonal two-qubit gates cost one
+    /// amplitude sweep each.
     ///
     /// # Errors
     ///
@@ -231,13 +239,69 @@ impl StateVector {
                 num_qubits: self.num_qubits,
             });
         }
-        for inst in circuit.instructions() {
-            if matches!(inst.gate, Gate::Measure | Gate::Reset | Gate::Barrier) {
-                continue;
+        self.apply_fused(&fuse_circuit(circuit))
+    }
+
+    /// Apply a pre-fused gate sequence (see [`fuse_circuit`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for out-of-range or coincident qubits, or an
+    /// unsupported passthrough gate.
+    pub fn apply_fused(&mut self, ops: &[FusedOp]) -> Result<(), SimulatorError> {
+        for op in ops {
+            match op {
+                FusedOp::Single { qubit, matrix } => {
+                    if *qubit >= self.num_qubits {
+                        return Err(SimulatorError::QubitOutOfRange {
+                            qubit: *qubit,
+                            num_qubits: self.num_qubits,
+                        });
+                    }
+                    self.apply_single(*matrix, *qubit);
+                }
+                FusedOp::DiagonalPair {
+                    control,
+                    target,
+                    phases,
+                } => {
+                    if *control >= self.num_qubits || *target >= self.num_qubits {
+                        return Err(SimulatorError::QubitOutOfRange {
+                            qubit: (*control).max(*target),
+                            num_qubits: self.num_qubits,
+                        });
+                    }
+                    if control == target {
+                        return Err(SimulatorError::InvalidParameter(
+                            "diagonal pair requires two distinct qubits".into(),
+                        ));
+                    }
+                    self.apply_diagonal_pair(*control, *target, phases);
+                }
+                FusedOp::Passthrough { gate, qubits } => self.apply_gate(gate, qubits)?,
             }
-            self.apply_gate(&inst.gate, &inst.qubits)?;
         }
         Ok(())
+    }
+
+    /// Apply per-quadrant phases indexed by `(control_bit << 1) | target_bit`.
+    ///
+    /// Quadrants whose phase is exactly `1` (the common case: unfused CZ/CP
+    /// touch only the `|11⟩` quadrant, CRZ only the control-set half) are
+    /// skipped entirely, so a lone diagonal gate costs the same stride loop
+    /// as the dedicated paths it replaces.
+    fn apply_diagonal_pair(&mut self, control: usize, target: usize, phases: &[Complex64; 4]) {
+        let pairs = self.amplitudes.len() >> 2;
+        for (sel, &phase) in phases.iter().enumerate() {
+            if phase == Complex64::ONE {
+                continue;
+            }
+            let mask = ((sel >> 1) << control) | ((sel & 1) << target);
+            for k in 0..pairs {
+                let index = expand2(k, control, target) | mask;
+                self.amplitudes[index] = self.amplitudes[index] * phase;
+            }
+        }
     }
 
     /// Measure qubit `q` in the computational basis, collapsing the state.
@@ -347,6 +411,154 @@ impl CumulativeDistribution {
         let index = self.cumulative.partition_point(|&c| c <= draw);
         index.min(self.cumulative.len().saturating_sub(1)) as u64
     }
+}
+
+/// One operation of a fused gate sequence (see [`fuse_circuit`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FusedOp {
+    /// A run of adjacent single-qubit gates on one wire, collapsed into a
+    /// single 2×2 unitary.
+    Single {
+        /// Target qubit.
+        qubit: usize,
+        /// The accumulated matrix (later gates multiplied on the left).
+        matrix: [[Complex64; 2]; 2],
+    },
+    /// A run of adjacent diagonal two-qubit gates (CZ/CP/CRZ) on one pair,
+    /// collapsed into per-quadrant phase factors.
+    DiagonalPair {
+        /// First operand of the originating gates (CRZ control).
+        control: usize,
+        /// Second operand of the originating gates (CRZ target).
+        target: usize,
+        /// Phase per quadrant, indexed by `(control_bit << 1) | target_bit`.
+        phases: [Complex64; 4],
+    },
+    /// Any other gate, passed through unfused.
+    Passthrough {
+        /// The gate.
+        gate: Gate,
+        /// Its operands.
+        qubits: Vec<usize>,
+    },
+}
+
+/// Fuse a circuit's unitaries for [`StateVector::apply_fused`].
+///
+/// Two kinds of runs collapse:
+///
+/// * **Single-qubit runs**: consecutive single-qubit gates on one wire
+///   multiply into one 2×2 matrix, applied in a single amplitude sweep.
+/// * **Diagonal-pair runs**: consecutive CZ/CP/CRZ gates on the same
+///   (unordered) qubit pair multiply into one per-quadrant phase table.
+///
+/// Single-qubit gates stay *pending* until an operation touches their wire
+/// (or the circuit ends), so gates on other wires never break a run — sound
+/// because operations on disjoint qubits commute. Barriers flush everything:
+/// they exist to fence optimisation. Measurements and resets are skipped,
+/// matching [`StateVector::apply_circuit`]; the executor handles them.
+pub fn fuse_circuit(circuit: &Circuit) -> Vec<FusedOp> {
+    let mut ops: Vec<FusedOp> = Vec::new();
+    let mut pending: Vec<Option<[[Complex64; 2]; 2]>> = vec![None; circuit.num_qubits()];
+    let flush = |ops: &mut Vec<FusedOp>, pending: &mut [Option<[[Complex64; 2]; 2]>], q: usize| {
+        if let Some(matrix) = pending[q].take() {
+            ops.push(FusedOp::Single { qubit: q, matrix });
+        }
+    };
+    for inst in circuit.instructions() {
+        match inst.gate {
+            Gate::Measure | Gate::Reset | Gate::Barrier => {
+                for q in 0..pending.len() {
+                    flush(&mut ops, &mut pending, q);
+                }
+            }
+            Gate::I => {}
+            Gate::CZ | Gate::CP(_) | Gate::CRZ(_) => {
+                let (a, b) = (inst.qubits[0], inst.qubits[1]);
+                flush(&mut ops, &mut pending, a);
+                flush(&mut ops, &mut pending, b);
+                let phases = diagonal_phases(&inst.gate);
+                if let Some(FusedOp::DiagonalPair {
+                    control,
+                    target,
+                    phases: existing,
+                }) = ops.last_mut()
+                {
+                    if (*control, *target) == (a, b) {
+                        for (e, p) in existing.iter_mut().zip(&phases) {
+                            *e = *e * *p;
+                        }
+                        continue;
+                    }
+                    if (*control, *target) == (b, a) {
+                        // Same pair, reversed: diagonal matrices commute, only
+                        // the quadrant indexing swaps its two middle entries.
+                        existing[0] = existing[0] * phases[0];
+                        existing[1] = existing[1] * phases[2];
+                        existing[2] = existing[2] * phases[1];
+                        existing[3] = existing[3] * phases[3];
+                        continue;
+                    }
+                }
+                ops.push(FusedOp::DiagonalPair {
+                    control: a,
+                    target: b,
+                    phases,
+                });
+            }
+            ref gate => {
+                if let Some(matrix) = single_qubit_matrix(gate) {
+                    let q = inst.qubits[0];
+                    pending[q] = Some(match pending[q] {
+                        Some(prev) => matmul2(&matrix, &prev),
+                        None => matrix,
+                    });
+                } else {
+                    for &q in &inst.qubits {
+                        flush(&mut ops, &mut pending, q);
+                    }
+                    ops.push(FusedOp::Passthrough {
+                        gate: inst.gate,
+                        qubits: inst.qubits.clone(),
+                    });
+                }
+            }
+        }
+    }
+    for q in 0..pending.len() {
+        flush(&mut ops, &mut pending, q);
+    }
+    ops
+}
+
+/// Per-quadrant phases of a diagonal two-qubit gate, indexed by
+/// `(first_operand_bit << 1) | second_operand_bit`. Built with the same
+/// `cis` calls as the dedicated gate paths so an unfused gate applies
+/// bit-identical factors.
+fn diagonal_phases(gate: &Gate) -> [Complex64; 4] {
+    let one = Complex64::ONE;
+    match *gate {
+        Gate::CZ => [one, one, one, Complex64::cis(std::f64::consts::PI)],
+        Gate::CP(theta) => [one, one, one, Complex64::cis(theta)],
+        Gate::CRZ(theta) => [
+            one,
+            one,
+            Complex64::cis(-theta / 2.0),
+            Complex64::cis(theta / 2.0),
+        ],
+        _ => unreachable!("only CZ/CP/CRZ are diagonal pairs"),
+    }
+}
+
+/// `second · first`: the matrix applying `first` then `second`.
+fn matmul2(second: &[[Complex64; 2]; 2], first: &[[Complex64; 2]; 2]) -> [[Complex64; 2]; 2] {
+    let mut out = [[Complex64::ZERO; 2]; 2];
+    for i in 0..2 {
+        for j in 0..2 {
+            out[i][j] = second[i][0] * first[0][j] + second[i][1] * first[1][j];
+        }
+    }
+    out
 }
 
 /// Expand `k` by inserting a zero bit at position `pos`: the result enumerates
@@ -696,6 +908,102 @@ mod tests {
                 let controls = i & (1 << c0) != 0 && i & (1 << c1) != 0;
                 let expected = if controls { i ^ (1 << t) } else { i };
                 assert!(ccx.amplitude(expected).approx_eq(before[i], 1e-12));
+            }
+        }
+    }
+
+    /// Reference application: one `apply_gate` per instruction, no fusion.
+    fn apply_unfused(sv: &mut StateVector, circuit: &Circuit) {
+        for inst in circuit.instructions() {
+            if matches!(inst.gate, Gate::Measure | Gate::Reset | Gate::Barrier) {
+                continue;
+            }
+            sv.apply_gate(&inst.gate, &inst.qubits).unwrap();
+        }
+    }
+
+    #[test]
+    fn fused_apply_matches_unfused() {
+        // Runs of 1q gates, diagonal chains (including a reversed pair),
+        // passthrough 2q/3q gates and a barrier fence.
+        let mut c = Circuit::new(3, 0);
+        c.h(0).unwrap();
+        c.t(0).unwrap();
+        c.s(0).unwrap();
+        c.h(1).unwrap();
+        c.rz(0.3, 1).unwrap();
+        c.cz(0, 1).unwrap();
+        c.append(Gate::CP(0.4), &[0, 1]).unwrap();
+        c.append(Gate::CRZ(0.9), &[1, 0]).unwrap(); // reversed operand order
+        c.ry(0.7, 2).unwrap();
+        c.cx(1, 2).unwrap();
+        c.barrier(&[0, 1, 2]).unwrap();
+        c.u3(0.2, 0.4, 0.6, 2).unwrap();
+        c.tdg(2).unwrap();
+        c.ccx(0, 1, 2).unwrap();
+        c.swap(0, 2).unwrap();
+
+        let mut fused = StateVector::new(3).unwrap();
+        fused.apply_circuit(&c).unwrap();
+        let mut reference = StateVector::new(3).unwrap();
+        apply_unfused(&mut reference, &c);
+        for i in 0..8 {
+            assert!(
+                fused.amplitude(i).approx_eq(reference.amplitude(i), 1e-12),
+                "amplitude {i} diverged: {:?} vs {:?}",
+                fused.amplitude(i),
+                reference.amplitude(i)
+            );
+        }
+    }
+
+    #[test]
+    fn fusion_collapses_runs() {
+        let mut c = Circuit::new(2, 0);
+        c.h(0).unwrap();
+        c.t(0).unwrap();
+        c.s(0).unwrap();
+        c.cz(0, 1).unwrap();
+        c.append(Gate::CP(0.4), &[0, 1]).unwrap();
+        c.append(Gate::CRZ(0.9), &[1, 0]).unwrap();
+        let ops = fuse_circuit(&c);
+        // One fused single on qubit 0, one fused diagonal pair.
+        assert_eq!(ops.len(), 2);
+        assert!(matches!(ops[0], FusedOp::Single { qubit: 0, .. }));
+        assert!(matches!(
+            ops[1],
+            FusedOp::DiagonalPair {
+                control: 0,
+                target: 1,
+                ..
+            }
+        ));
+
+        // Barriers fence fusion.
+        let mut fenced = Circuit::new(1, 0);
+        fenced.h(0).unwrap();
+        fenced.barrier(&[0]).unwrap();
+        fenced.h(0).unwrap();
+        assert_eq!(fuse_circuit(&fenced).len(), 2);
+    }
+
+    #[test]
+    fn lone_diagonal_gates_stay_bit_identical() {
+        // An unfused CZ/CP/CRZ must produce *exactly* the amplitudes of the
+        // dedicated stride loops: three quadrants stay at phase 1 and are
+        // skipped, the rest multiply by the same `cis` factor.
+        for gate in [Gate::CZ, Gate::CP(0.7), Gate::CRZ(0.9)] {
+            let mut c = Circuit::new(2, 0);
+            c.h(0).unwrap();
+            c.h(1).unwrap();
+            c.barrier(&[0, 1]).unwrap(); // keep the H's out of the comparison
+            c.append(gate, &[0, 1]).unwrap();
+            let mut fused = StateVector::new(2).unwrap();
+            fused.apply_circuit(&c).unwrap();
+            let mut reference = StateVector::new(2).unwrap();
+            apply_unfused(&mut reference, &c);
+            for i in 0..4 {
+                assert_eq!(fused.amplitude(i), reference.amplitude(i), "gate {gate:?}");
             }
         }
     }

@@ -10,9 +10,14 @@
 //! other via Hellinger fidelity. Seeds are fixed, so a failure means an
 //! engine is biased — never flake.
 
+use proptest::prelude::*;
+
 use qrio_circuit::{library, Circuit};
 use qrio_sim::executor::{select_engine, Engine};
-use qrio_sim::{run_ideal, Counts, StateVector};
+use qrio_sim::{
+    run_ideal, run_with_noise_parallel, run_with_noise_path, Counts, ExecutionPath, NoiseModel,
+    ParallelConfig, StateVector,
+};
 
 /// Exact outcome distribution of a measurement-free circuit, from the dense
 /// amplitudes.
@@ -53,6 +58,42 @@ fn chi_square(counts: &Counts, probabilities: &[f64]) -> (f64, f64) {
 /// Generous chi-square critical bound at p ≈ 0.001 for df <= ~128.
 fn critical(df: f64) -> f64 {
     df + 4.0 * (2.0 * df).sqrt() + 10.0
+}
+
+/// Two-sample pooled chi-square: are `a` and `b` draws from one distribution?
+/// Under H0 the expected count in a bucket is the pooled frequency scaled by
+/// each sample's size; buckets whose smaller expectation is below 5 pool.
+/// Returns `(statistic, degrees_of_freedom)`.
+fn two_sample_chi_square(a: &Counts, b: &Counts) -> (f64, f64) {
+    let na = a.total() as f64;
+    let nb = b.total() as f64;
+    let mut outcomes: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+    outcomes.extend(a.iter().map(|(outcome, _)| outcome));
+    outcomes.extend(b.iter().map(|(outcome, _)| outcome));
+    let mut statistic = 0.0;
+    let mut buckets = 0usize;
+    let (mut pool_oa, mut pool_ob, mut pool_ea, mut pool_eb) = (0.0, 0.0, 0.0, 0.0);
+    for outcome in outcomes {
+        let oa = a.get(outcome) as f64;
+        let ob = b.get(outcome) as f64;
+        let pooled = (oa + ob) / (na + nb);
+        let (ea, eb) = (pooled * na, pooled * nb);
+        if ea.min(eb) < 5.0 {
+            pool_oa += oa;
+            pool_ob += ob;
+            pool_ea += ea;
+            pool_eb += eb;
+        } else {
+            statistic += (oa - ea).powi(2) / ea + (ob - eb).powi(2) / eb;
+            buckets += 1;
+        }
+    }
+    if pool_ea + pool_eb > 0.0 {
+        statistic += (pool_oa - pool_ea).powi(2) / pool_ea.max(1e-9)
+            + (pool_ob - pool_eb).powi(2) / pool_eb.max(1e-9);
+        buckets += 1;
+    }
+    (statistic, buckets.saturating_sub(1) as f64)
 }
 
 /// The statevector twin of a Clifford circuit: same unitary, but with a
@@ -145,5 +186,152 @@ fn engines_agree_on_structured_clifford_families() {
         }
         let fidelity = stabilizer.hellinger_fidelity(&statevector);
         assert!(fidelity > 0.99, "{label}: engines disagree ({fidelity})");
+    }
+}
+
+#[test]
+fn frame_path_is_byte_identical_to_replay_under_noise() {
+    // The Pauli-frame path mirrors the replay path's RNG draw order exactly,
+    // so with identical seeds the histograms must be *equal*, not merely
+    // statistically close — across every thread count.
+    let shots = 4_000u64;
+    for seed in [5u64, 21] {
+        let mut circuit = library::random_clifford_circuit(8, 6, seed)
+            .unwrap()
+            .without_measurements();
+        circuit.measure_all().unwrap();
+        let noise = NoiseModel::uniform(8, 0.02, 0.05, 0.03);
+
+        let replay = run_with_noise_path(
+            &circuit,
+            &noise,
+            shots,
+            900 + seed,
+            &ParallelConfig::serial(),
+            ExecutionPath::Replay,
+        )
+        .unwrap();
+        for threads in [1usize, 2, 8] {
+            let frame = run_with_noise_path(
+                &circuit,
+                &noise,
+                shots,
+                900 + seed,
+                &ParallelConfig::with_threads(threads),
+                ExecutionPath::Frame,
+            )
+            .unwrap();
+            assert_eq!(
+                frame, replay,
+                "seed {seed}: frame path at {threads} threads diverged from serial replay"
+            );
+        }
+        // Auto selects the frame path for this circuit and must agree too.
+        let auto = run_with_noise_parallel(
+            &circuit,
+            &noise,
+            shots,
+            900 + seed,
+            &ParallelConfig::serial(),
+        )
+        .unwrap();
+        assert_eq!(auto, replay, "seed {seed}: auto path diverged from replay");
+    }
+}
+
+#[test]
+fn noisy_frame_matches_replay_and_statevector_monte_carlo() {
+    // Three-way agreement under a *noisy* model: the frame path, the replay
+    // path, and a statevector Monte Carlo twin all sample the same physical
+    // distribution. The noise model has zero single-qubit gate error so the
+    // twin's T·T† prefix adds no extra noise sites or RNG draws.
+    let shots = 12_000u64;
+    for seed in [3u64, 17] {
+        let mut circuit = library::random_clifford_circuit(6, 8, seed)
+            .unwrap()
+            .without_measurements();
+        let twin = statevector_twin(&circuit);
+        circuit.measure_all().unwrap();
+        let noise = NoiseModel::uniform(6, 0.0, 0.08, 0.02);
+
+        let frame = run_with_noise_path(
+            &circuit,
+            &noise,
+            shots,
+            1000 + seed,
+            &ParallelConfig::serial(),
+            ExecutionPath::Frame,
+        )
+        .unwrap();
+        let replay = run_with_noise_path(
+            &circuit,
+            &noise,
+            shots,
+            3000 + seed,
+            &ParallelConfig::serial(),
+            ExecutionPath::Replay,
+        )
+        .unwrap();
+        assert_eq!(select_engine(&twin).unwrap(), Engine::Statevector);
+        let statevector =
+            run_with_noise_parallel(&twin, &noise, shots, 2000 + seed, &ParallelConfig::serial())
+                .unwrap();
+
+        for (label, other) in [("replay", &replay), ("statevector", &statevector)] {
+            let (statistic, df) = two_sample_chi_square(&frame, other);
+            assert!(
+                statistic < critical(df),
+                "seed {seed}: frame vs {label} chi-square {statistic:.1} exceeds {:.1} (df {df})",
+                critical(df)
+            );
+            let fidelity = frame.hellinger_fidelity(other);
+            assert!(
+                fidelity > 0.99,
+                "seed {seed}: frame vs {label} Hellinger fidelity {fidelity}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// At zero noise the frame path and replay path share not just a
+    /// distribution but every byte: both consume the measurement-coin RNG in
+    /// the same order, so the histograms must be identical for any Clifford
+    /// circuit.
+    #[test]
+    fn frame_path_matches_replay_bit_for_bit_at_zero_noise(
+        qubits in 2usize..12,
+        depth in 1usize..9,
+        circuit_seed in 0u64..1_000_000,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut circuit = library::random_clifford_circuit(qubits, depth, circuit_seed)
+            .unwrap()
+            .without_measurements();
+        circuit.measure_all().unwrap();
+        let noise = NoiseModel::ideal(qubits);
+        let shots = 192u64; // three shards
+
+        let frame = run_with_noise_path(
+            &circuit,
+            &noise,
+            shots,
+            seed,
+            &ParallelConfig::serial(),
+            ExecutionPath::Frame,
+        )
+        .unwrap();
+        let replay = run_with_noise_path(
+            &circuit,
+            &noise,
+            shots,
+            seed,
+            &ParallelConfig::serial(),
+            ExecutionPath::Replay,
+        )
+        .unwrap();
+        prop_assert_eq!(frame, replay);
     }
 }
