@@ -1,0 +1,40 @@
+//! Typed errors for agent and transport operations.
+
+use std::fmt;
+
+use qrio_proto::ProtoError;
+
+/// Errors surfaced by [`crate::Transport`] implementations and
+/// [`crate::NodeAgent`] frame handling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AgentError {
+    /// A frame failed wire decoding.
+    Proto(ProtoError),
+    /// A command was addressed to a node no agent owns.
+    UnknownNode {
+        /// The unrecognised node id.
+        node: String,
+    },
+    /// The transport's channel to its workers (or back) is closed.
+    Disconnected,
+}
+
+impl fmt::Display for AgentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AgentError::Proto(err) => write!(f, "wire error: {err}"),
+            AgentError::UnknownNode { node } => {
+                write!(f, "no agent registered for node '{node}'")
+            }
+            AgentError::Disconnected => write!(f, "transport channel disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for AgentError {}
+
+impl From<ProtoError> for AgentError {
+    fn from(err: ProtoError) -> Self {
+        AgentError::Proto(err)
+    }
+}

@@ -1,0 +1,59 @@
+//! # qrio-agent
+//!
+//! Node agents for the QRIO control plane (reproduction of *Empowering the
+//! Quantum Cloud User with QRIO*, IISWC 2024). A [`NodeAgent`] is one
+//! device's worker: it holds a replica of the device calibration and the
+//! fault-injection plan (both shipped in `Bind` commands), executes
+//! self-contained `Run` work orders with a [`qrio_cluster::JobRunner`], and
+//! answers every command with exactly one report.
+//!
+//! Agents never touch orchestrator state — all traffic is encoded
+//! [`qrio_proto::Envelope`] frames crossing a [`Transport`]:
+//!
+//! | transport            | where agents run        | determinism                          |
+//! |----------------------|-------------------------|--------------------------------------|
+//! | [`InProcTransport`]  | the caller's thread     | fully deterministic in virtual time  |
+//! | [`ChannelTransport`] | real `std::thread`s     | final reports byte-identical for any |
+//! |                      | over `mpsc` channels    | worker count (agents are pure)       |
+//!
+//! ```
+//! use qrio_agent::{InProcTransport, NodeAgent, Transport};
+//! use qrio_cluster::{ExecutionOutcome, ImageBundle, JobRunner, JobSpec};
+//! use qrio_proto::{Envelope, NodeCommand, Payload};
+//!
+//! #[derive(Debug)]
+//! struct NullRunner;
+//! impl JobRunner for NullRunner {
+//!     fn run(
+//!         &self,
+//!         _spec: &JobSpec,
+//!         _image: &ImageBundle,
+//!         _backend: &qrio_backend::Backend,
+//!     ) -> Result<ExecutionOutcome, String> {
+//!         Err("not a real device".into())
+//!     }
+//! }
+//!
+//! let mut transport = InProcTransport::new();
+//! transport.register(NodeAgent::new("dev-a", Box::new(NullRunner))).unwrap();
+//! let probe = Envelope {
+//!     seq: 0,
+//!     node_id: "dev-a".into(),
+//!     virtual_ts: 0,
+//!     payload: Payload::Command(NodeCommand::Probe),
+//! };
+//! transport.send(probe.encode()).unwrap();
+//! let reply = transport.recv(true).unwrap().expect("probe is answered");
+//! assert!(Envelope::decode(&reply).is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod error;
+pub mod transport;
+
+pub use agent::{fault_kind_from_wire, fault_kind_to_wire, fault_spec_to_wire, NodeAgent};
+pub use error::AgentError;
+pub use transport::{ChannelTransport, InProcTransport, Transport};

@@ -5,12 +5,17 @@
 //! JSON artifact for CI.
 //!
 //! ```text
-//! qrio-lint [--json PATH] [--deny-warnings] [--self-check] [PATH...]
+//! qrio-lint [--json PATH] [--deny-warnings] [--self-check]
+//!           [--replay-to CURSOR JOURNAL] [PATH...]
 //! ```
 //!
 //! `PATH` entries are scenario YAML files, durability journals (`.qj`
-//! files, or any file starting with the `QRIOJRNL` magic) or directories of
-//! them (default: `scenarios/`). Exit status: `0` clean, `1` findings, `2`
+//! files, or any file starting with the `QRIOJRNL` magic), control-plane
+//! envelope traces (`.qtrace` files, or the `QRIOPROT` magic) or
+//! directories of them (default: `scenarios/`). `--replay-to CURSOR` turns
+//! the linter into a time-travel inspector: it replays one journal up to a
+//! watch-log cursor and prints the reconstructed orchestrator state.
+//! Exit status: `0` clean, `1` findings, `2`
 //! operational error (unreadable path, bad flag). `--self-check` instead
 //! runs seeded fixture violations and verifies each expected lint code
 //! fires — a self-test that the analyzer still catches what it claims to
@@ -21,9 +26,10 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use qrio_analyzer::{
-    audit_watch_log, lint_breaker_config, lint_chaos_scenario, lint_engine_fit, lint_journal_bytes,
-    lint_journal_file, lint_logical_circuit, lint_requirements, lint_retry_policy,
-    lint_routed_circuit, lint_scenario, lint_simulation_path, lint_transpile_result,
+    audit_watch_log, lint_breaker_config, lint_chaos_scenario, lint_engine_fit,
+    lint_envelope_trace_bytes, lint_envelope_trace_file, lint_journal_bytes, lint_journal_file,
+    lint_logical_circuit, lint_requirements, lint_retry_policy, lint_routed_circuit, lint_scenario,
+    lint_simulation_path, lint_transpile_result, looks_like_envelope_trace,
     verify_job_state_machine, AuditOptions, Diagnostic, EngineHint, LintCode, Location, Report,
     TargetView,
 };
@@ -39,6 +45,7 @@ struct Options {
     json_path: Option<PathBuf>,
     deny_warnings: bool,
     self_check: bool,
+    replay_to: Option<u64>,
     paths: Vec<PathBuf>,
 }
 
@@ -47,6 +54,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         json_path: None,
         deny_warnings: false,
         self_check: false,
+        replay_to: None,
         paths: Vec::new(),
     };
     let mut iter = args.iter();
@@ -58,9 +66,17 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--deny-warnings" => options.deny_warnings = true,
             "--self-check" => options.self_check = true,
+            "--replay-to" => {
+                let cursor = iter.next().ok_or("--replay-to needs a watch-log cursor")?;
+                options.replay_to = Some(
+                    cursor
+                        .parse()
+                        .map_err(|e| format!("--replay-to: bad cursor '{cursor}': {e}"))?,
+                );
+            }
             "--help" | "-h" => {
                 return Err("usage: qrio-lint [--json PATH] [--deny-warnings] \
-                            [--self-check] [PATH...]"
+                            [--self-check] [--replay-to CURSOR JOURNAL] [PATH...]"
                     .into())
             }
             flag if flag.starts_with('-') => return Err(format!("unknown flag '{flag}'")),
@@ -74,7 +90,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 }
 
 /// Expand files/directories into a sorted list of lintable files: scenario
-/// YAML plus durability journals (`.qj`).
+/// YAML, durability journals (`.qj`) and envelope traces (`.qtrace`).
 fn collect_scenarios(paths: &[PathBuf]) -> Result<Vec<PathBuf>, String> {
     let mut files = Vec::new();
     for path in paths {
@@ -85,9 +101,9 @@ fn collect_scenarios(paths: &[PathBuf]) -> Result<Vec<PathBuf>, String> {
                 let entry = entry
                     .map_err(|e| format!("'{}': {e}", path.display()))?
                     .path();
-                let is_lintable = entry
-                    .extension()
-                    .is_some_and(|ext| ext == "yaml" || ext == "yml" || ext == "qj");
+                let is_lintable = entry.extension().is_some_and(|ext| {
+                    ext == "yaml" || ext == "yml" || ext == "qj" || ext == "qtrace"
+                });
                 if entry.is_file() && is_lintable {
                     files.push(entry);
                 }
@@ -103,21 +119,25 @@ fn collect_scenarios(paths: &[PathBuf]) -> Result<Vec<PathBuf>, String> {
     Ok(files)
 }
 
+/// Read a file's 8-byte magic prefix, if it has one.
+fn magic_prefix(path: &Path) -> Option<[u8; 8]> {
+    let mut magic = [0u8; 8];
+    std::io::Read::read_exact(&mut fs::File::open(path).ok()?, &mut magic).ok()?;
+    Some(magic)
+}
+
 /// Whether a file should be linted as a durability journal: by extension,
 /// or by sniffing the `QRIOJRNL` magic for extensionless artifacts.
 fn is_journal_file(path: &Path) -> bool {
-    if path.extension().is_some_and(|ext| ext == "qj") {
-        return true;
-    }
-    let mut magic = [0u8; 8];
-    std::io::Read::read_exact(
-        &mut match fs::File::open(path) {
-            Ok(file) => file,
-            Err(_) => return false,
-        },
-        &mut magic,
-    )
-    .is_ok_and(|()| qrio_journal::looks_like_journal(&magic))
+    path.extension().is_some_and(|ext| ext == "qj")
+        || magic_prefix(path).is_some_and(|magic| qrio_journal::looks_like_journal(&magic))
+}
+
+/// Whether a file should be linted as a control-plane envelope trace: by
+/// extension, or by sniffing the `QRIOPROT` frame magic.
+fn is_trace_file(path: &Path) -> bool {
+    path.extension().is_some_and(|ext| ext == "qtrace")
+        || magic_prefix(path).is_some_and(|magic| looks_like_envelope_trace(&magic))
 }
 
 /// The engine a tenant's circuit family runs on in the simulator.
@@ -410,7 +430,95 @@ fn self_check() -> Vec<String> {
         );
     }
 
-    // 10-13. The fault-tolerance configuration family.
+    // 10-13. The control-plane envelope-trace family, over hand-built frame
+    // streams.
+    {
+        use qrio_proto::{Envelope, NodeCommand, NodeReport, Payload, RunVerdict};
+
+        let envelope = |seq: u64, node: &str, payload: Payload| Envelope {
+            seq,
+            node_id: node.to_string(),
+            virtual_ts: seq,
+            payload,
+        };
+        let trace = |envelopes: &[Envelope]| -> Vec<u8> {
+            envelopes.iter().flat_map(Envelope::encode).collect()
+        };
+
+        expect(
+            "envelope stream skipping a seq",
+            LintCode::EnvelopeSeqGap,
+            lint_envelope_trace_bytes(
+                "self-check seq-gap",
+                &trace(&[
+                    envelope(0, "alpha", Payload::Command(NodeCommand::Probe)),
+                    envelope(2, "alpha", Payload::Command(NodeCommand::Probe)),
+                ]),
+            ),
+        );
+
+        expect(
+            "phase report for an undispatched job",
+            LintCode::ReportForUnboundJob,
+            lint_envelope_trace_bytes(
+                "self-check orphan-report",
+                &trace(&[envelope(
+                    0,
+                    "alpha",
+                    Payload::Report(NodeReport::Phase {
+                        job: "ghost".into(),
+                        attempt: 1,
+                        verdict: RunVerdict::Failed {
+                            reason: "fixture".into(),
+                        },
+                    }),
+                )]),
+            ),
+        );
+
+        let run = qrio_proto::RunPayload {
+            job: "late-job".into(),
+            attempt: 1,
+            image_name: "img".into(),
+            image_files: Vec::new(),
+            qasm: String::new(),
+            num_qubits: 2,
+            shots: 8,
+            threads: 1,
+        };
+        expect(
+            "run command sent after cordon",
+            LintCode::CommandAfterCordon,
+            lint_envelope_trace_bytes(
+                "self-check cordoned-run",
+                &trace(&[
+                    envelope(0, "alpha", Payload::Command(NodeCommand::Cordon)),
+                    envelope(
+                        1,
+                        "alpha",
+                        Payload::Command(NodeCommand::Run { payload: run }),
+                    ),
+                ]),
+            ),
+        );
+
+        let mut future = envelope(0, "alpha", Payload::Command(NodeCommand::Probe)).encode();
+        future[8] = 0x2a; // version u16 LE sits right after the 8-byte magic
+        future[9] = 0x00;
+        expect(
+            "envelope from a future wire version",
+            LintCode::EnvelopeVersionMismatch,
+            lint_envelope_trace_bytes("self-check future-envelope", &future),
+        );
+
+        expect(
+            "file without the frame magic",
+            LintCode::MalformedEnvelopeTrace,
+            lint_envelope_trace_bytes("self-check trace-garbage", b"not a trace at all"),
+        );
+    }
+
+    // 14-17. The fault-tolerance configuration family.
     {
         use qrio::BreakerConfig;
 
@@ -480,6 +588,35 @@ fn self_check() -> Vec<String> {
     failures
 }
 
+/// `--replay-to CURSOR JOURNAL`: the time-travel inspector. Replays the
+/// journal up to the watch-log cursor and prints the reconstructed
+/// lifecycle/scheduler state — deterministic output, diffable across runs.
+fn replay_inspect(paths: &[PathBuf], cursor: u64) -> ExitCode {
+    let [path] = paths else {
+        eprintln!("qrio-lint: --replay-to needs exactly one journal path");
+        return ExitCode::from(2);
+    };
+    if !path.is_file() || !is_journal_file(path) {
+        eprintln!(
+            "qrio-lint: --replay-to: '{}' is not a durability journal",
+            path.display()
+        );
+        return ExitCode::from(2);
+    }
+    match qrio::Qrio::replay_to(path, cursor) {
+        Ok((qrio, checkpoint)) => {
+            println!("{} @ cursor {cursor}", path.display());
+            println!("{checkpoint}");
+            print!("{}", qrio.describe_state());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("qrio-lint: --replay-to: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let options = match parse_args(&args) {
@@ -503,6 +640,10 @@ fn main() -> ExitCode {
         };
     }
 
+    if let Some(cursor) = options.replay_to {
+        return replay_inspect(&options.paths, cursor);
+    }
+
     let files = match collect_scenarios(&options.paths) {
         Ok(files) => files,
         Err(message) => {
@@ -521,6 +662,8 @@ fn main() -> ExitCode {
     for file in &files {
         if is_journal_file(file) {
             report.extend(lint_journal_file(file));
+        } else if is_trace_file(file) {
+            report.extend(lint_envelope_trace_file(file));
         } else {
             lint_scenario_file(file, &registry, &mut report);
         }
@@ -528,7 +671,7 @@ fn main() -> ExitCode {
 
     print!("{}", report.render_human());
     println!(
-        "linted {} file(s) (scenarios and journals) and the builtin circuit corpus",
+        "linted {} file(s) (scenarios, journals and traces) and the builtin circuit corpus",
         files.len()
     );
 

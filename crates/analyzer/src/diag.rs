@@ -138,6 +138,17 @@ lint_codes! {
      "chaos fault rates sum to 1.0 or more, so every attempt fails and no work can complete"),
     (BreakerThresholdsInverted, "QL0503", Error,
      "circuit-breaker thresholds are inverted or degenerate, so the breaker can never work as configured"),
+    // Control-plane envelope-trace lints (QL06xx).
+    (EnvelopeSeqGap, "QL0600", Error,
+     "per-node envelope sequence numbers are not dense, so a control-plane message was lost or reordered"),
+    (ReportForUnboundJob, "QL0601", Error,
+     "agent reported a phase verdict for a job no Run command in the trace ever dispatched to it"),
+    (CommandAfterCordon, "QL0602", Warning,
+     "orchestrator sent a Run command to a node after cordoning it and before any uncordon"),
+    (EnvelopeVersionMismatch, "QL0603", Error,
+     "envelope frame carries a wire-format version this build does not speak"),
+    (MalformedEnvelopeTrace, "QL0604", Error,
+     "envelope trace is not a QRIOPROT frame stream or a frame is corrupt past repair"),
 }
 
 impl fmt::Display for LintCode {

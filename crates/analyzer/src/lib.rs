@@ -43,6 +43,7 @@ pub mod diag;
 pub mod fault_lints;
 pub mod gate;
 pub mod journal_lints;
+pub mod proto_lints;
 pub mod spec_lints;
 pub mod state_machine;
 
@@ -55,5 +56,8 @@ pub use diag::{Diagnostic, LintCode, Location, Report, Severity};
 pub use fault_lints::{lint_breaker_config, lint_chaos_scenario, lint_retry_policy};
 pub use gate::LintGate;
 pub use journal_lints::{lint_journal_bytes, lint_journal_file};
+pub use proto_lints::{
+    lint_envelope_trace_bytes, lint_envelope_trace_file, looks_like_envelope_trace,
+};
 pub use spec_lints::{lint_requirements, lint_scenario, lint_strategy_spec};
 pub use state_machine::{verify_job_state_machine, StateMachineReport};

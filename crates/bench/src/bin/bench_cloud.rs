@@ -11,15 +11,20 @@
 //!
 //! ```text
 //! cargo run -p qrio-bench --release --bin bench_cloud [-- --smoke]
-//!     [--scenario PATH] [--out PATH]
+//!     [--scenario PATH] [--out PATH] [--transport in-proc|threaded]
+//!     [--threads N]
 //! ```
 //!
 //! `--smoke` switches to the embedded 30-virtual-second CI scenario;
 //! `--scenario` loads a custom YAML; `--out` overrides the default
-//! `BENCH_cloud.json` output path.
+//! `BENCH_cloud.json` output path. `--transport` picks the control-plane
+//! transport (default `in-proc`); `--threads` sets the worker count for
+//! `--transport threaded`. Reports are byte-identical across transports and
+//! thread counts — CI compares them.
 
+use qrio::TransportMode;
 use qrio_bench::print_table;
-use qrio_loadgen::{run_scenario, CloudReport, Scenario};
+use qrio_loadgen::{run_scenario_with_transport, CloudReport, Scenario};
 
 /// The flagship scenario (≥ 2000 jobs, 4 tenants, outage + two drifts).
 const CLOUD_SCENARIO: &str = include_str!("../../../../scenarios/cloud.yaml");
@@ -46,21 +51,42 @@ fn main() {
         None => CLOUD_SCENARIO.to_string(),
     };
 
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse::<usize>().expect("--threads takes a number"))
+        .unwrap_or(2);
+    let mode = match args
+        .iter()
+        .position(|a| a == "--transport")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+    {
+        None | Some("in-proc") => TransportMode::InProc,
+        Some("threaded") => TransportMode::Threaded { threads },
+        Some(other) => panic!("unknown transport '{other}' (in-proc | threaded)"),
+    };
+
     let scenario = Scenario::from_yaml(&scenario_text).expect("scenario parses");
     println!(
-        "bench_cloud: scenario '{}' (seed {}, {} devices, {} tenants, {} events)",
+        "bench_cloud: scenario '{}' (seed {}, {} devices, {} tenants, {} events, transport {})",
         scenario.name,
         scenario.seed,
         scenario.fleet.len(),
         scenario.tenants.len(),
-        scenario.events.len()
+        scenario.events.len(),
+        match mode {
+            TransportMode::InProc => "in-proc".to_string(),
+            TransportMode::Threaded { threads } => format!("threaded x{threads}"),
+        }
     );
 
     // Two full runs with the same seed: the reports must match byte for byte.
     let wall = std::time::Instant::now();
-    let report = run_scenario(&scenario).expect("scenario runs");
+    let report = run_scenario_with_transport(&scenario, mode).expect("scenario runs");
     let first_secs = wall.elapsed().as_secs_f64();
-    let replay = run_scenario(&scenario).expect("scenario replays");
+    let replay = run_scenario_with_transport(&scenario, mode).expect("scenario replays");
     let json = report.to_json();
     assert_eq!(
         json,

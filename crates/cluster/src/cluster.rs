@@ -38,6 +38,36 @@ pub struct ExecutionOutcome {
     pub logs: Vec<String>,
 }
 
+/// A self-contained execution work order produced by [`Cluster::prepare_run`]:
+/// everything the device side needs to run one attempt (the spec, the pulled
+/// image, the bound node) without reaching back into cluster state. This is
+/// the unit that crosses the control-plane wire to a node agent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkOrder {
+    /// Job name.
+    pub job: String,
+    /// Node the job is bound to.
+    pub node: String,
+    /// Zero-based attempt number (drives the fault decision).
+    pub attempt: u32,
+    /// The job's full spec.
+    pub spec: JobSpec,
+    /// The image pulled for this attempt.
+    pub image: ImageBundle,
+}
+
+/// The device side's verdict on one prepared attempt, applied with
+/// [`Cluster::settle_run`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttemptVerdict {
+    /// The runner completed successfully.
+    Completed(ExecutionOutcome),
+    /// The runner failed with a human-readable reason.
+    Failed(String),
+    /// The fault injector fired before the runner started.
+    Faulted(FaultKind),
+}
+
 /// Executes a job's payload on a node's quantum device — the role of the
 /// generated runner script inside the job container (§3.3). Implemented by the
 /// QRIO orchestrator crate; the cluster substrate stays agnostic of *how*
@@ -687,6 +717,45 @@ impl Cluster {
         runner: &dyn JobRunner,
         attempt: u32,
     ) -> Result<(), ClusterError> {
+        let order = self.prepare_run(job_name, attempt)?;
+        // Fault injection: a stateless decision, so snapshot-based recovery
+        // (and remote node agents holding an injector replica) replay the
+        // exact same verdict for this (job, node, attempt).
+        let verdict = if let Some(kind) = self
+            .fault_injector
+            .and_then(|injector| injector.decide(job_name, &order.node, attempt))
+        {
+            AttemptVerdict::Faulted(kind)
+        } else {
+            let backend = self
+                .nodes
+                .get(&order.node)
+                .expect("prepare_run verified the node")
+                .backend()
+                .clone();
+            match runner.run(&order.spec, &order.image, &backend) {
+                Ok(result) => AttemptVerdict::Completed(result),
+                Err(reason) => AttemptVerdict::Failed(reason),
+            }
+        };
+        self.settle_run(&order, verdict)
+    }
+
+    /// The orchestrator half of starting an execution attempt: verify the job
+    /// is `Scheduled`, pull its image from the registry, verify the bound
+    /// node exists, move the job to `Running` and record `JobStarted`.
+    ///
+    /// Returns the self-contained [`WorkOrder`] describing what must now be
+    /// executed. The device half — fault decision plus runner invocation —
+    /// can then happen anywhere (in-process or on a remote node agent), and
+    /// its verdict is applied with [`Cluster::settle_run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the job is unknown or not `Scheduled`, the image
+    /// is missing, or the bound node is gone; job state is untouched in every
+    /// error case.
+    pub fn prepare_run(&mut self, job_name: &str, attempt: u32) -> Result<WorkOrder, ClusterError> {
         let (spec, node_name) = {
             let job = self
                 .jobs
@@ -704,12 +773,9 @@ impl Cluster {
             (job.spec().clone(), node)
         };
         let image = self.registry.pull(&spec.image)?;
-        let backend = self
-            .nodes
-            .get(&node_name)
-            .ok_or_else(|| ClusterError::UnknownNode(node_name.clone()))?
-            .backend()
-            .clone();
+        if !self.nodes.contains_key(&node_name) {
+            return Err(ClusterError::UnknownNode(node_name.clone()));
+        }
 
         if let Some(job) = self.jobs.get_mut(job_name) {
             job.set_phase(JobPhase::Running {
@@ -720,23 +786,43 @@ impl Cluster {
             "JobStarted",
             format!("job '{job_name}' running on '{node_name}'"),
         );
+        Ok(WorkOrder {
+            job: job_name.to_string(),
+            node: node_name,
+            attempt,
+            spec,
+            image,
+        })
+    }
 
-        // Fault injection: a stateless decision, so snapshot-based recovery
-        // replays the exact same verdict for this (job, node, attempt).
-        if let Some(kind) = self
-            .fault_injector
-            .and_then(|injector| injector.decide(job_name, &node_name, attempt))
-        {
-            return Err(self.fail_with_fault(job_name, &node_name, &spec.resources, kind, attempt));
-        }
-
-        let outcome = runner.run(&spec, &image, &backend);
-        // Release classical resources regardless of the outcome.
-        if let Some(node) = self.nodes.get_mut(&node_name) {
-            node.release(&spec.resources);
-        }
-        match outcome {
-            Ok(result) => {
+    /// Apply the device-side verdict of a prepared attempt: release the
+    /// node's classical resources and move the job to its terminal phase,
+    /// recording the same events direct execution would.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::ExecutionFailed`] for failed runs and
+    /// [`ClusterError::InjectedFault`] for faulted ones, mirroring
+    /// [`Cluster::run_job_attempt`].
+    pub fn settle_run(
+        &mut self,
+        order: &WorkOrder,
+        verdict: AttemptVerdict,
+    ) -> Result<(), ClusterError> {
+        let job_name = &order.job;
+        let node_name = &order.node;
+        match verdict {
+            AttemptVerdict::Faulted(kind) => Err(self.fail_with_fault(
+                job_name,
+                node_name,
+                &order.spec.resources,
+                kind,
+                order.attempt,
+            )),
+            AttemptVerdict::Completed(result) => {
+                if let Some(node) = self.nodes.get_mut(node_name) {
+                    node.release(&order.spec.resources);
+                }
                 let job = self.jobs.get_mut(job_name).expect("job exists");
                 for line in &result.logs {
                     job.log(line.clone());
@@ -751,7 +837,10 @@ impl Cluster {
                 );
                 Ok(())
             }
-            Err(reason) => {
+            AttemptVerdict::Failed(reason) => {
+                if let Some(node) = self.nodes.get_mut(node_name) {
+                    node.release(&order.spec.resources);
+                }
                 let job = self.jobs.get_mut(job_name).expect("job exists");
                 job.set_phase(JobPhase::Failed {
                     reason: reason.clone(),

@@ -55,7 +55,8 @@ mod resources;
 pub mod yaml;
 
 pub use cluster::{
-    Cluster, ClusterEvent, ClusterState, ExecutionOutcome, JobRunner, NodeLoad, ScheduleDecision,
+    AttemptVerdict, Cluster, ClusterEvent, ClusterState, ExecutionOutcome, JobRunner, NodeLoad,
+    ScheduleDecision, WorkOrder,
 };
 pub use error::ClusterError;
 pub use fault::{BackoffPolicy, FaultInjector, FaultKind, RetryOn, RetryPolicy};

@@ -1,0 +1,269 @@
+//! The orchestrator side of the networked control plane.
+//!
+//! [`ControlPlane`] is the only path between the reconcile loop and the
+//! devices: every piece of device work is encoded as a versioned
+//! [`qrio_proto::Envelope`], crosses a [`qrio_agent::Transport`], and comes
+//! back as a [`qrio_proto::NodeReport`]. It keeps the two reconcile tables
+//! the tick loop diffs:
+//!
+//! * the **desired state** lives in the lifecycle device queues (job →
+//!   binding, owned by the orchestrator), and
+//! * the **observed state** lives here — the last decoded report per node,
+//!   folded in as report envelopes are drained off the transport.
+//!
+//! With [`InProcTransport`] every command is answered synchronously, so the
+//! observed table is always current. With
+//! [`qrio_agent::ChannelTransport`] fire-and-forget acknowledgements may lag
+//! behind real worker threads; they converge when the next blocking
+//! round-trip or end-of-tick [`ControlPlane::drain`] pulls them in.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use qrio_agent::{AgentError, InProcTransport, NodeAgent, Transport};
+use qrio_cluster::{AttemptVerdict, ClusterError, ExecutionOutcome, WorkOrder};
+use qrio_proto::{Envelope, NodeCommand, NodeReport, Payload, RunPayload, RunVerdict};
+
+/// Which transport carries control-plane frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportMode {
+    /// Agents run in the orchestrator's thread; fully deterministic.
+    InProc,
+    /// Agents run on real worker threads over `mpsc` channels.
+    Threaded {
+        /// Number of worker threads (clamped to at least one).
+        threads: usize,
+    },
+}
+
+/// The last report observed from one node, with the envelope bookkeeping
+/// needed to detect stale or out-of-order data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObservedNode {
+    /// Report-direction sequence number of the envelope.
+    pub seq: u64,
+    /// Virtual timestamp the agent echoed (the tick the command was sent).
+    pub virtual_ts: u64,
+    /// The decoded report payload.
+    pub report: NodeReport,
+}
+
+/// The orchestrator's endpoint of the control plane: per-node command
+/// sequence counters, the observed-state table, and the transport itself.
+pub struct ControlPlane {
+    transport: Box<dyn Transport>,
+    mode: TransportMode,
+    command_seq: BTreeMap<String, u64>,
+    observed: BTreeMap<String, ObservedNode>,
+    trace: Option<Vec<u8>>,
+}
+
+impl fmt::Debug for ControlPlane {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ControlPlane")
+            .field("mode", &self.transport.mode())
+            .field("nodes", &self.transport.node_names())
+            .field("observed", &self.observed)
+            .finish()
+    }
+}
+
+impl ControlPlane {
+    /// A control plane over the default deterministic in-process transport.
+    pub fn new_in_proc() -> Self {
+        ControlPlane {
+            transport: Box::new(InProcTransport::new()),
+            mode: TransportMode::InProc,
+            command_seq: BTreeMap::new(),
+            observed: BTreeMap::new(),
+            trace: None,
+        }
+    }
+
+    /// Replace the transport. All agents and sequence counters are dropped;
+    /// the caller re-registers agents for every node afterwards.
+    pub fn install(&mut self, transport: Box<dyn Transport>, mode: TransportMode) {
+        self.transport = transport;
+        self.mode = mode;
+        self.command_seq.clear();
+        self.observed.clear();
+    }
+
+    /// The active transport mode.
+    pub fn mode(&self) -> TransportMode {
+        self.mode
+    }
+
+    /// Short name of the active transport (`"in-proc"` / `"threaded"`).
+    pub fn mode_name(&self) -> &'static str {
+        self.transport.mode()
+    }
+
+    /// Start recording every frame crossing the transport (both directions)
+    /// into an in-memory trace, for the `qrio-lint` envelope lints.
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Vec::new());
+        }
+    }
+
+    /// Take the recorded trace (concatenated encoded envelopes), leaving
+    /// recording enabled.
+    pub fn take_trace(&mut self) -> Vec<u8> {
+        match self.trace.as_mut() {
+            Some(buf) => std::mem::take(buf),
+            None => Vec::new(),
+        }
+    }
+
+    /// The observed-state table: last decoded report per node.
+    pub fn observed(&self) -> &BTreeMap<String, ObservedNode> {
+        &self.observed
+    }
+
+    /// Hand a freshly built agent to the transport.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the transport's workers are gone.
+    pub fn register_agent(&mut self, agent: NodeAgent) -> Result<(), AgentError> {
+        self.transport.register(agent)
+    }
+
+    /// Encode and send one command to `node`, stamping the next per-node
+    /// sequence number and the current virtual time.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the node is unknown to the transport or its workers are
+    /// gone.
+    pub fn send_command(
+        &mut self,
+        node: &str,
+        virtual_ts: u64,
+        command: NodeCommand,
+    ) -> Result<(), AgentError> {
+        let seq = self.command_seq.entry(node.to_string()).or_insert(0);
+        let envelope = Envelope {
+            seq: *seq,
+            node_id: node.to_string(),
+            virtual_ts,
+            payload: Payload::Command(command),
+        };
+        *seq += 1;
+        let frame = envelope.encode();
+        if let Some(trace) = self.trace.as_mut() {
+            trace.extend_from_slice(&frame);
+        }
+        self.transport.send(frame)
+    }
+
+    /// Pull the next report off the transport, fold it into the observed
+    /// table, and return it. `wait` blocks only while a command is still
+    /// unanswered; an idle transport yields `Ok(None)` immediately.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the transport's workers are gone or a frame is corrupt.
+    pub fn pump(&mut self, wait: bool) -> Result<Option<Envelope>, AgentError> {
+        let Some(frame) = self.transport.recv(wait)? else {
+            return Ok(None);
+        };
+        if let Some(trace) = self.trace.as_mut() {
+            trace.extend_from_slice(&frame);
+        }
+        let (envelope, _) = Envelope::decode(&frame)?;
+        if let Payload::Report(report) = &envelope.payload {
+            self.observed.insert(
+                envelope.node_id.clone(),
+                ObservedNode {
+                    seq: envelope.seq,
+                    virtual_ts: envelope.virtual_ts,
+                    report: report.clone(),
+                },
+            );
+        }
+        Ok(Some(envelope))
+    }
+
+    /// Drain all immediately available reports into the observed table.
+    /// In threaded mode acknowledgements lag the commands that caused them;
+    /// this is the convergence point where stale observations catch up.
+    pub fn drain(&mut self) {
+        while let Ok(Some(_)) = self.pump(false) {}
+    }
+
+    /// Execute one prepared [`WorkOrder`] over the wire: encode a `Run`
+    /// command, send it, and block until the matching `Phase` report comes
+    /// back (draining unrelated acknowledgements into the observed table
+    /// along the way).
+    ///
+    /// # Errors
+    ///
+    /// Surfaces transport failures as [`ClusterError::ExecutionFailed`];
+    /// the protocol itself cannot fail an attempt (rejections travel inside
+    /// the verdict).
+    pub fn run(&mut self, order: &WorkOrder, now: u64) -> Result<AttemptVerdict, ClusterError> {
+        let wire_error = |err: AgentError| ClusterError::ExecutionFailed {
+            job: order.job.clone(),
+            reason: format!("control plane: {err}"),
+        };
+        let payload = RunPayload {
+            job: order.job.clone(),
+            attempt: order.attempt,
+            image_name: order.image.name().to_string(),
+            image_files: order
+                .image
+                .files()
+                .map(|(path, contents)| (path.to_string(), contents.to_string()))
+                .collect(),
+            qasm: order.spec.qasm.clone(),
+            num_qubits: order.spec.num_qubits as u64,
+            shots: order.spec.shots,
+            threads: order.spec.threads as u64,
+        };
+        self.send_command(&order.node, now, NodeCommand::Run { payload })
+            .map_err(wire_error)?;
+        loop {
+            let Some(envelope) = self.pump(true).map_err(wire_error)? else {
+                return Err(wire_error(AgentError::Disconnected));
+            };
+            let Payload::Report(NodeReport::Phase {
+                job,
+                attempt,
+                verdict,
+            }) = envelope.payload
+            else {
+                continue; // an acknowledgement for an earlier command
+            };
+            if job != order.job {
+                continue; // a stale phase report from a previous attempt
+            }
+            debug_assert_eq!(attempt, order.attempt);
+            return Ok(match verdict {
+                RunVerdict::Succeeded {
+                    counts,
+                    fidelity,
+                    logs,
+                } => AttemptVerdict::Completed(ExecutionOutcome {
+                    counts,
+                    fidelity,
+                    logs,
+                }),
+                RunVerdict::Failed { reason } => AttemptVerdict::Failed(reason),
+                RunVerdict::Faulted { kind } => {
+                    AttemptVerdict::Faulted(qrio_agent::fault_kind_from_wire(kind))
+                }
+                RunVerdict::Rejected { reason } => {
+                    AttemptVerdict::Failed(format!("rejected by node agent: {reason}"))
+                }
+            });
+        }
+    }
+}
+
+impl Default for ControlPlane {
+    fn default() -> Self {
+        ControlPlane::new_in_proc()
+    }
+}

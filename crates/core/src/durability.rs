@@ -158,6 +158,13 @@ pub struct DurabilityConfig {
     /// fewer device flushes; no acknowledged command is ever lost to a mere
     /// process crash.
     pub sync_every_n_commands: u64,
+    /// Compact the journal after writing a snapshot whenever the file has
+    /// grown beyond this many bytes (`0` = never compact). Compaction drops
+    /// every record before the just-written snapshot in a torn-tail-safe
+    /// rewrite (temp file + fsync + atomic rename); recovery from a
+    /// compacted journal is byte-identical to recovery from the uncompacted
+    /// one, because replay never needs records older than the last snapshot.
+    pub compact_above_bytes: u64,
 }
 
 impl Default for DurabilityConfig {
@@ -165,6 +172,7 @@ impl Default for DurabilityConfig {
         DurabilityConfig {
             snapshot_every: 64,
             sync_every_n_commands: 0,
+            compact_above_bytes: 0,
         }
     }
 }
@@ -209,6 +217,33 @@ impl fmt::Display for RecoveryReport {
         }
         writeln!(f, "  jobs               = {}", self.jobs)?;
         write!(f, "  terminal_jobs      = {}", self.terminal_jobs)
+    }
+}
+
+/// Where [`crate::Qrio::replay_to`] actually stopped. Commands are atomic, so
+/// replay lands on the first command boundary at or after the requested
+/// cursor — `reached_cursor` tells the caller which one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayCheckpoint {
+    /// The watch-log cursor the caller asked for.
+    pub target_cursor: u64,
+    /// Watch-log length at the snapshot replay started from — the latest
+    /// snapshot at or before the target.
+    pub snapshot_cursor: u64,
+    /// Commands replayed after that snapshot.
+    pub commands_replayed: u64,
+    /// Watch-log length where replay stopped: the smallest command boundary
+    /// `>= target_cursor`, or the journal's end if the target lies beyond it.
+    pub reached_cursor: u64,
+}
+
+impl fmt::Display for ReplayCheckpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "replay checkpoint")?;
+        writeln!(f, "  target_cursor      = {}", self.target_cursor)?;
+        writeln!(f, "  snapshot_cursor    = {}", self.snapshot_cursor)?;
+        writeln!(f, "  commands_replayed  = {}", self.commands_replayed)?;
+        write!(f, "  reached_cursor     = {}", self.reached_cursor)
     }
 }
 
@@ -1708,6 +1743,7 @@ pub(crate) struct SnapshotState {
     pub(crate) default_node_resources: Resources,
     pub(crate) snapshot_every: u64,
     pub(crate) sync_every: u64,
+    pub(crate) compact_above: u64,
     pub(crate) breakers: Option<BreakerBoard>,
 }
 
@@ -1721,6 +1757,7 @@ pub(crate) fn encode_snapshot_record(snap: &SnapshotState) -> Record {
     put_resources(&mut w, &snap.default_node_resources);
     w.put_u64(snap.snapshot_every);
     w.put_u64(snap.sync_every);
+    w.put_u64(snap.compact_above);
     put_opt_breaker_board(&mut w, snap.breakers.as_ref());
     Record::new(RECORD_SNAPSHOT, RECORD_VERSION, w.into_bytes())
 }
@@ -1735,6 +1772,7 @@ pub(crate) fn decode_snapshot(payload: &[u8]) -> Result<SnapshotState, Durabilit
     let default_node_resources = take_resources(&mut r)?;
     let snapshot_every = r.take_u64()?;
     let sync_every = r.take_u64()?;
+    let compact_above = r.take_u64()?;
     let breakers = take_opt_breaker_board(&mut r)?;
     r.finish()?;
     Ok(SnapshotState {
@@ -1746,6 +1784,7 @@ pub(crate) fn decode_snapshot(payload: &[u8]) -> Result<SnapshotState, Durabilit
         default_node_resources,
         snapshot_every,
         sync_every,
+        compact_above,
         breakers,
     })
 }
@@ -1763,6 +1802,7 @@ pub(crate) struct Durability {
     journal: Journal,
     snapshot_every: u64,
     sync_every: u64,
+    compact_above: u64,
     commands_since_snapshot: u64,
     commands_since_sync: u64,
     journaled_events: u64,
@@ -1774,12 +1814,14 @@ impl Durability {
         journal: Journal,
         snapshot_every: u64,
         sync_every: u64,
+        compact_above: u64,
         journaled_events: u64,
     ) -> Self {
         Durability {
             journal,
             snapshot_every,
             sync_every,
+            compact_above,
             commands_since_snapshot: 0,
             commands_since_sync: 0,
             journaled_events,
@@ -1793,6 +1835,10 @@ impl Durability {
 
     pub(crate) fn sync_every(&self) -> u64 {
         self.sync_every
+    }
+
+    pub(crate) fn compact_above(&self) -> u64 {
+        self.compact_above
     }
 
     pub(crate) fn error(&self) -> Option<&DurabilityError> {
@@ -1864,14 +1910,21 @@ impl Durability {
             && self.commands_since_snapshot >= self.snapshot_every
     }
 
-    /// Append a snapshot record and reset the command counter.
+    /// Append a snapshot record and reset the command counter. When the
+    /// journal has outgrown [`DurabilityConfig::compact_above_bytes`], the
+    /// records made obsolete by this snapshot are compacted away — recovery
+    /// never reads past the last snapshot, so replay is unaffected.
     pub(crate) fn log_snapshot(&mut self, snap: &SnapshotState) -> Result<(), DurabilityError> {
         if let Some(err) = &self.error {
             return Err(err.clone());
         }
         let result: Result<(), DurabilityError> = (|| {
+            let snapshot_offset = self.journal.byte_len()?;
             self.journal.append(&encode_snapshot_record(snap))?;
             self.journal.flush()?;
+            if self.compact_above > 0 && self.journal.byte_len()? > self.compact_above {
+                self.journal.compact(snapshot_offset)?;
+            }
             Ok(())
         })();
         match &result {

@@ -75,6 +75,7 @@
 #![warn(missing_docs)]
 
 pub mod breaker;
+pub mod control;
 pub mod durability;
 mod error;
 pub mod experiments;
@@ -85,7 +86,10 @@ mod runner;
 pub mod visualizer;
 
 pub use breaker::{BreakerAction, BreakerBoard, BreakerConfig, BreakerEvent, BreakerState};
-pub use durability::{Command, DurabilityConfig, DurabilityError, RecoveryReport};
+pub use control::{ControlPlane, ObservedNode, TransportMode};
+pub use durability::{
+    Command, DurabilityConfig, DurabilityError, RecoveryReport, ReplayCheckpoint,
+};
 pub use error::QrioError;
 pub use lifecycle::{JobEvent, JobId, JobState, JobStatus, TickReport};
 pub use master_server::{containerize, ContainerizedJob};

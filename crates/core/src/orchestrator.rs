@@ -34,18 +34,21 @@ use std::fmt;
 use std::path::Path;
 use std::sync::Arc;
 
+use qrio_agent::{fault_spec_to_wire, ChannelTransport, InProcTransport, NodeAgent, Transport};
 use qrio_backend::{spec as backend_spec, Backend};
 use qrio_cluster::{
     framework, Cluster, ClusterError, FaultInjector, Node, Resources, ScheduleDecision,
 };
 use qrio_journal::Journal;
 use qrio_meta::{DeviceTelemetry, FidelityRankingConfig, MetaServer, RankingStrategy};
+use qrio_proto::NodeCommand;
 use qrio_scheduler::{MetaRankingPlugin, QrioScheduler};
 
 use crate::breaker::{BreakerAction, BreakerBoard, BreakerConfig};
+use crate::control::{ControlPlane, ObservedNode, TransportMode};
 use crate::durability::{
-    self, Command, Durability, DurabilityConfig, DurabilityError, RecoveryReport, SnapshotState,
-    RECORD_COMMAND, RECORD_EVENTS, RECORD_SNAPSHOT, RECORD_VERSION,
+    self, Command, Durability, DurabilityConfig, DurabilityError, RecoveryReport, ReplayCheckpoint,
+    SnapshotState, RECORD_COMMAND, RECORD_EVENTS, RECORD_SNAPSHOT, RECORD_VERSION,
 };
 use crate::error::QrioError;
 use crate::lifecycle::{JobEvent, JobId, JobState, JobStatus, LifecycleStore, TickReport};
@@ -108,6 +111,7 @@ pub struct Qrio {
     admission_gate: Option<Box<dyn AdmissionGate>>,
     durability: Option<Durability>,
     breakers: Option<BreakerBoard>,
+    control: ControlPlane,
 }
 
 impl Qrio {
@@ -127,6 +131,7 @@ impl Qrio {
             admission_gate: None,
             durability: None,
             breakers: None,
+            control: ControlPlane::new_in_proc(),
         }
     }
 
@@ -187,10 +192,33 @@ impl Qrio {
                 backend.name().to_string(),
             )));
         }
+        let name = backend.name().to_string();
+        let spec_text = backend_spec::to_spec(&backend);
         self.meta.register_backend(backend.clone());
         self.cluster
             .add_node(Node::from_backend(backend, resources))?;
+        self.attach_agent(&name, spec_text);
         Ok(())
+    }
+
+    /// Stand up the node's agent: register it on the control-plane transport
+    /// and ship the calibration plus the current fault plan in a `Bind`
+    /// command. Transport sends only fail when the workers are torn down, so
+    /// failures here are ignored rather than surfaced to the vendor API.
+    fn attach_agent(&mut self, node: &str, backend_spec: String) {
+        let _ = self
+            .control
+            .register_agent(NodeAgent::new(node, Box::new(self.runner)));
+        let injector = self.cluster.fault_injector().map(fault_spec_to_wire);
+        let _ = self.control.send_command(
+            node,
+            self.lifecycle.clock,
+            NodeCommand::Bind {
+                backend_spec,
+                injector,
+            },
+        );
+        self.control.drain();
     }
 
     /// Register every device of a fleet.
@@ -229,8 +257,18 @@ impl Qrio {
                 backend.name().to_string(),
             )));
         }
+        let name = backend.name().to_string();
+        let spec_text = backend_spec::to_spec(&backend);
         self.meta.register_backend(backend.clone());
         self.cluster.update_node_backend(backend)?;
+        let _ = self.control.send_command(
+            &name,
+            self.lifecycle.clock,
+            NodeCommand::Recalibrate {
+                backend_spec: spec_text,
+            },
+        );
+        self.control.drain();
         Ok(())
     }
 
@@ -262,6 +300,10 @@ impl Qrio {
             .node_mut(name)
             .ok_or_else(|| QrioError::Cluster(ClusterError::UnknownNode(name.to_string())))?
             .cordon();
+        let _ = self
+            .control
+            .send_command(name, self.lifecycle.clock, NodeCommand::Cordon);
+        self.control.drain();
         self.journal_command(Command::Cordon {
             node: name.to_string(),
         })?;
@@ -280,6 +322,10 @@ impl Qrio {
             .node_mut(name)
             .ok_or_else(|| QrioError::Cluster(ClusterError::UnknownNode(name.to_string())))?
             .uncordon();
+        let _ = self
+            .control
+            .send_command(name, self.lifecycle.clock, NodeCommand::Uncordon);
+        self.control.drain();
         self.journal_command(Command::Uncordon {
             node: name.to_string(),
         })?;
@@ -312,9 +358,40 @@ impl Qrio {
     ///
     /// Returns an error only when the journal append fails.
     pub fn configure_faults(&mut self, injector: Option<FaultInjector>) -> Result<(), QrioError> {
-        self.cluster.set_fault_injector(injector);
+        self.configure_faults_unjournaled(injector);
         self.journal_command(Command::ConfigureFaults { injector })?;
         Ok(())
+    }
+
+    /// Install the injector and rebroadcast every node's `Bind` so each
+    /// agent's fault-plan replica matches: the agent draws the injected-fault
+    /// verdict for the attempts it runs, and both sides evaluate the same
+    /// pure decision function.
+    fn configure_faults_unjournaled(&mut self, injector: Option<FaultInjector>) {
+        self.cluster.set_fault_injector(injector);
+        let wire = injector.as_ref().map(fault_spec_to_wire);
+        let nodes: Vec<(String, String)> = self
+            .cluster
+            .nodes()
+            .map(|node| {
+                (
+                    node.backend().name().to_string(),
+                    backend_spec::to_spec(node.backend()),
+                )
+            })
+            .collect();
+        let clock = self.lifecycle.clock;
+        for (name, spec_text) in nodes {
+            let _ = self.control.send_command(
+                &name,
+                clock,
+                NodeCommand::Bind {
+                    backend_spec: spec_text,
+                    injector: wire,
+                },
+            );
+        }
+        self.control.drain();
     }
 
     /// The currently-installed fault injector, if any.
@@ -339,6 +416,89 @@ impl Qrio {
     /// The circuit-breaker board, when breakers are configured.
     pub fn breakers(&self) -> Option<&BreakerBoard> {
         self.breakers.as_ref()
+    }
+
+    // --- Control plane -------------------------------------------------------------------
+
+    /// Swap the control-plane transport, rebuilding every node's agent on
+    /// the new one. [`TransportMode::InProc`] (the default) runs agents in
+    /// this thread, deterministically; [`TransportMode::Threaded`] moves
+    /// them onto real worker threads over `mpsc` channels. Agents are pure
+    /// functions of their per-node command streams, so final results are
+    /// byte-identical in every mode and at every thread count.
+    pub fn set_transport(&mut self, mode: TransportMode) {
+        let transport: Box<dyn Transport> = match mode {
+            TransportMode::InProc => Box::new(InProcTransport::new()),
+            TransportMode::Threaded { threads } => Box::new(ChannelTransport::new(threads)),
+        };
+        self.control.install(transport, mode);
+        self.rebuild_agents();
+    }
+
+    /// The active control-plane transport mode.
+    pub fn transport_mode(&self) -> TransportMode {
+        self.control.mode()
+    }
+
+    /// Short name of the active transport (`"in-proc"` / `"threaded"`).
+    pub fn transport_mode_name(&self) -> &'static str {
+        self.control.mode_name()
+    }
+
+    /// The observed-state table of the reconcile loop: the last decoded
+    /// [`qrio_proto::NodeReport`] per node, as drained off the transport.
+    pub fn observed_nodes(&self) -> &std::collections::BTreeMap<String, ObservedNode> {
+        self.control.observed()
+    }
+
+    /// The desired-state table of the reconcile loop: for every device with
+    /// queued bindings, the job that should run on the next cycle.
+    pub fn desired_bindings(&self) -> Vec<(String, String)> {
+        self.plan_executions()
+    }
+
+    /// Start recording every control-plane frame (both directions) into an
+    /// in-memory trace of concatenated encoded envelopes — the input format
+    /// of the `qrio-lint` envelope lints.
+    pub fn enable_control_trace(&mut self) {
+        self.control.enable_trace();
+    }
+
+    /// Take the recorded control-plane trace, leaving recording enabled.
+    pub fn take_control_trace(&mut self) -> Vec<u8> {
+        self.control.take_trace()
+    }
+
+    /// Register one agent per cluster node on the current transport and
+    /// re-ship calibration + fault plan. Used when the transport is swapped
+    /// and when an orchestrator is rebuilt from a snapshot.
+    fn rebuild_agents(&mut self) {
+        let injector = self.cluster.fault_injector().map(fault_spec_to_wire);
+        let nodes: Vec<(String, String)> = self
+            .cluster
+            .nodes()
+            .map(|node| {
+                (
+                    node.backend().name().to_string(),
+                    backend_spec::to_spec(node.backend()),
+                )
+            })
+            .collect();
+        let clock = self.lifecycle.clock;
+        for (name, spec_text) in nodes {
+            let _ = self
+                .control
+                .register_agent(NodeAgent::new(&name, Box::new(self.runner)));
+            let _ = self.control.send_command(
+                &name,
+                clock,
+                NodeCommand::Bind {
+                    backend_spec: spec_text,
+                    injector,
+                },
+            );
+        }
+        self.control.drain();
     }
 
     /// The dead-letter queue: ids of jobs whose retry policy was exhausted,
@@ -727,24 +887,46 @@ impl Qrio {
                 Admitted::Failed => report.failed.push(JobId::new(&name)),
             }
         }
-        // Execution: one job per device per tick, device-name order.
-        let devices: Vec<String> = self.lifecycle.device_queues.keys().cloned().collect();
-        for device in devices {
-            let Some(name) = self
+        // Execution, as a reconcile step: diff the desired-state table (the
+        // head of every device queue is the binding that *should* run now)
+        // against the observed per-node reports, then emit one `Run` command
+        // per planned pair — one job per device per tick, device-name order.
+        for (device, name) in self.plan_executions() {
+            let popped = self
                 .lifecycle
                 .device_queues
                 .get_mut(&device)
-                .and_then(|queue| queue.pop_front())
-            else {
-                continue;
-            };
+                .and_then(|queue| queue.pop_front());
+            debug_assert_eq!(popped.as_deref(), Some(name.as_str()));
             let _ = self.execute_bound(&name);
             report.completed.push(JobId::new(&name));
         }
         self.lifecycle
             .device_queues
             .retain(|_, queue| !queue.is_empty());
+        // Fold any still-unread reports (fire-and-forget acknowledgements,
+        // telemetry) into the observed table. With real worker threads these
+        // may lag the commands that caused them; this is where stale
+        // observations converge.
+        self.control.drain();
         report
+    }
+
+    /// The reconcile diff: the next `(device, job)` pair to dispatch for
+    /// every device, in name order. Desired state is the head of each device
+    /// queue; a device whose last observed report shows an unfinished run is
+    /// skipped until its phase report lands (with the blocking round-trip
+    /// dispatch below this never triggers, but the plan stays correct for
+    /// transports that acknowledge asynchronously).
+    fn plan_executions(&self) -> Vec<(String, String)> {
+        self.lifecycle
+            .device_queues
+            .iter()
+            .filter_map(|(device, queue)| {
+                let job = queue.front()?;
+                Some((device.clone(), job.clone()))
+            })
+            .collect()
     }
 
     /// Queued / Retrying jobs whose absolute deadline has passed, in name
@@ -1095,6 +1277,12 @@ impl Qrio {
             if let Some(node) = self.cluster.node_mut(device) {
                 node.uncordon();
             }
+            // Ask the agent for a fresh status frame so the observed table
+            // reflects the probed node.
+            let _ = self
+                .control
+                .send_command(device, self.lifecycle.clock, NodeCommand::Probe);
+            self.control.drain();
             true
         } else {
             false
@@ -1278,9 +1466,20 @@ impl Qrio {
         self.lifecycle
             .record(name, JobState::Running, node.clone(), None);
         let attempt = self.lifecycle.jobs.get(name).map_or(0, |t| t.attempt);
-        let runner = self.runner;
-        let result = self.cluster.run_job_attempt(name, &runner, attempt);
+        let result = self.dispatch_attempt(name, attempt);
         self.settle_execution(name, node, result)
+    }
+
+    /// One execution attempt over the control plane: prepare the work order
+    /// locally (phase check, image pull, `JobStarted`), ship it to the
+    /// node's agent as an encoded `Run` envelope across the transport, block
+    /// for the matching `Phase` report, and settle the verdict back into the
+    /// cluster. The agent holds the fault-plan replica, so injected-fault
+    /// verdicts are drawn device-side from the same pure decision function.
+    fn dispatch_attempt(&mut self, name: &str, attempt: u32) -> Result<(), ClusterError> {
+        let order = self.cluster.prepare_run(name, attempt)?;
+        let verdict = self.control.run(&order, self.lifecycle.clock)?;
+        self.cluster.settle_run(&order, verdict)
     }
 
     /// Fold one execution outcome into the lifecycle: feed the device's
@@ -1427,6 +1626,7 @@ impl Qrio {
             journal,
             config.snapshot_every,
             config.sync_every_n_commands,
+            config.compact_above_bytes,
             self.lifecycle.events.len() as u64,
         ));
         self.write_snapshot()?;
@@ -1510,6 +1710,10 @@ impl Qrio {
                 .as_ref()
                 .map_or(0, Durability::snapshot_every),
             sync_every: self.durability.as_ref().map_or(0, Durability::sync_every),
+            compact_above: self
+                .durability
+                .as_ref()
+                .map_or(0, Durability::compact_above),
             breakers: self.breakers.clone(),
         }
     }
@@ -1528,7 +1732,7 @@ impl Qrio {
     /// Rebuild an orchestrator from a decoded snapshot. No journal is
     /// attached yet; the caller wires that after replay.
     fn from_snapshot(snapshot: SnapshotState) -> Self {
-        Qrio {
+        let mut qrio = Qrio {
             cluster: Cluster::from_state(snapshot.cluster),
             meta: MetaServer::from_state(snapshot.meta),
             runner: SimJobRunner::new(snapshot.runner_seed),
@@ -1537,7 +1741,13 @@ impl Qrio {
             admission_gate: None,
             durability: None,
             breakers: snapshot.breakers,
-        }
+            control: ControlPlane::new_in_proc(),
+        };
+        // Snapshots carry no agent state: agents are pure functions of their
+        // command streams, so rebuilding them from the restored cluster and
+        // re-binding calibration + fault plan reproduces them exactly.
+        qrio.rebuild_agents();
+        qrio
     }
 
     /// Re-apply one journaled command during recovery. Results are
@@ -1597,7 +1807,7 @@ impl Qrio {
                 let _ = self.cluster.heal_nodes();
             }
             Command::ConfigureFaults { injector } => {
-                self.cluster.set_fault_injector(injector);
+                self.configure_faults_unjournaled(injector);
             }
             Command::ConfigureBreakers { config } => {
                 self.breakers = config.map(BreakerBoard::new);
@@ -1663,6 +1873,7 @@ impl Qrio {
         let cursor = snapshot.cursor;
         let snapshot_every = snapshot.snapshot_every;
         let sync_every = snapshot.sync_every;
+        let compact_above = snapshot.compact_above;
         let mut qrio = Qrio::from_snapshot(snapshot);
         setup(&mut qrio)?;
 
@@ -1728,6 +1939,7 @@ impl Qrio {
             journal,
             snapshot_every,
             sync_every,
+            compact_above,
             cursor + journaled_tail.len() as u64,
         );
         if events_healed > 0 {
@@ -1750,6 +1962,154 @@ impl Qrio {
         };
         qrio.durability = Some(durability);
         Ok((qrio, report))
+    }
+
+    /// Time-travel inspection: rebuild the orchestrator state as of a
+    /// watch-log cursor, without attaching durability to the result.
+    ///
+    /// Starts from the latest journaled snapshot at or before `cursor` and
+    /// replays commands until the watch log reaches it. Commands are atomic,
+    /// so replay stops at the first command boundary `>=` the target (the
+    /// [`ReplayCheckpoint`] records where it actually landed); a cursor past
+    /// the journal's end replays everything. The returned instance is a
+    /// read-only replica of history — it is live and can be driven forward,
+    /// but nothing it does is journaled.
+    ///
+    /// # Errors
+    ///
+    /// As [`Qrio::recover`], plus [`DurabilityError::NoSnapshot`] when every
+    /// journaled snapshot lies *after* the requested cursor (compaction may
+    /// have dropped the history that covered it).
+    pub fn replay_to(
+        path: impl AsRef<Path>,
+        cursor: u64,
+    ) -> Result<(Qrio, ReplayCheckpoint), QrioError> {
+        let (_journal, scan) = Journal::open(path.as_ref()).map_err(DurabilityError::Journal)?;
+
+        // The latest snapshot that does not overshoot the target.
+        let mut chosen: Option<(usize, u64)> = None;
+        for (index, record) in scan.records.iter().enumerate() {
+            if record.kind != RECORD_SNAPSHOT {
+                continue;
+            }
+            if record.version != RECORD_VERSION {
+                return Err(QrioError::Durability(DurabilityError::UnsupportedRecord {
+                    kind: record.kind,
+                    version: record.version,
+                }));
+            }
+            let snap_cursor = durability::snapshot_cursor(&record.payload)?;
+            if snap_cursor <= cursor {
+                chosen = Some((index, snap_cursor));
+            }
+        }
+        let (snapshot_index, snapshot_cursor) =
+            chosen.ok_or(QrioError::Durability(DurabilityError::NoSnapshot))?;
+
+        let snapshot = durability::decode_snapshot(&scan.records[snapshot_index].payload)?;
+        let mut qrio = Qrio::from_snapshot(snapshot);
+        let mut commands_replayed: u64 = 0;
+        for record in &scan.records[snapshot_index + 1..] {
+            if qrio.lifecycle.events.len() as u64 >= cursor {
+                break;
+            }
+            if record.version != RECORD_VERSION {
+                return Err(QrioError::Durability(DurabilityError::UnsupportedRecord {
+                    kind: record.kind,
+                    version: record.version,
+                }));
+            }
+            match record.kind {
+                RECORD_COMMAND => {
+                    let cmd = durability::decode_command(&record.payload)?;
+                    qrio.apply_command(cmd)?;
+                    commands_replayed += 1;
+                }
+                // Event acknowledgements and later snapshots carry no state
+                // transitions of their own — replay regenerates the events.
+                RECORD_EVENTS | RECORD_SNAPSHOT => {}
+                kind => {
+                    return Err(QrioError::Durability(DurabilityError::UnsupportedRecord {
+                        kind,
+                        version: record.version,
+                    }));
+                }
+            }
+        }
+
+        let checkpoint = ReplayCheckpoint {
+            target_cursor: cursor,
+            snapshot_cursor,
+            commands_replayed,
+            reached_cursor: qrio.lifecycle.events.len() as u64,
+        };
+        Ok((qrio, checkpoint))
+    }
+
+    /// A deterministic, human-readable dump of the reconstructed state:
+    /// clock, transport, the jobs table, scheduler queues, dead letters and
+    /// the breaker board. The backbone of `qrio-lint --replay-to`, and
+    /// byte-reproducible for identical states — diffable across replays.
+    pub fn describe_state(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "clock     = {}", self.lifecycle.clock);
+        let _ = writeln!(out, "transport = {}", self.transport_mode_name());
+        let _ = writeln!(out, "events    = {}", self.lifecycle.events.len());
+
+        let _ = writeln!(out, "jobs ({}):", self.lifecycle.jobs.len());
+        for (name, tracked) in &self.lifecycle.jobs {
+            let node = tracked
+                .status
+                .node
+                .as_deref()
+                .or(tracked.decision.as_ref().map(|d| d.node.as_str()))
+                .unwrap_or("-");
+            let _ = writeln!(
+                out,
+                "  {name}: {:?} prio={} attempt={} node={node}",
+                tracked.status.state, tracked.status.priority, tracked.attempt
+            );
+        }
+
+        let pending = self.lifecycle.pending_in_order();
+        let _ = writeln!(out, "pending ({}):", pending.len());
+        for name in &pending {
+            let _ = writeln!(out, "  {name}");
+        }
+
+        let _ = writeln!(
+            out,
+            "device queues ({}):",
+            self.lifecycle.device_queues.len()
+        );
+        for (device, queue) in &self.lifecycle.device_queues {
+            let jobs: Vec<&str> = queue.iter().map(String::as_str).collect();
+            let _ = writeln!(out, "  {device}: [{}]", jobs.join(", "));
+        }
+
+        let _ = writeln!(out, "dead letters ({}):", self.lifecycle.dead_letters.len());
+        for name in &self.lifecycle.dead_letters {
+            let _ = writeln!(out, "  {name}");
+        }
+
+        match self.breakers() {
+            None => {
+                let _ = writeln!(out, "breakers: disabled");
+            }
+            Some(board) => {
+                let _ = writeln!(out, "breakers ({} transitions):", board.events().len());
+                for device in board.breakers.keys() {
+                    let _ = writeln!(
+                        out,
+                        "  {device}: {} trips={}",
+                        board.state(device).name(),
+                        board.trip_count(device)
+                    );
+                }
+            }
+        }
+        out
     }
 
     // --- Blocking compatibility wrapper --------------------------------------------------

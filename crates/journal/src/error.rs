@@ -42,6 +42,15 @@ pub enum JournalError {
         /// The oversized payload length in bytes.
         len: u64,
     },
+    /// A [`Journal::compact`](crate::Journal::compact) call named an offset
+    /// that is not a clean record boundary inside the file. The journal is
+    /// left untouched.
+    BadCompactionPoint {
+        /// The rejected `keep_from` offset.
+        offset: u64,
+        /// Why the offset cannot be compacted to.
+        detail: String,
+    },
 }
 
 impl fmt::Display for JournalError {
@@ -59,6 +68,9 @@ impl fmt::Display for JournalError {
                     f,
                     "record payload of {len} bytes exceeds the u32 length prefix"
                 )
+            }
+            JournalError::BadCompactionPoint { offset, detail } => {
+                write!(f, "cannot compact journal to offset {offset}: {detail}")
             }
         }
     }

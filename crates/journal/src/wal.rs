@@ -294,6 +294,83 @@ impl Journal {
             .sync_data()
             .map_err(|e| JournalError::io("sync", &e))
     }
+
+    /// Current length of the journal file in bytes (header included).
+    pub fn byte_len(&self) -> Result<u64, JournalError> {
+        self.file
+            .metadata()
+            .map(|m| m.len())
+            .map_err(|e| JournalError::io("stat", &e))
+    }
+
+    /// Drop every record before `keep_from` (a byte offset, typically the
+    /// position of the last snapshot record), rewriting the journal as a
+    /// fresh header plus the retained suffix.
+    ///
+    /// The rewrite is torn-tail-safe: the compacted image is written to a
+    /// sibling temporary file, forced to stable storage, and atomically
+    /// renamed over the journal. A crash at any point leaves either the old
+    /// file or the complete new one — never a hybrid. The journal stays open
+    /// for appends afterwards. Returns the number of bytes reclaimed.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::BadCompactionPoint`] when `keep_from` is not a record
+    /// boundary (before the header, past the end of the file, or such that
+    /// the retained suffix does not scan as whole records); the journal is
+    /// left untouched in that case. IO failures surface as
+    /// [`JournalError::Io`].
+    pub fn compact(&mut self, keep_from: u64) -> Result<u64, JournalError> {
+        self.flush()?;
+        let bytes = std::fs::read(&self.path).map_err(|e| JournalError::io("read", &e))?;
+        let offset = usize::try_from(keep_from).unwrap_or(usize::MAX);
+        if offset < HEADER_LEN || offset > bytes.len() {
+            return Err(JournalError::BadCompactionPoint {
+                offset: keep_from,
+                detail: format!(
+                    "offset is outside the file (header {HEADER_LEN} B, file {} B)",
+                    bytes.len()
+                ),
+            });
+        }
+        let mut compacted = header_bytes().to_vec();
+        compacted.extend_from_slice(&bytes[offset..]);
+        let scan = scan_bytes(&compacted)?;
+        if let Some(torn) = scan.torn {
+            return Err(JournalError::BadCompactionPoint {
+                offset: keep_from,
+                detail: format!("retained suffix is not whole records: {}", torn.reason),
+            });
+        }
+
+        let file_name = self
+            .path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "journal".to_string());
+        let tmp = self.path.with_file_name(format!("{file_name}.compacting"));
+        {
+            let mut tmp_file =
+                File::create(&tmp).map_err(|e| JournalError::io("create compacted", &e))?;
+            tmp_file
+                .write_all(&compacted)
+                .map_err(|e| JournalError::io("write compacted", &e))?;
+            tmp_file
+                .sync_data()
+                .map_err(|e| JournalError::io("sync compacted", &e))?;
+        }
+        std::fs::rename(&tmp, &self.path).map_err(|e| JournalError::io("rename compacted", &e))?;
+
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&self.path)
+            .map_err(|e| JournalError::io("reopen compacted", &e))?;
+        file.seek(SeekFrom::End(0))
+            .map_err(|e| JournalError::io("seek", &e))?;
+        self.file = file;
+        Ok((bytes.len() - compacted.len()) as u64)
+    }
 }
 
 #[cfg(test)]
@@ -360,6 +437,70 @@ mod tests {
         assert_eq!(report.records, records[..1]);
         let torn = report.torn.unwrap();
         assert!(torn.reason.contains("checksum mismatch"), "{}", torn.reason);
+    }
+
+    #[test]
+    fn compaction_drops_the_prefix_and_keeps_appending() {
+        let dir = std::env::temp_dir().join("qrio-journal-compact-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("compact.journal");
+
+        let mut journal = Journal::create(&path).unwrap();
+        journal.append(&record(1, b"old-1")).unwrap();
+        journal.append(&record(1, b"old-2")).unwrap();
+        let keep_from = journal.byte_len().unwrap();
+        journal.append(&record(3, b"snapshot")).unwrap();
+        journal.append(&record(1, b"after")).unwrap();
+        let before = journal.byte_len().unwrap();
+
+        let reclaimed = journal.compact(keep_from).unwrap();
+        assert_eq!(reclaimed, keep_from - HEADER_LEN as u64);
+        assert_eq!(journal.byte_len().unwrap(), before - reclaimed);
+
+        // The journal stays appendable after the rewrite.
+        journal.append(&record(1, b"post-compaction")).unwrap();
+        journal.flush().unwrap();
+        drop(journal);
+
+        let report = scan_file(&path).unwrap();
+        assert!(report.torn.is_none());
+        assert_eq!(
+            report.records,
+            vec![
+                record(3, b"snapshot"),
+                record(1, b"after"),
+                record(1, b"post-compaction"),
+            ]
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compaction_rejects_non_record_boundaries() {
+        let dir = std::env::temp_dir().join("qrio-journal-compact-reject-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("reject.journal");
+
+        let mut journal = Journal::create(&path).unwrap();
+        journal.append(&record(1, b"alpha")).unwrap();
+        journal.append(&record(1, b"beta")).unwrap();
+        let len = journal.byte_len().unwrap();
+
+        // Mid-record, before the header, and past the end must all be
+        // rejected, leaving the file untouched.
+        for bad in [HEADER_LEN as u64 + 3, 2, len + 1] {
+            assert!(matches!(
+                journal.compact(bad),
+                Err(JournalError::BadCompactionPoint { .. })
+            ));
+        }
+        drop(journal);
+        let report = scan_file(&path).unwrap();
+        assert_eq!(
+            report.records,
+            vec![record(1, b"alpha"), record(1, b"beta")]
+        );
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

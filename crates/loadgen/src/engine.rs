@@ -185,6 +185,25 @@ pub fn run_scenario_with_log(
     Engine::new(scenario)?.run()
 }
 
+/// Like [`run_scenario`], but with an explicit control-plane transport:
+/// [`qrio::TransportMode::InProc`] reproduces [`run_scenario`] exactly, and
+/// [`qrio::TransportMode::Threaded`] moves the node agents onto real worker
+/// threads. Agents are pure functions of their per-node command streams, so
+/// the report is byte-identical in every mode and at every thread count.
+///
+/// # Errors
+///
+/// Same failure modes as [`run_scenario`].
+pub fn run_scenario_with_transport(
+    scenario: &Scenario,
+    mode: qrio::TransportMode,
+) -> Result<CloudReport, LoadgenError> {
+    scenario.validate()?;
+    let mut engine = Engine::new(scenario)?;
+    engine.qrio.set_transport(mode);
+    engine.run().map(|(report, _)| report)
+}
+
 struct Engine<'s> {
     scenario: &'s Scenario,
     /// The QRIO deployment under test, driven exclusively through its public

@@ -60,7 +60,7 @@ pub mod metrics;
 pub mod scenario;
 
 pub use arrival::{ArrivalProcess, ArrivalSampler};
-pub use engine::{run_scenario, run_scenario_with_log};
+pub use engine::{run_scenario, run_scenario_with_log, run_scenario_with_transport};
 pub use error::LoadgenError;
 pub use killrestart::{
     run_kill_restart, run_kill_restart_with_log, KillRestartReport, KillRestartScenario,

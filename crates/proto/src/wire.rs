@@ -1,0 +1,854 @@
+//! Control-plane message types and the envelope framing that carries them.
+//!
+//! Every message travels inside an [`Envelope`] frame laid out in the
+//! `qrio-journal` record idiom:
+//!
+//! ```text
+//! +--------------+---------+---------+------------------+-----------+
+//! | magic (8)    | ver u16 | len u32 | payload (len)    | crc32 u32 |
+//! | "QRIOPROT"   |         |         |                  |           |
+//! +--------------+---------+---------+------------------+-----------+
+//! ```
+//!
+//! The CRC covers everything before it (magic, version, length and payload),
+//! so a flipped bit anywhere in the frame is detected. Frames are
+//! self-delimiting and may be concatenated into a trace stream; see
+//! [`decode_stream`].
+//!
+//! Decoding never panics: every malformed input maps to a typed
+//! [`ProtoError`].
+
+use std::fmt;
+
+use crate::codec::{crc32, ByteReader, ByteWriter, CodecError};
+
+/// Magic bytes opening every envelope frame.
+pub const PROTO_MAGIC: [u8; 8] = *b"QRIOPROT";
+
+/// Version of the wire format emitted by this crate.
+pub const PROTO_VERSION: u16 = 1;
+
+/// Bytes before the payload: magic (8) + version (2) + length (4).
+pub const FRAME_PREFIX_LEN: usize = 14;
+
+/// Trailing checksum width.
+pub const FRAME_CRC_LEN: usize = 4;
+
+/// Errors surfaced while decoding envelope frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The buffer is shorter than a complete frame.
+    Truncated {
+        /// Bytes the frame needed.
+        needed: usize,
+        /// Bytes that were actually available.
+        available: usize,
+    },
+    /// The frame does not open with [`PROTO_MAGIC`].
+    BadMagic,
+    /// The frame's version is not [`PROTO_VERSION`].
+    UnsupportedVersion {
+        /// Version found in the frame header.
+        found: u16,
+        /// Version this crate speaks.
+        supported: u16,
+    },
+    /// The trailing checksum does not match the frame contents.
+    CorruptFrame {
+        /// Checksum stored in the frame.
+        stored: u32,
+        /// Checksum computed over the frame bytes.
+        computed: u32,
+    },
+    /// The payload bytes failed structured decoding.
+    Payload(CodecError),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Truncated { needed, available } => {
+                write!(
+                    f,
+                    "truncated frame: needed {needed} bytes, {available} available"
+                )
+            }
+            ProtoError::BadMagic => write!(f, "frame does not start with the QRIOPROT magic"),
+            ProtoError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "frame version {found} unsupported (speaking {supported})"
+                )
+            }
+            ProtoError::CorruptFrame { stored, computed } => {
+                write!(
+                    f,
+                    "frame checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+                )
+            }
+            ProtoError::Payload(err) => write!(f, "malformed payload: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<CodecError> for ProtoError {
+    fn from(err: CodecError) -> Self {
+        ProtoError::Payload(err)
+    }
+}
+
+/// Fault kinds as they travel on the wire, mirroring the cluster's
+/// `FaultKind` without depending on it (`qrio-proto` is a leaf crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireFaultKind {
+    /// A one-off execution failure that succeeds on retry.
+    Transient,
+    /// The device's calibration drifted; a recalibration fixes it.
+    Calibration,
+    /// The job ran but blew its latency budget.
+    Slow,
+    /// The device dropped out mid-run.
+    Flap,
+}
+
+impl WireFaultKind {
+    /// Every kind, in wire-tag order.
+    pub const ALL: [WireFaultKind; 4] = [
+        WireFaultKind::Transient,
+        WireFaultKind::Calibration,
+        WireFaultKind::Slow,
+        WireFaultKind::Flap,
+    ];
+
+    /// Stable lower-case name, identical to the cluster-side `FaultKind`.
+    pub fn name(self) -> &'static str {
+        match self {
+            WireFaultKind::Transient => "transient",
+            WireFaultKind::Calibration => "calibration",
+            WireFaultKind::Slow => "slow",
+            WireFaultKind::Flap => "flap",
+        }
+    }
+
+    fn tag(self) -> u8 {
+        match self {
+            WireFaultKind::Transient => 0,
+            WireFaultKind::Calibration => 1,
+            WireFaultKind::Slow => 2,
+            WireFaultKind::Flap => 3,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self, CodecError> {
+        match tag {
+            0 => Ok(WireFaultKind::Transient),
+            1 => Ok(WireFaultKind::Calibration),
+            2 => Ok(WireFaultKind::Slow),
+            3 => Ok(WireFaultKind::Flap),
+            other => Err(CodecError::InvalidTag {
+                what: "WireFaultKind",
+                tag: u64::from(other),
+            }),
+        }
+    }
+}
+
+/// Fault-injection parameters shipped to an agent in a `Bind` command, so the
+/// agent reaches the same pure fault decision the orchestrator would.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Seed of the deterministic fault stream.
+    pub seed: u64,
+    /// Probability of a transient execution fault.
+    pub transient_rate: f64,
+    /// Probability of a calibration glitch.
+    pub calibration_rate: f64,
+    /// Probability of a slow-job fault.
+    pub slow_rate: f64,
+    /// Probability of a device flap.
+    pub flap_rate: f64,
+}
+
+/// Everything an agent needs to execute one attempt of one job: the circuit,
+/// the image files and the shot budget. Self-contained by design — the agent
+/// never reaches back into orchestrator state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunPayload {
+    /// Job name.
+    pub job: String,
+    /// Zero-based attempt number (drives the fault decision).
+    pub attempt: u32,
+    /// Name of the image bundle the files came from.
+    pub image_name: String,
+    /// The image's files (`path -> contents`), sorted by path.
+    pub image_files: Vec<(String, String)>,
+    /// The job's circuit as OpenQASM text.
+    pub qasm: String,
+    /// Number of qubits the job requested.
+    pub num_qubits: u64,
+    /// Number of shots to execute.
+    pub shots: u64,
+    /// Worker threads for shot execution (`0` = auto-detect).
+    pub threads: u64,
+}
+
+/// Orchestrator → agent instructions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeCommand {
+    /// Attach (or refresh) the device owned by the agent: backend calibration
+    /// as `qrio-backend` spec text, plus the current fault-injection plan.
+    Bind {
+        /// Backend spec text (`qrio_backend::spec` format).
+        backend_spec: String,
+        /// Fault-injection parameters; `None` disables injection.
+        injector: Option<FaultSpec>,
+    },
+    /// Execute one attempt of a job.
+    Run {
+        /// The self-contained work order.
+        payload: RunPayload,
+    },
+    /// Best-effort cancel: drop the named job if it has not started.
+    Cancel {
+        /// Job name.
+        job: String,
+        /// Human-readable reason, echoed into agent logs.
+        reason: String,
+    },
+    /// Replace the device calibration with a new backend spec.
+    Recalibrate {
+        /// Backend spec text (`qrio_backend::spec` format).
+        backend_spec: String,
+    },
+    /// Stop accepting new runs.
+    Cordon,
+    /// Resume accepting runs.
+    Uncordon,
+    /// Health probe; the agent answers with [`NodeReport::Status`].
+    Probe,
+}
+
+impl NodeCommand {
+    /// Stable lower-case name of the command variant.
+    pub fn name(&self) -> &'static str {
+        match self {
+            NodeCommand::Bind { .. } => "bind",
+            NodeCommand::Run { .. } => "run",
+            NodeCommand::Cancel { .. } => "cancel",
+            NodeCommand::Recalibrate { .. } => "recalibrate",
+            NodeCommand::Cordon => "cordon",
+            NodeCommand::Uncordon => "uncordon",
+            NodeCommand::Probe => "probe",
+        }
+    }
+}
+
+/// Outcome of one `Run` command, reported by the agent.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunVerdict {
+    /// The runner completed; histogram, fidelity and logs attached.
+    Succeeded {
+        /// Measurement histogram (`bitstring -> count`).
+        counts: Vec<(String, u64)>,
+        /// Fidelity against the noise-free reference, when computed.
+        fidelity: Option<f64>,
+        /// Runner log lines.
+        logs: Vec<String>,
+    },
+    /// The runner failed with a human-readable reason.
+    Failed {
+        /// Failure reason.
+        reason: String,
+    },
+    /// The fault injector fired before the runner started.
+    Faulted {
+        /// Which fault fired.
+        kind: WireFaultKind,
+    },
+    /// The agent refused the run (unbound device, cancelled job, ...).
+    Rejected {
+        /// Refusal reason.
+        reason: String,
+    },
+}
+
+/// One telemetry sample from an agent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TelemetryFrame {
+    /// Jobs queued on the device.
+    pub queue_depth: u64,
+    /// Utilization in `[0, 1]`.
+    pub utilization: f64,
+    /// Health penalty applied by the meta server's ranking.
+    pub health_penalty: f64,
+}
+
+/// Agent → orchestrator reports.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeReport {
+    /// A job attempt reached a terminal phase on this device.
+    Phase {
+        /// Job name.
+        job: String,
+        /// Attempt number the verdict is for.
+        attempt: u32,
+        /// What happened.
+        verdict: RunVerdict,
+    },
+    /// Periodic telemetry sample.
+    Telemetry {
+        /// The sample.
+        frame: TelemetryFrame,
+    },
+    /// Acknowledges a `Bind`/`Recalibrate`: the agent's calibration revision
+    /// (bumped every time the backend spec is replaced).
+    Calibration {
+        /// Monotonic revision counter.
+        revision: u64,
+    },
+    /// Answers a `Probe` (and acknowledges `Cordon`/`Uncordon`/`Cancel`).
+    Status {
+        /// Whether the agent is refusing new runs.
+        cordoned: bool,
+        /// Run commands executed so far.
+        executed: u64,
+        /// Current calibration revision.
+        calibration_revision: u64,
+    },
+}
+
+impl NodeReport {
+    /// Stable lower-case name of the report variant.
+    pub fn name(&self) -> &'static str {
+        match self {
+            NodeReport::Phase { .. } => "phase",
+            NodeReport::Telemetry { .. } => "telemetry",
+            NodeReport::Calibration { .. } => "calibration",
+            NodeReport::Status { .. } => "status",
+        }
+    }
+}
+
+/// Direction-tagged payload of an envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// Orchestrator → agent.
+    Command(NodeCommand),
+    /// Agent → orchestrator.
+    Report(NodeReport),
+}
+
+/// One framed control-plane message.
+///
+/// `seq` is per-node *and* per-direction: the orchestrator numbers the
+/// commands it sends each node `0, 1, 2, ...` and each agent independently
+/// numbers its reports. A gap in either stream means a message was lost
+/// (lint QL0600).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Position in the per-node, per-direction stream.
+    pub seq: u64,
+    /// Device the message is to (command) or from (report).
+    pub node_id: String,
+    /// Virtual clock of the sender when the message was emitted.
+    pub virtual_ts: u64,
+    /// The message itself.
+    pub payload: Payload,
+}
+
+fn put_fault_spec(writer: &mut ByteWriter, spec: &FaultSpec) {
+    writer.put_u64(spec.seed);
+    writer.put_f64(spec.transient_rate);
+    writer.put_f64(spec.calibration_rate);
+    writer.put_f64(spec.slow_rate);
+    writer.put_f64(spec.flap_rate);
+}
+
+fn take_fault_spec(reader: &mut ByteReader<'_>) -> Result<FaultSpec, CodecError> {
+    Ok(FaultSpec {
+        seed: reader.take_u64()?,
+        transient_rate: reader.take_f64()?,
+        calibration_rate: reader.take_f64()?,
+        slow_rate: reader.take_f64()?,
+        flap_rate: reader.take_f64()?,
+    })
+}
+
+fn put_run_payload(writer: &mut ByteWriter, payload: &RunPayload) {
+    writer.put_str(&payload.job);
+    writer.put_u32(payload.attempt);
+    writer.put_str(&payload.image_name);
+    writer.put_usize(payload.image_files.len());
+    for (path, contents) in &payload.image_files {
+        writer.put_str(path);
+        writer.put_str(contents);
+    }
+    writer.put_str(&payload.qasm);
+    writer.put_u64(payload.num_qubits);
+    writer.put_u64(payload.shots);
+    writer.put_u64(payload.threads);
+}
+
+fn take_run_payload(reader: &mut ByteReader<'_>) -> Result<RunPayload, CodecError> {
+    let job = reader.take_str()?;
+    let attempt = reader.take_u32()?;
+    let image_name = reader.take_str()?;
+    let file_count = reader.take_usize()?;
+    let mut image_files = Vec::new();
+    for _ in 0..file_count {
+        let path = reader.take_str()?;
+        let contents = reader.take_str()?;
+        image_files.push((path, contents));
+    }
+    Ok(RunPayload {
+        job,
+        attempt,
+        image_name,
+        image_files,
+        qasm: reader.take_str()?,
+        num_qubits: reader.take_u64()?,
+        shots: reader.take_u64()?,
+        threads: reader.take_u64()?,
+    })
+}
+
+fn put_command(writer: &mut ByteWriter, command: &NodeCommand) {
+    match command {
+        NodeCommand::Bind {
+            backend_spec,
+            injector,
+        } => {
+            writer.put_u8(0);
+            writer.put_str(backend_spec);
+            match injector {
+                None => writer.put_u8(0),
+                Some(spec) => {
+                    writer.put_u8(1);
+                    put_fault_spec(writer, spec);
+                }
+            }
+        }
+        NodeCommand::Run { payload } => {
+            writer.put_u8(1);
+            put_run_payload(writer, payload);
+        }
+        NodeCommand::Cancel { job, reason } => {
+            writer.put_u8(2);
+            writer.put_str(job);
+            writer.put_str(reason);
+        }
+        NodeCommand::Recalibrate { backend_spec } => {
+            writer.put_u8(3);
+            writer.put_str(backend_spec);
+        }
+        NodeCommand::Cordon => writer.put_u8(4),
+        NodeCommand::Uncordon => writer.put_u8(5),
+        NodeCommand::Probe => writer.put_u8(6),
+    }
+}
+
+fn take_command(reader: &mut ByteReader<'_>) -> Result<NodeCommand, CodecError> {
+    match reader.take_u8()? {
+        0 => {
+            let backend_spec = reader.take_str()?;
+            let injector = match reader.take_u8()? {
+                0 => None,
+                1 => Some(take_fault_spec(reader)?),
+                tag => {
+                    return Err(CodecError::InvalidTag {
+                        what: "Option<FaultSpec>",
+                        tag: u64::from(tag),
+                    })
+                }
+            };
+            Ok(NodeCommand::Bind {
+                backend_spec,
+                injector,
+            })
+        }
+        1 => Ok(NodeCommand::Run {
+            payload: take_run_payload(reader)?,
+        }),
+        2 => Ok(NodeCommand::Cancel {
+            job: reader.take_str()?,
+            reason: reader.take_str()?,
+        }),
+        3 => Ok(NodeCommand::Recalibrate {
+            backend_spec: reader.take_str()?,
+        }),
+        4 => Ok(NodeCommand::Cordon),
+        5 => Ok(NodeCommand::Uncordon),
+        6 => Ok(NodeCommand::Probe),
+        tag => Err(CodecError::InvalidTag {
+            what: "NodeCommand",
+            tag: u64::from(tag),
+        }),
+    }
+}
+
+fn put_verdict(writer: &mut ByteWriter, verdict: &RunVerdict) {
+    match verdict {
+        RunVerdict::Succeeded {
+            counts,
+            fidelity,
+            logs,
+        } => {
+            writer.put_u8(0);
+            writer.put_usize(counts.len());
+            for (bitstring, count) in counts {
+                writer.put_str(bitstring);
+                writer.put_u64(*count);
+            }
+            match fidelity {
+                None => writer.put_u8(0),
+                Some(value) => {
+                    writer.put_u8(1);
+                    writer.put_f64(*value);
+                }
+            }
+            writer.put_usize(logs.len());
+            for line in logs {
+                writer.put_str(line);
+            }
+        }
+        RunVerdict::Failed { reason } => {
+            writer.put_u8(1);
+            writer.put_str(reason);
+        }
+        RunVerdict::Faulted { kind } => {
+            writer.put_u8(2);
+            writer.put_u8(kind.tag());
+        }
+        RunVerdict::Rejected { reason } => {
+            writer.put_u8(3);
+            writer.put_str(reason);
+        }
+    }
+}
+
+fn take_verdict(reader: &mut ByteReader<'_>) -> Result<RunVerdict, CodecError> {
+    match reader.take_u8()? {
+        0 => {
+            let count_len = reader.take_usize()?;
+            let mut counts = Vec::new();
+            for _ in 0..count_len {
+                let bitstring = reader.take_str()?;
+                let count = reader.take_u64()?;
+                counts.push((bitstring, count));
+            }
+            let fidelity = match reader.take_u8()? {
+                0 => None,
+                1 => Some(reader.take_f64()?),
+                tag => {
+                    return Err(CodecError::InvalidTag {
+                        what: "Option<f64>",
+                        tag: u64::from(tag),
+                    })
+                }
+            };
+            let log_len = reader.take_usize()?;
+            let mut logs = Vec::new();
+            for _ in 0..log_len {
+                logs.push(reader.take_str()?);
+            }
+            Ok(RunVerdict::Succeeded {
+                counts,
+                fidelity,
+                logs,
+            })
+        }
+        1 => Ok(RunVerdict::Failed {
+            reason: reader.take_str()?,
+        }),
+        2 => Ok(RunVerdict::Faulted {
+            kind: WireFaultKind::from_tag(reader.take_u8()?)?,
+        }),
+        3 => Ok(RunVerdict::Rejected {
+            reason: reader.take_str()?,
+        }),
+        tag => Err(CodecError::InvalidTag {
+            what: "RunVerdict",
+            tag: u64::from(tag),
+        }),
+    }
+}
+
+fn put_report(writer: &mut ByteWriter, report: &NodeReport) {
+    match report {
+        NodeReport::Phase {
+            job,
+            attempt,
+            verdict,
+        } => {
+            writer.put_u8(0);
+            writer.put_str(job);
+            writer.put_u32(*attempt);
+            put_verdict(writer, verdict);
+        }
+        NodeReport::Telemetry { frame } => {
+            writer.put_u8(1);
+            writer.put_u64(frame.queue_depth);
+            writer.put_f64(frame.utilization);
+            writer.put_f64(frame.health_penalty);
+        }
+        NodeReport::Calibration { revision } => {
+            writer.put_u8(2);
+            writer.put_u64(*revision);
+        }
+        NodeReport::Status {
+            cordoned,
+            executed,
+            calibration_revision,
+        } => {
+            writer.put_u8(3);
+            writer.put_bool(*cordoned);
+            writer.put_u64(*executed);
+            writer.put_u64(*calibration_revision);
+        }
+    }
+}
+
+fn take_report(reader: &mut ByteReader<'_>) -> Result<NodeReport, CodecError> {
+    match reader.take_u8()? {
+        0 => Ok(NodeReport::Phase {
+            job: reader.take_str()?,
+            attempt: reader.take_u32()?,
+            verdict: take_verdict(reader)?,
+        }),
+        1 => Ok(NodeReport::Telemetry {
+            frame: TelemetryFrame {
+                queue_depth: reader.take_u64()?,
+                utilization: reader.take_f64()?,
+                health_penalty: reader.take_f64()?,
+            },
+        }),
+        2 => Ok(NodeReport::Calibration {
+            revision: reader.take_u64()?,
+        }),
+        3 => Ok(NodeReport::Status {
+            cordoned: reader.take_bool()?,
+            executed: reader.take_u64()?,
+            calibration_revision: reader.take_u64()?,
+        }),
+        tag => Err(CodecError::InvalidTag {
+            what: "NodeReport",
+            tag: u64::from(tag),
+        }),
+    }
+}
+
+impl Envelope {
+    /// Encode this envelope as one self-delimiting frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = ByteWriter::new();
+        payload.put_u64(self.seq);
+        payload.put_str(&self.node_id);
+        payload.put_u64(self.virtual_ts);
+        match &self.payload {
+            Payload::Command(command) => {
+                payload.put_u8(0);
+                put_command(&mut payload, command);
+            }
+            Payload::Report(report) => {
+                payload.put_u8(1);
+                put_report(&mut payload, report);
+            }
+        }
+        let payload = payload.into_bytes();
+        let len = u32::try_from(payload.len()).expect("envelope payload exceeds u32::MAX bytes");
+
+        let mut frame = ByteWriter::new();
+        frame.put_raw(&PROTO_MAGIC);
+        frame.put_u16(PROTO_VERSION);
+        frame.put_u32(len);
+        frame.put_raw(&payload);
+        let crc = crc32(&frame.clone().into_bytes());
+        frame.put_u32(crc);
+        frame.into_bytes()
+    }
+
+    /// Decode one envelope from the front of `bytes`.
+    ///
+    /// Returns the envelope and the number of bytes consumed, so frames can
+    /// be peeled off a concatenated stream one at a time.
+    ///
+    /// # Errors
+    ///
+    /// Every malformed input maps to a typed [`ProtoError`]; this never
+    /// panics.
+    pub fn decode(bytes: &[u8]) -> Result<(Envelope, usize), ProtoError> {
+        let header = FrameHeader::peek(bytes)?;
+        if header.version != PROTO_VERSION {
+            return Err(ProtoError::UnsupportedVersion {
+                found: header.version,
+                supported: PROTO_VERSION,
+            });
+        }
+        let frame = &bytes[..header.frame_len];
+        let body = &frame[..header.frame_len - FRAME_CRC_LEN];
+        let stored = {
+            let mut reader = ByteReader::new(&frame[header.frame_len - FRAME_CRC_LEN..]);
+            reader.take_u32().map_err(ProtoError::Payload)?
+        };
+        let computed = crc32(body);
+        if stored != computed {
+            return Err(ProtoError::CorruptFrame { stored, computed });
+        }
+
+        let mut reader = ByteReader::new(&body[FRAME_PREFIX_LEN..]);
+        let seq = reader.take_u64()?;
+        let node_id = reader.take_str()?;
+        let virtual_ts = reader.take_u64()?;
+        let payload = match reader.take_u8()? {
+            0 => Payload::Command(take_command(&mut reader)?),
+            1 => Payload::Report(take_report(&mut reader)?),
+            tag => {
+                return Err(ProtoError::Payload(CodecError::InvalidTag {
+                    what: "Payload",
+                    tag: u64::from(tag),
+                }))
+            }
+        };
+        reader.finish().map_err(ProtoError::Payload)?;
+        Ok((
+            Envelope {
+                seq,
+                node_id,
+                virtual_ts,
+                payload,
+            },
+            header.frame_len,
+        ))
+    }
+}
+
+/// The fixed-size frame header, readable without decoding the payload.
+///
+/// Used by stream scanners (and the analyzer's QL06xx lints) to skip over
+/// frames whose version they do not speak.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Wire-format version stored in the frame.
+    pub version: u16,
+    /// Payload length in bytes.
+    pub payload_len: usize,
+    /// Total frame length (prefix + payload + CRC).
+    pub frame_len: usize,
+}
+
+impl FrameHeader {
+    /// Inspect the frame at the front of `bytes` without validating its
+    /// version or checksum.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::BadMagic`] when the magic is wrong,
+    /// [`ProtoError::Truncated`] when fewer bytes are available than the
+    /// header (or the declared frame length) requires.
+    pub fn peek(bytes: &[u8]) -> Result<FrameHeader, ProtoError> {
+        if bytes.len() < FRAME_PREFIX_LEN {
+            return Err(ProtoError::Truncated {
+                needed: FRAME_PREFIX_LEN,
+                available: bytes.len(),
+            });
+        }
+        if bytes[..PROTO_MAGIC.len()] != PROTO_MAGIC {
+            return Err(ProtoError::BadMagic);
+        }
+        let mut reader = ByteReader::new(&bytes[PROTO_MAGIC.len()..FRAME_PREFIX_LEN]);
+        let version = reader.take_u16().map_err(ProtoError::Payload)?;
+        let payload_len = reader.take_u32().map_err(ProtoError::Payload)? as usize;
+        let frame_len = FRAME_PREFIX_LEN + payload_len + FRAME_CRC_LEN;
+        if bytes.len() < frame_len {
+            return Err(ProtoError::Truncated {
+                needed: frame_len,
+                available: bytes.len(),
+            });
+        }
+        Ok(FrameHeader {
+            version,
+            payload_len,
+            frame_len,
+        })
+    }
+}
+
+/// Decode a stream of concatenated envelope frames.
+///
+/// # Errors
+///
+/// Fails on the first malformed frame with its typed [`ProtoError`].
+pub fn decode_stream(bytes: &[u8]) -> Result<Vec<Envelope>, ProtoError> {
+    let mut envelopes = Vec::new();
+    let mut cursor = 0;
+    while cursor < bytes.len() {
+        let (envelope, consumed) = Envelope::decode(&bytes[cursor..])?;
+        envelopes.push(envelope);
+        cursor += consumed;
+    }
+    Ok(envelopes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_envelope() -> Envelope {
+        Envelope {
+            seq: 3,
+            node_id: "ibmq-αλμα".into(),
+            virtual_ts: 42,
+            payload: Payload::Command(NodeCommand::Probe),
+        }
+    }
+
+    #[test]
+    fn frame_layout_is_magic_version_len_payload_crc() {
+        let bytes = sample_envelope().encode();
+        assert_eq!(&bytes[..8], b"QRIOPROT");
+        assert_eq!(u16::from_le_bytes([bytes[8], bytes[9]]), PROTO_VERSION);
+        let len = u32::from_le_bytes([bytes[10], bytes[11], bytes[12], bytes[13]]) as usize;
+        assert_eq!(bytes.len(), FRAME_PREFIX_LEN + len + FRAME_CRC_LEN);
+    }
+
+    #[test]
+    fn concatenated_frames_decode_as_a_stream() {
+        let mut stream = Vec::new();
+        for seq in 0..4u64 {
+            let mut env = sample_envelope();
+            env.seq = seq;
+            stream.extend_from_slice(&env.encode());
+        }
+        let decoded = decode_stream(&stream).unwrap();
+        assert_eq!(decoded.len(), 4);
+        assert_eq!(decoded[3].seq, 3);
+    }
+
+    #[test]
+    fn version_mismatch_is_detected_before_crc() {
+        let mut bytes = sample_envelope().encode();
+        bytes[8] = 9;
+        assert!(matches!(
+            Envelope::decode(&bytes),
+            Err(ProtoError::UnsupportedVersion {
+                found: 9,
+                supported: PROTO_VERSION
+            })
+        ));
+        // The header peek still works, so scanners can skip the frame.
+        let header = FrameHeader::peek(&bytes).unwrap();
+        assert_eq!(header.version, 9);
+    }
+
+    #[test]
+    fn flipped_bits_anywhere_are_typed_errors_never_panics() {
+        let bytes = sample_envelope().encode();
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x40;
+            assert!(Envelope::decode(&corrupt).is_err(), "flip at {i}");
+        }
+    }
+}

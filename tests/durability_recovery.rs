@@ -286,6 +286,7 @@ fn batched_sync_recovery_loses_no_acknowledged_jobs() {
                 DurabilityConfig {
                     snapshot_every: 1_000,
                     sync_every_n_commands: 4,
+                    compact_above_bytes: 0,
                 },
             )
             .unwrap();
@@ -325,6 +326,7 @@ fn faulted_workload_recovers_retries_dead_letters_and_breakers_exactly() {
             DurabilityConfig {
                 snapshot_every: 5,
                 sync_every_n_commands: 3,
+                compact_above_bytes: 0,
             },
         )
         .unwrap();
@@ -434,4 +436,115 @@ fn durability_does_not_change_behavior() {
         )
     };
     assert_eq!(run(false), run(true));
+}
+
+#[test]
+fn compacted_journal_recovers_identically_to_uncompacted() {
+    // Run the same seeded workload twice: once journaling everything forever,
+    // once with aggressive compaction (every snapshot triggers a rewrite).
+    // Replaying the compacted journal must reconstruct the exact same state as
+    // replaying the full one — compaction may only drop bytes that no longer
+    // influence recovery.
+    let run = |compact_above_bytes: u64, path: &PathBuf| {
+        let mut qrio = seeded_qrio();
+        qrio.enable_durability(
+            path,
+            DurabilityConfig {
+                snapshot_every: 2,
+                compact_above_bytes,
+                ..DurabilityConfig::default()
+            },
+        )
+        .unwrap();
+        two_device_fleet(&mut qrio);
+        let ids: Vec<_> = ["cmp-a", "cmp-b", "cmp-c", "cmp-d"]
+            .iter()
+            .map(|name| qrio.enqueue(&bv_request(name)).unwrap())
+            .collect();
+        qrio.run_until_idle();
+        assert!(qrio.durability_error().is_none());
+        ids
+        // Crash: drop without shutdown.
+    };
+
+    let full_path = journal_path("compact-equiv-full");
+    let compact_path = journal_path("compact-equiv-compacted");
+    let ids = run(0, &full_path);
+    let same_ids = run(1, &compact_path);
+    assert_eq!(ids, same_ids);
+
+    // Compaction actually reclaimed space on disk.
+    let full_len = fs::metadata(&full_path).unwrap().len();
+    let compact_len = fs::metadata(&compact_path).unwrap().len();
+    assert!(
+        compact_len < full_len,
+        "compacted journal ({compact_len} bytes) should be smaller than the \
+         uncompacted one ({full_len} bytes)"
+    );
+
+    // Both journals recover to the same live state.
+    let (full, _) = Qrio::recover(&full_path).unwrap();
+    let (compacted, _) = Qrio::recover(&compact_path).unwrap();
+    assert_eq!(full.watch(0), compacted.watch(0));
+    assert_eq!(full.now(), compacted.now());
+    for id in &ids {
+        assert_eq!(
+            full.job_status(id).unwrap(),
+            compacted.job_status(id).unwrap()
+        );
+        assert_eq!(full.outcome(id).unwrap(), compacted.outcome(id).unwrap());
+    }
+    assert_eq!(full.dead_letters(), compacted.dead_letters());
+}
+
+#[test]
+fn replay_to_reconstructs_every_intermediate_prefix() {
+    // Time-travel replay: for every cursor in the journal's history, the
+    // reconstructed watch log must be an exact prefix of the full history,
+    // and the checkpoint must land on the first command boundary at or
+    // after the target.
+    let path = journal_path("replay-to");
+    {
+        let mut qrio = seeded_qrio();
+        qrio.enable_durability(
+            &path,
+            DurabilityConfig {
+                snapshot_every: 3,
+                ..DurabilityConfig::default()
+            },
+        )
+        .unwrap();
+        two_device_fleet(&mut qrio);
+        for name in ["tt-a", "tt-b", "tt-c"] {
+            let _ = qrio.enqueue(&bv_request(name)).unwrap();
+        }
+        qrio.run_until_idle();
+    }
+
+    let (full, _) = Qrio::recover(&path).unwrap();
+    let history = full.watch(0).to_vec();
+    assert!(history.len() > 4, "fixture needs a non-trivial history");
+
+    for cursor in 0..=(history.len() as u64 + 3) {
+        let (replica, checkpoint) = Qrio::replay_to(&path, cursor).unwrap();
+        assert_eq!(checkpoint.target_cursor, cursor);
+        assert!(checkpoint.snapshot_cursor <= cursor);
+        assert!(
+            checkpoint.reached_cursor >= cursor.min(history.len() as u64),
+            "cursor {cursor}: replay stopped early at {}",
+            checkpoint.reached_cursor
+        );
+        assert_eq!(checkpoint.reached_cursor as usize, replica.watch(0).len());
+        assert_eq!(
+            replica.watch(0),
+            &history[..checkpoint.reached_cursor as usize],
+            "cursor {cursor}: replayed history diverges from the full log"
+        );
+        // The replica is an inspection copy: nothing it does is journaled.
+        assert!(!replica.is_durable());
+    }
+
+    // Replaying to the end reconstructs the terminal state exactly.
+    let (at_end, _) = Qrio::replay_to(&path, history.len() as u64).unwrap();
+    assert_eq!(at_end.describe_state(), full.describe_state());
 }
